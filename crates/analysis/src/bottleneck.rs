@@ -1,0 +1,273 @@
+//! Automatic asymptotic-bottleneck detection.
+//!
+//! The paper's motivating use case: pinpoint routines whose cost grows
+//! superlinearly with input size *before* large inputs are ever run. This
+//! module scans a whole [`ProfileReport`], fits a growth model to every
+//! routine's worst-case cost plot (under both metrics), and ranks suspects
+//! by a severity score combining the growth class, the quality of the fit
+//! and the routine's share of total cost. It also flags the paper's two
+//! failure modes of the plain rms (§3):
+//!
+//! * **spurious** bottlenecks — superlinear under rms but linear or better
+//!   under trms (Figs. 4–5): the "bottleneck" is an artifact of
+//!   under-measured input;
+//! * **hidden** bottlenecks — superlinear under trms while the rms plot is
+//!   flat or collapsed (Fig. 6): invisible without induced input.
+
+use crate::fit::{fit_best, FitResult, GrowthModel};
+use crate::plot::{CostPlot, Metric, PlotKind};
+use aprof_core::{ProfileReport, RoutineReport};
+use serde::{Deserialize, Serialize};
+
+/// Verdict on one routine, combining both metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Superlinear under the trms: a genuine scalability risk.
+    Bottleneck,
+    /// Superlinear only under the rms: an artifact of under-measured input.
+    SpuriousUnderRms,
+    /// Superlinear under the trms while the rms plot could not show it
+    /// (too few distinct rms values) — the Fig. 6 case.
+    HiddenFromRms,
+    /// Scales linearly or better under the trms.
+    Scalable,
+    /// Not enough distinct input sizes to judge.
+    Unknown,
+}
+
+/// One routine's analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Bottleneck {
+    /// Routine name.
+    pub routine: String,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Fit of the worst-case cost against the trms (if possible).
+    pub trms_fit: Option<FitResult>,
+    /// Fit against the rms (if possible).
+    pub rms_fit: Option<FitResult>,
+    /// This routine's share of the run's total inclusive cost, in `[0, 1]`.
+    pub cost_share: f64,
+    /// Ranking score (higher = more urgent).
+    pub severity: f64,
+}
+
+fn growth_weight(model: GrowthModel) -> f64 {
+    match model {
+        GrowthModel::Constant => 0.0,
+        GrowthModel::Logarithmic => 0.1,
+        GrowthModel::Linear => 0.3,
+        GrowthModel::Linearithmic => 1.0,
+        GrowthModel::Quadratic => 2.0,
+        GrowthModel::Cubic => 3.0,
+    }
+}
+
+fn worst_case_fit(report: &RoutineReport, metric: Metric) -> (usize, Option<FitResult>) {
+    let plot = CostPlot::from_report(report, metric, PlotKind::WorstCase);
+    let fit = fit_best(&plot.xy()).filter(|f| f.r2 > 0.5);
+    (plot.len(), fit)
+}
+
+/// Analyses every routine of a report, returning entries sorted by
+/// decreasing severity.
+///
+/// # Example
+///
+/// ```
+/// use aprof_analysis::bottleneck::{analyze, Verdict};
+/// use aprof_core::TrmsProfiler;
+/// use aprof_trace::{Addr, Event, RoutineTable, ThreadId, Trace};
+///
+/// // A routine whose cost is quadratic in its (trms) input size.
+/// let mut names = RoutineTable::new();
+/// let f = names.intern("quad");
+/// let mut tr = Trace::new();
+/// for n in (4..40u64).step_by(4) {
+///     tr.push(ThreadId::MAIN, Event::Call { routine: f });
+///     for i in 0..n {
+///         tr.push(ThreadId::MAIN, Event::Read { addr: Addr::new(n * 1000 + i) });
+///     }
+///     tr.push(ThreadId::MAIN, Event::BasicBlock { cost: n * n });
+///     tr.push(ThreadId::MAIN, Event::Return { routine: f });
+/// }
+/// let mut p = TrmsProfiler::new();
+/// tr.replay(&mut p);
+/// let report = p.into_report(&names);
+/// let entries = analyze(&report);
+/// assert_eq!(entries[0].routine, "quad");
+/// assert_eq!(entries[0].verdict, Verdict::Bottleneck);
+/// ```
+pub fn analyze(report: &ProfileReport) -> Vec<Bottleneck> {
+    let total_cost: u64 = report.routines.iter().map(|r| r.merged.total_cost).max().unwrap_or(0);
+    let mut out: Vec<Bottleneck> = report
+        .routines
+        .iter()
+        .map(|r| {
+            let (trms_points, trms_fit) = worst_case_fit(r, Metric::Trms);
+            let (rms_points, rms_fit) = worst_case_fit(r, Metric::Rms);
+            let trms_super = trms_fit.map(|f| f.model.is_superlinear()).unwrap_or(false);
+            let rms_super = rms_fit.map(|f| f.model.is_superlinear()).unwrap_or(false);
+            let verdict = match (trms_fit, trms_super, rms_super) {
+                (None, _, _) if trms_points < 3 => Verdict::Unknown,
+                (_, true, _) if rms_points < 3 => Verdict::HiddenFromRms,
+                (_, true, _) => Verdict::Bottleneck,
+                (_, false, true) => Verdict::SpuriousUnderRms,
+                (Some(_), false, false) => Verdict::Scalable,
+                (None, _, _) => Verdict::Unknown,
+            };
+            let cost_share = if total_cost == 0 {
+                0.0
+            } else {
+                r.merged.total_cost as f64 / total_cost as f64
+            };
+            let severity = match verdict {
+                Verdict::Bottleneck | Verdict::HiddenFromRms => {
+                    let f = trms_fit.expect("superlinear implies a fit");
+                    growth_weight(f.model) * f.r2.max(0.0) * (0.05 + cost_share)
+                }
+                Verdict::SpuriousUnderRms => 0.01 * (0.05 + cost_share),
+                _ => 0.0,
+            };
+            Bottleneck {
+                routine: r.name.clone(),
+                verdict,
+                trms_fit,
+                rms_fit,
+                cost_share,
+                severity,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.severity
+            .partial_cmp(&a.severity)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.routine.cmp(&b.routine))
+    });
+    out
+}
+
+/// Renders the analysis as an aligned table (top `limit` rows).
+pub fn render(entries: &[Bottleneck], limit: usize) -> String {
+    let mut table = crate::render::Table::new(vec![
+        "routine".into(),
+        "verdict".into(),
+        "trms growth".into(),
+        "rms growth".into(),
+        "cost share".into(),
+        "severity".into(),
+    ]);
+    let growth = |f: &Option<FitResult>| {
+        f.map(|f| f.model.notation().to_owned()).unwrap_or_else(|| "?".into())
+    };
+    for e in entries.iter().take(limit) {
+        table.row(vec![
+            e.routine.clone(),
+            format!("{:?}", e.verdict),
+            growth(&e.trms_fit),
+            growth(&e.rms_fit),
+            format!("{:.1}%", 100.0 * e.cost_share),
+            format!("{:.3}", e.severity),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aprof_core::{CostStats, RoutineThreadProfile};
+    use std::collections::BTreeMap;
+
+    fn routine_with_curves(
+        name: &str,
+        trms: &[(u64, u64)],
+        rms: &[(u64, u64)],
+        total_cost: u64,
+    ) -> RoutineReport {
+        let mut merged = RoutineThreadProfile::default();
+        for &(n, c) in trms {
+            let mut s = CostStats::default();
+            s.record(c);
+            merged.trms.insert(n, s);
+        }
+        for &(n, c) in rms {
+            let mut s = CostStats::default();
+            s.record(c);
+            merged.rms.insert(n, s);
+        }
+        merged.total_cost = total_cost;
+        merged.calls = trms.len() as u64;
+        RoutineReport { routine: 0, name: name.into(), merged, per_thread: BTreeMap::new() }
+    }
+
+    fn report(routines: Vec<RoutineReport>) -> ProfileReport {
+        ProfileReport { tool: "test".into(), routines, global: Default::default() }
+    }
+
+    fn series(f: impl Fn(u64) -> u64) -> Vec<(u64, u64)> {
+        (1..30).map(|n| (n, f(n))).collect()
+    }
+
+    #[test]
+    fn detects_genuine_bottleneck() {
+        let r = routine_with_curves(
+            "quad",
+            &series(|n| n * n),
+            &series(|n| n * n),
+            1000,
+        );
+        let entries = analyze(&report(vec![r]));
+        assert_eq!(entries[0].verdict, Verdict::Bottleneck);
+        assert!(entries[0].severity > 0.0);
+    }
+
+    #[test]
+    fn detects_spurious_rms_bottleneck() {
+        // Linear in trms, quadratic-looking in rms (rms ~ sqrt of trms).
+        let trms = series(|n| 10 * n);
+        let rms: Vec<(u64, u64)> = (1..30).map(|k| (k, 10 * k * k)).collect();
+        let r = routine_with_curves("fig4", &trms, &rms, 500);
+        let entries = analyze(&report(vec![r]));
+        assert_eq!(entries[0].verdict, Verdict::SpuriousUnderRms);
+    }
+
+    #[test]
+    fn detects_hidden_bottleneck() {
+        // Quadratic in trms; rms collapsed onto one value (Fig. 6).
+        let trms = series(|n| n * n);
+        let rms = vec![(12u64, 841u64)];
+        let r = routine_with_curves("fig6", &trms, &rms, 800);
+        let entries = analyze(&report(vec![r]));
+        assert_eq!(entries[0].verdict, Verdict::HiddenFromRms);
+    }
+
+    #[test]
+    fn scalable_and_unknown() {
+        let lin = routine_with_curves("lin", &series(|n| 3 * n), &series(|n| 3 * n), 100);
+        let tiny = routine_with_curves("tiny", &[(5, 10)], &[(5, 10)], 10);
+        let entries = analyze(&report(vec![lin, tiny]));
+        let by_name = |n: &str| entries.iter().find(|e| e.routine == n).unwrap();
+        assert_eq!(by_name("lin").verdict, Verdict::Scalable);
+        assert_eq!(by_name("tiny").verdict, Verdict::Unknown);
+        assert_eq!(by_name("lin").severity, 0.0);
+    }
+
+    #[test]
+    fn severity_ranks_by_cost_share() {
+        let hot = routine_with_curves("hot", &series(|n| n * n), &series(|n| n * n), 1000);
+        let cold = routine_with_curves("cold", &series(|n| n * n), &series(|n| n * n), 10);
+        let entries = analyze(&report(vec![cold, hot]));
+        assert_eq!(entries[0].routine, "hot");
+    }
+
+    #[test]
+    fn render_is_nonempty() {
+        let r = routine_with_curves("quad", &series(|n| n * n), &series(|n| n * n), 100);
+        let entries = analyze(&report(vec![r]));
+        let s = render(&entries, 10);
+        assert!(s.contains("quad"));
+        assert!(s.contains("O(n^2)"));
+    }
+}

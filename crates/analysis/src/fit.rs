@@ -1,0 +1,246 @@
+//! Least-squares growth-model fitting.
+//!
+//! The paper highlights cost-plot trends with "standard curve fitting
+//! techniques" (Fig. 6). This module fits the classic algorithmic growth
+//! models `y = a + b·g(n)` by ordinary least squares on the transformed
+//! basis `g(n)` and selects the slowest-growing model whose fit is within a
+//! small tolerance of the best — so clean linear data is reported as linear
+//! even though a linearithmic basis fits almost as well.
+
+use serde::{Deserialize, Serialize};
+
+/// The candidate growth models, in increasing asymptotic order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum GrowthModel {
+    /// `y = a` — flat.
+    Constant,
+    /// `y = a + b·log n`.
+    Logarithmic,
+    /// `y = a + b·n`.
+    Linear,
+    /// `y = a + b·n·log n`.
+    Linearithmic,
+    /// `y = a + b·n²`.
+    Quadratic,
+    /// `y = a + b·n³`.
+    Cubic,
+}
+
+impl GrowthModel {
+    /// All models, slowest-growing first.
+    pub const ALL: [GrowthModel; 6] = [
+        GrowthModel::Constant,
+        GrowthModel::Logarithmic,
+        GrowthModel::Linear,
+        GrowthModel::Linearithmic,
+        GrowthModel::Quadratic,
+        GrowthModel::Cubic,
+    ];
+
+    /// The basis transform `g(n)`.
+    pub fn g(self, n: f64) -> f64 {
+        let n = n.max(1.0);
+        match self {
+            GrowthModel::Constant => 1.0,
+            GrowthModel::Logarithmic => n.ln(),
+            GrowthModel::Linear => n,
+            GrowthModel::Linearithmic => n * n.ln().max(1e-9),
+            GrowthModel::Quadratic => n * n,
+            GrowthModel::Cubic => n * n * n,
+        }
+    }
+
+    /// Conventional asymptotic notation for the model.
+    pub fn notation(self) -> &'static str {
+        match self {
+            GrowthModel::Constant => "O(1)",
+            GrowthModel::Logarithmic => "O(log n)",
+            GrowthModel::Linear => "O(n)",
+            GrowthModel::Linearithmic => "O(n log n)",
+            GrowthModel::Quadratic => "O(n^2)",
+            GrowthModel::Cubic => "O(n^3)",
+        }
+    }
+
+    /// Whether the model grows faster than linear.
+    pub fn is_superlinear(self) -> bool {
+        matches!(self, GrowthModel::Linearithmic | GrowthModel::Quadratic | GrowthModel::Cubic)
+    }
+}
+
+/// Outcome of fitting one model (or the model-selection winner).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitResult {
+    /// The fitted model.
+    pub model: GrowthModel,
+    /// Intercept `a`.
+    pub a: f64,
+    /// Slope `b` on the transformed basis.
+    pub b: f64,
+    /// Coefficient of determination of the fit, in `(-inf, 1]`.
+    pub r2: f64,
+}
+
+impl FitResult {
+    /// The fitted prediction at input size `n`.
+    pub fn predict(&self, n: f64) -> f64 {
+        self.a + self.b * self.model.g(n)
+    }
+}
+
+/// Fits one model by ordinary least squares.
+///
+/// Returns `None` when fewer than two distinct input sizes are available.
+pub fn fit_model(points: &[(f64, f64)], model: GrowthModel) -> Option<FitResult> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let gs: Vec<f64> = points.iter().map(|&(x, _)| model.g(x)).collect();
+    let ys: Vec<f64> = points.iter().map(|&(_, y)| y).collect();
+    let gm = gs.iter().sum::<f64>() / n;
+    let ym = ys.iter().sum::<f64>() / n;
+    let sgg: f64 = gs.iter().map(|g| (g - gm) * (g - gm)).sum();
+    let sgy: f64 = gs.iter().zip(&ys).map(|(g, y)| (g - gm) * (y - ym)).sum();
+    let (a, b) = if model == GrowthModel::Constant || sgg < 1e-12 {
+        (ym, 0.0)
+    } else {
+        let b = sgy / sgg;
+        (ym - b * gm, b)
+    };
+    let ss_res: f64 = gs.iter().zip(&ys).map(|(g, y)| (y - (a + b * g)).powi(2)).sum();
+    let ss_tot: f64 = ys.iter().map(|y| (y - ym) * (y - ym)).sum();
+    let r2 = if ss_tot < 1e-12 {
+        if ss_res < 1e-9 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Some(FitResult { model, a, b, r2 })
+}
+
+/// Fits every model and returns the slowest-growing one whose R² is within
+/// `0.002` of the best (negative-slope fits of growing models are
+/// discarded). Returns `None` with fewer than two points.
+///
+/// # Example
+///
+/// ```
+/// use aprof_analysis::{fit_best, GrowthModel};
+/// let linear: Vec<(f64, f64)> = (1..50).map(|n| (n as f64, 3.0 * n as f64 + 7.0)).collect();
+/// assert_eq!(fit_best(&linear).unwrap().model, GrowthModel::Linear);
+/// let quad: Vec<(f64, f64)> = (1..50).map(|n| (n as f64, (n * n) as f64)).collect();
+/// assert_eq!(fit_best(&quad).unwrap().model, GrowthModel::Quadratic);
+/// ```
+pub fn fit_best(points: &[(f64, f64)]) -> Option<FitResult> {
+    let fits: Vec<FitResult> = GrowthModel::ALL
+        .iter()
+        .filter_map(|&m| fit_model(points, m))
+        .filter(|f| f.model == GrowthModel::Constant || f.b >= 0.0)
+        .collect();
+    let best = fits.iter().map(|f| f.r2).fold(f64::NEG_INFINITY, f64::max);
+    fits.into_iter().find(|f| f.r2 >= best - 0.002)
+}
+
+/// Fits a pure power law `y = c·n^e` by linear regression in log-log space,
+/// returning `(e, r2)`. Points with non-positive coordinates are skipped;
+/// returns `None` when fewer than two remain.
+///
+/// # Example
+///
+/// ```
+/// let cubic: Vec<(f64, f64)> = (1..40).map(|n| (n as f64, (n * n * n) as f64)).collect();
+/// let (e, r2) = aprof_analysis::fit_power_law(&cubic).unwrap();
+/// assert!((e - 3.0).abs() < 0.01);
+/// assert!(r2 > 0.999);
+/// ```
+pub fn fit_power_law(points: &[(f64, f64)]) -> Option<(f64, f64)> {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(x, y)| x > 0.0 && y > 0.0)
+        .map(|&(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if logs.len() < 2 {
+        return None;
+    }
+    let n = logs.len() as f64;
+    let xm = logs.iter().map(|p| p.0).sum::<f64>() / n;
+    let ym = logs.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx: f64 = logs.iter().map(|p| (p.0 - xm) * (p.0 - xm)).sum();
+    if sxx < 1e-12 {
+        return None;
+    }
+    let sxy: f64 = logs.iter().map(|p| (p.0 - xm) * (p.1 - ym)).sum();
+    let e = sxy / sxx;
+    let a = ym - e * xm;
+    let ss_res: f64 = logs.iter().map(|p| (p.1 - (a + e * p.0)).powi(2)).sum();
+    let ss_tot: f64 = logs.iter().map(|p| (p.1 - ym) * (p.1 - ym)).sum();
+    let r2 = if ss_tot < 1e-12 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    Some((e, r2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(f: impl Fn(f64) -> f64) -> Vec<(f64, f64)> {
+        (1..=60).map(|n| (n as f64, f(n as f64))).collect()
+    }
+
+    #[test]
+    fn recovers_each_model() {
+        let cases: Vec<(GrowthModel, Vec<(f64, f64)>)> = vec![
+            (GrowthModel::Constant, series(|_| 5.0)),
+            (GrowthModel::Logarithmic, series(|n| 4.0 + 10.0 * n.ln())),
+            (GrowthModel::Linear, series(|n| 2.0 * n + 1.0)),
+            (GrowthModel::Linearithmic, series(|n| n * n.ln() + 3.0)),
+            (GrowthModel::Quadratic, series(|n| 0.5 * n * n)),
+            (GrowthModel::Cubic, series(|n| 0.1 * n * n * n + 2.0)),
+        ];
+        for (expect, pts) in cases {
+            let fit = fit_best(&pts).unwrap();
+            assert_eq!(fit.model, expect, "misfit: got {:?} ({})", fit.model, fit.r2);
+            assert!(fit.r2 > 0.999, "poor fit for {expect:?}: {}", fit.r2);
+        }
+    }
+
+    #[test]
+    fn noisy_linear_still_linear() {
+        let pts: Vec<(f64, f64)> = (1..=100)
+            .map(|n| {
+                let noise = ((n * 2654435761u64) % 13) as f64 - 6.0;
+                (n as f64, 5.0 * n as f64 + noise)
+            })
+            .collect();
+        assert_eq!(fit_best(&pts).unwrap().model, GrowthModel::Linear);
+    }
+
+    #[test]
+    fn too_few_points() {
+        assert!(fit_best(&[(1.0, 1.0)]).is_none());
+        assert!(fit_best(&[]).is_none());
+        assert!(fit_power_law(&[(1.0, 1.0)]).is_none());
+    }
+
+    #[test]
+    fn predict_interpolates() {
+        let fit = fit_best(&series(|n| 2.0 * n)).unwrap();
+        assert!((fit.predict(10.0) - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn superlinear_classification() {
+        assert!(!GrowthModel::Linear.is_superlinear());
+        assert!(GrowthModel::Quadratic.is_superlinear());
+        assert_eq!(GrowthModel::Linearithmic.notation(), "O(n log n)");
+    }
+
+    #[test]
+    fn power_law_exponent_for_quadratic() {
+        let (e, _) = fit_power_law(&series(|n| n * n)).unwrap();
+        assert!((e - 2.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,35 @@
+//! Post-processing of input-sensitive profiles: cost plots, growth-model
+//! fitting, and the evaluation metrics of §6.1 of the paper.
+//!
+//! An input-sensitive profile maps every distinct input size of a routine to
+//! cost statistics. This crate turns those maps into the artifacts the paper
+//! presents:
+//!
+//! * [`plot`] — extraction of *worst-case running time* plots, *average
+//!   cost* plots and *workload* plots (§3) from a
+//!   [`RoutineReport`](aprof_core::RoutineReport), for either metric
+//!   (rms or trms).
+//! * [`fit`] — least-squares growth-model fitting (constant, logarithmic,
+//!   linear, linearithmic, quadratic, cubic, plus a log-log power-law fit),
+//!   standing in for the "standard curve fitting techniques" of Fig. 6.
+//! * [`metrics`] — routine profile richness, input volume, thread-induced
+//!   and external input percentages, and the "x% of routines have metric
+//!   ≥ y" curves of Figs. 15, 16, 18 and 19.
+//! * [`render`] — ASCII scatter plots, aligned text tables and CSV export
+//!   for the experiment harness.
+//! * [`bottleneck`] — automatic asymptotic-bottleneck detection over a
+//!   whole report, distinguishing genuine, rms-spurious and rms-hidden
+//!   bottlenecks (extension building on §3's case studies).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bottleneck;
+pub mod fit;
+pub mod metrics;
+pub mod plot;
+pub mod render;
+
+pub use fit::{fit_best, fit_power_law, FitResult, GrowthModel};
+pub use metrics::{cdf_curve, CurvePoint};
+pub use plot::{CostPlot, Metric, PlotKind, Point};

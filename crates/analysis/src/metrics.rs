@@ -1,0 +1,149 @@
+//! The evaluation metrics of §6.1 and their distribution curves.
+//!
+//! The per-routine metrics themselves (profile richness, input volume,
+//! induced fractions) live on [`aprof_core::RoutineReport`]; this module
+//! aggregates them across a whole report into the "a point `(x, y)` on a
+//! curve means that `x%` of routines have metric at least `y`" charts used
+//! by Figs. 15, 16, 18 and 19.
+
+use aprof_core::ProfileReport;
+use serde::{Deserialize, Serialize};
+
+/// One point of a distribution curve: `share`% of routines have the metric
+/// ≥ `value`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Percentage of routines (0–100].
+    pub share: f64,
+    /// The metric threshold those routines meet.
+    pub value: f64,
+}
+
+/// Builds the "x% of routines have metric ≥ y" curve from raw per-routine
+/// values (Figs. 15/16/18/19).
+///
+/// # Example
+///
+/// ```
+/// use aprof_analysis::cdf_curve;
+/// let curve = cdf_curve(vec![10.0, 2.0, 5.0, 1.0]);
+/// assert_eq!(curve[0].share, 25.0);
+/// assert_eq!(curve[0].value, 10.0); // top 25% of routines reach >= 10
+/// assert_eq!(curve[3].value, 1.0);  // 100% reach >= 1
+/// ```
+pub fn cdf_curve(mut values: Vec<f64>) -> Vec<CurvePoint> {
+    values.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let n = values.len() as f64;
+    values
+        .into_iter()
+        .enumerate()
+        .map(|(i, value)| CurvePoint { share: 100.0 * (i as f64 + 1.0) / n, value })
+        .collect()
+}
+
+/// Per-routine profile richness values of a report (Fig. 15).
+///
+/// Routines that collected no rms values at all are skipped (no plot could
+/// exist for them either way).
+pub fn richness_values(report: &ProfileReport) -> Vec<f64> {
+    report
+        .routines
+        .iter()
+        .filter(|r| r.distinct_rms() > 0)
+        .map(|r| r.profile_richness())
+        .collect()
+}
+
+/// Per-routine input-volume values of a report (Fig. 16).
+pub fn volume_values(report: &ProfileReport) -> Vec<f64> {
+    report.routines.iter().map(|r| r.input_volume()).collect()
+}
+
+/// Per-routine *thread-induced input* percentages: the share of a routine's
+/// reads that were thread-induced first-accesses (Fig. 18), in `[0, 100]`.
+pub fn thread_induced_values(report: &ProfileReport) -> Vec<f64> {
+    report.routines.iter().map(|r| 100.0 * r.induced_fractions().0).collect()
+}
+
+/// Per-routine *external input* percentages (Fig. 19), in `[0, 100]`.
+pub fn external_values(report: &ProfileReport) -> Vec<f64> {
+    report.routines.iter().map(|r| 100.0 * r.induced_fractions().1).collect()
+}
+
+/// Per-routine induced split for the Fig. 9 charts: for every routine with
+/// any induced input, `(name, thread-induced share, external share)` of its
+/// induced first-accesses, both in `[0, 100]`, summing to 100; sorted by
+/// decreasing total induced fraction of reads.
+pub fn induced_breakdown(report: &ProfileReport) -> Vec<(String, f64, f64)> {
+    let mut rows: Vec<(String, f64, f64, f64)> = report
+        .routines
+        .iter()
+        .filter_map(|r| {
+            let induced = r.merged.induced_thread + r.merged.induced_external;
+            if induced == 0 || r.merged.reads == 0 {
+                return None;
+            }
+            let (ft, fe) = r.induced_fractions();
+            let total = ft + fe;
+            let thread_share = 100.0 * r.merged.induced_thread as f64 / induced as f64;
+            Some((r.name.clone(), thread_share, 100.0 - thread_share, total))
+        })
+        .collect();
+    rows.sort_by(|a, b| b.3.partial_cmp(&a.3).unwrap_or(std::cmp::Ordering::Equal));
+    rows.into_iter().map(|(n, t, e, _)| (n, t, e)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aprof_core::{RoutineReport, RoutineThreadProfile};
+    use std::collections::BTreeMap;
+
+    fn routine(name: &str, induced_thread: u64, induced_external: u64, reads: u64) -> RoutineReport {
+        let mut merged = RoutineThreadProfile::default();
+        merged.record(4, 2, 10);
+        merged.reads = reads;
+        merged.induced_thread = induced_thread;
+        merged.induced_external = induced_external;
+        RoutineReport { routine: 0, name: name.into(), merged, per_thread: BTreeMap::new() }
+    }
+
+    fn report(routines: Vec<RoutineReport>) -> ProfileReport {
+        ProfileReport { tool: "test".into(), routines, global: Default::default() }
+    }
+
+    #[test]
+    fn cdf_curve_is_monotone() {
+        let c = cdf_curve(vec![3.0, 1.0, 2.0, 2.0]);
+        assert!(c.windows(2).all(|w| w[0].share < w[1].share));
+        assert!(c.windows(2).all(|w| w[0].value >= w[1].value));
+        assert_eq!(c.last().unwrap().share, 100.0);
+    }
+
+    #[test]
+    fn breakdown_sums_to_100() {
+        let rep = report(vec![routine("a", 30, 10, 100), routine("b", 0, 5, 10)]);
+        let rows = induced_breakdown(&rep);
+        assert_eq!(rows.len(), 2);
+        for (_, t, e) in &rows {
+            assert!((t + e - 100.0).abs() < 1e-9);
+        }
+        // b has 50% of reads induced vs a's 40% -> b sorts first.
+        assert_eq!(rows[0].0, "b");
+    }
+
+    #[test]
+    fn breakdown_skips_pure_computation() {
+        let rep = report(vec![routine("pure", 0, 0, 50)]);
+        assert!(induced_breakdown(&rep).is_empty());
+    }
+
+    #[test]
+    fn value_extractors() {
+        let rep = report(vec![routine("a", 10, 30, 100)]);
+        assert_eq!(thread_induced_values(&rep), vec![10.0]);
+        assert_eq!(external_values(&rep), vec![30.0]);
+        assert_eq!(richness_values(&rep).len(), 1);
+        assert_eq!(volume_values(&rep), vec![0.5]);
+    }
+}

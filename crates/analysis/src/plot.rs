@@ -1,0 +1,183 @@
+//! Cost-plot extraction from routine profiles.
+
+use aprof_core::RoutineReport;
+use serde::{Deserialize, Serialize};
+
+/// Which input-size metric a plot is drawn against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// The read memory size (Definition 1).
+    Rms,
+    /// The threaded read memory size (Definition 3).
+    Trms,
+}
+
+impl Metric {
+    /// Lowercase label used in chart titles and CSV headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Metric::Rms => "rms",
+            Metric::Trms => "trms",
+        }
+    }
+}
+
+/// Which quantity is plotted against the input size (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlotKind {
+    /// Maximum cost observed at each input size (worst-case running time).
+    WorstCase,
+    /// Mean cost at each input size.
+    Average,
+    /// Number of activations at each input size (workload plot, Fig. 8).
+    Workload,
+}
+
+impl PlotKind {
+    /// Lowercase label used in chart titles and CSV headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlotKind::WorstCase => "worst-case cost",
+            PlotKind::Average => "average cost",
+            PlotKind::Workload => "activations",
+        }
+    }
+}
+
+/// One performance point of a cost plot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Input size (rms or trms value).
+    pub n: u64,
+    /// Plotted quantity (cost or activation count).
+    pub y: f64,
+}
+
+/// A cost plot of one routine: the artifact of §3's case studies.
+///
+/// # Example
+///
+/// ```
+/// use aprof_analysis::{CostPlot, Metric, PlotKind};
+/// use aprof_core::TrmsProfiler;
+/// use aprof_trace::{Addr, Event, RoutineTable, ThreadId, Trace};
+///
+/// let mut names = RoutineTable::new();
+/// let f = names.intern("f");
+/// let mut tr = Trace::new();
+/// for n in 1..=3u64 {
+///     tr.push(ThreadId::MAIN, Event::Call { routine: f });
+///     for i in 0..n {
+///         tr.push(ThreadId::MAIN, Event::BasicBlock { cost: 2 });
+///         tr.push(ThreadId::MAIN, Event::Read { addr: Addr::new(100 * n + i) });
+///     }
+///     tr.push(ThreadId::MAIN, Event::Return { routine: f });
+/// }
+/// let mut p = TrmsProfiler::new();
+/// tr.replay(&mut p);
+/// let report = p.into_report(&names);
+/// let plot = CostPlot::from_report(
+///     report.routine(f).unwrap(), Metric::Trms, PlotKind::WorstCase);
+/// assert_eq!(plot.points().len(), 3); // input sizes 1, 2, 3
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostPlot {
+    /// Routine name.
+    pub routine: String,
+    /// The metric on the x axis.
+    pub metric: Metric,
+    /// The quantity on the y axis.
+    pub kind: PlotKind,
+    points: Vec<Point>,
+}
+
+impl CostPlot {
+    /// Extracts a plot from a routine report.
+    pub fn from_report(report: &RoutineReport, metric: Metric, kind: PlotKind) -> CostPlot {
+        let curve = match metric {
+            Metric::Rms => report.rms_curve(),
+            Metric::Trms => report.trms_curve(),
+        };
+        let points = curve
+            .into_iter()
+            .map(|(n, stats)| Point {
+                n,
+                y: match kind {
+                    PlotKind::WorstCase => stats.max as f64,
+                    PlotKind::Average => stats.mean(),
+                    PlotKind::Workload => stats.count as f64,
+                },
+            })
+            .collect();
+        CostPlot { routine: report.name.clone(), metric, kind, points }
+    }
+
+    /// The points, sorted by input size.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Number of distinct input-size values (profile richness numerator).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the plot has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// `(n, y)` pairs as `f64`, the shape the fitting functions consume.
+    pub fn xy(&self) -> Vec<(f64, f64)> {
+        self.points.iter().map(|p| (p.n as f64, p.y)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aprof_core::{CostStats, RoutineThreadProfile};
+    use std::collections::BTreeMap;
+
+    fn report() -> RoutineReport {
+        let mut merged = RoutineThreadProfile::default();
+        merged.record(1, 1, 10);
+        merged.record(1, 1, 30);
+        merged.record(5, 2, 50);
+        RoutineReport { routine: 0, name: "f".into(), merged, per_thread: BTreeMap::new() }
+    }
+
+    #[test]
+    fn worst_case_takes_max() {
+        let plot = CostPlot::from_report(&report(), Metric::Trms, PlotKind::WorstCase);
+        assert_eq!(plot.points(), &[Point { n: 1, y: 30.0 }, Point { n: 5, y: 50.0 }]);
+    }
+
+    #[test]
+    fn average_takes_mean() {
+        let plot = CostPlot::from_report(&report(), Metric::Trms, PlotKind::Average);
+        assert_eq!(plot.points()[0].y, 20.0);
+    }
+
+    #[test]
+    fn workload_counts_activations() {
+        let plot = CostPlot::from_report(&report(), Metric::Trms, PlotKind::Workload);
+        assert_eq!(plot.points()[0], Point { n: 1, y: 2.0 });
+        assert_eq!(plot.points()[1], Point { n: 5, y: 1.0 });
+    }
+
+    #[test]
+    fn rms_axis_differs() {
+        let plot = CostPlot::from_report(&report(), Metric::Rms, PlotKind::WorstCase);
+        assert_eq!(plot.len(), 2);
+        assert_eq!(plot.points()[1].n, 2);
+        assert!(!plot.is_empty());
+        assert_eq!(plot.xy()[1], (2.0, 50.0));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Metric::Rms.label(), "rms");
+        assert_eq!(PlotKind::Workload.label(), "activations");
+    }
+}

@@ -1,0 +1,210 @@
+//! Text rendering: ASCII scatter plots, aligned tables, CSV export.
+
+use crate::plot::CostPlot;
+
+/// Renders a scatter plot as ASCII art, `width`×`height` characters plus
+/// axes — the terminal stand-in for the paper's charts.
+///
+/// # Example
+///
+/// ```
+/// let points: Vec<(f64, f64)> = (1..20).map(|n| (n as f64, (n * n) as f64)).collect();
+/// let art = aprof_analysis::render::ascii_scatter(&points, 40, 10, "n", "cost");
+/// assert!(art.contains('*'));
+/// ```
+pub fn ascii_scatter(
+    points: &[(f64, f64)],
+    width: usize,
+    height: usize,
+    x_label: &str,
+    y_label: &str,
+) -> String {
+    if points.is_empty() {
+        return format!("(no points: {y_label} vs {x_label})\n");
+    }
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in points {
+        xmin = xmin.min(x);
+        xmax = xmax.max(x);
+        ymin = ymin.min(y);
+        ymax = ymax.max(y);
+    }
+    let xspan = (xmax - xmin).max(1e-9);
+    let yspan = (ymax - ymin).max(1e-9);
+    let mut grid = vec![vec![' '; width]; height];
+    for &(x, y) in points {
+        let col = (((x - xmin) / xspan) * (width - 1) as f64).round() as usize;
+        let row = (((y - ymin) / yspan) * (height - 1) as f64).round() as usize;
+        grid[height - 1 - row][col] = '*';
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{y_label} [{ymin:.0} .. {ymax:.0}]\n"));
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("{x_label} [{xmin:.0} .. {xmax:.0}]\n"));
+    out
+}
+
+/// Renders a [`CostPlot`] with a default geometry and a title line.
+pub fn render_plot(plot: &CostPlot) -> String {
+    let title = format!(
+        "{} — {} vs {}  ({} points)",
+        plot.routine,
+        plot.kind.label(),
+        plot.metric.label(),
+        plot.len()
+    );
+    format!(
+        "{title}\n{}",
+        ascii_scatter(&plot.xy(), 64, 16, plot.metric.label(), plot.kind.label())
+    )
+}
+
+/// An aligned plain-text table builder for experiment output.
+///
+/// # Example
+///
+/// ```
+/// use aprof_analysis::render::Table;
+/// let mut t = Table::new(vec!["benchmark".into(), "slowdown".into()]);
+/// t.row(vec!["350.md".into(), "39.6".into()]);
+/// let s = t.render();
+/// assert!(s.contains("350.md"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        Table { headers, rows: Vec::new() }
+    }
+
+    /// Appends one row (short rows are padded with empty cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns and a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len().max(
+            self.rows.iter().map(Vec::len).max().unwrap_or(0),
+        );
+        fn cell(row: &[String], c: usize) -> &str {
+            row.get(c).map(String::as_str).unwrap_or("")
+        }
+        let mut widths = vec![0usize; cols];
+        for c in 0..cols {
+            widths[c] = std::iter::once(cell(&self.headers, c).len())
+                .chain(self.rows.iter().map(|r| cell(r, c).len()))
+                .max()
+                .unwrap_or(0);
+        }
+        let fmt_row = |row: &[String]| {
+            let mut line = String::new();
+            for c in 0..cols {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                let text = cell(row, c);
+                // Right-align numeric-looking cells, left-align labels.
+                let numeric = text.chars().all(|ch| {
+                    ch.is_ascii_digit() || ch == '.' || ch == '-' || ch == '+' || ch == '%'
+                }) && !text.is_empty();
+                if numeric {
+                    line.push_str(&format!("{text:>width$}", width = widths[c]));
+                } else {
+                    line.push_str(&format!("{text:<width$}", width = widths[c]));
+                }
+            }
+            line.trim_end().to_owned()
+        };
+        let mut out = fmt_row(&self.headers);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV (comma-separated, quoting cells containing commas).
+    pub fn to_csv(&self) -> String {
+        let quote = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_handles_empty() {
+        let s = ascii_scatter(&[], 10, 5, "x", "y");
+        assert!(s.contains("no points"));
+    }
+
+    #[test]
+    fn scatter_plots_extremes() {
+        let s = ascii_scatter(&[(0.0, 0.0), (10.0, 100.0)], 20, 10, "n", "cost");
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].ends_with('*'), "max lands in the top-right: {s}");
+        assert!(lines[10].starts_with("| *") || lines[10].starts_with("|*"), "{s}");
+    }
+
+    #[test]
+    fn table_alignment_and_padding() {
+        let mut t = Table::new(vec!["name".into(), "value".into()]);
+        t.row(vec!["a-very-long-name".into(), "1".into()]);
+        t.row(vec!["b".into()]);
+        let s = t.render();
+        assert!(s.lines().count() == 4);
+        assert!(s.contains("a-very-long-name"));
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["x,y".into(), "2".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+    }
+}

@@ -1,0 +1,47 @@
+//! Criterion bench: three-level shadow memory primitives (the profiler's
+//! innermost data structure).
+
+use aprof_shadow::ShadowMemory;
+use aprof_trace::Addr;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_shadow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shadow");
+    const N: u64 = 64 * 1024;
+    group.throughput(Throughput::Elements(N));
+    for (label, stride) in [("dense", 1u64), ("page-strided", 4096), ("sparse", 1 << 20)] {
+        group.bench_function(BenchmarkId::new("set", label), |b| {
+            b.iter(|| {
+                let mut s: ShadowMemory<u64> = ShadowMemory::new();
+                for i in 0..N {
+                    s.set(Addr::new(i * stride), i);
+                }
+                s.stats().chunks
+            })
+        });
+    }
+    group.bench_function("get_hit", |b| {
+        let mut s: ShadowMemory<u64> = ShadowMemory::new();
+        for i in 0..N {
+            s.set(Addr::new(i), i);
+        }
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..N {
+                acc = acc.wrapping_add(s.get(Addr::new(i)));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_shadow
+);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench backing Table 1 / Fig. 14: full guest runs under each
+//! tool on a small OMP2012-analog input.
+
+use aprof_bench::{measure, ToolKind};
+use aprof_workloads::{by_name, WorkloadParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_tools(c: &mut Criterion) {
+    let params = WorkloadParams::new(48, 4);
+    let mut group = c.benchmark_group("tool_overhead");
+    for wl_name in ["350.md", "372.smithwa", "vips"] {
+        let wl = by_name(wl_name).unwrap();
+        for kind in [
+            ToolKind::Native,
+            ToolKind::Nulgrind,
+            ToolKind::Memcheck,
+            ToolKind::Callgrind,
+            ToolKind::Helgrind,
+            ToolKind::AprofRms,
+            ToolKind::AprofTrms,
+        ] {
+            group.bench_function(BenchmarkId::new(wl_name, kind.label()), |b| {
+                b.iter(|| measure(&wl, &params, kind).blocks)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_tools
+);
+criterion_main!(benches);

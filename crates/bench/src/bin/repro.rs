@@ -1,0 +1,65 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro all            # every experiment
+//! repro table1 fig4    # selected experiments
+//! repro --list         # available experiment ids
+//! ```
+//!
+//! Rendered text goes to stdout; CSV data is written under `results/`.
+//! Set `APROF_BENCH_SIZE` to scale the Table 1 / Fig. 14 workload size.
+
+use aprof_bench::{run_experiment, EXPERIMENTS};
+use std::io::Write as _;
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for id in EXPERIMENTS {
+            println!("{id}");
+        }
+        return;
+    }
+    let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let results_dir = Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(results_dir) {
+        eprintln!("cannot create results/: {e}");
+        std::process::exit(1);
+    }
+    let mut failed = false;
+    for id in selected {
+        match run_experiment(id) {
+            Ok(output) => {
+                println!("==============================================================");
+                println!("{}", output.title);
+                println!("==============================================================");
+                println!("{}", output.text);
+                for (file, csv) in &output.csv {
+                    let path = results_dir.join(file);
+                    match std::fs::File::create(&path)
+                        .and_then(|mut f| f.write_all(csv.as_bytes()))
+                    {
+                        Ok(()) => println!("  wrote {}", path.display()),
+                        Err(e) => {
+                            eprintln!("  failed to write {}: {e}", path.display());
+                            failed = true;
+                        }
+                    }
+                }
+                println!();
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,458 @@
+//! Case-study and metric figures: Figs. 4–9, 15–19 and the §3 synthetic.
+
+use aprof_analysis::metrics::{
+    cdf_curve, external_values, induced_breakdown, richness_values, thread_induced_values,
+    volume_values, CurvePoint,
+};
+use aprof_analysis::render::{render_plot, Table};
+use aprof_analysis::{fit_best, CostPlot, Metric, PlotKind};
+use aprof_core::{InputPolicy, ProfileReport, RoutineReport, TrmsProfiler};
+use aprof_workloads::{by_name, Family, WorkloadParams};
+
+/// The rendered output of one experiment.
+#[derive(Debug, Clone)]
+pub struct FigureOutput {
+    /// Experiment id (e.g. `"fig4"`).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Rendered tables/plots.
+    pub text: String,
+    /// `(file name, csv content)` pairs for `results/`.
+    pub csv: Vec<(String, String)>,
+}
+
+/// Profiles one registry workload under a policy.
+fn profile(name: &str, params: &WorkloadParams, policy: InputPolicy) -> ProfileReport {
+    let wl = by_name(name).unwrap_or_else(|| panic!("workload {name} not registered"));
+    let mut machine = wl.build(params);
+    let names = machine.program().routines().clone();
+    let mut prof = TrmsProfiler::with_policy(policy);
+    machine.run_with(&mut prof).unwrap_or_else(|e| panic!("{name} failed: {e}"));
+    prof.into_report(&names)
+}
+
+fn routine<'r>(report: &'r ProfileReport, name: &str) -> &'r RoutineReport {
+    report
+        .routine_by_name(name)
+        .unwrap_or_else(|| panic!("routine {name} missing from report"))
+}
+
+fn plot_csv(plot: &CostPlot) -> String {
+    let mut t = Table::new(vec![plot.metric.label().into(), plot.kind.label().into()]);
+    for p in plot.points() {
+        t.row(vec![p.n.to_string(), format!("{}", p.y)]);
+    }
+    t.to_csv()
+}
+
+fn fit_line(plot: &CostPlot) -> String {
+    match fit_best(&plot.xy()) {
+        Some(fit) => format!(
+            "fit[{} vs {}]: {}  (r2={:.4}, b={:.3})",
+            plot.kind.label(),
+            plot.metric.label(),
+            fit.model.notation(),
+            fit.r2,
+            fit.b
+        ),
+        None => format!(
+            "fit[{} vs {}]: not enough distinct points ({})",
+            plot.kind.label(),
+            plot.metric.label(),
+            plot.len()
+        ),
+    }
+}
+
+/// Renders the two-panel rms/trms comparison the paper uses in Figs. 4–6.
+fn rms_trms_panels(id: &str, title: &str, rr: &RoutineReport, kind: PlotKind) -> FigureOutput {
+    let rms = CostPlot::from_report(rr, Metric::Rms, kind);
+    let trms = CostPlot::from_report(rr, Metric::Trms, kind);
+    let text = format!(
+        "{title}\n\n(a) input size measured by rms\n{}\n{}\n\n(b) input size measured by trms\n{}\n{}\n",
+        render_plot(&rms),
+        fit_line(&rms),
+        render_plot(&trms),
+        fit_line(&trms),
+    );
+    FigureOutput {
+        id: id.into(),
+        title: title.into(),
+        text,
+        csv: vec![
+            (format!("{id}_rms.csv"), plot_csv(&rms)),
+            (format!("{id}_trms.csv"), plot_csv(&trms)),
+        ],
+    }
+}
+
+/// Fig. 4: `mysql_select` worst-case cost, rms vs trms.
+pub fn fig4() -> FigureOutput {
+    let report = profile("mysqld", &WorkloadParams::new(160, 2), InputPolicy::full());
+    rms_trms_panels(
+        "fig4",
+        "Fig. 4 — mysql_select worst-case running time (minidb analog)",
+        routine(&report, "mysql_select"),
+        PlotKind::WorstCase,
+    )
+}
+
+/// Fig. 5: `im_generate` worst-case cost, rms vs trms.
+pub fn fig5() -> FigureOutput {
+    let report = profile("vips", &WorkloadParams::new(200, 3), InputPolicy::full());
+    rms_trms_panels(
+        "fig5",
+        "Fig. 5 — im_generate worst-case running time (vips analog)",
+        routine(&report, "im_generate"),
+        PlotKind::WorstCase,
+    )
+}
+
+/// Fig. 6: `buf_flush_buffered_writes` with curve fitting.
+pub fn fig6() -> FigureOutput {
+    let report = profile("mysqld", &WorkloadParams::new(160, 2), InputPolicy::full());
+    rms_trms_panels(
+        "fig6",
+        "Fig. 6 — buf_flush_buffered_writes worst-case running time with curve fitting",
+        routine(&report, "buf_flush_buffered_writes"),
+        PlotKind::WorstCase,
+    )
+}
+
+/// Fig. 7: `wbuffer_write_thread` under rms, trms-external-only and full
+/// trms: the number of collected performance points grows at each step.
+pub fn fig7() -> FigureOutput {
+    let params = WorkloadParams::new(240, 3);
+    let panels = [
+        ("(a) rms", InputPolicy::rms_only(), Metric::Trms),
+        ("(b) trms, external input only", InputPolicy::external_only(), Metric::Trms),
+        ("(c) trms, external and thread input", InputPolicy::full(), Metric::Trms),
+    ];
+    let mut text = String::from("Fig. 7 — wbuffer_write_thread cost plots (vips analog)\n");
+    let mut csv = Vec::new();
+    let mut distinct = Vec::new();
+    for (i, (title, policy, metric)) in panels.iter().enumerate() {
+        let report = profile("vips", &params, *policy);
+        let rr = routine(&report, "wbuffer_write_thread");
+        let plot = CostPlot::from_report(rr, *metric, PlotKind::WorstCase);
+        distinct.push(plot.len());
+        text.push_str(&format!(
+            "\n{title}: {} activations, {} distinct input sizes\n{}",
+            rr.merged.calls,
+            plot.len(),
+            render_plot(&plot)
+        ));
+        csv.push((format!("fig7_panel_{}.csv", (b'a' + i as u8) as char), plot_csv(&plot)));
+    }
+    text.push_str(&format!(
+        "\nprofile richness progression (distinct points): {} -> {} -> {}\n",
+        distinct[0], distinct[1], distinct[2]
+    ));
+    FigureOutput { id: "fig7".into(), title: "Fig. 7 — profile richness".into(), text, csv }
+}
+
+/// Fig. 8: `send_eof` workload plots (activations per input size).
+pub fn fig8() -> FigureOutput {
+    let report = profile("mysqld", &WorkloadParams::new(160, 4), InputPolicy::full());
+    rms_trms_panels(
+        "fig8",
+        "Fig. 8 — send_eof workload plots (activations per input size)",
+        routine(&report, "send_eof"),
+        PlotKind::Workload,
+    )
+}
+
+/// Fig. 9: per-routine induced first-accesses split between external and
+/// thread-induced input, for the minidb and vips analogs.
+pub fn fig9() -> FigureOutput {
+    let mut text = String::from(
+        "Fig. 9 — thread-induced vs external input per routine (% of induced first-accesses)\n",
+    );
+    let mut csv = Vec::new();
+    for (panel, name, params) in [
+        ("(a) minidb", "mysqld", WorkloadParams::new(160, 3)),
+        ("(b) vips", "vips", WorkloadParams::new(200, 3)),
+    ] {
+        let report = profile(name, &params, InputPolicy::full());
+        let rows = induced_breakdown(&report);
+        let mut table =
+            Table::new(vec!["routine".into(), "thread %".into(), "external %".into()]);
+        for (routine, thread_pct, ext_pct) in &rows {
+            table.row(vec![
+                routine.clone(),
+                format!("{thread_pct:.1}"),
+                format!("{ext_pct:.1}"),
+            ]);
+        }
+        text.push_str(&format!("\n{panel}\n{}", table.render()));
+        csv.push((format!("fig9_{name}.csv"), table.to_csv()));
+    }
+    FigureOutput {
+        id: "fig9".into(),
+        title: "Fig. 9 — induced input attribution per routine".into(),
+        text,
+        csv,
+    }
+}
+
+/// The representative benchmark set used for the distribution figures.
+fn representative() -> Vec<(&'static str, WorkloadParams)> {
+    vec![
+        ("350.md", WorkloadParams::new(96, 4)),
+        ("372.smithwa", WorkloadParams::new(96, 4)),
+        ("376.kdtree", WorkloadParams::new(96, 4)),
+        ("vips", WorkloadParams::new(200, 3)),
+        ("dedup", WorkloadParams::new(128, 3)),
+        ("fluidanimate", WorkloadParams::new(96, 4)),
+        ("mysqld", WorkloadParams::new(160, 3)),
+    ]
+}
+
+fn curve_figure(
+    id: &str,
+    title: &str,
+    value_of: fn(&ProfileReport) -> Vec<f64>,
+    unit: &str,
+) -> FigureOutput {
+    let mut text = format!("{title}\n(a point (x, y) means: x% of routines have {unit} >= y)\n");
+    let mut csv_rows = Table::new(vec!["benchmark".into(), "share_pct".into(), unit.into()]);
+    for (name, params) in representative() {
+        let report = profile(name, &params, InputPolicy::full());
+        let curve: Vec<CurvePoint> = cdf_curve(value_of(&report));
+        if curve.is_empty() {
+            continue;
+        }
+        let head: Vec<String> = curve
+            .iter()
+            .take(4)
+            .map(|p| format!("({:.0}%, {:.3})", p.share, p.value))
+            .collect();
+        text.push_str(&format!(
+            "\n{name:14} {} routines; top of curve: {}\n",
+            curve.len(),
+            head.join(" ")
+        ));
+        for p in &curve {
+            csv_rows.row(vec![
+                name.to_owned(),
+                format!("{:.2}", p.share),
+                format!("{:.4}", p.value),
+            ]);
+        }
+    }
+    FigureOutput {
+        id: id.into(),
+        title: title.into(),
+        text,
+        csv: vec![(format!("{id}.csv"), csv_rows.to_csv())],
+    }
+}
+
+/// Fig. 15: routine profile richness curves.
+pub fn fig15() -> FigureOutput {
+    curve_figure(
+        "fig15",
+        "Fig. 15 — routine profile richness of trms w.r.t. rms",
+        richness_values,
+        "richness",
+    )
+}
+
+/// Fig. 16: input volume curves.
+pub fn fig16() -> FigureOutput {
+    curve_figure(
+        "fig16",
+        "Fig. 16 — input volume of trms w.r.t. rms",
+        volume_values,
+        "volume",
+    )
+}
+
+/// Fig. 17: external vs thread-induced input per benchmark, sorted by
+/// decreasing thread-induced share.
+pub fn fig17() -> FigureOutput {
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    for wl in aprof_workloads::all() {
+        if wl.family == Family::Micro {
+            continue;
+        }
+        let params = match wl.family {
+            Family::Omp2012 => WorkloadParams::new(96, 4),
+            Family::Parsec => WorkloadParams::new(160, 3),
+            _ => WorkloadParams::new(160, 3),
+        };
+        let report = profile(wl.name, &params, InputPolicy::full());
+        let (thread_pct, ext_pct) = report.global.induced_split();
+        rows.push((wl.name.to_owned(), thread_pct, ext_pct));
+    }
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut table =
+        Table::new(vec!["benchmark".into(), "thread-induced %".into(), "external %".into()]);
+    for (name, t, e) in &rows {
+        table.row(vec![name.clone(), format!("{t:.1}"), format!("{e:.1}")]);
+    }
+    let text = format!(
+        "Fig. 17 — external vs thread-induced input (% of all induced first-accesses)\n\n{}",
+        table.render()
+    );
+    FigureOutput {
+        id: "fig17".into(),
+        title: "Fig. 17 — induced input split per benchmark".into(),
+        text,
+        csv: vec![("fig17.csv".into(), table.to_csv())],
+    }
+}
+
+/// Fig. 18: thread-induced input per routine (distribution curves).
+pub fn fig18() -> FigureOutput {
+    curve_figure(
+        "fig18",
+        "Fig. 18 — thread-induced input on a routine basis (% of reads)",
+        thread_induced_values,
+        "thread_pct",
+    )
+}
+
+/// Fig. 19: external input per routine (distribution curves).
+pub fn fig19() -> FigureOutput {
+    curve_figure(
+        "fig19",
+        "Fig. 19 — external input on a routine basis (% of reads)",
+        external_values,
+        "external_pct",
+    )
+}
+
+/// The PLDI 2012-style validation table: profile classic algorithms once
+/// and check the fitted growth model against the textbook complexity.
+pub fn complexity() -> FigureOutput {
+    use aprof_analysis::{fit_power_law, GrowthModel};
+    let cases: [(&str, &str, u64, &str); 7] = [
+        ("algo.insertion_sort", "insertion_sort", 160, "O(n^2)"),
+        ("algo.merge_sort", "merge_sort", 512, "O(n log n)"),
+        ("algo.binary_search", "binary_search", 2048, "O(n) in cells read (log n of the array)"),
+        ("algo.linear_search", "linear_search", 200, "O(n)"),
+        ("algo.matmul", "matmul", 192, "input^1.5 (n^3 work on 2n^2 cells)"),
+        ("algo.bfs", "bfs", 160, "O(n)"),
+        ("algo.hash_build", "hash_build", 160, "O(n)"),
+    ];
+    let mut table = Table::new(vec![
+        "workload".into(),
+        "routine".into(),
+        "points".into(),
+        "fitted".into(),
+        "r2".into(),
+        "power-law exp".into(),
+        "expected".into(),
+    ]);
+    for (wl, rtn, size, expected) in cases {
+        let report = profile(wl, &WorkloadParams::new(size, 1), InputPolicy::full());
+        let rr = routine(&report, rtn);
+        let plot = CostPlot::from_report(rr, Metric::Trms, PlotKind::WorstCase);
+        let (fitted, r2) = match fit_best(&plot.xy()) {
+            Some(f) => (f.model.notation().to_owned(), format!("{:.4}", f.r2)),
+            None => ("?".into(), "-".into()),
+        };
+        let _ = GrowthModel::Linear;
+        let exp = match fit_power_law(&plot.xy()) {
+            Some((e, _)) => format!("{e:.2}"),
+            None => "-".into(),
+        };
+        table.row(vec![
+            wl.into(),
+            rtn.into(),
+            plot.len().to_string(),
+            fitted,
+            r2,
+            exp,
+            expected.into(),
+        ]);
+    }
+    let text = format!(
+        "Complexity recovery — fitted growth of classic algorithms (worst-case cost vs trms)
+
+{}",
+        table.render()
+    );
+    FigureOutput {
+        id: "complexity".into(),
+        title: "Algorithmic-complexity recovery (PLDI 2012 validation)".into(),
+        text,
+        csv: vec![("complexity.csv".into(), table.to_csv())],
+    }
+}
+
+/// The §3 synthetic scenario: the rms-based worst-case plot grows twice as
+/// fast as the trms-based one.
+pub fn synthetic() -> FigureOutput {
+    let report = profile("half_induced", &WorkloadParams::new(48, 1), InputPolicy::full());
+    let rr = routine(&report, "r");
+    let out = rms_trms_panels(
+        "synthetic",
+        "§3 synthetic — activation i costs ~i with half plain / half induced accesses",
+        rr,
+        PlotKind::WorstCase,
+    );
+    let rms = CostPlot::from_report(rr, Metric::Rms, PlotKind::WorstCase);
+    let trms = CostPlot::from_report(rr, Metric::Trms, PlotKind::WorstCase);
+    let ratio = match (fit_best(&rms.xy()), fit_best(&trms.xy())) {
+        (Some(a), Some(b)) if b.b > 0.0 => a.b / b.b,
+        _ => f64::NAN,
+    };
+    FigureOutput {
+        text: format!("{}\nslope(rms) / slope(trms) = {ratio:.2} (paper predicts 2.0)\n", out.text),
+        ..out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_text_mentions_fits() {
+        let out = fig4();
+        assert!(out.text.contains("fit["), "{}", out.text);
+        assert_eq!(out.csv.len(), 2);
+    }
+
+    #[test]
+    fn fig7_richness_progression_monotone() {
+        let out = fig7();
+        assert!(out.text.contains("profile richness progression"));
+    }
+
+    #[test]
+    fn fig17_covers_all_nonmicro_benchmarks() {
+        let out = fig17();
+        let expected = aprof_workloads::all()
+            .iter()
+            .filter(|w| w.family != Family::Micro)
+            .count();
+        // header + separator + expected rows
+        let rows = out.text.lines().filter(|l| l.contains('.') || l.contains("mysqld")).count();
+        assert!(rows >= expected, "{}", out.text);
+    }
+
+    #[test]
+    fn synthetic_ratio_near_two() {
+        let out = synthetic();
+        let line = out
+            .text
+            .lines()
+            .find(|l| l.starts_with("slope(rms)"))
+            .expect("ratio line");
+        let value: f64 = line
+            .split('=')
+            .nth(1)
+            .unwrap()
+            .trim()
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((value - 2.0).abs() < 0.5, "ratio {value}");
+    }
+}

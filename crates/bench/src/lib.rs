@@ -1,0 +1,56 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (§6) on the `aprof-rs` substrate.
+//!
+//! Each `fig*`/`table1` function runs the relevant workloads under the
+//! relevant tools and returns a [`FigureOutput`]: rendered text (tables and
+//! ASCII plots) plus CSV files. The `repro` binary dispatches to them and
+//! writes the CSVs under `results/`.
+//!
+//! Absolute numbers differ from the paper (the substrate is a deterministic
+//! guest interpreter, not Valgrind on a 32-core Opteron); what is expected
+//! to reproduce is every *shape*: tool ordering in Table 1, the rms-vs-trms
+//! plot contrasts of Figs. 4–8, the input-attribution splits of Figs. 9 and
+//! 17, the scaling trends of Fig. 14, and the distribution curves of
+//! Figs. 15, 16, 18 and 19. `EXPERIMENTS.md` records paper-vs-measured for
+//! each.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod suite;
+
+pub use figures::FigureOutput;
+pub use suite::{measure, Measurement, ToolKind};
+
+/// All experiment identifiers known to the harness, in presentation order.
+pub const EXPERIMENTS: &[&str] = &[
+    "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig14", "fig15", "fig16",
+    "fig17", "fig18", "fig19", "synthetic", "complexity",
+];
+
+/// Runs one experiment by id.
+///
+/// # Errors
+///
+/// Returns an error string for unknown ids or failing guest runs.
+pub fn run_experiment(id: &str) -> Result<FigureOutput, String> {
+    match id {
+        "table1" => Ok(suite::table1()),
+        "fig4" => Ok(figures::fig4()),
+        "fig5" => Ok(figures::fig5()),
+        "fig6" => Ok(figures::fig6()),
+        "fig7" => Ok(figures::fig7()),
+        "fig8" => Ok(figures::fig8()),
+        "fig9" => Ok(figures::fig9()),
+        "fig14" => Ok(suite::fig14()),
+        "fig15" => Ok(figures::fig15()),
+        "fig16" => Ok(figures::fig16()),
+        "fig17" => Ok(figures::fig17()),
+        "fig18" => Ok(figures::fig18()),
+        "fig19" => Ok(figures::fig19()),
+        "synthetic" => Ok(figures::synthetic()),
+        "complexity" => Ok(figures::complexity()),
+        other => Err(format!("unknown experiment `{other}` (known: {EXPERIMENTS:?})")),
+    }
+}

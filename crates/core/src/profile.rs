@@ -1,0 +1,403 @@
+//! Collected profile data: performance tuples, per-routine curves, reports.
+
+use aprof_trace::{RoutineId, RoutineTable, ThreadId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Aggregate cost statistics of all activations of a routine that shared one
+/// input-size value — one *performance point* of a cost plot.
+///
+/// # Example
+///
+/// ```
+/// use aprof_core::CostStats;
+/// let mut s = CostStats::default();
+/// s.record(10);
+/// s.record(4);
+/// assert_eq!(s.count, 2);
+/// assert_eq!(s.max, 10);
+/// assert_eq!(s.min, 4);
+/// assert_eq!(s.mean(), 7.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostStats {
+    /// Number of activations observed with this input size.
+    pub count: u64,
+    /// Minimum cost among them.
+    pub min: u64,
+    /// Maximum cost (the worst-case running time plots of §3 use this).
+    pub max: u64,
+    /// Sum of costs (for average-cost plots).
+    pub sum: u64,
+    /// Sum of squared costs (for variance estimates).
+    pub sum_sq: f64,
+}
+
+impl Default for CostStats {
+    fn default() -> Self {
+        CostStats { count: 0, min: u64::MAX, max: 0, sum: 0, sum_sq: 0.0 }
+    }
+}
+
+impl CostStats {
+    /// Folds the cost of one more activation into the statistics.
+    pub fn record(&mut self, cost: u64) {
+        self.count += 1;
+        self.min = self.min.min(cost);
+        self.max = self.max.max(cost);
+        self.sum += cost;
+        self.sum_sq += (cost as f64) * (cost as f64);
+    }
+
+    /// Mean cost.
+    ///
+    /// Returns `0.0` if no activation was recorded.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Population variance of the cost.
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.sum_sq / self.count as f64 - m * m).max(0.0)
+    }
+
+    /// Merges another statistics value (e.g. the same input size observed on
+    /// a different thread) into this one.
+    pub fn merge(&mut self, other: &CostStats) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+    }
+}
+
+/// The profile of one routine as activated by one thread.
+///
+/// Routine profiles are *thread-sensitive* (§4): activations made by
+/// different threads are kept distinct and can be merged afterwards.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RoutineThreadProfile {
+    /// trms value → cost statistics (one entry per distinct trms value).
+    pub trms: BTreeMap<u64, CostStats>,
+    /// rms value → cost statistics.
+    pub rms: BTreeMap<u64, CostStats>,
+    /// Number of completed activations.
+    pub calls: u64,
+    /// Inclusive count of read operations (the activation plus descendants).
+    pub reads: u64,
+    /// Inclusive count of thread-induced first-accesses.
+    pub induced_thread: u64,
+    /// Inclusive count of external (kernel-write-induced) first-accesses.
+    pub induced_external: u64,
+    /// Sum of trms over all activations (for the input-volume metric).
+    pub sum_trms: u64,
+    /// Sum of rms over all activations.
+    pub sum_rms: u64,
+    /// Total inclusive cost over all activations.
+    pub total_cost: u64,
+}
+
+impl RoutineThreadProfile {
+    /// Records one completed activation.
+    pub fn record(&mut self, trms: u64, rms: u64, cost: u64) {
+        self.trms.entry(trms).or_default().record(cost);
+        self.rms.entry(rms).or_default().record(cost);
+        self.calls += 1;
+        self.sum_trms += trms;
+        self.sum_rms += rms;
+        self.total_cost += cost;
+    }
+
+    /// Merges `other` (same routine, different thread) into `self`.
+    pub fn merge(&mut self, other: &RoutineThreadProfile) {
+        for (&k, v) in &other.trms {
+            self.trms.entry(k).or_default().merge(v);
+        }
+        for (&k, v) in &other.rms {
+            self.rms.entry(k).or_default().merge(v);
+        }
+        self.calls += other.calls;
+        self.reads += other.reads;
+        self.induced_thread += other.induced_thread;
+        self.induced_external += other.induced_external;
+        self.sum_trms += other.sum_trms;
+        self.sum_rms += other.sum_rms;
+        self.total_cost += other.total_cost;
+    }
+}
+
+/// One completed routine activation, as optionally logged by the profilers.
+///
+/// Activation logs are the ground truth for differential tests between the
+/// timestamping algorithm and the naive oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActivationRecord {
+    /// Thread that performed the activation.
+    pub thread: ThreadId,
+    /// The activated routine.
+    pub routine: RoutineId,
+    /// Threaded read memory size of the activation.
+    pub trms: u64,
+    /// Read memory size of the activation.
+    pub rms: u64,
+    /// Inclusive cost (basic blocks) of the activation.
+    pub cost: u64,
+}
+
+/// The merged profile of one routine (all threads), plus its attribution
+/// counters — everything the paper's per-routine charts need.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoutineReport {
+    /// Dense id of the routine.
+    pub routine: u32,
+    /// Routine name (resolved via the [`RoutineTable`] at report time).
+    pub name: String,
+    /// Merged profile across threads.
+    pub merged: RoutineThreadProfile,
+    /// Per-thread profiles, keyed by thread index.
+    pub per_thread: BTreeMap<u32, RoutineThreadProfile>,
+}
+
+impl RoutineReport {
+    /// The routine's trms cost curve: sorted `(input size, stats)` points.
+    pub fn trms_curve(&self) -> Vec<(u64, CostStats)> {
+        self.merged.trms.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// The routine's rms cost curve.
+    pub fn rms_curve(&self) -> Vec<(u64, CostStats)> {
+        self.merged.rms.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// Number of distinct trms values collected (|trms_r| in §6.1).
+    pub fn distinct_trms(&self) -> usize {
+        self.merged.trms.len()
+    }
+
+    /// Number of distinct rms values collected (|rms_r|).
+    pub fn distinct_rms(&self) -> usize {
+        self.merged.rms.len()
+    }
+
+    /// Profile richness: `(|trms_r| - |rms_r|) / |rms_r|` (§6.1, metric 1).
+    ///
+    /// Positive when the trms yields more performance points; may be
+    /// negative (rarely, per the paper) when distinct rms values collapse
+    /// onto one trms value.
+    pub fn profile_richness(&self) -> f64 {
+        let r = self.distinct_rms();
+        if r == 0 {
+            return 0.0;
+        }
+        (self.distinct_trms() as f64 - r as f64) / r as f64
+    }
+
+    /// Input volume: `1 - Σ rms / Σ trms` over the routine's activations
+    /// (§6.1, metric 2). In `[0, 1)`; 0 when no induced input exists.
+    pub fn input_volume(&self) -> f64 {
+        if self.merged.sum_trms == 0 {
+            return 0.0;
+        }
+        1.0 - self.merged.sum_rms as f64 / self.merged.sum_trms as f64
+    }
+
+    /// Fraction of this routine's reads that were induced first-accesses,
+    /// split as `(thread-induced, external)`; both in `[0, 1]`.
+    pub fn induced_fractions(&self) -> (f64, f64) {
+        if self.merged.reads == 0 {
+            return (0.0, 0.0);
+        }
+        let r = self.merged.reads as f64;
+        (self.merged.induced_thread as f64 / r, self.merged.induced_external as f64 / r)
+    }
+}
+
+/// Whole-run counters (§6.1 metrics 3–4 and space accounting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct GlobalStats {
+    /// Total read operations observed.
+    pub reads: u64,
+    /// Total write operations observed.
+    pub writes: u64,
+    /// Total kernel-read cells observed.
+    pub kernel_reads: u64,
+    /// Total kernel-write cells observed.
+    pub kernel_writes: u64,
+    /// Induced first-accesses due to other threads (counted once each).
+    pub induced_thread: u64,
+    /// Induced first-accesses due to external input (counted once each).
+    pub induced_external: u64,
+    /// Completed activations.
+    pub activations: u64,
+    /// Σ trms over all activations.
+    pub sum_trms: u64,
+    /// Σ rms over all activations.
+    pub sum_rms: u64,
+    /// Number of timestamp renumberings performed (§4.4).
+    pub renumberings: u64,
+    /// Resident bytes of all shadow memories at the end of the run.
+    pub shadow_bytes: u64,
+}
+
+impl GlobalStats {
+    /// Percentage split of induced first-accesses as
+    /// `(thread-induced %, external %)`; sums to 100 when any exist
+    /// (Fig. 17).
+    pub fn induced_split(&self) -> (f64, f64) {
+        let total = self.induced_thread + self.induced_external;
+        if total == 0 {
+            return (0.0, 0.0);
+        }
+        (
+            100.0 * self.induced_thread as f64 / total as f64,
+            100.0 * self.induced_external as f64 / total as f64,
+        )
+    }
+
+    /// Whole-run input volume: `1 - Σ rms / Σ trms` (§6.1, metric 2).
+    pub fn input_volume(&self) -> f64 {
+        if self.sum_trms == 0 {
+            return 0.0;
+        }
+        1.0 - self.sum_rms as f64 / self.sum_trms as f64
+    }
+}
+
+/// The complete output of a profiling session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// Name of the tool that produced the report.
+    pub tool: String,
+    /// Per-routine reports, sorted by routine id.
+    pub routines: Vec<RoutineReport>,
+    /// Whole-run counters.
+    pub global: GlobalStats,
+}
+
+impl ProfileReport {
+    /// Builds a report from raw per-(thread, routine) profiles.
+    pub(crate) fn assemble(
+        tool: &str,
+        profiles: BTreeMap<(ThreadId, RoutineId), RoutineThreadProfile>,
+        global: GlobalStats,
+        names: &RoutineTable,
+    ) -> ProfileReport {
+        let mut by_routine: BTreeMap<RoutineId, RoutineReport> = BTreeMap::new();
+        for ((thread, routine), profile) in profiles {
+            let entry = by_routine.entry(routine).or_insert_with(|| RoutineReport {
+                routine: routine.index() as u32,
+                name: names
+                    .get_name(routine)
+                    .map(str::to_owned)
+                    .unwrap_or_else(|| routine.to_string()),
+                merged: RoutineThreadProfile::default(),
+                per_thread: BTreeMap::new(),
+            });
+            entry.merged.merge(&profile);
+            entry.per_thread.insert(thread.index() as u32, profile);
+        }
+        ProfileReport {
+            tool: tool.to_owned(),
+            routines: by_routine.into_values().collect(),
+            global,
+        }
+    }
+
+    /// Looks up the report of one routine.
+    pub fn routine(&self, id: RoutineId) -> Option<&RoutineReport> {
+        self.routines.iter().find(|r| r.routine == id.index() as u32)
+    }
+
+    /// Looks up the report of one routine by name.
+    pub fn routine_by_name(&self, name: &str) -> Option<&RoutineReport> {
+        self.routines.iter().find(|r| r.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_stats_accumulate() {
+        let mut s = CostStats::default();
+        for c in [5, 1, 9] {
+            s.record(c);
+        }
+        assert_eq!((s.count, s.min, s.max, s.sum), (3, 1, 9, 15));
+        assert!((s.mean() - 5.0).abs() < 1e-9);
+        assert!(s.variance() > 0.0);
+    }
+
+    #[test]
+    fn cost_stats_merge_identity() {
+        let mut a = CostStats::default();
+        a.record(3);
+        let empty = CostStats::default();
+        let before = a;
+        a.merge(&empty);
+        assert_eq!(a, before);
+        let mut e = CostStats::default();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn routine_profile_distinct_points() {
+        let mut p = RoutineThreadProfile::default();
+        p.record(10, 5, 100);
+        p.record(10, 6, 80);
+        p.record(20, 6, 200);
+        assert_eq!(p.trms.len(), 2);
+        assert_eq!(p.rms.len(), 2);
+        assert_eq!(p.calls, 3);
+        assert_eq!(p.trms[&10].max, 100);
+        assert_eq!(p.sum_trms, 40);
+        assert_eq!(p.sum_rms, 17);
+    }
+
+    #[test]
+    fn richness_and_volume() {
+        let mut merged = RoutineThreadProfile::default();
+        merged.record(2, 1, 10);
+        merged.record(4, 2, 20);
+        merged.record(6, 3, 30);
+        let r = RoutineReport {
+            routine: 0,
+            name: "f".into(),
+            merged,
+            per_thread: BTreeMap::new(),
+        };
+        // 3 distinct trms, 3 distinct rms -> richness 0
+        assert_eq!(r.profile_richness(), 0.0);
+        // volume = 1 - 6/12 = 0.5
+        assert!((r.input_volume() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn global_split_sums_to_100() {
+        let g = GlobalStats { induced_thread: 30, induced_external: 10, ..Default::default() };
+        let (t, e) = g.induced_split();
+        assert!((t + e - 100.0).abs() < 1e-9);
+        assert!((t - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn global_split_empty_is_zero() {
+        let g = GlobalStats::default();
+        assert_eq!(g.induced_split(), (0.0, 0.0));
+        assert_eq!(g.input_volume(), 0.0);
+    }
+}

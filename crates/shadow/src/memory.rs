@@ -1,0 +1,287 @@
+//! The three-level lookup table.
+
+use aprof_trace::Addr;
+use std::collections::BTreeMap;
+
+/// Number of shadow cells stored in one chunk (the innermost level).
+///
+/// `2^12 = 4096` cells per chunk. The paper shadows 64 KB of byte-addressed
+/// space per chunk; our guest machine is word-addressed, so a 4096-word
+/// chunk covers an equivalent 32 KB of guest data while keeping allocation
+/// granularity fine enough for scattered heaps.
+pub const CELLS_PER_CHUNK: usize = 1 << 12;
+
+/// Number of chunk slots in one secondary table (the middle level).
+///
+/// `2^14 = 16384` chunk pointers, exactly the paper's "each [secondary
+/// table] covering 1 GB of address space by indexing 16 K chunks".
+pub const CHUNKS_PER_SECONDARY: usize = 1 << 14;
+
+const CHUNK_BITS: u32 = CELLS_PER_CHUNK.trailing_zeros();
+const SECONDARY_BITS: u32 = CHUNKS_PER_SECONDARY.trailing_zeros();
+
+type Chunk<T> = Box<[T; CELLS_PER_CHUNK]>;
+
+struct Secondary<T> {
+    chunks: Vec<Option<Chunk<T>>>,
+    allocated: usize,
+}
+
+impl<T: Copy + Default> Secondary<T> {
+    fn new() -> Self {
+        let mut chunks = Vec::new();
+        chunks.resize_with(CHUNKS_PER_SECONDARY, || None);
+        Secondary { chunks, allocated: 0 }
+    }
+}
+
+impl<T> std::fmt::Debug for Secondary<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Secondary").field("allocated", &self.allocated).finish()
+    }
+}
+
+/// A sparse map from guest addresses to shadow values, organized as a
+/// three-level lookup table (§5 of the paper).
+///
+/// * **Primary** level: an ordered map from high address bits to secondary
+///   tables (the paper uses a fixed 2048-entry array; a map keeps the full
+///   64-bit guest address space representable without a fixed ceiling).
+/// * **Secondary** level: [`CHUNKS_PER_SECONDARY`] lazily-allocated chunk
+///   slots.
+/// * **Chunk** level: [`CELLS_PER_CHUNK`] shadow values.
+///
+/// Reading a never-written cell returns `T::default()` without allocating;
+/// only writes allocate. [`ShadowStats`] reports how much shadow state is
+/// resident, which the experiment harness uses for the paper's space-overhead
+/// numbers (Table 1, Figure 14b).
+///
+/// # Example
+///
+/// ```
+/// use aprof_shadow::ShadowMemory;
+/// use aprof_trace::Addr;
+/// let mut s: ShadowMemory<u64> = ShadowMemory::new();
+/// s.set(Addr::new(0), 1);
+/// s.set(Addr::new(u64::MAX / 2), 2); // far apart: a second chunk
+/// assert_eq!(s.stats().chunks, 2);
+/// assert_eq!(s.get(Addr::new(0)), 1);
+/// ```
+pub struct ShadowMemory<T> {
+    primary: BTreeMap<u64, Secondary<T>>,
+}
+
+impl<T: Copy + Default> ShadowMemory<T> {
+    /// Creates an empty shadow memory; nothing is allocated until the first
+    /// [`set`](Self::set).
+    pub fn new() -> Self {
+        ShadowMemory { primary: BTreeMap::new() }
+    }
+
+    #[inline]
+    fn split(addr: Addr) -> (u64, usize, usize) {
+        let raw = addr.raw();
+        let cell = (raw & (CELLS_PER_CHUNK as u64 - 1)) as usize;
+        let chunk = ((raw >> CHUNK_BITS) & (CHUNKS_PER_SECONDARY as u64 - 1)) as usize;
+        let secondary = raw >> (CHUNK_BITS + SECONDARY_BITS);
+        (secondary, chunk, cell)
+    }
+
+    /// Returns the shadow value of `addr`, or `T::default()` if the cell was
+    /// never written. Never allocates.
+    #[inline]
+    pub fn get(&self, addr: Addr) -> T {
+        let (s, c, cell) = Self::split(addr);
+        match self.primary.get(&s) {
+            Some(sec) => match &sec.chunks[c] {
+                Some(chunk) => chunk[cell],
+                None => T::default(),
+            },
+            None => T::default(),
+        }
+    }
+
+    /// Sets the shadow value of `addr`, allocating the covering secondary
+    /// table and chunk on first touch.
+    #[inline]
+    pub fn set(&mut self, addr: Addr, value: T) {
+        *self.slot(addr) = value;
+    }
+
+    /// Returns a mutable reference to the shadow cell of `addr`, allocating
+    /// as needed (the cell starts at `T::default()`).
+    #[inline]
+    pub fn slot(&mut self, addr: Addr) -> &mut T {
+        let (s, c, cell) = Self::split(addr);
+        let sec = self.primary.entry(s).or_insert_with(Secondary::new);
+        let chunk = sec.chunks[c].get_or_insert_with(|| {
+            sec.allocated += 1;
+            Box::new([T::default(); CELLS_PER_CHUNK])
+        });
+        &mut chunk[cell]
+    }
+
+    /// Applies `f` to every *allocated* shadow cell.
+    ///
+    /// Cells in allocated chunks that still hold `T::default()` are visited
+    /// too (callers that use a "never" sentinel equal to the default value
+    /// should skip them in `f`). Used by the timestamp-renumbering procedure
+    /// of §4.4.
+    pub fn for_each_mut<F: FnMut(Addr, &mut T)>(&mut self, mut f: F) {
+        for (&s, sec) in self.primary.iter_mut() {
+            for (ci, chunk) in sec.chunks.iter_mut().enumerate() {
+                if let Some(chunk) = chunk {
+                    let base = (s << (CHUNK_BITS + SECONDARY_BITS)) | ((ci as u64) << CHUNK_BITS);
+                    for (offset, v) in chunk.iter_mut().enumerate() {
+                        f(Addr::new(base | offset as u64), v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resident-size statistics for space-overhead accounting.
+    pub fn stats(&self) -> ShadowStats {
+        let chunks: usize = self.primary.values().map(|s| s.allocated).sum();
+        let secondaries = self.primary.len();
+        let bytes = secondaries * CHUNKS_PER_SECONDARY * std::mem::size_of::<usize>()
+            + chunks * CELLS_PER_CHUNK * std::mem::size_of::<T>();
+        ShadowStats { secondaries, chunks, bytes }
+    }
+
+    /// Drops all shadow state, returning the memory to its initial state.
+    pub fn clear(&mut self) {
+        self.primary.clear();
+    }
+}
+
+impl<T: Copy + Default> Default for ShadowMemory<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for ShadowMemory<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShadowMemory")
+            .field("secondaries", &self.primary.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Resident-size statistics of a [`ShadowMemory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShadowStats {
+    /// Allocated secondary tables.
+    pub secondaries: usize,
+    /// Allocated chunks.
+    pub chunks: usize,
+    /// Approximate resident bytes (table slots + chunk payloads).
+    pub bytes: usize,
+}
+
+impl ShadowStats {
+    /// Component-wise sum of two statistics, for aggregating the shadow
+    /// memories of several threads.
+    pub fn merged(self, other: ShadowStats) -> ShadowStats {
+        ShadowStats {
+            secondaries: self.secondaries + other.secondaries,
+            chunks: self.chunks + other.chunks,
+            bytes: self.bytes + other.bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_reads_do_not_allocate() {
+        let s: ShadowMemory<u32> = ShadowMemory::new();
+        assert_eq!(s.get(Addr::new(123)), 0);
+        assert_eq!(s.stats(), ShadowStats::default());
+    }
+
+    #[test]
+    fn set_then_get_roundtrip() {
+        let mut s: ShadowMemory<u32> = ShadowMemory::new();
+        for i in 0..1000u64 {
+            s.set(Addr::new(i * 37), (i as u32) + 1);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(s.get(Addr::new(i * 37)), (i as u32) + 1);
+        }
+    }
+
+    #[test]
+    fn chunk_boundaries() {
+        let mut s: ShadowMemory<u8> = ShadowMemory::new();
+        let edge = CELLS_PER_CHUNK as u64;
+        s.set(Addr::new(edge - 1), 1);
+        s.set(Addr::new(edge), 2);
+        assert_eq!(s.get(Addr::new(edge - 1)), 1);
+        assert_eq!(s.get(Addr::new(edge)), 2);
+        assert_eq!(s.stats().chunks, 2);
+    }
+
+    #[test]
+    fn secondary_boundaries() {
+        let mut s: ShadowMemory<u8> = ShadowMemory::new();
+        let span = (CELLS_PER_CHUNK * CHUNKS_PER_SECONDARY) as u64;
+        s.set(Addr::new(span - 1), 1);
+        s.set(Addr::new(span), 2);
+        assert_eq!(s.stats().secondaries, 2);
+        assert_eq!(s.get(Addr::new(span - 1)), 1);
+        assert_eq!(s.get(Addr::new(span)), 2);
+    }
+
+    #[test]
+    fn slot_allows_in_place_updates() {
+        let mut s: ShadowMemory<u64> = ShadowMemory::new();
+        *s.slot(Addr::new(5)) += 3;
+        *s.slot(Addr::new(5)) += 4;
+        assert_eq!(s.get(Addr::new(5)), 7);
+    }
+
+    #[test]
+    fn for_each_mut_visits_written_cells() {
+        let mut s: ShadowMemory<u32> = ShadowMemory::new();
+        s.set(Addr::new(1), 10);
+        s.set(Addr::new((CELLS_PER_CHUNK * 2) as u64), 20);
+        let mut seen = Vec::new();
+        s.for_each_mut(|a, v| {
+            if *v != 0 {
+                seen.push((a.raw(), *v));
+                *v += 1;
+            }
+        });
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(1, 10), ((CELLS_PER_CHUNK * 2) as u64, 20)]);
+        assert_eq!(s.get(Addr::new(1)), 11);
+    }
+
+    #[test]
+    fn high_addresses_work() {
+        let mut s: ShadowMemory<u32> = ShadowMemory::new();
+        let a = Addr::new(u64::MAX);
+        s.set(a, 9);
+        assert_eq!(s.get(a), 9);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s: ShadowMemory<u32> = ShadowMemory::new();
+        s.set(Addr::new(0), 1);
+        s.clear();
+        assert_eq!(s.get(Addr::new(0)), 0);
+        assert_eq!(s.stats().chunks, 0);
+    }
+
+    #[test]
+    fn stats_merge() {
+        let a = ShadowStats { secondaries: 1, chunks: 2, bytes: 30 };
+        let b = ShadowStats { secondaries: 3, chunks: 4, bytes: 50 };
+        assert_eq!(a.merged(b), ShadowStats { secondaries: 4, chunks: 6, bytes: 80 });
+    }
+}

@@ -1,0 +1,47 @@
+//! Property tests: ShadowMemory behaves like a `BTreeMap<u64, T>` with
+//! default-on-missing semantics.
+
+use aprof_shadow::ShadowMemory;
+use aprof_trace::Addr;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+proptest! {
+    #[test]
+    fn matches_map_model(ops in prop::collection::vec(
+        (any::<u64>(), prop::option::of(any::<u32>())), 1..200)) {
+        let mut shadow: ShadowMemory<u32> = ShadowMemory::new();
+        let mut model: BTreeMap<u64, u32> = BTreeMap::new();
+        for (addr, write) in ops {
+            match write {
+                Some(v) => {
+                    shadow.set(Addr::new(addr), v);
+                    model.insert(addr, v);
+                }
+                None => {
+                    let expect = model.get(&addr).copied().unwrap_or_default();
+                    prop_assert_eq!(shadow.get(Addr::new(addr)), expect);
+                }
+            }
+        }
+        for (&addr, &v) in &model {
+            prop_assert_eq!(shadow.get(Addr::new(addr)), v);
+        }
+    }
+
+    #[test]
+    fn for_each_mut_sees_every_nondefault(values in prop::collection::btree_map(
+        0u64..1_000_000, 1u32..u32::MAX, 1..100)) {
+        let mut shadow: ShadowMemory<u32> = ShadowMemory::new();
+        for (&a, &v) in &values {
+            shadow.set(Addr::new(a), v);
+        }
+        let mut seen = BTreeMap::new();
+        shadow.for_each_mut(|a, v| {
+            if *v != 0 {
+                seen.insert(a.raw(), *v);
+            }
+        });
+        prop_assert_eq!(seen, values);
+    }
+}

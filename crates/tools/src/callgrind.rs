@@ -1,0 +1,257 @@
+//! A callgrind analog: call-graph profiling with inclusive/exclusive costs.
+
+use aprof_trace::{RoutineId, RoutineTable, ThreadId, Tool};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, Copy)]
+struct OpenFrame {
+    routine: RoutineId,
+    cost_at_entry: u64,
+}
+
+#[derive(Debug, Default)]
+struct ThreadState {
+    stack: Vec<OpenFrame>,
+    cost: u64,
+}
+
+/// Aggregate costs of one routine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoutineCosts {
+    /// Completed activations.
+    pub calls: u64,
+    /// Basic blocks executed while the routine was topmost.
+    pub exclusive: u64,
+    /// Basic blocks executed between entry and return (self + descendants).
+    pub inclusive: u64,
+}
+
+/// One edge of the dynamic call graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallEdge {
+    /// Caller routine (`None` for thread entry activations).
+    pub caller: Option<u32>,
+    /// Callee routine.
+    pub callee: u32,
+    /// Number of calls along this edge.
+    pub count: u64,
+}
+
+/// A call-graph profiler in the spirit of callgrind: per-routine inclusive
+/// and exclusive basic-block costs, call counts, and caller→callee edges.
+///
+/// Like the real callgrind it instruments calls/returns and block costs but
+/// not individual memory accesses — the cheap-middle ground of Table 1.
+///
+/// # Example
+///
+/// ```
+/// use aprof_tools::CallgrindTool;
+/// use aprof_trace::{RoutineId, ThreadId, Tool};
+/// let mut cg = CallgrindTool::new();
+/// let t = ThreadId::MAIN;
+/// cg.call(t, RoutineId::new(0));
+/// cg.basic_block(t, 3);
+/// cg.call(t, RoutineId::new(1));
+/// cg.basic_block(t, 5);
+/// cg.ret(t, RoutineId::new(1));
+/// cg.ret(t, RoutineId::new(0));
+/// let names = {
+///     let mut n = aprof_trace::RoutineTable::new();
+///     n.intern("main");
+///     n.intern("helper");
+///     n
+/// };
+/// let report = cg.into_report(&names);
+/// assert_eq!(report.costs["main"].inclusive, 8);
+/// assert_eq!(report.costs["main"].exclusive, 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct CallgrindTool {
+    threads: Vec<ThreadState>,
+    costs: BTreeMap<RoutineId, RoutineCosts>,
+    edges: BTreeMap<(Option<RoutineId>, RoutineId), u64>,
+}
+
+impl CallgrindTool {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn state(&mut self, thread: ThreadId) -> &mut ThreadState {
+        let idx = thread.index();
+        if idx >= self.threads.len() {
+            self.threads.resize_with(idx + 1, ThreadState::default);
+        }
+        &mut self.threads[idx]
+    }
+
+    /// Approximate resident bytes of the profiler state (Table 1 space
+    /// accounting).
+    pub fn approx_bytes(&self) -> u64 {
+        (self.costs.len() * 64 + self.edges.len() * 48) as u64
+    }
+
+    /// Finalizes (unwinding pending activations) and assembles the report.
+    pub fn into_report(mut self, names: &RoutineTable) -> CallgrindReport {
+        self.finish();
+        let mut costs = BTreeMap::new();
+        for (id, c) in &self.costs {
+            let name = names
+                .get_name(*id)
+                .map(str::to_owned)
+                .unwrap_or_else(|| id.to_string());
+            costs.insert(name, *c);
+        }
+        let edges = self
+            .edges
+            .iter()
+            .map(|((caller, callee), &count)| CallEdge {
+                caller: caller.map(|c| c.index() as u32),
+                callee: callee.index() as u32,
+                count,
+            })
+            .collect();
+        CallgrindReport { costs, edges }
+    }
+}
+
+impl Tool for CallgrindTool {
+    fn name(&self) -> &'static str {
+        "callgrind"
+    }
+
+    fn basic_block(&mut self, thread: ThreadId, cost: u64) {
+        let st = self.state(thread);
+        st.cost += cost;
+        if let Some(top) = st.stack.last() {
+            let routine = top.routine;
+            self.costs.entry(routine).or_default().exclusive += cost;
+        }
+    }
+
+    fn call(&mut self, thread: ThreadId, routine: RoutineId) {
+        let st = self.state(thread);
+        let caller = st.stack.last().map(|f| f.routine);
+        let cost_at_entry = st.cost;
+        st.stack.push(OpenFrame { routine, cost_at_entry });
+        *self.edges.entry((caller, routine)).or_default() += 1;
+    }
+
+    fn ret(&mut self, thread: ThreadId, _routine: RoutineId) {
+        let st = self.state(thread);
+        let Some(frame) = st.stack.pop() else { return };
+        let inclusive = st.cost - frame.cost_at_entry;
+        let entry = self.costs.entry(frame.routine).or_default();
+        entry.calls += 1;
+        entry.inclusive += inclusive;
+    }
+
+    fn thread_exit(&mut self, thread: ThreadId) {
+        while !self.state(thread).stack.is_empty() {
+            self.ret(thread, RoutineId::new(0));
+        }
+    }
+
+    fn finish(&mut self) {
+        for idx in 0..self.threads.len() {
+            self.thread_exit(ThreadId::new(idx as u32));
+        }
+    }
+}
+
+/// The output of a [`CallgrindTool`] session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallgrindReport {
+    /// Per-routine costs, keyed by routine name.
+    pub costs: BTreeMap<String, RoutineCosts>,
+    /// Dynamic call-graph edges.
+    pub edges: Vec<CallEdge>,
+}
+
+impl CallgrindReport {
+    /// Routines sorted by decreasing inclusive cost.
+    pub fn hottest(&self) -> Vec<(&str, RoutineCosts)> {
+        let mut v: Vec<_> = self.costs.iter().map(|(n, &c)| (n.as_str(), c)).collect();
+        v.sort_by(|a, b| b.1.inclusive.cmp(&a.1.inclusive).then(a.0.cmp(b.0)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names2() -> RoutineTable {
+        let mut n = RoutineTable::new();
+        n.intern("main");
+        n.intern("leaf");
+        n
+    }
+
+    #[test]
+    fn exclusive_vs_inclusive() {
+        let mut cg = CallgrindTool::new();
+        let t = ThreadId::MAIN;
+        cg.call(t, RoutineId::new(0));
+        cg.basic_block(t, 2);
+        for _ in 0..3 {
+            cg.call(t, RoutineId::new(1));
+            cg.basic_block(t, 4);
+            cg.ret(t, RoutineId::new(1));
+        }
+        cg.ret(t, RoutineId::new(0));
+        let r = cg.into_report(&names2());
+        assert_eq!(r.costs["leaf"], RoutineCosts { calls: 3, exclusive: 12, inclusive: 12 });
+        assert_eq!(r.costs["main"], RoutineCosts { calls: 1, exclusive: 2, inclusive: 14 });
+    }
+
+    #[test]
+    fn edges_count_call_sites() {
+        let mut cg = CallgrindTool::new();
+        let t = ThreadId::MAIN;
+        cg.call(t, RoutineId::new(0));
+        cg.call(t, RoutineId::new(1));
+        cg.ret(t, RoutineId::new(1));
+        cg.call(t, RoutineId::new(1));
+        cg.ret(t, RoutineId::new(1));
+        cg.ret(t, RoutineId::new(0));
+        let r = cg.into_report(&names2());
+        let edge = r
+            .edges
+            .iter()
+            .find(|e| e.caller == Some(0) && e.callee == 1)
+            .expect("edge main->leaf");
+        assert_eq!(edge.count, 2);
+        let entry = r.edges.iter().find(|e| e.caller.is_none()).expect("entry edge");
+        assert_eq!(entry.callee, 0);
+    }
+
+    #[test]
+    fn hottest_sorts_by_inclusive() {
+        let mut cg = CallgrindTool::new();
+        let t = ThreadId::MAIN;
+        cg.call(t, RoutineId::new(0));
+        cg.basic_block(t, 1);
+        cg.call(t, RoutineId::new(1));
+        cg.basic_block(t, 10);
+        cg.ret(t, RoutineId::new(1));
+        cg.ret(t, RoutineId::new(0));
+        let r = cg.into_report(&names2());
+        let hottest = r.hottest();
+        assert_eq!(hottest[0].0, "main");
+        assert_eq!(hottest[1].0, "leaf");
+    }
+
+    #[test]
+    fn pending_frames_finalized() {
+        let mut cg = CallgrindTool::new();
+        let t = ThreadId::MAIN;
+        cg.call(t, RoutineId::new(0));
+        cg.basic_block(t, 5);
+        let r = cg.into_report(&names2());
+        assert_eq!(r.costs["main"].calls, 1);
+        assert_eq!(r.costs["main"].inclusive, 5);
+    }
+}

@@ -1,0 +1,336 @@
+//! A helgrind analog: vector-clock happens-before race detection.
+
+use aprof_trace::{Addr, ThreadId, Tool};
+use std::collections::{BTreeSet, HashMap};
+
+/// A vector clock over thread ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct VClock(Vec<u64>);
+
+impl VClock {
+    fn get(&self, t: usize) -> u64 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    fn set(&mut self, t: usize, v: u64) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] = v;
+    }
+
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+}
+
+/// Last-access metadata of one memory cell.
+#[derive(Debug, Clone, Default)]
+struct CellState {
+    /// Epoch of the last write, with its thread.
+    write: Option<(usize, u64)>,
+    /// Epoch of the last read per thread (cleared on ordered writes).
+    reads: Vec<(usize, u64)>,
+}
+
+/// A data-race detector in the spirit of helgrind: thread, lock and
+/// semaphore vector clocks establish a happens-before order from the guest's
+/// synchronization operations (spawn/join, mutexes, semaphores); memory
+/// accesses not ordered by it are reported as races.
+///
+/// Like the real helgrind this is the most expensive comparator: it shadows
+/// every access *and* processes synchronization, which is why it tops the
+/// slowdown columns of Table 1.
+///
+/// # Example
+///
+/// ```
+/// use aprof_tools::HelgrindTool;
+/// use aprof_trace::{Addr, ThreadId, Tool};
+/// let (a, b) = (ThreadId::new(0), ThreadId::new(1));
+/// let mut hg = HelgrindTool::new();
+/// hg.spawned(a, b);
+/// hg.write(a, Addr::new(1)); // after spawn: ordered with b's accesses? No —
+/// hg.write(b, Addr::new(1)); // a's write follows the spawn, so this races
+/// assert_eq!(hg.report().races, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct HelgrindTool {
+    clocks: Vec<VClock>,
+    epochs: Vec<u64>,
+    exited: HashMap<usize, VClock>,
+    locks: HashMap<i64, VClock>,
+    sems: HashMap<i64, VClock>,
+    cells: HashMap<u64, CellState>,
+    races: u64,
+    racy_cells: BTreeSet<u64>,
+}
+
+impl HelgrindTool {
+    /// Creates the detector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The findings so far.
+    pub fn report(&self) -> RaceReport {
+        RaceReport { races: self.races, racy_cells: self.racy_cells.len() }
+    }
+
+    /// Approximate resident bytes of the detector's per-cell and per-thread
+    /// state (for the space-overhead comparisons of Table 1 / Fig. 14b).
+    pub fn approx_bytes(&self) -> u64 {
+        let per_cell = std::mem::size_of::<CellState>() + 16;
+        let clocks: usize = self.clocks.iter().map(|c| c.0.len() * 8 + 24).sum();
+        (self.cells.len() * per_cell + clocks) as u64
+    }
+
+    fn ensure(&mut self, t: usize) {
+        if self.clocks.len() <= t {
+            self.clocks.resize_with(t + 1, VClock::default);
+            self.epochs.resize(t + 1, 0);
+        }
+        if self.epochs[t] == 0 {
+            // First sight of the thread: give it its own epoch 1.
+            self.epochs[t] = 1;
+            let e = self.epochs[t];
+            self.clocks[t].set(t, e);
+        }
+    }
+
+    fn inc(&mut self, t: usize) {
+        self.epochs[t] += 1;
+        let e = self.epochs[t];
+        self.clocks[t].set(t, e);
+    }
+
+    /// Does the event `(thread u, epoch e)` happen-before thread `t`'s now?
+    fn ordered(&self, u: usize, e: u64, t: usize) -> bool {
+        u == t || self.clocks[t].get(u) >= e
+    }
+
+    fn record_race(&mut self, addr: Addr) {
+        self.races += 1;
+        self.racy_cells.insert(addr.raw());
+    }
+
+    fn on_access(&mut self, thread: ThreadId, addr: Addr, is_write: bool) {
+        let t = thread.index();
+        self.ensure(t);
+        let epoch = self.epochs[t];
+        // Take the cell out to appease the borrow checker cheaply.
+        let mut cell = self.cells.remove(&addr.raw()).unwrap_or_default();
+        let mut racy = false;
+        if let Some((wt, we)) = cell.write {
+            if !self.ordered(wt, we, t) {
+                racy = true;
+            }
+        }
+        if is_write {
+            for &(rt, re) in &cell.reads {
+                if !self.ordered(rt, re, t) {
+                    racy = true;
+                }
+            }
+            cell.write = Some((t, epoch));
+            cell.reads.clear();
+        } else {
+            match cell.reads.iter_mut().find(|(rt, _)| *rt == t) {
+                Some(slot) => slot.1 = epoch,
+                None => cell.reads.push((t, epoch)),
+            }
+        }
+        if racy {
+            self.record_race(addr);
+        }
+        self.cells.insert(addr.raw(), cell);
+    }
+}
+
+impl Tool for HelgrindTool {
+    fn name(&self) -> &'static str {
+        "helgrind"
+    }
+
+    fn read(&mut self, thread: ThreadId, addr: Addr) {
+        self.on_access(thread, addr, false);
+    }
+
+    fn write(&mut self, thread: ThreadId, addr: Addr) {
+        self.on_access(thread, addr, true);
+    }
+
+    fn spawned(&mut self, parent: ThreadId, child: ThreadId) {
+        let (p, c) = (parent.index(), child.index());
+        self.ensure(p);
+        self.ensure(c);
+        // Everything the parent did so far happens-before the child.
+        let pc = self.clocks[p].clone();
+        self.clocks[c].join(&pc);
+        self.inc(p);
+    }
+
+    fn joined(&mut self, thread: ThreadId, target: ThreadId) {
+        let (t, u) = (thread.index(), target.index());
+        self.ensure(t);
+        if let Some(exit) = self.exited.get(&u).cloned() {
+            self.clocks[t].join(&exit);
+        } else if u < self.clocks.len() {
+            let uc = self.clocks[u].clone();
+            self.clocks[t].join(&uc);
+        }
+    }
+
+    fn thread_exit(&mut self, thread: ThreadId) {
+        let t = thread.index();
+        self.ensure(t);
+        self.exited.insert(t, self.clocks[t].clone());
+    }
+
+    fn lock_acquired(&mut self, thread: ThreadId, lock: i64) {
+        let t = thread.index();
+        self.ensure(t);
+        if let Some(lc) = self.locks.get(&lock).cloned() {
+            self.clocks[t].join(&lc);
+        }
+    }
+
+    fn lock_released(&mut self, thread: ThreadId, lock: i64) {
+        let t = thread.index();
+        self.ensure(t);
+        let entry = self.locks.entry(lock).or_default();
+        entry.join(&self.clocks[t]);
+        self.inc(t);
+    }
+
+    fn sem_posted(&mut self, thread: ThreadId, sem: i64) {
+        let t = thread.index();
+        self.ensure(t);
+        let entry = self.sems.entry(sem).or_default();
+        entry.join(&self.clocks[t]);
+        self.inc(t);
+    }
+
+    fn sem_waited(&mut self, thread: ThreadId, sem: i64) {
+        let t = thread.index();
+        self.ensure(t);
+        if let Some(sc) = self.sems.get(&sem).cloned() {
+            self.clocks[t].join(&sc);
+        }
+    }
+}
+
+/// Findings of a [`HelgrindTool`] session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaceReport {
+    /// Racy accesses detected.
+    pub races: u64,
+    /// Distinct memory cells involved in races.
+    pub racy_cells: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const X: Addr = Addr::new(0x10);
+
+    #[test]
+    fn unsynchronized_write_write_races() {
+        let (a, b) = (ThreadId::new(0), ThreadId::new(1));
+        let mut hg = HelgrindTool::new();
+        hg.write(a, X);
+        hg.write(b, X);
+        assert_eq!(hg.report().races, 1);
+    }
+
+    #[test]
+    fn spawn_orders_parent_before_child() {
+        let (a, b) = (ThreadId::new(0), ThreadId::new(1));
+        let mut hg = HelgrindTool::new();
+        hg.write(a, X);
+        hg.spawned(a, b);
+        hg.write(b, X);
+        assert_eq!(hg.report().races, 0, "pre-spawn writes are ordered");
+    }
+
+    #[test]
+    fn join_orders_child_before_parent() {
+        let (a, b) = (ThreadId::new(0), ThreadId::new(1));
+        let mut hg = HelgrindTool::new();
+        hg.spawned(a, b);
+        hg.write(b, X);
+        hg.thread_exit(b);
+        hg.joined(a, b);
+        hg.write(a, X);
+        assert_eq!(hg.report().races, 0);
+    }
+
+    #[test]
+    fn lock_protects_accesses() {
+        let (a, b) = (ThreadId::new(0), ThreadId::new(1));
+        let mut hg = HelgrindTool::new();
+        hg.spawned(a, b);
+        hg.lock_acquired(a, 7);
+        hg.write(a, X);
+        hg.lock_released(a, 7);
+        hg.lock_acquired(b, 7);
+        hg.write(b, X);
+        hg.lock_released(b, 7);
+        assert_eq!(hg.report().races, 0);
+    }
+
+    #[test]
+    fn different_locks_do_not_protect() {
+        let (a, b) = (ThreadId::new(0), ThreadId::new(1));
+        let mut hg = HelgrindTool::new();
+        hg.spawned(a, b);
+        hg.lock_acquired(a, 7);
+        hg.write(a, X);
+        hg.lock_released(a, 7);
+        hg.lock_acquired(b, 8);
+        hg.write(b, X);
+        hg.lock_released(b, 8);
+        assert_eq!(hg.report().races, 1);
+    }
+
+    #[test]
+    fn semaphore_orders_producer_consumer() {
+        let (p, c) = (ThreadId::new(0), ThreadId::new(1));
+        let mut hg = HelgrindTool::new();
+        hg.spawned(p, c);
+        hg.write(p, X);
+        hg.sem_posted(p, 1);
+        hg.sem_waited(c, 1);
+        hg.read(c, X);
+        assert_eq!(hg.report().races, 0);
+    }
+
+    #[test]
+    fn read_read_never_races() {
+        let (a, b) = (ThreadId::new(0), ThreadId::new(1));
+        let mut hg = HelgrindTool::new();
+        hg.read(a, X);
+        hg.read(b, X);
+        assert_eq!(hg.report().races, 0);
+    }
+
+    #[test]
+    fn racy_cells_deduplicate() {
+        let (a, b) = (ThreadId::new(0), ThreadId::new(1));
+        let mut hg = HelgrindTool::new();
+        hg.write(a, X);
+        hg.write(b, X);
+        hg.write(a, X);
+        let r = hg.report();
+        assert!(r.races >= 2);
+        assert_eq!(r.racy_cells, 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! Comparator analysis tools.
+//!
+//! The paper evaluates `aprof-trms` against four reference Valgrind tools
+//! that share the same instrumentation substrate (Table 1): `nulgrind`
+//! (no analysis), `memcheck` (memory-error detection), `callgrind`
+//! (call-graph profiling) and `helgrind` (data-race detection). This crate
+//! re-implements each as an [`aprof_trace::Tool`] over the guest machine's
+//! event stream, so the relative time/space overhead comparison of Table 1
+//! and Fig. 14 can be reproduced apples-to-apples on our substrate:
+//!
+//! * [`NullTool`] (re-exported from `aprof-trace`) — the `nulgrind` analog:
+//!   pays only event-dispatch cost.
+//! * [`MemcheckTool`] — tracks cell *definedness* in shadow memory and
+//!   reports reads of never-written cells, the closest word-granular analog
+//!   of memcheck's undefined-value tracking. Like memcheck it observes
+//!   memory accesses but not calls/returns.
+//! * [`CallgrindTool`] — builds the dynamic call graph with inclusive and
+//!   exclusive basic-block costs per routine. Like callgrind it observes
+//!   calls/returns and block costs but not individual memory accesses.
+//! * [`HelgrindTool`] — a vector-clock happens-before race detector over
+//!   the machine's synchronization callbacks (spawn/join, locks,
+//!   semaphores). Like helgrind it is the only comparator that analyses
+//!   concurrency, and the most expensive of the set.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod callgrind;
+mod helgrind;
+mod memcheck;
+
+pub use aprof_trace::NullTool;
+pub use callgrind::{CallEdge, CallgrindReport, CallgrindTool, RoutineCosts};
+pub use helgrind::{HelgrindTool, RaceReport};
+pub use memcheck::{MemcheckReport, MemcheckTool};

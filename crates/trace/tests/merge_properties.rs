@@ -1,0 +1,75 @@
+//! Property tests for trace merging (§4: logically merged, totally ordered,
+//! switchThread inserted between threads).
+
+use aprof_trace::{Addr, Event, EventKind, ThreadId, ThreadTrace, Timestamp, Trace};
+use proptest::prelude::*;
+
+/// Generator: per-thread monotone timestamp/event sequences.
+fn thread_traces() -> impl Strategy<Value = Vec<ThreadTrace>> {
+    prop::collection::vec(
+        prop::collection::vec((1u64..50, 0u64..64), 0..40),
+        1..4,
+    )
+    .prop_map(|threads| {
+        threads
+            .into_iter()
+            .enumerate()
+            .map(|(tid, deltas)| {
+                let mut t = ThreadTrace::new(ThreadId::new(tid as u32));
+                let mut clock = 0u64;
+                for (delta, addr) in deltas {
+                    clock += delta;
+                    t.push_at(Timestamp::new(clock), Event::Read { addr: Addr::new(addr) });
+                }
+                t
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Each thread's events appear in the merged trace as a subsequence in
+    /// their original order.
+    #[test]
+    fn merge_preserves_per_thread_order(traces in thread_traces()) {
+        let originals: Vec<(ThreadId, Vec<Event>)> = traces
+            .iter()
+            .map(|t| (t.thread(), t.iter().map(|&(_, e)| e).collect()))
+            .collect();
+        let merged = Trace::merge(traces);
+        for (tid, events) in originals {
+            let got: Vec<Event> = merged
+                .events()
+                .iter()
+                .filter(|e| e.thread == tid && e.event.kind() != EventKind::ThreadSwitch)
+                .map(|e| e.event)
+                .collect();
+            prop_assert_eq!(got, events);
+        }
+    }
+
+    /// A switch event separates any two adjacent operations of different
+    /// threads, and no two adjacent switches occur.
+    #[test]
+    fn merge_inserts_exactly_the_needed_switches(traces in thread_traces()) {
+        let merged = Trace::merge(traces);
+        let evs = merged.events();
+        for w in evs.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            if a.thread != b.thread {
+                prop_assert_eq!(
+                    b.event.kind(),
+                    EventKind::ThreadSwitch,
+                    "missing switch between {:?} and {:?}", a, b
+                );
+            }
+            if a.event.kind() == EventKind::ThreadSwitch {
+                prop_assert!(b.event.kind() != EventKind::ThreadSwitch, "double switch");
+            }
+        }
+        // Timestamps are strictly increasing (total order).
+        for w in evs.windows(2) {
+            prop_assert!(w[0].time < w[1].time);
+        }
+    }
+}

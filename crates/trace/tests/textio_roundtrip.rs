@@ -1,0 +1,34 @@
+//! Property test: text serialization roundtrips arbitrary traces.
+
+use aprof_trace::{textio, Addr, Event, RoutineId, ThreadId, Trace};
+use proptest::prelude::*;
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (0u32..8).prop_map(|r| Event::Call { routine: RoutineId::new(r) }),
+        (0u32..8).prop_map(|r| Event::Return { routine: RoutineId::new(r) }),
+        any::<u64>().prop_map(|a| Event::Read { addr: Addr::new(a) }),
+        any::<u64>().prop_map(|a| Event::Write { addr: Addr::new(a) }),
+        any::<u64>().prop_map(|a| Event::KernelRead { addr: Addr::new(a) }),
+        any::<u64>().prop_map(|a| Event::KernelWrite { addr: Addr::new(a) }),
+        (1u64..1000).prop_map(|c| Event::BasicBlock { cost: c }),
+        Just(Event::ThreadSwitch),
+        Just(Event::ThreadStart),
+        Just(Event::ThreadExit),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn roundtrip(events in prop::collection::vec((0u32..4, event_strategy()), 0..300)) {
+        let mut trace = Trace::new();
+        for (t, e) in &events {
+            trace.push(ThreadId::new(*t), *e);
+        }
+        let text = textio::to_text(&trace);
+        let parsed = textio::from_text(&text).unwrap();
+        let a: Vec<_> = trace.events().iter().map(|e| (e.thread, e.event)).collect();
+        let b: Vec<_> = parsed.events().iter().map(|e| (e.thread, e.event)).collect();
+        prop_assert_eq!(a, b);
+    }
+}

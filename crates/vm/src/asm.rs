@@ -1,0 +1,661 @@
+//! A textual assembly front end for guest programs.
+//!
+//! The syntax mirrors the IR one-to-one — one instruction per line, blocks
+//! introduced by `label:` lines, `#` comments:
+//!
+//! ```text
+//! # sum the first n naturals
+//! func main() regs=4 {
+//! entry:
+//!     r0 = const 10
+//!     r1 = call sum(r0)
+//!     ret r1
+//! }
+//!
+//! func sum(1) {
+//! entry:
+//!     r1 = const 0          # acc
+//!     r2 = const 0          # i
+//!     jmp head
+//! head:
+//!     r3 = clt r2, r0
+//!     br r3, body, exit
+//! body:
+//!     r1 = add r1, r2
+//!     r3 = const 1
+//!     r2 = add r2, r3
+//!     jmp head
+//! exit:
+//!     ret r1
+//! }
+//! ```
+//!
+//! `regs=N` is optional; the register file is sized from the highest
+//! register mentioned. The entry point is the function named `main`
+//! (or the first function if none is named `main`).
+
+use crate::ir::{
+    BasicBlock, BinOp, BlockId, CmpOp, FuncId, Function, Instr, Program, Reg, Terminator,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse or resolution error, with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number of the offending line (0 for whole-program
+    /// errors).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "assembly error: {}", self.message)
+        } else {
+            write!(f, "assembly error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError { line, message: message.into() })
+}
+
+/// Parses an assembly listing into a validated [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] on syntax errors, references to unknown
+/// functions/labels/registers, or if the assembled program fails
+/// [`Program::new`] validation.
+///
+/// # Example
+///
+/// ```
+/// let p = aprof_vm::asm::parse("func main() {\n e:\n ret\n }")?;
+/// assert_eq!(p.functions().len(), 1);
+/// # Ok::<(), aprof_vm::asm::AsmError>(())
+/// ```
+pub fn parse(source: &str) -> Result<Program, AsmError> {
+    let lines: Vec<(usize, &str)> = source
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            let l = match l.find('#') {
+                Some(p) => &l[..p],
+                None => l,
+            };
+            (i + 1, l.trim())
+        })
+        .filter(|(_, l)| !l.is_empty())
+        .collect();
+
+    // Pass 1: function signatures.
+    let mut sigs: Vec<(String, u16)> = Vec::new();
+    for &(ln, line) in &lines {
+        if let Some(rest) = line.strip_prefix("func ") {
+            let (name, params) = parse_signature(ln, rest)?;
+            if sigs.iter().any(|(n, _)| *n == name) {
+                return err(ln, format!("duplicate function `{name}`"));
+            }
+            sigs.push((name, params));
+        }
+    }
+    if sigs.is_empty() {
+        return err(0, "no functions in source");
+    }
+    let func_ids: HashMap<String, FuncId> =
+        sigs.iter().enumerate().map(|(i, (n, _))| (n.clone(), FuncId(i as u32))).collect();
+
+    // Pass 2: bodies.
+    let mut functions: Vec<Function> = Vec::new();
+    let mut i = 0usize;
+    while i < lines.len() {
+        let (ln, line) = lines[i];
+        let rest = match line.strip_prefix("func ") {
+            Some(r) => r,
+            None => return err(ln, format!("expected `func`, found `{line}`")),
+        };
+        let (name, params) = parse_signature(ln, rest)?;
+        let declared_regs = parse_regs_clause(ln, rest)?;
+        if !rest.trim_end().ends_with('{') {
+            return err(ln, "expected `{` at end of func header");
+        }
+        i += 1;
+        // Collect raw body lines until `}`.
+        let mut body: Vec<(usize, &str)> = Vec::new();
+        loop {
+            if i >= lines.len() {
+                return err(ln, format!("unterminated function `{name}`"));
+            }
+            let (bln, bline) = lines[i];
+            i += 1;
+            if bline == "}" {
+                break;
+            }
+            body.push((bln, bline));
+        }
+        let function =
+            parse_body(&name, params, declared_regs, &body, &func_ids, &sigs)?;
+        functions.push(function);
+    }
+
+    let entry = func_ids.get("main").copied().unwrap_or(FuncId(0));
+    Program::new(functions, entry).map_err(|e| AsmError { line: 0, message: e.to_string() })
+}
+
+fn parse_signature(ln: usize, rest: &str) -> Result<(String, u16), AsmError> {
+    let open = match rest.find('(') {
+        Some(p) => p,
+        None => return err(ln, "expected `(` in func header"),
+    };
+    let close = match rest.find(')') {
+        Some(p) => p,
+        None => return err(ln, "expected `)` in func header"),
+    };
+    let name = rest[..open].trim().to_owned();
+    if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_' || c == ':') {
+        return err(ln, format!("bad function name `{name}`"));
+    }
+    let inside = rest[open + 1..close].trim();
+    let params: u16 = if inside.is_empty() {
+        0
+    } else {
+        match inside.parse() {
+            Ok(p) => p,
+            Err(_) => return err(ln, format!("bad parameter count `{inside}`")),
+        }
+    };
+    Ok((name, params))
+}
+
+fn parse_regs_clause(ln: usize, rest: &str) -> Result<Option<u16>, AsmError> {
+    match rest.find("regs=") {
+        None => Ok(None),
+        Some(p) => {
+            let tail = &rest[p + 5..];
+            let num: String = tail.chars().take_while(|c| c.is_ascii_digit()).collect();
+            num.parse().map(Some).map_err(|_| AsmError {
+                line: ln,
+                message: format!("bad regs clause `{tail}`"),
+            })
+        }
+    }
+}
+
+struct RawBlock<'a> {
+    lines: Vec<(usize, &'a str)>,
+}
+
+fn parse_body(
+    name: &str,
+    params: u16,
+    declared_regs: Option<u16>,
+    body: &[(usize, &str)],
+    func_ids: &HashMap<String, FuncId>,
+    sigs: &[(String, u16)],
+) -> Result<Function, AsmError> {
+    // Split into labelled blocks.
+    let mut labels: HashMap<String, BlockId> = HashMap::new();
+    let mut raw_blocks: Vec<RawBlock<'_>> = Vec::new();
+    for &(ln, line) in body {
+        if let Some(label) = line.strip_suffix(':') {
+            if !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return err(ln, format!("bad label `{label}`"));
+            }
+            let id = BlockId(raw_blocks.len() as u32);
+            if labels.insert(label.to_owned(), id).is_some() {
+                return err(ln, format!("duplicate label `{label}`"));
+            }
+            raw_blocks.push(RawBlock { lines: Vec::new() });
+        } else {
+            match raw_blocks.last_mut() {
+                Some(b) => b.lines.push((ln, line)),
+                None => return err(ln, "instruction before first label"),
+            }
+        }
+    }
+    if raw_blocks.is_empty() {
+        return err(0, format!("function `{name}` has no blocks"));
+    }
+
+    let mut max_reg: u16 = params.saturating_sub(1);
+    let mut blocks = Vec::with_capacity(raw_blocks.len());
+    for raw in &raw_blocks {
+        let mut instrs = Vec::new();
+        let mut term: Option<Terminator> = None;
+        for (idx, &(ln, line)) in raw.lines.iter().enumerate() {
+            let is_last = idx + 1 == raw.lines.len();
+            match parse_line(ln, line, func_ids, sigs, &labels, &mut max_reg)? {
+                Parsed::Instr(i) => {
+                    if term.is_some() {
+                        return err(ln, "instruction after terminator");
+                    }
+                    instrs.push(i);
+                }
+                Parsed::Term(t) => {
+                    if !is_last {
+                        return err(ln, "terminator must end the block");
+                    }
+                    term = Some(t);
+                }
+            }
+        }
+        let term = match term {
+            Some(t) => t,
+            None => Terminator::Ret { value: None },
+        };
+        blocks.push(BasicBlock { instrs, term });
+    }
+
+    let inferred = max_reg.saturating_add(1).max(params).max(1);
+    let regs = match declared_regs {
+        Some(d) if d < inferred => {
+            return err(0, format!("function `{name}`: regs={d} but r{} is used", inferred - 1))
+        }
+        Some(d) => d,
+        None => inferred,
+    };
+    Ok(Function { name: name.to_owned(), params, regs, blocks })
+}
+
+enum Parsed {
+    Instr(Instr),
+    Term(Terminator),
+}
+
+fn parse_reg(ln: usize, tok: &str, max_reg: &mut u16) -> Result<Reg, AsmError> {
+    let tok = tok.trim();
+    let digits = match tok.strip_prefix('r') {
+        Some(d) => d,
+        None => return err(ln, format!("expected register, found `{tok}`")),
+    };
+    let n: u16 = digits
+        .parse()
+        .map_err(|_| AsmError { line: ln, message: format!("bad register `{tok}`") })?;
+    *max_reg = (*max_reg).max(n);
+    Ok(Reg(n))
+}
+
+fn parse_int(ln: usize, tok: &str) -> Result<i64, AsmError> {
+    tok.trim()
+        .parse()
+        .map_err(|_| AsmError { line: ln, message: format!("bad integer `{tok}`") })
+}
+
+fn parse_call_like<'a>(
+    ln: usize,
+    text: &'a str,
+    func_ids: &HashMap<String, FuncId>,
+    sigs: &[(String, u16)],
+    max_reg: &mut u16,
+) -> Result<(FuncId, Vec<Reg>), AsmError> {
+    let open = match text.find('(') {
+        Some(p) => p,
+        None => return err(ln, "expected `(` in call"),
+    };
+    let close = match text.rfind(')') {
+        Some(p) => p,
+        None => return err(ln, "expected `)` in call"),
+    };
+    let name = text[..open].trim();
+    let func = match func_ids.get(name) {
+        Some(&f) => f,
+        None => return err(ln, format!("call to unknown function `{name}`")),
+    };
+    let inside = text[open + 1..close].trim();
+    let args: Vec<Reg> = if inside.is_empty() {
+        Vec::new()
+    } else {
+        inside
+            .split(',')
+            .map(|a| parse_reg(ln, a, max_reg))
+            .collect::<Result<_, _>>()?
+    };
+    let expected = sigs[func.index()].1 as usize;
+    if args.len() != expected {
+        return err(ln, format!("`{name}` takes {expected} args, {} given", args.len()));
+    }
+    Ok((func, args))
+}
+
+fn parse_line(
+    ln: usize,
+    line: &str,
+    func_ids: &HashMap<String, FuncId>,
+    sigs: &[(String, u16)],
+    labels: &HashMap<String, BlockId>,
+    max_reg: &mut u16,
+) -> Result<Parsed, AsmError> {
+    let label_of = |ln: usize, tok: &str| -> Result<BlockId, AsmError> {
+        labels
+            .get(tok.trim())
+            .copied()
+            .ok_or_else(|| AsmError { line: ln, message: format!("unknown label `{}`", tok.trim()) })
+    };
+
+    // Terminators and dst-less instructions first.
+    let mut words = line.split_whitespace();
+    let head = words.next().unwrap_or("");
+    match head {
+        "jmp" => {
+            let target = line[3..].trim();
+            return Ok(Parsed::Term(Terminator::Jmp(label_of(ln, target)?)));
+        }
+        "br" => {
+            let rest: Vec<&str> = line[2..].split(',').collect();
+            if rest.len() != 3 {
+                return err(ln, "br needs `cond, then, else`");
+            }
+            return Ok(Parsed::Term(Terminator::Br {
+                cond: parse_reg(ln, rest[0], max_reg)?,
+                then_to: label_of(ln, rest[1])?,
+                else_to: label_of(ln, rest[2])?,
+            }));
+        }
+        "ret" => {
+            let rest = line[3..].trim();
+            let value =
+                if rest.is_empty() { None } else { Some(parse_reg(ln, rest, max_reg)?) };
+            return Ok(Parsed::Term(Terminator::Ret { value }));
+        }
+        "store" => {
+            let rest: Vec<&str> = line[5..].split(',').collect();
+            if rest.len() != 3 {
+                return err(ln, "store needs `src, addr, offset`");
+            }
+            return Ok(Parsed::Instr(Instr::Store {
+                src: parse_reg(ln, rest[0], max_reg)?,
+                addr: parse_reg(ln, rest[1], max_reg)?,
+                offset: parse_int(ln, rest[2])?,
+            }));
+        }
+        "join" => {
+            return Ok(Parsed::Instr(Instr::Join { thread: parse_reg(ln, &line[4..], max_reg)? }))
+        }
+        "acquire" => {
+            return Ok(Parsed::Instr(Instr::Acquire { lock: parse_reg(ln, &line[7..], max_reg)? }))
+        }
+        "release" => {
+            return Ok(Parsed::Instr(Instr::Release { lock: parse_reg(ln, &line[7..], max_reg)? }))
+        }
+        "sem_init" => {
+            let rest: Vec<&str> = line[8..].split(',').collect();
+            if rest.len() != 2 {
+                return err(ln, "sem_init needs `sem, value`");
+            }
+            return Ok(Parsed::Instr(Instr::SemInit {
+                sem: parse_reg(ln, rest[0], max_reg)?,
+                value: parse_reg(ln, rest[1], max_reg)?,
+            }));
+        }
+        "sem_post" => {
+            return Ok(Parsed::Instr(Instr::SemPost { sem: parse_reg(ln, &line[8..], max_reg)? }))
+        }
+        "sem_wait" => {
+            return Ok(Parsed::Instr(Instr::SemWait { sem: parse_reg(ln, &line[8..], max_reg)? }))
+        }
+        "yield" => return Ok(Parsed::Instr(Instr::Yield)),
+        "call" => {
+            let (func, args) = parse_call_like(ln, &line[4..], func_ids, sigs, max_reg)?;
+            return Ok(Parsed::Instr(Instr::Call { dst: None, func, args }));
+        }
+        _ => {}
+    }
+
+    // `dst = op ...` forms.
+    let eq = match line.find('=') {
+        Some(p) => p,
+        None => return err(ln, format!("cannot parse `{line}`")),
+    };
+    let dst = parse_reg(ln, &line[..eq], max_reg)?;
+    let rhs = line[eq + 1..].trim();
+    let mut rhs_words = rhs.split_whitespace();
+    let op = rhs_words.next().unwrap_or("");
+    let operands = rhs[op.len()..].trim();
+    let two_regs = |max_reg: &mut u16| -> Result<(Reg, Reg), AsmError> {
+        let parts: Vec<&str> = operands.split(',').collect();
+        if parts.len() != 2 {
+            return err(ln, format!("`{op}` needs two operands"));
+        }
+        Ok((parse_reg(ln, parts[0], max_reg)?, parse_reg(ln, parts[1], max_reg)?))
+    };
+    let bin = |op: BinOp, max_reg: &mut u16| -> Result<Parsed, AsmError> {
+        let (lhs, rhs) = two_regs(max_reg)?;
+        Ok(Parsed::Instr(Instr::Bin { op, dst, lhs, rhs }))
+    };
+    let cmp = |op: CmpOp, max_reg: &mut u16| -> Result<Parsed, AsmError> {
+        let (lhs, rhs) = two_regs(max_reg)?;
+        Ok(Parsed::Instr(Instr::Cmp { op, dst, lhs, rhs }))
+    };
+    match op {
+        "const" => Ok(Parsed::Instr(Instr::Const { dst, value: parse_int(ln, operands)? })),
+        "mov" => Ok(Parsed::Instr(Instr::Mov { dst, src: parse_reg(ln, operands, max_reg)? })),
+        "add" => bin(BinOp::Add, max_reg),
+        "sub" => bin(BinOp::Sub, max_reg),
+        "mul" => bin(BinOp::Mul, max_reg),
+        "div" => bin(BinOp::Div, max_reg),
+        "rem" => bin(BinOp::Rem, max_reg),
+        "and" => bin(BinOp::And, max_reg),
+        "or" => bin(BinOp::Or, max_reg),
+        "xor" => bin(BinOp::Xor, max_reg),
+        "shl" => bin(BinOp::Shl, max_reg),
+        "shr" => bin(BinOp::Shr, max_reg),
+        "min" => bin(BinOp::Min, max_reg),
+        "max" => bin(BinOp::Max, max_reg),
+        "ceq" => cmp(CmpOp::Eq, max_reg),
+        "cne" => cmp(CmpOp::Ne, max_reg),
+        "clt" => cmp(CmpOp::Lt, max_reg),
+        "cle" => cmp(CmpOp::Le, max_reg),
+        "cgt" => cmp(CmpOp::Gt, max_reg),
+        "cge" => cmp(CmpOp::Ge, max_reg),
+        "load" => {
+            let parts: Vec<&str> = operands.split(',').collect();
+            if parts.len() != 2 {
+                return err(ln, "load needs `addr, offset`");
+            }
+            Ok(Parsed::Instr(Instr::Load {
+                dst,
+                addr: parse_reg(ln, parts[0], max_reg)?,
+                offset: parse_int(ln, parts[1])?,
+            }))
+        }
+        "alloc" => {
+            Ok(Parsed::Instr(Instr::Alloc { dst, len: parse_reg(ln, operands, max_reg)? }))
+        }
+        "call" => {
+            let (func, args) = parse_call_like(ln, operands, func_ids, sigs, max_reg)?;
+            Ok(Parsed::Instr(Instr::Call { dst: Some(dst), func, args }))
+        }
+        "spawn" => {
+            let (func, args) = parse_call_like(ln, operands, func_ids, sigs, max_reg)?;
+            Ok(Parsed::Instr(Instr::Spawn { dst, func, args }))
+        }
+        "sys_read" | "sys_write" => {
+            let parts: Vec<&str> = operands.split(',').collect();
+            if parts.len() != 3 {
+                return err(ln, format!("{op} needs `fd, buf, len`"));
+            }
+            let fd = parse_reg(ln, parts[0], max_reg)?;
+            let buf = parse_reg(ln, parts[1], max_reg)?;
+            let len = parse_reg(ln, parts[2], max_reg)?;
+            Ok(Parsed::Instr(if op == "sys_read" {
+                Instr::SysRead { dst, fd, buf, len }
+            } else {
+                Instr::SysWrite { dst, fd, buf, len }
+            }))
+        }
+        _ => err(ln, format!("unknown operation `{op}`")),
+    }
+}
+
+/// Renders a [`Program`] back to assembly text; `parse(&print(p))`
+/// reproduces a structurally identical program (block labels are
+/// canonicalized to `bbN`).
+pub fn print(program: &Program) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let fname = |id: FuncId| program.function(id).name.clone();
+    for f in program.functions() {
+        let _ = writeln!(out, "func {}({}) regs={} {{", f.name, f.params, f.regs);
+        for (bi, block) in f.blocks.iter().enumerate() {
+            let _ = writeln!(out, "bb{bi}:");
+            for i in &block.instrs {
+                let line = match i {
+                    Instr::Const { dst, value } => format!("{dst} = const {value}"),
+                    Instr::Mov { dst, src } => format!("{dst} = mov {src}"),
+                    Instr::Bin { op, dst, lhs, rhs } => {
+                        format!("{dst} = {} {lhs}, {rhs}", op.mnemonic())
+                    }
+                    Instr::Cmp { op, dst, lhs, rhs } => {
+                        format!("{dst} = {} {lhs}, {rhs}", op.mnemonic())
+                    }
+                    Instr::Load { dst, addr, offset } => format!("{dst} = load {addr}, {offset}"),
+                    Instr::Store { src, addr, offset } => format!("store {src}, {addr}, {offset}"),
+                    Instr::Alloc { dst, len } => format!("{dst} = alloc {len}"),
+                    Instr::Call { dst, func, args } => {
+                        let args =
+                            args.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(", ");
+                        match dst {
+                            Some(d) => format!("{d} = call {}({args})", fname(*func)),
+                            None => format!("call {}({args})", fname(*func)),
+                        }
+                    }
+                    Instr::Spawn { dst, func, args } => {
+                        let args =
+                            args.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(", ");
+                        format!("{dst} = spawn {}({args})", fname(*func))
+                    }
+                    Instr::Join { thread } => format!("join {thread}"),
+                    Instr::Acquire { lock } => format!("acquire {lock}"),
+                    Instr::Release { lock } => format!("release {lock}"),
+                    Instr::SemInit { sem, value } => format!("sem_init {sem}, {value}"),
+                    Instr::SemPost { sem } => format!("sem_post {sem}"),
+                    Instr::SemWait { sem } => format!("sem_wait {sem}"),
+                    Instr::Yield => "yield".to_owned(),
+                    Instr::SysRead { dst, fd, buf, len } => {
+                        format!("{dst} = sys_read {fd}, {buf}, {len}")
+                    }
+                    Instr::SysWrite { dst, fd, buf, len } => {
+                        format!("{dst} = sys_write {fd}, {buf}, {len}")
+                    }
+                };
+                let _ = writeln!(out, "    {line}");
+            }
+            let term = match &block.term {
+                Terminator::Jmp(b) => format!("jmp {b}"),
+                Terminator::Br { cond, then_to, else_to } => {
+                    format!("br {cond}, {then_to}, {else_to}")
+                }
+                Terminator::Ret { value: Some(r) } => format!("ret {r}"),
+                Terminator::Ret { value: None } => "ret".to_owned(),
+            };
+            let _ = writeln!(out, "    {term}");
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Machine;
+
+    const SUM: &str = r#"
+# sum of 0..n
+func main() {
+entry:
+    r0 = const 10
+    r1 = call sum(r0)
+    ret r1
+}
+func sum(1) {
+entry:
+    r1 = const 0
+    r2 = const 0
+    jmp head
+head:
+    r3 = clt r2, r0
+    br r3, body, exit
+body:
+    r1 = add r1, r2
+    r3 = const 1
+    r2 = add r2, r3
+    jmp head
+exit:
+    ret r1
+}
+"#;
+
+    #[test]
+    fn parse_and_run_sum() {
+        let p = parse(SUM).unwrap();
+        let mut m = Machine::new(p);
+        assert_eq!(m.run_native().unwrap().exit_value, Some(45));
+    }
+
+    #[test]
+    fn roundtrip_print_parse() {
+        let p = parse(SUM).unwrap();
+        let printed = print(&p);
+        let p2 = parse(&printed).unwrap();
+        assert_eq!(print(&p2), printed, "printing is a fixed point after one roundtrip");
+    }
+
+    #[test]
+    fn unknown_function_is_reported() {
+        let e = parse("func main() {\n e:\n r0 = call nope()\n ret\n }").unwrap_err();
+        assert!(e.message.contains("unknown function"), "{e}");
+        assert!(e.line > 0);
+    }
+
+    #[test]
+    fn unknown_label_is_reported() {
+        let e = parse("func main() {\n e:\n jmp nowhere\n }").unwrap_err();
+        assert!(e.message.contains("unknown label"), "{e}");
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        let src = "func main() {\n e:\n r0 = call f()\n ret\n }\nfunc f(2) {\n e:\n ret\n }";
+        let e = parse(src).unwrap_err();
+        assert!(e.message.contains("takes 2 args"), "{e}");
+    }
+
+    #[test]
+    fn instruction_after_terminator_rejected() {
+        let e = parse("func main() {\n e:\n ret\n r0 = const 1\n }").unwrap_err();
+        assert!(e.message.contains("terminator"), "{e}");
+    }
+
+    #[test]
+    fn regs_clause_too_small_rejected() {
+        let e = parse("func main() regs=1 {\n e:\n r5 = const 1\n ret\n }").unwrap_err();
+        assert!(e.message.contains("regs=1"), "{e}");
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let p = parse("# header\n\nfunc main() { # trailing\ne:\n ret # done\n}\n").unwrap();
+        assert_eq!(p.functions().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_function_rejected() {
+        let src = "func f() {\n e:\n ret\n }\nfunc f() {\n e:\n ret\n }";
+        assert!(parse(src).unwrap_err().message.contains("duplicate"));
+    }
+
+    #[test]
+    fn missing_main_defaults_to_first() {
+        let p = parse("func start() {\n e:\n r0 = const 3\n ret r0\n }").unwrap();
+        let mut m = Machine::new(p);
+        assert_eq!(m.run_native().unwrap().exit_value, Some(3));
+    }
+}

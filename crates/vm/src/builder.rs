@@ -1,0 +1,515 @@
+//! Ergonomic construction of guest programs from Rust.
+//!
+//! Writing [`ir`](crate::ir) structures by hand is verbose; the builders in
+//! this module let workload crates assemble guest programs fluently:
+//!
+//! ```
+//! use aprof_vm::builder::ProgramBuilder;
+//! use aprof_vm::Machine;
+//!
+//! let mut p = ProgramBuilder::new();
+//! let main = p.declare("main", 0);
+//! {
+//!     let mut f = p.function(main);
+//!     let acc = f.temp();
+//!     let i = f.temp();
+//!     f.const_(acc, 0);
+//!     f.const_(i, 0);
+//!     let ten = f.const_temp(10);
+//!     f.loop_while(i, |f, i| {
+//!         // acc += i
+//!         f.add(acc, acc, i);
+//!         f.add_imm(i, i, 1);
+//!         let c = f.scratch();
+//!         f.cmp_lt(c, i, ten)
+//!     });
+//!     f.ret(Some(acc));
+//! }
+//! let program = p.build()?;
+//! let mut m = Machine::new(program);
+//! assert_eq!(m.run_native()?.exit_value, Some(45));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::ir::{
+    BasicBlock, BinOp, BlockId, CmpOp, FuncId, Function, Instr, Program, ProgramError, Reg,
+    Terminator,
+};
+
+/// Builds a [`Program`] function by function.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    functions: Vec<Option<Function>>,
+    names: Vec<(String, u16)>,
+    entry: Option<FuncId>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a function (name + parameter count) and returns its id.
+    /// Declarations come first so functions can call each other regardless
+    /// of definition order. The first function named `main` (or the first
+    /// declared function, if none is) becomes the entry point.
+    pub fn declare(&mut self, name: &str, params: u16) -> FuncId {
+        let id = FuncId(self.functions.len() as u32);
+        self.functions.push(None);
+        self.names.push((name.to_owned(), params));
+        if self.entry.is_none() && (name == "main" || self.functions.len() == 1) {
+            self.entry = Some(id);
+        }
+        if name == "main" {
+            self.entry = Some(id);
+        }
+        id
+    }
+
+    /// Opens a [`FunctionBuilder`] for a declared function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not declared by this builder.
+    pub fn function(&mut self, id: FuncId) -> FunctionBuilder<'_> {
+        let (name, params) = self.names[id.index()].clone();
+        FunctionBuilder {
+            parent: self,
+            id,
+            name,
+            params,
+            next_reg: params,
+            scratch: None,
+            blocks: vec![BasicBlock { instrs: Vec::new(), term: Terminator::Ret { value: None } }],
+            current: BlockId(0),
+            sealed: vec![false],
+        }
+    }
+
+    /// Overrides the entry function.
+    pub fn set_entry(&mut self, id: FuncId) {
+        self.entry = Some(id);
+    }
+
+    /// Finalizes and validates the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProgramError`] if a declared function was never defined
+    /// or the assembled program fails validation.
+    pub fn build(self) -> Result<Program, ProgramError> {
+        let mut functions = Vec::with_capacity(self.functions.len());
+        for (i, f) in self.functions.into_iter().enumerate() {
+            match f {
+                Some(f) => functions.push(f),
+                None => {
+                    return Err(ProgramError {
+                        function: self.names[i].0.clone(),
+                        message: "declared but never defined".into(),
+                    })
+                }
+            }
+        }
+        let entry = self.entry.ok_or_else(|| ProgramError {
+            function: String::new(),
+            message: "program has no functions".into(),
+        })?;
+        Program::new(functions, entry)
+    }
+}
+
+/// Builds one function; instructions are appended to the *current block*,
+/// which starts as block 0.
+///
+/// Dropping the builder commits the function back to its
+/// [`ProgramBuilder`]. Registers are allocated with [`temp`](Self::temp);
+/// parameters occupy `r0..rparams` and are returned by
+/// [`param`](Self::param).
+#[derive(Debug)]
+pub struct FunctionBuilder<'p> {
+    parent: &'p mut ProgramBuilder,
+    id: FuncId,
+    name: String,
+    params: u16,
+    next_reg: u16,
+    scratch: Option<Reg>,
+    blocks: Vec<BasicBlock>,
+    current: BlockId,
+    sealed: Vec<bool>,
+}
+
+impl<'p> FunctionBuilder<'p> {
+    /// The `i`-th parameter register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= params`.
+    pub fn param(&self, i: u16) -> Reg {
+        assert!(i < self.params, "parameter {i} out of range");
+        Reg(i)
+    }
+
+    /// Allocates a fresh register.
+    pub fn temp(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg = self.next_reg.checked_add(1).expect("register file overflow");
+        r
+    }
+
+    /// A dedicated scratch register for throwaway results (allocated once).
+    pub fn scratch(&mut self) -> Reg {
+        match self.scratch {
+            Some(r) => r,
+            None => {
+                let r = self.temp();
+                self.scratch = Some(r);
+                r
+            }
+        }
+    }
+
+    /// Allocates a register initialized with a constant.
+    pub fn const_temp(&mut self, value: i64) -> Reg {
+        let r = self.temp();
+        self.const_(r, value);
+        r
+    }
+
+    fn push(&mut self, instr: Instr) {
+        assert!(
+            !self.sealed[self.current.index()],
+            "appending to sealed block {} of `{}`",
+            self.current,
+            self.name
+        );
+        self.blocks[self.current.index()].instrs.push(instr);
+    }
+
+    /// `dst = value`.
+    pub fn const_(&mut self, dst: Reg, value: i64) {
+        self.push(Instr::Const { dst, value });
+    }
+
+    /// `dst = src`.
+    pub fn mov(&mut self, dst: Reg, src: Reg) {
+        self.push(Instr::Mov { dst, src });
+    }
+
+    /// `dst = lhs <op> rhs`.
+    pub fn bin(&mut self, op: BinOp, dst: Reg, lhs: Reg, rhs: Reg) {
+        self.push(Instr::Bin { op, dst, lhs, rhs });
+    }
+
+    /// `dst = lhs + rhs`.
+    pub fn add(&mut self, dst: Reg, lhs: Reg, rhs: Reg) {
+        self.bin(BinOp::Add, dst, lhs, rhs);
+    }
+
+    /// `dst = src + imm` (allocates a constant register).
+    pub fn add_imm(&mut self, dst: Reg, src: Reg, imm: i64) {
+        let c = self.const_temp(imm);
+        self.add(dst, src, c);
+    }
+
+    /// `dst = lhs - rhs`.
+    pub fn sub(&mut self, dst: Reg, lhs: Reg, rhs: Reg) {
+        self.bin(BinOp::Sub, dst, lhs, rhs);
+    }
+
+    /// `dst = lhs * rhs`.
+    pub fn mul(&mut self, dst: Reg, lhs: Reg, rhs: Reg) {
+        self.bin(BinOp::Mul, dst, lhs, rhs);
+    }
+
+    /// `dst = lhs / rhs` (0 on division by zero).
+    pub fn div(&mut self, dst: Reg, lhs: Reg, rhs: Reg) {
+        self.bin(BinOp::Div, dst, lhs, rhs);
+    }
+
+    /// `dst = lhs % rhs` (0 on zero divisor).
+    pub fn rem(&mut self, dst: Reg, lhs: Reg, rhs: Reg) {
+        self.bin(BinOp::Rem, dst, lhs, rhs);
+    }
+
+    /// `dst = (lhs < rhs)`, returning `dst` for use as a loop condition.
+    pub fn cmp_lt(&mut self, dst: Reg, lhs: Reg, rhs: Reg) -> Reg {
+        self.push(Instr::Cmp { op: CmpOp::Lt, dst, lhs, rhs });
+        dst
+    }
+
+    /// `dst = lhs <cmp> rhs`, returning `dst`.
+    pub fn cmp(&mut self, op: CmpOp, dst: Reg, lhs: Reg, rhs: Reg) -> Reg {
+        self.push(Instr::Cmp { op, dst, lhs, rhs });
+        dst
+    }
+
+    /// `dst = memory[addr + offset]`.
+    pub fn load(&mut self, dst: Reg, addr: Reg, offset: i64) {
+        self.push(Instr::Load { dst, addr, offset });
+    }
+
+    /// `memory[addr + offset] = src`.
+    pub fn store(&mut self, src: Reg, addr: Reg, offset: i64) {
+        self.push(Instr::Store { src, addr, offset });
+    }
+
+    /// `dst = base of len fresh cells`.
+    pub fn alloc(&mut self, dst: Reg, len: Reg) {
+        self.push(Instr::Alloc { dst, len });
+    }
+
+    /// Calls `func(args…)`, optionally receiving its result.
+    pub fn call(&mut self, dst: Option<Reg>, func: FuncId, args: &[Reg]) {
+        self.push(Instr::Call { dst, func, args: args.to_vec() });
+    }
+
+    /// Spawns `func(args…)` on a new thread; `dst` receives the handle.
+    pub fn spawn(&mut self, dst: Reg, func: FuncId, args: &[Reg]) {
+        self.push(Instr::Spawn { dst, func, args: args.to_vec() });
+    }
+
+    /// Joins the thread whose handle is in `thread`.
+    pub fn join(&mut self, thread: Reg) {
+        self.push(Instr::Join { thread });
+    }
+
+    /// Acquires the mutex keyed by the value of `lock`.
+    pub fn acquire(&mut self, lock: Reg) {
+        self.push(Instr::Acquire { lock });
+    }
+
+    /// Releases the mutex keyed by the value of `lock`.
+    pub fn release(&mut self, lock: Reg) {
+        self.push(Instr::Release { lock });
+    }
+
+    /// Initializes semaphore `sem` to `value`.
+    pub fn sem_init(&mut self, sem: Reg, value: Reg) {
+        self.push(Instr::SemInit { sem, value });
+    }
+
+    /// V on `sem`.
+    pub fn sem_post(&mut self, sem: Reg) {
+        self.push(Instr::SemPost { sem });
+    }
+
+    /// P on `sem`.
+    pub fn sem_wait(&mut self, sem: Reg) {
+        self.push(Instr::SemWait { sem });
+    }
+
+    /// Voluntarily yields the processor.
+    pub fn yield_(&mut self) {
+        self.push(Instr::Yield);
+    }
+
+    /// `dst = sys_read(fd, buf, len)`.
+    pub fn sys_read(&mut self, dst: Reg, fd: Reg, buf: Reg, len: Reg) {
+        self.push(Instr::SysRead { dst, fd, buf, len });
+    }
+
+    /// `dst = sys_write(fd, buf, len)`.
+    pub fn sys_write(&mut self, dst: Reg, fd: Reg, buf: Reg, len: Reg) {
+        self.push(Instr::SysWrite { dst, fd, buf, len });
+    }
+
+    /// Creates a new (empty) block and returns its id without switching.
+    pub fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(BasicBlock { instrs: Vec::new(), term: Terminator::Ret { value: None } });
+        self.sealed.push(false);
+        id
+    }
+
+    /// Switches instruction emission to `block`.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.current = block;
+    }
+
+    /// The block currently receiving instructions.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    fn seal(&mut self, term: Terminator) {
+        assert!(
+            !self.sealed[self.current.index()],
+            "block {} of `{}` already sealed",
+            self.current,
+            self.name
+        );
+        self.blocks[self.current.index()].term = term;
+        self.sealed[self.current.index()] = true;
+    }
+
+    /// Ends the current block with an unconditional jump.
+    pub fn jmp(&mut self, to: BlockId) {
+        self.seal(Terminator::Jmp(to));
+    }
+
+    /// Ends the current block with a conditional branch.
+    pub fn br(&mut self, cond: Reg, then_to: BlockId, else_to: BlockId) {
+        self.seal(Terminator::Br { cond, then_to, else_to });
+    }
+
+    /// Ends the current block with a return.
+    pub fn ret(&mut self, value: Option<Reg>) {
+        self.seal(Terminator::Ret { value });
+    }
+
+    /// Structured while-loop: emits
+    /// `head: body; cond = body(); br cond head exit; exit:` —
+    /// the closure appends the body to the loop block and returns the
+    /// continuation condition register (loop repeats while it is non-zero).
+    /// Emission continues in the exit block. `ctr` is passed back to the
+    /// closure for convenience (commonly the induction variable).
+    pub fn loop_while<F>(&mut self, ctr: Reg, body: F)
+    where
+        F: FnOnce(&mut Self, Reg) -> Reg,
+    {
+        let head = self.new_block();
+        let exit = self.new_block();
+        self.jmp(head);
+        self.switch_to(head);
+        let cond = body(self, ctr);
+        self.br(cond, head, exit);
+        self.switch_to(exit);
+    }
+
+    /// Structured counted loop: runs `body(i)` for `i` in `0..n` where `n`
+    /// is the value of the `n` register at loop entry. Returns the
+    /// induction register. Emission continues after the loop.
+    pub fn for_range<F>(&mut self, n: Reg, body: F) -> Reg
+    where
+        F: FnOnce(&mut Self, Reg),
+    {
+        let i = self.temp();
+        self.const_(i, 0);
+        let head = self.new_block();
+        let body_bb = self.new_block();
+        let exit = self.new_block();
+        self.jmp(head);
+        self.switch_to(head);
+        let cond = self.scratch();
+        self.cmp_lt(cond, i, n);
+        self.br(cond, body_bb, exit);
+        self.switch_to(body_bb);
+        body(self, i);
+        self.add_imm(i, i, 1);
+        self.jmp(head);
+        self.switch_to(exit);
+        i
+    }
+}
+
+impl Drop for FunctionBuilder<'_> {
+    fn drop(&mut self) {
+        // Unsealed blocks keep their default `ret` terminator, which makes
+        // straight-line functions pleasant to write.
+        let f = Function {
+            name: std::mem::take(&mut self.name),
+            params: self.params,
+            regs: self.next_reg.max(1),
+            blocks: std::mem::take(&mut self.blocks),
+        };
+        self.parent.functions[self.id.index()] = Some(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Machine;
+
+    #[test]
+    fn straight_line_function() {
+        let mut p = ProgramBuilder::new();
+        let main = p.declare("main", 0);
+        {
+            let mut f = p.function(main);
+            let a = f.const_temp(20);
+            let b = f.const_temp(22);
+            let c = f.temp();
+            f.add(c, a, b);
+            f.ret(Some(c));
+        }
+        let mut m = Machine::new(p.build().unwrap());
+        assert_eq!(m.run_native().unwrap().exit_value, Some(42));
+    }
+
+    #[test]
+    fn for_range_counts() {
+        let mut p = ProgramBuilder::new();
+        let main = p.declare("main", 0);
+        {
+            let mut f = p.function(main);
+            let acc = f.const_temp(0);
+            let n = f.const_temp(7);
+            f.for_range(n, |f, i| {
+                f.add(acc, acc, i);
+            });
+            f.ret(Some(acc));
+        }
+        let mut m = Machine::new(p.build().unwrap());
+        assert_eq!(m.run_native().unwrap().exit_value, Some(21));
+    }
+
+    #[test]
+    fn call_between_functions() {
+        let mut p = ProgramBuilder::new();
+        let main = p.declare("main", 0);
+        let twice = p.declare("twice", 1);
+        {
+            let mut f = p.function(twice);
+            let x = f.param(0);
+            let d = f.temp();
+            f.add(d, x, x);
+            f.ret(Some(d));
+        }
+        {
+            let mut f = p.function(main);
+            let a = f.const_temp(21);
+            let r = f.temp();
+            f.call(Some(r), twice, &[a]);
+            f.ret(Some(r));
+        }
+        let mut m = Machine::new(p.build().unwrap());
+        assert_eq!(m.run_native().unwrap().exit_value, Some(42));
+    }
+
+    #[test]
+    fn undeclared_function_fails_build() {
+        let mut p = ProgramBuilder::new();
+        let _main = p.declare("main", 0);
+        assert!(p.build().is_err());
+    }
+
+    #[test]
+    fn memory_roundtrip_through_builder() {
+        let mut p = ProgramBuilder::new();
+        let main = p.declare("main", 0);
+        {
+            let mut f = p.function(main);
+            let n = f.const_temp(8);
+            let buf = f.temp();
+            f.alloc(buf, n);
+            f.for_range(n, |f, i| {
+                let addr = f.temp();
+                f.add(addr, buf, i);
+                f.store(i, addr, 0);
+            });
+            let acc = f.const_temp(0);
+            f.for_range(n, |f, i| {
+                let addr = f.temp();
+                f.add(addr, buf, i);
+                let v = f.temp();
+                f.load(v, addr, 0);
+                f.add(acc, acc, v);
+            });
+            f.ret(Some(acc));
+        }
+        let mut m = Machine::new(p.build().unwrap());
+        assert_eq!(m.run_native().unwrap().exit_value, Some(28));
+    }
+}

@@ -1,0 +1,82 @@
+//! Runtime errors of the guest machine.
+
+use crate::ir::FuncId;
+use aprof_trace::ThreadId;
+use std::fmt;
+
+/// A runtime error raised while executing a guest program.
+///
+/// Structural errors are rejected earlier, at [`Program::new`] time; this
+/// type covers dynamic conditions: deadlock, lock misuse, bad file
+/// descriptors, runaway executions.
+///
+/// [`Program::new`]: crate::ir::Program::new
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// All live threads are blocked — the guest program deadlocked.
+    Deadlock {
+        /// Threads alive (and blocked) at detection time.
+        blocked: Vec<ThreadId>,
+    },
+    /// A thread released a lock it does not hold.
+    LockNotHeld {
+        /// The offending thread.
+        thread: ThreadId,
+        /// The lock key.
+        lock: i64,
+    },
+    /// A system call referenced an unknown file descriptor.
+    BadFileDescriptor {
+        /// The offending thread.
+        thread: ThreadId,
+        /// The descriptor value.
+        fd: i64,
+    },
+    /// `join` on a value that is not a live or finished thread handle.
+    BadThreadHandle {
+        /// The offending thread.
+        thread: ThreadId,
+        /// The handle value.
+        handle: i64,
+    },
+    /// The execution exceeded the configured basic-block budget
+    /// ([`MachineConfig::max_blocks`](crate::MachineConfig)).
+    BlockBudgetExceeded {
+        /// The budget that was exhausted.
+        limit: u64,
+    },
+    /// A spawn would exceed the configured thread limit.
+    TooManyThreads {
+        /// The limit in force.
+        limit: usize,
+        /// The function the spawn targeted.
+        func: FuncId,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Deadlock { blocked } => {
+                write!(f, "deadlock: all live threads blocked ({blocked:?})")
+            }
+            VmError::LockNotHeld { thread, lock } => {
+                write!(f, "{thread} released lock {lock} it does not hold")
+            }
+            VmError::BadFileDescriptor { thread, fd } => {
+                write!(f, "{thread} used unknown file descriptor {fd}")
+            }
+            VmError::BadThreadHandle { thread, handle } => {
+                write!(f, "{thread} joined invalid thread handle {handle}")
+            }
+            VmError::BlockBudgetExceeded { limit } => {
+                write!(f, "execution exceeded the {limit} basic-block budget")
+            }
+            VmError::TooManyThreads { limit, func } => {
+                write!(f, "spawn of {func:?} exceeds the {limit}-thread limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmError {}

@@ -1,0 +1,633 @@
+//! The guest intermediate representation: a small register machine.
+//!
+//! Programs are collections of [`Function`]s made of [`BasicBlock`]s over an
+//! unbounded register file of 64-bit integers. Guest memory is word-granular
+//! (one [`aprof_trace::Addr`] names one `i64` cell). The instruction set is
+//! deliberately VEX-flavoured: straight-line arithmetic within blocks,
+//! explicit terminators, calls and returns as instructions (so the
+//! instrumentation sees every activation), plus threading and kernel-I/O
+//! primitives matching the events of §4 of the paper.
+
+use aprof_trace::RoutineTable;
+use std::fmt;
+
+/// A virtual register of a function (64-bit integer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u16);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Identifier of a function within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    /// Dense index of the function.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a basic block within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Dense index of the block.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// Binary arithmetic/logic operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Min,
+    Max,
+}
+
+impl BinOp {
+    /// Evaluates the operation with guest semantics (wrapping arithmetic;
+    /// division/remainder by zero yield 0, like a forgiving guest ABI).
+    pub fn eval(self, a: i64, b: i64) -> i64 {
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            BinOp::Rem => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_rem(b)
+                }
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+            BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+        }
+    }
+
+    /// Mnemonic used by the assembly syntax.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+        }
+    }
+}
+
+/// Comparison operations; results are 0 or 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates the comparison.
+    pub fn eval(self, a: i64, b: i64) -> i64 {
+        let r = match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        };
+        r as i64
+    }
+
+    /// Mnemonic used by the assembly syntax.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "ceq",
+            CmpOp::Ne => "cne",
+            CmpOp::Lt => "clt",
+            CmpOp::Le => "cle",
+            CmpOp::Gt => "cgt",
+            CmpOp::Ge => "cge",
+        }
+    }
+}
+
+/// One guest instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// `dst = value`.
+    Const {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        value: i64,
+    },
+    /// `dst = src`.
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst = lhs <op> rhs`.
+    Bin {
+        /// The operation.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        lhs: Reg,
+        /// Right operand.
+        rhs: Reg,
+    },
+    /// `dst = lhs <cmp> rhs` (0 or 1).
+    Cmp {
+        /// The comparison.
+        op: CmpOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        lhs: Reg,
+        /// Right operand.
+        rhs: Reg,
+    },
+    /// `dst = memory[addr + offset]` — generates a `Read` event.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Base address register.
+        addr: Reg,
+        /// Constant cell offset.
+        offset: i64,
+    },
+    /// `memory[addr + offset] = src` — generates a `Write` event.
+    Store {
+        /// Source register.
+        src: Reg,
+        /// Base address register.
+        addr: Reg,
+        /// Constant cell offset.
+        offset: i64,
+    },
+    /// `dst = base address of a fresh allocation of len cells`.
+    Alloc {
+        /// Destination register (receives the base address).
+        dst: Reg,
+        /// Register holding the cell count.
+        len: Reg,
+    },
+    /// Call `func` with `args`; the return value (if any) lands in `dst`.
+    Call {
+        /// Destination for the callee's return value.
+        dst: Option<Reg>,
+        /// Callee.
+        func: FuncId,
+        /// Argument registers, copied into the callee's first registers.
+        args: Vec<Reg>,
+    },
+    /// Spawn a thread running `func(args)`; `dst` receives a thread handle.
+    Spawn {
+        /// Destination for the thread handle.
+        dst: Reg,
+        /// Thread entry function.
+        func: FuncId,
+        /// Argument registers.
+        args: Vec<Reg>,
+    },
+    /// Block until the thread whose handle is in `thread` terminates.
+    Join {
+        /// Register holding a thread handle from [`Instr::Spawn`].
+        thread: Reg,
+    },
+    /// Acquire the mutex identified by the value of `lock` (blocking).
+    Acquire {
+        /// Register holding the lock key.
+        lock: Reg,
+    },
+    /// Release the mutex identified by the value of `lock`.
+    Release {
+        /// Register holding the lock key.
+        lock: Reg,
+    },
+    /// Initialize semaphore `sem` to `value`.
+    SemInit {
+        /// Register holding the semaphore key.
+        sem: Reg,
+        /// Register holding the initial value.
+        value: Reg,
+    },
+    /// V (post) on semaphore `sem`.
+    SemPost {
+        /// Register holding the semaphore key.
+        sem: Reg,
+    },
+    /// P (wait) on semaphore `sem` (blocking).
+    SemWait {
+        /// Register holding the semaphore key.
+        sem: Reg,
+    },
+    /// Voluntarily yield the processor.
+    Yield,
+    /// `dst = cells read` — the kernel fills `len` cells at `buf` with data
+    /// from the device behind file descriptor `fd`, generating one
+    /// `KernelWrite` event per cell (§4.3: a thread *external read*).
+    SysRead {
+        /// Destination for the number of cells transferred.
+        dst: Reg,
+        /// Register holding the file descriptor.
+        fd: Reg,
+        /// Register holding the buffer base address.
+        buf: Reg,
+        /// Register holding the requested cell count.
+        len: Reg,
+    },
+    /// `dst = cells written` — the kernel sends `len` cells at `buf` to the
+    /// device behind `fd`, generating one `KernelRead` event per cell
+    /// (§4.3: a thread *external write*).
+    SysWrite {
+        /// Destination for the number of cells transferred.
+        dst: Reg,
+        /// Register holding the file descriptor.
+        fd: Reg,
+        /// Register holding the buffer base address.
+        buf: Reg,
+        /// Register holding the cell count.
+        len: Reg,
+    },
+}
+
+/// The closing control transfer of a basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jmp(BlockId),
+    /// Two-way branch on `cond != 0`.
+    Br {
+        /// Condition register.
+        cond: Reg,
+        /// Target when the condition is non-zero.
+        then_to: BlockId,
+        /// Target when the condition is zero.
+        else_to: BlockId,
+    },
+    /// Return from the current activation.
+    Ret {
+        /// Optional result register.
+        value: Option<Reg>,
+    },
+}
+
+/// A straight-line sequence of instructions ending in a [`Terminator`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// The block body.
+    pub instrs: Vec<Instr>,
+    /// The closing control transfer.
+    pub term: Terminator,
+}
+
+/// A guest function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Function name (interned into the program's routine table).
+    pub name: String,
+    /// Number of parameters, passed in registers `r0..rN`.
+    pub params: u16,
+    /// Size of the register file.
+    pub regs: u16,
+    /// Basic blocks; execution starts at block 0.
+    pub blocks: Vec<BasicBlock>,
+}
+
+/// A complete guest program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    functions: Vec<Function>,
+    entry: FuncId,
+    routines: RoutineTable,
+}
+
+impl Program {
+    /// Assembles a program from its functions; `entry` is the function where
+    /// the main thread starts (it must take no parameters).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProgramError`] if the program is malformed: unknown
+    /// entry, register/block/function references out of range, argument
+    /// count mismatches, or an entry function with parameters.
+    pub fn new(functions: Vec<Function>, entry: FuncId) -> Result<Program, ProgramError> {
+        let mut routines = RoutineTable::new();
+        for f in &functions {
+            routines.intern(&f.name);
+        }
+        let program = Program { functions, entry, routines };
+        program.validate()?;
+        Ok(program)
+    }
+
+    /// The functions, indexed by [`FuncId`].
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// One function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// The entry function.
+    pub fn entry(&self) -> FuncId {
+        self.entry
+    }
+
+    /// The routine-name table shared with profilers and reports.
+    ///
+    /// Function `FuncId(i)` is interned as `RoutineId(i)` — the two id
+    /// spaces coincide by construction.
+    pub fn routines(&self) -> &RoutineTable {
+        &self.routines
+    }
+
+    /// Finds a function by name.
+    pub fn find(&self, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    fn validate(&self) -> Result<(), ProgramError> {
+        let err = |f: &Function, what: String| {
+            Err(ProgramError { function: f.name.clone(), message: what })
+        };
+        if self.functions.get(self.entry.index()).is_none() {
+            return Err(ProgramError {
+                function: String::new(),
+                message: format!("entry function {:?} does not exist", self.entry),
+            });
+        }
+        if self.function(self.entry).params != 0 {
+            return err(self.function(self.entry), "entry function must take no parameters".into());
+        }
+        for f in &self.functions {
+            if f.params > f.regs {
+                return err(f, format!("{} params but only {} regs", f.params, f.regs));
+            }
+            if f.blocks.is_empty() {
+                return err(f, "function has no basic blocks".into());
+            }
+            let check_reg = |r: Reg| r.0 < f.regs;
+            let check_block = |b: BlockId| b.index() < f.blocks.len();
+            let check_callee = |id: FuncId, args: &[Reg]| -> Option<String> {
+                match self.functions.get(id.index()) {
+                    None => Some(format!("call to unknown function {id:?}")),
+                    Some(callee) if callee.params as usize != args.len() => Some(format!(
+                        "call to {} with {} args, expected {}",
+                        callee.name,
+                        args.len(),
+                        callee.params
+                    )),
+                    _ => None,
+                }
+            };
+            for (bi, block) in f.blocks.iter().enumerate() {
+                let mut regs: Vec<Reg> = Vec::new();
+                for instr in &block.instrs {
+                    regs.clear();
+                    match instr {
+                        Instr::Const { dst, .. } => regs.push(*dst),
+                        Instr::Mov { dst, src } => regs.extend([*dst, *src]),
+                        Instr::Bin { dst, lhs, rhs, .. } | Instr::Cmp { dst, lhs, rhs, .. } => {
+                            regs.extend([*dst, *lhs, *rhs])
+                        }
+                        Instr::Load { dst, addr, .. } => regs.extend([*dst, *addr]),
+                        Instr::Store { src, addr, .. } => regs.extend([*src, *addr]),
+                        Instr::Alloc { dst, len } => regs.extend([*dst, *len]),
+                        Instr::Call { dst, func, args } => {
+                            if let Some(msg) = check_callee(*func, args) {
+                                return err(f, msg);
+                            }
+                            regs.extend(dst.iter().copied());
+                            regs.extend(args.iter().copied());
+                        }
+                        Instr::Spawn { dst, func, args } => {
+                            if let Some(msg) = check_callee(*func, args) {
+                                return err(f, msg);
+                            }
+                            regs.push(*dst);
+                            regs.extend(args.iter().copied());
+                        }
+                        Instr::Join { thread } => regs.push(*thread),
+                        Instr::Acquire { lock } | Instr::Release { lock } => regs.push(*lock),
+                        Instr::SemInit { sem, value } => regs.extend([*sem, *value]),
+                        Instr::SemPost { sem } | Instr::SemWait { sem } => regs.push(*sem),
+                        Instr::Yield => {}
+                        Instr::SysRead { dst, fd, buf, len }
+                        | Instr::SysWrite { dst, fd, buf, len } => {
+                            regs.extend([*dst, *fd, *buf, *len])
+                        }
+                    }
+                    if let Some(&bad) = regs.iter().find(|r| !check_reg(**r)) {
+                        return err(f, format!("bb{bi}: register {bad} out of range"));
+                    }
+                }
+                match &block.term {
+                    Terminator::Jmp(b) => {
+                        if !check_block(*b) {
+                            return err(f, format!("bb{bi}: jump to unknown {b}"));
+                        }
+                    }
+                    Terminator::Br { cond, then_to, else_to } => {
+                        if !check_reg(*cond) {
+                            return err(f, format!("bb{bi}: branch condition {cond} out of range"));
+                        }
+                        for b in [then_to, else_to] {
+                            if !check_block(*b) {
+                                return err(f, format!("bb{bi}: branch to unknown {b}"));
+                            }
+                        }
+                    }
+                    Terminator::Ret { value: Some(r) } => {
+                        if !check_reg(*r) {
+                            return err(f, format!("bb{bi}: return register {r} out of range"));
+                        }
+                    }
+                    Terminator::Ret { value: None } => {}
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A structural error in a [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramError {
+    /// The offending function (empty for program-level errors).
+    pub function: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "invalid program: {}", self.message)
+        } else {
+            write!(f, "invalid function `{}`: {}", self.function, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ret0() -> Terminator {
+        Terminator::Ret { value: None }
+    }
+
+    #[test]
+    fn binop_eval() {
+        assert_eq!(BinOp::Add.eval(2, 3), 5);
+        assert_eq!(BinOp::Div.eval(7, 0), 0);
+        assert_eq!(BinOp::Rem.eval(7, 0), 0);
+        assert_eq!(BinOp::Min.eval(-2, 5), -2);
+        assert_eq!(BinOp::Max.eval(-2, 5), 5);
+        assert_eq!(BinOp::Shl.eval(1, 65), 2, "shift masked to 6 bits");
+        assert_eq!(BinOp::Mul.eval(i64::MAX, 2), -2, "wrapping");
+    }
+
+    #[test]
+    fn cmpop_eval() {
+        assert_eq!(CmpOp::Lt.eval(1, 2), 1);
+        assert_eq!(CmpOp::Ge.eval(1, 2), 0);
+        assert_eq!(CmpOp::Eq.eval(4, 4), 1);
+        assert_eq!(CmpOp::Ne.eval(4, 4), 0);
+        assert_eq!(CmpOp::Le.eval(2, 2), 1);
+        assert_eq!(CmpOp::Gt.eval(3, 2), 1);
+    }
+
+    #[test]
+    fn validate_rejects_bad_register() {
+        let f = Function {
+            name: "main".into(),
+            params: 0,
+            regs: 1,
+            blocks: vec![BasicBlock {
+                instrs: vec![Instr::Const { dst: Reg(5), value: 0 }],
+                term: ret0(),
+            }],
+        };
+        let e = Program::new(vec![f], FuncId(0)).unwrap_err();
+        assert!(e.message.contains("register"), "{e}");
+    }
+
+    #[test]
+    fn validate_rejects_bad_block() {
+        let f = Function {
+            name: "main".into(),
+            params: 0,
+            regs: 1,
+            blocks: vec![BasicBlock { instrs: vec![], term: Terminator::Jmp(BlockId(9)) }],
+        };
+        assert!(Program::new(vec![f], FuncId(0)).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_arity_mismatch() {
+        let callee = Function {
+            name: "g".into(),
+            params: 2,
+            regs: 2,
+            blocks: vec![BasicBlock { instrs: vec![], term: ret0() }],
+        };
+        let main = Function {
+            name: "main".into(),
+            params: 0,
+            regs: 1,
+            blocks: vec![BasicBlock {
+                instrs: vec![Instr::Call { dst: None, func: FuncId(0), args: vec![Reg(0)] }],
+                term: ret0(),
+            }],
+        };
+        assert!(Program::new(vec![callee, main], FuncId(1)).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_entry_with_params() {
+        let f = Function {
+            name: "main".into(),
+            params: 1,
+            regs: 1,
+            blocks: vec![BasicBlock { instrs: vec![], term: ret0() }],
+        };
+        assert!(Program::new(vec![f], FuncId(0)).is_err());
+    }
+
+    #[test]
+    fn routine_ids_match_func_ids() {
+        let mk = |name: &str| Function {
+            name: name.into(),
+            params: 0,
+            regs: 1,
+            blocks: vec![BasicBlock { instrs: vec![], term: ret0() }],
+        };
+        let p = Program::new(vec![mk("main"), mk("worker")], FuncId(0)).unwrap();
+        assert_eq!(p.routines().lookup("worker").unwrap().index(), 1);
+        assert_eq!(p.find("worker"), Some(FuncId(1)));
+        assert_eq!(p.find("nope"), None);
+    }
+}

@@ -1,0 +1,66 @@
+//! An instrumented guest machine: the dynamic-binary-instrumentation
+//! substrate of `aprof-rs`.
+//!
+//! The paper's profiler is a Valgrind tool: Valgrind translates the binary
+//! into the VEX intermediate representation, serializes guest threads under
+//! a fair scheduler, and delivers instruction-level events (memory accesses,
+//! calls/returns, basic blocks, wrapped system calls) to analysis plugins.
+//! Binding Valgrind from Rust is impractical, so this crate provides the
+//! same *observable interface* from scratch:
+//!
+//! * a small register-based [IR](ir) of functions and basic blocks
+//!   (a VEX stand-in), with a [builder] API and a textual
+//!   [assembly](asm) front end;
+//! * an [interpreter](Machine) that executes multithreaded guest programs —
+//!   threads, locks, semaphores, join — **serialized** under a fair
+//!   round-robin scheduler, exactly like Valgrind's thread model (§5);
+//! * a [device] layer whose `sys_read`/`sys_write` instructions
+//!   model kernel-mediated I/O, generating the `kernelWrite`/`kernelRead`
+//!   events of §4.3;
+//! * full instrumentation: every executed basic block, memory access,
+//!   call/return, thread switch and kernel-mediated access is delivered to
+//!   an [`aprof_trace::Tool`].
+//!
+//! Two execution paths exist so tool overhead can be measured the way the
+//! paper does: [`Machine::run_native`] executes without any instrumentation
+//! (the "native" column of Table 1), while [`Machine::run_with`] dispatches
+//! events to a tool through dynamic dispatch (so even the do-nothing
+//! `NullTool` pays the instrumentation cost, like `nulgrind`).
+//!
+//! # Example
+//!
+//! ```
+//! use aprof_vm::{asm, Machine};
+//! use aprof_trace::{RecordingTool};
+//!
+//! let program = asm::parse(
+//!     r#"
+//!     func main() regs=3 {
+//!     bb0:
+//!         r0 = const 40
+//!         r1 = const 2
+//!         r2 = add r0, r1
+//!         ret r2
+//!     }
+//!     "#,
+//! )?;
+//! let mut machine = Machine::new(program);
+//! let outcome = machine.run_native()?;
+//! assert_eq!(outcome.exit_value, Some(42));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod builder;
+pub mod device;
+mod error;
+pub mod ir;
+mod machine;
+mod memory;
+
+pub use error::VmError;
+pub use machine::{Machine, MachineConfig, RunOutcome, ThreadOutcome};
+pub use memory::GuestMemory;

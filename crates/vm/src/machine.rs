@@ -1,0 +1,738 @@
+//! The interpreter: serialized multithreaded execution with instrumentation.
+
+use crate::device::DeviceTable;
+use crate::error::VmError;
+use crate::ir::{FuncId, Instr, Program, Reg, Terminator};
+use crate::memory::GuestMemory;
+use aprof_trace::{Addr, RoutineId, ThreadId, Tool};
+use std::collections::{HashMap, VecDeque};
+
+/// Tunables of a [`Machine`].
+#[derive(Debug, Clone, Copy)]
+pub struct MachineConfig {
+    /// Scheduler quantum in basic blocks: a thread runs at most this many
+    /// blocks before the (fair, round-robin) scheduler rotates to the next
+    /// runnable thread, mirroring Valgrind's fair thread scheduler (§5).
+    pub quantum: u64,
+    /// Execution budget in basic blocks; exceeded budgets abort the run
+    /// with [`VmError::BlockBudgetExceeded`] (a runaway-guest backstop).
+    pub max_blocks: u64,
+    /// Maximum number of threads ever spawned.
+    pub max_threads: usize,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig { quantum: 64, max_blocks: u64::MAX, max_threads: 1 << 16 }
+    }
+}
+
+/// Result of one guest run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Return value of the entry function (`None` for a bare `ret`).
+    pub exit_value: Option<i64>,
+    /// Basic blocks executed across all threads (the cost metric).
+    pub total_blocks: u64,
+    /// Thread switches performed by the scheduler.
+    pub switches: u64,
+    /// Per-thread outcomes, indexed by thread id.
+    pub threads: Vec<ThreadOutcome>,
+}
+
+/// Per-thread summary of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadOutcome {
+    /// The thread.
+    pub thread: ThreadId,
+    /// Basic blocks it executed.
+    pub blocks: u64,
+    /// Its entry function's return value.
+    pub result: Option<i64>,
+}
+
+/// Internal event sink; monomorphized away for the native path, forwarding
+/// through dynamic dispatch for the instrumented path (so even a do-nothing
+/// tool pays the same dispatch cost `nulgrind` pays under Valgrind).
+trait Sink {
+    fn thread_start(&mut self, _t: ThreadId) {}
+    fn thread_exit(&mut self, _t: ThreadId) {}
+    fn thread_switch(&mut self, _t: ThreadId) {}
+    fn basic_block(&mut self, _t: ThreadId, _cost: u64) {}
+    fn call(&mut self, _t: ThreadId, _r: RoutineId) {}
+    fn ret(&mut self, _t: ThreadId, _r: RoutineId) {}
+    fn read(&mut self, _t: ThreadId, _a: Addr) {}
+    fn write(&mut self, _t: ThreadId, _a: Addr) {}
+    fn kernel_read(&mut self, _t: ThreadId, _a: Addr) {}
+    fn kernel_write(&mut self, _t: ThreadId, _a: Addr) {}
+    fn spawned(&mut self, _parent: ThreadId, _child: ThreadId) {}
+    fn joined(&mut self, _t: ThreadId, _target: ThreadId) {}
+    fn lock_acquired(&mut self, _t: ThreadId, _lock: i64) {}
+    fn lock_released(&mut self, _t: ThreadId, _lock: i64) {}
+    fn sem_posted(&mut self, _t: ThreadId, _sem: i64) {}
+    fn sem_waited(&mut self, _t: ThreadId, _sem: i64) {}
+}
+
+/// The uninstrumented ("native") sink.
+struct NoSink;
+impl Sink for NoSink {}
+
+/// Adapter delivering events to a [`Tool`] through dynamic dispatch.
+struct ToolSink<'a>(&'a mut dyn Tool);
+
+impl Sink for ToolSink<'_> {
+    fn thread_start(&mut self, t: ThreadId) {
+        self.0.thread_start(t);
+    }
+    fn thread_exit(&mut self, t: ThreadId) {
+        self.0.thread_exit(t);
+    }
+    fn thread_switch(&mut self, t: ThreadId) {
+        self.0.thread_switch(t);
+    }
+    fn basic_block(&mut self, t: ThreadId, cost: u64) {
+        self.0.basic_block(t, cost);
+    }
+    fn call(&mut self, t: ThreadId, r: RoutineId) {
+        self.0.call(t, r);
+    }
+    fn ret(&mut self, t: ThreadId, r: RoutineId) {
+        self.0.ret(t, r);
+    }
+    fn read(&mut self, t: ThreadId, a: Addr) {
+        self.0.read(t, a);
+    }
+    fn write(&mut self, t: ThreadId, a: Addr) {
+        self.0.write(t, a);
+    }
+    fn kernel_read(&mut self, t: ThreadId, a: Addr) {
+        self.0.kernel_read(t, a);
+    }
+    fn kernel_write(&mut self, t: ThreadId, a: Addr) {
+        self.0.kernel_write(t, a);
+    }
+    fn spawned(&mut self, parent: ThreadId, child: ThreadId) {
+        self.0.spawned(parent, child);
+    }
+    fn joined(&mut self, t: ThreadId, target: ThreadId) {
+        self.0.joined(t, target);
+    }
+    fn lock_acquired(&mut self, t: ThreadId, lock: i64) {
+        self.0.lock_acquired(t, lock);
+    }
+    fn lock_released(&mut self, t: ThreadId, lock: i64) {
+        self.0.lock_released(t, lock);
+    }
+    fn sem_posted(&mut self, t: ThreadId, sem: i64) {
+        self.0.sem_posted(t, sem);
+    }
+    fn sem_waited(&mut self, t: ThreadId, sem: i64) {
+        self.0.sem_waited(t, sem);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ActFrame {
+    func: FuncId,
+    block: usize,
+    idx: usize,
+    bb_counted: bool,
+    regs: Vec<i64>,
+    ret_dst: Option<Reg>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Ready,
+    Blocked,
+    Done,
+}
+
+#[derive(Debug)]
+struct ThreadCtx {
+    id: ThreadId,
+    frames: Vec<ActFrame>,
+    status: Status,
+    started: bool,
+    result: Option<i64>,
+    blocks: u64,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    holder: Option<usize>,
+    waiters: VecDeque<usize>,
+}
+
+#[derive(Debug, Default)]
+struct SemState {
+    value: i64,
+    waiters: VecDeque<usize>,
+}
+
+/// What a scheduling slice ended with.
+enum Slice {
+    /// Quantum exhausted; thread still runnable.
+    Preempted,
+    /// Thread blocked on a lock/semaphore/join.
+    Blocked,
+    /// Thread finished.
+    Exited,
+}
+
+/// An instrumented interpreter for guest [`Program`]s.
+///
+/// Threads are **serialized**: exactly one guest thread executes at a time,
+/// under a deterministic fair round-robin scheduler, so analysis tools never
+/// see concurrent callbacks — the same execution model Valgrind gives the
+/// paper's profiler (§5). Determinism makes every experiment reproducible:
+/// the same program, devices and configuration yield the identical event
+/// stream.
+///
+/// # Example
+///
+/// Run a program under the trms profiler:
+///
+/// ```
+/// use aprof_core::TrmsProfiler;
+/// use aprof_vm::{asm, Machine};
+///
+/// let program = asm::parse(
+///     "func main() regs=2 {\n
+///      bb0:\n
+///        r0 = const 123\n
+///        r1 = alloc r0\n
+///        store r0, r1, 0\n
+///        r0 = load r1, 0\n
+///        ret r0\n
+///      }",
+/// )?;
+/// let names = program.routines().clone();
+/// let mut machine = Machine::new(program);
+/// let mut profiler = TrmsProfiler::new();
+/// let outcome = machine.run_with(&mut profiler)?;
+/// assert_eq!(outcome.exit_value, Some(123));
+/// let report = profiler.into_report(&names);
+/// assert_eq!(report.global.writes, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    program: Program,
+    memory: GuestMemory,
+    devices: DeviceTable,
+    config: MachineConfig,
+}
+
+impl Machine {
+    /// Creates a machine for `program` with default configuration and no
+    /// devices.
+    pub fn new(program: Program) -> Self {
+        Machine {
+            program,
+            memory: GuestMemory::new(),
+            devices: DeviceTable::new(),
+            config: MachineConfig::default(),
+        }
+    }
+
+    /// Replaces the configuration.
+    pub fn with_config(mut self, config: MachineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> MachineConfig {
+        self.config
+    }
+
+    /// Registers a device, returning the file descriptor guests use.
+    pub fn add_device(&mut self, device: Box<dyn crate::device::Device>) -> i64 {
+        self.devices.register(device)
+    }
+
+    /// The device table (for post-run inspection of sinks/files).
+    pub fn devices(&self) -> &DeviceTable {
+        &self.devices
+    }
+
+    /// The guest memory (for post-run inspection).
+    pub fn memory(&self) -> &GuestMemory {
+        &self.memory
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Runs the program without instrumentation — the "native" baseline of
+    /// Table 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] on guest deadlock, lock misuse, bad file
+    /// descriptors or an exceeded block budget.
+    pub fn run_native(&mut self) -> Result<RunOutcome, VmError> {
+        self.run_inner(&mut NoSink)
+    }
+
+    /// Runs the program delivering every instrumentation event to `tool`
+    /// (and calling [`Tool::finish`] at the end).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run_native`](Machine::run_native).
+    pub fn run_with(&mut self, tool: &mut dyn Tool) -> Result<RunOutcome, VmError> {
+        let outcome = {
+            let mut sink = ToolSink(tool);
+            self.run_inner(&mut sink)
+        };
+        tool.finish();
+        outcome
+    }
+
+    fn run_inner<S: Sink>(&mut self, sink: &mut S) -> Result<RunOutcome, VmError> {
+        let mut exec = Exec {
+            program: &self.program,
+            memory: &mut self.memory,
+            devices: &mut self.devices,
+            config: self.config,
+            threads: Vec::new(),
+            locks: HashMap::new(),
+            sems: HashMap::new(),
+            joiners: HashMap::new(),
+            runq: VecDeque::new(),
+            total_blocks: 0,
+            switches: 0,
+        };
+        exec.spawn_thread(self.program.entry(), Vec::new())
+            .expect("first thread is always under the limit");
+        exec.run(sink)
+    }
+}
+
+struct Exec<'m> {
+    program: &'m Program,
+    memory: &'m mut GuestMemory,
+    devices: &'m mut DeviceTable,
+    config: MachineConfig,
+    threads: Vec<ThreadCtx>,
+    locks: HashMap<i64, LockState>,
+    sems: HashMap<i64, SemState>,
+    joiners: HashMap<usize, Vec<usize>>,
+    runq: VecDeque<usize>,
+    total_blocks: u64,
+    switches: u64,
+}
+
+impl<'m> Exec<'m> {
+    fn spawn_thread(&mut self, func: FuncId, args: Vec<i64>) -> Result<usize, VmError> {
+        if self.threads.len() >= self.config.max_threads {
+            return Err(VmError::TooManyThreads { limit: self.config.max_threads, func });
+        }
+        let idx = self.threads.len();
+        let f = self.program.function(func);
+        let mut regs = vec![0i64; f.regs as usize];
+        regs[..args.len()].copy_from_slice(&args);
+        self.threads.push(ThreadCtx {
+            id: ThreadId::new(idx as u32),
+            frames: vec![ActFrame {
+                func,
+                block: 0,
+                idx: 0,
+                bb_counted: false,
+                regs,
+                ret_dst: None,
+            }],
+            status: Status::Ready,
+            started: false,
+            result: None,
+            blocks: 0,
+        });
+        self.runq.push_back(idx);
+        Ok(idx)
+    }
+
+    fn wake(&mut self, t: usize) {
+        self.threads[t].status = Status::Ready;
+        self.runq.push_back(t);
+    }
+
+    fn run<S: Sink>(&mut self, sink: &mut S) -> Result<RunOutcome, VmError> {
+        let mut last: Option<usize> = None;
+        while let Some(t) = self.runq.pop_front() {
+            debug_assert_eq!(self.threads[t].status, Status::Ready);
+            if last.is_some() && last != Some(t) {
+                self.switches += 1;
+                sink.thread_switch(self.threads[t].id);
+            }
+            last = Some(t);
+            if !self.threads[t].started {
+                self.threads[t].started = true;
+                sink.thread_start(self.threads[t].id);
+                // The entry function of a thread is an activation too.
+                let func = self.threads[t].frames[0].func;
+                sink.call(self.threads[t].id, RoutineId::new(func.0));
+            }
+            match self.slice(t, sink)? {
+                Slice::Preempted => self.runq.push_back(t),
+                Slice::Blocked => {}
+                Slice::Exited => {
+                    sink.thread_exit(self.threads[t].id);
+                    if let Some(waiters) = self.joiners.remove(&t) {
+                        for w in waiters {
+                            // The join instruction has completed.
+                            self.advance(w);
+                            self.wake(w);
+                            sink.joined(self.threads[w].id, self.threads[t].id);
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(blocked) = self.deadlocked() {
+            return Err(VmError::Deadlock { blocked });
+        }
+        Ok(RunOutcome {
+            exit_value: self.threads[0].result,
+            total_blocks: self.total_blocks,
+            switches: self.switches,
+            threads: self
+                .threads
+                .iter()
+                .map(|t| ThreadOutcome { thread: t.id, blocks: t.blocks, result: t.result })
+                .collect(),
+        })
+    }
+
+    fn deadlocked(&self) -> Option<Vec<ThreadId>> {
+        let blocked: Vec<ThreadId> = self
+            .threads
+            .iter()
+            .filter(|t| t.status == Status::Blocked)
+            .map(|t| t.id)
+            .collect();
+        if blocked.is_empty() {
+            None
+        } else {
+            Some(blocked)
+        }
+    }
+
+    /// Advances the blocked-instruction pointer of `t` past the instruction
+    /// it was blocked on (used when a wake-up completes the instruction on
+    /// the blocked thread's behalf).
+    fn advance(&mut self, t: usize) {
+        let frame = self.threads[t].frames.last_mut().expect("blocked thread has a frame");
+        frame.idx += 1;
+    }
+
+    /// Runs thread `t` for up to one quantum.
+    fn slice<S: Sink>(&mut self, t: usize, sink: &mut S) -> Result<Slice, VmError> {
+        let tid = self.threads[t].id;
+        let mut budget = self.config.quantum;
+        loop {
+            // Charge the basic block on first entry (not on re-entry after
+            // an intra-block blocking instruction).
+            {
+                let frame = self.threads[t].frames.last_mut().expect("live thread has a frame");
+                if !frame.bb_counted {
+                    frame.bb_counted = true;
+                    self.threads[t].blocks += 1;
+                    self.total_blocks += 1;
+                    if self.total_blocks > self.config.max_blocks {
+                        return Err(VmError::BlockBudgetExceeded {
+                            limit: self.config.max_blocks,
+                        });
+                    }
+                    sink.basic_block(tid, 1);
+                }
+            }
+            // Execute instructions until the block ends or control leaves.
+            let (func, block, idx) = {
+                let frame = self.threads[t].frames.last().expect("frame");
+                (frame.func, frame.block, frame.idx)
+            };
+            let bb = &self.program.function(func).blocks[block];
+            if idx < bb.instrs.len() {
+                match self.instr(t, tid, &bb.instrs[idx], sink)? {
+                    Flow::Next => continue,
+                    Flow::Blocked => {
+                        self.threads[t].status = Status::Blocked;
+                        return Ok(Slice::Blocked);
+                    }
+                    Flow::Yielded => return Ok(Slice::Preempted),
+                }
+            }
+            // Terminator.
+            match &bb.term {
+                Terminator::Jmp(b) => {
+                    let frame = self.threads[t].frames.last_mut().expect("frame");
+                    frame.block = b.index();
+                    frame.idx = 0;
+                    frame.bb_counted = false;
+                }
+                Terminator::Br { cond, then_to, else_to } => {
+                    let frame = self.threads[t].frames.last_mut().expect("frame");
+                    let taken = if frame.regs[cond.0 as usize] != 0 { then_to } else { else_to };
+                    frame.block = taken.index();
+                    frame.idx = 0;
+                    frame.bb_counted = false;
+                }
+                Terminator::Ret { value } => {
+                    let frame = self.threads[t].frames.pop().expect("frame");
+                    let result = value.map(|r| frame.regs[r.0 as usize]);
+                    sink.ret(tid, RoutineId::new(frame.func.0));
+                    match self.threads[t].frames.last_mut() {
+                        Some(caller) => {
+                            if let (Some(dst), Some(v)) = (frame.ret_dst, result) {
+                                caller.regs[dst.0 as usize] = v;
+                            }
+                        }
+                        None => {
+                            self.threads[t].result = result;
+                            self.threads[t].status = Status::Done;
+                            return Ok(Slice::Exited);
+                        }
+                    }
+                }
+            }
+            budget -= 1;
+            if budget == 0 {
+                return Ok(Slice::Preempted);
+            }
+        }
+    }
+
+    fn instr<S: Sink>(
+        &mut self,
+        t: usize,
+        tid: ThreadId,
+        instr: &Instr,
+        sink: &mut S,
+    ) -> Result<Flow, VmError> {
+        // Most instructions complete and advance the pointer; blocking ones
+        // leave it in place so they re-execute (or are completed by a waker).
+        macro_rules! regs {
+            () => {
+                self.threads[t].frames.last_mut().expect("frame").regs
+            };
+        }
+        match instr {
+            Instr::Const { dst, value } => {
+                regs!()[dst.0 as usize] = *value;
+            }
+            Instr::Mov { dst, src } => {
+                let v = regs!()[src.0 as usize];
+                regs!()[dst.0 as usize] = v;
+            }
+            Instr::Bin { op, dst, lhs, rhs } => {
+                let (a, b) = {
+                    let r = &regs!();
+                    (r[lhs.0 as usize], r[rhs.0 as usize])
+                };
+                regs!()[dst.0 as usize] = op.eval(a, b);
+            }
+            Instr::Cmp { op, dst, lhs, rhs } => {
+                let (a, b) = {
+                    let r = &regs!();
+                    (r[lhs.0 as usize], r[rhs.0 as usize])
+                };
+                regs!()[dst.0 as usize] = op.eval(a, b);
+            }
+            Instr::Load { dst, addr, offset } => {
+                let base = regs!()[addr.0 as usize];
+                let a = Addr::new(base.wrapping_add(*offset) as u64);
+                sink.read(tid, a);
+                let v = self.memory.read(a);
+                regs!()[dst.0 as usize] = v;
+            }
+            Instr::Store { src, addr, offset } => {
+                let (base, v) = {
+                    let r = &regs!();
+                    (r[addr.0 as usize], r[src.0 as usize])
+                };
+                let a = Addr::new(base.wrapping_add(*offset) as u64);
+                sink.write(tid, a);
+                self.memory.write(a, v);
+            }
+            Instr::Alloc { dst, len } => {
+                let n = regs!()[len.0 as usize].max(0) as u64;
+                let base = self.memory.alloc(n);
+                regs!()[dst.0 as usize] = base.raw() as i64;
+            }
+            Instr::Call { dst, func, args } => {
+                let argv: Vec<i64> = {
+                    let r = &regs!();
+                    args.iter().map(|a| r[a.0 as usize]).collect()
+                };
+                // The caller resumes after the call.
+                self.advance(t);
+                let f = self.program.function(*func);
+                let mut regs = vec![0i64; f.regs as usize];
+                regs[..argv.len()].copy_from_slice(&argv);
+                sink.call(tid, RoutineId::new(func.0));
+                self.threads[t].frames.push(ActFrame {
+                    func: *func,
+                    block: 0,
+                    idx: 0,
+                    bb_counted: false,
+                    regs,
+                    ret_dst: *dst,
+                });
+                return Ok(Flow::Next);
+            }
+            Instr::Spawn { dst, func, args } => {
+                let argv: Vec<i64> = {
+                    let r = &regs!();
+                    args.iter().map(|a| r[a.0 as usize]).collect()
+                };
+                let handle = self.spawn_thread(*func, argv)?;
+                sink.spawned(tid, ThreadId::new(handle as u32));
+                regs!()[dst.0 as usize] = handle as i64;
+            }
+            Instr::Join { thread } => {
+                let handle = regs!()[thread.0 as usize];
+                let target = usize::try_from(handle)
+                    .ok()
+                    .filter(|&h| h < self.threads.len())
+                    .ok_or(VmError::BadThreadHandle { thread: tid, handle })?;
+                if self.threads[target].status != Status::Done {
+                    self.joiners.entry(target).or_default().push(t);
+                    return Ok(Flow::Blocked);
+                }
+                sink.joined(tid, self.threads[target].id);
+            }
+            Instr::Acquire { lock } => {
+                let key = regs!()[lock.0 as usize];
+                let state = self.locks.entry(key).or_default();
+                match state.holder {
+                    None => {
+                        state.holder = Some(t);
+                        sink.lock_acquired(tid, key);
+                    }
+                    Some(_) => {
+                        state.waiters.push_back(t);
+                        return Ok(Flow::Blocked);
+                    }
+                }
+            }
+            Instr::Release { lock } => {
+                let key = regs!()[lock.0 as usize];
+                let state = self.locks.entry(key).or_default();
+                if state.holder != Some(t) {
+                    return Err(VmError::LockNotHeld { thread: tid, lock: key });
+                }
+                let next = match state.waiters.pop_front() {
+                    Some(next) => {
+                        state.holder = Some(next);
+                        Some(next)
+                    }
+                    None => {
+                        state.holder = None;
+                        None
+                    }
+                };
+                sink.lock_released(tid, key);
+                if let Some(next) = next {
+                    // Complete the waiter's Acquire on its behalf.
+                    self.advance(next);
+                    self.wake(next);
+                    sink.lock_acquired(self.threads[next].id, key);
+                }
+            }
+            Instr::SemInit { sem, value } => {
+                let (key, v) = {
+                    let r = &regs!();
+                    (r[sem.0 as usize], r[value.0 as usize])
+                };
+                self.sems.insert(key, SemState { value: v, waiters: VecDeque::new() });
+            }
+            Instr::SemPost { sem } => {
+                let key = regs!()[sem.0 as usize];
+                let state = self.sems.entry(key).or_default();
+                let next = match state.waiters.pop_front() {
+                    Some(next) => Some(next),
+                    None => {
+                        state.value += 1;
+                        None
+                    }
+                };
+                sink.sem_posted(tid, key);
+                if let Some(next) = next {
+                    // Hand the permit straight to a waiter.
+                    self.advance(next);
+                    self.wake(next);
+                    sink.sem_waited(self.threads[next].id, key);
+                }
+            }
+            Instr::SemWait { sem } => {
+                let key = regs!()[sem.0 as usize];
+                let state = self.sems.entry(key).or_default();
+                if state.value > 0 {
+                    state.value -= 1;
+                    sink.sem_waited(tid, key);
+                } else {
+                    state.waiters.push_back(t);
+                    return Ok(Flow::Blocked);
+                }
+            }
+            Instr::Yield => {
+                self.advance(t);
+                return Ok(Flow::Yielded);
+            }
+            Instr::SysRead { dst, fd, buf, len } => {
+                let (fdv, base, n) = {
+                    let r = &regs!();
+                    (r[fd.0 as usize], r[buf.0 as usize], r[len.0 as usize])
+                };
+                let device = self
+                    .devices
+                    .get_mut(fdv)
+                    .ok_or(VmError::BadFileDescriptor { thread: tid, fd: fdv })?;
+                let mut moved = 0i64;
+                for i in 0..n.max(0) {
+                    match device.read_cell() {
+                        Some(v) => {
+                            let a = Addr::new((base.wrapping_add(i)) as u64);
+                            sink.kernel_write(tid, a);
+                            self.memory.write(a, v);
+                            moved += 1;
+                        }
+                        None => break,
+                    }
+                }
+                regs!()[dst.0 as usize] = moved;
+            }
+            Instr::SysWrite { dst, fd, buf, len } => {
+                let (fdv, base, n) = {
+                    let r = &regs!();
+                    (r[fd.0 as usize], r[buf.0 as usize], r[len.0 as usize])
+                };
+                if self.devices.get_mut(fdv).is_none() {
+                    return Err(VmError::BadFileDescriptor { thread: tid, fd: fdv });
+                }
+                let mut moved = 0i64;
+                for i in 0..n.max(0) {
+                    let a = Addr::new((base.wrapping_add(i)) as u64);
+                    sink.kernel_read(tid, a);
+                    let v = self.memory.read(a);
+                    let device = self.devices.get_mut(fdv).expect("checked above");
+                    device.write_cell(v);
+                    moved += 1;
+                }
+                regs!()[dst.0 as usize] = moved;
+            }
+        }
+        self.advance(t);
+        Ok(Flow::Next)
+    }
+}
+
+enum Flow {
+    Next,
+    Blocked,
+    Yielded,
+}

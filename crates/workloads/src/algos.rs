@@ -1,0 +1,930 @@
+//! Classic sequential algorithms: the PLDI 2012-style validation suite.
+//!
+//! The original input-sensitive-profiling paper validates the methodology
+//! on algorithmic codes: profile a routine once over naturally varying
+//! input sizes and check that the fitted cost curve recovers the textbook
+//! complexity. This module provides that suite for `aprof-rs`: each
+//! workload drives one well-known algorithm across a range of sizes in a
+//! single run, and the test suite asserts that `aprof_analysis::fit_best`
+//! recovers the expected growth class from the profile alone.
+//!
+//! A subtlety worth documenting (also observed by the original authors):
+//! the metrics measure the input *actually accessed*. Binary search reads
+//! only `O(log n)` cells of its array, so its profile relates a
+//! `log n`-sized input to a `log n` cost — a **linear** curve — which is
+//! the correct statement about how its cost scales with the data it reads.
+
+use crate::{Family, Workload, WorkloadParams};
+use aprof_vm::builder::{FunctionBuilder, ProgramBuilder};
+use aprof_vm::ir::{CmpOp, FuncId, Reg};
+use aprof_vm::Machine;
+
+/// Registry entries for this module.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "algo.insertion_sort",
+            family: Family::Algo,
+            description: "reverse-sorted insertion sort: cost quadratic in input size",
+            build: insertion_sort,
+        },
+        Workload {
+            name: "algo.merge_sort",
+            family: Family::Algo,
+            description: "recursive merge sort: cost n log n in input size",
+            build: merge_sort,
+        },
+        Workload {
+            name: "algo.binary_search",
+            family: Family::Algo,
+            description: "binary search: reads (and costs) log n cells per query",
+            build: binary_search,
+        },
+        Workload {
+            name: "algo.linear_search",
+            family: Family::Algo,
+            description: "worst-case linear scan: cost linear in input size",
+            build: linear_search,
+        },
+        Workload {
+            name: "algo.matmul",
+            family: Family::Algo,
+            description: "dense matrix multiply: cost ~ input^1.5 (n^3 vs 2n^2 cells)",
+            build: matmul,
+        },
+        Workload {
+            name: "algo.quicksort",
+            family: Family::Algo,
+            description: "median-of-first pivot quicksort on shuffled input: ~n log n",
+            build: quicksort,
+        },
+        Workload {
+            name: "algo.bfs",
+            family: Family::Algo,
+            description: "breadth-first search over an adjacency array: linear in V+E",
+            build: bfs,
+        },
+        Workload {
+            name: "algo.hash_build",
+            family: Family::Algo,
+            description: "open-addressing hash table build: amortized linear",
+            build: hash_build,
+        },
+    ]
+}
+
+/// Emits `store (salt - i) -> arr[i]` for `i in 0..n` (a reverse-sorted
+/// fill, the insertion-sort worst case).
+fn emit_reverse_fill(f: &mut FunctionBuilder<'_>, arr: Reg, n: Reg) {
+    f.for_range(n, |f, i| {
+        let v = f.temp();
+        f.sub(v, n, i);
+        let addr = f.temp();
+        f.add(addr, arr, i);
+        f.store(v, addr, 0);
+    });
+}
+
+/// Emits the common driver: `for k in 1..=steps: n = k*stride; arr =
+/// alloc(n); <fill>; call algo(arr, n)`.
+fn driver(
+    p: &mut ProgramBuilder,
+    main: FuncId,
+    algo: FuncId,
+    steps: i64,
+    stride: i64,
+    reverse: bool,
+) {
+    let mut f = p.function(main);
+    let steps_r = f.const_temp(steps);
+    let stride_r = f.const_temp(stride);
+    let one = f.const_temp(1);
+    f.for_range(steps_r, |f, k| {
+        let k1 = f.temp();
+        f.add(k1, k, one);
+        let n = f.temp();
+        f.mul(n, k1, stride_r);
+        let arr = f.temp();
+        f.alloc(arr, n);
+        if reverse {
+            emit_reverse_fill(f, arr, n);
+        } else {
+            crate::helpers::emit_fill(f, arr, n, 2);
+        }
+        let r = f.temp();
+        f.call(Some(r), algo, &[arr, n]);
+    });
+    f.ret(None);
+}
+
+fn insertion_sort(params: &WorkloadParams) -> Machine {
+    let steps = (params.size as i64 / 16).clamp(4, 12);
+    let mut p = ProgramBuilder::new();
+    let main = p.declare("main", 0);
+    let sort = p.declare("insertion_sort", 2); // (arr, n)
+    {
+        let mut f = p.function(sort);
+        let arr = f.param(0);
+        let n = f.param(1);
+        let one = f.const_temp(1);
+        let i = f.const_temp(1);
+        let cont = f.scratch();
+        f.loop_while(i, |f, i| {
+            let key_addr = f.temp();
+            f.add(key_addr, arr, i);
+            let key = f.temp();
+            f.load(key, key_addr, 0);
+            let j = f.temp();
+            f.sub(j, i, one);
+            // inner: while j >= 0 && arr[j] > key { arr[j+1] = arr[j]; j-- }
+            let head = f.new_block();
+            let body = f.new_block();
+            let done = f.new_block();
+            f.jmp(head);
+            f.switch_to(head);
+            let zero = f.const_temp(0);
+            let jok = f.temp();
+            f.cmp(CmpOp::Ge, jok, j, zero);
+            let guard = f.new_block();
+            f.br(jok, guard, done);
+            f.switch_to(guard);
+            let jaddr = f.temp();
+            f.add(jaddr, arr, j);
+            let jv = f.temp();
+            f.load(jv, jaddr, 0);
+            let gt = f.temp();
+            f.cmp(CmpOp::Gt, gt, jv, key);
+            f.br(gt, body, done);
+            f.switch_to(body);
+            f.store(jv, jaddr, 1);
+            f.sub(j, j, one);
+            f.jmp(head);
+            f.switch_to(done);
+            let slot = f.temp();
+            f.add(slot, arr, j);
+            f.store(key, slot, 1);
+            f.add(i, i, one);
+            f.cmp_lt(cont, i, n)
+        });
+        f.ret(Some(n));
+    }
+    driver(&mut p, main, sort, steps, 12, true);
+    Machine::new(p.build().expect("valid insertion sort"))
+}
+
+fn merge_sort(params: &WorkloadParams) -> Machine {
+    let n = (params.size.next_power_of_two() as i64).clamp(64, 1024);
+    let mut p = ProgramBuilder::new();
+    let main = p.declare("main", 0);
+    let sort = p.declare("merge_sort", 4); // (arr, tmp, lo, hi)
+    let merge = p.declare("merge", 5); // (arr, tmp, lo, mid, hi)
+    {
+        let mut f = p.function(merge);
+        let arr = f.param(0);
+        let tmp = f.param(1);
+        let lo = f.param(2);
+        let mid = f.param(3);
+        let hi = f.param(4);
+        let one = f.const_temp(1);
+        let i = f.temp();
+        f.mov(i, lo);
+        let j = f.temp();
+        f.mov(j, mid);
+        let k = f.temp();
+        f.mov(k, lo);
+        // while k < hi: pick smaller head into tmp[k]
+        let cont = f.scratch();
+        f.loop_while(k, |f, k| {
+            let take_left = f.temp();
+            // left exhausted? take right; right exhausted? take left.
+            let left_ok = f.temp();
+            f.cmp(CmpOp::Lt, left_ok, i, mid);
+            let right_ok = f.temp();
+            f.cmp(CmpOp::Lt, right_ok, j, hi);
+            let both = f.temp();
+            f.bin(aprof_vm::ir::BinOp::And, both, left_ok, right_ok);
+            let cmp_bb = f.new_block();
+            let pick_bb = f.new_block();
+            let left_bb = f.new_block();
+            let right_bb = f.new_block();
+            let store_bb = f.new_block();
+            f.br(both, cmp_bb, pick_bb);
+            f.switch_to(cmp_bb);
+            let ia = f.temp();
+            f.add(ia, arr, i);
+            let iv = f.temp();
+            f.load(iv, ia, 0);
+            let ja = f.temp();
+            f.add(ja, arr, j);
+            let jv = f.temp();
+            f.load(jv, ja, 0);
+            f.cmp(CmpOp::Le, take_left, iv, jv);
+            f.br(take_left, left_bb, right_bb);
+            f.switch_to(pick_bb);
+            f.br(left_ok, left_bb, right_bb);
+            f.switch_to(left_bb);
+            let la = f.temp();
+            f.add(la, arr, i);
+            let lv = f.temp();
+            f.load(lv, la, 0);
+            let ta = f.temp();
+            f.add(ta, tmp, k);
+            f.store(lv, ta, 0);
+            f.add(i, i, one);
+            f.jmp(store_bb);
+            f.switch_to(right_bb);
+            let ra = f.temp();
+            f.add(ra, arr, j);
+            let rv = f.temp();
+            f.load(rv, ra, 0);
+            let tb = f.temp();
+            f.add(tb, tmp, k);
+            f.store(rv, tb, 0);
+            f.add(j, j, one);
+            f.jmp(store_bb);
+            f.switch_to(store_bb);
+            f.add(k, k, one);
+            f.cmp_lt(cont, k, hi)
+        });
+        // copy back
+        let c = f.temp();
+        f.mov(c, lo);
+        let cont2 = f.scratch();
+        f.loop_while(c, |f, c| {
+            let ta = f.temp();
+            f.add(ta, tmp, c);
+            let v = f.temp();
+            f.load(v, ta, 0);
+            let aa = f.temp();
+            f.add(aa, arr, c);
+            f.store(v, aa, 0);
+            f.add(c, c, one);
+            f.cmp_lt(cont2, c, hi)
+        });
+        f.ret(None);
+    }
+    {
+        let mut f = p.function(sort);
+        let arr = f.param(0);
+        let tmp = f.param(1);
+        let lo = f.param(2);
+        let hi = f.param(3);
+        let one = f.const_temp(1);
+        let len = f.temp();
+        f.sub(len, hi, lo);
+        let small = f.temp();
+        f.cmp(CmpOp::Le, small, len, one);
+        let rec_bb = f.new_block();
+        let out_bb = f.new_block();
+        f.br(small, out_bb, rec_bb);
+        f.switch_to(rec_bb);
+        let two = f.const_temp(2);
+        let mid = f.temp();
+        f.add(mid, lo, hi);
+        f.div(mid, mid, two);
+        f.call(None, sort, &[arr, tmp, lo, mid]);
+        f.call(None, sort, &[arr, tmp, mid, hi]);
+        f.call(None, merge, &[arr, tmp, lo, mid, hi]);
+        f.jmp(out_bb);
+        f.switch_to(out_bb);
+        f.ret(None);
+    }
+    {
+        let mut f = p.function(main);
+        let n_r = f.const_temp(n);
+        let arr = f.temp();
+        f.alloc(arr, n_r);
+        emit_reverse_fill(&mut f, arr, n_r);
+        let tmp = f.temp();
+        f.alloc(tmp, n_r);
+        let zero = f.const_temp(0);
+        f.call(None, sort, &[arr, tmp, zero, n_r]);
+        // verify sortedness: count inversions (must be 0)
+        let one = f.const_temp(1);
+        let bad = f.const_temp(0);
+        let limit = f.temp();
+        f.sub(limit, n_r, one);
+        f.for_range(limit, |f, i| {
+            let a = f.temp();
+            f.add(a, arr, i);
+            let x = f.temp();
+            f.load(x, a, 0);
+            let y = f.temp();
+            f.load(y, a, 1);
+            let inv = f.temp();
+            f.cmp(CmpOp::Gt, inv, x, y);
+            f.add(bad, bad, inv);
+        });
+        f.ret(Some(bad));
+    }
+    Machine::new(p.build().expect("valid merge sort"))
+}
+
+fn binary_search(params: &WorkloadParams) -> Machine {
+    let n = (params.size.next_power_of_two() as i64).clamp(64, 4096);
+    let queries = 24i64;
+    let mut p = ProgramBuilder::new();
+    let main = p.declare("main", 0);
+    let search = p.declare("binary_search", 3); // (arr, n, key) -> index
+    {
+        let mut f = p.function(search);
+        let arr = f.param(0);
+        let n = f.param(1);
+        let key = f.param(2);
+        let one = f.const_temp(1);
+        let two = f.const_temp(2);
+        let lo = f.const_temp(0);
+        let hi = f.temp();
+        f.mov(hi, n);
+        let cont = f.scratch();
+        let span = f.temp();
+        f.sub(span, hi, lo);
+        f.cmp(CmpOp::Gt, cont, span, one);
+        f.loop_while(cont, |f, cont| {
+            let mid = f.temp();
+            f.add(mid, lo, hi);
+            f.div(mid, mid, two);
+            let ma = f.temp();
+            f.add(ma, arr, mid);
+            let mv = f.temp();
+            f.load(mv, ma, 0);
+            let le = f.temp();
+            f.cmp(CmpOp::Le, le, mv, key);
+            // branchless: lo = le ? mid : lo; hi = le ? hi : mid
+            let dlo = f.temp();
+            f.sub(dlo, mid, lo);
+            f.mul(dlo, dlo, le);
+            f.add(lo, lo, dlo);
+            let nle = f.temp();
+            f.sub(nle, one, le);
+            let dhi = f.temp();
+            f.sub(dhi, mid, hi);
+            f.mul(dhi, dhi, nle);
+            f.add(hi, hi, dhi);
+            let span = f.temp();
+            f.sub(span, hi, lo);
+            f.cmp(CmpOp::Gt, cont, span, one);
+            cont
+        });
+        f.ret(Some(lo));
+    }
+    {
+        let mut f = p.function(main);
+        let n_r = f.const_temp(n);
+        let arr = f.temp();
+        f.alloc(arr, n_r);
+        crate::helpers::emit_fill(&mut f, arr, n_r, 1); // sorted: arr[i] = i+1
+        // query arrays of doubling prefixes: sizes 2, 4, 8, ..., n
+        let q_r = f.const_temp(queries);
+        let two = f.const_temp(2);
+        let size = f.temp();
+        f.const_(size, 2);
+        let acc = f.const_temp(0);
+        f.for_range(q_r, |f, q| {
+            let key = f.temp();
+            f.rem(key, q, size);
+            let r = f.temp();
+            f.call(Some(r), search, &[arr, size, key]);
+            f.add(acc, acc, r);
+            let next = f.temp();
+            f.mul(next, size, two);
+            f.bin(aprof_vm::ir::BinOp::Min, size, next, n_r);
+        });
+        f.ret(Some(acc));
+    }
+    Machine::new(p.build().expect("valid binary search"))
+}
+
+fn linear_search(params: &WorkloadParams) -> Machine {
+    let steps = (params.size as i64 / 16).clamp(4, 16);
+    let mut p = ProgramBuilder::new();
+    let main = p.declare("main", 0);
+    let scan = p.declare("linear_search", 2); // (arr, n) -> last index matching sentinel
+    {
+        let mut f = p.function(scan);
+        let arr = f.param(0);
+        let n = f.param(1);
+        let found = f.const_temp(-1);
+        let needle = f.const_temp(-12345); // absent: worst case scans all
+        f.for_range(n, |f, i| {
+            let a = f.temp();
+            f.add(a, arr, i);
+            let v = f.temp();
+            f.load(v, a, 0);
+            let eq = f.temp();
+            f.cmp(CmpOp::Eq, eq, v, needle);
+            let upd = f.temp();
+            f.sub(upd, i, found);
+            f.mul(upd, upd, eq);
+            f.add(found, found, upd);
+        });
+        f.ret(Some(found));
+    }
+    driver(&mut p, main, scan, steps, 24, false);
+    Machine::new(p.build().expect("valid linear search"))
+}
+
+fn matmul(params: &WorkloadParams) -> Machine {
+    let steps = (params.size as i64 / 32).clamp(3, 7);
+    let mut p = ProgramBuilder::new();
+    let main = p.declare("main", 0);
+    let mm = p.declare("matmul", 4); // (a, b, c, n)
+    {
+        let mut f = p.function(mm);
+        let a = f.param(0);
+        let b = f.param(1);
+        let c = f.param(2);
+        let n = f.param(3);
+        f.for_range(n, |f, i| {
+            f.for_range(n, |f, j| {
+                let acc = f.const_temp(0);
+                f.for_range(n, |f, k| {
+                    let ia = f.temp();
+                    f.mul(ia, i, n);
+                    f.add(ia, ia, k);
+                    f.add(ia, ia, a);
+                    let av = f.temp();
+                    f.load(av, ia, 0);
+                    let ib = f.temp();
+                    f.mul(ib, k, n);
+                    f.add(ib, ib, j);
+                    f.add(ib, ib, b);
+                    let bv = f.temp();
+                    f.load(bv, ib, 0);
+                    let prod = f.temp();
+                    f.mul(prod, av, bv);
+                    f.add(acc, acc, prod);
+                });
+                let ic = f.temp();
+                f.mul(ic, i, n);
+                f.add(ic, ic, j);
+                f.add(ic, ic, c);
+                f.store(acc, ic, 0);
+            });
+        });
+        f.ret(None);
+    }
+    {
+        let mut f = p.function(main);
+        let steps_r = f.const_temp(steps);
+        let stride = f.const_temp(6);
+        let one = f.const_temp(1);
+        f.for_range(steps_r, |f, s| {
+            let s1 = f.temp();
+            f.add(s1, s, one);
+            let n = f.temp();
+            f.mul(n, s1, stride);
+            let cells = f.temp();
+            f.mul(cells, n, n);
+            let a = f.temp();
+            f.alloc(a, cells);
+            crate::helpers::emit_fill(f, a, cells, 3);
+            let b = f.temp();
+            f.alloc(b, cells);
+            crate::helpers::emit_fill(f, b, cells, 5);
+            let c = f.temp();
+            f.alloc(c, cells);
+            f.call(None, mm, &[a, b, c, n]);
+        });
+        f.ret(None);
+    }
+    Machine::new(p.build().expect("valid matmul"))
+}
+
+fn quicksort(params: &WorkloadParams) -> Machine {
+    let n = (params.size.next_power_of_two() as i64).clamp(64, 1024);
+    let mut p = ProgramBuilder::new();
+    let main = p.declare("main", 0);
+    let qsort = p.declare("quicksort", 3); // (arr, lo, hi) half-open
+    {
+        let mut f = p.function(qsort);
+        let arr = f.param(0);
+        let lo = f.param(1);
+        let hi = f.param(2);
+        let one = f.const_temp(1);
+        let len = f.temp();
+        f.sub(len, hi, lo);
+        let small = f.temp();
+        f.cmp(CmpOp::Le, small, len, one);
+        let work_bb = f.new_block();
+        let out_bb = f.new_block();
+        f.br(small, out_bb, work_bb);
+        f.switch_to(work_bb);
+        // Lomuto partition with arr[hi-1] as pivot.
+        let last = f.temp();
+        f.sub(last, hi, one);
+        let pa = f.temp();
+        f.add(pa, arr, last);
+        let pivot = f.temp();
+        f.load(pivot, pa, 0);
+        let store_idx = f.temp();
+        f.mov(store_idx, lo);
+        let j = f.temp();
+        f.mov(j, lo);
+        let cont = f.scratch();
+        f.cmp_lt(cont, j, last);
+        f.loop_while(cont, |f, cont| {
+            let ja = f.temp();
+            f.add(ja, arr, j);
+            let jv = f.temp();
+            f.load(jv, ja, 0);
+            let lt = f.temp();
+            f.cmp(CmpOp::Lt, lt, jv, pivot);
+            let swap_bb = f.new_block();
+            let skip_bb = f.new_block();
+            let next_bb = f.new_block();
+            f.br(lt, swap_bb, skip_bb);
+            f.switch_to(swap_bb);
+            // swap arr[store_idx] <-> arr[j]
+            let sa = f.temp();
+            f.add(sa, arr, store_idx);
+            let sv = f.temp();
+            f.load(sv, sa, 0);
+            f.store(jv, sa, 0);
+            f.store(sv, ja, 0);
+            f.add(store_idx, store_idx, one);
+            f.jmp(next_bb);
+            f.switch_to(skip_bb);
+            f.jmp(next_bb);
+            f.switch_to(next_bb);
+            f.add(j, j, one);
+            f.cmp_lt(cont, j, last);
+            cont
+        });
+        // swap pivot into place
+        let sa = f.temp();
+        f.add(sa, arr, store_idx);
+        let sv = f.temp();
+        f.load(sv, sa, 0);
+        f.store(pivot, sa, 0);
+        f.store(sv, pa, 0);
+        // recurse on both halves
+        f.call(None, qsort, &[arr, lo, store_idx]);
+        let lo2 = f.temp();
+        f.add(lo2, store_idx, one);
+        f.call(None, qsort, &[arr, lo2, hi]);
+        f.jmp(out_bb);
+        f.switch_to(out_bb);
+        f.ret(None);
+    }
+    {
+        let mut f = p.function(main);
+        let n_r = f.const_temp(n);
+        let arr = f.temp();
+        f.alloc(arr, n_r);
+        // Pseudo-shuffled fill (multiplicative hash of the index) to avoid
+        // Lomuto's sorted-input worst case.
+        let mult = f.const_temp(2654435761);
+        let mask = f.const_temp((1 << 20) - 1);
+        f.for_range(n_r, |f, i| {
+            let v = f.temp();
+            f.mul(v, i, mult);
+            f.bin(aprof_vm::ir::BinOp::And, v, v, mask);
+            let a = f.temp();
+            f.add(a, arr, i);
+            f.store(v, a, 0);
+        });
+        let zero = f.const_temp(0);
+        f.call(None, qsort, &[arr, zero, n_r]);
+        // verify sortedness
+        let one = f.const_temp(1);
+        let bad = f.const_temp(0);
+        let limit = f.temp();
+        f.sub(limit, n_r, one);
+        f.for_range(limit, |f, i| {
+            let a = f.temp();
+            f.add(a, arr, i);
+            let x = f.temp();
+            f.load(x, a, 0);
+            let y = f.temp();
+            f.load(y, a, 1);
+            let inv = f.temp();
+            f.cmp(CmpOp::Gt, inv, x, y);
+            f.add(bad, bad, inv);
+        });
+        f.ret(Some(bad));
+    }
+    Machine::new(p.build().expect("valid quicksort"))
+}
+
+fn bfs(params: &WorkloadParams) -> Machine {
+    let steps = (params.size as i64 / 16).clamp(4, 10);
+    let mut p = ProgramBuilder::new();
+    let main = p.declare("main", 0);
+    let bfs_f = p.declare("bfs", 2); // (graph_state, n) -> visited count
+    // graph_state layout: [0..n) ring successor, [n..2n) skip successor,
+    // [2n..3n) visited flags, [3n..4n) the worklist (queue).
+    {
+        let mut f = p.function(bfs_f);
+        let g = f.param(0);
+        let n = f.param(1);
+        let one = f.const_temp(1);
+        let two = f.const_temp(2);
+        let three = f.const_temp(3);
+        let visited_base = f.temp();
+        f.mul(visited_base, n, two);
+        f.add(visited_base, visited_base, g);
+        let queue_base = f.temp();
+        f.mul(queue_base, n, three);
+        f.add(queue_base, queue_base, g);
+        // push node 0
+        let zero = f.const_temp(0);
+        f.store(zero, queue_base, 0);
+        f.store(one, visited_base, 0);
+        let head = f.const_temp(0);
+        let tail = f.const_temp(1);
+        let count = f.const_temp(1);
+        let cont = f.scratch();
+        f.cmp_lt(cont, head, tail);
+        f.loop_while(cont, |f, cont| {
+            let qslot = f.temp();
+            f.add(qslot, queue_base, head);
+            let node = f.temp();
+            f.load(node, qslot, 0);
+            f.add(head, head, one);
+            // two successor arrays
+            for succ_arr in 0..2i64 {
+                let sbase = f.temp();
+                if succ_arr == 0 {
+                    f.mov(sbase, g);
+                } else {
+                    f.add(sbase, g, n);
+                }
+                let sa = f.temp();
+                f.add(sa, sbase, node);
+                let next = f.temp();
+                f.load(next, sa, 0);
+                let va = f.temp();
+                f.add(va, visited_base, next);
+                let seen = f.temp();
+                f.load(seen, va, 0);
+                let fresh = f.temp();
+                f.sub(fresh, one, seen);
+                let push_bb = f.new_block();
+                let skip_bb = f.new_block();
+                let cont_bb = f.new_block();
+                f.br(fresh, push_bb, skip_bb);
+                f.switch_to(push_bb);
+                f.store(one, va, 0);
+                let ts = f.temp();
+                f.add(ts, queue_base, tail);
+                f.store(next, ts, 0);
+                f.add(tail, tail, one);
+                f.add(count, count, one);
+                f.jmp(cont_bb);
+                f.switch_to(skip_bb);
+                f.jmp(cont_bb);
+                f.switch_to(cont_bb);
+            }
+            f.cmp_lt(cont, head, tail);
+            cont
+        });
+        f.ret(Some(count));
+    }
+    {
+        let mut f = p.function(main);
+        let steps_r = f.const_temp(steps);
+        let stride = f.const_temp(24);
+        let one = f.const_temp(1);
+        let four = f.const_temp(4);
+        let seven = f.const_temp(7);
+        f.for_range(steps_r, |f, s| {
+            let s1 = f.temp();
+            f.add(s1, s, one);
+            let n = f.temp();
+            f.mul(n, s1, stride);
+            let cells = f.temp();
+            f.mul(cells, n, four);
+            let g = f.temp();
+            f.alloc(g, cells);
+            // ring successors and skip-7 successors
+            f.for_range(n, |f, i| {
+                let succ = f.temp();
+                f.add(succ, i, one);
+                f.rem(succ, succ, n);
+                let a = f.temp();
+                f.add(a, g, i);
+                f.store(succ, a, 0);
+                let skip = f.temp();
+                f.add(skip, i, seven);
+                f.rem(skip, skip, n);
+                let b = f.temp();
+                f.add(b, g, n);
+                f.add(b, b, i);
+                f.store(skip, b, 0);
+            });
+            let r = f.temp();
+            f.call(Some(r), bfs_f, &[g, n]);
+        });
+        f.ret(None);
+    }
+    Machine::new(p.build().expect("valid bfs"))
+}
+
+fn hash_build(params: &WorkloadParams) -> Machine {
+    let steps = (params.size as i64 / 16).clamp(4, 10);
+    let mut p = ProgramBuilder::new();
+    let main = p.declare("main", 0);
+    let build = p.declare("hash_build", 3); // (keys, table, n) -> probes
+    {
+        let mut f = p.function(build);
+        let keys = f.param(0);
+        let table = f.param(1);
+        let n = f.param(2);
+        let one = f.const_temp(1);
+        let two = f.const_temp(2);
+        let cap = f.temp();
+        f.mul(cap, n, two);
+        let probes = f.const_temp(0);
+        f.for_range(n, |f, i| {
+            let ka = f.temp();
+            f.add(ka, keys, i);
+            let key = f.temp();
+            f.load(key, ka, 0);
+            let h = f.temp();
+            f.rem(h, key, cap);
+            // ensure non-negative
+            f.add(h, h, cap);
+            f.rem(h, h, cap);
+            // linear probe until an empty (zero) slot
+            let cont = f.scratch();
+            f.const_(cont, 1);
+            f.loop_while(cont, |f, cont| {
+                let sa = f.temp();
+                f.add(sa, table, h);
+                let v = f.temp();
+                f.load(v, sa, 0);
+                f.add(probes, probes, one);
+                let empty = f.temp();
+                let zero = f.const_temp(0);
+                f.cmp(CmpOp::Eq, empty, v, zero);
+                let ins_bb = f.new_block();
+                let step_bb = f.new_block();
+                let out_bb = f.new_block();
+                f.br(empty, ins_bb, step_bb);
+                f.switch_to(ins_bb);
+                let stored = f.temp();
+                f.add(stored, key, one); // avoid storing 0
+                f.store(stored, sa, 0);
+                f.const_(cont, 0);
+                f.jmp(out_bb);
+                f.switch_to(step_bb);
+                f.add(h, h, one);
+                f.rem(h, h, cap);
+                f.jmp(out_bb);
+                f.switch_to(out_bb);
+                cont
+            });
+        });
+        f.ret(Some(probes));
+    }
+    {
+        let mut f = p.function(main);
+        let steps_r = f.const_temp(steps);
+        let stride = f.const_temp(20);
+        let one = f.const_temp(1);
+        let two = f.const_temp(2);
+        f.for_range(steps_r, |f, s| {
+            let s1 = f.temp();
+            f.add(s1, s, one);
+            let n = f.temp();
+            f.mul(n, s1, stride);
+            let keys = f.temp();
+            f.alloc(keys, n);
+            crate::helpers::emit_fill(f, keys, n, 37);
+            let cap = f.temp();
+            f.mul(cap, n, two);
+            let table = f.temp();
+            f.alloc(table, cap);
+            let r = f.temp();
+            f.call(Some(r), build, &[keys, table, n]);
+        });
+        f.ret(None);
+    }
+    Machine::new(p.build().expect("valid hash build"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aprof_analysis::{fit_best, fit_power_law, GrowthModel};
+    use aprof_core::TrmsProfiler;
+
+    fn worst_case(name: &str, routine: &str, size: u64) -> Vec<(f64, f64)> {
+        let wl = crate::by_name(name).unwrap();
+        let mut m = wl.build(&WorkloadParams::new(size, 1));
+        let names = m.program().routines().clone();
+        let mut prof = TrmsProfiler::new();
+        m.run_with(&mut prof).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let rep = prof.into_report(&names);
+        let rr = rep
+            .routine_by_name(routine)
+            .unwrap_or_else(|| panic!("{routine} missing"));
+        rr.trms_curve().iter().map(|&(x, s)| (x as f64, s.max as f64)).collect()
+    }
+
+    #[test]
+    fn insertion_sort_is_quadratic() {
+        let fit = fit_best(&worst_case("algo.insertion_sort", "insertion_sort", 160)).unwrap();
+        assert_eq!(fit.model, GrowthModel::Quadratic, "r2={}", fit.r2);
+    }
+
+    #[test]
+    fn merge_sort_is_linearithmic_and_sorts() {
+        let wl = crate::by_name("algo.merge_sort").unwrap();
+        let mut m = wl.build(&WorkloadParams::new(512, 1));
+        let names = m.program().routines().clone();
+        let mut prof = TrmsProfiler::new();
+        let out = m.run_with(&mut prof).unwrap();
+        assert_eq!(out.exit_value, Some(0), "array must end up sorted (0 inversions)");
+        let rep = prof.into_report(&names);
+        let rr = rep.routine_by_name("merge_sort").unwrap();
+        let points: Vec<(f64, f64)> =
+            rr.trms_curve().iter().map(|&(x, s)| (x as f64, s.max as f64)).collect();
+        let fit = fit_best(&points).unwrap();
+        assert!(
+            matches!(fit.model, GrowthModel::Linearithmic | GrowthModel::Linear),
+            "expected ~n log n, got {:?} (r2={})",
+            fit.model,
+            fit.r2
+        );
+    }
+
+    #[test]
+    fn binary_search_reads_log_cells() {
+        let points = worst_case("algo.binary_search", "binary_search", 2048);
+        // Input sizes collected are O(log n): all well below n.
+        let max_input = points.iter().map(|p| p.0).fold(0.0, f64::max);
+        assert!(max_input <= 16.0, "binary search read {max_input} cells");
+        let fit = fit_best(&points).unwrap();
+        assert!(!fit.model.is_superlinear(), "{:?}", fit.model);
+    }
+
+    #[test]
+    fn linear_search_is_linear() {
+        let fit = fit_best(&worst_case("algo.linear_search", "linear_search", 200)).unwrap();
+        assert_eq!(fit.model, GrowthModel::Linear, "r2={}", fit.r2);
+    }
+
+    #[test]
+    fn matmul_is_input_power_1_5() {
+        let points = worst_case("algo.matmul", "matmul", 160);
+        let (e, r2) = fit_power_law(&points).unwrap();
+        assert!((e - 1.5).abs() < 0.15, "exponent {e} (r2={r2})");
+        let fit = fit_best(&points).unwrap();
+        assert!(fit.model.is_superlinear(), "{:?}", fit.model);
+    }
+
+    #[test]
+    fn bfs_is_linear() {
+        let fit = fit_best(&worst_case("algo.bfs", "bfs", 160)).unwrap();
+        assert_eq!(fit.model, GrowthModel::Linear, "r2={}", fit.r2);
+    }
+
+    #[test]
+    fn hash_build_is_linear() {
+        let fit = fit_best(&worst_case("algo.hash_build", "hash_build", 160)).unwrap();
+        assert!(
+            matches!(fit.model, GrowthModel::Linear | GrowthModel::Linearithmic),
+            "{:?} (r2={})",
+            fit.model,
+            fit.r2
+        );
+    }
+
+    #[test]
+    fn quicksort_sorts_and_is_subquadratic() {
+        let wl = crate::by_name("algo.quicksort").unwrap();
+        let mut m = wl.build(&WorkloadParams::new(512, 1));
+        let names = m.program().routines().clone();
+        let mut prof = TrmsProfiler::new();
+        let out = m.run_with(&mut prof).unwrap();
+        assert_eq!(out.exit_value, Some(0), "array must end up sorted");
+        let rep = prof.into_report(&names);
+        let rr = rep.routine_by_name("quicksort").unwrap();
+        let points: Vec<(f64, f64)> =
+            rr.trms_curve().iter().map(|&(x, s)| (x as f64, s.max as f64)).collect();
+        let fit = fit_best(&points).unwrap();
+        assert!(
+            matches!(fit.model, GrowthModel::Linearithmic | GrowthModel::Linear),
+            "expected ~n log n on shuffled input, got {:?} (r2={})",
+            fit.model,
+            fit.r2
+        );
+    }
+
+    /// The whole suite is sequential: trms == rms everywhere.
+    #[test]
+    fn sequential_suite_has_no_induced_input() {
+        for wl in crate::family(Family::Algo) {
+            let mut m = wl.build(&WorkloadParams::new(64, 1));
+            let names = m.program().routines().clone();
+            let mut prof = TrmsProfiler::new();
+            m.run_with(&mut prof).unwrap();
+            let rep = prof.into_report(&names);
+            assert_eq!(rep.global.induced_thread, 0, "{}", wl.name);
+            assert_eq!(rep.global.induced_external, 0, "{}", wl.name);
+            assert_eq!(rep.global.sum_trms, rep.global.sum_rms, "{}", wl.name);
+        }
+    }
+}

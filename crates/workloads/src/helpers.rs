@@ -1,0 +1,184 @@
+//! Shared guest-code building blocks: barriers, fork/join, array fills.
+
+use aprof_vm::builder::{FunctionBuilder, ProgramBuilder};
+use aprof_vm::ir::{FuncId, Reg};
+
+/// Adds a sense-free counting barrier to the program and returns its id.
+///
+/// The function has signature `barrier(lock_key, count_addr, sem_key, n)`:
+/// the first `n - 1` arrivals block on the semaphore; the last arrival
+/// resets the counter and releases them all. Safe to reuse across
+/// iterations (every permit is consumed before the counter is reset is
+/// observable again).
+pub fn add_barrier(p: &mut ProgramBuilder) -> FuncId {
+    let barrier = p.declare("barrier", 4);
+    let mut f = p.function(barrier);
+    let lock = f.param(0);
+    let count_addr = f.param(1);
+    let sem = f.param(2);
+    let n = f.param(3);
+    f.acquire(lock);
+    let c = f.temp();
+    f.load(c, count_addr, 0);
+    f.add_imm(c, c, 1);
+    let full = f.temp();
+    f.cmp(aprof_vm::ir::CmpOp::Eq, full, c, n);
+    let last = f.new_block();
+    let wait = f.new_block();
+    let out = f.new_block();
+    f.br(full, last, wait);
+
+    f.switch_to(last);
+    let zero = f.const_temp(0);
+    f.store(zero, count_addr, 0);
+    // Release n-1 waiters.
+    let releases = f.temp();
+    let one = f.const_temp(1);
+    f.sub(releases, n, one);
+    f.for_range(releases, |f, _i| {
+        f.sem_post(sem);
+    });
+    f.release(lock);
+    f.jmp(out);
+
+    f.switch_to(wait);
+    f.store(c, count_addr, 0);
+    f.release(lock);
+    f.sem_wait(sem);
+    f.jmp(out);
+
+    f.switch_to(out);
+    f.ret(None);
+    drop(f);
+    barrier
+}
+
+/// Emits code that spawns `threads` instances of `worker`, passing
+/// `(worker_index, extra...)`, and stores the handles; returns the handle
+/// array base register. Pair with [`emit_join_all`].
+pub fn emit_spawn_workers(
+    f: &mut FunctionBuilder<'_>,
+    worker: FuncId,
+    threads: Reg,
+    extra: &[Reg],
+) -> Reg {
+    let handles = f.temp();
+    f.alloc(handles, threads);
+    f.for_range(threads, |f, i| {
+        let mut args = vec![i];
+        args.extend_from_slice(extra);
+        let h = f.temp();
+        f.spawn(h, worker, &args);
+        let slot = f.temp();
+        f.add(slot, handles, i);
+        f.store(h, slot, 0);
+    });
+    handles
+}
+
+/// Emits code joining every handle stored by [`emit_spawn_workers`].
+pub fn emit_join_all(f: &mut FunctionBuilder<'_>, handles: Reg, threads: Reg) {
+    f.for_range(threads, |f, i| {
+        let slot = f.temp();
+        f.add(slot, handles, i);
+        let h = f.temp();
+        f.load(h, slot, 0);
+        f.join(h);
+    });
+}
+
+/// Emits code that fills `len` cells at `base` with a cheap deterministic
+/// pattern derived from the loop index and `salt`.
+pub fn emit_fill(f: &mut FunctionBuilder<'_>, base: Reg, len: Reg, salt: i64) {
+    let s = f.const_temp(salt);
+    f.for_range(len, |f, i| {
+        let v = f.temp();
+        f.mul(v, i, s);
+        f.add_imm(v, v, 1);
+        let addr = f.temp();
+        f.add(addr, base, i);
+        f.store(v, addr, 0);
+    });
+}
+
+/// Emits code that reads and sums `len` cells at `base` into `acc`
+/// (which must already hold an initial value).
+pub fn emit_sum(f: &mut FunctionBuilder<'_>, acc: Reg, base: Reg, len: Reg) {
+    f.for_range(len, |f, i| {
+        let addr = f.temp();
+        f.add(addr, base, i);
+        let v = f.temp();
+        f.load(v, addr, 0);
+        f.add(acc, acc, v);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aprof_vm::{Machine, MachineConfig};
+
+    /// T workers hit the barrier `iters` times, each incrementing a private
+    /// slot per round; after the join every slot holds `iters`.
+    #[test]
+    fn barrier_synchronizes_rounds() {
+        let mut p = ProgramBuilder::new();
+        let main = p.declare("main", 0);
+        let worker = p.declare("worker", 3); // (idx, slots, iters)
+        let barrier = add_barrier(&mut p);
+        {
+            let mut f = p.function(worker);
+            let idx = f.param(0);
+            let slots = f.param(1);
+            let iters = f.param(2);
+            let lock = f.const_temp(900);
+            let count_addr = f.const_temp(64); // static cell
+            let sem = f.const_temp(901);
+            let t = f.const_temp(3);
+            let slot = f.temp();
+            f.add(slot, slots, idx);
+            f.for_range(iters, |f, _| {
+                let v = f.temp();
+                f.load(v, slot, 0);
+                f.add_imm(v, v, 1);
+                f.store(v, slot, 0);
+                f.call(None, barrier, &[lock, count_addr, sem, t]);
+            });
+            f.ret(None);
+        }
+        {
+            let mut f = p.function(main);
+            let t = f.const_temp(3);
+            let slots = f.temp();
+            f.alloc(slots, t);
+            let iters = f.const_temp(5);
+            let handles = emit_spawn_workers(&mut f, worker, t, &[slots, iters]);
+            emit_join_all(&mut f, handles, t);
+            let acc = f.const_temp(0);
+            emit_sum(&mut f, acc, slots, t);
+            f.ret(Some(acc));
+        }
+        let mut m = Machine::new(p.build().unwrap())
+            .with_config(MachineConfig { quantum: 2, ..MachineConfig::default() });
+        assert_eq!(m.run_native().unwrap().exit_value, Some(15));
+    }
+
+    #[test]
+    fn fill_and_sum_roundtrip() {
+        let mut p = ProgramBuilder::new();
+        let main = p.declare("main", 0);
+        {
+            let mut f = p.function(main);
+            let n = f.const_temp(6);
+            let buf = f.temp();
+            f.alloc(buf, n);
+            emit_fill(&mut f, buf, n, 2);
+            let acc = f.const_temp(0);
+            emit_sum(&mut f, acc, buf, n);
+            f.ret(Some(acc));
+        }
+        // values are i*2+1 for i in 0..6 => 1+3+5+7+9+11 = 36
+        let mut m = Machine::new(p.build().unwrap());
+        assert_eq!(m.run_native().unwrap().exit_value, Some(36));
+    }
+}

@@ -1,0 +1,189 @@
+//! Benchmark guest programs: the workloads of the paper's evaluation.
+//!
+//! The paper evaluates on SPEC OMP2012, PARSEC 2.1 and MySQL — native
+//! benchmark suites that cannot run on a simulated guest machine. Each
+//! module here provides an *analog*: a guest program written to reproduce
+//! the memory-access and communication pattern the paper attributes to that
+//! benchmark, because those patterns are what determine rms/trms behaviour:
+//!
+//! * [`micro`] — the paper's own didactic examples: the producer/consumer
+//!   of Fig. 2, the buffered external read of Fig. 3, and the synthetic
+//!   half-first/half-induced scenario of §3.
+//! * [`omp2012`] — twelve OpenMP-style data-parallel kernels named after
+//!   the SPEC OMP2012 components of Table 1 (md, bwaves, nab, botsalgn,
+//!   botsspar, ilbdc, fma3d, imagick, mgrid331, applu331, smithwa, kdtree),
+//!   built from a small set of honest kernel shapes — iterative stencils
+//!   with boundary exchange, pairwise interactions, wavefront dynamic
+//!   programming, streaming lattices, tree build/query — where
+//!   thread-induced input arises exactly where it does in OpenMP programs:
+//!   threads rereading shared cells rewritten by neighbours across
+//!   barriers.
+//! * [`parsec`] — pipeline-parallel analogs of the PARSEC applications the
+//!   paper examines: `vips` (with `im_generate` and `wbuffer_write_thread`
+//!   counterparts), `dedup` and `fluidanimate`.
+//! * [`minidb`] — a miniature relational engine standing in for MySQL:
+//!   table scans through reused kernel-filled buffers (`mysql_select`),
+//!   client/flush interaction (`buf_flush_buffered_writes`), protocol
+//!   output (`send_eof`), driven by a mysqlslap-like multi-client load.
+//!
+//! All programs are deterministic given [`WorkloadParams`], so every
+//! experiment in `aprof-bench` is reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use aprof_workloads::{by_name, WorkloadParams};
+//!
+//! let wl = by_name("producer_consumer").unwrap();
+//! let mut machine = wl.build(&WorkloadParams { size: 50, ..Default::default() });
+//! let outcome = machine.run_native()?;
+//! assert!(outcome.total_blocks > 0);
+//! # Ok::<(), aprof_vm::VmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algos;
+pub mod helpers;
+pub mod micro;
+pub mod minidb;
+pub mod omp2012;
+pub mod parsec;
+
+use aprof_vm::Machine;
+
+/// Size/threading/seed knobs shared by all workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadParams {
+    /// Problem size (meaning is workload-specific: elements, rows, pixels).
+    pub size: u64,
+    /// Worker threads to spawn (in addition to the main thread).
+    pub threads: u32,
+    /// Seed for synthetic device data.
+    pub seed: u64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams { size: 64, threads: 4, seed: 0x5eed }
+    }
+}
+
+impl WorkloadParams {
+    /// Convenience constructor for the common size+threads case.
+    pub fn new(size: u64, threads: u32) -> Self {
+        WorkloadParams { size, threads, ..Default::default() }
+    }
+}
+
+/// Which benchmark suite a workload imitates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Family {
+    /// The paper's didactic micro-examples.
+    Micro,
+    /// Classic sequential algorithms (the PLDI 2012-style validation).
+    Algo,
+    /// SPEC OMP2012 analogs (Table 1, Figs. 14–17).
+    Omp2012,
+    /// PARSEC 2.1 analogs (Figs. 5, 7, 15–19).
+    Parsec,
+    /// The MySQL analog (Figs. 4, 6, 8, 9, 17).
+    MiniDb,
+}
+
+impl Family {
+    /// Lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Family::Micro => "micro",
+            Family::Algo => "algo",
+            Family::Omp2012 => "omp2012",
+            Family::Parsec => "parsec",
+            Family::MiniDb => "minidb",
+        }
+    }
+}
+
+/// A registered benchmark program.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Registry name (e.g. `"350.md"`, `"vips"`, `"mysqld"`).
+    pub name: &'static str,
+    /// The suite it imitates.
+    pub family: Family,
+    /// One-line description of the pattern it exercises.
+    pub description: &'static str,
+    build: fn(&WorkloadParams) -> Machine,
+}
+
+impl Workload {
+    /// Builds a ready-to-run machine (program + devices) for this workload.
+    pub fn build(&self, params: &WorkloadParams) -> Machine {
+        (self.build)(params)
+    }
+}
+
+/// All registered workloads, grouped by family.
+pub fn all() -> Vec<Workload> {
+    let mut v = Vec::new();
+    v.extend(micro::workloads());
+    v.extend(algos::workloads());
+    v.extend(omp2012::workloads());
+    v.extend(parsec::workloads());
+    v.extend(minidb::workloads());
+    v
+}
+
+/// Looks a workload up by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+/// The workloads of one family.
+pub fn family(family: Family) -> Vec<Workload> {
+    all().into_iter().filter(|w| w.family == family).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique() {
+        let mut names: Vec<_> = all().iter().map(|w| w.name).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate workload names");
+    }
+
+    #[test]
+    fn registry_covers_all_families() {
+        for f in [Family::Micro, Family::Algo, Family::Omp2012, Family::Parsec, Family::MiniDb] {
+            assert!(!family(f).is_empty(), "no workloads in {f:?}");
+        }
+        assert_eq!(family(Family::Omp2012).len(), 12, "Table 1 has 12 OMP2012 rows");
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(by_name("350.md").is_some());
+        assert!(by_name("nonexistent").is_none());
+        assert_eq!(Family::MiniDb.label(), "minidb");
+    }
+
+    /// Every registered workload runs to completion natively at a small
+    /// size — the smoke test that keeps the whole registry honest.
+    #[test]
+    fn every_workload_runs() {
+        let params = WorkloadParams { size: 24, threads: 2, seed: 7 };
+        for wl in all() {
+            let mut m = wl.build(&params);
+            let out = m
+                .run_native()
+                .unwrap_or_else(|e| panic!("workload {} failed: {e}", wl.name));
+            assert!(out.total_blocks > 0, "{} executed nothing", wl.name);
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! The paper's didactic micro-examples as guest programs.
+
+use crate::{Family, Workload, WorkloadParams};
+use aprof_vm::builder::ProgramBuilder;
+use aprof_vm::device::SyntheticSource;
+use aprof_vm::{Machine, MachineConfig};
+
+/// Registry entries for this module.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "producer_consumer",
+            family: Family::Micro,
+            description: "Fig. 2: semaphore producer/consumer; rms(consumer)=1, trms=n",
+            build: producer_consumer,
+        },
+        Workload {
+            name: "external_read",
+            family: Family::Micro,
+            description: "Fig. 3: buffered reads from a device; rms=1, trms=n",
+            build: external_read,
+        },
+        Workload {
+            name: "half_induced",
+            family: Family::Micro,
+            description: "§3 synthetic: activation i costs i, half first- and half induced accesses",
+            build: half_induced,
+        },
+    ]
+}
+
+const SEM_EMPTY: i64 = 1;
+const SEM_FULL: i64 = 2;
+const SEM_GO: i64 = 3;
+const SEM_DONE: i64 = 4;
+
+/// Fig. 2: a producer thread writes `n` values into one shared cell, a
+/// consumer thread reads each one, synchronized by two semaphores. The
+/// consumer's single long activation re-reads the same cell `n` times, so
+/// its rms is 1 while its trms is `n`.
+pub fn producer_consumer(params: &WorkloadParams) -> Machine {
+    let n = params.size as i64;
+    let mut p = ProgramBuilder::new();
+    let main = p.declare("main", 0);
+    let producer = p.declare("producer", 2);
+    let consumer = p.declare("consumer", 2);
+    let produce_data = p.declare("produceData", 2);
+    let consume_data = p.declare("consumeData", 1);
+    {
+        let mut f = p.function(produce_data); // (x_addr, value)
+        let x = f.param(0);
+        let v = f.param(1);
+        f.store(v, x, 0);
+        f.ret(None);
+    }
+    {
+        let mut f = p.function(consume_data); // (x_addr) -> value
+        let x = f.param(0);
+        let v = f.temp();
+        f.load(v, x, 0);
+        f.ret(Some(v));
+    }
+    {
+        let mut f = p.function(producer); // (x_addr, n)
+        let x = f.param(0);
+        let n = f.param(1);
+        let empty = f.const_temp(SEM_EMPTY);
+        let full = f.const_temp(SEM_FULL);
+        f.for_range(n, |f, i| {
+            f.sem_wait(empty);
+            f.call(None, produce_data, &[x, i]);
+            f.sem_post(full);
+        });
+        f.ret(None);
+    }
+    {
+        let mut f = p.function(consumer); // (x_addr, n) -> sum
+        let x = f.param(0);
+        let n = f.param(1);
+        let empty = f.const_temp(SEM_EMPTY);
+        let full = f.const_temp(SEM_FULL);
+        let acc = f.const_temp(0);
+        f.for_range(n, |f, _| {
+            f.sem_wait(full);
+            let v = f.temp();
+            f.call(Some(v), consume_data, &[x]);
+            f.add(acc, acc, v);
+            f.sem_post(empty);
+        });
+        f.ret(Some(acc));
+    }
+    {
+        let mut f = p.function(main);
+        let one = f.const_temp(1);
+        let zero = f.const_temp(0);
+        let empty = f.const_temp(SEM_EMPTY);
+        let full = f.const_temp(SEM_FULL);
+        f.sem_init(empty, one);
+        f.sem_init(full, zero);
+        let x = f.temp();
+        f.alloc(x, one);
+        let n = f.const_temp(n);
+        let hp = f.temp();
+        f.spawn(hp, producer, &[x, n]);
+        let hc = f.temp();
+        f.spawn(hc, consumer, &[x, n]);
+        f.join(hp);
+        f.join(hc);
+        f.ret(Some(n));
+    }
+    Machine::new(p.build().expect("valid program"))
+        .with_config(MachineConfig { quantum: 8, ..MachineConfig::default() })
+}
+
+/// Fig. 3: `externalRead` loads `2n` values from a device through a 2-cell
+/// buffer but only consumes `buf[0]` each round: rms = 1, trms = n, and all
+/// induced input is external.
+pub fn external_read(params: &WorkloadParams) -> Machine {
+    let n = params.size as i64;
+    let mut p = ProgramBuilder::new();
+    let main = p.declare("main", 0);
+    let ext = p.declare("externalRead", 2);
+    {
+        let mut f = p.function(ext); // (fd, n) -> acc
+        let fd = f.param(0);
+        let n = f.param(1);
+        let two = f.const_temp(2);
+        let buf = f.temp();
+        f.alloc(buf, two);
+        let acc = f.const_temp(0);
+        f.for_range(n, |f, _| {
+            let got = f.temp();
+            f.sys_read(got, fd, buf, two);
+            let v = f.temp();
+            f.load(v, buf, 0); // only b[0] is processed
+            f.add(acc, acc, v);
+        });
+        f.ret(Some(acc));
+    }
+    {
+        let mut f = p.function(main);
+        let fd = f.const_temp(0);
+        let n = f.const_temp(n);
+        let r = f.temp();
+        f.call(Some(r), ext, &[fd, n]);
+        f.ret(Some(r));
+    }
+    let mut m = Machine::new(p.build().expect("valid program"));
+    m.add_device(Box::new(SyntheticSource::new(params.seed, 2 * params.size)));
+    m
+}
+
+/// The §3 synthetic scenario: activation `i` performs ⌈i/2⌉ reads of fresh
+/// cells (plain first-accesses) and ⌊i/2⌋ re-reads of a shared cell that a
+/// helper thread rewrites between reads (induced first-accesses), with cost
+/// proportional to `i`. The rms-based worst-case plot therefore appears to
+/// grow twice as fast as the trms-based one.
+pub fn half_induced(params: &WorkloadParams) -> Machine {
+    let n = params.size as i64;
+    let mut p = ProgramBuilder::new();
+    let main = p.declare("main", 0);
+    let r = p.declare("r", 3);
+    let dirtier = p.declare("dirtier", 2);
+    {
+        // r(arena, x_addr, i): read ceil(i/2) arena cells, then floor(i/2)
+        // handshaked re-reads of *x.
+        let mut f = p.function(r);
+        let arena = f.param(0);
+        let x = f.param(1);
+        let i = f.param(2);
+        let one = f.const_temp(1);
+        let two = f.const_temp(2);
+        let fresh = f.temp();
+        f.add(fresh, i, one);
+        f.div(fresh, fresh, two); // ceil(i/2)
+        let acc = f.const_temp(0);
+        crate::helpers::emit_sum(&mut f, acc, arena, fresh);
+        let induced = f.temp();
+        f.div(induced, i, two); // floor(i/2)
+        let go = f.const_temp(SEM_GO);
+        let done = f.const_temp(SEM_DONE);
+        f.for_range(induced, |f, _| {
+            f.sem_post(go);
+            f.sem_wait(done);
+            let v = f.temp();
+            f.load(v, x, 0);
+            f.add(acc, acc, v);
+        });
+        f.ret(Some(acc));
+    }
+    {
+        // dirtier(x_addr, rounds): rewrite *x once per handshake.
+        let mut f = p.function(dirtier);
+        let x = f.param(0);
+        let rounds = f.param(1);
+        let go = f.const_temp(SEM_GO);
+        let done = f.const_temp(SEM_DONE);
+        f.for_range(rounds, |f, k| {
+            f.sem_wait(go);
+            f.store(k, x, 0);
+            f.sem_post(done);
+        });
+        f.ret(None);
+    }
+    {
+        let mut f = p.function(main);
+        let zero = f.const_temp(0);
+        let go = f.const_temp(SEM_GO);
+        let done = f.const_temp(SEM_DONE);
+        f.sem_init(go, zero);
+        f.sem_init(done, zero);
+        let one = f.const_temp(1);
+        let two = f.const_temp(2);
+        let n_reg = f.const_temp(n);
+        // total handshakes = sum floor(i/2) for i in 1..=n
+        let total = f.const_temp(0);
+        f.for_range(n_reg, |f, i| {
+            let i1 = f.temp();
+            f.add(i1, i, one);
+            let h = f.temp();
+            f.div(h, i1, two);
+            f.add(total, total, h);
+        });
+        // arena of sum ceil(i/2) cells, pre-initialized by main
+        let arena_len = f.temp();
+        f.add(arena_len, total, n_reg);
+        let arena = f.temp();
+        f.alloc(arena, arena_len);
+        crate::helpers::emit_fill(&mut f, arena, arena_len, 3);
+        let x = f.temp();
+        f.alloc(x, one);
+        f.store(zero, x, 0);
+        let h = f.temp();
+        f.spawn(h, dirtier, &[x, total]);
+        let cursor = f.temp();
+        f.mov(cursor, arena);
+        f.for_range(n_reg, |f, i| {
+            let i1 = f.temp();
+            f.add(i1, i, one); // activations numbered 1..=n
+            let out = f.temp();
+            f.call(Some(out), r, &[cursor, x, i1]);
+            let fresh = f.temp();
+            f.add(fresh, i1, one);
+            f.div(fresh, fresh, two);
+            f.add(cursor, cursor, fresh);
+        });
+        f.join(h);
+        f.ret(Some(n_reg));
+    }
+    Machine::new(p.build().expect("valid program"))
+        .with_config(MachineConfig { quantum: 16, ..MachineConfig::default() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aprof_core::TrmsProfiler;
+    use aprof_trace::RoutineTable;
+
+    fn profile(mut m: Machine) -> (aprof_core::ProfileReport, RoutineTable) {
+        let names = m.program().routines().clone();
+        let mut prof = TrmsProfiler::new();
+        m.run_with(&mut prof).expect("run ok");
+        (prof.into_report(&names), names)
+    }
+
+    #[test]
+    fn producer_consumer_matches_fig2() {
+        let n = 20;
+        let (report, _) = profile(producer_consumer(&WorkloadParams::new(n, 2)));
+        let consumer = report.routine_by_name("consumer").unwrap();
+        // rms(consumer) is 1 for the shared cell; trms is n.
+        let trms_vals: Vec<u64> = consumer.trms_curve().iter().map(|p| p.0).collect();
+        let rms_vals: Vec<u64> = consumer.rms_curve().iter().map(|p| p.0).collect();
+        assert_eq!(trms_vals, vec![n]);
+        assert_eq!(rms_vals, vec![1]);
+        // consumeData activations each read x once: trms 1 (induced).
+        let cd = report.routine_by_name("consumeData").unwrap();
+        assert_eq!(cd.trms_curve(), vec![(1, cd.trms_curve()[0].1)]);
+        assert!(report.global.induced_thread >= n);
+        assert_eq!(report.global.induced_external, 0);
+    }
+
+    #[test]
+    fn external_read_matches_fig3() {
+        let n = 16;
+        let (report, _) = profile(external_read(&WorkloadParams::new(n, 1)));
+        let er = report.routine_by_name("externalRead").unwrap();
+        assert_eq!(er.trms_curve().iter().map(|p| p.0).collect::<Vec<_>>(), vec![n]);
+        assert_eq!(er.rms_curve().iter().map(|p| p.0).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(report.global.induced_external, n);
+        assert_eq!(report.global.induced_thread, 0);
+        assert_eq!(report.global.kernel_writes, 2 * n);
+    }
+
+    #[test]
+    fn half_induced_slopes_differ_by_two() {
+        let n = 40;
+        let (report, _) = profile(half_induced(&WorkloadParams::new(n, 1)));
+        let r = report.routine_by_name("r").unwrap();
+        // Worst-case cost plots against both metrics.
+        let trms_plot: Vec<(f64, f64)> =
+            r.trms_curve().iter().map(|&(x, s)| (x as f64, s.max as f64)).collect();
+        let rms_plot: Vec<(f64, f64)> =
+            r.rms_curve().iter().map(|&(x, s)| (x as f64, s.max as f64)).collect();
+        let t = aprof_analysis::fit_best(&trms_plot).unwrap();
+        let m = aprof_analysis::fit_best(&rms_plot).unwrap();
+        assert_eq!(t.model, aprof_analysis::GrowthModel::Linear);
+        assert_eq!(m.model, aprof_analysis::GrowthModel::Linear);
+        let ratio = m.b / t.b;
+        assert!(
+            (ratio - 2.0).abs() < 0.35,
+            "rms slope should be ~2x the trms slope, got ratio {ratio}"
+        );
+    }
+}

@@ -1,0 +1,406 @@
+//! A miniature relational engine: the MySQL analog.
+//!
+//! MySQL serves every connection on its own thread, scans tables through
+//! reused I/O buffers, batches dirty pages for flushing, and talks to
+//! clients over the network — the exact patterns behind the paper's
+//! Figs. 4, 6, 8 and 9. The analog reproduces them with:
+//!
+//! * `mysql_select(fd, rows, bufsize, hdr)` — a full-table scan pulling
+//!   `rows` cells from a per-table device through a `√rows`-cell buffer
+//!   (each refill is external input) and reading one block-index header per
+//!   chunk (√rows plain first-accesses). Hence rms ≈ 2√rows while
+//!   trms ≈ rows: the rms worst-case plot grows quadratically where the
+//!   trms plot is linear — Fig. 4.
+//! * `buf_flush_buffered_writes(dirty, m, rounds)` — the i-th flush does
+//!   `i` handshake rounds with a dirty-page producer, re-reading the same
+//!   `m`-cell batch buffer each round (thread-induced) and paying
+//!   merge work proportional to the data flushed so far: cost ~ i², trms
+//!   ~ i·m, rms ~ m. The trms plot reveals the superlinear trend that the
+//!   collapsed rms plot hides — Fig. 6.
+//! * `send_eof(conn, polls)` — protocol output: reads a fixed connection
+//!   header then polls a client-acknowledged flag a result-dependent number
+//!   of times (each poll thread-induced): rich trms workload plot versus a
+//!   collapsed rms one — Fig. 8.
+//!
+//! A mysqlslap-like driver spawns `threads` connection threads, each
+//! scanning its own set of tables of quadratically growing sizes.
+
+use crate::helpers::emit_join_all;
+use crate::{Family, Workload, WorkloadParams};
+use aprof_vm::builder::ProgramBuilder;
+use aprof_vm::device::SyntheticSource;
+use aprof_vm::{Machine, MachineConfig};
+
+/// Registry entries for this module.
+pub fn workloads() -> Vec<Workload> {
+    vec![Workload {
+        name: "mysqld",
+        family: Family::MiniDb,
+        description: "buffered table scans, batched flushes and protocol output \
+                      under a mysqlslap-like multi-client load",
+        build: mysqld,
+    }]
+}
+
+const SEM_ASK: i64 = 30;
+const SEM_ANS: i64 = 31;
+const SEM_NEED: i64 = 32;
+const SEM_READY: i64 = 33;
+const LOCK_PEER: i64 = 34;
+const FLUSH_M: i64 = 12;
+
+fn mysqld(params: &WorkloadParams) -> Machine {
+    let clients = params.threads.max(1) as i64;
+    let tables = ((params.size as i64) / 16).clamp(3, 10); // J tables per client
+    let flushes = tables; // k flush activations
+    let conn_hdr = 5i64;
+
+    let mut p = ProgramBuilder::new();
+    let main = p.declare("main", 0);
+    let client = p.declare("handle_connection", 4); // (idx, tables, catalog, conns)
+    let select = p.declare("mysql_select", 4); // (fd, rows, bufsize, hdr) -> sum
+    let send_eof = p.declare("send_eof", 2); // (conn, polls) -> acc
+    let flusher = p.declare("page_cleaner", 3); // (dirty, m, flushes)
+    let flush = p.declare("buf_flush_buffered_writes", 3); // (dirty, m, rounds)
+    let producer = p.declare("dirty_producer", 3); // (dirty, m, total_rounds)
+    let peer = p.declare("net_peer", 2); // (flag_addr, total_acks)
+
+    {
+        let mut f = p.function(select);
+        let fd = f.param(0);
+        let rows = f.param(1);
+        let bufsize = f.param(2);
+        let hdr = f.param(3);
+        let buf = f.temp();
+        f.alloc(buf, bufsize);
+        let chunks = f.temp();
+        f.div(chunks, rows, bufsize);
+        let acc = f.const_temp(0);
+        f.for_range(chunks, |f, c| {
+            let got = f.temp();
+            f.sys_read(got, fd, buf, bufsize); // kernel refills the buffer
+            let haddr = f.temp();
+            f.add(haddr, hdr, c);
+            let h = f.temp();
+            f.load(h, haddr, 0); // block-index header: one fresh cell/chunk
+            f.add(acc, acc, h);
+            f.for_range(bufsize, |f, i| {
+                let addr = f.temp();
+                f.add(addr, buf, i);
+                let v = f.temp();
+                f.load(v, addr, 0);
+                f.add(acc, acc, v);
+            });
+        });
+        f.ret(Some(acc));
+    }
+    {
+        let mut f = p.function(send_eof);
+        let conn = f.param(0);
+        let polls = f.param(1);
+        let hdr_len = f.const_temp(conn_hdr);
+        let acc = f.const_temp(0);
+        f.for_range(hdr_len, |f, i| {
+            let addr = f.temp();
+            f.add(addr, conn, i);
+            let v = f.temp();
+            f.load(v, addr, 0);
+            f.add(acc, acc, v);
+        });
+        let ask = f.const_temp(SEM_ASK);
+        let ans = f.const_temp(SEM_ANS);
+        let lock = f.const_temp(LOCK_PEER);
+        f.acquire(lock);
+        f.for_range(polls, |f, _| {
+            f.sem_post(ask);
+            f.sem_wait(ans);
+            let v = f.temp();
+            f.load(v, conn, conn_hdr); // flag cell rewritten by net_peer
+            f.add(acc, acc, v);
+        });
+        f.release(lock);
+        f.ret(Some(acc));
+    }
+    {
+        // net_peer(flag_addr, total): acknowledge every poll by rewriting
+        // the shared flag (all clients share one flag cell after their
+        // connection header — serialized by LOCK_PEER).
+        let mut f = p.function(peer);
+        let flag = f.param(0);
+        let total = f.param(1);
+        let ask = f.const_temp(SEM_ASK);
+        let ans = f.const_temp(SEM_ANS);
+        f.for_range(total, |f, k| {
+            f.sem_wait(ask);
+            f.store(k, flag, 0);
+            f.sem_post(ans);
+        });
+        f.ret(None);
+    }
+    {
+        let mut f = p.function(flush);
+        let dirty = f.param(0);
+        let m = f.param(1);
+        let rounds = f.param(2);
+        let need = f.const_temp(SEM_NEED);
+        let ready = f.const_temp(SEM_READY);
+        let acc = f.const_temp(0);
+        f.for_range(rounds, |f, r| {
+            f.sem_post(need);
+            f.sem_wait(ready);
+            // Re-read the refilled dirty batch (thread-induced input).
+            f.for_range(m, |f, i| {
+                let addr = f.temp();
+                f.add(addr, dirty, i);
+                let v = f.temp();
+                f.load(v, addr, 0);
+                f.add(acc, acc, v);
+            });
+            // Merge work proportional to everything flushed so far:
+            // register-only compute, so cost grows without adding input.
+            let work = f.temp();
+            f.mul(work, r, m);
+            f.for_range(work, |f, w| {
+                f.add(acc, acc, w);
+            });
+        });
+        f.ret(Some(acc));
+    }
+    {
+        let mut f = p.function(producer);
+        let dirty = f.param(0);
+        let m = f.param(1);
+        let total = f.param(2);
+        let need = f.const_temp(SEM_NEED);
+        let ready = f.const_temp(SEM_READY);
+        f.for_range(total, |f, r| {
+            f.sem_wait(need);
+            f.for_range(m, |f, i| {
+                let v = f.temp();
+                f.add(v, r, i);
+                let addr = f.temp();
+                f.add(addr, dirty, i);
+                f.store(v, addr, 0);
+            });
+            f.sem_post(ready);
+        });
+        f.ret(None);
+    }
+    {
+        // page_cleaner(dirty, m, k): the i-th flush does i rounds.
+        let mut f = p.function(flusher);
+        let dirty = f.param(0);
+        let m = f.param(1);
+        let k = f.param(2);
+        let one = f.const_temp(1);
+        f.for_range(k, |f, i| {
+            let rounds = f.temp();
+            f.add(rounds, i, one);
+            let r = f.temp();
+            f.call(Some(r), flush, &[dirty, m, rounds]);
+        });
+        f.ret(None);
+    }
+    {
+        // handle_connection(idx, tables, catalog, conns):
+        // catalog[j] = header base for table j; table sizes are derived
+        // from j; per-client devices are fd = idx*tables + j.
+        let mut f = p.function(client);
+        let idx = f.param(0);
+        let tables_r = f.param(1);
+        let catalog = f.param(2);
+        let conns = f.param(3);
+        let four = f.const_temp(4);
+        let one = f.const_temp(1);
+        let conn = f.temp();
+        f.mov(conn, conns); // all clients share one connection record + flag
+        f.for_range(tables_r, |f, j| {
+            let j1 = f.temp();
+            f.add(j1, j, one);
+            let bufsize = f.temp();
+            f.mul(bufsize, j1, four); // B = 4(j+1)
+            let rows = f.temp();
+            f.mul(rows, bufsize, bufsize); // n = B^2
+            let fd = f.temp();
+            f.mul(fd, idx, tables_r);
+            f.add(fd, fd, j);
+            let centry = f.temp();
+            f.add(centry, catalog, j);
+            let hdr = f.temp();
+            f.load(hdr, centry, 0);
+            let sum = f.temp();
+            f.call(Some(sum), select, &[fd, rows, bufsize, hdr]);
+            // Result-size-dependent protocol output.
+            let polls = f.temp();
+            f.add(polls, j1, idx);
+            let r = f.temp();
+            f.call(Some(r), send_eof, &[conn, polls]);
+        });
+        f.ret(None);
+    }
+    {
+        let mut f = p.function(main);
+        let zero = f.const_temp(0);
+        for key in [SEM_ASK, SEM_ANS, SEM_NEED, SEM_READY] {
+            let k = f.const_temp(key);
+            f.sem_init(k, zero);
+        }
+        let tables_r = f.const_temp(tables);
+        let four = f.const_temp(4);
+        let one = f.const_temp(1);
+        // Catalog of per-table header arrays (headers hold √rows cells).
+        let catalog = f.temp();
+        f.alloc(catalog, tables_r);
+        f.for_range(tables_r, |f, j| {
+            let j1 = f.temp();
+            f.add(j1, j, one);
+            let hlen = f.temp();
+            f.mul(hlen, j1, four); // chunks = B = 4(j+1)
+            let hdr = f.temp();
+            f.alloc(hdr, hlen);
+            crate::helpers::emit_fill(f, hdr, hlen, 17);
+            let centry = f.temp();
+            f.add(centry, catalog, j);
+            f.store(hdr, centry, 0);
+        });
+        // Shared connection record: header + ack flag.
+        let conn_len = f.const_temp(conn_hdr + 1);
+        let conns = f.temp();
+        f.alloc(conns, conn_len);
+        crate::helpers::emit_fill(&mut f, conns, conn_len, 23);
+        // Flush machinery.
+        let m = f.const_temp(FLUSH_M);
+        let dirty = f.temp();
+        f.alloc(dirty, m);
+        let flushes_r = f.const_temp(flushes);
+        let total_rounds = f.temp();
+        f.add(total_rounds, flushes_r, one);
+        f.mul(total_rounds, total_rounds, flushes_r);
+        let two = f.const_temp(2);
+        f.div(total_rounds, total_rounds, two); // k(k+1)/2
+        let hprod = f.temp();
+        f.spawn(hprod, producer, &[dirty, m, total_rounds]);
+        let hflush = f.temp();
+        f.spawn(hflush, flusher, &[dirty, m, flushes_r]);
+        // Network peer: total acks = sum over clients and tables of polls.
+        let clients_r = f.const_temp(clients);
+        let total_acks = f.const_temp(0);
+        f.for_range(clients_r, |f, c| {
+            f.for_range(tables_r, |f, j| {
+                let j1 = f.temp();
+                f.add(j1, j, one);
+                f.add(j1, j1, c);
+                f.add(total_acks, total_acks, j1);
+            });
+        });
+        let flag = f.temp();
+        let hdr_off = f.const_temp(conn_hdr);
+        f.add(flag, conns, hdr_off);
+        let hpeer = f.temp();
+        f.spawn(hpeer, peer, &[flag, total_acks]);
+        // mysqlslap: spawn the connection threads.
+        let handles = f.temp();
+        f.alloc(handles, clients_r);
+        f.for_range(clients_r, |f, c| {
+            let h = f.temp();
+            f.spawn(h, client, &[c, tables_r, catalog, conns]);
+            let slot = f.temp();
+            f.add(slot, handles, c);
+            f.store(h, slot, 0);
+        });
+        emit_join_all(&mut f, handles, clients_r);
+        f.join(hprod);
+        f.join(hflush);
+        f.join(hpeer);
+        f.ret(Some(clients_r));
+    }
+
+    let mut m = Machine::new(p.build().expect("valid minidb program"))
+        .with_config(MachineConfig { quantum: 24, ..MachineConfig::default() });
+    // One device per (client, table): fd = client*tables + j, rows = (4(j+1))^2.
+    for c in 0..clients {
+        for j in 0..tables {
+            let rows = (4 * (j + 1)) * (4 * (j + 1));
+            let seed = params.seed ^ ((c as u64) << 32) ^ (j as u64 + 1);
+            m.add_device(Box::new(SyntheticSource::new(seed, rows as u64)));
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aprof_analysis::{fit_best, GrowthModel};
+    use aprof_core::{InputPolicy, TrmsProfiler};
+
+    fn report(params: &WorkloadParams) -> aprof_core::ProfileReport {
+        let wl = crate::by_name("mysqld").unwrap();
+        let mut m = wl.build(params);
+        let names = m.program().routines().clone();
+        let mut prof = TrmsProfiler::with_policy(InputPolicy::full());
+        m.run_with(&mut prof).expect("minidb run");
+        prof.into_report(&names)
+    }
+
+    fn worst_case(r: &aprof_core::RoutineReport, trms: bool) -> Vec<(f64, f64)> {
+        let curve = if trms { r.trms_curve() } else { r.rms_curve() };
+        curve.iter().map(|&(x, s)| (x as f64, s.max as f64)).collect()
+    }
+
+    /// Fig. 4: mysql_select's trms plot is linear; its rms plot is
+    /// superlinear (quadratic, since rms ≈ 2√rows).
+    #[test]
+    fn mysql_select_fig4_shapes() {
+        let rep = report(&WorkloadParams::new(160, 2));
+        let sel = rep.routine_by_name("mysql_select").unwrap();
+        assert!(sel.distinct_trms() >= 4, "need several table sizes");
+        let trms_fit = fit_best(&worst_case(sel, true)).unwrap();
+        let rms_fit = fit_best(&worst_case(sel, false)).unwrap();
+        assert!(
+            !trms_fit.model.is_superlinear(),
+            "trms plot must be linear, got {:?}",
+            trms_fit.model
+        );
+        assert!(
+            rms_fit.model.is_superlinear(),
+            "rms plot must look superlinear, got {:?}",
+            rms_fit.model
+        );
+    }
+
+    /// Fig. 6: the flush routine's rms collapses while its trms plot
+    /// reveals superlinear growth.
+    #[test]
+    fn buf_flush_fig6_shapes() {
+        let rep = report(&WorkloadParams::new(160, 2));
+        let fl = rep.routine_by_name("buf_flush_buffered_writes").unwrap();
+        assert!(fl.distinct_trms() >= 4);
+        assert!(fl.distinct_rms() <= 2, "rms must collapse, got {}", fl.distinct_rms());
+        let fit = fit_best(&worst_case(fl, true)).unwrap();
+        assert!(fit.model.is_superlinear(), "trms reveals superlinearity, got {:?}", fit.model);
+        assert_ne!(fit.model, GrowthModel::Cubic, "should be about quadratic");
+    }
+
+    /// Fig. 8: send_eof's trms workload plot is rich, its rms plot poor.
+    #[test]
+    fn send_eof_fig8_workload() {
+        let rep = report(&WorkloadParams::new(160, 3));
+        let se = rep.routine_by_name("send_eof").unwrap();
+        assert!(se.distinct_trms() > se.distinct_rms());
+        assert!(se.distinct_rms() <= 2);
+        let total: u64 = se.trms_curve().iter().map(|(_, s)| s.count).sum();
+        assert_eq!(total, se.merged.calls);
+    }
+
+    /// Fig. 9 / Fig. 17: minidb's induced input is predominantly external.
+    #[test]
+    fn minidb_external_dominates() {
+        let rep = report(&WorkloadParams::new(160, 2));
+        let (thread_pct, ext_pct) = rep.global.induced_split();
+        assert!(ext_pct > thread_pct, "external {ext_pct}% vs thread {thread_pct}%");
+        let sel = rep.routine_by_name("mysql_select").unwrap();
+        let (t, e) = sel.induced_fractions();
+        assert!(e > t, "mysql_select is I/O-bound");
+    }
+}

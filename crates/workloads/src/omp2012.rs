@@ -1,0 +1,617 @@
+//! SPEC OMP2012 analogs: iterative data-parallel kernels.
+//!
+//! Each of the twelve Table 1 components is modelled by one of five honest
+//! kernel shapes, parameterized per benchmark. In every shape the worker
+//! threads are long-lived activations separated by barriers, and
+//! thread-induced input arises exactly where it does in real OpenMP codes:
+//! a thread re-reads shared cells (halo boundaries, particle positions,
+//! pivot rows, previous wavefront rows) that other threads rewrote in the
+//! previous phase.
+
+use crate::helpers::{add_barrier, emit_join_all, emit_spawn_workers};
+use crate::{Family, Workload, WorkloadParams};
+use aprof_vm::builder::{FunctionBuilder, ProgramBuilder};
+use aprof_vm::device::SyntheticSource;
+use aprof_vm::ir::CmpOp;
+use aprof_vm::{Machine, MachineConfig};
+
+/// Registry entries: the twelve OMP2012 rows of Table 1.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "350.md",
+            family: Family::Omp2012,
+            description: "pairwise particle forces; all-to-all position reads across barriers",
+            build: |p| pairwise(p, 4, 1),
+        },
+        Workload {
+            name: "351.bwaves",
+            family: Family::Omp2012,
+            description: "blocked explicit solver; radius-1 halo exchange",
+            build: |p| stencil(p, 1, 1, 4),
+        },
+        Workload {
+            name: "352.nab",
+            family: Family::Omp2012,
+            description: "molecular dynamics with extra per-particle work",
+            build: |p| pairwise(p, 2, 3),
+        },
+        Workload {
+            name: "358.botsalgn",
+            family: Family::Omp2012,
+            description: "many small alignment tiles; wavefront dependencies",
+            build: |p| wavefront(p, 4),
+        },
+        Workload {
+            name: "359.botsspar",
+            family: Family::Omp2012,
+            description: "blocked sparse LU; pivot-row broadcast per step",
+            build: blocked_lu,
+        },
+        Workload {
+            name: "360.ilbdc",
+            family: Family::Omp2012,
+            description: "lattice streaming; each cell pulls from the left neighbour",
+            build: |p| stencil(p, 1, 1, 6),
+        },
+        Workload {
+            name: "362.fma3d",
+            family: Family::Omp2012,
+            description: "finite-element update; radius-2 halo exchange",
+            build: |p| stencil(p, 2, 1, 4),
+        },
+        Workload {
+            name: "367.imagick",
+            family: Family::Omp2012,
+            description: "row-parallel convolution; radius-3 halos",
+            build: |p| stencil(p, 3, 1, 3),
+        },
+        Workload {
+            name: "370.mgrid331",
+            family: Family::Omp2012,
+            description: "multigrid relaxation; two resolutions per cycle",
+            build: |p| stencil(p, 1, 2, 3),
+        },
+        Workload {
+            name: "371.applu331",
+            family: Family::Omp2012,
+            description: "SSOR; forward and backward sweeps per iteration",
+            build: |p| stencil(p, 1, 2, 4),
+        },
+        Workload {
+            name: "372.smithwa",
+            family: Family::Omp2012,
+            description: "Smith-Waterman DP; previous-row wavefront reads",
+            build: |p| wavefront(p, 6),
+        },
+        Workload {
+            name: "376.kdtree",
+            family: Family::Omp2012,
+            description: "tree built by main, traversed by workers; queries stream from a device",
+            build: kdtree,
+        },
+    ]
+}
+
+const LOCK: i64 = 100;
+const SEM_BARRIER: i64 = 101;
+
+/// Emits `barrier(LOCK, count_addr, SEM_BARRIER, nthreads)`.
+fn emit_barrier_call(
+    f: &mut FunctionBuilder<'_>,
+    barrier: aprof_vm::ir::FuncId,
+    count_addr: aprof_vm::ir::Reg,
+    nthreads: aprof_vm::ir::Reg,
+) {
+    let lock = f.const_temp(LOCK);
+    let sem = f.const_temp(SEM_BARRIER);
+    f.call(None, barrier, &[lock, count_addr, sem, nthreads]);
+}
+
+/// Iterative halo-exchange stencil over a ring of `n` cells: each worker
+/// owns a block; every iteration it sums its block plus `radius` halo cells
+/// on each side (rewritten by the neighbours in the previous write phase,
+/// hence induced first-accesses), then rewrites its own block; `sweeps`
+/// read/write phase pairs per iteration.
+fn stencil(params: &WorkloadParams, radius: i64, sweeps: i64, iters: i64) -> Machine {
+    let n = (params.size as i64).max(4 * params.threads as i64);
+    let t = params.threads.max(1) as i64;
+    let mut p = ProgramBuilder::new();
+    let main = p.declare("main", 0);
+    let worker = p.declare("worker", 5); // (idx, a, n, t, count_addr)
+    let read_block = p.declare("read_block", 4); // (a, from, len, n) -> sum
+    let write_block = p.declare("write_block", 4); // (a, from, len, value)
+    let barrier = add_barrier(&mut p);
+    {
+        let mut f = p.function(read_block);
+        let a = f.param(0);
+        let from = f.param(1);
+        let len = f.param(2);
+        let n = f.param(3);
+        let acc = f.const_temp(0);
+        f.for_range(len, |f, i| {
+            let idx = f.temp();
+            f.add(idx, from, i);
+            f.rem(idx, idx, n); // ring wrap (operands are kept non-negative)
+            let addr = f.temp();
+            f.add(addr, a, idx);
+            let v = f.temp();
+            f.load(v, addr, 0);
+            f.add(acc, acc, v);
+        });
+        f.ret(Some(acc));
+    }
+    {
+        let mut f = p.function(write_block);
+        let a = f.param(0);
+        let from = f.param(1);
+        let len = f.param(2);
+        let value = f.param(3);
+        f.for_range(len, |f, i| {
+            let addr = f.temp();
+            f.add(addr, a, from);
+            f.add(addr, addr, i);
+            let v = f.temp();
+            f.add(v, value, i);
+            f.store(v, addr, 0);
+        });
+        f.ret(None);
+    }
+    {
+        let mut f = p.function(worker);
+        let idx = f.param(0);
+        let a = f.param(1);
+        let n = f.param(2);
+        let t = f.param(3);
+        let count_addr = f.param(4);
+        let block = f.temp();
+        f.div(block, n, t);
+        let base = f.temp();
+        f.mul(base, idx, block);
+        // Give the last worker the remainder so block sizes differ.
+        let last = f.temp();
+        let one = f.const_temp(1);
+        let tm1 = f.temp();
+        f.sub(tm1, t, one);
+        f.cmp(CmpOp::Eq, last, idx, tm1);
+        let rest = f.temp();
+        f.mul(rest, block, t);
+        f.sub(rest, n, rest); // n - block*t
+        f.mul(rest, rest, last);
+        let mylen = f.temp();
+        f.add(mylen, block, rest);
+        let radius_r = f.const_temp(radius);
+        let iters_r = f.const_temp(iters);
+        let sweeps_r = f.const_temp(sweeps);
+        let acc = f.const_temp(0);
+        f.for_range(iters_r, |f, _| {
+            f.for_range(sweeps_r, |f, _| {
+                // Read own block.
+                let s = f.temp();
+                f.call(Some(s), read_block, &[a, base, mylen, n]);
+                f.add(acc, acc, s);
+                // Read left and right halos (induced: neighbours wrote them).
+                let left = f.temp();
+                f.sub(left, base, radius_r);
+                f.add(left, left, n); // keep non-negative before rem
+                let s2 = f.temp();
+                f.call(Some(s2), read_block, &[a, left, radius_r, n]);
+                f.add(acc, acc, s2);
+                let right = f.temp();
+                f.add(right, base, mylen);
+                let s3 = f.temp();
+                f.call(Some(s3), read_block, &[a, right, radius_r, n]);
+                f.add(acc, acc, s3);
+                emit_barrier_call(f, barrier, count_addr, t);
+                // Write own block.
+                f.call(None, write_block, &[a, base, mylen, acc]);
+                emit_barrier_call(f, barrier, count_addr, t);
+            });
+        });
+        f.ret(Some(acc));
+    }
+    {
+        let mut f = p.function(main);
+        let n_r = f.const_temp(n);
+        let a = f.temp();
+        f.alloc(a, n_r);
+        crate::helpers::emit_fill(&mut f, a, n_r, 5);
+        let one = f.const_temp(1);
+        let count_addr = f.temp();
+        f.alloc(count_addr, one);
+        let t_r = f.const_temp(t);
+        let handles = emit_spawn_workers(&mut f, worker, t_r, &[a, n_r, t_r, count_addr]);
+        emit_join_all(&mut f, handles, t_r);
+        f.ret(Some(n_r));
+    }
+    Machine::new(p.build().expect("valid stencil program"))
+        .with_config(MachineConfig { quantum: 32, ..MachineConfig::default() })
+}
+
+/// Pairwise-interaction kernel (md/nab): every iteration each worker reads
+/// *all* particle positions (those of other workers are induced) to update
+/// the positions it owns; `localwork` adds per-particle private compute.
+fn pairwise(params: &WorkloadParams, iters: i64, localwork: i64) -> Machine {
+    let n = (params.size as i64).max(2 * params.threads as i64);
+    let t = params.threads.max(1) as i64;
+    let mut p = ProgramBuilder::new();
+    let main = p.declare("main", 0);
+    let worker = p.declare("worker", 5); // (idx, pos, n, t, count_addr)
+    let forces = p.declare("compute_forces", 3); // (pos, n, self_idx) -> f
+    let barrier = add_barrier(&mut p);
+    {
+        let mut f = p.function(forces);
+        let pos = f.param(0);
+        let n = f.param(1);
+        let me = f.param(2);
+        let acc = f.const_temp(0);
+        f.for_range(n, |f, j| {
+            let addr = f.temp();
+            f.add(addr, pos, j);
+            let v = f.temp();
+            f.load(v, addr, 0);
+            let d = f.temp();
+            f.sub(d, v, me);
+            f.add(acc, acc, d);
+        });
+        f.ret(Some(acc));
+    }
+    {
+        let mut f = p.function(worker);
+        let idx = f.param(0);
+        let pos = f.param(1);
+        let n = f.param(2);
+        let t = f.param(3);
+        let count_addr = f.param(4);
+        let iters_r = f.const_temp(iters);
+        let lw = f.const_temp(localwork);
+        f.for_range(iters_r, |f, _| {
+            // Force phase: read every position.
+            let force = f.temp();
+            f.call(Some(force), forces, &[pos, n, idx]);
+            // Private local work (no sharing).
+            f.for_range(lw, |f, k| {
+                f.add(force, force, k);
+            });
+            emit_barrier_call(f, barrier, count_addr, t);
+            // Update phase: write my own positions (strided by t).
+            let j = f.temp();
+            f.mov(j, idx);
+            let cont = f.scratch();
+            f.loop_while(j, |f, j| {
+                let addr = f.temp();
+                f.add(addr, pos, j);
+                let v = f.temp();
+                f.load(v, addr, 0);
+                f.add(v, v, force);
+                f.store(v, addr, 0);
+                f.add(j, j, t);
+                f.cmp_lt(cont, j, n)
+            });
+            emit_barrier_call(f, barrier, count_addr, t);
+        });
+        f.ret(None);
+    }
+    {
+        let mut f = p.function(main);
+        let n_r = f.const_temp(n);
+        let pos = f.temp();
+        f.alloc(pos, n_r);
+        crate::helpers::emit_fill(&mut f, pos, n_r, 7);
+        let one = f.const_temp(1);
+        let count_addr = f.temp();
+        f.alloc(count_addr, one);
+        let t_r = f.const_temp(t);
+        let handles = emit_spawn_workers(&mut f, worker, t_r, &[pos, n_r, t_r, count_addr]);
+        emit_join_all(&mut f, handles, t_r);
+        f.ret(Some(n_r));
+    }
+    Machine::new(p.build().expect("valid pairwise program"))
+        .with_config(MachineConfig { quantum: 32, ..MachineConfig::default() })
+}
+
+/// Wavefront dynamic programming (smithwa/botsalgn): workers own column
+/// bands of a DP matrix; row `i` needs row `i-1`, including the band of the
+/// left neighbour, synchronized by a barrier per row.
+fn wavefront(params: &WorkloadParams, rows: i64) -> Machine {
+    let cols = (params.size as i64).max(2 * params.threads as i64);
+    let t = params.threads.max(1) as i64;
+    let mut p = ProgramBuilder::new();
+    let main = p.declare("main", 0);
+    let worker = p.declare("worker", 6); // (idx, m, cols, rows, t, count_addr)
+    let barrier = add_barrier(&mut p);
+    {
+        let mut f = p.function(worker);
+        let idx = f.param(0);
+        let m = f.param(1);
+        let cols = f.param(2);
+        let rows = f.param(3);
+        let t = f.param(4);
+        let count_addr = f.param(5);
+        let band = f.temp();
+        f.div(band, cols, t);
+        let base = f.temp();
+        f.mul(base, idx, band);
+        let one = f.const_temp(1);
+        f.for_range(rows, |f, r| {
+            let prev_row = f.temp();
+            f.sub(prev_row, r, one);
+            f.for_range(band, |f, c| {
+                let col = f.temp();
+                f.add(col, base, c);
+                // Read cell (r-1, col-1): owned by the left neighbour when
+                // col == base, hence induced.
+                let up = f.temp();
+                f.mul(up, prev_row, cols);
+                let colm1 = f.temp();
+                f.add(colm1, col, cols); // keep non-negative
+                f.sub(colm1, colm1, one);
+                f.rem(colm1, colm1, cols);
+                f.add(up, up, colm1);
+                let upv = f.temp();
+                let ok = f.temp();
+                let zero = f.const_temp(0);
+                f.cmp(CmpOp::Ge, ok, prev_row, zero);
+                let read_bb = f.new_block();
+                let skip_bb = f.new_block();
+                let cont_bb = f.new_block();
+                f.br(ok, read_bb, skip_bb);
+                f.switch_to(read_bb);
+                let addr = f.temp();
+                f.add(addr, m, up);
+                f.load(upv, addr, 0);
+                f.jmp(cont_bb);
+                f.switch_to(skip_bb);
+                f.const_(upv, 1);
+                f.jmp(cont_bb);
+                f.switch_to(cont_bb);
+                // Write cell (r, col).
+                let here = f.temp();
+                f.mul(here, r, cols);
+                f.add(here, here, col);
+                f.add(here, here, m);
+                let v = f.temp();
+                f.add(v, upv, col);
+                f.store(v, here, 0);
+            });
+            emit_barrier_call(f, barrier, count_addr, t);
+        });
+        f.ret(None);
+    }
+    {
+        let mut f = p.function(main);
+        let cols_r = f.const_temp(cols);
+        let rows_r = f.const_temp(rows);
+        let cells = f.temp();
+        f.mul(cells, cols_r, rows_r);
+        let m = f.temp();
+        f.alloc(m, cells);
+        let one = f.const_temp(1);
+        let count_addr = f.temp();
+        f.alloc(count_addr, one);
+        let t_r = f.const_temp(t);
+        let handles =
+            emit_spawn_workers(&mut f, worker, t_r, &[m, cols_r, rows_r, t_r, count_addr]);
+        emit_join_all(&mut f, handles, t_r);
+        f.ret(Some(cells));
+    }
+    Machine::new(p.build().expect("valid wavefront program"))
+        .with_config(MachineConfig { quantum: 32, ..MachineConfig::default() })
+}
+
+/// Blocked LU-style elimination (botsspar): at step `k` the owner of pivot
+/// block `k` rewrites it; every other worker reads the pivot row (induced)
+/// to update its own trailing blocks.
+fn blocked_lu(params: &WorkloadParams) -> Machine {
+    let blocks = ((params.size as i64) / 8).clamp(4, 32);
+    let bsize = 8i64;
+    let t = params.threads.max(1) as i64;
+    let mut p = ProgramBuilder::new();
+    let main = p.declare("main", 0);
+    let worker = p.declare("worker", 6); // (idx, a, blocks, bsize, t, count_addr)
+    let barrier = add_barrier(&mut p);
+    {
+        let mut f = p.function(worker);
+        let idx = f.param(0);
+        let a = f.param(1);
+        let blocks_r = f.param(2);
+        let bsize_r = f.param(3);
+        let t = f.param(4);
+        let count_addr = f.param(5);
+        f.for_range(blocks_r, |f, k| {
+            // Pivot owner (k % t) rewrites pivot block k.
+            let owner = f.temp();
+            f.rem(owner, k, t);
+            let mine = f.temp();
+            f.cmp(CmpOp::Eq, mine, owner, idx);
+            let pivot_base = f.temp();
+            f.mul(pivot_base, k, bsize_r);
+            f.add(pivot_base, pivot_base, a);
+            let piv_bb = f.new_block();
+            let join_bb = f.new_block();
+            let skip_bb = f.new_block();
+            f.br(mine, piv_bb, skip_bb);
+            f.switch_to(piv_bb);
+            f.for_range(bsize_r, |f, j| {
+                let addr = f.temp();
+                f.add(addr, pivot_base, j);
+                let v = f.temp();
+                f.load(v, addr, 0);
+                f.add(v, v, k);
+                f.store(v, addr, 0);
+            });
+            f.jmp(join_bb);
+            f.switch_to(skip_bb);
+            f.jmp(join_bb);
+            f.switch_to(join_bb);
+            emit_barrier_call(f, barrier, count_addr, t);
+            // Everyone reads the pivot row (induced for non-owners) and
+            // updates one private accumulator pass over it.
+            let acc = f.const_temp(0);
+            f.for_range(bsize_r, |f, j| {
+                let addr = f.temp();
+                f.add(addr, pivot_base, j);
+                let v = f.temp();
+                f.load(v, addr, 0);
+                f.add(acc, acc, v);
+            });
+            emit_barrier_call(f, barrier, count_addr, t);
+        });
+        f.ret(None);
+    }
+    {
+        let mut f = p.function(main);
+        let blocks_r = f.const_temp(blocks);
+        let bsize_r = f.const_temp(bsize);
+        let cells = f.temp();
+        f.mul(cells, blocks_r, bsize_r);
+        let a = f.temp();
+        f.alloc(a, cells);
+        crate::helpers::emit_fill(&mut f, a, cells, 11);
+        let one = f.const_temp(1);
+        let count_addr = f.temp();
+        f.alloc(count_addr, one);
+        let t_r = f.const_temp(t);
+        let handles =
+            emit_spawn_workers(&mut f, worker, t_r, &[a, blocks_r, bsize_r, t_r, count_addr]);
+        emit_join_all(&mut f, handles, t_r);
+        f.ret(Some(cells));
+    }
+    Machine::new(p.build().expect("valid LU program"))
+        .with_config(MachineConfig { quantum: 32, ..MachineConfig::default() })
+}
+
+/// kd-tree analog: main builds an implicit tree (writes), workers answer
+/// point queries streamed from a device (external input) by walking the
+/// tree (thread-induced on first touch, since main built it).
+fn kdtree(params: &WorkloadParams) -> Machine {
+    let n = (params.size.next_power_of_two() as i64).max(16);
+    let t = params.threads.max(1) as i64;
+    let queries = (params.size as i64).max(8);
+    let mut p = ProgramBuilder::new();
+    let main = p.declare("main", 0);
+    let worker = p.declare("worker", 4); // (idx, tree, n, fd)
+    let query = p.declare("tree_query", 3); // (tree, n, key) -> leaf value
+    {
+        let mut f = p.function(query);
+        let tree = f.param(0);
+        let n = f.param(1);
+        let key = f.param(2);
+        let one = f.const_temp(1);
+        let two = f.const_temp(2);
+        let node = f.const_temp(1); // 1-based heap index
+        let cont = f.scratch();
+        f.loop_while(node, |f, node| {
+            let addr = f.temp();
+            f.add(addr, tree, node);
+            let v = f.temp();
+            f.load(v, addr, 0);
+            // Go left/right by comparing the key with the node value.
+            let goright = f.temp();
+            f.cmp(CmpOp::Gt, goright, key, v);
+            f.mul(node, node, two);
+            f.add(node, node, goright);
+            let _ = one;
+            f.cmp_lt(cont, node, n)
+        });
+        f.ret(Some(node));
+    }
+    {
+        let mut f = p.function(worker);
+        let _idx = f.param(0);
+        let tree = f.param(1);
+        let n = f.param(2);
+        let fd = f.param(3);
+        let one = f.const_temp(1);
+        let buf = f.temp();
+        f.alloc(buf, one);
+        let acc = f.const_temp(0);
+        let more = f.const_temp(1);
+        f.loop_while(more, |f, more| {
+            let got = f.temp();
+            f.sys_read(got, fd, buf, one);
+            let have = f.temp();
+            let zero = f.const_temp(0);
+            f.cmp(CmpOp::Gt, have, got, zero);
+            let do_bb = f.new_block();
+            let done_bb = f.new_block();
+            let out_bb = f.new_block();
+            f.br(have, do_bb, done_bb);
+            f.switch_to(do_bb);
+            let key = f.temp();
+            f.load(key, buf, 0); // induced-external: kernel refilled buf
+            let leaf = f.temp();
+            f.call(Some(leaf), query, &[tree, n, key]);
+            f.add(acc, acc, leaf);
+            f.jmp(out_bb);
+            f.switch_to(done_bb);
+            f.const_(more, 0);
+            f.jmp(out_bb);
+            f.switch_to(out_bb);
+            more
+        });
+        f.ret(Some(acc));
+    }
+    {
+        let mut f = p.function(main);
+        let n_r = f.const_temp(n);
+        let tree = f.temp();
+        f.alloc(tree, n_r);
+        // Build: node i holds a key proportional to its in-order position.
+        crate::helpers::emit_fill(&mut f, tree, n_r, 13);
+        let t_r = f.const_temp(t);
+        let fd = f.const_temp(0);
+        let handles = emit_spawn_workers(&mut f, worker, t_r, &[tree, n_r, fd]);
+        emit_join_all(&mut f, handles, t_r);
+        f.ret(Some(n_r));
+    }
+    let mut m = Machine::new(p.build().expect("valid kdtree program"))
+        .with_config(MachineConfig { quantum: 32, ..MachineConfig::default() });
+    m.add_device(Box::new(SyntheticSource::new(params.seed, queries as u64)));
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aprof_core::TrmsProfiler;
+
+    fn induced_split(name: &str, params: &WorkloadParams) -> (u64, u64) {
+        let wl = crate::by_name(name).unwrap();
+        let mut m = wl.build(params);
+        let names = m.program().routines().clone();
+        let mut prof = TrmsProfiler::new();
+        m.run_with(&mut prof).expect("run");
+        let rep = prof.into_report(&names);
+        (rep.global.induced_thread, rep.global.induced_external)
+    }
+
+    #[test]
+    fn stencil_has_thread_induced_input() {
+        let (thread, external) = induced_split("351.bwaves", &WorkloadParams::new(64, 4));
+        assert!(thread > 0, "halo exchange must show up as thread-induced input");
+        assert_eq!(external, 0);
+    }
+
+    #[test]
+    fn pairwise_has_heavy_thread_induced_input() {
+        let (thread, _) = induced_split("350.md", &WorkloadParams::new(32, 4));
+        assert!(thread > 100, "all-to-all reads should dominate, got {thread}");
+    }
+
+    #[test]
+    fn kdtree_mixes_external_and_thread_input() {
+        let (thread, external) = induced_split("376.kdtree", &WorkloadParams::new(64, 3));
+        assert!(external > 0, "queries stream from a device");
+        assert!(thread > 0, "tree nodes were built by main");
+    }
+
+    #[test]
+    fn wavefront_and_lu_run_multithreaded() {
+        for name in ["372.smithwa", "359.botsspar", "358.botsalgn"] {
+            let wl = crate::by_name(name).unwrap();
+            let out = wl.build(&WorkloadParams::new(48, 3)).run_native().expect(name);
+            assert!(out.threads.len() >= 4, "{name} must spawn workers");
+        }
+    }
+}

@@ -1,0 +1,626 @@
+//! PARSEC 2.1 analogs: pipeline-parallel applications.
+
+use crate::helpers::{emit_join_all, emit_spawn_workers};
+use crate::{Family, Workload, WorkloadParams};
+use aprof_vm::builder::ProgramBuilder;
+use aprof_vm::device::{SinkDevice, SyntheticSource};
+use aprof_vm::ir::CmpOp;
+use aprof_vm::{Machine, MachineConfig};
+
+/// Registry entries for this module.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "vips",
+            family: Family::Parsec,
+            description: "image pipeline: im_generate consumes filler tiles, \
+                          wbuffer_write_thread streams batches to disk",
+            build: vips,
+        },
+        Workload {
+            name: "dedup",
+            family: Family::Parsec,
+            description: "chunk → hash → compress → write pipeline over semaphore queues",
+            build: dedup,
+        },
+        Workload {
+            name: "fluidanimate",
+            family: Family::Parsec,
+            description: "lock-protected grid updates with neighbour reads",
+            build: fluidanimate,
+        },
+    ]
+}
+
+const SEM_GO: i64 = 10;
+const SEM_DONE: i64 = 11;
+const SEM_WFULL: i64 = 12;
+const SEM_WFREE: i64 = 13;
+const SEM_STOP_ACK: i64 = 14;
+
+const TILE: i64 = 16;
+const WBUF: i64 = 64;
+const CONTROL: i64 = 67; // the Fig. 7 rms plateau
+
+/// The vips analog.
+///
+/// Three threads cooperate on a sequence of images of growing size `s`:
+///
+/// * the main thread runs `im_generate(s)` per image: `s / TILE` rounds of
+///   a handshake with the *filler* thread, each reading the reused
+///   tile buffer the filler just rewrote (thread-induced input, Fig. 5) and
+///   forwarding pixels into the shared write buffer;
+/// * the *filler* thread plays the upstream pipeline stages, rewriting the
+///   tile every round;
+/// * the *write-buffer* thread runs one `wbuffer_write_thread` activation
+///   per full buffer: it reads a fixed block of control state (the
+///   rms plateau of Fig. 7a), polls an ack device a data-dependent number
+///   of times through a reused 2-cell buffer (external input, Fig. 7b) and
+///   streams the buffer to disk (kernel reads of worker-written cells:
+///   thread input, Fig. 7c).
+fn vips(params: &WorkloadParams) -> Machine {
+    let images = (params.size as i64 / 8).clamp(3, 40);
+    let step = TILE * 2;
+    let mut p = ProgramBuilder::new();
+    let main = p.declare("main", 0);
+    let im_generate = p.declare("im_generate", 3); // (size, tile, wstate)
+    let filler = p.declare("filler", 2); // (tile, rounds)
+    let wbuffer_loop = p.declare("wbuffer_loop", 2); // (wstate, batches)
+    let wbuffer_write = p.declare("wbuffer_write_thread", 2); // (wstate, half_base)
+    // wstate layout: [0 .. 2*WBUF) double write buffer,
+    // [2*WBUF .. 2*WBUF+CONTROL) control block (cell 0 doubles as the
+    // progress counter main bumps per pixel), [2*WBUF+CONTROL] fill cursor.
+    const CTRL_BASE: i64 = 2 * WBUF;
+    const CURSOR: i64 = CTRL_BASE + CONTROL;
+    {
+        let mut f = p.function(filler);
+        let tile = f.param(0);
+        let rounds = f.param(1);
+        let go = f.const_temp(SEM_GO);
+        let done = f.const_temp(SEM_DONE);
+        let tlen = f.const_temp(TILE);
+        f.for_range(rounds, |f, r| {
+            f.sem_wait(go);
+            f.for_range(tlen, |f, i| {
+                let v = f.temp();
+                f.add(v, r, i);
+                let addr = f.temp();
+                f.add(addr, tile, i);
+                f.store(v, addr, 0);
+            });
+            f.sem_post(done);
+        });
+        f.ret(None);
+    }
+    {
+        let mut f = p.function(im_generate);
+        let size = f.param(0);
+        let tile = f.param(1);
+        let wstate = f.param(2);
+        let go = f.const_temp(SEM_GO);
+        let done = f.const_temp(SEM_DONE);
+        let tlen = f.const_temp(TILE);
+        let wlen = f.const_temp(WBUF);
+        let wfull = f.const_temp(SEM_WFULL);
+        let wrap = f.const_temp(2 * WBUF);
+        let wfree = f.const_temp(SEM_WFREE);
+        let rounds = f.temp();
+        f.div(rounds, size, tlen);
+        let cursor_slot = f.const_temp(CURSOR);
+        // Image metadata header in the shared control block.
+        let eight = f.const_temp(8);
+        f.for_range(eight, |f, j| {
+            let addr = f.temp();
+            f.add(addr, wstate, j);
+            f.add_imm(addr, addr, CTRL_BASE + 32);
+            let v = f.temp();
+            f.add(v, size, j);
+            f.store(v, addr, 0);
+        });
+        f.for_range(rounds, |f, _round| {
+            f.sem_post(go);
+            f.sem_wait(done);
+            // Read the tile the filler rewrote (thread-induced) and push
+            // its pixels into the current write-buffer half.
+            f.for_range(tlen, |f, i| {
+                let addr = f.temp();
+                f.add(addr, tile, i);
+                let v = f.temp();
+                f.load(v, addr, 0);
+                let cslot = f.temp();
+                f.add(cslot, wstate, cursor_slot);
+                let cur = f.temp();
+                f.load(cur, cslot, 0);
+                let out = f.temp();
+                f.add(out, wstate, cur);
+                f.store(v, out, 0);
+                // Progress counter: one store per pixel, visible to the
+                // write-buffer thread's polling loop.
+                let prog = f.temp();
+                f.const_(prog, CTRL_BASE);
+                let paddr = f.temp();
+                f.add(paddr, wstate, prog);
+                f.store(cur, paddr, 0);
+                f.add_imm(cur, cur, 1);
+                // Half boundary: publish the full half, acquire the next.
+                let half_pos = f.temp();
+                f.rem(half_pos, cur, wlen);
+                let zero = f.const_temp(0);
+                let boundary = f.temp();
+                f.cmp(CmpOp::Eq, boundary, half_pos, zero);
+                let flush_bb = f.new_block();
+                let keep_bb = f.new_block();
+                let cont_bb = f.new_block();
+                f.br(boundary, flush_bb, keep_bb);
+                f.switch_to(flush_bb);
+                let wrapped = f.temp();
+                f.rem(wrapped, cur, wrap);
+                f.store(wrapped, cslot, 0);
+                f.sem_post(wfull);
+                f.sem_wait(wfree);
+                f.jmp(cont_bb);
+                f.switch_to(keep_bb);
+                f.store(cur, cslot, 0);
+                f.jmp(cont_bb);
+                f.switch_to(cont_bb);
+            });
+        });
+        f.ret(None);
+    }
+    {
+        let mut f = p.function(wbuffer_write);
+        let wstate = f.param(0);
+        let half_base = f.param(1);
+        let control_len = f.const_temp(CONTROL);
+        let acc = f.const_temp(0);
+        // Read the control block (fixed size: the rms plateau).
+        f.for_range(control_len, |f, i| {
+            let addr = f.temp();
+            f.add(addr, wstate, i);
+            f.add_imm(addr, addr, CTRL_BASE);
+            let v = f.temp();
+            f.load(v, addr, 0);
+            f.add(acc, acc, v);
+        });
+        // Poll the ack device a data-dependent number of times through a
+        // reused 2-cell buffer (external input), and between polls re-read
+        // the progress counter, which the concurrently running main thread
+        // keeps bumping (thread input).
+        let ackfd = f.const_temp(1);
+        let two = f.const_temp(2);
+        let ackbuf = f.temp();
+        f.alloc(ackbuf, two);
+        let got = f.temp();
+        f.sys_read(got, ackfd, ackbuf, two);
+        let lat = f.temp();
+        f.load(lat, ackbuf, 0);
+        let sixteen = f.const_temp(16);
+        f.rem(lat, lat, sixteen);
+        let zero = f.const_temp(0);
+        let neg = f.temp();
+        f.cmp(CmpOp::Lt, neg, lat, zero);
+        f.mul(neg, neg, sixteen);
+        f.sub(lat, lat, neg); // |lat| in 0..16
+        let cb = f.temp();
+        f.const_(cb, CTRL_BASE);
+        let paddr = f.temp();
+        f.add(paddr, wstate, cb);
+        f.for_range(lat, |f, _| {
+            let g = f.temp();
+            f.sys_read(g, ackfd, ackbuf, two);
+            let v = f.temp();
+            f.load(v, ackbuf, 0);
+            f.add(acc, acc, v);
+            // A polling loop yields between probes, so the progress cell is
+            // typically rewritten by main in between (thread input).
+            f.yield_();
+            let pv = f.temp();
+            f.load(pv, paddr, 0);
+            f.add(acc, acc, pv);
+        });
+        // Stream the half to disk: the kernel reads worker-written cells.
+        let outfd = f.const_temp(0);
+        let wlen = f.const_temp(WBUF);
+        let written = f.temp();
+        let src = f.temp();
+        f.add(src, wstate, half_base);
+        f.sys_write(written, outfd, src, wlen);
+        f.ret(Some(acc));
+    }
+    {
+        let mut f = p.function(wbuffer_loop);
+        let wstate = f.param(0);
+        let batches = f.param(1);
+        let wfull = f.const_temp(SEM_WFULL);
+        let wfree = f.const_temp(SEM_WFREE);
+        let two = f.const_temp(2);
+        let wlen = f.const_temp(WBUF);
+        f.for_range(batches, |f, b| {
+            f.sem_wait(wfull);
+            let half = f.temp();
+            f.rem(half, b, two);
+            f.mul(half, half, wlen);
+            let r = f.temp();
+            f.call(Some(r), wbuffer_write, &[wstate, half]);
+            f.sem_post(wfree);
+        });
+        f.ret(None);
+    }
+    {
+        let mut f = p.function(main);
+        let _zero = f.const_temp(0);
+        let one = f.const_temp(1);
+        for (key, init) in
+            [(SEM_GO, 0i64), (SEM_DONE, 0), (SEM_WFULL, 0), (SEM_WFREE, 1)]
+        {
+            let k = f.const_temp(key);
+            let v = f.const_temp(init);
+            f.sem_init(k, v);
+        }
+        let tlen = f.const_temp(TILE);
+        let tile = f.temp();
+        f.alloc(tile, tlen);
+        let wsize = f.const_temp(CURSOR + 1);
+        let wstate = f.temp();
+        f.alloc(wstate, wsize);
+        crate::helpers::emit_fill(&mut f, wstate, wsize, 9);
+        // The fill cursor (last cell) must start at zero.
+        let zero2 = f.const_temp(0);
+        f.store(zero2, wstate, CURSOR);
+        // Total tile rounds and write batches, computed up front so helper
+        // threads terminate deterministically.
+        let images_r = f.const_temp(images);
+        let step_r = f.const_temp(step);
+        let total_rounds = f.const_temp(0);
+        f.for_range(images_r, |f, k| {
+            let k1 = f.temp();
+            f.add(k1, k, one);
+            let s = f.temp();
+            f.mul(s, k1, step_r);
+            let r = f.temp();
+            f.div(r, s, tlen);
+            f.add(total_rounds, total_rounds, r);
+        });
+        let pixels = f.temp();
+        f.mul(pixels, total_rounds, tlen);
+        let wlen = f.const_temp(WBUF);
+        let batches = f.temp();
+        f.div(batches, pixels, wlen);
+        let hf = f.temp();
+        f.spawn(hf, filler, &[tile, total_rounds]);
+        let hw = f.temp();
+        f.spawn(hw, wbuffer_loop, &[wstate, batches]);
+        f.for_range(images_r, |f, k| {
+            let k1 = f.temp();
+            f.add(k1, k, one);
+            let s = f.temp();
+            f.mul(s, k1, step_r);
+            f.call(None, im_generate, &[s, tile, wstate]);
+        });
+        f.join(hf);
+        f.join(hw);
+        f.ret(Some(images_r));
+    }
+    let mut m = Machine::new(p.build().expect("valid vips program"))
+        .with_config(MachineConfig { quantum: 24, ..MachineConfig::default() });
+    m.add_device(Box::new(SinkDevice::new())); // fd 0: output "disk"
+    m.add_device(Box::new(SyntheticSource::new(params.seed, u64::MAX / 2))); // fd 1: ack stream
+    m
+}
+
+/// The dedup analog: a three-stage pipeline over one-slot semaphore queues.
+/// `chunk_stream` reads input blocks from a device (external input),
+/// `compress_chunk` re-reads the shared chunk slot (thread-induced) and
+/// deduplicates against a hash table, `write_output` streams unique chunks
+/// to disk.
+fn dedup(params: &WorkloadParams) -> Machine {
+    let chunks = (params.size as i64).clamp(4, 512);
+    const CHUNK: i64 = 8;
+    const Q1_FULL: i64 = 20;
+    const Q1_FREE: i64 = 21;
+    const Q2_FULL: i64 = 22;
+    const Q2_FREE: i64 = 23;
+    let mut p = ProgramBuilder::new();
+    let main = p.declare("main", 0);
+    let chunker = p.declare("chunk_stream", 3); // (slot1, n, fd)
+    let compressor = p.declare("compress_chunk", 4); // (slot1, slot2, table, n)
+    let writer = p.declare("write_output", 3); // (slot2, n, fd)
+    {
+        let mut f = p.function(chunker);
+        let slot = f.param(0);
+        let n = f.param(1);
+        let fd = f.param(2);
+        let clen = f.const_temp(CHUNK);
+        let q_full = f.const_temp(Q1_FULL);
+        let q_free = f.const_temp(Q1_FREE);
+        f.for_range(n, |f, _| {
+            f.sem_wait(q_free);
+            let got = f.temp();
+            f.sys_read(got, fd, slot, clen); // kernel fills the reused slot
+            f.sem_post(q_full);
+        });
+        f.ret(None);
+    }
+    {
+        let mut f = p.function(compressor);
+        let slot1 = f.param(0);
+        let slot2 = f.param(1);
+        let table = f.param(2);
+        let n = f.param(3);
+        let clen = f.const_temp(CHUNK);
+        let q1_full = f.const_temp(Q1_FULL);
+        let q1_free = f.const_temp(Q1_FREE);
+        let q2_full = f.const_temp(Q2_FULL);
+        let q2_free = f.const_temp(Q2_FREE);
+        let tsize = f.const_temp(64);
+        f.for_range(n, |f, _| {
+            f.sem_wait(q1_full);
+            // Hash the chunk (rereads the slot the kernel refilled).
+            let h = f.const_temp(0);
+            f.for_range(clen, |f, i| {
+                let addr = f.temp();
+                f.add(addr, slot1, i);
+                let v = f.temp();
+                f.load(v, addr, 0);
+                let three = f.const_temp(3);
+                f.mul(h, h, three);
+                f.add(h, h, v);
+            });
+            f.sem_post(q1_free);
+            // Dedup table probe + insert.
+            f.rem(h, h, tsize);
+            let zero = f.const_temp(0);
+            let neg = f.temp();
+            f.cmp(CmpOp::Lt, neg, h, zero);
+            f.mul(neg, neg, tsize);
+            f.sub(h, h, neg);
+            let taddr = f.temp();
+            f.add(taddr, table, h);
+            let seen = f.temp();
+            f.load(seen, taddr, 0);
+            let one = f.const_temp(1);
+            f.store(one, taddr, 0);
+            // Forward (possibly compressed) chunk to the writer.
+            f.sem_wait(q2_free);
+            f.store(seen, slot2, 0);
+            f.sem_post(q2_full);
+        });
+        f.ret(None);
+    }
+    {
+        let mut f = p.function(writer);
+        let slot2 = f.param(0);
+        let n = f.param(1);
+        let fd = f.param(2);
+        let one = f.const_temp(1);
+        let q2_full = f.const_temp(Q2_FULL);
+        let q2_free = f.const_temp(Q2_FREE);
+        f.for_range(n, |f, _| {
+            f.sem_wait(q2_full);
+            let w = f.temp();
+            f.sys_write(w, fd, slot2, one); // kernel reads the shared slot
+            f.sem_post(q2_free);
+        });
+        f.ret(None);
+    }
+    {
+        let mut f = p.function(main);
+        let zero = f.const_temp(0);
+        let one = f.const_temp(1);
+        for (key, init) in [(Q1_FULL, 0), (Q1_FREE, 1), (Q2_FULL, 0), (Q2_FREE, 1)] {
+            let k = f.const_temp(key);
+            let v = if init == 0 { zero } else { one };
+            f.sem_init(k, v);
+        }
+        let clen = f.const_temp(CHUNK);
+        let slot1 = f.temp();
+        f.alloc(slot1, clen);
+        let slot2 = f.temp();
+        f.alloc(slot2, one);
+        let tsize = f.const_temp(64);
+        let table = f.temp();
+        f.alloc(table, tsize);
+        let n = f.const_temp(chunks);
+        let infd = f.const_temp(0);
+        let outfd = f.const_temp(1);
+        let h1 = f.temp();
+        f.spawn(h1, chunker, &[slot1, n, infd]);
+        let h2 = f.temp();
+        f.spawn(h2, compressor, &[slot1, slot2, table, n]);
+        let h3 = f.temp();
+        f.spawn(h3, writer, &[slot2, n, outfd]);
+        f.join(h1);
+        f.join(h2);
+        f.join(h3);
+        f.ret(Some(n));
+    }
+    let mut m = Machine::new(p.build().expect("valid dedup program"))
+        .with_config(MachineConfig { quantum: 16, ..MachineConfig::default() });
+    m.add_device(Box::new(SyntheticSource::new(params.seed, (chunks * CHUNK) as u64)));
+    m.add_device(Box::new(SinkDevice::new()));
+    m
+}
+
+/// The fluidanimate analog: workers own grid bands and, each timestep,
+/// update their cells from lock-protected reads of both neighbouring bands
+/// (rewritten by other workers: thread-induced input).
+fn fluidanimate(params: &WorkloadParams) -> Machine {
+    let n = (params.size as i64).max(4 * params.threads as i64);
+    let t = params.threads.max(1) as i64;
+    let iters = 3i64;
+    let mut p = ProgramBuilder::new();
+    let main = p.declare("main", 0);
+    let worker = p.declare("worker", 5); // (idx, grid, n, t, iters)
+    let barrier = crate::helpers::add_barrier(&mut p);
+    {
+        let mut f = p.function(worker);
+        let idx = f.param(0);
+        let grid = f.param(1);
+        let n = f.param(2);
+        let t = f.param(3);
+        let iters = f.param(4);
+        let block = f.temp();
+        f.div(block, n, t);
+        let base = f.temp();
+        f.mul(base, idx, block);
+        let lock_base = f.const_temp(200);
+        let one = f.const_temp(1);
+        let count_addr = f.const_temp(60); // static barrier counter cell
+        let sem = f.const_temp(SEM_STOP_ACK);
+        let lock_self = f.temp();
+        f.add(lock_self, lock_base, idx);
+        let right = f.temp();
+        f.add(right, idx, one);
+        f.rem(right, right, t);
+        let lock_right = f.temp();
+        f.add(lock_right, lock_base, right);
+        f.for_range(iters, |f, _| {
+            // Read the right neighbour's band under its lock.
+            // Lock ordering by key avoids deadlock.
+            let first = f.temp();
+            f.bin(aprof_vm::ir::BinOp::Min, first, lock_self, lock_right);
+            let second = f.temp();
+            f.bin(aprof_vm::ir::BinOp::Max, second, lock_self, lock_right);
+            f.acquire(first);
+            let same = f.temp();
+            f.cmp(CmpOp::Eq, same, first, second);
+            let skip_bb = f.new_block();
+            let take_bb = f.new_block();
+            let cont_bb = f.new_block();
+            f.br(same, skip_bb, take_bb);
+            f.switch_to(take_bb);
+            f.acquire(second);
+            f.jmp(cont_bb);
+            f.switch_to(skip_bb);
+            f.jmp(cont_bb);
+            f.switch_to(cont_bb);
+            let nb = f.temp();
+            f.mul(nb, right, block);
+            let acc = f.const_temp(0);
+            f.for_range(block, |f, i| {
+                let addr = f.temp();
+                f.add(addr, grid, nb);
+                f.add(addr, addr, i);
+                let v = f.temp();
+                f.load(v, addr, 0);
+                f.add(acc, acc, v);
+            });
+            // Update own band.
+            f.for_range(block, |f, i| {
+                let addr = f.temp();
+                f.add(addr, grid, base);
+                f.add(addr, addr, i);
+                let v = f.temp();
+                f.load(v, addr, 0);
+                f.add(v, v, acc);
+                f.store(v, addr, 0);
+            });
+            let done_unlock = f.temp();
+            f.cmp(CmpOp::Eq, done_unlock, first, second);
+            let rel1_bb = f.new_block();
+            let rel2_bb = f.new_block();
+            f.br(done_unlock, rel2_bb, rel1_bb);
+            f.switch_to(rel1_bb);
+            f.release(second);
+            f.jmp(rel2_bb);
+            f.switch_to(rel2_bb);
+            f.release(first);
+            let barrier_lock = f.const_temp(300);
+            f.call(None, barrier, &[barrier_lock, count_addr, sem, t]);
+        });
+        f.ret(None);
+    }
+    {
+        let mut f = p.function(main);
+        let zero = f.const_temp(0);
+        let sem = f.const_temp(SEM_STOP_ACK);
+        f.sem_init(sem, zero);
+        let n_r = f.const_temp(n);
+        let grid = f.temp();
+        f.alloc(grid, n_r);
+        crate::helpers::emit_fill(&mut f, grid, n_r, 3);
+        let t_r = f.const_temp(t);
+        let iters_r = f.const_temp(iters);
+        let handles = emit_spawn_workers(&mut f, worker, t_r, &[grid, n_r, t_r, iters_r]);
+        emit_join_all(&mut f, handles, t_r);
+        f.ret(Some(n_r));
+    }
+    Machine::new(p.build().expect("valid fluidanimate program"))
+        .with_config(MachineConfig { quantum: 24, ..MachineConfig::default() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aprof_core::{InputPolicy, TrmsProfiler};
+
+    fn report(name: &str, params: &WorkloadParams, policy: InputPolicy) -> aprof_core::ProfileReport {
+        let wl = crate::by_name(name).unwrap();
+        let mut m = wl.build(params);
+        let names = m.program().routines().clone();
+        let mut prof = TrmsProfiler::with_policy(policy);
+        m.run_with(&mut prof).expect(name);
+        prof.into_report(&names)
+    }
+
+    /// Fig. 7: wbuffer_write_thread's rms collapses to very few distinct
+    /// values, while its trms spreads out, and the spread comes from both
+    /// external and thread input.
+    #[test]
+    fn wbuffer_write_thread_profile_richness() {
+        let params = WorkloadParams::new(160, 3);
+        let full = report("vips", &params, InputPolicy::full());
+        let wt = full.routine_by_name("wbuffer_write_thread").unwrap();
+        assert!(wt.merged.calls >= 5, "want several activations, got {}", wt.merged.calls);
+        assert!(
+            wt.distinct_rms() <= 3,
+            "rms must collapse (Fig. 7a), got {} values",
+            wt.distinct_rms()
+        );
+        assert!(
+            wt.distinct_trms() > wt.distinct_rms(),
+            "trms must be richer: {} vs {}",
+            wt.distinct_trms(),
+            wt.distinct_rms()
+        );
+        let ext = report("vips", &params, InputPolicy::external_only());
+        let wt_ext = ext.routine_by_name("wbuffer_write_thread").unwrap();
+        assert!(wt_ext.distinct_trms() > wt_ext.distinct_rms(), "external input alone adds points");
+    }
+
+    /// Fig. 5: im_generate grows linearly in trms; its rms stays almost
+    /// flat, so the rms plot looks spuriously steep.
+    #[test]
+    fn im_generate_trms_linear() {
+        let rep = report("vips", &WorkloadParams::new(200, 3), InputPolicy::full());
+        let img = rep.routine_by_name("im_generate").unwrap();
+        assert!(img.merged.calls >= 3);
+        let trms_plot: Vec<(f64, f64)> =
+            img.trms_curve().iter().map(|&(x, s)| (x as f64, s.max as f64)).collect();
+        let fit = aprof_analysis::fit_best(&trms_plot).unwrap();
+        assert!(
+            !fit.model.is_superlinear(),
+            "trms plot should be ~linear, got {:?}",
+            fit.model
+        );
+        // The trms range must dwarf the rms range.
+        let max_trms = img.trms_curve().last().unwrap().0;
+        let max_rms = img.rms_curve().last().unwrap().0;
+        assert!(max_trms > 2 * max_rms, "trms {max_trms} vs rms {max_rms}");
+    }
+
+    #[test]
+    fn dedup_pipeline_has_external_and_thread_input() {
+        let rep = report("dedup", &WorkloadParams::new(64, 3), InputPolicy::full());
+        assert!(rep.global.induced_external > 0, "chunker reads a device");
+        assert!(rep.global.induced_thread > 0, "stages communicate via slots");
+        let comp = rep.routine_by_name("compress_chunk").unwrap();
+        assert!(comp.merged.induced_thread + comp.merged.induced_external > 0);
+    }
+
+    #[test]
+    fn fluidanimate_runs_with_locks() {
+        let rep = report("fluidanimate", &WorkloadParams::new(64, 4), InputPolicy::full());
+        assert!(rep.global.induced_thread > 0, "neighbour reads are thread-induced");
+    }
+}

@@ -1,0 +1,53 @@
+//! The workload programs double as a stress corpus for the assembler:
+//! every registry program must survive print → parse → print as a fixed
+//! point, and device-free programs must run identically after the trip.
+
+use aprof_trace::RecordingTool;
+use aprof_vm::{asm, Machine};
+use aprof_workloads::{all, WorkloadParams};
+
+#[test]
+fn print_parse_print_is_a_fixed_point_for_every_workload() {
+    let params = WorkloadParams::new(24, 2);
+    for wl in all() {
+        let machine = wl.build(&params);
+        let printed = asm::print(machine.program());
+        let reparsed = asm::parse(&printed)
+            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}\n{printed}", wl.name));
+        let printed_again = asm::print(&reparsed);
+        assert_eq!(printed, printed_again, "{}: printing is not a fixed point", wl.name);
+    }
+}
+
+/// Device-free workloads run identically from the original program and
+/// from the re-parsed assembly (same event stream, same result).
+#[test]
+fn reparsed_programs_run_identically() {
+    let params = WorkloadParams::new(24, 2);
+    let device_free = [
+        "producer_consumer",
+        "half_induced",
+        "350.md",
+        "351.bwaves",
+        "372.smithwa",
+        "359.botsspar",
+        "fluidanimate",
+    ];
+    for name in device_free {
+        let wl = aprof_workloads::by_name(name).unwrap();
+        let mut original = wl.build(&params);
+        let printed = asm::print(original.program());
+        let mut rec_a = RecordingTool::new();
+        let out_a = original.run_with(&mut rec_a).unwrap();
+
+        let mut reparsed =
+            Machine::new(asm::parse(&printed).unwrap()).with_config(original.config());
+        let mut rec_b = RecordingTool::new();
+        let out_b = reparsed.run_with(&mut rec_b).unwrap();
+
+        assert_eq!(out_a.exit_value, out_b.exit_value, "{name}");
+        assert_eq!(out_a.total_blocks, out_b.total_blocks, "{name}");
+        assert_eq!(rec_a.trace().len(), rec_b.trace().len(), "{name}");
+        assert_eq!(rec_a.trace(), rec_b.trace(), "{name}: event streams differ");
+    }
+}

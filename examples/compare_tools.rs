@@ -1,0 +1,94 @@
+//! Run one workload under every analysis tool of the suite and compare
+//! results and costs — a miniature Table 1.
+//!
+//! ```text
+//! cargo run --release --example compare_tools [workload] [size] [threads]
+//! ```
+
+use aprof::core::{RmsProfiler, TrmsProfiler};
+use aprof::tools::{CallgrindTool, HelgrindTool, MemcheckTool, NullTool};
+use aprof::workloads::{by_name, WorkloadParams};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("350.md");
+    let size: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(96);
+    let threads: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let wl = by_name(name).ok_or_else(|| {
+        format!(
+            "unknown workload `{name}`; try one of: {}",
+            aprof::workloads::all().iter().map(|w| w.name).collect::<Vec<_>>().join(", ")
+        )
+    })?;
+    let params = WorkloadParams::new(size, threads);
+    println!("workload {name} (size {size}, {threads} worker threads)\n");
+
+    let t0 = Instant::now();
+    let native = wl.build(&params).run_native()?;
+    let native_s = t0.elapsed().as_secs_f64();
+    println!(
+        "native     : {:>8.2?} ms, {} basic blocks, {} switches",
+        native_s * 1e3,
+        native.total_blocks,
+        native.switches
+    );
+
+    let timed = |label: &str, f: &mut dyn FnMut() -> String| {
+        let t = Instant::now();
+        let summary = f();
+        println!(
+            "{label:<11}: {:>8.2?} ms ({:.1}x) — {summary}",
+            t.elapsed().as_secs_f64() * 1e3,
+            t.elapsed().as_secs_f64() / native_s.max(1e-9),
+        );
+    };
+
+    timed("nulgrind", &mut || {
+        let mut tool = NullTool::new();
+        wl.build(&params).run_with(&mut tool).expect("runs");
+        "no analysis".to_owned()
+    });
+    timed("memcheck", &mut || {
+        let mut tool = MemcheckTool::new();
+        wl.build(&params).run_with(&mut tool).expect("runs");
+        let r = tool.report();
+        format!("{} undefined reads in {} cells", r.undefined_reads, r.distinct_cells)
+    });
+    timed("callgrind", &mut || {
+        let mut machine = wl.build(&params);
+        let names = machine.program().routines().clone();
+        let mut tool = CallgrindTool::new();
+        machine.run_with(&mut tool).expect("runs");
+        let report = tool.into_report(&names);
+        let (hot, costs) = report.hottest()[0];
+        format!("hottest routine {hot} ({} inclusive blocks)", costs.inclusive)
+    });
+    timed("helgrind", &mut || {
+        let mut tool = HelgrindTool::new();
+        wl.build(&params).run_with(&mut tool).expect("runs");
+        let r = tool.report();
+        format!("{} races on {} cells", r.races, r.racy_cells)
+    });
+    timed("aprof-rms", &mut || {
+        let mut machine = wl.build(&params);
+        let names = machine.program().routines().clone();
+        let mut tool = RmsProfiler::new();
+        machine.run_with(&mut tool).expect("runs");
+        let report = tool.into_report(&names);
+        format!("{} routines profiled", report.routines.len())
+    });
+    timed("aprof-trms", &mut || {
+        let mut machine = wl.build(&params);
+        let names = machine.program().routines().clone();
+        let mut tool = TrmsProfiler::new();
+        machine.run_with(&mut tool).expect("runs");
+        let report = tool.into_report(&names);
+        let (t, e) = report.global.induced_split();
+        format!(
+            "{} routines; induced input {t:.0}% thread / {e:.0}% external",
+            report.routines.len()
+        )
+    });
+    Ok(())
+}

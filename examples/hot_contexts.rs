@@ -1,0 +1,48 @@
+//! Calling-context-sensitive profiling and automatic bottleneck detection
+//! (extensions beyond the paper's flat per-routine profiles).
+//!
+//! ```text
+//! cargo run --example hot_contexts
+//! ```
+//!
+//! The same routine called from different sites can have completely
+//! different input-size behaviour; the CCT keeps those apart. The
+//! bottleneck analyzer then classifies every routine: genuinely
+//! superlinear, spuriously superlinear only under rms, hidden from rms, or
+//! scalable.
+
+use aprof::analysis::bottleneck;
+use aprof::core::TrmsProfiler;
+use aprof::workloads::{by_name, WorkloadParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let wl = by_name("mysqld").expect("registered workload");
+    let mut machine = wl.build(&WorkloadParams::new(160, 3));
+    let names = machine.program().routines().clone();
+    let mut profiler = TrmsProfiler::builder().calling_contexts(true).build();
+    machine.run_with(&mut profiler)?;
+    let (report, cct) = profiler.into_report_and_cct(&names);
+    let cct = cct.expect("cct enabled");
+
+    println!("hot calling contexts (by inclusive cost):");
+    for ctx in cct.hottest(&names).into_iter().take(8) {
+        println!(
+            "  {:>10} blocks  {:>4} calls  {:>3} sizes  {}",
+            ctx.total_cost, ctx.calls, ctx.distinct_trms, ctx.path
+        );
+    }
+
+    println!("\nasymptotic bottleneck analysis:");
+    let entries = bottleneck::analyze(&report);
+    print!("{}", bottleneck::render(&entries, 8));
+
+    let flagged: Vec<_> = entries
+        .iter()
+        .filter(|e| {
+            matches!(e.verdict, bottleneck::Verdict::Bottleneck | bottleneck::Verdict::HiddenFromRms)
+        })
+        .map(|e| e.routine.as_str())
+        .collect();
+    println!("\nroutines needing attention: {}", flagged.join(", "));
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Quickstart: write a guest program, profile it, read the cost curve.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! The guest program calls `sum_range(n)` for growing `n`; the profiler
+//! measures the input size of every activation automatically (no
+//! instrumentation of the guest source is needed) and the fitted growth
+//! model comes out linear.
+
+use aprof::analysis::{fit_best, CostPlot, Metric, PlotKind};
+use aprof::core::TrmsProfiler;
+use aprof::vm::{asm, Machine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A guest program in the textual assembly: main calls sum_range with
+    // n = 8, 16, ..., 128; sum_range reads n cells of a shared array.
+    let program = asm::parse(
+        r#"
+func main() {
+entry:
+    r0 = const 128
+    r1 = alloc r0            # the array
+    r2 = const 0             # i
+    jmp fill
+fill:
+    r3 = clt r2, r0
+    br r3, fill_body, sizes
+fill_body:
+    r4 = add r1, r2
+    store r2, r4, 0
+    r5 = const 1
+    r2 = add r2, r5
+    jmp fill
+sizes:
+    r2 = const 8             # n
+    jmp loop
+loop:
+    r3 = cle r2, r0
+    br r3, body, done
+body:
+    r6 = call sum_range(r1, r2)
+    r7 = const 2
+    r2 = mul r2, r7
+    jmp loop
+done:
+    ret
+}
+
+func sum_range(2) {
+entry:
+    r2 = const 0             # acc
+    r3 = const 0             # i
+    jmp head
+head:
+    r4 = clt r3, r1
+    br r4, body, out
+body:
+    r5 = add r0, r3
+    r6 = load r5, 0
+    r2 = add r2, r6
+    r7 = const 1
+    r3 = add r3, r7
+    jmp head
+out:
+    ret r2
+}
+"#,
+    )?;
+
+    let names = program.routines().clone();
+    let mut machine = Machine::new(program);
+    let mut profiler = TrmsProfiler::new();
+    machine.run_with(&mut profiler)?;
+    let report = profiler.into_report(&names);
+
+    let sum_range = report.routine_by_name("sum_range").expect("profiled routine");
+    println!(
+        "sum_range: {} activations, {} distinct input sizes",
+        sum_range.merged.calls,
+        sum_range.distinct_trms()
+    );
+
+    let plot = CostPlot::from_report(sum_range, Metric::Trms, PlotKind::WorstCase);
+    println!("{}", aprof::analysis::render::render_plot(&plot));
+    if let Some(fit) = fit_best(&plot.xy()) {
+        println!("estimated growth: {} (r2 = {:.4})", fit.model.notation(), fit.r2);
+    }
+    Ok(())
+}

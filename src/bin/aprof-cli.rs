@@ -1,0 +1,426 @@
+//! `aprof-cli` — run guest programs or bundled workloads under any tool of
+//! the suite, and inspect input-sensitive profiles.
+//!
+//! ```text
+//! aprof-cli list
+//! aprof-cli run --workload mysqld --size 160 --threads 3 --plot mysql_select
+//! aprof-cli run --workload 350.md --tool helgrind
+//! aprof-cli run --workload vips --policy external --top 5
+//! aprof-cli run --workload dedup --cct
+//! aprof-cli run --workload mysqld --bottlenecks
+//! aprof-cli asm program.s --plot my_function
+//! aprof-cli run --workload producer_consumer --save-trace trace.txt
+//! aprof-cli replay trace.txt
+//! ```
+
+use aprof::analysis::render::{render_plot, Table};
+use aprof::analysis::{fit_best, CostPlot, Metric, PlotKind};
+use aprof::core::{InputPolicy, ProfileReport, TrmsProfiler};
+use aprof::tools::{CallgrindTool, HelgrindTool, MemcheckTool};
+use aprof::trace::{textio, RecordingTool, RoutineTable, Trace};
+use aprof::vm::{asm, Machine};
+use aprof::workloads::{all, by_name, WorkloadParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("asm") => cmd_asm(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{}", USAGE);
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+const USAGE: &str = "\
+aprof-cli — input-sensitive profiling
+
+commands:
+  list                         registered workloads and tools
+  run  --workload NAME [opts]  run a bundled workload under a tool
+  asm  FILE [opts]             run a guest assembly program under a tool
+  replay FILE [opts]           profile a previously saved trace
+
+options:
+  --size N          workload size          (default 96)
+  --threads T       worker threads         (default 4)
+  --seed S          device seed            (default 0x5eed)
+  --tool NAME       trms | rms-only | memcheck | callgrind | helgrind
+                                           (default trms)
+  --policy P        full | external | thread | none   (default full)
+  --cct             aggregate per calling context and show hot contexts
+  --top N           routines/contexts to print        (default 10)
+  --plot ROUTINE    ASCII worst-case cost plots (rms and trms) + fits
+  --bottlenecks     rank routines by asymptotic-bottleneck severity
+  --save-trace FILE record the event stream to FILE (text format)
+  --csv FILE        also write the routine summary as CSV to FILE
+";
+
+struct Opts {
+    workload: Option<String>,
+    size: u64,
+    threads: u32,
+    seed: u64,
+    tool: String,
+    policy: InputPolicy,
+    cct: bool,
+    bottlenecks: bool,
+    top: usize,
+    plot: Option<String>,
+    save_trace: Option<String>,
+    csv: Option<String>,
+    positional: Vec<String>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        workload: None,
+        size: 96,
+        threads: 4,
+        seed: 0x5eed,
+        tool: "trms".into(),
+        policy: InputPolicy::full(),
+        cct: false,
+        bottlenecks: false,
+        top: 10,
+        plot: None,
+        save_trace: None,
+        csv: None,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--workload" => o.workload = Some(value("--workload")?),
+            "--size" => o.size = value("--size")?.parse().map_err(|e| format!("--size: {e}"))?,
+            "--threads" => {
+                o.threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
+            "--seed" => o.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--tool" => o.tool = value("--tool")?,
+            "--policy" => {
+                o.policy = match value("--policy")?.as_str() {
+                    "full" => InputPolicy::full(),
+                    "external" => InputPolicy::external_only(),
+                    "thread" => InputPolicy::thread_only(),
+                    "none" => InputPolicy::rms_only(),
+                    other => return Err(format!("unknown policy `{other}`")),
+                }
+            }
+            "--cct" => o.cct = true,
+            "--bottlenecks" => o.bottlenecks = true,
+            "--top" => o.top = value("--top")?.parse().map_err(|e| format!("--top: {e}"))?,
+            "--plot" => o.plot = Some(value("--plot")?),
+            "--save-trace" => o.save_trace = Some(value("--save-trace")?),
+            "--csv" => o.csv = Some(value("--csv")?),
+            other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
+            other => o.positional.push(other.to_owned()),
+        }
+    }
+    Ok(o)
+}
+
+fn cmd_list() -> i32 {
+    let mut table = Table::new(vec![
+        "workload".into(),
+        "family".into(),
+        "description".into(),
+    ]);
+    for wl in all() {
+        table.row(vec![
+            wl.name.to_owned(),
+            wl.family.label().to_owned(),
+            wl.description.to_owned(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("tools: trms (default), rms-only, memcheck, callgrind, helgrind");
+    0
+}
+
+fn cmd_run(args: &[String]) -> i32 {
+    let opts = match parse_opts(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return 2;
+        }
+    };
+    let Some(name) = opts.workload.clone() else {
+        eprintln!("run requires --workload NAME (see `aprof-cli list`)");
+        return 2;
+    };
+    let Some(wl) = by_name(&name) else {
+        eprintln!("unknown workload `{name}` (see `aprof-cli list`)");
+        return 2;
+    };
+    let params = WorkloadParams { size: opts.size, threads: opts.threads, seed: opts.seed };
+    let machine = wl.build(&params);
+    drive(machine, &opts)
+}
+
+fn cmd_asm(args: &[String]) -> i32 {
+    let opts = match parse_opts(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return 2;
+        }
+    };
+    let Some(path) = opts.positional.first() else {
+        eprintln!("asm requires a FILE argument");
+        return 2;
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let program = match asm::parse(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    drive(Machine::new(program), &opts)
+}
+
+fn cmd_replay(args: &[String]) -> i32 {
+    let opts = match parse_opts(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return 2;
+        }
+    };
+    let Some(path) = opts.positional.first() else {
+        eprintln!("replay requires a FILE argument");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let trace = match textio::from_text(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    // Routine names are not part of the trace format; use placeholder ids.
+    let names = RoutineTable::new();
+    let mut profiler = build_profiler(&opts);
+    trace.replay(&mut profiler);
+    report_profiler(profiler, &names, &opts);
+    0
+}
+
+fn build_profiler(opts: &Opts) -> TrmsProfiler {
+    TrmsProfiler::builder().policy(opts.policy).calling_contexts(opts.cct).build()
+}
+
+fn drive(mut machine: Machine, opts: &Opts) -> i32 {
+    let names = machine.program().routines().clone();
+    if let Some(path) = &opts.save_trace {
+        let mut rec = RecordingTool::new();
+        if let Err(e) = machine.run_with(&mut rec) {
+            eprintln!("guest error: {e}");
+            return 1;
+        }
+        let mut trace = Trace::new();
+        for e in rec.trace() {
+            trace.push(e.thread, e.event);
+        }
+        if let Err(e) = std::fs::write(path, textio::to_text(&trace)) {
+            eprintln!("cannot write {path}: {e}");
+            return 1;
+        }
+        println!("saved {} events to {path}", trace.len());
+        let mut profiler = build_profiler(opts);
+        trace.replay(&mut profiler);
+        report_profiler(profiler, &names, opts);
+        return 0;
+    }
+    match opts.tool.as_str() {
+        "trms" | "rms-only" => {
+            let mut profiler = build_profiler(opts);
+            if let Err(e) = machine.run_with(&mut profiler) {
+                eprintln!("guest error: {e}");
+                return 1;
+            }
+            report_profiler(profiler, &names, opts);
+            0
+        }
+        "memcheck" => {
+            let mut tool = MemcheckTool::new();
+            if let Err(e) = machine.run_with(&mut tool) {
+                eprintln!("guest error: {e}");
+                return 1;
+            }
+            let r = tool.report();
+            println!(
+                "memcheck: {} reads of undefined cells ({} distinct cells), {} shadow bytes",
+                r.undefined_reads, r.distinct_cells, r.shadow_bytes
+            );
+            0
+        }
+        "callgrind" => {
+            let mut tool = CallgrindTool::new();
+            if let Err(e) = machine.run_with(&mut tool) {
+                eprintln!("guest error: {e}");
+                return 1;
+            }
+            let report = tool.into_report(&names);
+            let mut table = Table::new(vec![
+                "routine".into(),
+                "calls".into(),
+                "exclusive".into(),
+                "inclusive".into(),
+            ]);
+            for (name, costs) in report.hottest().into_iter().take(opts.top) {
+                table.row(vec![
+                    name.to_owned(),
+                    costs.calls.to_string(),
+                    costs.exclusive.to_string(),
+                    costs.inclusive.to_string(),
+                ]);
+            }
+            println!("{}", table.render());
+            0
+        }
+        "helgrind" => {
+            let mut tool = HelgrindTool::new();
+            if let Err(e) = machine.run_with(&mut tool) {
+                eprintln!("guest error: {e}");
+                return 1;
+            }
+            let r = tool.report();
+            println!("helgrind: {} racy accesses on {} cells", r.races, r.racy_cells);
+            0
+        }
+        other => {
+            eprintln!("unknown tool `{other}`");
+            2
+        }
+    }
+}
+
+fn report_profiler(profiler: TrmsProfiler, names: &RoutineTable, opts: &Opts) {
+    let (report, cct) = profiler.into_report_and_cct(names);
+    print_summary(&report, opts);
+    if opts.bottlenecks {
+        let entries = aprof::analysis::bottleneck::analyze(&report);
+        println!("asymptotic bottleneck analysis:");
+        println!("{}", aprof::analysis::bottleneck::render(&entries, opts.top));
+    }
+    if let Some(routine) = &opts.plot {
+        match report.routine_by_name(routine) {
+            Some(rr) => {
+                for metric in [Metric::Rms, Metric::Trms] {
+                    let plot = CostPlot::from_report(rr, metric, PlotKind::WorstCase);
+                    println!("{}", render_plot(&plot));
+                    if let Some(fit) = fit_best(&plot.xy()) {
+                        println!(
+                            "  fitted growth vs {}: {} (r2 = {:.4})\n",
+                            metric.label(),
+                            fit.model.notation(),
+                            fit.r2
+                        );
+                    }
+                }
+            }
+            None => eprintln!("routine `{routine}` not found in the profile"),
+        }
+    }
+    if let Some(cct) = cct {
+        println!("hot calling contexts:");
+        let mut table = Table::new(vec![
+            "context".into(),
+            "calls".into(),
+            "cost".into(),
+            "distinct trms".into(),
+        ]);
+        for ctx in cct.hottest(names).into_iter().take(opts.top) {
+            table.row(vec![
+                ctx.path,
+                ctx.calls.to_string(),
+                ctx.total_cost.to_string(),
+                ctx.distinct_trms.to_string(),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+}
+
+fn summary_table(report: &ProfileReport, limit: usize) -> Table {
+    let mut routines: Vec<_> = report.routines.iter().collect();
+    routines.sort_by(|a, b| b.merged.total_cost.cmp(&a.merged.total_cost));
+    let mut table = Table::new(vec![
+        "routine".into(),
+        "calls".into(),
+        "cost".into(),
+        "|trms|".into(),
+        "|rms|".into(),
+        "richness".into(),
+        "volume".into(),
+        "thr%".into(),
+        "ext%".into(),
+    ]);
+    for r in routines.iter().take(limit) {
+        let (thr, ext) = r.induced_fractions();
+        table.row(vec![
+            r.name.clone(),
+            r.merged.calls.to_string(),
+            r.merged.total_cost.to_string(),
+            r.distinct_trms().to_string(),
+            r.distinct_rms().to_string(),
+            format!("{:.2}", r.profile_richness()),
+            format!("{:.3}", r.input_volume()),
+            format!("{:.1}", 100.0 * thr),
+            format!("{:.1}", 100.0 * ext),
+        ]);
+    }
+    table
+}
+
+fn print_summary(report: &ProfileReport, opts: &Opts) {
+    println!("{}", summary_table(report, opts.top).render());
+    if let Some(path) = &opts.csv {
+        let csv = summary_table(report, usize::MAX).to_csv();
+        match std::fs::write(path, csv) {
+            Ok(()) => println!("wrote routine summary to {path}"),
+            Err(e) => eprintln!("cannot write {path}: {e}"),
+        }
+    }
+    let g = &report.global;
+    let (tp, ep) = g.induced_split();
+    println!(
+        "{} activations, {} reads ({} induced: {:.1}% thread, {:.1}% external), \
+         {} renumberings, {} shadow bytes\n",
+        g.activations,
+        g.reads,
+        g.induced_thread + g.induced_external,
+        tp,
+        ep,
+        g.renumberings,
+        g.shadow_bytes
+    );
+}

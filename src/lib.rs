@@ -1,0 +1,28 @@
+//! # aprof-rs — input-sensitive profiling
+//!
+//! A Rust reproduction of the input-sensitive profiling methodology of
+//! Coppa, Demetrescu and Finocchi (PLDI 2012) and its multithreaded
+//! extension: per-routine *cost-versus-input-size* profiles computed from a
+//! single run, with the input size of every routine activation measured
+//! automatically via the **read memory size** (rms) and **threaded read
+//! memory size** (trms) metrics.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`trace`] — events, ids, traces, and the [`trace::Tool`] callback trait.
+//! * [`shadow`] — three-level shadow memories.
+//! * [`core`] — the rms/trms profilers (the paper's contribution).
+//! * [`vm`] — the instrumented guest machine (the Valgrind substitute).
+//! * [`tools`] — comparator analysis tools (nulgrind/memcheck/callgrind/helgrind analogs).
+//! * [`workloads`] — benchmark guest programs.
+//! * [`analysis`] — cost plots, curve fitting, richness/volume metrics.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
+
+pub use aprof_analysis as analysis;
+pub use aprof_core as core;
+pub use aprof_shadow as shadow;
+pub use aprof_tools as tools;
+pub use aprof_trace as trace;
+pub use aprof_vm as vm;
+pub use aprof_workloads as workloads;

@@ -1,0 +1,133 @@
+//! End-to-end tests of the `aprof-cli` binary (spawned as a subprocess).
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_aprof-cli"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = cli().args(args).output().expect("cli spawns");
+    assert!(
+        out.status.success(),
+        "`aprof-cli {}` failed: {}\n{}",
+        args.join(" "),
+        String::from_utf8_lossy(&out.stderr),
+        String::from_utf8_lossy(&out.stdout),
+    );
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn list_shows_all_workloads() {
+    let out = run_ok(&["list"]);
+    for name in ["producer_consumer", "350.md", "vips", "mysqld", "algo.merge_sort"] {
+        assert!(out.contains(name), "missing {name} in:\n{out}");
+    }
+}
+
+#[test]
+fn run_profiles_a_workload() {
+    let out = run_ok(&["run", "--workload", "producer_consumer", "--size", "20", "--threads", "2"]);
+    assert!(out.contains("consumer"), "{out}");
+    assert!(out.contains("thread"), "{out}");
+}
+
+#[test]
+fn plot_and_fit() {
+    let out = run_ok(&[
+        "run",
+        "--workload",
+        "mysqld",
+        "--size",
+        "128",
+        "--threads",
+        "2",
+        "--plot",
+        "mysql_select",
+    ]);
+    assert!(out.contains("fitted growth vs trms: O(n)"), "{out}");
+    assert!(out.contains("fitted growth vs rms: O(n^2)"), "{out}");
+}
+
+#[test]
+fn bottleneck_analysis_flags_the_flush() {
+    let out = run_ok(&[
+        "run",
+        "--workload",
+        "mysqld",
+        "--size",
+        "128",
+        "--threads",
+        "2",
+        "--bottlenecks",
+    ]);
+    assert!(out.contains("HiddenFromRms"), "{out}");
+    assert!(out.contains("buf_flush_buffered_writes"), "{out}");
+}
+
+#[test]
+fn cct_prints_contexts() {
+    let out = run_ok(&["run", "--workload", "dedup", "--size", "32", "--threads", "2", "--cct"]);
+    assert!(out.contains("hot calling contexts"), "{out}");
+    assert!(out.contains("compress_chunk"), "{out}");
+}
+
+#[test]
+fn helgrind_tool_reports() {
+    let out = run_ok(&[
+        "run", "--workload", "372.smithwa", "--size", "32", "--tool", "helgrind",
+    ]);
+    assert!(out.contains("0 racy accesses"), "{out}");
+}
+
+#[test]
+fn save_and_replay_roundtrip() {
+    let dir = std::env::temp_dir().join("aprof-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.txt");
+    let path_s = path.to_str().unwrap();
+    let saved = run_ok(&[
+        "run",
+        "--workload",
+        "external_read",
+        "--size",
+        "12",
+        "--save-trace",
+        path_s,
+    ]);
+    assert!(saved.contains("saved"), "{saved}");
+    let replayed = run_ok(&["replay", path_s]);
+    assert!(replayed.contains("activations"), "{replayed}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let out = cli().args(["run"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = cli().args(["run", "--workload", "nope"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = cli().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn csv_export_writes_summary() {
+    let dir = std::env::temp_dir().join("aprof-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("summary.csv");
+    run_ok(&[
+        "run",
+        "--workload",
+        "producer_consumer",
+        "--size",
+        "10",
+        "--csv",
+        path.to_str().unwrap(),
+    ]);
+    let csv = std::fs::read_to_string(&path).unwrap();
+    assert!(csv.starts_with("routine,calls,cost"), "{csv}");
+    assert!(csv.contains("consumer"), "{csv}");
+    std::fs::remove_file(&path).ok();
+}

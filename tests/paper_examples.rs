@@ -1,0 +1,156 @@
+//! The paper's worked examples (Figs. 1–3, Examples 1–4, Inequality 1),
+//! exercised end-to-end through the public facade: guest programs run on
+//! the machine, events flow into the profiler, and the reported metrics
+//! match the numbers printed in the paper.
+
+use aprof::core::{InputPolicy, TrmsProfiler};
+use aprof::trace::{Addr, Event, RoutineTable, ThreadId, Trace};
+use aprof::vm::{asm, Machine};
+use aprof::workloads::{by_name, WorkloadParams};
+
+/// Example 1 / Fig. 1a: rms_f = 1 but trms_f = 2 after a cross-thread
+/// overwrite between f's two reads.
+#[test]
+fn example_1_interleaved_overwrite() {
+    let mut names = RoutineTable::new();
+    let f = names.intern("f");
+    let g = names.intern("g");
+    let (t1, t2) = (ThreadId::new(0), ThreadId::new(1));
+    let x = Addr::new(0x1000);
+    let mut trace = Trace::new();
+    trace.push(t1, Event::Call { routine: f });
+    trace.push(t1, Event::Read { addr: x });
+    trace.push(t2, Event::ThreadSwitch);
+    trace.push(t2, Event::Call { routine: g });
+    trace.push(t2, Event::Write { addr: x });
+    trace.push(t2, Event::Return { routine: g });
+    trace.push(t1, Event::ThreadSwitch);
+    trace.push(t1, Event::Read { addr: x });
+    trace.push(t1, Event::Return { routine: f });
+
+    let mut profiler = TrmsProfiler::new();
+    trace.replay(&mut profiler);
+    let report = profiler.into_report(&names);
+    let rf = report.routine(f).unwrap();
+    assert_eq!(rf.trms_curve()[0].0, 2, "trms_f = 2");
+    assert_eq!(rf.rms_curve()[0].0, 1, "rms_f = 1");
+}
+
+/// Example 3 / Fig. 2: producer/consumer through one cell — rms(consumer)
+/// stays 1 while trms(consumer) equals the number of produced values,
+/// all of it thread-induced.
+#[test]
+fn example_3_producer_consumer() {
+    let n = 37;
+    let wl = by_name("producer_consumer").unwrap();
+    let mut machine = wl.build(&WorkloadParams::new(n, 2));
+    let names = machine.program().routines().clone();
+    let mut profiler = TrmsProfiler::new();
+    machine.run_with(&mut profiler).unwrap();
+    let report = profiler.into_report(&names);
+    let consumer = report.routine_by_name("consumer").unwrap();
+    assert_eq!(consumer.trms_curve()[0].0, n);
+    assert_eq!(consumer.rms_curve()[0].0, 1);
+    assert!(report.global.induced_thread >= n);
+    assert_eq!(report.global.induced_external, 0);
+}
+
+/// Example 4 / Fig. 3: buffered external reads — only consumed buffer cells
+/// count, so trms = n while 2n cells were transferred, and rms = 1.
+#[test]
+fn example_4_buffered_external_read() {
+    let n = 29;
+    let wl = by_name("external_read").unwrap();
+    let mut machine = wl.build(&WorkloadParams::new(n, 1));
+    let names = machine.program().routines().clone();
+    let mut profiler = TrmsProfiler::new();
+    machine.run_with(&mut profiler).unwrap();
+    let report = profiler.into_report(&names);
+    let er = report.routine_by_name("externalRead").unwrap();
+    assert_eq!(er.trms_curve()[0].0, n, "only consumed cells are external input");
+    assert_eq!(er.rms_curve()[0].0, 1);
+    assert_eq!(report.global.kernel_writes, 2 * n, "the kernel transferred 2n cells");
+    assert_eq!(report.global.induced_external, n);
+}
+
+/// Inequality 1 (trms >= rms) holds across a whole multithreaded guest run.
+#[test]
+fn inequality_1_end_to_end() {
+    for name in ["350.md", "vips", "dedup", "mysqld", "fluidanimate"] {
+        let wl = by_name(name).unwrap();
+        let mut machine = wl.build(&WorkloadParams::new(64, 3));
+        let names = machine.program().routines().clone();
+        let mut profiler = TrmsProfiler::builder().log_activations(true).build();
+        machine.run_with(&mut profiler).unwrap();
+        for rec in profiler.activations() {
+            assert!(rec.trms >= rec.rms, "{name}: {rec:?} violates Inequality 1");
+        }
+        let report = profiler.into_report(&names);
+        assert!(report.global.sum_trms >= report.global.sum_rms);
+    }
+}
+
+/// With every induced source disabled the trms degenerates to the rms —
+/// the sequential PLDI 2012 profiler falls out as a special case.
+#[test]
+fn rms_is_a_special_case_of_trms() {
+    let wl = by_name("372.smithwa").unwrap();
+    let mut machine = wl.build(&WorkloadParams::new(48, 3));
+    let names = machine.program().routines().clone();
+    let mut profiler = TrmsProfiler::with_policy(InputPolicy::rms_only());
+    machine.run_with(&mut profiler).unwrap();
+    let report = profiler.into_report(&names);
+    for routine in &report.routines {
+        assert_eq!(
+            routine.merged.trms, routine.merged.rms,
+            "{}: trms/rms curves must coincide under the rms-only policy",
+            routine.name
+        );
+    }
+}
+
+/// The running example of the guest substrate: a program written in the
+/// textual assembly, profiled end to end.
+#[test]
+fn assembly_program_profiles() {
+    let program = asm::parse(
+        r#"
+func main() {
+e:
+    r0 = const 6
+    r1 = alloc r0
+    r2 = call touch(r1, r0)
+    ret r2
+}
+func touch(2) {
+e:
+    r2 = const 0
+    jmp head
+head:
+    r3 = clt r2, r1
+    br r3, body, out
+body:
+    r4 = add r0, r2
+    store r2, r4, 0
+    r5 = load r4, 0
+    r6 = const 1
+    r2 = add r2, r6
+    jmp head
+out:
+    ret r2
+}
+"#,
+    )
+    .unwrap();
+    let names = program.routines().clone();
+    let mut machine = Machine::new(program);
+    let mut profiler = TrmsProfiler::new();
+    let outcome = machine.run_with(&mut profiler).unwrap();
+    assert_eq!(outcome.exit_value, Some(6));
+    let report = profiler.into_report(&names);
+    let touch = report.routine_by_name("touch").unwrap();
+    // Every cell is written before it is read: no input at all.
+    assert_eq!(touch.trms_curve()[0].0, 0);
+    assert_eq!(report.global.writes, 6);
+    assert_eq!(report.global.reads, 6);
+}
