@@ -17,10 +17,9 @@
 use crate::fit::{fit_best, FitResult, GrowthModel};
 use crate::plot::{CostPlot, Metric, PlotKind};
 use aprof_core::{ProfileReport, RoutineReport};
-use serde::{Deserialize, Serialize};
 
 /// Verdict on one routine, combining both metrics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Verdict {
     /// Superlinear under the trms: a genuine scalability risk.
     Bottleneck,
@@ -36,7 +35,7 @@ pub enum Verdict {
 }
 
 /// One routine's analysis.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Bottleneck {
     /// Routine name.
     pub routine: String,

@@ -7,10 +7,9 @@
 //! small tolerance of the best — so clean linear data is reported as linear
 //! even though a linearithmic basis fits almost as well.
 
-use serde::{Deserialize, Serialize};
 
 /// The candidate growth models, in increasing asymptotic order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum GrowthModel {
     /// `y = a` — flat.
     Constant,
@@ -69,7 +68,7 @@ impl GrowthModel {
 }
 
 /// Outcome of fitting one model (or the model-selection winner).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FitResult {
     /// The fitted model.
     pub model: GrowthModel,

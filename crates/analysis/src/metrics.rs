@@ -7,11 +7,10 @@
 //! by Figs. 15, 16, 18 and 19.
 
 use aprof_core::ProfileReport;
-use serde::{Deserialize, Serialize};
 
 /// One point of a distribution curve: `share`% of routines have the metric
 /// ≥ `value`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CurvePoint {
     /// Percentage of routines (0–100].
     pub share: f64,

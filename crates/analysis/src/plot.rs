@@ -1,10 +1,9 @@
 //! Cost-plot extraction from routine profiles.
 
 use aprof_core::RoutineReport;
-use serde::{Deserialize, Serialize};
 
 /// Which input-size metric a plot is drawn against.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Metric {
     /// The read memory size (Definition 1).
     Rms,
@@ -23,7 +22,7 @@ impl Metric {
 }
 
 /// Which quantity is plotted against the input size (§3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlotKind {
     /// Maximum cost observed at each input size (worst-case running time).
     WorstCase,
@@ -45,7 +44,7 @@ impl PlotKind {
 }
 
 /// One performance point of a cost plot.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Point {
     /// Input size (rms or trms value).
     pub n: u64,
@@ -80,7 +79,7 @@ pub struct Point {
 ///     report.routine(f).unwrap(), Metric::Trms, PlotKind::WorstCase);
 /// assert_eq!(plot.points().len(), 3); // input sizes 1, 2, 3
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostPlot {
     /// Routine name.
     pub routine: String,
@@ -136,7 +135,7 @@ impl CostPlot {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aprof_core::{CostStats, RoutineThreadProfile};
+    use aprof_core::RoutineThreadProfile;
     use std::collections::BTreeMap;
 
     fn report() -> RoutineReport {

@@ -113,16 +113,17 @@ impl Table {
         fn cell(row: &[String], c: usize) -> &str {
             row.get(c).map(String::as_str).unwrap_or("")
         }
-        let mut widths = vec![0usize; cols];
-        for c in 0..cols {
-            widths[c] = std::iter::once(cell(&self.headers, c).len())
-                .chain(self.rows.iter().map(|r| cell(r, c).len()))
-                .max()
-                .unwrap_or(0);
-        }
+        let widths: Vec<usize> = (0..cols)
+            .map(|c| {
+                std::iter::once(cell(&self.headers, c).len())
+                    .chain(self.rows.iter().map(|r| cell(r, c).len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
         let fmt_row = |row: &[String]| {
             let mut line = String::new();
-            for c in 0..cols {
+            for (c, width) in widths.iter().copied().enumerate() {
                 if c > 0 {
                     line.push_str("  ");
                 }
@@ -132,9 +133,9 @@ impl Table {
                     ch.is_ascii_digit() || ch == '.' || ch == '-' || ch == '+' || ch == '%'
                 }) && !text.is_empty();
                 if numeric {
-                    line.push_str(&format!("{text:>width$}", width = widths[c]));
+                    line.push_str(&format!("{text:>width$}"));
                 } else {
-                    line.push_str(&format!("{text:<width$}", width = widths[c]));
+                    line.push_str(&format!("{text:<width$}"));
                 }
             }
             line.trim_end().to_owned()

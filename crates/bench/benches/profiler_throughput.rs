@@ -2,7 +2,7 @@
 //! pre-recorded trace (isolates analysis cost from guest interpretation).
 
 use aprof_core::{NaiveProfiler, RmsProfiler, TrmsProfiler};
-use aprof_trace::{NullTool, RecordingTool, Tool, Trace};
+use aprof_trace::{NullTool, RecordingTool, Trace};
 use aprof_workloads::{by_name, WorkloadParams};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
@@ -41,6 +41,21 @@ fn bench_replay(c: &mut Criterion) {
             trace.replay(&mut t);
         })
     });
+    // Batched dispatch with the same-thread read-run fast paths.
+    for chunk in [64usize, 1024] {
+        group.bench_function(BenchmarkId::new("tool", format!("aprof-rms-batched-{chunk}")), |b| {
+            b.iter(|| {
+                let mut t = RmsProfiler::new();
+                trace.replay_batched(&mut t, chunk);
+            })
+        });
+        group.bench_function(BenchmarkId::new("tool", format!("aprof-trms-batched-{chunk}")), |b| {
+            b.iter(|| {
+                let mut t = TrmsProfiler::new();
+                trace.replay_batched(&mut t, chunk);
+            })
+        });
+    }
     group.bench_function(BenchmarkId::new("tool", "naive-oracle"), |b| {
         b.iter(|| {
             let mut t = NaiveProfiler::new();

@@ -1,63 +1,90 @@
 //! `repro` — regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro all            # every experiment
-//! repro table1 fig4    # selected experiments
-//! repro --list         # available experiment ids
+//! repro all                  # every experiment
+//! repro table1 fig4          # selected experiments
+//! repro --list               # available experiment ids
+//! repro --jobs 8 all         # shard measurements over 8 worker threads
+//! repro --bench-json         # write BENCH_parallel_driver.json and exit
 //! ```
 //!
 //! Rendered text goes to stdout; CSV data is written under `results/`.
-//! Set `APROF_BENCH_SIZE` to scale the Table 1 / Fig. 14 workload size.
+//! Set `APROF_BENCH_SIZE` to scale the Table 1 / Fig. 14 workload size and
+//! `APROF_JOBS` (or `--jobs`) to control the worker-thread count.
 
-use aprof_bench::{run_experiment, EXPERIMENTS};
+use aprof_bench::{driver, run_experiments, EXPERIMENTS};
 use std::io::Write as _;
 use std::path::Path;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--list") {
-        for id in EXPERIMENTS {
-            println!("{id}");
+    let mut selected: Vec<&str> = Vec::new();
+    let mut bench_json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--list" => {
+                for id in EXPERIMENTS {
+                    println!("{id}");
+                }
+                return;
+            }
+            "--jobs" | "-j" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()).filter(|&n| n > 0)
+                else {
+                    eprintln!("--jobs needs a positive integer");
+                    std::process::exit(2);
+                };
+                driver::set_jobs(n);
+            }
+            "--bench-json" => bench_json = true,
+            other => selected.push(other),
         }
-        return;
     }
-    let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        EXPERIMENTS.to_vec()
-    } else {
-        args.iter().map(String::as_str).collect()
-    };
     let results_dir = Path::new("results");
     if let Err(e) = std::fs::create_dir_all(results_dir) {
         eprintln!("cannot create results/: {e}");
         std::process::exit(1);
     }
-    let mut failed = false;
-    for id in selected {
-        match run_experiment(id) {
-            Ok(output) => {
-                println!("==============================================================");
-                println!("{}", output.title);
-                println!("==============================================================");
-                println!("{}", output.text);
-                for (file, csv) in &output.csv {
-                    let path = results_dir.join(file);
-                    match std::fs::File::create(&path)
-                        .and_then(|mut f| f.write_all(csv.as_bytes()))
-                    {
-                        Ok(()) => println!("  wrote {}", path.display()),
-                        Err(e) => {
-                            eprintln!("  failed to write {}: {e}", path.display());
-                            failed = true;
-                        }
-                    }
-                }
-                println!();
-            }
+    if bench_json {
+        let report = aprof_bench::parallel_driver_report(driver::jobs());
+        let path = Path::new("BENCH_parallel_driver.json");
+        match std::fs::write(path, report.render()) {
+            Ok(()) => println!("wrote {}", path.display()),
             Err(e) => {
-                eprintln!("error: {e}");
-                failed = true;
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
             }
         }
+        return;
+    }
+    if selected.is_empty() || selected.contains(&"all") {
+        selected = EXPERIMENTS.to_vec();
+    }
+    let outputs = match run_experiments(&selected) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut failed = false;
+    for output in outputs {
+        println!("==============================================================");
+        println!("{}", output.title);
+        println!("==============================================================");
+        println!("{}", output.text);
+        for (file, csv) in &output.csv {
+            let path = results_dir.join(file);
+            match std::fs::File::create(&path).and_then(|mut f| f.write_all(csv.as_bytes())) {
+                Ok(()) => println!("  wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("  failed to write {}: {e}", path.display());
+                    failed = true;
+                }
+            }
+        }
+        println!();
     }
     if failed {
         std::process::exit(1);

@@ -1,0 +1,350 @@
+//! The parallel measurement driver: a self-scheduling job queue over std
+//! threads plus the machinery for the `BENCH_parallel_driver.json` report.
+//!
+//! Measurements across (workload, tool, input size) triples are independent,
+//! so the experiment harness shards them over a pool of worker threads. The
+//! queue is a single shared cursor: every idle worker *steals* the next
+//! pending job index, so load balances itself without any static partition
+//! (long jobs do not strand short ones behind them). Results are returned
+//! through an mpsc channel tagged with the job index and reassembled in
+//! submission order, so output is deterministic regardless of completion
+//! order or the number of workers.
+//!
+//! The worker count is a process-wide setting ([`set_jobs`]) surfaced as
+//! `--jobs N` by both `repro` and `aprof-cli bench`, with the `APROF_JOBS`
+//! environment variable as a fallback; by default it matches the number of
+//! available cores.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Process-wide worker count; 0 means "not set, use the default".
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the worker-thread count used by [`par_map`] (the `--jobs N` knob).
+///
+/// A value of 0 resets to the default ([`default_jobs`]).
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::Relaxed);
+}
+
+/// The worker-thread count currently in force.
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::Relaxed) {
+        0 => default_jobs(),
+        n => n,
+    }
+}
+
+/// The default worker count: `APROF_JOBS` if set, else available cores.
+pub fn default_jobs() -> usize {
+    std::env::var("APROF_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Runs `count` independent jobs on a pool of [`jobs()`](jobs) workers and
+/// returns their results in job order.
+///
+/// Each worker repeatedly claims the next unclaimed job index from a shared
+/// cursor and sends `(index, result)` down a channel; the caller reassembles
+/// the results by index, so the output vector is identical to the sequential
+/// `(0..count).map(f).collect()` whatever the interleaving. With one worker
+/// (or one job) the pool is bypassed entirely and `f` runs on the calling
+/// thread.
+///
+/// # Panics
+///
+/// Propagates the first worker panic when the scope joins.
+pub fn run_indexed<T, F>(count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = jobs().max(1).min(count.max(1));
+    if workers <= 1 || count <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let result = f(i);
+                if tx.send((i, result)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+        for (i, result) in rx {
+            slots[i] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every job index is claimed exactly once"))
+            .collect()
+    })
+}
+
+/// Maps `f` over `items` in parallel, preserving input order.
+pub fn par_map<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    run_indexed(items.len(), |i| f(&items[i]))
+}
+
+/// Minimal JSON value builder for the machine-readable benchmark report
+/// (the workspace has no serialization dependency by design).
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// A float rendered with enough precision for timing data.
+    Num(f64),
+    /// An integer.
+    Int(u64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered list.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn render_into(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match self {
+            Json::Num(v) => {
+                if v.is_finite() {
+                    out.push_str(&format!("{v:.6}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    out.push_str("  ");
+                    item.render_into(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    out.push_str(&pad);
+                    out.push_str("  ");
+                    Json::Str(key.clone()).render_into(out, indent + 1);
+                    out.push_str(": ");
+                    value.render_into(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Renders the value as pretty-printed JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+}
+
+/// Generates the `BENCH_parallel_driver.json` report: wall-clock per figure
+/// under sequential and parallel execution, the aggregate speedup, and
+/// per-tool overhead factors on a reference workload.
+///
+/// The figure suite is timed twice — once with one worker and once with
+/// `parallel_jobs` workers — with the profile memoization cache cleared
+/// before each phase so both phases do the same work. On a single-core
+/// machine the two phases are expected to tie on measurement cost; the
+/// report records the core count so the numbers can be read honestly.
+pub fn parallel_driver_report(parallel_jobs: usize) -> Json {
+    use crate::suite::{measure, ToolKind};
+    use aprof_workloads::WorkloadParams;
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // The quick figure set: every experiment except the two overhead tables,
+    // which re-measure every tool on every workload and would dominate.
+    let figure_ids: Vec<&str> =
+        crate::EXPERIMENTS.iter().copied().filter(|id| *id != "table1" && *id != "fig14").collect();
+
+    let timed_phase = |phase_jobs: usize| -> (f64, Vec<(String, f64)>) {
+        crate::figures::clear_profile_cache();
+        set_jobs(phase_jobs);
+        let start = std::time::Instant::now();
+        let outputs = par_map(&figure_ids, |id| {
+            let t = std::time::Instant::now();
+            let result = crate::run_experiment(id);
+            (id.to_string(), t.elapsed().as_secs_f64(), result.is_ok())
+        });
+        let total = start.elapsed().as_secs_f64();
+        let per_figure = outputs
+            .into_iter()
+            .map(|(id, secs, ok)| {
+                assert!(ok, "experiment {id} failed during benchmark");
+                (id, secs)
+            })
+            .collect();
+        (total, per_figure)
+    };
+
+    let (seq_total, seq_figures) = timed_phase(1);
+    let (par_total, par_figures) = timed_phase(parallel_jobs.max(1));
+    set_jobs(0); // restore the default for whoever runs next
+
+    // Per-tool overhead factors on one small reference workload, measured
+    // sequentially (timing under contention would be meaningless).
+    let wl = aprof_workloads::by_name("350.md").expect("reference workload registered");
+    let params = WorkloadParams::new(64, 2);
+    let native = (0..3)
+        .map(|_| measure(&wl, &params, ToolKind::Native).seconds)
+        .fold(f64::INFINITY, f64::min)
+        .max(1e-9);
+    let overheads: Vec<Json> = ToolKind::INSTRUMENTED
+        .iter()
+        .map(|kind| {
+            let m = measure(&wl, &params, *kind);
+            Json::Obj(vec![
+                ("tool".into(), Json::Str(kind.label().into())),
+                ("slowdown_vs_native".into(), Json::Num(m.seconds / native)),
+                ("space_factor".into(), Json::Num(m.space_factor())),
+            ])
+        })
+        .collect();
+
+    let figures_json = |figures: &[(String, f64)]| {
+        Json::Arr(
+            figures
+                .iter()
+                .map(|(id, secs)| {
+                    Json::Obj(vec![
+                        ("id".into(), Json::Str(id.clone())),
+                        ("seconds".into(), Json::Num(*secs)),
+                    ])
+                })
+                .collect(),
+        )
+    };
+
+    Json::Obj(vec![
+        ("benchmark".into(), Json::Str("parallel profiling driver".into())),
+        ("cores".into(), Json::Int(cores as u64)),
+        ("sequential_jobs".into(), Json::Int(1)),
+        ("parallel_jobs".into(), Json::Int(parallel_jobs.max(1) as u64)),
+        ("sequential_wall_seconds".into(), Json::Num(seq_total)),
+        ("parallel_wall_seconds".into(), Json::Num(par_total)),
+        ("speedup".into(), Json::Num(seq_total / par_total.max(1e-9))),
+        ("sequential_figures".into(), figures_json(&seq_figures)),
+        ("parallel_figures".into(), figures_json(&par_figures)),
+        ("tool_overheads".into(), Json::Arr(overheads)),
+        (
+            "note".into(),
+            Json::Str(
+                "wall-clock of the figure suite (table1/fig14 excluded); profile cache \
+                 cleared before each phase so both phases do identical work; speedup \
+                 scales with the cores field — on a single-core machine the parallel \
+                 phase can only tie the sequential one"
+                    .into(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_indexed_preserves_order() {
+        set_jobs(4);
+        let out = run_indexed(100, |i| i * 3);
+        set_jobs(0);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_matches_sequential_map() {
+        let items: Vec<u64> = (0..50).collect();
+        set_jobs(8);
+        let par = par_map(&items, |x| x * x);
+        set_jobs(1);
+        let seq = par_map(&items, |x| x * x);
+        set_jobs(0);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |x| *x).is_empty());
+        assert_eq!(par_map(&[7u32], |x| *x + 1), vec![8]);
+    }
+
+    #[test]
+    fn json_renders_escaped() {
+        let j = Json::Obj(vec![
+            ("a\"b".into(), Json::Str("line\nbreak".into())),
+            ("n".into(), Json::Int(3)),
+            ("x".into(), Json::Arr(vec![Json::Num(1.5)])),
+        ]);
+        let text = j.render();
+        assert!(text.contains("\\\""));
+        assert!(text.contains("\\n"));
+        assert!(text.contains("1.500000"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -8,6 +8,8 @@ use aprof_analysis::render::{render_plot, Table};
 use aprof_analysis::{fit_best, CostPlot, Metric, PlotKind};
 use aprof_core::{InputPolicy, ProfileReport, RoutineReport, TrmsProfiler};
 use aprof_workloads::{by_name, Family, WorkloadParams};
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
 
 /// The rendered output of one experiment.
 #[derive(Debug, Clone)]
@@ -22,14 +24,43 @@ pub struct FigureOutput {
     pub csv: Vec<(String, String)>,
 }
 
-/// Profiles one registry workload under a policy.
+/// Key identifying one deterministic profiling run for memoization.
+type ProfileKey = (String, u64, u32, u64, InputPolicy);
+
+fn profile_cache() -> &'static Mutex<HashMap<ProfileKey, ProfileReport>> {
+    static CACHE: OnceLock<Mutex<HashMap<ProfileKey, ProfileReport>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Drops all memoized profiles.
+///
+/// Profiling runs are deterministic in (workload, params, policy), so
+/// [`profile`] memoizes reports — several figures share runs (e.g. Figs. 4
+/// and 6 both profile the minidb analog at the same size). Benchmarks and
+/// determinism tests call this between phases so every phase does the same
+/// work.
+pub fn clear_profile_cache() {
+    profile_cache().lock().expect("profile cache poisoned").clear();
+}
+
+/// Profiles one registry workload under a policy (memoized; see
+/// [`clear_profile_cache`]).
 fn profile(name: &str, params: &WorkloadParams, policy: InputPolicy) -> ProfileReport {
+    let key = (name.to_owned(), params.size, params.threads, params.seed, policy);
+    if let Some(report) = profile_cache().lock().expect("profile cache poisoned").get(&key) {
+        return report.clone();
+    }
     let wl = by_name(name).unwrap_or_else(|| panic!("workload {name} not registered"));
     let mut machine = wl.build(params);
     let names = machine.program().routines().clone();
     let mut prof = TrmsProfiler::with_policy(policy);
     machine.run_with(&mut prof).unwrap_or_else(|e| panic!("{name} failed: {e}"));
-    prof.into_report(&names)
+    let report = prof.into_report(&names);
+    profile_cache()
+        .lock()
+        .expect("profile cache poisoned")
+        .insert(key, report.clone());
+    report
 }
 
 fn routine<'r>(report: &'r ProfileReport, name: &str) -> &'r RoutineReport {
@@ -132,18 +163,24 @@ pub fn fig7() -> FigureOutput {
     let mut text = String::from("Fig. 7 — wbuffer_write_thread cost plots (vips analog)\n");
     let mut csv = Vec::new();
     let mut distinct = Vec::new();
-    for (i, (title, policy, metric)) in panels.iter().enumerate() {
+    // One profiling run per panel (distinct policies), sharded over workers.
+    let rendered = crate::driver::run_indexed(panels.len(), |i| {
+        let (title, policy, metric) = &panels[i];
         let report = profile("vips", &params, *policy);
         let rr = routine(&report, "wbuffer_write_thread");
         let plot = CostPlot::from_report(rr, *metric, PlotKind::WorstCase);
-        distinct.push(plot.len());
-        text.push_str(&format!(
+        let panel_text = format!(
             "\n{title}: {} activations, {} distinct input sizes\n{}",
             rr.merged.calls,
             plot.len(),
             render_plot(&plot)
-        ));
-        csv.push((format!("fig7_panel_{}.csv", (b'a' + i as u8) as char), plot_csv(&plot)));
+        );
+        (panel_text, plot_csv(&plot), plot.len())
+    });
+    for (i, (panel_text, panel_csv, len)) in rendered.into_iter().enumerate() {
+        distinct.push(len);
+        text.push_str(&panel_text);
+        csv.push((format!("fig7_panel_{}.csv", (b'a' + i as u8) as char), panel_csv));
     }
     text.push_str(&format!(
         "\nprofile richness progression (distinct points): {} -> {} -> {}\n",
@@ -170,11 +207,12 @@ pub fn fig9() -> FigureOutput {
         "Fig. 9 — thread-induced vs external input per routine (% of induced first-accesses)\n",
     );
     let mut csv = Vec::new();
-    for (panel, name, params) in [
+    let panels = [
         ("(a) minidb", "mysqld", WorkloadParams::new(160, 3)),
         ("(b) vips", "vips", WorkloadParams::new(200, 3)),
-    ] {
-        let report = profile(name, &params, InputPolicy::full());
+    ];
+    let rendered = crate::driver::par_map(&panels, |(panel, name, params)| {
+        let report = profile(name, params, InputPolicy::full());
         let rows = induced_breakdown(&report);
         let mut table =
             Table::new(vec!["routine".into(), "thread %".into(), "external %".into()]);
@@ -185,8 +223,11 @@ pub fn fig9() -> FigureOutput {
                 format!("{ext_pct:.1}"),
             ]);
         }
-        text.push_str(&format!("\n{panel}\n{}", table.render()));
-        csv.push((format!("fig9_{name}.csv"), table.to_csv()));
+        (format!("\n{panel}\n{}", table.render()), format!("fig9_{name}.csv"), table.to_csv())
+    });
+    for (panel_text, file, content) in rendered {
+        text.push_str(&panel_text);
+        csv.push((file, content));
     }
     FigureOutput {
         id: "fig9".into(),
@@ -217,9 +258,15 @@ fn curve_figure(
 ) -> FigureOutput {
     let mut text = format!("{title}\n(a point (x, y) means: x% of routines have {unit} >= y)\n");
     let mut csv_rows = Table::new(vec!["benchmark".into(), "share_pct".into(), unit.into()]);
-    for (name, params) in representative() {
-        let report = profile(name, &params, InputPolicy::full());
-        let curve: Vec<CurvePoint> = cdf_curve(value_of(&report));
+    let benchmarks = representative();
+    // One profiling run per benchmark, sharded over workers; curves are
+    // reassembled in registry order so output stays deterministic.
+    let curves = crate::driver::par_map(&benchmarks, |(name, params)| {
+        let report = profile(name, params, InputPolicy::full());
+        (*name, cdf_curve(value_of(&report)))
+    });
+    for (name, curve) in curves {
+        let curve: Vec<CurvePoint> = curve;
         if curve.is_empty() {
             continue;
         }
@@ -272,11 +319,9 @@ pub fn fig16() -> FigureOutput {
 /// Fig. 17: external vs thread-induced input per benchmark, sorted by
 /// decreasing thread-induced share.
 pub fn fig17() -> FigureOutput {
-    let mut rows: Vec<(String, f64, f64)> = Vec::new();
-    for wl in aprof_workloads::all() {
-        if wl.family == Family::Micro {
-            continue;
-        }
+    let workloads: Vec<_> =
+        aprof_workloads::all().into_iter().filter(|wl| wl.family != Family::Micro).collect();
+    let mut rows: Vec<(String, f64, f64)> = crate::driver::par_map(&workloads, |wl| {
         let params = match wl.family {
             Family::Omp2012 => WorkloadParams::new(96, 4),
             Family::Parsec => WorkloadParams::new(160, 3),
@@ -284,8 +329,8 @@ pub fn fig17() -> FigureOutput {
         };
         let report = profile(wl.name, &params, InputPolicy::full());
         let (thread_pct, ext_pct) = report.global.induced_split();
-        rows.push((wl.name.to_owned(), thread_pct, ext_pct));
-    }
+        (wl.name.to_owned(), thread_pct, ext_pct)
+    });
     rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     let mut table =
         Table::new(vec!["benchmark".into(), "thread-induced %".into(), "external %".into()]);
@@ -346,7 +391,7 @@ pub fn complexity() -> FigureOutput {
         "power-law exp".into(),
         "expected".into(),
     ]);
-    for (wl, rtn, size, expected) in cases {
+    let rows = crate::driver::par_map(&cases, |&(wl, rtn, size, expected)| {
         let report = profile(wl, &WorkloadParams::new(size, 1), InputPolicy::full());
         let rr = routine(&report, rtn);
         let plot = CostPlot::from_report(rr, Metric::Trms, PlotKind::WorstCase);
@@ -359,15 +404,10 @@ pub fn complexity() -> FigureOutput {
             Some((e, _)) => format!("{e:.2}"),
             None => "-".into(),
         };
-        table.row(vec![
-            wl.into(),
-            rtn.into(),
-            plot.len().to_string(),
-            fitted,
-            r2,
-            exp,
-            expected.into(),
-        ]);
+        vec![wl.into(), rtn.into(), plot.len().to_string(), fitted, r2, exp, expected.into()]
+    });
+    for row in rows {
+        table.row(row);
     }
     let text = format!(
         "Complexity recovery — fitted growth of classic algorithms (worst-case cost vs trms)

@@ -17,10 +17,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod driver;
 pub mod figures;
 pub mod suite;
 
-pub use figures::FigureOutput;
+pub use driver::{default_jobs, jobs, parallel_driver_report, set_jobs};
+pub use figures::{clear_profile_cache, FigureOutput};
 pub use suite::{measure, Measurement, ToolKind};
 
 /// All experiment identifiers known to the harness, in presentation order.
@@ -53,4 +55,19 @@ pub fn run_experiment(id: &str) -> Result<FigureOutput, String> {
         "complexity" => Ok(figures::complexity()),
         other => Err(format!("unknown experiment `{other}` (known: {EXPERIMENTS:?})")),
     }
+}
+
+/// Runs several experiments, sharding them (and their internal measurement
+/// loops) across the [`driver`]'s worker pool, and returns the outputs in
+/// the order the ids were given.
+///
+/// Used by both the `repro` binary and `aprof-cli bench`, so the two entry
+/// points behave identically for a given `--jobs` setting.
+///
+/// # Errors
+///
+/// Returns the first error (unknown id or failing guest run) in id order.
+pub fn run_experiments(ids: &[&str]) -> Result<Vec<FigureOutput>, String> {
+    let results = driver::par_map(ids, |id| run_experiment(id));
+    results.into_iter().collect()
 }

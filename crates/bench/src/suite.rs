@@ -154,21 +154,32 @@ pub fn table1() -> FigureOutput {
     );
     let mut slowdowns = vec![Vec::new(); ToolKind::INSTRUMENTED.len()];
     let mut spaces = vec![Vec::new(); ToolKind::INSTRUMENTED.len()];
-    for wl in &suite {
+    // One job per benchmark row. The native baseline and every tool run of
+    // a row execute on the same worker, so within-row slowdown ratios are
+    // taken under identical conditions even when rows time concurrently.
+    let rows = crate::driver::par_map(&suite, |wl| {
         // Best-of-3 native baseline to dampen timer noise.
         let native = (0..3)
             .map(|_| measure(wl, &params, ToolKind::Native).seconds)
             .fold(f64::INFINITY, f64::min)
             .max(1e-9);
-        let mut row = vec![wl.name.to_owned()];
+        let per_tool: Vec<(f64, f64)> = ToolKind::INSTRUMENTED
+            .iter()
+            .map(|kind| {
+                let m = measure(wl, &params, *kind);
+                (m.seconds / native, m.space_factor())
+            })
+            .collect();
+        (wl.name.to_owned(), per_tool)
+    });
+    for (name, per_tool) in rows {
+        let mut row = vec![name];
         let mut mems = Vec::new();
-        for (i, kind) in ToolKind::INSTRUMENTED.iter().enumerate() {
-            let m = measure(wl, &params, *kind);
-            let slowdown = m.seconds / native;
+        for (i, (slowdown, space)) in per_tool.into_iter().enumerate() {
             slowdowns[i].push(slowdown);
-            spaces[i].push(m.space_factor());
+            spaces[i].push(space);
             row.push(format!("{slowdown:.1}"));
-            mems.push(format!("{:.2}", m.space_factor()));
+            mems.push(format!("{space:.2}"));
         }
         row.extend(mems);
         table.row(row);
@@ -221,21 +232,33 @@ pub fn fig14() -> FigureOutput {
             .chain(kinds.iter().map(|k| k.label().to_owned()))
             .collect(),
     );
-    for &t in &threads {
+    // One job per (thread-count, tool) grid cell; each cell runs its
+    // nulgrind baseline and tool measurement back-to-back on one worker so
+    // the relative factors are taken under identical conditions. Cells are
+    // reassembled in row-major order, keeping the tables deterministic.
+    let grid: Vec<(u32, ToolKind)> =
+        threads.iter().flat_map(|&t| kinds.iter().map(move |&k| (t, k))).collect();
+    let cells = crate::driver::par_map(&grid, |&(t, kind)| {
         let params = WorkloadParams::new(table1_size() / 2, t);
+        let mut rel_time = Vec::new();
+        let mut rel_space = Vec::new();
+        for wl in &suite {
+            let nul = measure(wl, &params, ToolKind::Nulgrind);
+            let m = measure(wl, &params, kind);
+            rel_time.push(m.seconds / nul.seconds.max(1e-9));
+            rel_space.push(m.space_factor() / nul.space_factor());
+        }
+        (
+            format!("{:.2}", geometric_mean(&rel_time)),
+            format!("{:.2}", geometric_mean(&rel_space)),
+        )
+    });
+    for (row_idx, &t) in threads.iter().enumerate() {
         let mut time_row = vec![t.to_string()];
         let mut space_row = vec![t.to_string()];
-        for kind in kinds {
-            let mut rel_time = Vec::new();
-            let mut rel_space = Vec::new();
-            for wl in &suite {
-                let nul = measure(wl, &params, ToolKind::Nulgrind);
-                let m = measure(wl, &params, kind);
-                rel_time.push(m.seconds / nul.seconds.max(1e-9));
-                rel_space.push(m.space_factor() / nul.space_factor());
-            }
-            time_row.push(format!("{:.2}", geometric_mean(&rel_time)));
-            space_row.push(format!("{:.2}", geometric_mean(&rel_space)));
+        for (time_cell, space_cell) in &cells[row_idx * kinds.len()..(row_idx + 1) * kinds.len()] {
+            time_row.push(time_cell.clone());
+            space_row.push(space_cell.clone());
         }
         time_table.row(time_row);
         space_table.row(space_row);

@@ -1,0 +1,47 @@
+//! Parallel-driver determinism: sharding the figure suite over many worker
+//! threads must produce byte-identical rendered text and CSV output to a
+//! fully sequential run. Timing-based experiments (table1, fig14) embed
+//! wall-clock measurements and are excluded by construction.
+
+use aprof_bench::{clear_profile_cache, run_experiments, set_jobs, FigureOutput, EXPERIMENTS};
+
+fn deterministic_ids() -> Vec<&'static str> {
+    EXPERIMENTS.iter().copied().filter(|id| *id != "table1" && *id != "fig14").collect()
+}
+
+fn render(outputs: &[FigureOutput]) -> String {
+    let mut s = String::new();
+    for o in outputs {
+        s.push_str(&o.id);
+        s.push('\n');
+        s.push_str(&o.title);
+        s.push('\n');
+        s.push_str(&o.text);
+        for (file, csv) in &o.csv {
+            s.push_str(file);
+            s.push('\n');
+            s.push_str(csv);
+        }
+    }
+    s
+}
+
+#[test]
+fn figure_output_is_identical_across_job_counts() {
+    let ids = deterministic_ids();
+    let mut runs = Vec::new();
+    for jobs in [1usize, 8] {
+        clear_profile_cache();
+        set_jobs(jobs);
+        let outputs = run_experiments(&ids).expect("experiments run");
+        runs.push((jobs, render(&outputs)));
+    }
+    set_jobs(0);
+    let (_, baseline) = &runs[0];
+    for (jobs, output) in &runs[1..] {
+        assert_eq!(
+            output, baseline,
+            "figure/CSV output differs between --jobs 1 and --jobs {jobs}"
+        );
+    }
+}

@@ -14,11 +14,10 @@
 
 use crate::profile::RoutineThreadProfile;
 use aprof_trace::{RoutineId, RoutineTable};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Identifier of a calling-context-tree node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CctNodeId(pub u32);
 
 impl CctNodeId {
@@ -185,7 +184,7 @@ impl Cct {
 }
 
 /// Summary of one calling context, for reports.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CctContextReport {
     /// The context node.
     pub node: CctNodeId,

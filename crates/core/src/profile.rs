@@ -1,7 +1,6 @@
 //! Collected profile data: performance tuples, per-routine curves, reports.
 
 use aprof_trace::{RoutineId, RoutineTable, ThreadId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Aggregate cost statistics of all activations of a routine that shared one
@@ -19,7 +18,7 @@ use std::collections::BTreeMap;
 /// assert_eq!(s.min, 4);
 /// assert_eq!(s.mean(), 7.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostStats {
     /// Number of activations observed with this input size.
     pub count: u64,
@@ -87,7 +86,7 @@ impl CostStats {
 ///
 /// Routine profiles are *thread-sensitive* (§4): activations made by
 /// different threads are kept distinct and can be merged afterwards.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RoutineThreadProfile {
     /// trms value → cost statistics (one entry per distinct trms value).
     pub trms: BTreeMap<u64, CostStats>,
@@ -158,7 +157,7 @@ pub struct ActivationRecord {
 
 /// The merged profile of one routine (all threads), plus its attribution
 /// counters — everything the paper's per-routine charts need.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoutineReport {
     /// Dense id of the routine.
     pub routine: u32,
@@ -225,7 +224,7 @@ impl RoutineReport {
 }
 
 /// Whole-run counters (§6.1 metrics 3–4 and space accounting).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct GlobalStats {
     /// Total read operations observed.
     pub reads: u64,
@@ -276,7 +275,7 @@ impl GlobalStats {
 }
 
 /// The complete output of a profiling session.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProfileReport {
     /// Name of the tool that produced the report.
     pub tool: String,

@@ -5,7 +5,7 @@ use crate::profile::{ActivationRecord, GlobalStats, ProfileReport, RoutineThread
 use crate::renumber::{self, RenumberScheme};
 use crate::InputPolicy;
 use aprof_shadow::ShadowMemory;
-use aprof_trace::{Addr, RoutineId, RoutineTable, ThreadId, Tool};
+use aprof_trace::{Addr, Event, RoutineId, RoutineTable, ThreadId, TimedEvent, Tool};
 use std::collections::BTreeMap;
 
 /// Default counter limit: 32-bit timestamps, as stored by the paper's
@@ -299,64 +299,77 @@ impl TrmsProfiler {
         let count = self.count;
         let policy = self.policy;
         let packed = self.wts.get(addr);
-        let (w_ts, w_kernel) = (packed >> 1, packed & 1 == 1);
-
-        let mut induced_thread = false;
-        let mut induced_external = false;
-        {
-            let st = self.state(thread);
-            let lts = st.ts.get(addr);
-            if let Some(top) = st.stack.len().checked_sub(1) {
-                st.stack[top].reads += 1;
-                // Line 1 of procedure read: ts_t[l] < wts[l] means the cell
-                // was written more recently than the thread's last access —
-                // an induced first-access (had the thread itself performed
-                // the last write, ts_t[l] would equal wts[l]).
-                let induced = w_ts > lts;
-                if induced && policy.counts(w_kernel) {
-                    // Induced first-access: new input for the topmost
-                    // activation *and all its ancestors* (Invariant 2 makes
-                    // the suffix-sum increment implicit).
-                    st.stack[top].partial_trms += 1;
-                    if w_kernel {
-                        st.stack[top].induced_external += 1;
-                        induced_external = true;
-                    } else {
-                        st.stack[top].induced_thread += 1;
-                        induced_thread = true;
-                    }
-                } else if lts < st.stack[top].ts {
-                    // Plain first access: the activation (and its completed
-                    // descendants) never touched the cell. New input for the
-                    // topmost activation and for every ancestor deeper than
-                    // the most recent one that already accessed the cell.
-                    st.stack[top].partial_trms += 1;
-                    if lts != 0 {
-                        if let Some(j) = st.deepest_at_or_before(lts) {
-                            st.stack[j].partial_trms -= 1;
-                        }
-                    }
-                }
-                // rms accounting: identical first-access rule, no induced
-                // branch (Definition 1 ignores inter-thread writes).
-                if lts < st.stack[top].ts {
-                    st.stack[top].partial_rms += 1;
-                    if lts != 0 {
-                        if let Some(j) = st.deepest_at_or_before(lts) {
-                            st.stack[j].partial_rms -= 1;
-                        }
-                    }
-                }
-            }
-            // Line 12: the thread's latest access to the cell is now.
-            st.ts.set(addr, count);
-        }
+        let st = self.state(thread);
+        let (induced_thread, induced_external) = Self::apply_read(st, count, policy, packed, addr);
         if induced_thread {
             self.global.induced_thread += 1;
         }
         if induced_external {
             self.global.induced_external += 1;
         }
+    }
+
+    /// The thread-state half of procedure `read`: everything except the
+    /// `wts` lookup and the global induced counters, so the batched read
+    /// path can run it under a split borrow of `self`. Returns whether the
+    /// read was an induced (thread, external) first-access.
+    fn apply_read(
+        st: &mut ThreadState,
+        count: u64,
+        policy: InputPolicy,
+        packed: u64,
+        addr: Addr,
+    ) -> (bool, bool) {
+        let (w_ts, w_kernel) = (packed >> 1, packed & 1 == 1);
+        let mut induced_thread = false;
+        let mut induced_external = false;
+        // Combined lines 1 and 12 of procedure read: fetch the thread's last
+        // access timestamp and stamp the cell with the current counter in
+        // one shadow-table traversal.
+        let lts = st.ts.get_set(addr, count);
+        if let Some(top) = st.stack.len().checked_sub(1) {
+            st.stack[top].reads += 1;
+            // Line 1 of procedure read: ts_t[l] < wts[l] means the cell
+            // was written more recently than the thread's last access —
+            // an induced first-access (had the thread itself performed
+            // the last write, ts_t[l] would equal wts[l]).
+            let induced = w_ts > lts;
+            if induced && policy.counts(w_kernel) {
+                // Induced first-access: new input for the topmost
+                // activation *and all its ancestors* (Invariant 2 makes
+                // the suffix-sum increment implicit).
+                st.stack[top].partial_trms += 1;
+                if w_kernel {
+                    st.stack[top].induced_external += 1;
+                    induced_external = true;
+                } else {
+                    st.stack[top].induced_thread += 1;
+                    induced_thread = true;
+                }
+            } else if lts < st.stack[top].ts {
+                // Plain first access: the activation (and its completed
+                // descendants) never touched the cell. New input for the
+                // topmost activation and for every ancestor deeper than
+                // the most recent one that already accessed the cell.
+                st.stack[top].partial_trms += 1;
+                if lts != 0 {
+                    if let Some(j) = st.deepest_at_or_before(lts) {
+                        st.stack[j].partial_trms -= 1;
+                    }
+                }
+            }
+            // rms accounting: identical first-access rule, no induced
+            // branch (Definition 1 ignores inter-thread writes).
+            if lts < st.stack[top].ts {
+                st.stack[top].partial_rms += 1;
+                if lts != 0 {
+                    if let Some(j) = st.deepest_at_or_before(lts) {
+                        st.stack[j].partial_rms -= 1;
+                    }
+                }
+            }
+        }
+        (induced_thread, induced_external)
     }
 
     fn unwind(&mut self, thread: ThreadId) {
@@ -477,6 +490,53 @@ impl Tool for TrmsProfiler {
     fn read(&mut self, thread: ThreadId, addr: Addr) {
         self.global.reads += 1;
         self.on_read(thread, addr);
+    }
+
+    /// Batched dispatch with a same-thread read-run fast path.
+    ///
+    /// Thread reads neither tick the global counter nor touch `wts`, so
+    /// within a run of consecutive `Read` events by one thread the counter,
+    /// policy and thread-state lookup are loop-invariant: the run is
+    /// processed with one `state()` resolution and one split borrow,
+    /// accumulating the global induced/read counters once per run. All
+    /// other events (and reads by a thread that just switched in) fall back
+    /// to one-at-a-time [`dispatch`](Tool::dispatch), so observable
+    /// behaviour is identical to sequential replay.
+    fn on_batch(&mut self, events: &[TimedEvent]) {
+        let mut i = 0;
+        while i < events.len() {
+            let te = &events[i];
+            if !matches!(te.event, Event::Read { .. }) {
+                self.dispatch(te.thread, te.event);
+                i += 1;
+                continue;
+            }
+            let thread = te.thread;
+            let mut j = i + 1;
+            while j < events.len()
+                && events[j].thread == thread
+                && matches!(events[j].event, Event::Read { .. })
+            {
+                j += 1;
+            }
+            self.global.reads += (j - i) as u64;
+            let count = self.count;
+            let policy = self.policy;
+            self.state(thread); // materialize the slot once for the run
+            let idx = thread.index();
+            let (mut induced_thread, mut induced_external) = (0u64, 0u64);
+            for te in &events[i..j] {
+                let Event::Read { addr } = te.event else { unreachable!() };
+                let packed = self.wts.get(addr);
+                let (it, ie) =
+                    Self::apply_read(&mut self.threads[idx], count, policy, packed, addr);
+                induced_thread += it as u64;
+                induced_external += ie as u64;
+            }
+            self.global.induced_thread += induced_thread;
+            self.global.induced_external += induced_external;
+            i = j;
+        }
     }
 
     fn write(&mut self, thread: ThreadId, addr: Addr) {

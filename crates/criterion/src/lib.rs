@@ -1,0 +1,296 @@
+//! A vendored, dependency-free benchmark harness.
+//!
+//! The build environment has no access to crates.io, so the real
+//! `criterion` crate cannot be fetched. This crate keeps the workspace's
+//! `benches/` sources compiling and running offline by implementing the
+//! subset of the criterion API they use: benchmark groups, throughput
+//! annotation, `Bencher::iter`, and the `criterion_group!`/
+//! `criterion_main!` macros.
+//!
+//! Statistics are intentionally simple: each benchmark runs a short warm-up
+//! followed by timed batches until the configured measurement time elapses,
+//! then prints the per-iteration mean, the fastest batch, and (when a
+//! throughput was declared) the element rate. There is no HTML report and
+//! no outlier analysis — this is a smoke-and-trend harness, not a
+//! statistical one.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computed value.
+///
+/// `std::hint::black_box` is stable and fits criterion's contract.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed batches to collect (compatibility knob).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent running the closure before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total time budget for the timed batches.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        println!("group: {}", name.into());
+        BenchmarkGroup { criterion: self, throughput: None }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl BenchId, mut f: F) {
+        run_one(self, &id.render(), None, &mut f);
+    }
+}
+
+/// Throughput annotation for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing configuration and throughput.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl BenchId, mut f: F) {
+        run_one(self.criterion, &id.render(), self.throughput, &mut f);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies a benchmark: a plain string or a `BenchmarkId`.
+pub trait BenchId {
+    /// The printed label.
+    fn render(&self) -> String;
+}
+
+impl BenchId for &str {
+    fn render(&self) -> String {
+        (*self).to_owned()
+    }
+}
+
+impl BenchId for String {
+    fn render(&self) -> String {
+        self.clone()
+    }
+}
+
+/// A `function/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A label of the form `function/parameter`.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{function}/{parameter}") }
+    }
+}
+
+impl BenchId for BenchmarkId {
+    fn render(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// Passed to the benchmark closure; runs the measured code.
+pub struct Bencher {
+    mode: Mode,
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+enum Mode {
+    /// Run the closure until the deadline passes, counting iterations.
+    Timed(Instant),
+    /// Run exactly once (warm-up probe).
+    Probe,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Probe => {
+                let start = Instant::now();
+                black_box(routine());
+                self.elapsed += start.elapsed();
+                self.iters_done += 1;
+            }
+            Mode::Timed(deadline) => loop {
+                let start = Instant::now();
+                black_box(routine());
+                self.elapsed += start.elapsed();
+                self.iters_done += 1;
+                if Instant::now() >= deadline {
+                    break;
+                }
+            },
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    config: &Criterion,
+    label: &str,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    // Warm-up: repeated single-shot probes until the warm-up budget is used.
+    let warm_deadline = Instant::now() + config.warm_up_time;
+    let mut probe_time = Duration::ZERO;
+    let mut probes = 0u64;
+    while Instant::now() < warm_deadline {
+        let mut b = Bencher { mode: Mode::Probe, iters_done: 0, elapsed: Duration::ZERO };
+        f(&mut b);
+        probe_time += b.elapsed;
+        probes += b.iters_done;
+        if b.iters_done == 0 {
+            break; // closure never called iter(); nothing to measure
+        }
+    }
+    if probes == 0 {
+        println!("  {label:40} (no iterations)");
+        return;
+    }
+    // Measurement: sample_size batches sharing the measurement-time budget.
+    let batch_budget = config.measurement_time / config.sample_size as u32;
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    let mut best = Duration::MAX;
+    for _ in 0..config.sample_size {
+        let mut b = Bencher {
+            mode: Mode::Timed(Instant::now() + batch_budget),
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.iters_done == 0 {
+            continue;
+        }
+        let per_iter = b.elapsed / b.iters_done as u32;
+        best = best.min(per_iter);
+        total += b.elapsed;
+        iters += b.iters_done;
+    }
+    if iters == 0 {
+        println!("  {label:40} (no iterations)");
+        return;
+    }
+    let mean = total / iters as u32;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            format!("  {:>12.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+            format!("  {:>12.0} B/s", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!("  {label:40} mean {mean:>12.3?}  best {best:>12.3?}  ({iters} iters){rate}");
+}
+
+/// Declares a benchmark group entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4))
+    }
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function(BenchmarkId::new("f", "p"), |b| {
+            b.iter(|| black_box(1 + 1))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn empty_bench_does_not_hang() {
+        let mut c = quick();
+        c.bench_function("noop", |_b| {});
+    }
+}

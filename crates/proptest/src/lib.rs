@@ -1,0 +1,489 @@
+//! A vendored, dependency-free property-testing harness.
+//!
+//! The container this workspace builds in has no network access to
+//! crates.io, so the real `proptest` crate cannot be fetched. This crate
+//! reimplements the (small) subset of its API that the workspace's tests
+//! use, keeping the test sources source-compatible:
+//!
+//! * [`Strategy`] with [`prop_map`](Strategy::prop_map) and
+//!   [`boxed`](Strategy::boxed);
+//! * range, tuple, [`Just`], [`any`], `prop::collection::{vec, btree_map}`
+//!   and `prop::option::of` strategies;
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and
+//!   [`prop_assert_eq!`] macros;
+//! * [`ProptestConfig::with_cases`] and the `PROPTEST_CASES` environment
+//!   override;
+//! * `*.proptest-regressions` files: failing seeds are appended as
+//!   `cc <16-hex-digit-seed>` lines and replayed before fresh cases.
+//!
+//! Differences from upstream: generation is driven by a splitmix64 PRNG
+//! seeded deterministically per test (so CI runs are reproducible without a
+//! seed file), and failing cases are *not* shrunk — the panic message
+//! carries the seed, which the regressions file persists for replay.
+
+#![forbid(unsafe_code)]
+
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+pub mod runner;
+
+/// Deterministic splitmix64 generator used for all value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift bounded sampling (Lemire); bias is negligible for
+        // test-data generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy { gen: Rc::new(move |rng| self.generate(rng)) }
+    }
+}
+
+/// A type-erased [`Strategy`].
+#[derive(Clone)]
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain.
+                    rng.next_u64() as $t
+                } else {
+                    lo.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Types with a canonical full-domain strategy (`proptest::arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The full-domain strategy for `T` (`any::<T>()`).
+#[derive(Debug)]
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> Self {
+        AnyStrategy(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the canonical strategy generating any value of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+/// A weighted choice among boxed alternatives (`prop_oneof!`).
+#[derive(Clone)]
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from `(weight, strategy)` arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positively-weighted arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.below(total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights sum checked in constructor")
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// A strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors of values of `elem` with length in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for `BTreeMap<K, V>`.
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    /// Generates maps with approximately `size` entries (key collisions may
+    /// produce fewer, as with upstream proptest).
+    pub fn btree_map<K, V>(key: K, value: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        assert!(size.start < size.end, "empty size range");
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            let mut map = BTreeMap::new();
+            for _ in 0..len {
+                map.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            map
+        }
+    }
+}
+
+/// Option strategies (`prop::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// A strategy yielding `None` about a quarter of the time.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// Wraps `inner`'s values in `Some`, interleaving `None`s.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+/// The `prop::` paths used by `use proptest::prelude::*` consumers.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test (before the `PROPTEST_CASES`
+    /// environment override).
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy,
+        Just, ProptestConfig, Strategy, TestRng, Union,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Chooses among strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Declares property tests. Each function body runs once per generated
+/// case; the binding before `in` receives a value from the strategy
+/// expression after it.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($config:expr); $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::runner::run(&config, file!(), stringify!($name), |__proptest_rng| {
+                    $(let $pat = $crate::Strategy::generate(&($strat), __proptest_rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(42);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3u32..17), &mut rng);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn union_respects_zero_weighted_arms() {
+        let mut rng = TestRng::from_seed(7);
+        let s = prop_oneof![1 => Just(1u32), 0 => Just(2u32)];
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let strat = prop::collection::vec((0u32..9, any::<u64>()), 1..50);
+        let a: Vec<_> = {
+            let mut rng = TestRng::from_seed(99);
+            strat.generate(&mut rng)
+        };
+        let b: Vec<_> = {
+            let mut rng = TestRng::from_seed(99);
+            strat.generate(&mut rng)
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_smoke(v in prop::collection::vec(0u64..100, 1..20)) {
+            prop_assert!(!v.is_empty());
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn multiple_bindings(a in 0u32..10, b in 10u32..20) {
+            prop_assert!(a < b);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Case execution, seed derivation and regression-file persistence.
+
+use crate::{ProptestConfig, TestRng};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+/// Derives a stable per-test base seed from the test's name.
+fn base_seed(test_name: &str) -> u64 {
+    // FNV-1a over the name, mixed with a fixed harness constant so renaming
+    // a test reshuffles its cases but re-running never does.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ 0x05ee_dab1_e0dd_ba11
+}
+
+/// The regressions file sitting next to the test source, mirroring
+/// proptest's `<test-file>.proptest-regressions` convention. Resolved
+/// through `CARGO_MANIFEST_DIR` because `file!()` is workspace-relative
+/// while tests run from the package directory.
+fn regressions_path(source_file: &str) -> Option<PathBuf> {
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").ok()?;
+    let name = std::path::Path::new(source_file).file_stem()?.to_str()?;
+    let dir = if source_file.contains("tests/") { "tests" } else { "src" };
+    Some(PathBuf::from(manifest).join(dir).join(format!("{name}.proptest-regressions")))
+}
+
+/// Parses `cc <16-hex-digit-seed>` lines; other lines (comments, legacy
+/// upstream-proptest hash entries) are skipped.
+fn read_seeds(path: &PathBuf) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else { return Vec::new() };
+    text.lines()
+        .filter_map(|line| {
+            let mut parts = line.split_whitespace();
+            if parts.next()? != "cc" {
+                return None;
+            }
+            u64::from_str_radix(parts.next()?, 16).ok()
+        })
+        .collect()
+}
+
+fn persist_seed(path: &PathBuf, test_name: &str, seed: u64) {
+    let mut text = std::fs::read_to_string(path).unwrap_or_else(|_| {
+        "# Seeds for failure cases the harness has generated in the past.\n\
+         # Automatically read and re-run before any novel cases; check this\n\
+         # file in to source control so every run benefits from saved cases.\n"
+            .to_owned()
+    });
+    let entry = format!("cc {seed:016x} # seed of a failing case of `{test_name}`\n");
+    if !text.contains(&format!("cc {seed:016x}")) {
+        text.push_str(&entry);
+        let _ = std::fs::write(path, text);
+    }
+}
+
+fn configured_cases(config: &ProptestConfig) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(config.cases)
+}
+
+/// Runs one property test: replays persisted regression seeds first, then
+/// `config.cases` fresh cases. On failure the seed is persisted and the
+/// panic is re-raised with the seed in its context.
+pub fn run<F>(config: &ProptestConfig, source_file: &str, test_name: &str, body: F)
+where
+    F: Fn(&mut TestRng),
+{
+    let regressions = regressions_path(source_file);
+    let mut replay = Vec::new();
+    if let Some(path) = &regressions {
+        replay = read_seeds(path);
+    }
+    let base = base_seed(test_name);
+    let fresh = (0..configured_cases(config)).map(|i| base.wrapping_add(i as u64 * 2 + 1));
+    for (kind, seed) in replay
+        .into_iter()
+        .map(|s| ("regression", s))
+        .chain(fresh.map(|s| ("random", s)))
+    {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut rng = TestRng::from_seed(seed);
+            body(&mut rng);
+        }));
+        if let Err(panic) = result {
+            if kind == "random" {
+                if let Some(path) = &regressions {
+                    persist_seed(path, test_name, seed);
+                }
+            }
+            eprintln!(
+                "proptest: `{test_name}` failed on {kind} case with seed {seed:016x} \
+                 (re-run replays it from the regressions file)"
+            );
+            resume_unwind(panic);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_differ_per_test_name() {
+        assert_ne!(base_seed("a"), base_seed("b"));
+        assert_eq!(base_seed("a"), base_seed("a"));
+    }
+
+    #[test]
+    fn legacy_hash_entries_are_skipped() {
+        let dir = std::env::temp_dir().join("aprof-proptest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.proptest-regressions");
+        std::fs::write(
+            &path,
+            "# comment\ncc 8b28f427d6e9b703dfd49cd1d1d37557fa5ef5e1a3a301e8a192df7fd984a4c1\ncc 00000000deadbeef # ours\n",
+        )
+        .unwrap();
+        assert_eq!(read_seeds(&path), vec![0xdead_beef]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failing_case_reports_seed() {
+        let config = ProptestConfig::with_cases(16);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run(&config, "nonexistent.rs", "always_fails", |_rng| panic!("boom"));
+        }));
+        assert!(caught.is_err());
+    }
+}

@@ -108,6 +108,20 @@ impl<T: Copy + Default> ShadowMemory<T> {
         *self.slot(addr) = value;
     }
 
+    /// Reads the shadow value of `addr` and replaces it with `value` in one
+    /// table traversal, returning the previous value (or `T::default()` for
+    /// a never-written cell).
+    ///
+    /// Equivalent to [`get`](Self::get) followed by [`set`](Self::set), but
+    /// walks the three-level table once instead of twice — the dominant
+    /// operation on the profiler read path, which always looks up the old
+    /// read timestamp and then stores the current one.
+    #[inline]
+    pub fn get_set(&mut self, addr: Addr, value: T) -> T {
+        let cell = self.slot(addr);
+        std::mem::replace(cell, value)
+    }
+
     /// Returns a mutable reference to the shadow cell of `addr`, allocating
     /// as needed (the cell starts at `T::default()`).
     #[inline]
@@ -242,6 +256,14 @@ mod tests {
         *s.slot(Addr::new(5)) += 3;
         *s.slot(Addr::new(5)) += 4;
         assert_eq!(s.get(Addr::new(5)), 7);
+    }
+
+    #[test]
+    fn get_set_returns_previous_value() {
+        let mut s: ShadowMemory<u64> = ShadowMemory::new();
+        assert_eq!(s.get_set(Addr::new(9), 5), 0); // never-written ⇒ default
+        assert_eq!(s.get_set(Addr::new(9), 6), 5);
+        assert_eq!(s.get(Addr::new(9)), 6);
     }
 
     #[test]

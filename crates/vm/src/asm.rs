@@ -288,9 +288,9 @@ fn parse_int(ln: usize, tok: &str) -> Result<i64, AsmError> {
         .map_err(|_| AsmError { line: ln, message: format!("bad integer `{tok}`") })
 }
 
-fn parse_call_like<'a>(
+fn parse_call_like(
     ln: usize,
-    text: &'a str,
+    text: &str,
     func_ids: &HashMap<String, FuncId>,
     sigs: &[(String, u16)],
     max_reg: &mut u16,

@@ -399,7 +399,7 @@ out:
         fn basic_block(&mut self, t: aprof_trace::ThreadId, _cost: u64) {
             self.counter += 1;
             let idx = t.index() as u32;
-            if idx >= 1 && idx <= 3 {
+            if (1..=3).contains(&idx) {
                 if let Some(&prev) = self.last.get(&idx) {
                     self.max_gap = self.max_gap.max(self.counter - prev);
                 }

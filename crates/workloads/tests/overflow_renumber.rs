@@ -1,0 +1,54 @@
+//! Counter-overflow renumbering (§4.4) across the whole workload registry:
+//! profiling every workload with a tiny `counter_limit` — forcing frequent
+//! timestamp renumberings under both schemes — must yield exactly the same
+//! profile as an effectively-unbounded counter.
+
+use aprof_core::{ProfileReport, RenumberScheme, TrmsProfiler};
+use aprof_workloads::{all, Workload, WorkloadParams};
+
+fn profile(
+    wl: &Workload,
+    params: &WorkloadParams,
+    limit: u64,
+    scheme: RenumberScheme,
+) -> ProfileReport {
+    let mut machine = wl.build(params);
+    let names = machine.program().routines().clone();
+    let mut prof = TrmsProfiler::builder().counter_limit(limit).renumber_scheme(scheme).build();
+    machine.run_with(&mut prof).unwrap_or_else(|e| panic!("{} failed: {e}", wl.name));
+    prof.into_report(&names)
+}
+
+/// Renumbering legitimately changes the renumbering count itself and the
+/// shadow-memory footprint (renumbered tables may compact differently);
+/// everything else must be identical.
+fn normalized(mut report: ProfileReport) -> ProfileReport {
+    report.global.renumberings = 0;
+    report.global.shadow_bytes = 0;
+    report
+}
+
+#[test]
+fn tiny_counter_limit_profiles_match_unbounded() {
+    let params = WorkloadParams::new(24, 2);
+    let mut total_renumberings = 0u64;
+    for wl in all() {
+        let baseline =
+            normalized(profile(&wl, &params, u32::MAX as u64, RenumberScheme::Paper));
+        for limit in [16, 64] {
+            for scheme in [RenumberScheme::Paper, RenumberScheme::Exact] {
+                let overflowed = profile(&wl, &params, limit, scheme);
+                total_renumberings += overflowed.global.renumberings;
+                assert_eq!(
+                    normalized(overflowed),
+                    baseline,
+                    "workload {} diverges at counter_limit={limit} under {scheme:?}",
+                    wl.name
+                );
+            }
+        }
+    }
+    // The registry as a whole must actually exercise the overflow path;
+    // otherwise this test is vacuous.
+    assert!(total_renumberings > 0, "no workload triggered a renumbering");
+}

@@ -28,6 +28,7 @@ fn main() {
         Some("run") => cmd_run(&args[1..]),
         Some("asm") => cmd_asm(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{}", USAGE);
             0
@@ -48,6 +49,9 @@ commands:
   run  --workload NAME [opts]  run a bundled workload under a tool
   asm  FILE [opts]             run a guest assembly program under a tool
   replay FILE [opts]           profile a previously saved trace
+  bench [IDS|all] [opts]       regenerate the paper's tables and figures
+                               (--jobs N shards measurements over N worker
+                               threads; --list shows experiment ids)
 
 options:
   --size N          workload size          (default 96)
@@ -233,6 +237,50 @@ fn cmd_replay(args: &[String]) -> i32 {
     0
 }
 
+fn cmd_bench(args: &[String]) -> i32 {
+    let mut selected: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--list" => {
+                for id in aprof::bench::EXPERIMENTS {
+                    println!("{id}");
+                }
+                return 0;
+            }
+            "--jobs" | "-j" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()).filter(|&n| n > 0)
+                else {
+                    eprintln!("--jobs needs a positive integer");
+                    return 2;
+                };
+                aprof::bench::set_jobs(n);
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown option `{other}`\n{USAGE}");
+                return 2;
+            }
+            other => selected.push(other),
+        }
+    }
+    if selected.is_empty() || selected.contains(&"all") {
+        selected = aprof::bench::EXPERIMENTS.to_vec();
+    }
+    match aprof::bench::run_experiments(&selected) {
+        Ok(outputs) => {
+            for output in outputs {
+                println!("{}\n", output.title);
+                println!("{}", output.text);
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
 fn build_profiler(opts: &Opts) -> TrmsProfiler {
     TrmsProfiler::builder().policy(opts.policy).calling_contexts(opts.cct).build()
 }
@@ -372,7 +420,7 @@ fn report_profiler(profiler: TrmsProfiler, names: &RoutineTable, opts: &Opts) {
 
 fn summary_table(report: &ProfileReport, limit: usize) -> Table {
     let mut routines: Vec<_> = report.routines.iter().collect();
-    routines.sort_by(|a, b| b.merged.total_cost.cmp(&a.merged.total_cost));
+    routines.sort_by_key(|r| std::cmp::Reverse(r.merged.total_cost));
     let mut table = Table::new(vec![
         "routine".into(),
         "calls".into(),

@@ -16,10 +16,12 @@
 //! * [`tools`] — comparator analysis tools (nulgrind/memcheck/callgrind/helgrind analogs).
 //! * [`workloads`] — benchmark guest programs.
 //! * [`analysis`] — cost plots, curve fitting, richness/volume metrics.
+//! * [`bench`] — the experiment harness and its parallel measurement driver.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
 
 pub use aprof_analysis as analysis;
+pub use aprof_bench as bench;
 pub use aprof_core as core;
 pub use aprof_shadow as shadow;
 pub use aprof_tools as tools;

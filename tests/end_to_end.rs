@@ -94,7 +94,7 @@ fn callgrind_and_profiler_costs_agree() {
         .edges
         .iter()
         .filter(|e| e.caller.is_none())
-        .map(|e| cg_report.costs.values().map(|c| c.inclusive).sum::<u64>())
+        .map(|_| cg_report.costs.values().map(|c| c.inclusive).sum::<u64>())
         .next()
         .unwrap_or(0);
     let _ = cg_total;
