@@ -6,6 +6,7 @@
 //! repro --list               # available experiment ids
 //! repro --jobs 8 all         # shard measurements over 8 worker threads
 //! repro --bench-json         # write BENCH_parallel_driver.json and exit
+//! repro --bench-wire-json    # write BENCH_wire.json and exit
 //! ```
 //!
 //! Rendered text goes to stdout; CSV data is written under `results/`.
@@ -20,6 +21,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut selected: Vec<&str> = Vec::new();
     let mut bench_json = false;
+    let mut bench_wire_json = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -38,6 +40,7 @@ fn main() {
                 driver::set_jobs(n);
             }
             "--bench-json" => bench_json = true,
+            "--bench-wire-json" => bench_wire_json = true,
             other => selected.push(other),
         }
     }
@@ -45,6 +48,18 @@ fn main() {
     if let Err(e) = std::fs::create_dir_all(results_dir) {
         eprintln!("cannot create results/: {e}");
         std::process::exit(1);
+    }
+    if bench_wire_json {
+        let report = aprof_bench::wire_report(driver::jobs());
+        let path = Path::new("BENCH_wire.json");
+        match std::fs::write(path, report.render()) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        return;
     }
     if bench_json {
         let report = aprof_bench::parallel_driver_report(driver::jobs());

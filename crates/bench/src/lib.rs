@@ -20,10 +20,12 @@
 pub mod driver;
 pub mod figures;
 pub mod suite;
+pub mod wire_bench;
 
 pub use driver::{default_jobs, jobs, parallel_driver_report, set_jobs};
 pub use figures::{clear_profile_cache, FigureOutput};
 pub use suite::{measure, Measurement, ToolKind};
+pub use wire_bench::wire_report;
 
 /// All experiment identifiers known to the harness, in presentation order.
 pub const EXPERIMENTS: &[&str] = &[

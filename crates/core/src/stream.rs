@@ -1,0 +1,93 @@
+//! Streaming profile construction from fallible event sources.
+//!
+//! The profilers in this crate are [`Tool`]s, so they can be driven by an
+//! in-memory [`Trace`](aprof_trace::Trace) — but a trace of a long run may
+//! not fit in memory. This module feeds a profiler directly from any
+//! fallible `(thread, event)` source (such as `aprof_wire::WireReader`
+//! decoding an on-disk trace chunk by chunk), batching events through the
+//! [`Tool::on_batch`] fast path so working memory stays bounded by one
+//! batch regardless of trace size. Because the callback sequence is
+//! identical to an in-memory replay, the resulting profile is
+//! byte-identical to one computed from a materialized trace.
+
+use aprof_trace::{replay_events_batched, Event, ThreadId, Tool};
+
+/// Events per [`Tool::on_batch`] delivery used by [`consume_stream`] —
+/// large enough to amortize dispatch, small enough to stay cache-resident.
+pub const DEFAULT_STREAM_BATCH: usize = 4096;
+
+/// Drives `tool` from a fallible event source in
+/// [`DEFAULT_STREAM_BATCH`]-sized batches, then calls [`Tool::finish`].
+/// Returns the number of events consumed.
+///
+/// # Errors
+///
+/// Stops at the first source error and returns it without calling
+/// [`Tool::finish`] — a partial profile is never finalized.
+pub fn consume_stream<T, E, I>(tool: &mut T, events: I) -> Result<u64, E>
+where
+    T: Tool + ?Sized,
+    I: IntoIterator<Item = Result<(ThreadId, Event), E>>,
+{
+    replay_events_batched(tool, events, DEFAULT_STREAM_BATCH)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RmsProfiler, TrmsProfiler};
+    use aprof_trace::{Addr, RoutineTable, Trace};
+
+    fn sample() -> (Trace, RoutineTable) {
+        let mut names = RoutineTable::new();
+        let f = names.intern("f");
+        let g = names.intern("g");
+        let (t0, t1) = (ThreadId::new(0), ThreadId::new(1));
+        let mut trace = Trace::new();
+        trace.push(t0, Event::Call { routine: f });
+        for i in 0..100 {
+            trace.push(t0, Event::Write { addr: Addr::new(i) });
+            trace.push(t1, Event::ThreadSwitch);
+            trace.push(t1, Event::Call { routine: g });
+            trace.push(t1, Event::Read { addr: Addr::new(i) });
+            trace.push(t1, Event::Return { routine: g });
+            trace.push(t0, Event::ThreadSwitch);
+        }
+        trace.push(t0, Event::Return { routine: f });
+        (trace, names)
+    }
+
+    #[test]
+    fn streamed_profiles_match_in_memory_replay() {
+        let (trace, names) = sample();
+        let source = || {
+            trace
+                .events()
+                .iter()
+                .map(|te| Ok::<_, ()>((te.thread, te.event)))
+                .collect::<Vec<_>>()
+        };
+
+        let mut expected = TrmsProfiler::new();
+        trace.replay(&mut expected);
+        let mut streamed = TrmsProfiler::new();
+        streamed.consume_stream(source()).unwrap();
+        assert_eq!(expected.into_report(&names), streamed.into_report(&names));
+
+        let mut expected = RmsProfiler::new();
+        trace.replay(&mut expected);
+        let mut streamed = RmsProfiler::new();
+        streamed.consume_stream(source()).unwrap();
+        assert_eq!(expected.into_report(&names), streamed.into_report(&names));
+    }
+
+    #[test]
+    fn source_errors_abort_without_finalizing() {
+        let mut profiler = RmsProfiler::new();
+        let source = vec![
+            Ok((ThreadId::MAIN, Event::Read { addr: Addr::new(1) })),
+            Err("truncated"),
+        ];
+        assert_eq!(profiler.consume_stream(source), Err("truncated"));
+    }
+}

@@ -132,5 +132,10 @@ mod tests {
             run(&config, "nonexistent.rs", "always_fails", |_rng| panic!("boom"));
         }));
         assert!(caught.is_err());
+        // `run` persists the failing seed next to the (fictitious) test
+        // source; remove the artifact so test runs don't dirty the tree.
+        if let Some(path) = regressions_path("nonexistent.rs") {
+            let _ = std::fs::remove_file(path);
+        }
     }
 }

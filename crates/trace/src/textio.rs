@@ -16,6 +16,7 @@
 
 use crate::{Addr, Event, RoutineId, ThreadId, Trace};
 use std::fmt;
+use std::io::{self, BufRead};
 
 /// Header line written at the top of serialized traces.
 pub const HEADER: &str = "# aprof trace v1";
@@ -37,6 +38,46 @@ impl fmt::Display for ParseTraceError {
 
 impl std::error::Error for ParseTraceError {}
 
+/// A failure while reading a serialized trace from an input stream: either
+/// the stream itself broke or a line failed to parse.
+#[derive(Debug)]
+pub enum ReadTraceError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// A line was syntactically invalid.
+    Parse(ParseTraceError),
+}
+
+impl fmt::Display for ReadTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadTraceError::Io(e) => write!(f, "trace read error: {e}"),
+            ReadTraceError::Parse(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ReadTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadTraceError::Io(e) => Some(e),
+            ReadTraceError::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for ReadTraceError {
+    fn from(e: io::Error) -> Self {
+        ReadTraceError::Io(e)
+    }
+}
+
+impl From<ParseTraceError> for ReadTraceError {
+    fn from(e: ParseTraceError) -> Self {
+        ReadTraceError::Parse(e)
+    }
+}
+
 /// Renders a trace in the text format (including the header line).
 ///
 /// # Example
@@ -47,7 +88,7 @@ impl std::error::Error for ParseTraceError {}
 /// t.push(ThreadId::MAIN, Event::Read { addr: Addr::new(16) });
 /// let text = textio::to_text(&t);
 /// assert!(text.contains("T0 read 0x10"));
-/// let back = textio::from_text(&text).unwrap();
+/// let back = textio::from_reader(text.as_bytes()).unwrap();
 /// assert_eq!(back.len(), 1);
 /// ```
 pub fn to_text(trace: &Trace) -> String {
@@ -120,60 +161,107 @@ fn parse_addr(line: usize, tok: &str) -> Result<Addr, ParseTraceError> {
     }
 }
 
-/// Parses the text format back into a [`Trace`] (fresh consecutive
-/// timestamps are assigned, preserving order).
+/// Parses one line of the text format.
+///
+/// Returns `Ok(None)` for blank lines and `#` comments. `ln` is the
+/// 1-based line number used in error messages.
 ///
 /// # Errors
 ///
-/// Returns a [`ParseTraceError`] on malformed lines; the header is optional
-/// and unknown `#`-comment lines are ignored.
-pub fn from_text(text: &str) -> Result<Trace, ParseTraceError> {
-    let mut trace = Trace::new();
-    for (i, raw) in text.lines().enumerate() {
-        let ln = i + 1;
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut parts = line.split_whitespace();
-        let thread = parse_thread(ln, parts.next().unwrap_or(""))?;
-        let op = parts.next().unwrap_or("");
-        let operand = parts.next();
-        if parts.next().is_some() {
-            return err(ln, "trailing tokens");
-        }
-        let need = |what: &str| -> Result<&str, ParseTraceError> {
-            operand.ok_or(ParseTraceError {
-                line: ln,
-                message: format!("`{op}` needs {what}"),
-            })
-        };
-        let event = match op {
-            "call" => Event::Call { routine: parse_routine(ln, need("a routine")?)? },
-            "ret" => Event::Return { routine: parse_routine(ln, need("a routine")?)? },
-            "read" => Event::Read { addr: parse_addr(ln, need("an address")?)? },
-            "write" => Event::Write { addr: parse_addr(ln, need("an address")?)? },
-            "kread" => Event::KernelRead { addr: parse_addr(ln, need("an address")?)? },
-            "kwrite" => Event::KernelWrite { addr: parse_addr(ln, need("an address")?)? },
-            "bb" => Event::BasicBlock {
-                cost: need("a cost")?.parse().map_err(|_| ParseTraceError {
-                    line: ln,
-                    message: "bad cost".into(),
-                })?,
-            },
-            "switch" => Event::ThreadSwitch,
-            "start" => Event::ThreadStart,
-            "exit" => Event::ThreadExit,
-            other => return err(ln, format!("unknown event `{other}`")),
-        };
-        if matches!(event, Event::ThreadSwitch | Event::ThreadStart | Event::ThreadExit)
-            && operand.is_some()
-        {
-            return err(ln, format!("`{op}` takes no operand"));
-        }
-        trace.push(thread, event);
+/// Returns a [`ParseTraceError`] if the line is malformed.
+pub fn parse_line(ln: usize, raw: &str) -> Result<Option<(ThreadId, Event)>, ParseTraceError> {
+    let line = raw.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
     }
-    Ok(trace)
+    let mut parts = line.split_whitespace();
+    let thread = parse_thread(ln, parts.next().unwrap_or(""))?;
+    let op = parts.next().unwrap_or("");
+    let operand = parts.next();
+    if parts.next().is_some() {
+        return err(ln, "trailing tokens");
+    }
+    let need = |what: &str| -> Result<&str, ParseTraceError> {
+        operand.ok_or(ParseTraceError {
+            line: ln,
+            message: format!("`{op}` needs {what}"),
+        })
+    };
+    let event = match op {
+        "call" => Event::Call { routine: parse_routine(ln, need("a routine")?)? },
+        "ret" => Event::Return { routine: parse_routine(ln, need("a routine")?)? },
+        "read" => Event::Read { addr: parse_addr(ln, need("an address")?)? },
+        "write" => Event::Write { addr: parse_addr(ln, need("an address")?)? },
+        "kread" => Event::KernelRead { addr: parse_addr(ln, need("an address")?)? },
+        "kwrite" => Event::KernelWrite { addr: parse_addr(ln, need("an address")?)? },
+        "bb" => Event::BasicBlock {
+            cost: need("a cost")?.parse().map_err(|_| ParseTraceError {
+                line: ln,
+                message: "bad cost".into(),
+            })?,
+        },
+        "switch" => Event::ThreadSwitch,
+        "start" => Event::ThreadStart,
+        "exit" => Event::ThreadExit,
+        other => return err(ln, format!("unknown event `{other}`")),
+    };
+    if matches!(event, Event::ThreadSwitch | Event::ThreadStart | Event::ThreadExit)
+        && operand.is_some()
+    {
+        return err(ln, format!("`{op}` takes no operand"));
+    }
+    Ok(Some((thread, event)))
+}
+
+/// Parses the text format from a buffered reader, line by line, into a
+/// [`Trace`] (fresh consecutive timestamps are assigned, preserving
+/// order). Only one line is held in memory at a time, so arbitrarily large
+/// inputs stream through without being materialized as a single string.
+///
+/// # Errors
+///
+/// Returns [`ReadTraceError::Parse`] on malformed lines (the header is
+/// optional and unknown `#`-comment lines are ignored) and
+/// [`ReadTraceError::Io`] if the underlying reader fails.
+///
+/// # Example
+///
+/// ```
+/// use aprof_trace::textio;
+/// let trace = textio::from_reader("T0 read 0x10\nT0 switch\n".as_bytes()).unwrap();
+/// assert_eq!(trace.len(), 2);
+/// ```
+pub fn from_reader<R: BufRead>(reader: R) -> Result<Trace, ReadTraceError> {
+    let mut trace = Trace::new();
+    let mut line = String::new();
+    let mut reader = reader;
+    let mut ln = 0;
+    loop {
+        ln += 1;
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(trace);
+        }
+        if let Some((thread, event)) = parse_line(ln, &line)? {
+            trace.push(thread, event);
+        }
+    }
+}
+
+/// Parses the text format from an in-memory string.
+///
+/// # Errors
+///
+/// Returns a [`ParseTraceError`] on malformed lines.
+#[deprecated(note = "use `from_reader`, which streams from any `BufRead` \
+                     instead of requiring the whole trace in memory")]
+pub fn from_text(text: &str) -> Result<Trace, ParseTraceError> {
+    match from_reader(text.as_bytes()) {
+        Ok(trace) => Ok(trace),
+        Err(ReadTraceError::Parse(e)) => Err(e),
+        // Reading from a byte slice cannot fail.
+        Err(ReadTraceError::Io(e)) => unreachable!("i/o error from &[u8]: {e}"),
+    }
 }
 
 #[cfg(test)]
@@ -197,11 +285,15 @@ mod tests {
         t
     }
 
+    fn parse(text: &str) -> Result<Trace, ReadTraceError> {
+        from_reader(text.as_bytes())
+    }
+
     #[test]
     fn roundtrip_preserves_events() {
         let original = sample();
         let text = to_text(&original);
-        let parsed = from_text(&text).unwrap();
+        let parsed = parse(&text).unwrap();
         let a: Vec<_> = original.events().iter().map(|e| (e.thread, e.event)).collect();
         let b: Vec<_> = parsed.events().iter().map(|e| (e.thread, e.event)).collect();
         assert_eq!(a, b);
@@ -209,31 +301,53 @@ mod tests {
 
     #[test]
     fn header_and_comments_ignored() {
-        let t = from_text("# header\n\n# another\nT0 switch\n").unwrap();
+        let t = parse("# header\n\n# another\nT0 switch\n").unwrap();
         assert_eq!(t.len(), 1);
     }
 
     #[test]
     fn errors_carry_line_numbers() {
-        let e = from_text("T0 switch\nT0 frobnicate\n").unwrap_err();
+        let e = parse("T0 switch\nT0 frobnicate\n").unwrap_err();
+        let ReadTraceError::Parse(e) = e else { panic!("expected parse error") };
         assert_eq!(e.line, 2);
         assert!(e.to_string().contains("frobnicate"));
     }
 
     #[test]
     fn bad_tokens_rejected() {
-        assert!(from_text("X0 read 0x1").is_err());
-        assert!(from_text("T0 read zz").is_err());
-        assert!(from_text("T0 call x1").is_err());
-        assert!(from_text("T0 bb nan").is_err());
-        assert!(from_text("T0 read").is_err());
-        assert!(from_text("T0 read 0x1 extra").is_err());
-        assert!(from_text("T0 switch now").is_err());
+        assert!(parse("X0 read 0x1").is_err());
+        assert!(parse("T0 read zz").is_err());
+        assert!(parse("T0 call x1").is_err());
+        assert!(parse("T0 bb nan").is_err());
+        assert!(parse("T0 read").is_err());
+        assert!(parse("T0 read 0x1 extra").is_err());
+        assert!(parse("T0 switch now").is_err());
     }
 
     #[test]
     fn decimal_and_hex_addresses() {
-        let t = from_text("T0 read 16\nT0 read 0x10\n").unwrap();
+        let t = parse("T0 read 16\nT0 read 0x10\n").unwrap();
         assert_eq!(t.events()[0].event, t.events()[1].event);
+    }
+
+    #[test]
+    fn io_errors_are_surfaced() {
+        struct Broken;
+        impl io::Read for Broken {
+            fn read(&mut self, _: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk on fire"))
+            }
+        }
+        let e = from_reader(io::BufReader::new(Broken)).unwrap_err();
+        assert!(matches!(e, ReadTraceError::Io(_)));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn from_text_shim_still_works() {
+        let t = from_text("T0 read 0x10\n").unwrap();
+        assert_eq!(t.len(), 1);
+        let e = from_text("T0 frobnicate\n").unwrap_err();
+        assert_eq!(e.line, 1);
     }
 }

@@ -26,7 +26,7 @@ proptest! {
             trace.push(ThreadId::new(*t), *e);
         }
         let text = textio::to_text(&trace);
-        let parsed = textio::from_text(&text).unwrap();
+        let parsed = textio::from_reader(text.as_bytes()).unwrap();
         let a: Vec<_> = trace.events().iter().map(|e| (e.thread, e.event)).collect();
         let b: Vec<_> = parsed.events().iter().map(|e| (e.thread, e.event)).collect();
         prop_assert_eq!(a, b);

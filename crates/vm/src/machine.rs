@@ -4,8 +4,10 @@ use crate::device::DeviceTable;
 use crate::error::VmError;
 use crate::ir::{FuncId, Instr, Program, Reg, Terminator};
 use crate::memory::GuestMemory;
-use aprof_trace::{Addr, RoutineId, ThreadId, Tool};
+use aprof_trace::{Addr, Event, RoutineId, ThreadId, Tool};
+use aprof_wire::WireWriter;
 use std::collections::{HashMap, VecDeque};
+use std::io::Write;
 
 /// Tunables of a [`Machine`].
 #[derive(Debug, Clone, Copy)]
@@ -128,6 +130,78 @@ impl Sink for ToolSink<'_> {
     }
     fn sem_waited(&mut self, t: ThreadId, sem: i64) {
         self.0.sem_waited(t, sem);
+    }
+}
+
+/// Adapter that tees the event stream: every event goes to the tool (live
+/// profiling) *and* into a wire-trace writer (streaming capture). Sync
+/// events (spawn/join/lock/sem) are forwarded to the tool only — they are
+/// scheduling metadata, not part of the wire event vocabulary, and the
+/// profiling algorithms ignore them, which is what keeps live and replayed
+/// profiles identical.
+struct RecordSink<'a, W: Write> {
+    tool: &'a mut dyn Tool,
+    writer: &'a mut WireWriter<W>,
+}
+
+impl<W: Write> Sink for RecordSink<'_, W> {
+    fn thread_start(&mut self, t: ThreadId) {
+        self.tool.thread_start(t);
+        self.writer.record(t, Event::ThreadStart);
+    }
+    fn thread_exit(&mut self, t: ThreadId) {
+        self.tool.thread_exit(t);
+        self.writer.record(t, Event::ThreadExit);
+    }
+    fn thread_switch(&mut self, t: ThreadId) {
+        self.tool.thread_switch(t);
+        self.writer.record(t, Event::ThreadSwitch);
+    }
+    fn basic_block(&mut self, t: ThreadId, cost: u64) {
+        self.tool.basic_block(t, cost);
+        self.writer.record(t, Event::BasicBlock { cost });
+    }
+    fn call(&mut self, t: ThreadId, r: RoutineId) {
+        self.tool.call(t, r);
+        self.writer.record(t, Event::Call { routine: r });
+    }
+    fn ret(&mut self, t: ThreadId, r: RoutineId) {
+        self.tool.ret(t, r);
+        self.writer.record(t, Event::Return { routine: r });
+    }
+    fn read(&mut self, t: ThreadId, a: Addr) {
+        self.tool.read(t, a);
+        self.writer.record(t, Event::Read { addr: a });
+    }
+    fn write(&mut self, t: ThreadId, a: Addr) {
+        self.tool.write(t, a);
+        self.writer.record(t, Event::Write { addr: a });
+    }
+    fn kernel_read(&mut self, t: ThreadId, a: Addr) {
+        self.tool.kernel_read(t, a);
+        self.writer.record(t, Event::KernelRead { addr: a });
+    }
+    fn kernel_write(&mut self, t: ThreadId, a: Addr) {
+        self.tool.kernel_write(t, a);
+        self.writer.record(t, Event::KernelWrite { addr: a });
+    }
+    fn spawned(&mut self, parent: ThreadId, child: ThreadId) {
+        self.tool.spawned(parent, child);
+    }
+    fn joined(&mut self, t: ThreadId, target: ThreadId) {
+        self.tool.joined(t, target);
+    }
+    fn lock_acquired(&mut self, t: ThreadId, lock: i64) {
+        self.tool.lock_acquired(t, lock);
+    }
+    fn lock_released(&mut self, t: ThreadId, lock: i64) {
+        self.tool.lock_released(t, lock);
+    }
+    fn sem_posted(&mut self, t: ThreadId, sem: i64) {
+        self.tool.sem_posted(t, sem);
+    }
+    fn sem_waited(&mut self, t: ThreadId, sem: i64) {
+        self.tool.sem_waited(t, sem);
     }
 }
 
@@ -287,6 +361,34 @@ impl Machine {
     pub fn run_with(&mut self, tool: &mut dyn Tool) -> Result<RunOutcome, VmError> {
         let outcome = {
             let mut sink = ToolSink(tool);
+            self.run_inner(&mut sink)
+        };
+        tool.finish();
+        outcome
+    }
+
+    /// Runs the program delivering every instrumentation event to `tool`
+    /// *and* capturing the wire-format events into `writer` as they happen
+    /// (streaming capture: chunks are sealed and written while the guest
+    /// runs, so the trace never resides in memory).
+    ///
+    /// The caller should create `writer` from
+    /// [`Program::routines`](crate::ir::Program::routines) so routine names
+    /// travel with the trace, and must call `writer.finish()` after the run
+    /// to seal the file — that is also where any capture i/o error latched
+    /// during the run is reported.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run_native`](Machine::run_native). Capture i/o
+    /// failures do not abort the guest.
+    pub fn run_recording<W: Write>(
+        &mut self,
+        tool: &mut dyn Tool,
+        writer: &mut WireWriter<W>,
+    ) -> Result<RunOutcome, VmError> {
+        let outcome = {
+            let mut sink = RecordSink { tool, writer };
             self.run_inner(&mut sink)
         };
         tool.finish();

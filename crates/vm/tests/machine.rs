@@ -427,3 +427,48 @@ out:
     // rotation of the run queue (4 threads x 1-block quantum + slack).
     assert!(p.max_gap <= 16, "a thread was starved: gap {}", p.max_gap);
 }
+
+#[test]
+fn recording_run_replays_to_an_identical_profile() {
+    use aprof_core::TrmsProfiler;
+    use aprof_wire::{WireOptions, WireReader, WireWriter};
+
+    let program = locked_adders(4);
+    let names = program.routines().clone();
+
+    // Live run, capturing the event stream to a wire trace on the side.
+    let mut live = TrmsProfiler::new();
+    let mut writer = WireWriter::create(
+        Vec::new(),
+        &names,
+        WireOptions { chunk_bytes: 64, ..Default::default() },
+    )
+    .unwrap();
+    let outcome = Machine::new(program.clone())
+        .run_recording(&mut live, &mut writer)
+        .unwrap();
+    let (bytes, summary) = writer.finish().unwrap();
+    assert!(summary.events > 0);
+    assert!(summary.chunks > 1, "expected multiple chunks, got {}", summary.chunks);
+
+    // The capture is a bystander: the live run matches an unrecorded run.
+    let mut unrecorded = TrmsProfiler::new();
+    let plain_outcome = Machine::new(program).run_with(&mut unrecorded).unwrap();
+    assert_eq!(outcome, plain_outcome);
+    assert_eq!(
+        live.into_report(&names),
+        unrecorded.into_report(&names),
+        "recording must not perturb the live profile"
+    );
+
+    // Replaying the wire trace yields the identical profile. The embedded
+    // routine table stands in for the program's.
+    let mut reader = WireReader::new(&bytes[..]).unwrap();
+    assert_eq!(reader.routines().len(), names.len());
+    let mut replayed = TrmsProfiler::new();
+    replayed.consume_stream(&mut reader).unwrap();
+    let mut live2 = TrmsProfiler::new();
+    let mut m = Machine::new(locked_adders(4));
+    m.run_with(&mut live2).unwrap();
+    assert_eq!(replayed.into_report(&names), live2.into_report(&names));
+}

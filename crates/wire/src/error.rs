@@ -1,0 +1,185 @@
+//! Typed failure modes of the wire codec.
+//!
+//! Every way a wire file can be malformed — truncated, bit-flipped,
+//! version-skewed, spliced — maps to a [`WireError`] variant; the codec
+//! never panics on untrusted input. Per-chunk payload corruption is
+//! *recoverable*: the default (lenient) reader skips the chunk and reports
+//! it via [`WireReader::skipped`](crate::WireReader::skipped) instead of
+//! returning an error.
+
+use std::fmt;
+use std::io;
+
+/// An error raised while encoding or decoding a wire trace.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying reader or writer failed.
+    Io(io::Error),
+    /// The file does not start with the wire magic.
+    BadMagic {
+        /// The eight bytes actually found.
+        found: [u8; 8],
+    },
+    /// The file's format version is newer than this reader supports.
+    UnsupportedVersion {
+        /// Version stored in the file header.
+        found: u32,
+        /// Highest version this build can decode.
+        supported: u32,
+    },
+    /// The header failed structural validation or its CRC.
+    HeaderCorrupt {
+        /// What went wrong.
+        reason: String,
+    },
+    /// The stream ended in the middle of a structure.
+    UnexpectedEof {
+        /// The structure being read when the bytes ran out.
+        context: &'static str,
+    },
+    /// An unknown record tag where a chunk or index was expected — the
+    /// stream cannot be resynchronized past this point.
+    BadRecordTag {
+        /// Byte offset of the tag.
+        offset: u64,
+        /// The tag byte found.
+        found: u8,
+    },
+    /// A chunk's payload failed its CRC or decoded inconsistently.
+    ///
+    /// Only surfaced as an error by strict readers; lenient readers skip
+    /// the chunk and report it instead.
+    ChunkCorrupt {
+        /// Zero-based chunk index within the file.
+        index: u32,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A chunk declares a payload larger than the format allows, so its
+    /// framing cannot be trusted enough to skip it.
+    ChunkTooLarge {
+        /// Zero-based chunk index within the file.
+        index: u32,
+        /// Declared payload length.
+        len: u64,
+        /// The format's hard ceiling.
+        max: u64,
+    },
+    /// The trailing chunk index is missing (truncated file) or fails its
+    /// CRC or cross-checks against the chunks actually seen.
+    IndexCorrupt {
+        /// What went wrong.
+        reason: String,
+    },
+    /// The 16-byte footer is malformed or disagrees with the index offset.
+    BadFooter {
+        /// What went wrong.
+        reason: String,
+    },
+    /// Valid footer, but bytes follow it.
+    TrailingGarbage,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o error: {e}"),
+            WireError::BadMagic { found } => {
+                write!(f, "not a wire trace (magic {found:02x?})")
+            }
+            WireError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "wire format version {found} is newer than supported version {supported}"
+            ),
+            WireError::HeaderCorrupt { reason } => write!(f, "corrupt wire header: {reason}"),
+            WireError::UnexpectedEof { context } => {
+                write!(f, "wire trace truncated while reading {context}")
+            }
+            WireError::BadRecordTag { offset, found } => write!(
+                f,
+                "unknown record tag 0x{found:02x} at byte {offset} (stream cannot be resynchronized)"
+            ),
+            WireError::ChunkCorrupt { index, reason } => {
+                write!(f, "corrupt chunk {index}: {reason}")
+            }
+            WireError::ChunkTooLarge { index, len, max } => write!(
+                f,
+                "chunk {index} declares {len} payload bytes (format maximum is {max})"
+            ),
+            WireError::IndexCorrupt { reason } => write!(f, "corrupt chunk index: {reason}"),
+            WireError::BadFooter { reason } => write!(f, "bad wire footer: {reason}"),
+            WireError::TrailingGarbage => write!(f, "bytes found after the wire footer"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            // read_exact reports truncation this way; give it the typed form.
+            WireError::UnexpectedEof { context: "a fixed-width field" }
+        } else {
+            WireError::Io(e)
+        }
+    }
+}
+
+/// A chunk the lenient reader dropped, with the evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedChunk {
+    /// Zero-based chunk index within the file.
+    pub index: u32,
+    /// Byte offset of the chunk's framing tag.
+    pub offset: u64,
+    /// Events the chunk's framing claimed it contained.
+    pub claimed_events: u32,
+    /// Why the chunk was dropped.
+    pub reason: String,
+}
+
+impl fmt::Display for SkippedChunk {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "chunk {} at byte {} ({} events dropped): {}",
+            self.index, self.offset, self.claimed_events, self.reason
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WireError::UnsupportedVersion { found: 9, supported: 1 };
+        assert!(e.to_string().contains("version 9"));
+        let e = WireError::ChunkCorrupt { index: 3, reason: "crc mismatch".into() };
+        assert!(e.to_string().contains("chunk 3"));
+        let s = SkippedChunk {
+            index: 1,
+            offset: 64,
+            claimed_events: 10,
+            reason: "crc mismatch".into(),
+        };
+        assert!(s.to_string().contains("10 events dropped"));
+    }
+
+    #[test]
+    fn eof_io_errors_become_typed_truncation() {
+        let io = io::Error::new(io::ErrorKind::UnexpectedEof, "eof");
+        assert!(matches!(WireError::from(io), WireError::UnexpectedEof { .. }));
+        let io = io::Error::other("disk on fire");
+        assert!(matches!(WireError::from(io), WireError::Io(_)));
+    }
+}

@@ -1,0 +1,106 @@
+//! LEB128 variable-length integers and zigzag signed mapping.
+//!
+//! Every multi-byte integer inside a chunk payload (and the routine table of
+//! the file header) is encoded as an unsigned LEB128 varint; deltas, which
+//! can be negative, are first mapped to unsigned space with zigzag. Chunk
+//! and index *framing* uses fixed-width little-endian fields instead, so a
+//! reader can skip a corrupt chunk without trusting its payload.
+
+/// Longest possible LEB128 encoding of a `u64` (ceil(64 / 7) bytes).
+pub const MAX_VARINT_BYTES: usize = 10;
+
+/// Appends the LEB128 encoding of `v` to `buf`.
+pub fn write_u64(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Decodes a LEB128 `u64` from `buf` starting at `*pos`, advancing `*pos`.
+///
+/// Returns `None` on truncation or on an encoding longer than
+/// [`MAX_VARINT_BYTES`] (which can only arise from corruption).
+pub fn read_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    for _ in 0..MAX_VARINT_BYTES {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        // The 10th byte may only contribute the single remaining bit.
+        if shift == 63 && byte > 1 {
+            return None;
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+    }
+    None
+}
+
+/// Maps a signed delta to unsigned space (small magnitudes stay small).
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_interesting_values() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            assert!(buf.len() <= MAX_VARINT_BYTES);
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf, &mut pos), Some(v), "value {v}");
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        for k in 0..buf.len() {
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf[..k], &mut pos), None, "prefix {k}");
+        }
+    }
+
+    #[test]
+    fn overlong_encoding_is_rejected() {
+        // Eleven continuation bytes never appear in valid output.
+        let buf = [0x80u8; 11];
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos), None);
+        // A 10th byte carrying more than the final bit overflows u64.
+        let mut buf = vec![0x80u8; 9];
+        buf.push(0x02);
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, -1, 1, -2, 2, i64::MIN, i64::MAX, -123456789] {
+            assert_eq!(unzigzag(zigzag(v)), v, "value {v}");
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+}

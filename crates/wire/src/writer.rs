@@ -1,0 +1,356 @@
+//! Streaming wire-trace capture.
+
+use crate::crc32::crc32;
+use crate::error::WireError;
+use crate::format::{
+    ChunkEntry, DeltaState, WireIndex, CHUNK_TAG, FOOTER_MAGIC, MAGIC, MAX_CHUNK_BYTES,
+    MAX_EVENT_BYTES, VERSION,
+};
+use crate::varint;
+use aprof_trace::{Addr, Event, RoutineId, RoutineTable, ThreadId, Tool};
+use std::io::Write;
+
+/// Default chunk payload target: 64 KiB.
+pub const DEFAULT_CHUNK_BYTES: usize = 64 << 10;
+
+/// When the underlying [`Write`] is flushed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlushPolicy {
+    /// Flush only in [`WireWriter::finish`] — fastest, loses the tail of
+    /// the trace if the process dies mid-capture.
+    #[default]
+    OnFinish,
+    /// Flush after every completed chunk — a crash loses at most the
+    /// in-progress chunk, and every flushed prefix is independently
+    /// decodable (up to the missing index).
+    PerChunk,
+}
+
+/// Tunables of a [`WireWriter`].
+#[derive(Debug, Clone, Copy)]
+pub struct WireOptions {
+    /// Chunk payload target in bytes; a chunk is sealed once its payload
+    /// reaches this size. Clamped to `1..=` a safe maximum.
+    pub chunk_bytes: usize,
+    /// When the underlying writer is flushed.
+    pub flush: FlushPolicy,
+}
+
+impl Default for WireOptions {
+    fn default() -> Self {
+        WireOptions { chunk_bytes: DEFAULT_CHUNK_BYTES, flush: FlushPolicy::OnFinish }
+    }
+}
+
+/// Totals reported by [`WireWriter::finish`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireSummary {
+    /// Events written.
+    pub events: u64,
+    /// Chunks written.
+    pub chunks: u32,
+    /// Total bytes of the finished file.
+    pub bytes: u64,
+    /// Observed thread count (highest thread index + 1).
+    pub threads: u32,
+}
+
+/// Streaming encoder: appends events from a live source and writes sealed
+/// chunks to the underlying [`Write`], never buffering more than one chunk.
+///
+/// Also implements [`Tool`], so it can capture straight from a guest run:
+/// tool-callback errors cannot propagate through the `Tool` trait, so the
+/// writer *latches* the first failure and [`finish`](WireWriter::finish)
+/// reports it.
+///
+/// # Example
+///
+/// ```
+/// use aprof_trace::{Addr, Event, RoutineTable, ThreadId};
+/// use aprof_wire::{WireOptions, WireReader, WireWriter};
+///
+/// let mut writer = WireWriter::create(Vec::new(), &RoutineTable::new(),
+///                                     WireOptions::default())?;
+/// writer.push(ThreadId::MAIN, Event::Read { addr: Addr::new(16) })?;
+/// let (bytes, summary) = writer.finish()?;
+/// assert_eq!(summary.events, 1);
+///
+/// let events: Vec<_> = WireReader::new(&bytes[..])?
+///     .collect::<Result<Vec<_>, _>>()?;
+/// assert_eq!(events, vec![(ThreadId::MAIN, Event::Read { addr: Addr::new(16) })]);
+/// # Ok::<(), aprof_wire::WireError>(())
+/// ```
+#[derive(Debug)]
+pub struct WireWriter<W: Write> {
+    inner: W,
+    chunk_bytes: usize,
+    flush: FlushPolicy,
+    chunk_buf: Vec<u8>,
+    chunk_events: u32,
+    state: DeltaState,
+    entries: Vec<ChunkEntry>,
+    offset: u64,
+    total_events: u64,
+    threads: u32,
+    latched: Option<WireError>,
+}
+
+impl<W: Write> WireWriter<W> {
+    /// Writes the file header (magic, version, routine table) to `inner`
+    /// and returns a writer ready for [`push`](WireWriter::push).
+    ///
+    /// `routines` is embedded in the header so replayed profiles render
+    /// real routine names; pass an empty table for anonymous traces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Io`] if writing the header fails.
+    pub fn create(
+        mut inner: W,
+        routines: &RoutineTable,
+        options: WireOptions,
+    ) -> Result<Self, WireError> {
+        let max_chunk = (MAX_CHUNK_BYTES as usize) - MAX_EVENT_BYTES;
+        let chunk_bytes = options.chunk_bytes.clamp(1, max_chunk);
+        let mut payload = Vec::new();
+        varint::write_u64(&mut payload, routines.len() as u64);
+        for (_, name) in routines.iter() {
+            varint::write_u64(&mut payload, name.len() as u64);
+            payload.extend_from_slice(name.as_bytes());
+        }
+        let mut header = Vec::with_capacity(payload.len() + 20);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        header.extend_from_slice(&payload);
+        header.extend_from_slice(&crc32(&payload).to_le_bytes());
+        inner.write_all(&header)?;
+        Ok(WireWriter {
+            inner,
+            chunk_bytes,
+            flush: options.flush,
+            chunk_buf: Vec::with_capacity(chunk_bytes + MAX_EVENT_BYTES),
+            chunk_events: 0,
+            state: DeltaState::new(),
+            entries: Vec::new(),
+            offset: header.len() as u64,
+            total_events: 0,
+            threads: 0,
+            latched: None,
+        })
+    }
+
+    /// Appends one event, sealing a chunk when the payload target is hit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Io`] if sealing a chunk fails, and any
+    /// previously latched capture error first.
+    pub fn push(&mut self, thread: ThreadId, event: Event) -> Result<(), WireError> {
+        if let Some(e) = self.latched.take() {
+            return Err(e);
+        }
+        self.state.encode(&mut self.chunk_buf, thread, event);
+        self.chunk_events += 1;
+        self.total_events += 1;
+        self.threads = self.threads.max(thread.index() as u32 + 1);
+        if self.chunk_buf.len() >= self.chunk_bytes {
+            self.seal_chunk()?;
+        }
+        Ok(())
+    }
+
+    /// Infallible variant of [`push`](WireWriter::push) for callback
+    /// contexts: the first error is latched and surfaced by
+    /// [`finish`](WireWriter::finish); later events are dropped.
+    pub fn record(&mut self, thread: ThreadId, event: Event) {
+        if self.latched.is_some() {
+            return;
+        }
+        if let Err(e) = self.push(thread, event) {
+            self.latched = Some(e);
+        }
+    }
+
+    /// The first error latched by [`record`](WireWriter::record), if any.
+    pub fn latched_error(&self) -> Option<&WireError> {
+        self.latched.as_ref()
+    }
+
+    /// Events appended so far.
+    pub fn events(&self) -> u64 {
+        self.total_events
+    }
+
+    fn seal_chunk(&mut self) -> Result<(), WireError> {
+        if self.chunk_buf.is_empty() {
+            return Ok(());
+        }
+        let crc = crc32(&self.chunk_buf);
+        let mut framing = [0u8; 13];
+        framing[0] = CHUNK_TAG;
+        framing[1..5].copy_from_slice(&self.chunk_events.to_le_bytes());
+        framing[5..9].copy_from_slice(&(self.chunk_buf.len() as u32).to_le_bytes());
+        framing[9..13].copy_from_slice(&crc.to_le_bytes());
+        self.inner.write_all(&framing)?;
+        self.inner.write_all(&self.chunk_buf)?;
+        self.entries.push(ChunkEntry {
+            offset: self.offset,
+            payload_len: self.chunk_buf.len() as u32,
+            events: self.chunk_events,
+            crc,
+        });
+        self.offset += framing.len() as u64 + self.chunk_buf.len() as u64;
+        self.chunk_buf.clear();
+        self.chunk_events = 0;
+        self.state = DeltaState::new();
+        if self.flush == FlushPolicy::PerChunk {
+            self.inner.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Seals the trailing partial chunk, writes the chunk index and footer,
+    /// flushes, and returns the underlying writer with the file totals.
+    ///
+    /// # Errors
+    ///
+    /// Returns any latched capture error, else the first i/o failure.
+    pub fn finish(mut self) -> Result<(W, WireSummary), WireError> {
+        if let Some(e) = self.latched.take() {
+            return Err(e);
+        }
+        self.seal_chunk()?;
+        let index_offset = self.offset;
+        let index = WireIndex {
+            entries: std::mem::take(&mut self.entries),
+            total_events: self.total_events,
+            thread_count: self.threads,
+        };
+        let mut tail = Vec::new();
+        index.encode(&mut tail);
+        tail.extend_from_slice(&index_offset.to_le_bytes());
+        tail.extend_from_slice(FOOTER_MAGIC);
+        self.inner.write_all(&tail)?;
+        self.inner.flush()?;
+        let summary = WireSummary {
+            events: self.total_events,
+            chunks: index.entries.len() as u32,
+            bytes: index_offset + tail.len() as u64,
+            threads: self.threads,
+        };
+        Ok((self.inner, summary))
+    }
+}
+
+impl<W: Write> Tool for WireWriter<W> {
+    fn name(&self) -> &'static str {
+        "wire-capture"
+    }
+
+    fn thread_start(&mut self, thread: ThreadId) {
+        self.record(thread, Event::ThreadStart);
+    }
+
+    fn thread_exit(&mut self, thread: ThreadId) {
+        self.record(thread, Event::ThreadExit);
+    }
+
+    fn thread_switch(&mut self, thread: ThreadId) {
+        self.record(thread, Event::ThreadSwitch);
+    }
+
+    fn basic_block(&mut self, thread: ThreadId, cost: u64) {
+        self.record(thread, Event::BasicBlock { cost });
+    }
+
+    fn call(&mut self, thread: ThreadId, routine: RoutineId) {
+        self.record(thread, Event::Call { routine });
+    }
+
+    fn ret(&mut self, thread: ThreadId, routine: RoutineId) {
+        self.record(thread, Event::Return { routine });
+    }
+
+    fn read(&mut self, thread: ThreadId, addr: Addr) {
+        self.record(thread, Event::Read { addr });
+    }
+
+    fn write(&mut self, thread: ThreadId, addr: Addr) {
+        self.record(thread, Event::Write { addr });
+    }
+
+    fn kernel_read(&mut self, thread: ThreadId, addr: Addr) {
+        self.record(thread, Event::KernelRead { addr });
+    }
+
+    fn kernel_write(&mut self, thread: ThreadId, addr: Addr) {
+        self.record(thread, Event::KernelWrite { addr });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_chunk_target_seals_one_event_per_chunk() {
+        let opts = WireOptions { chunk_bytes: 1, ..Default::default() };
+        let mut w = WireWriter::create(Vec::new(), &RoutineTable::new(), opts).unwrap();
+        for i in 0..5 {
+            w.push(ThreadId::MAIN, Event::Read { addr: Addr::new(i) }).unwrap();
+        }
+        let (_, summary) = w.finish().unwrap();
+        assert_eq!(summary.chunks, 5);
+        assert_eq!(summary.events, 5);
+        assert_eq!(summary.threads, 1);
+    }
+
+    #[test]
+    fn empty_trace_still_yields_valid_totals() {
+        let w =
+            WireWriter::create(Vec::new(), &RoutineTable::new(), WireOptions::default()).unwrap();
+        let (bytes, summary) = w.finish().unwrap();
+        assert_eq!(summary.events, 0);
+        assert_eq!(summary.chunks, 0);
+        assert_eq!(summary.bytes, bytes.len() as u64);
+    }
+
+    #[test]
+    fn failing_sink_latches_instead_of_panicking() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("sink is broken"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        assert!(WireWriter::create(Broken, &RoutineTable::new(), WireOptions::default()).is_err());
+
+        // Header fits, chunks fail: the Tool-callback path must latch.
+        struct HeaderOnly {
+            written: usize,
+        }
+        impl Write for HeaderOnly {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.written > 0 {
+                    return Err(std::io::Error::other("disk full"));
+                }
+                self.written += buf.len();
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let opts = WireOptions { chunk_bytes: 1, ..Default::default() };
+        let mut w =
+            WireWriter::create(HeaderOnly { written: 0 }, &RoutineTable::new(), opts).unwrap();
+        w.basic_block(ThreadId::MAIN, 1);
+        w.basic_block(ThreadId::MAIN, 1);
+        assert!(w.latched_error().is_some());
+        assert!(w.finish().is_err());
+    }
+}

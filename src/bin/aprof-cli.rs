@@ -10,16 +10,21 @@
 //! aprof-cli run --workload mysqld --bottlenecks
 //! aprof-cli asm program.s --plot my_function
 //! aprof-cli run --workload producer_consumer --save-trace trace.txt
-//! aprof-cli replay trace.txt
+//! aprof-cli record trace.wire --workload mysqld --size 160
+//! aprof-cli replay trace.wire --tool rms
+//! aprof-cli trace-info trace.wire
 //! ```
 
 use aprof::analysis::render::{render_plot, Table};
 use aprof::analysis::{fit_best, CostPlot, Metric, PlotKind};
 use aprof::core::{InputPolicy, ProfileReport, TrmsProfiler};
 use aprof::tools::{CallgrindTool, HelgrindTool, MemcheckTool};
-use aprof::trace::{textio, RecordingTool, RoutineTable, Trace};
+use aprof::trace::{textio, EventKind, RecordingTool, RoutineTable, Trace};
 use aprof::vm::{asm, Machine};
+use aprof::wire::{WireOptions, WireReader, WireWriter, DEFAULT_CHUNK_BYTES};
 use aprof::workloads::{all, by_name, WorkloadParams};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,7 +32,9 @@ fn main() {
         Some("list") => cmd_list(),
         Some("run") => cmd_run(&args[1..]),
         Some("asm") => cmd_asm(&args[1..]),
+        Some("record") => cmd_record(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("trace-info") => cmd_trace_info(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{}", USAGE);
@@ -48,7 +55,15 @@ commands:
   list                         registered workloads and tools
   run  --workload NAME [opts]  run a bundled workload under a tool
   asm  FILE [opts]             run a guest assembly program under a tool
-  replay FILE [opts]           profile a previously saved trace
+  record FILE --workload NAME  run a workload, profiling it live while
+                               streaming its event trace to FILE in the
+                               binary wire format
+  replay FILE [opts]           profile a previously saved trace (wire or
+                               text format, detected automatically; wire
+                               traces stream in O(chunk) memory)
+  trace-info FILE              inspect a saved trace: format, events,
+                               chunks, threads, and any corrupt chunks
+                               skipped during decode
   bench [IDS|all] [opts]       regenerate the paper's tables and figures
                                (--jobs N shards measurements over N worker
                                threads; --list shows experiment ids)
@@ -57,14 +72,17 @@ options:
   --size N          workload size          (default 96)
   --threads T       worker threads         (default 4)
   --seed S          device seed            (default 0x5eed)
-  --tool NAME       trms | rms-only | memcheck | callgrind | helgrind
-                                           (default trms)
+  --tool NAME       trms | rms | memcheck | callgrind | helgrind
+                                           (default trms; rms profiles the
+                                           thread-oblivious metric only)
   --policy P        full | external | thread | none   (default full)
   --cct             aggregate per calling context and show hot contexts
   --top N           routines/contexts to print        (default 10)
   --plot ROUTINE    ASCII worst-case cost plots (rms and trms) + fits
   --bottlenecks     rank routines by asymptotic-bottleneck severity
   --save-trace FILE record the event stream to FILE (text format)
+  --chunk-bytes N   wire chunk payload target for `record` (default 65536)
+  --strict          replay: abort on corrupt chunks instead of skipping
   --csv FILE        also write the routine summary as CSV to FILE
 ";
 
@@ -80,6 +98,8 @@ struct Opts {
     top: usize,
     plot: Option<String>,
     save_trace: Option<String>,
+    chunk_bytes: usize,
+    strict: bool,
     csv: Option<String>,
     positional: Vec<String>,
 }
@@ -97,6 +117,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         top: 10,
         plot: None,
         save_trace: None,
+        chunk_bytes: DEFAULT_CHUNK_BYTES,
+        strict: false,
         csv: None,
         positional: Vec::new(),
     };
@@ -127,6 +149,14 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--top" => o.top = value("--top")?.parse().map_err(|e| format!("--top: {e}"))?,
             "--plot" => o.plot = Some(value("--plot")?),
             "--save-trace" => o.save_trace = Some(value("--save-trace")?),
+            "--chunk-bytes" => {
+                o.chunk_bytes = value("--chunk-bytes")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| "--chunk-bytes needs a positive integer".to_string())?
+            }
+            "--strict" => o.strict = true,
             "--csv" => o.csv = Some(value("--csv")?),
             other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
             other => o.positional.push(other.to_owned()),
@@ -149,7 +179,7 @@ fn cmd_list() -> i32 {
         ]);
     }
     println!("{}", table.render());
-    println!("tools: trms (default), rms-only, memcheck, callgrind, helgrind");
+    println!("tools: trms (default), rms, memcheck, callgrind, helgrind");
     0
 }
 
@@ -203,6 +233,76 @@ fn cmd_asm(args: &[String]) -> i32 {
     drive(Machine::new(program), &opts)
 }
 
+/// Opens a saved trace and tells wire traces apart from text ones by the
+/// leading magic. The returned reader is positioned at byte 0.
+fn open_trace(path: &str) -> Result<(BufReader<File>, bool), String> {
+    let mut file = File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut magic = [0u8; 8];
+    let is_wire = match file.read_exact(&mut magic) {
+        Ok(()) => &magic == aprof::wire::format::MAGIC,
+        Err(_) => false, // shorter than any wire header: treat as text
+    };
+    file.seek(SeekFrom::Start(0)).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Ok((BufReader::new(file), is_wire))
+}
+
+fn cmd_record(args: &[String]) -> i32 {
+    let opts = match parse_opts(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return 2;
+        }
+    };
+    let Some(path) = opts.positional.first() else {
+        eprintln!("record requires an output FILE argument");
+        return 2;
+    };
+    let Some(name) = opts.workload.clone() else {
+        eprintln!("record requires --workload NAME (see `aprof-cli list`)");
+        return 2;
+    };
+    let Some(wl) = by_name(&name) else {
+        eprintln!("unknown workload `{name}` (see `aprof-cli list`)");
+        return 2;
+    };
+    let params = WorkloadParams { size: opts.size, threads: opts.threads, seed: opts.seed };
+    let mut machine = wl.build(&params);
+    let names = machine.program().routines().clone();
+    let file = match File::create(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            return 1;
+        }
+    };
+    let options = WireOptions { chunk_bytes: opts.chunk_bytes, ..Default::default() };
+    let mut writer = match WireWriter::create(BufWriter::new(file), &names, options) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            return 1;
+        }
+    };
+    let mut profiler = build_profiler(&opts);
+    if let Err(e) = machine.run_recording(&mut profiler, &mut writer) {
+        eprintln!("guest error: {e}");
+        return 1;
+    }
+    match writer.finish() {
+        Ok((_, s)) => println!(
+            "recorded {} events in {} chunks ({} bytes, {} threads) to {path}",
+            s.events, s.chunks, s.bytes, s.threads
+        ),
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            return 1;
+        }
+    }
+    report_profiler(profiler, &names, &opts);
+    0
+}
+
 fn cmd_replay(args: &[String]) -> i32 {
     let opts = match parse_opts(args) {
         Ok(o) => o,
@@ -215,26 +315,132 @@ fn cmd_replay(args: &[String]) -> i32 {
         eprintln!("replay requires a FILE argument");
         return 2;
     };
-    let text = match std::fs::read_to_string(path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("cannot read {path}: {e}");
-            return 1;
-        }
-    };
-    let trace = match textio::from_text(&text) {
-        Ok(t) => t,
+    let (file, is_wire) = match open_trace(path) {
+        Ok(v) => v,
         Err(e) => {
             eprintln!("{e}");
             return 1;
         }
     };
-    // Routine names are not part of the trace format; use placeholder ids.
-    let names = RoutineTable::new();
-    let mut profiler = build_profiler(&opts);
-    trace.replay(&mut profiler);
-    report_profiler(profiler, &names, &opts);
+    if is_wire {
+        // Wire traces stream chunk-by-chunk: the profile is computed in
+        // O(chunk) memory and routine names come from the embedded table.
+        let mut reader = match WireReader::new(file) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        };
+        if opts.strict {
+            reader = reader.strict();
+        }
+        let names = reader.routines().clone();
+        let mut profiler = build_profiler(&opts);
+        if let Err(e) = profiler.consume_stream(&mut reader) {
+            eprintln!("{e}");
+            return 1;
+        }
+        for skipped in reader.skipped() {
+            eprintln!("warning: skipped corrupt {skipped}");
+        }
+        report_profiler(profiler, &names, &opts);
+    } else {
+        let trace = match textio::from_reader(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        };
+        // Routine names are not part of the text format; placeholder ids.
+        let names = RoutineTable::new();
+        let mut profiler = build_profiler(&opts);
+        trace.replay(&mut profiler);
+        report_profiler(profiler, &names, &opts);
+    }
     0
+}
+
+fn cmd_trace_info(args: &[String]) -> i32 {
+    let opts = match parse_opts(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return 2;
+        }
+    };
+    let Some(path) = opts.positional.first() else {
+        eprintln!("trace-info requires a FILE argument");
+        return 2;
+    };
+    let (file, is_wire) = match open_trace(path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let mut by_kind = std::collections::BTreeMap::new();
+    if is_wire {
+        let mut reader = match WireReader::new(file) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        };
+        if opts.strict {
+            reader = reader.strict();
+        }
+        println!("format: wire v{}", reader.version());
+        println!("routines: {}", reader.routines().len());
+        for item in reader.by_ref() {
+            match item {
+                Ok((_, event)) => *by_kind.entry(event.kind()).or_insert(0u64) += 1,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return 1;
+                }
+            }
+        }
+        let stats = reader.stats();
+        println!("events: {}", stats.events);
+        println!("chunks: {} decoded, {} skipped", stats.chunks, stats.chunks_skipped);
+        if let Some(index) = reader.index() {
+            println!("threads: {}", index.thread_count);
+        }
+        println!("file bytes: {}", stats.bytes_read);
+        println!("peak chunk bytes: {}", stats.peak_chunk_bytes);
+        print_kind_counts(&by_kind);
+        for skipped in reader.skipped() {
+            println!("skipped corrupt {skipped}");
+        }
+        if !reader.skipped().is_empty() {
+            return 1;
+        }
+    } else {
+        let trace = match textio::from_reader(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        };
+        let stats = trace.stats();
+        println!("format: text");
+        println!("events: {}", stats.events);
+        println!("threads: {}", stats.threads);
+        by_kind = stats.by_kind;
+        print_kind_counts(&by_kind);
+    }
+    0
+}
+
+fn print_kind_counts(by_kind: &std::collections::BTreeMap<EventKind, u64>) {
+    for (kind, count) in by_kind {
+        println!("  {kind:?}: {count}");
+    }
 }
 
 fn cmd_bench(args: &[String]) -> i32 {
@@ -282,7 +488,14 @@ fn cmd_bench(args: &[String]) -> i32 {
 }
 
 fn build_profiler(opts: &Opts) -> TrmsProfiler {
-    TrmsProfiler::builder().policy(opts.policy).calling_contexts(opts.cct).build()
+    // `--tool rms` profiles the thread-oblivious metric regardless of the
+    // selected policy: rms is exactly the trms under the rms-only policy.
+    let policy = if matches!(opts.tool.as_str(), "rms" | "rms-only") {
+        InputPolicy::rms_only()
+    } else {
+        opts.policy
+    };
+    TrmsProfiler::builder().policy(policy).calling_contexts(opts.cct).build()
 }
 
 fn drive(mut machine: Machine, opts: &Opts) -> i32 {
@@ -308,7 +521,7 @@ fn drive(mut machine: Machine, opts: &Opts) -> i32 {
         return 0;
     }
     match opts.tool.as_str() {
-        "trms" | "rms-only" => {
+        "trms" | "rms" | "rms-only" => {
             let mut profiler = build_profiler(opts);
             if let Err(e) = machine.run_with(&mut profiler) {
                 eprintln!("guest error: {e}");

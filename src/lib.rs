@@ -17,6 +17,8 @@
 //! * [`workloads`] — benchmark guest programs.
 //! * [`analysis`] — cost plots, curve fitting, richness/volume metrics.
 //! * [`bench`] — the experiment harness and its parallel measurement driver.
+//! * [`wire`] — the chunked binary trace format (streaming capture,
+//!   O(chunk)-memory replay).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
 
@@ -27,4 +29,5 @@ pub use aprof_shadow as shadow;
 pub use aprof_tools as tools;
 pub use aprof_trace as trace;
 pub use aprof_vm as vm;
+pub use aprof_wire as wire;
 pub use aprof_workloads as workloads;

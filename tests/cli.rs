@@ -103,6 +103,125 @@ fn save_and_replay_roundtrip() {
 }
 
 #[test]
+fn record_replay_matches_in_memory_run() {
+    let dir = std::env::temp_dir().join("aprof-cli-test-wire");
+    std::fs::create_dir_all(&dir).unwrap();
+    let wire = dir.join("trace.wire");
+    let rec_csv = dir.join("rec.csv");
+    let rep_csv = dir.join("rep.csv");
+    let run_csv = dir.join("run.csv");
+
+    let recorded = run_ok(&[
+        "record",
+        wire.to_str().unwrap(),
+        "--workload",
+        "producer_consumer",
+        "--size",
+        "30",
+        "--threads",
+        "2",
+        "--csv",
+        rec_csv.to_str().unwrap(),
+    ]);
+    assert!(recorded.contains("recorded"), "{recorded}");
+
+    let replayed = run_ok(&["replay", wire.to_str().unwrap(), "--csv", rep_csv.to_str().unwrap()]);
+    assert!(replayed.contains("consumer"), "{replayed}");
+
+    run_ok(&[
+        "run",
+        "--workload",
+        "producer_consumer",
+        "--size",
+        "30",
+        "--threads",
+        "2",
+        "--csv",
+        run_csv.to_str().unwrap(),
+    ]);
+
+    let rec = std::fs::read_to_string(&rec_csv).unwrap();
+    let rep = std::fs::read_to_string(&rep_csv).unwrap();
+    let run = std::fs::read_to_string(&run_csv).unwrap();
+    assert_eq!(rec, rep, "live-while-recording profile differs from replayed profile");
+    assert_eq!(run, rep, "in-memory profile differs from replayed profile");
+
+    for p in [&wire, &rec_csv, &rep_csv, &run_csv] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn trace_info_describes_a_wire_file() {
+    let dir = std::env::temp_dir().join("aprof-cli-test-wire");
+    std::fs::create_dir_all(&dir).unwrap();
+    let wire = dir.join("info.wire");
+    run_ok(&[
+        "record",
+        wire.to_str().unwrap(),
+        "--workload",
+        "external_read",
+        "--size",
+        "16",
+        "--chunk-bytes",
+        "256",
+    ]);
+    let info = run_ok(&["trace-info", wire.to_str().unwrap()]);
+    assert!(info.contains("format: wire v1"), "{info}");
+    assert!(info.contains("events:"), "{info}");
+    assert!(info.contains("chunks:"), "{info}");
+    assert!(info.contains("Call"), "{info}");
+    std::fs::remove_file(&wire).ok();
+}
+
+#[test]
+fn corrupt_wire_chunk_is_reported_not_fatal() {
+    let dir = std::env::temp_dir().join("aprof-cli-test-wire");
+    std::fs::create_dir_all(&dir).unwrap();
+    let wire = dir.join("corrupt.wire");
+    run_ok(&[
+        "record",
+        wire.to_str().unwrap(),
+        "--workload",
+        "external_read",
+        "--size",
+        "16",
+        "--chunk-bytes",
+        "128",
+    ]);
+
+    // Flip a byte inside the first chunk's *payload* (framing damage is
+    // fatal by design; payload damage is skippable). The header is
+    // magic(8) + version(4) + payload_len(4) + payload + crc(4), then
+    // each chunk starts with 13 framing bytes.
+    let mut bytes = std::fs::read(&wire).unwrap();
+    let header_payload = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    let first_chunk_payload = 16 + header_payload + 4 + 13;
+    bytes[first_chunk_payload + 2] ^= 0x55;
+    std::fs::write(&wire, &bytes).unwrap();
+
+    // Lenient replay still succeeds but warns about the skipped chunk.
+    let out = cli().args(["replay", wire.to_str().unwrap()]).output().unwrap();
+    assert!(
+        out.status.success(),
+        "lenient replay should skip-and-report: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("skipped corrupt"), "{stderr}");
+
+    // trace-info flags the damage via a nonzero exit.
+    let out = cli().args(["trace-info", wire.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success(), "trace-info should fail on a damaged file");
+
+    // Strict replay refuses outright.
+    let out = cli().args(["replay", wire.to_str().unwrap(), "--strict"]).output().unwrap();
+    assert!(!out.status.success(), "strict replay should reject a damaged file");
+
+    std::fs::remove_file(&wire).ok();
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     let out = cli().args(["run"]).output().unwrap();
     assert!(!out.status.success());
