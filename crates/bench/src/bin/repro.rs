@@ -7,6 +7,7 @@
 //! repro --jobs 8 all         # shard measurements over 8 worker threads
 //! repro --bench-json         # write BENCH_parallel_driver.json and exit
 //! repro --bench-wire-json    # write BENCH_wire.json and exit
+//! repro --bench-check-json   # write BENCH_check.json and exit
 //! ```
 //!
 //! Rendered text goes to stdout; CSV data is written under `results/`.
@@ -22,6 +23,7 @@ fn main() {
     let mut selected: Vec<&str> = Vec::new();
     let mut bench_json = false;
     let mut bench_wire_json = false;
+    let mut bench_check_json = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -41,6 +43,7 @@ fn main() {
             }
             "--bench-json" => bench_json = true,
             "--bench-wire-json" => bench_wire_json = true,
+            "--bench-check-json" => bench_check_json = true,
             other => selected.push(other),
         }
     }
@@ -52,6 +55,18 @@ fn main() {
     if bench_wire_json {
         let report = aprof_bench::wire_report(driver::jobs());
         let path = Path::new("BENCH_wire.json");
+        match std::fs::write(path, report.render()) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if bench_check_json {
+        let report = aprof_bench::check_report();
+        let path = Path::new("BENCH_check.json");
         match std::fs::write(path, report.render()) {
             Ok(()) => println!("wrote {}", path.display()),
             Err(e) => {

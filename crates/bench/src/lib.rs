@@ -17,11 +17,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check_bench;
 pub mod driver;
 pub mod figures;
 pub mod suite;
 pub mod wire_bench;
 
+pub use check_bench::check_report;
 pub use driver::{default_jobs, jobs, parallel_driver_report, set_jobs};
 pub use figures::{clear_profile_cache, FigureOutput};
 pub use suite::{measure, Measurement, ToolKind};

@@ -1,0 +1,171 @@
+//! Control-flow and call-graph structure: block reachability, function
+//! reachability, spawn closures and the unbounded-recursion check.
+//!
+//! Everything here is defensive: the inputs may be structurally invalid
+//! (that is the verifier's whole point), so out-of-range block targets and
+//! function ids are treated as absent edges rather than panics.
+
+use aprof_vm::ir::{Function, Instr, Terminator};
+
+/// Successor block indices of a terminator, in-range ones only.
+pub fn successors(term: &Terminator, nblocks: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(2);
+    match term {
+        Terminator::Jmp(b) => out.push(b.index()),
+        Terminator::Br { then_to, else_to, .. } => {
+            out.push(then_to.index());
+            out.push(else_to.index());
+        }
+        Terminator::Ret { .. } => {}
+    }
+    out.retain(|&b| b < nblocks);
+    out.dedup();
+    out
+}
+
+/// Per-block reachability from block 0.
+pub fn reachable_blocks(f: &Function) -> Vec<bool> {
+    let n = f.blocks.len();
+    let mut seen = vec![false; n];
+    let mut stack = Vec::new();
+    if n > 0 {
+        seen[0] = true;
+        stack.push(0usize);
+    }
+    while let Some(b) = stack.pop() {
+        for s in successors(&f.blocks[b].term, n) {
+            if !seen[s] {
+                seen[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+/// Direct callees (calls and spawns, in-range only) of every function.
+pub fn callees(funcs: &[Function]) -> Vec<Vec<usize>> {
+    funcs
+        .iter()
+        .map(|f| {
+            let mut out: Vec<usize> = f
+                .blocks
+                .iter()
+                .flat_map(|b| &b.instrs)
+                .filter_map(|i| i.callee())
+                .map(|(id, _)| id.index())
+                .filter(|&id| id < funcs.len())
+                .collect();
+            out.sort_unstable();
+            out.dedup();
+            out
+        })
+        .collect()
+}
+
+/// Transitive closure of `roots` over the call graph.
+pub fn closure(graph: &[Vec<usize>], roots: impl IntoIterator<Item = usize>) -> Vec<bool> {
+    let mut seen = vec![false; graph.len()];
+    let mut stack: Vec<usize> = roots.into_iter().filter(|&r| r < graph.len()).collect();
+    for &r in &stack {
+        seen[r] = true;
+    }
+    while let Some(f) = stack.pop() {
+        for &c in &graph[f] {
+            if !seen[c] {
+                seen[c] = true;
+                stack.push(c);
+            }
+        }
+    }
+    seen
+}
+
+/// The functions used as spawn targets anywhere (in-range only).
+pub fn spawn_targets(funcs: &[Function]) -> Vec<usize> {
+    let mut out: Vec<usize> = funcs
+        .iter()
+        .flat_map(|f| f.blocks.iter().flat_map(|b| &b.instrs))
+        .filter_map(|i| match i {
+            Instr::Spawn { func, .. } if func.index() < funcs.len() => Some(func.index()),
+            _ => None,
+        })
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Whether `f` (function index `idx`) recurses into itself on *every* path:
+/// no `ret` is reachable from the entry block without first executing a
+/// direct recursive call. Such a function can only exhaust the stack.
+///
+/// Ordinary recursion with a base case has a recursion-free path to some
+/// `ret` and is not flagged.
+pub fn unbounded_recursion(f: &Function, idx: usize) -> bool {
+    let n = f.blocks.len();
+    if n == 0 {
+        return false;
+    }
+    let recursive_block = |b: &aprof_vm::ir::BasicBlock| {
+        b.instrs.iter().any(|i| matches!(i.callee(), Some((id, _)) if id.index() == idx))
+    };
+    if !f.blocks.iter().any(recursive_block) {
+        return false;
+    }
+    // Walk the CFG skipping past any block that contains a recursive call:
+    // control cannot get beyond that call without recursing.
+    let mut seen = vec![false; n];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    while let Some(b) = stack.pop() {
+        let block = &f.blocks[b];
+        if recursive_block(block) {
+            continue;
+        }
+        if matches!(block.term, Terminator::Ret { .. }) {
+            return false; // a recursion-free path reaches a ret
+        }
+        for s in successors(&block.term, n) {
+            if !seen[s] {
+                seen[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aprof_vm::asm;
+
+    fn func_of(src: &str) -> Vec<Function> {
+        asm::parse_module(src).unwrap().functions
+    }
+
+    #[test]
+    fn unreachable_block_detected() {
+        let fs = func_of("func main() {\ne:\n ret\nisland:\n ret\n}");
+        let r = reachable_blocks(&fs[0]);
+        assert_eq!(r, vec![true, false]);
+    }
+
+    #[test]
+    fn base_case_recursion_not_flagged() {
+        let fs = func_of(
+            "func main() {\ne:\n ret\n}\n\
+             func f(1) {\ne:\n br r0, rec, base\nrec:\n r1 = call f(r0)\n ret r1\nbase:\n ret r0\n}",
+        );
+        assert!(!unbounded_recursion(&fs[1], 1));
+    }
+
+    #[test]
+    fn always_recursing_flagged() {
+        let fs = func_of(
+            "func main() {\ne:\n ret\n}\nfunc f(1) {\ne:\n r1 = call f(r0)\n ret r1\n}",
+        );
+        assert!(unbounded_recursion(&fs[1], 1));
+    }
+}

@@ -1,0 +1,845 @@
+//! The interprocedural dataflow analysis: register initialization
+//! (use-before-def), constant/allocation/handle value tracking, and a
+//! lockset analysis over the concurrency primitives.
+//!
+//! # Lattices
+//!
+//! Per register the analysis tracks three facts: *may-init* (some path has
+//! written it — grows under join), *must-init* (every path has written it —
+//! shrinks under join), and an abstract value
+//! ([`AbsVal`]: constant / allocation site / thread-handle site / unknown,
+//! a flat lattice joined to [`AbsVal::Unknown`]). Uninitialized registers
+//! hold `Const(0)` — the machine zero-initializes its register file, so
+//! that is the truth, not an approximation.
+//!
+//! Per program point the analysis also tracks the *may*- and
+//! *must*-locksets of constant lock keys, plus a taint bit for lock
+//! operations on statically unknown keys (which silence the lock
+//! diagnostics rather than risk false positives — the documented
+//! limitation of the pass).
+//!
+//! # Interprocedural strategy
+//!
+//! Context-insensitive fixpoint over function summaries. Each function is
+//! analyzed with an *empty* entry lockset (summaries describe the
+//! function's own locking delta) and an entry register state joined over
+//! every call/spawn site's arguments. Call transfer applies the callee's
+//! summary: locks the callee may touch leave the caller's must-set, locks
+//! the callee definitely holds at exit enter it, and the destination
+//! register becomes initialized only if the callee returns a value on
+//! every path (mirroring the machine, which leaves `ret_dst` untouched on
+//! a bare `ret`). A separate *context* set accumulates the locks callers
+//! may hold around each call site, so releasing a caller-held lock is
+//! never a hard error. All joins are monotone over finite lattices, so the
+//! round-robin fixpoint terminates.
+
+use crate::cfg;
+use crate::diag::{Diagnostic, Severity};
+use crate::races::{self, AccessSite, Loc, RaceCandidates};
+use aprof_vm::ir::{Function, Instr, Terminator};
+use std::collections::BTreeSet;
+
+/// Abstract value of a register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsVal {
+    /// A known constant.
+    Const(i64),
+    /// A pointer into the allocation made at the given site.
+    Alloc(u32),
+    /// The thread handle returned by the spawn at the given site.
+    Handle(u32),
+    /// Anything.
+    Unknown,
+}
+
+impl AbsVal {
+    fn join(self, other: AbsVal) -> AbsVal {
+        if self == other {
+            self
+        } else {
+            AbsVal::Unknown
+        }
+    }
+}
+
+/// The per-point abstract state.
+#[derive(Debug, Clone, PartialEq)]
+struct State {
+    may: Vec<bool>,
+    must: Vec<bool>,
+    val: Vec<AbsVal>,
+    held_may: BTreeSet<i64>,
+    held_must: BTreeSet<i64>,
+    /// A lock operation with a statically unknown key may have happened.
+    lock_unknown: bool,
+}
+
+impl State {
+    /// The state at a function entry before parameters are accounted for:
+    /// nothing written, every register zero.
+    fn fresh(regs: usize) -> State {
+        State {
+            may: vec![false; regs],
+            must: vec![false; regs],
+            val: vec![AbsVal::Const(0); regs],
+            held_may: BTreeSet::new(),
+            held_must: BTreeSet::new(),
+            lock_unknown: false,
+        }
+    }
+
+    /// Joins `other` into `self`; true if anything changed.
+    fn join_from(&mut self, other: &State) -> bool {
+        let mut changed = false;
+        for i in 0..self.may.len() {
+            let may = self.may[i] | other.may[i];
+            let must = self.must[i] & other.must[i];
+            let val = self.val[i].join(other.val[i]);
+            changed |= may != self.may[i] || must != self.must[i] || val != self.val[i];
+            self.may[i] = may;
+            self.must[i] = must;
+            self.val[i] = val;
+        }
+        let held_may_before = self.held_may.len();
+        self.held_may.extend(other.held_may.iter().copied());
+        changed |= self.held_may.len() != held_may_before;
+        let held_must: BTreeSet<i64> =
+            self.held_must.intersection(&other.held_must).copied().collect();
+        changed |= held_must != self.held_must;
+        self.held_must = held_must;
+        if other.lock_unknown && !self.lock_unknown {
+            self.lock_unknown = true;
+            changed = true;
+        }
+        changed
+    }
+
+    fn write(&mut self, r: aprof_vm::ir::Reg, v: AbsVal) {
+        let i = r.0 as usize;
+        self.may[i] = true;
+        self.must[i] = true;
+        self.val[i] = v;
+    }
+
+    fn value(&self, r: aprof_vm::ir::Reg) -> AbsVal {
+        self.val[r.0 as usize]
+    }
+}
+
+/// A function's interprocedural summary.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct Summary {
+    /// Locks definitely held at every analyzed return (own acquisitions).
+    exit_must: BTreeSet<i64>,
+    /// Whether any return has been analyzed (before that, `exit_must` is
+    /// conceptually ⊤ but treated as ∅ — sound for a must-set).
+    exit_seen: bool,
+    /// Constant lock keys the function (transitively) may acquire or
+    /// release.
+    touched_may: BTreeSet<i64>,
+    /// A (transitive) lock operation on an unknown key.
+    touched_unknown: bool,
+    /// Join of the values returned by value-carrying `ret`s.
+    ret_val: Option<AbsVal>,
+}
+
+/// Result of the dataflow passes.
+pub struct Outcome {
+    /// Diagnostics, unsorted.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Static race candidates.
+    pub races: RaceCandidates,
+}
+
+/// Runs the analysis. `funcs` must be structurally clean (no `E0xx` from
+/// the structure pass) — the engine indexes registers, blocks and callees
+/// without rechecking.
+pub fn analyze(funcs: &[Function], entry: usize) -> Outcome {
+    Engine::new(funcs, entry).run()
+}
+
+struct Engine<'a> {
+    funcs: &'a [Function],
+    entry: usize,
+    /// Alloc/spawn site ids, per function/block/instr.
+    sites: Vec<Vec<Vec<Option<u32>>>>,
+    /// Joined entry state per function; `None` until a call/spawn reaches
+    /// it (the program entry starts populated).
+    entries: Vec<Option<State>>,
+    block_in: Vec<Vec<Option<State>>>,
+    summaries: Vec<Summary>,
+    /// Locks callers may hold around call sites of each function
+    /// (absolute, transitive), plus the matching unknown-key taint.
+    ctx_may: Vec<BTreeSet<i64>>,
+    /// Locks every caller chain definitely holds around every call site
+    /// (`None` until a first call site is seen; spawns contribute ∅ —
+    /// a fresh thread holds nothing). Suppresses `W105`: releasing a lock
+    /// the caller is guaranteed to hold is fine.
+    ctx_must: Vec<Option<BTreeSet<i64>>>,
+    ctx_unknown: Vec<bool>,
+    /// Syntactic return shape per function, over CFG-reachable blocks.
+    may_ret: Vec<bool>,
+    must_ret: Vec<bool>,
+    /// Functions that can run on a spawned thread.
+    thread_side: Vec<bool>,
+}
+
+/// What the walk collects beyond diagnostics on the final reporting pass.
+#[derive(Default)]
+struct ReportSink {
+    diags: Vec<Diagnostic>,
+    accesses: Vec<AccessSite>,
+    has_spawn: bool,
+    spawn_sites: Vec<(u32, usize, usize, usize)>,
+    joined_sites: BTreeSet<u32>,
+    escaped_sites: BTreeSet<u32>,
+    unknown_join: bool,
+}
+
+impl<'a> Engine<'a> {
+    fn new(funcs: &'a [Function], entry: usize) -> Engine<'a> {
+        let mut next_site = 0u32;
+        let sites = funcs
+            .iter()
+            .map(|f| {
+                f.blocks
+                    .iter()
+                    .map(|b| {
+                        b.instrs
+                            .iter()
+                            .map(|i| match i {
+                                Instr::Alloc { .. } | Instr::Spawn { .. } => {
+                                    next_site += 1;
+                                    Some(next_site - 1)
+                                }
+                                _ => None,
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut may_ret = vec![false; funcs.len()];
+        let mut must_ret = vec![false; funcs.len()];
+        for (fi, f) in funcs.iter().enumerate() {
+            let reach = cfg::reachable_blocks(f);
+            let rets: Vec<&Terminator> = f
+                .blocks
+                .iter()
+                .zip(&reach)
+                .filter(|(_, &r)| r)
+                .map(|(b, _)| &b.term)
+                .filter(|t| matches!(t, Terminator::Ret { .. }))
+                .collect();
+            may_ret[fi] = rets.iter().any(|t| matches!(t, Terminator::Ret { value: Some(_) }));
+            // Vacuously true with no reachable ret: the call never returns,
+            // so the post-call state is unreachable anyway.
+            must_ret[fi] =
+                rets.iter().all(|t| matches!(t, Terminator::Ret { value: Some(_) }));
+        }
+        let thread_side = cfg::closure(&cfg::callees(funcs), cfg::spawn_targets(funcs));
+        let mut entries = vec![None; funcs.len()];
+        let mut ctx_must = vec![None; funcs.len()];
+        if let Some(f) = funcs.get(entry) {
+            entries[entry] = Some(State::fresh(f.regs as usize));
+            ctx_must[entry] = Some(BTreeSet::new());
+        }
+        Engine {
+            funcs,
+            entry,
+            sites,
+            entries,
+            block_in: funcs.iter().map(|f| vec![None; f.blocks.len()]).collect(),
+            summaries: vec![Summary::default(); funcs.len()],
+            ctx_may: vec![BTreeSet::new(); funcs.len()],
+            ctx_must,
+            ctx_unknown: vec![false; funcs.len()],
+            may_ret,
+            must_ret,
+            thread_side,
+        }
+    }
+
+    fn run(mut self) -> Outcome {
+        // Global rounds until quiescence; every lattice component is
+        // finite and every update monotone, so this terminates.
+        let mut rounds = 0usize;
+        loop {
+            let mut changed = false;
+            for f in 0..self.funcs.len() {
+                if self.entries[f].is_some() {
+                    changed |= self.analyze_function(f);
+                }
+            }
+            rounds += 1;
+            debug_assert!(rounds < 10_000, "dataflow failed to converge");
+            if !changed || rounds >= 10_000 {
+                break;
+            }
+        }
+        self.report()
+    }
+
+    /// One intra-procedural pass over `f` with the current summaries;
+    /// true if any stored state, entry contribution or summary changed.
+    fn analyze_function(&mut self, f: usize) -> bool {
+        let func = &self.funcs[f];
+        let mut changed = false;
+        let entry = self.entries[f].clone().expect("analyzed functions are reached");
+        match &mut self.block_in[f][0] {
+            slot @ None => {
+                *slot = Some(entry);
+                changed = true;
+            }
+            Some(st) => changed |= st.join_from(&entry),
+        }
+        let mut work: Vec<usize> =
+            (0..func.blocks.len()).filter(|&b| self.block_in[f][b].is_some()).collect();
+        while let Some(b) = work.pop() {
+            let mut st = self.block_in[f][b].clone().expect("worklist holds reached blocks");
+            for (ii, instr) in self.funcs[f].blocks[b].instrs.iter().enumerate() {
+                changed |= self.step(f, b, ii, instr, &mut st, None);
+            }
+            let term = &self.funcs[f].blocks[b].term;
+            match term {
+                Terminator::Ret { value } => {
+                    let s = &mut self.summaries[f];
+                    let before = s.clone();
+                    if s.exit_seen {
+                        s.exit_must =
+                            s.exit_must.intersection(&st.held_must).copied().collect();
+                    } else {
+                        s.exit_must = st.held_must.clone();
+                        s.exit_seen = true;
+                    }
+                    if let Some(r) = value {
+                        let v = st.value(*r);
+                        s.ret_val = Some(match s.ret_val {
+                            None => v,
+                            Some(old) => old.join(v),
+                        });
+                    }
+                    changed |= *s != before;
+                }
+                _ => {
+                    for succ in cfg::successors(term, self.funcs[f].blocks.len()) {
+                        let grew = match &mut self.block_in[f][succ] {
+                            slot @ None => {
+                                *slot = Some(st.clone());
+                                true
+                            }
+                            Some(dst) => dst.join_from(&st),
+                        };
+                        if grew {
+                            changed = true;
+                            if !work.contains(&succ) {
+                                work.push(succ);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// Transfers `instr` over `st`. Interprocedural side effects (entry
+    /// contributions, context locksets, summary growth) are applied in
+    /// both modes; diagnostics and access collection only happen when a
+    /// [`ReportSink`] is supplied.
+    fn step(
+        &mut self,
+        f: usize,
+        b: usize,
+        ii: usize,
+        instr: &Instr,
+        st: &mut State,
+        mut sink: Option<&mut ReportSink>,
+    ) -> bool {
+        let mut changed = false;
+        if let Some(sink) = sink.as_deref_mut() {
+            let mut uses = Vec::new();
+            instr.uses_into(&mut uses);
+            for r in uses {
+                self.check_use(f, b, ii, r, st, sink);
+            }
+        }
+        let site = self.sites[f][b][ii];
+        match instr {
+            Instr::Const { dst, value } => st.write(*dst, AbsVal::Const(*value)),
+            Instr::Mov { dst, src } => {
+                let v = st.value(*src);
+                st.write(*dst, v);
+            }
+            Instr::Bin { op, dst, lhs, rhs } => {
+                let v = match (st.value(*lhs), st.value(*rhs)) {
+                    (AbsVal::Const(a), AbsVal::Const(b)) => AbsVal::Const(op.eval(a, b)),
+                    // Pointer arithmetic stays within the allocation for
+                    // the alias analysis' purposes.
+                    (AbsVal::Alloc(s), AbsVal::Const(_))
+                    | (AbsVal::Const(_), AbsVal::Alloc(s))
+                        if matches!(op, aprof_vm::ir::BinOp::Add | aprof_vm::ir::BinOp::Sub) =>
+                    {
+                        AbsVal::Alloc(s)
+                    }
+                    _ => AbsVal::Unknown,
+                };
+                st.write(*dst, v);
+            }
+            Instr::Cmp { op, dst, lhs, rhs } => {
+                let v = match (st.value(*lhs), st.value(*rhs)) {
+                    (AbsVal::Const(a), AbsVal::Const(b)) => AbsVal::Const(op.eval(a, b)),
+                    _ => AbsVal::Unknown,
+                };
+                st.write(*dst, v);
+            }
+            Instr::Load { dst, addr, offset } => {
+                if let Some(sink) = sink.as_deref_mut() {
+                    self.record_access(f, b, ii, st, st.value(*addr), Some(*offset), false, sink);
+                }
+                st.write(*dst, AbsVal::Unknown);
+            }
+            Instr::Store { src, addr, offset } => {
+                if let Some(sink) = sink.as_deref_mut() {
+                    self.record_access(f, b, ii, st, st.value(*addr), Some(*offset), true, sink);
+                    if let AbsVal::Handle(s) = st.value(*src) {
+                        sink.escaped_sites.insert(s);
+                    }
+                }
+            }
+            Instr::Alloc { dst, .. } => {
+                st.write(*dst, AbsVal::Alloc(site.expect("alloc has a site id")));
+            }
+            Instr::Call { .. } | Instr::Spawn { .. } => {
+                let (func, args) = instr.callee().expect("call-like instruction");
+                let callee = func.index();
+                // Parameters: joined over call sites; the rest of the
+                // callee's register file is fixed at "uninitialized zero".
+                let mut contrib = State::fresh(self.funcs[callee].regs as usize);
+                for (i, a) in args.iter().enumerate() {
+                    contrib.write(aprof_vm::ir::Reg(i as u16), st.value(*a));
+                }
+                changed |= match &mut self.entries[callee] {
+                    slot @ None => {
+                        *slot = Some(contrib);
+                        true
+                    }
+                    Some(dst) => dst.join_from(&contrib),
+                };
+                if let Some(sink) = sink.as_deref_mut() {
+                    for a in args {
+                        if let AbsVal::Handle(s) = st.value(*a) {
+                            sink.escaped_sites.insert(s);
+                        }
+                    }
+                }
+                let spawn = matches!(instr, Instr::Spawn { .. });
+                if spawn {
+                    // A fresh thread starts holding nothing: the callee's
+                    // guaranteed caller-held set collapses to ∅.
+                    match &mut self.ctx_must[callee] {
+                        slot @ None => {
+                            *slot = Some(BTreeSet::new());
+                            changed = true;
+                        }
+                        Some(cur) => {
+                            if !cur.is_empty() {
+                                cur.clear();
+                                changed = true;
+                            }
+                        }
+                    }
+                    if let Some(sink) = sink.as_deref_mut() {
+                        sink.has_spawn = true;
+                        sink.spawn_sites.push((
+                            site.expect("spawn has a site id"),
+                            f,
+                            b,
+                            ii,
+                        ));
+                    }
+                    if let Instr::Spawn { dst, .. } = instr {
+                        st.write(*dst, AbsVal::Handle(site.expect("spawn has a site id")));
+                    }
+                } else {
+                    // Context locks: everything this caller may hold (own
+                    // or inherited) is held around the callee. Spawned
+                    // threads start with nothing held, so spawns
+                    // contribute no context.
+                    let inherit: BTreeSet<i64> = st
+                        .held_may
+                        .iter()
+                        .chain(self.ctx_may[f].iter())
+                        .copied()
+                        .collect();
+                    let before = self.ctx_may[callee].len();
+                    self.ctx_may[callee].extend(inherit);
+                    changed |= self.ctx_may[callee].len() != before;
+                    let inherit_must: BTreeSet<i64> = st
+                        .held_must
+                        .iter()
+                        .chain(self.ctx_must[f].iter().flatten())
+                        .copied()
+                        .collect();
+                    match &mut self.ctx_must[callee] {
+                        slot @ None => {
+                            *slot = Some(inherit_must);
+                            changed = true;
+                        }
+                        Some(cur) => {
+                            let narrowed: BTreeSet<i64> =
+                                cur.intersection(&inherit_must).copied().collect();
+                            if narrowed != *cur {
+                                *cur = narrowed;
+                                changed = true;
+                            }
+                        }
+                    }
+                    let taint = st.lock_unknown || self.ctx_unknown[f];
+                    if taint && !self.ctx_unknown[callee] {
+                        self.ctx_unknown[callee] = true;
+                        changed = true;
+                    }
+                    // Apply the callee's locking delta.
+                    let summary = self.summaries[callee].clone();
+                    if summary.touched_unknown {
+                        st.held_must = summary.exit_must.clone();
+                        st.lock_unknown = true;
+                    } else {
+                        st.held_must.retain(|k| !summary.touched_may.contains(k));
+                        st.held_must.extend(summary.exit_must.iter().copied());
+                    }
+                    st.held_may.extend(summary.touched_may.iter().copied());
+                    // The callee's lock footprint becomes part of ours.
+                    let own = &mut self.summaries[f];
+                    let before = own.touched_may.len();
+                    own.touched_may.extend(summary.touched_may.iter().copied());
+                    changed |= own.touched_may.len() != before;
+                    if summary.touched_unknown && !own.touched_unknown {
+                        own.touched_unknown = true;
+                        changed = true;
+                    }
+                    if let Instr::Call { dst: Some(d), .. } = instr {
+                        let ret = self.summaries[callee].ret_val.unwrap_or(AbsVal::Unknown);
+                        if self.must_ret[callee] {
+                            st.write(*d, ret);
+                        } else if self.may_ret[callee] {
+                            let i = d.0 as usize;
+                            st.may[i] = true;
+                            st.val[i] = st.val[i].join(ret);
+                        }
+                    }
+                }
+            }
+            Instr::Join { thread } => {
+                if let Some(sink) = sink.as_deref_mut() {
+                    match st.value(*thread) {
+                        AbsVal::Handle(s) => {
+                            sink.joined_sites.insert(s);
+                        }
+                        AbsVal::Alloc(_) => sink.diags.push(Diagnostic {
+                            severity: Severity::Warning,
+                            code: "W108",
+                            func: f,
+                            block: Some(b),
+                            instr: Some(ii),
+                            message: format!(
+                                "`join` on r{} which holds a pointer, not a thread handle",
+                                thread.0
+                            ),
+                        }),
+                        _ => sink.unknown_join = true,
+                    }
+                }
+            }
+            Instr::Acquire { lock } => match st.value(*lock) {
+                AbsVal::Const(k) => {
+                    st.held_may.insert(k);
+                    st.held_must.insert(k);
+                    let own = &mut self.summaries[f];
+                    changed |= own.touched_may.insert(k);
+                }
+                _ => {
+                    st.lock_unknown = true;
+                    let own = &mut self.summaries[f];
+                    if !own.touched_unknown {
+                        own.touched_unknown = true;
+                        changed = true;
+                    }
+                }
+            },
+            Instr::Release { lock } => match st.value(*lock) {
+                AbsVal::Const(k) => {
+                    if let Some(sink) = sink.as_deref_mut() {
+                        let caller_may_hold =
+                            self.ctx_may[f].contains(&k) || self.ctx_unknown[f];
+                        let caller_must_hold = self.ctx_must[f]
+                            .as_ref()
+                            .is_some_and(|s| s.contains(&k))
+                            || self.ctx_unknown[f];
+                        if !st.held_may.contains(&k) && !st.lock_unknown && !caller_may_hold {
+                            sink.diags.push(Diagnostic {
+                                severity: Severity::Error,
+                                code: "E007",
+                                func: f,
+                                block: Some(b),
+                                instr: Some(ii),
+                                message: format!(
+                                    "release of lock {k} which cannot be held here"
+                                ),
+                            });
+                        } else if !st.held_must.contains(&k) && !caller_must_hold {
+                            sink.diags.push(Diagnostic {
+                                severity: Severity::Warning,
+                                code: "W105",
+                                func: f,
+                                block: Some(b),
+                                instr: Some(ii),
+                                message: format!(
+                                    "lock {k} may not be held on every path to this release"
+                                ),
+                            });
+                        }
+                    }
+                    st.held_may.remove(&k);
+                    st.held_must.remove(&k);
+                    let own = &mut self.summaries[f];
+                    changed |= own.touched_may.insert(k);
+                }
+                _ => {
+                    // An unknown key may release any held lock.
+                    st.held_must.clear();
+                    st.lock_unknown = true;
+                    let own = &mut self.summaries[f];
+                    if !own.touched_unknown {
+                        own.touched_unknown = true;
+                        changed = true;
+                    }
+                }
+            },
+            Instr::SemInit { .. }
+            | Instr::SemPost { .. }
+            | Instr::SemWait { .. }
+            | Instr::Yield => {}
+            Instr::SysRead { dst, buf, len, .. } => {
+                if let Some(sink) = sink.as_deref_mut() {
+                    self.record_sys(f, b, ii, st, *buf, *len, true, sink);
+                }
+                st.write(*dst, AbsVal::Unknown);
+            }
+            Instr::SysWrite { dst, buf, len, .. } => {
+                if let Some(sink) = sink {
+                    self.record_sys(f, b, ii, st, *buf, *len, false, sink);
+                }
+                st.write(*dst, AbsVal::Unknown);
+            }
+        }
+        changed
+    }
+
+    fn check_use(
+        &self,
+        f: usize,
+        b: usize,
+        ii: usize,
+        r: aprof_vm::ir::Reg,
+        st: &State,
+        sink: &mut ReportSink,
+    ) {
+        let i = r.0 as usize;
+        if !st.may[i] {
+            sink.diags.push(Diagnostic {
+                severity: Severity::Error,
+                code: "E002",
+                func: f,
+                block: Some(b),
+                instr: Some(ii),
+                message: format!("r{} is read but never written on any path here", r.0),
+            });
+        } else if !st.must[i] {
+            sink.diags.push(Diagnostic {
+                severity: Severity::Warning,
+                code: "W104",
+                func: f,
+                block: Some(b),
+                instr: Some(ii),
+                message: format!("r{} may be read before initialization on some path", r.0),
+            });
+        }
+    }
+
+    fn check_term_uses(
+        &self,
+        f: usize,
+        b: usize,
+        nn: usize,
+        term: &Terminator,
+        st: &State,
+        sink: &mut ReportSink,
+    ) {
+        match term {
+            Terminator::Br { cond, .. } => self.check_use(f, b, nn, *cond, st, sink),
+            Terminator::Ret { value: Some(r) } => self.check_use(f, b, nn, *r, st, sink),
+            _ => {}
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // site coordinates + access shape
+    fn record_access(
+        &self,
+        f: usize,
+        b: usize,
+        ii: usize,
+        st: &State,
+        addr: AbsVal,
+        offset: Option<i64>,
+        write: bool,
+        sink: &mut ReportSink,
+    ) {
+        let loc = match addr {
+            AbsVal::Const(c) => Loc::Cell(c.wrapping_add(offset.unwrap_or(0))),
+            AbsVal::Alloc(s) => Loc::Region(s),
+            _ => Loc::Any,
+        };
+        sink.accesses.push(AccessSite {
+            func: f,
+            block: b,
+            instr: ii,
+            write,
+            loc,
+            locks: st.held_must.clone(),
+            thread_side: self.thread_side[f],
+        });
+    }
+
+    /// Records the guest-memory side of a syscall: `sys_read` fills the
+    /// buffer (kernel writes), `sys_write` drains it (kernel reads).
+    #[allow(clippy::too_many_arguments)] // site coordinates + buffer shape
+    fn record_sys(
+        &self,
+        f: usize,
+        b: usize,
+        ii: usize,
+        st: &State,
+        buf: aprof_vm::ir::Reg,
+        len: aprof_vm::ir::Reg,
+        write: bool,
+        sink: &mut ReportSink,
+    ) {
+        const MAX_CELLS: i64 = 256;
+        match (st.value(buf), st.value(len)) {
+            (AbsVal::Const(base), AbsVal::Const(n)) if (0..=MAX_CELLS).contains(&n) => {
+                for i in 0..n {
+                    self.record_access(
+                        f,
+                        b,
+                        ii,
+                        st,
+                        AbsVal::Const(base.wrapping_add(i)),
+                        None,
+                        write,
+                        sink,
+                    );
+                }
+            }
+            (v, _) => self.record_access(f, b, ii, st, v, None, write, sink),
+        }
+    }
+
+    /// The final pass: replay every reached block from its fixpoint
+    /// in-state, emitting diagnostics and collecting memory accesses.
+    fn report(mut self) -> Outcome {
+        let mut sink = ReportSink::default();
+        let thread_entries: BTreeSet<usize> = cfg::spawn_targets(self.funcs)
+            .into_iter()
+            .chain([self.entry])
+            .collect();
+        for f in 0..self.funcs.len() {
+            if self.entries[f].is_none() {
+                sink.diags.push(Diagnostic {
+                    severity: Severity::Warning,
+                    code: "W102",
+                    func: f,
+                    block: None,
+                    instr: None,
+                    message: format!(
+                        "function `{}` is never called from reachable code",
+                        self.funcs[f].name
+                    ),
+                });
+                continue;
+            }
+            if cfg::unbounded_recursion(&self.funcs[f], f) {
+                sink.diags.push(Diagnostic {
+                    severity: Severity::Warning,
+                    code: "W103",
+                    func: f,
+                    block: None,
+                    instr: None,
+                    message: format!(
+                        "`{}` recurses on every path and can only exhaust the stack",
+                        self.funcs[f].name
+                    ),
+                });
+            }
+            for b in 0..self.funcs[f].blocks.len() {
+                let Some(mut st) = self.block_in[f][b].clone() else {
+                    sink.diags.push(Diagnostic {
+                        severity: Severity::Warning,
+                        code: "W101",
+                        func: f,
+                        block: Some(b),
+                        instr: None,
+                        message: format!("bb{b} is unreachable"),
+                    });
+                    continue;
+                };
+                let nn = self.funcs[f].blocks[b].instrs.len();
+                for ii in 0..nn {
+                    let instr = &self.funcs[f].blocks[b].instrs[ii];
+                    self.step(f, b, ii, instr, &mut st, Some(&mut sink));
+                }
+                let term = &self.funcs[f].blocks[b].term;
+                self.check_term_uses(f, b, nn, term, &st, &mut sink);
+                if let Terminator::Ret { .. } = term {
+                    if thread_entries.contains(&f) && !st.held_must.is_empty() {
+                        let locks: Vec<String> =
+                            st.held_must.iter().map(|k| k.to_string()).collect();
+                        sink.diags.push(Diagnostic {
+                            severity: Severity::Warning,
+                            code: "W106",
+                            func: f,
+                            block: Some(b),
+                            instr: None,
+                            message: format!(
+                                "thread entry `{}` returns still holding lock(s) {}",
+                                self.funcs[f].name,
+                                locks.join(", ")
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        // Fork/join pairing: a spawn whose handle is never joined and never
+        // escapes is suspicious. Joins on unknown values (e.g. handles
+        // reloaded from memory) make the pairing undecidable — stay quiet.
+        if !sink.unknown_join {
+            for &(s, f, b, ii) in &sink.spawn_sites {
+                if !sink.joined_sites.contains(&s) && !sink.escaped_sites.contains(&s) {
+                    sink.diags.push(Diagnostic {
+                        severity: Severity::Warning,
+                        code: "W107",
+                        func: f,
+                        block: Some(b),
+                        instr: Some(ii),
+                        message: "spawned thread's handle is never joined".into(),
+                    });
+                }
+            }
+        }
+        let (race_diags, races) = races::find_candidates(&sink.accesses, sink.has_spawn);
+        sink.diags.extend(race_diags);
+        Outcome { diagnostics: sink.diags, races }
+    }
+}

@@ -1,0 +1,181 @@
+//! Structured diagnostics and their rendering.
+//!
+//! Every finding of the verifier is a [`Diagnostic`]: a severity, a stable
+//! code (`E0xx` hard errors, `W1xx` lints, `N2xx` notes), the IR coordinate
+//! it is anchored to, and a message. Two renderings exist: a plain one
+//! addressed by IR coordinates (for programs built in memory), and a
+//! rustc-style one with source excerpt and carets when the program came
+//! from an assembly listing with a [`SourceMap`].
+//!
+//! [`SourceMap`]: aprof_vm::asm::SourceMap
+
+use aprof_vm::asm::SourceMap;
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational (`N2xx`): surfaced only on request, never affects the
+    /// verdict.
+    Note,
+    /// A lint (`W1xx`): the program runs, but something looks wrong.
+    /// Escalated to rejection under `--deny-lints`.
+    Warning,
+    /// A hard error (`E0xx`): the program is rejected.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding of the verifier, anchored to an IR coordinate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// Stable code (`"E002"`, `"W104"`, ...); see the code table in
+    /// DESIGN.md §7.
+    pub code: &'static str,
+    /// Index of the offending function.
+    pub func: usize,
+    /// Index of the offending block within the function; `None` for
+    /// function-level findings (e.g. an unreachable function).
+    pub block: Option<usize>,
+    /// Index of the offending instruction within the block; `None` for
+    /// block-level findings or findings on the terminator.
+    pub instr: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders without source text: `severity[code]: message` plus an IR
+    /// coordinate line. `names` are the function names, indexed by
+    /// function.
+    pub fn render(&self, names: &[String]) -> String {
+        let mut out = format!("{}[{}]: {}\n", self.severity, self.code, self.message);
+        let func = names.get(self.func).map(String::as_str).unwrap_or("?");
+        match (self.block, self.instr) {
+            (Some(b), Some(i)) => out.push_str(&format!("  --> {func}, bb{b}, instr {i}\n")),
+            (Some(b), None) => out.push_str(&format!("  --> {func}, bb{b}\n")),
+            _ => out.push_str(&format!("  --> {func}\n")),
+        }
+        out
+    }
+
+    /// Renders rustc-style against the original listing: the `file:line`
+    /// location, the offending source line, and a caret underline.
+    ///
+    /// Falls back to [`render`](Diagnostic::render) when the coordinate has
+    /// no source line (e.g. an implicit terminator).
+    pub fn render_source(
+        &self,
+        names: &[String],
+        map: &SourceMap,
+        source: &str,
+        file: &str,
+    ) -> String {
+        let line_no = match self.block {
+            Some(b) => map.line_of(self.func, b, self.instr),
+            None => map.functions.get(self.func).map(|f| f.header_line),
+        };
+        let Some(line_no) = line_no.filter(|&l| l > 0) else {
+            return self.render(names);
+        };
+        let Some(text) = source.lines().nth(line_no - 1) else {
+            return self.render(names);
+        };
+        let trimmed = text.trim_end();
+        let indent = trimmed.len() - trimmed.trim_start().len();
+        let width = trimmed.trim_start().len().max(1);
+        let gutter = line_no.to_string().len();
+        let mut out = format!("{}[{}]: {}\n", self.severity, self.code, self.message);
+        out.push_str(&format!("{:gutter$}--> {file}:{line_no}:{}\n", "", indent + 1));
+        out.push_str(&format!("{:gutter$} |\n", ""));
+        out.push_str(&format!("{line_no} | {trimmed}\n"));
+        out.push_str(&format!(
+            "{:gutter$} | {:indent$}{}\n",
+            "",
+            "",
+            "^".repeat(width),
+        ));
+        out
+    }
+}
+
+/// Renders a rustc-style located parse error (`E001`) for a listing that
+/// did not survive [`aprof_vm::asm::parse_module`].
+pub fn render_parse_error(err: &aprof_vm::asm::AsmError, source: &str, file: &str) -> String {
+    let mut out = format!("error[E001]: {}\n", err.message);
+    if err.line == 0 {
+        out.push_str(&format!("  --> {file}\n"));
+        return out;
+    }
+    let Some(text) = source.lines().nth(err.line - 1) else {
+        out.push_str(&format!("  --> {file}:{}\n", err.line));
+        return out;
+    };
+    let trimmed = text.trim_end();
+    let indent = trimmed.len() - trimmed.trim_start().len();
+    let (caret_at, width) = if err.col > 0 {
+        // Underline from the reported column to the end of the token-ish
+        // run (until whitespace), or at least one column.
+        let from = err.col - 1;
+        let width = trimmed[from.min(trimmed.len())..]
+            .chars()
+            .take_while(|c| !c.is_whitespace())
+            .count()
+            .max(1);
+        (from, width)
+    } else {
+        (indent, trimmed.trim_start().len().max(1))
+    };
+    let gutter = err.line.to_string().len();
+    out.push_str(&format!("{:gutter$}--> {file}:{}:{}\n", "", err.line, caret_at + 1));
+    out.push_str(&format!("{:gutter$} |\n", ""));
+    out.push_str(&format!("{} | {trimmed}\n", err.line));
+    out.push_str(&format!("{:gutter$} | {:caret_at$}{}\n", "", "", "^".repeat(width)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_error_highest() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Note);
+    }
+
+    #[test]
+    fn plain_render_mentions_code_and_coordinate() {
+        let d = Diagnostic {
+            severity: Severity::Warning,
+            code: "W104",
+            func: 0,
+            block: Some(2),
+            instr: Some(1),
+            message: "r3 may be read before initialization".into(),
+        };
+        let r = d.render(&["main".into()]);
+        assert!(r.contains("warning[W104]"), "{r}");
+        assert!(r.contains("main, bb2, instr 1"), "{r}");
+    }
+
+    #[test]
+    fn parse_error_renders_caret_at_column() {
+        let src = "func main() {\nentry:\n    r0 = bogus 1\n}";
+        let err = aprof_vm::asm::parse(src).unwrap_err();
+        let r = render_parse_error(&err, src, "t.asm");
+        assert!(r.contains("t.asm:3:10"), "{r}");
+        assert!(r.contains("^^^^^"), "{r}");
+    }
+}

@@ -1,0 +1,229 @@
+//! Static race candidates: guest memory locations that may be written
+//! concurrently under inconsistent locksets.
+//!
+//! The dataflow pass hands every reachable memory access here, abstracted
+//! to a [`Loc`] plus the must-lockset held at the access. Two accesses are
+//! a candidate pair when they may alias, at least one writes, their
+//! must-locksets share no lock, and at least one of them can execute on a
+//! spawned thread. This deliberately over-approximates the dynamic
+//! [`HelgrindTool`] verdict: must-locksets under-approximate the locks
+//! actually held, so a common dynamic lock is never invented statically,
+//! and every happens-before race the dynamic pass can observe sits on a
+//! pair this pass also flags. The cross-check test in
+//! `tests/race_crosscheck.rs` enforces exactly that containment.
+//!
+//! [`HelgrindTool`]: ../../aprof_tools/struct.HelgrindTool.html
+
+use crate::diag::{Diagnostic, Severity};
+use std::collections::BTreeSet;
+
+/// Abstract memory location of an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Loc {
+    /// A statically known cell address.
+    Cell(i64),
+    /// Somewhere inside the allocation made at the given site.
+    Region(u32),
+    /// Statically unknown — aliases everything.
+    Any,
+}
+
+impl Loc {
+    fn aliases(self, other: Loc) -> bool {
+        match (self, other) {
+            (Loc::Any, _) | (_, Loc::Any) => true,
+            (Loc::Cell(a), Loc::Cell(b)) => a == b,
+            (Loc::Region(a), Loc::Region(b)) => a == b,
+            // A constant cell address and a dynamic allocation are assumed
+            // disjoint: the guest cannot name an allocation's address as a
+            // literal without having obtained it from `alloc`.
+            _ => false,
+        }
+    }
+}
+
+/// One reachable memory access, as abstracted by the dataflow pass.
+#[derive(Debug, Clone)]
+pub struct AccessSite {
+    /// Function index of the access.
+    pub func: usize,
+    /// Block index of the access.
+    pub block: usize,
+    /// Instruction index of the access.
+    pub instr: usize,
+    /// Whether the access writes (stores and `sys_read` buffer fills).
+    pub write: bool,
+    /// The abstract location accessed.
+    pub loc: Loc,
+    /// Locks definitely held at the access (must-lockset).
+    pub locks: BTreeSet<i64>,
+    /// Whether the enclosing function can run on a spawned thread.
+    pub thread_side: bool,
+}
+
+/// The verifier's race-candidate summary, kept separate from the
+/// diagnostics so tests can compare it against dynamic findings.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RaceCandidates {
+    /// Statically known cell addresses with candidate races.
+    pub cells: BTreeSet<i64>,
+    /// Whether any candidate involves a dynamic allocation or an unknown
+    /// address (whose concrete addresses are unknowable statically).
+    pub dynamic_regions: bool,
+    /// Number of distinct candidate locations.
+    pub groups: usize,
+}
+
+impl RaceCandidates {
+    /// No candidates at all.
+    pub fn is_empty(&self) -> bool {
+        self.groups == 0
+    }
+
+    /// Whether a dynamic racy address is covered by the candidate set:
+    /// either its exact cell is a candidate, or some candidate lives in a
+    /// dynamic region (whose addresses cannot be enumerated statically).
+    pub fn covers_addr(&self, addr: u64) -> bool {
+        self.dynamic_regions || self.cells.contains(&(addr as i64))
+    }
+}
+
+/// Pairs up the access sites and reports one `N201` note per candidate
+/// location. `has_spawn` gates the whole pass: a program that never
+/// spawns has exactly one thread and cannot race.
+pub fn find_candidates(
+    sites: &[AccessSite],
+    has_spawn: bool,
+) -> (Vec<Diagnostic>, RaceCandidates) {
+    if !has_spawn {
+        return (Vec::new(), RaceCandidates::default());
+    }
+    let mut racy = vec![false; sites.len()];
+    for i in 0..sites.len() {
+        for j in i + 1..sites.len() {
+            let (a, b) = (&sites[i], &sites[j]);
+            if !(a.write || b.write) || !(a.thread_side || b.thread_side) {
+                continue;
+            }
+            if !a.loc.aliases(b.loc) {
+                continue;
+            }
+            if a.locks.intersection(&b.locks).next().is_some() {
+                continue; // a common lock orders the pair
+            }
+            racy[i] = true;
+            racy[j] = true;
+        }
+    }
+    let mut candidates = RaceCandidates::default();
+    let mut locs: Vec<Loc> = Vec::new();
+    for (site, flagged) in sites.iter().zip(&racy) {
+        if !flagged {
+            continue;
+        }
+        match site.loc {
+            Loc::Cell(c) => {
+                candidates.cells.insert(c);
+            }
+            Loc::Region(_) | Loc::Any => candidates.dynamic_regions = true,
+        }
+        if !locs.contains(&site.loc) {
+            locs.push(site.loc);
+        }
+    }
+    locs.sort_unstable();
+    candidates.groups = locs.len();
+    let mut diags = Vec::new();
+    for loc in locs {
+        // Anchor the note at the first flagged write of the location (or
+        // the first flagged access if all flagged accesses are reads).
+        let anchor = sites
+            .iter()
+            .zip(&racy)
+            .filter(|(s, &r)| r && s.loc == loc)
+            .map(|(s, _)| s)
+            .max_by_key(|s| s.write)
+            .expect("location came from a flagged site");
+        let what = match loc {
+            Loc::Cell(c) => format!("cell {c}"),
+            Loc::Region(s) => format!("allocation #{s}"),
+            Loc::Any => "a statically unknown address".to_owned(),
+        };
+        diags.push(Diagnostic {
+            severity: Severity::Note,
+            code: "N201",
+            func: anchor.func,
+            block: Some(anchor.block),
+            instr: Some(anchor.instr),
+            message: format!(
+                "{what} may be accessed concurrently under inconsistent locksets \
+                 (static race candidate)"
+            ),
+        });
+    }
+    (diags, candidates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(loc: Loc, write: bool, locks: &[i64], thread_side: bool) -> AccessSite {
+        AccessSite {
+            func: 0,
+            block: 0,
+            instr: 0,
+            write,
+            loc,
+            locks: locks.iter().copied().collect(),
+            thread_side,
+        }
+    }
+
+    #[test]
+    fn common_lock_suppresses_candidate() {
+        let sites = [
+            site(Loc::Cell(8), true, &[1], true),
+            site(Loc::Cell(8), true, &[1, 2], false),
+        ];
+        let (diags, c) = find_candidates(&sites, true);
+        assert!(diags.is_empty());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn disjoint_locksets_flag_cell() {
+        let sites =
+            [site(Loc::Cell(8), true, &[1], true), site(Loc::Cell(8), true, &[2], false)];
+        let (diags, c) = find_candidates(&sites, true);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "N201");
+        assert!(c.cells.contains(&8));
+        assert!(c.covers_addr(8));
+        assert!(!c.covers_addr(9));
+    }
+
+    #[test]
+    fn no_spawn_means_no_candidates() {
+        let sites =
+            [site(Loc::Cell(8), true, &[], true), site(Loc::Cell(8), true, &[], true)];
+        let (diags, c) = find_candidates(&sites, false);
+        assert!(diags.is_empty() && c.is_empty());
+    }
+
+    #[test]
+    fn reads_only_do_not_race() {
+        let sites =
+            [site(Loc::Cell(8), false, &[], true), site(Loc::Cell(8), false, &[], true)];
+        let (_, c) = find_candidates(&sites, true);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn region_candidate_covers_all_addresses() {
+        let sites =
+            [site(Loc::Region(3), true, &[], true), site(Loc::Region(3), false, &[], false)];
+        let (_, c) = find_candidates(&sites, true);
+        assert!(c.dynamic_regions && c.covers_addr(0xdead));
+    }
+}

@@ -1,0 +1,209 @@
+//! Structural well-formedness: the hard-error classes that mirror (and
+//! extend) [`Program::new`] validation, emitted as located diagnostics
+//! instead of a single fail-fast error.
+//!
+//! The guarantee the differential tests lean on: this pass reports **no
+//! errors** if and only if `Program::new` accepts the function list. The
+//! dataflow passes only run on structurally clean programs, so they can
+//! index blocks/registers/functions without bounds anxiety.
+//!
+//! [`Program::new`]: aprof_vm::ir::Program::new
+
+use crate::diag::{Diagnostic, Severity};
+use aprof_vm::ir::{FuncId, Function, Instr, Reg, Terminator};
+
+fn error(
+    code: &'static str,
+    func: usize,
+    block: Option<usize>,
+    instr: Option<usize>,
+    message: String,
+) -> Diagnostic {
+    Diagnostic { severity: Severity::Error, code, func, block, instr, message }
+}
+
+/// Checks one call/spawn site against the callee table.
+fn check_callee(
+    funcs: &[Function],
+    func: FuncId,
+    args: &[Reg],
+    spawn: bool,
+) -> Option<String> {
+    let what = if spawn { "spawn of" } else { "call to" };
+    match funcs.get(func.index()) {
+        None => Some(format!("{what} unknown function {func:?}")),
+        Some(callee) if callee.params as usize != args.len() => Some(format!(
+            "{what} `{}` with {} args, expected {}",
+            callee.name,
+            args.len(),
+            callee.params
+        )),
+        _ => None,
+    }
+}
+
+/// Runs the structural pass over an unvalidated function list.
+///
+/// Error classes: `E003` (bad terminator target / empty function), `E004`
+/// (register out of range), `E005` (unknown callee or arity mismatch),
+/// `E006` (entry-function errors).
+pub fn check(funcs: &[Function], entry: FuncId) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    match funcs.get(entry.index()) {
+        None => out.push(error(
+            "E006",
+            entry.index(),
+            None,
+            None,
+            format!("entry function {entry:?} does not exist"),
+        )),
+        Some(f) if f.params != 0 => out.push(error(
+            "E006",
+            entry.index(),
+            None,
+            None,
+            format!("entry function `{}` must take no parameters", f.name),
+        )),
+        _ => {}
+    }
+    let mut uses: Vec<Reg> = Vec::new();
+    for (fi, f) in funcs.iter().enumerate() {
+        if f.params > f.regs {
+            out.push(error(
+                "E004",
+                fi,
+                None,
+                None,
+                format!("`{}` declares {} params but only {} regs", f.name, f.params, f.regs),
+            ));
+        }
+        if f.blocks.is_empty() {
+            out.push(error("E003", fi, None, None, format!("`{}` has no basic blocks", f.name)));
+            continue;
+        }
+        let reg_ok = |r: Reg| r.0 < f.regs;
+        let block_ok = |b: aprof_vm::ir::BlockId| b.index() < f.blocks.len();
+        for (bi, block) in f.blocks.iter().enumerate() {
+            for (ii, instr) in block.instrs.iter().enumerate() {
+                uses.clear();
+                instr.uses_into(&mut uses);
+                uses.extend(instr.def());
+                if let Some(&bad) = uses.iter().find(|r| !reg_ok(**r)) {
+                    out.push(error(
+                        "E004",
+                        fi,
+                        Some(bi),
+                        Some(ii),
+                        format!("register r{} out of range (`{}` has {} regs)", bad.0, f.name, f.regs),
+                    ));
+                }
+                if let Some((callee, args)) = instr.callee() {
+                    let spawn = matches!(instr, Instr::Spawn { .. });
+                    if let Some(msg) = check_callee(funcs, callee, args, spawn) {
+                        out.push(error("E005", fi, Some(bi), Some(ii), msg));
+                    }
+                }
+            }
+            match &block.term {
+                Terminator::Jmp(b) => {
+                    if !block_ok(*b) {
+                        out.push(error(
+                            "E003",
+                            fi,
+                            Some(bi),
+                            None,
+                            format!("jump to unknown block {b}"),
+                        ));
+                    }
+                }
+                Terminator::Br { cond, then_to, else_to } => {
+                    if !reg_ok(*cond) {
+                        out.push(error(
+                            "E004",
+                            fi,
+                            Some(bi),
+                            None,
+                            format!("branch condition r{} out of range", cond.0),
+                        ));
+                    }
+                    for b in [then_to, else_to] {
+                        if !block_ok(*b) {
+                            out.push(error(
+                                "E003",
+                                fi,
+                                Some(bi),
+                                None,
+                                format!("branch to unknown block {b}"),
+                            ));
+                        }
+                    }
+                }
+                Terminator::Ret { value: Some(r) } => {
+                    if !reg_ok(*r) {
+                        out.push(error(
+                            "E004",
+                            fi,
+                            Some(bi),
+                            None,
+                            format!("return register r{} out of range", r.0),
+                        ));
+                    }
+                }
+                Terminator::Ret { value: None } => {}
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aprof_vm::ir::{BasicBlock, BlockId, Program};
+
+    fn ret() -> Terminator {
+        Terminator::Ret { value: None }
+    }
+
+    #[test]
+    fn clean_function_matches_program_new() {
+        let f = Function {
+            name: "main".into(),
+            params: 0,
+            regs: 1,
+            blocks: vec![BasicBlock { instrs: vec![], term: ret() }],
+        };
+        assert!(check(std::slice::from_ref(&f), FuncId(0)).is_empty());
+        assert!(Program::new(vec![f], FuncId(0)).is_ok());
+    }
+
+    #[test]
+    fn bad_jump_is_e003_and_rejected_by_program_new() {
+        let f = Function {
+            name: "main".into(),
+            params: 0,
+            regs: 1,
+            blocks: vec![BasicBlock { instrs: vec![], term: Terminator::Jmp(BlockId(7)) }],
+        };
+        let diags = check(std::slice::from_ref(&f), FuncId(0));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "E003");
+        assert!(Program::new(vec![f], FuncId(0)).is_err());
+    }
+
+    #[test]
+    fn out_of_range_register_is_e004() {
+        let f = Function {
+            name: "main".into(),
+            params: 0,
+            regs: 1,
+            blocks: vec![BasicBlock {
+                instrs: vec![Instr::Const { dst: Reg(9), value: 1 }],
+                term: ret(),
+            }],
+        };
+        let diags = check(std::slice::from_ref(&f), FuncId(0));
+        assert_eq!(diags[0].code, "E004");
+        assert_eq!((diags[0].block, diags[0].instr), (Some(0), Some(0)));
+    }
+}

@@ -1,0 +1,336 @@
+//! Soundness differential tests: the verifier versus the machine.
+//!
+//! Two generators drive ≥256 random cases each:
+//!
+//! * **(a) well-formed programs** in the *constant-key fragment* (lock keys
+//!   are always `const`-defined immediately before use — the fragment where
+//!   the lockset analysis is exact rather than taint-suppressed):
+//!   - the verifier never panics;
+//!   - programs it accepts without init/lock findings never raise the
+//!     checked error classes (`UseBeforeDef` under `strict_regs`,
+//!     `LockNotHeld`) when executed;
+//!   - conversely, every run that *does* raise a checked class was flagged
+//!     statically (`E002`/`W104` for init, `E007`/`W105` for locks).
+//!
+//!   Unchecked classes (deadlock, block budget, bad thread handle, thread
+//!   limit) are outside the verifier's scope and ignored.
+//!
+//! * **(b) arbitrary function lists**, mostly structurally invalid:
+//!   - the verifier never panics;
+//!   - it reports a hard error if and only if [`Program::new`] rejects.
+
+use aprof_check::{check_functions, Severity};
+use aprof_vm::ir::{
+    BasicBlock, BinOp, BlockId, CmpOp, FuncId, Function, Instr, Program, Reg, Terminator,
+};
+use aprof_vm::{Machine, MachineConfig, VmError};
+use proptest::prelude::*;
+
+/// Registers per generated function (generator a).
+const REGS: u16 = 6;
+
+/// One abstract instruction slot; materialized by [`materialize_op`].
+type RawOp = (u8, u8, u8, i8);
+/// One abstract terminator: (kind, operand, target).
+type RawTerm = (u8, u8, u8);
+/// One abstract block: ops plus terminator.
+type RawBlock = (Vec<RawOp>, RawTerm);
+
+fn op_strategy() -> impl Strategy<Value = RawOp> {
+    (0u8..12, any::<u8>(), any::<u8>(), any::<i8>())
+}
+
+fn block_strategy() -> impl Strategy<Value = RawBlock> {
+    (
+        prop::collection::vec(op_strategy(), 0..6),
+        (0u8..4, any::<u8>(), any::<u8>()),
+    )
+}
+
+fn func_strategy() -> impl Strategy<Value = Vec<RawBlock>> {
+    prop::collection::vec(block_strategy(), 1..4)
+}
+
+/// Materializes one abstract op into 1–2 instructions of the constant-key
+/// fragment. `callees` lists (function id, param count) this function may
+/// call; spawns target the same set.
+fn materialize_op(op: RawOp, callees: &[(u32, u16)], out: &mut Vec<Instr>) {
+    let (kind, a, b, c) = op;
+    let r = |x: u8| Reg(u16::from(x) % REGS);
+    let (dst, src) = (r(a), r(b));
+    match kind {
+        0 => out.push(Instr::Const { dst, value: i64::from(c) }),
+        1 => out.push(Instr::Mov { dst, src }),
+        2 => {
+            let op = [BinOp::Add, BinOp::Sub, BinOp::Mul][c.unsigned_abs() as usize % 3];
+            out.push(Instr::Bin { op, dst, lhs: src, rhs: r(a.wrapping_add(b)) });
+        }
+        3 => {
+            let op = [CmpOp::Lt, CmpOp::Eq, CmpOp::Ge][c.unsigned_abs() as usize % 3];
+            out.push(Instr::Cmp { op, dst, lhs: src, rhs: r(a.wrapping_add(b)) });
+        }
+        4 => out.push(Instr::Load { dst, addr: src, offset: i64::from(c % 8) }),
+        5 => out.push(Instr::Store { src: dst, addr: src, offset: i64::from(c % 8) }),
+        6 | 7 => {
+            // The constant-key fragment: the key register is always written
+            // by a `const` in the instruction before the lock op.
+            let key = Reg(REGS - 1);
+            out.push(Instr::Const { dst: key, value: i64::from(c.unsigned_abs() % 3) + 1 });
+            out.push(if kind == 6 {
+                Instr::Acquire { lock: key }
+            } else {
+                Instr::Release { lock: key }
+            });
+        }
+        8 | 9 => {
+            if let Some(&(func, params)) = callees.get(usize::from(a) % callees.len().max(1)) {
+                let args: Vec<Reg> = (0..params).map(|i| r(b.wrapping_add(i as u8))).collect();
+                if kind == 8 {
+                    let dst = if c < 0 { None } else { Some(dst) };
+                    out.push(Instr::Call { dst, func: FuncId(func), args });
+                } else {
+                    out.push(Instr::Spawn { dst, func: FuncId(func), args });
+                }
+            }
+        }
+        10 => out.push(Instr::Join { thread: src }),
+        _ => out.push(Instr::Yield),
+    }
+}
+
+fn materialize_term(t: RawTerm, nblocks: usize, is_last: bool) -> Terminator {
+    let (kind, x, y) = t;
+    let blk = |v: u8| BlockId((u32::from(v) % nblocks as u32).min(nblocks as u32 - 1));
+    if is_last {
+        // The last block always returns, so every function terminates on
+        // some path (runaway loops are still possible via earlier blocks
+        // and get cut by the block budget — an unchecked class).
+        return Terminator::Ret { value: if x % 2 == 0 { Some(Reg(u16::from(y) % REGS)) } else { None } };
+    }
+    match kind {
+        0 => Terminator::Jmp(blk(x)),
+        1 => Terminator::Br {
+            cond: Reg(u16::from(x) % REGS),
+            then_to: blk(y),
+            else_to: blk(y.wrapping_add(1)),
+        },
+        _ => Terminator::Ret { value: if x % 2 == 0 { Some(Reg(u16::from(y) % REGS)) } else { None } },
+    }
+}
+
+/// Builds a structurally valid 3-function program: `main` (entry, may call
+/// or spawn both helpers), `h1(1 param)` (may call/spawn `h2`), `h2()`.
+fn build_program(raw: &[Vec<RawBlock>; 3]) -> Vec<Function> {
+    let shapes = [
+        ("main", 0u16, vec![(1u32, 1u16), (2, 0)]),
+        ("h1", 1, vec![(2, 0)]),
+        ("h2", 0, vec![]),
+    ];
+    shapes
+        .iter()
+        .zip(raw)
+        .map(|((name, params, callees), blocks)| {
+            let n = blocks.len();
+            let blocks = blocks
+                .iter()
+                .enumerate()
+                .map(|(bi, (ops, term))| {
+                    let mut instrs = Vec::new();
+                    for &op in ops {
+                        materialize_op(op, callees, &mut instrs);
+                    }
+                    BasicBlock { instrs, term: materialize_term(*term, n, bi + 1 == n) }
+                })
+                .collect();
+            Function { name: (*name).to_owned(), params: *params, regs: REGS, blocks }
+        })
+        .collect()
+}
+
+/// The diagnostic codes covering each checked runtime class.
+fn flags_init(codes: &[&str]) -> bool {
+    codes.contains(&"E002") || codes.contains(&"W104")
+}
+fn flags_lock(codes: &[&str]) -> bool {
+    codes.contains(&"E007") || codes.contains(&"W105")
+}
+
+fn run_strict(funcs: &[Function]) -> Result<(), VmError> {
+    let program = Program::new(funcs.to_vec(), FuncId(0)).expect("generator emits valid IR");
+    let config = MachineConfig {
+        max_blocks: 20_000,
+        max_threads: 64,
+        strict_regs: true,
+        ..MachineConfig::default()
+    };
+    Machine::new(program).with_config(config).run_native().map(|_| ())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Generator (a): acceptance is sound, rejection is complete, and the
+    /// verifier never panics on well-formed inputs.
+    #[test]
+    fn verifier_agrees_with_strict_machine(
+        raw in (func_strategy(), func_strategy(), func_strategy())
+    ) {
+        let funcs = build_program(&[raw.0, raw.1, raw.2]);
+        let report = check_functions(&funcs, FuncId(0));
+        prop_assert!(!report.has_errors() || report.diagnostics.iter().any(|d| d.severity == Severity::Error));
+        let codes: Vec<&str> = report.diagnostics.iter().map(|d| d.code).collect();
+        match run_strict(&funcs) {
+            Err(VmError::UseBeforeDef { .. }) => {
+                prop_assert!(
+                    flags_init(&codes),
+                    "machine hit UseBeforeDef but verifier was silent: {:?}",
+                    report.diagnostics
+                );
+            }
+            Err(VmError::LockNotHeld { .. }) => {
+                prop_assert!(
+                    flags_lock(&codes),
+                    "machine hit LockNotHeld but verifier was silent: {:?}",
+                    report.diagnostics
+                );
+            }
+            // Unchecked classes and clean runs: if the verifier reported no
+            // init/lock findings, the checked classes must not have fired —
+            // which this arm's very selection already witnesses.
+            _ => {}
+        }
+        // Acceptance soundness, stated positively: no findings of a class
+        // implies the machine cannot raise that class.
+        if !flags_init(&codes) && !flags_lock(&codes) && !report.has_errors() {
+            match run_strict(&funcs) {
+                Err(VmError::UseBeforeDef { .. }) | Err(VmError::LockNotHeld { .. }) => {
+                    prop_assert!(false, "accepted program raised a checked class");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Generator (b): on arbitrary (mostly invalid) function lists the
+    /// verifier never panics and its error verdict matches `Program::new`.
+    #[test]
+    fn structural_verdict_matches_program_new(
+        raw in prop::collection::vec(
+            (
+                0u16..3,                       // params
+                1u16..5,                       // regs
+                prop::collection::vec(
+                    (
+                        prop::collection::vec((0u8..14, any::<u8>(), any::<u8>()), 0..4),
+                        (0u8..4, any::<u8>(), any::<u8>()),
+                    ),
+                    0..3,
+                ),
+            ),
+            1..4,
+        ),
+        entry in 0u32..5,
+    ) {
+        let nfuncs = raw.len();
+        let funcs: Vec<Function> = raw
+            .iter()
+            .enumerate()
+            .map(|(fi, (params, regs, blocks))| {
+                let blocks = blocks
+                    .iter()
+                    .map(|(ops, term)| {
+                        let instrs = ops
+                            .iter()
+                            .map(|&(kind, a, b)| wild_instr(kind, a, b, nfuncs))
+                            .collect();
+                        BasicBlock { instrs, term: wild_term(*term) }
+                    })
+                    .collect();
+                Function {
+                    name: format!("f{fi}"),
+                    params: *params,
+                    regs: *regs,
+                    blocks,
+                }
+            })
+            .collect();
+        let report = check_functions(&funcs, FuncId(entry));
+        let accepted = Program::new(funcs, FuncId(entry)).is_ok();
+        prop_assert_eq!(
+            !report.has_errors(),
+            accepted,
+            "verifier and Program::new disagree: {:?}",
+            report.diagnostics
+        );
+    }
+}
+
+/// Guards the differential against vacuity: over a fixed seed sweep the
+/// generator must actually produce runs that hit each checked class, runs
+/// that finish cleanly, and statically rejected structures — otherwise the
+/// properties above would pass without testing anything.
+#[test]
+fn generator_exercises_checked_classes() {
+    let strat = (func_strategy(), func_strategy(), func_strategy());
+    let (mut init, mut lock, mut clean) = (0u32, 0u32, 0u32);
+    for seed in 0..512 {
+        let mut rng = TestRng::from_seed(seed);
+        let raw = Strategy::generate(&strat, &mut rng);
+        let funcs = build_program(&[raw.0, raw.1, raw.2]);
+        match run_strict(&funcs) {
+            Err(VmError::UseBeforeDef { .. }) => init += 1,
+            Err(VmError::LockNotHeld { .. }) => lock += 1,
+            Ok(()) => clean += 1,
+            Err(_) => {}
+        }
+    }
+    assert!(
+        init > 0 && lock > 0 && clean > 0,
+        "degenerate generator: init={init} lock={lock} clean={clean}"
+    );
+}
+
+/// An unconstrained instruction for generator (b): registers, targets and
+/// callees may all be out of range.
+fn wild_instr(kind: u8, a: u8, b: u8, nfuncs: usize) -> Instr {
+    let r = |x: u8| Reg(u16::from(x) % 8);
+    match kind {
+        0 => Instr::Const { dst: r(a), value: i64::from(b) },
+        1 => Instr::Mov { dst: r(a), src: r(b) },
+        2 => Instr::Bin { op: BinOp::Add, dst: r(a), lhs: r(b), rhs: r(a.wrapping_add(b)) },
+        3 => Instr::Cmp { op: CmpOp::Eq, dst: r(a), lhs: r(b), rhs: r(a.wrapping_add(b)) },
+        4 => Instr::Load { dst: r(a), addr: r(b), offset: 0 },
+        5 => Instr::Store { src: r(a), addr: r(b), offset: 0 },
+        6 => Instr::Alloc { dst: r(a), len: r(b) },
+        7 => Instr::Call {
+            dst: Some(r(a)),
+            func: FuncId(u32::from(b) % (nfuncs as u32 + 2)),
+            args: vec![r(a); usize::from(b) % 3],
+        },
+        8 => Instr::Spawn {
+            dst: r(a),
+            func: FuncId(u32::from(b) % (nfuncs as u32 + 2)),
+            args: vec![r(b); usize::from(a) % 3],
+        },
+        9 => Instr::Join { thread: r(a) },
+        10 => Instr::Acquire { lock: r(a) },
+        11 => Instr::Release { lock: r(a) },
+        12 => Instr::SemInit { sem: r(a), value: r(b) },
+        _ => Instr::Yield,
+    }
+}
+
+/// An unconstrained terminator for generator (b).
+fn wild_term(t: (u8, u8, u8)) -> Terminator {
+    let (kind, x, y) = t;
+    match kind {
+        0 => Terminator::Jmp(BlockId(u32::from(x) % 5)),
+        1 => Terminator::Br {
+            cond: Reg(u16::from(x) % 8),
+            then_to: BlockId(u32::from(y) % 5),
+            else_to: BlockId(u32::from(y.wrapping_add(1)) % 5),
+        },
+        2 => Terminator::Ret { value: Some(Reg(u16::from(x) % 8)) },
+        _ => Terminator::Ret { value: None },
+    }
+}

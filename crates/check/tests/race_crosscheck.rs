@@ -1,0 +1,108 @@
+//! Static-versus-dynamic race containment: every address on which the
+//! dynamic happens-before detector (`HelgrindTool`) reports a race during
+//! an actual run must lie inside the verifier's static race-candidate set.
+//!
+//! The containment argument: the static pass pairs accesses whose
+//! *must*-locksets are disjoint. Must-locksets under-approximate the locks
+//! actually held, so the static pass never invents a common lock that the
+//! dynamic execution lacked — any pair of accesses that can race
+//! dynamically is also lockset-disjoint statically (and alias analysis
+//! only widens, never narrows, the candidate set).
+
+use aprof_check::check_program;
+use aprof_tools::HelgrindTool;
+use aprof_vm::asm;
+use aprof_vm::Machine;
+use aprof_workloads::{all, WorkloadParams};
+
+/// Runs helgrind over a machine and asserts containment of its findings in
+/// the static candidate set of the same program.
+fn assert_contained(name: &str, mut machine: Machine) {
+    let report = check_program(machine.program());
+    let mut tool = HelgrindTool::new();
+    machine.run_with(&mut tool).unwrap_or_else(|e| panic!("{name}: guest error: {e}"));
+    for addr in tool.racy_addresses() {
+        assert!(
+            report.races.covers_addr(addr),
+            "{name}: dynamic race on cell {addr} missing from static candidates \
+             (cells {:?}, dynamic_regions {})",
+            report.races.cells,
+            report.races.dynamic_regions
+        );
+    }
+}
+
+#[test]
+fn every_workload_helgrind_report_is_statically_anticipated() {
+    // Two sizes and thread counts so both light and contended schedules
+    // are exercised; the static result is computed per built program.
+    for params in [
+        WorkloadParams { size: 48, threads: 2, seed: 0x5eed },
+        WorkloadParams { size: 96, threads: 4, seed: 0xfeed },
+    ] {
+        for wl in all() {
+            assert_contained(wl.name, wl.build(&params));
+        }
+    }
+}
+
+#[test]
+fn deliberately_racy_program_is_caught_both_ways() {
+    let src = "\
+        func main() regs=4 {\n\
+        entry:\n\
+            r0 = spawn worker()\n\
+            r1 = const 64\n\
+            r2 = const 1\n\
+            store r2, r1, 0\n\
+            join r0\n\
+            ret\n\
+        }\n\
+        func worker() regs=3 {\n\
+        entry:\n\
+            r0 = const 64\n\
+            r1 = const 2\n\
+            store r1, r0, 0\n\
+            ret\n\
+        }\n";
+    let program = asm::parse(src).expect("racy program parses");
+    let report = check_program(&program);
+    assert!(report.races.covers_addr(64), "static candidates must include cell 64");
+    assert_contained("deliberate_race", Machine::new(program));
+}
+
+#[test]
+fn properly_locked_program_has_no_candidates_and_no_dynamic_races() {
+    let src = "\
+        func main() regs=4 {\n\
+        entry:\n\
+            r0 = spawn worker()\n\
+            call bump()\n\
+            join r0\n\
+            ret\n\
+        }\n\
+        func worker() regs=1 {\n\
+        entry:\n\
+            call bump()\n\
+            ret\n\
+        }\n\
+        func bump() regs=4 {\n\
+        entry:\n\
+            r0 = const 9\n\
+            acquire r0\n\
+            r1 = const 64\n\
+            r2 = load r1, 0\n\
+            r3 = const 1\n\
+            r2 = add r2, r3\n\
+            store r2, r1, 0\n\
+            release r0\n\
+            ret\n\
+        }\n";
+    let program = asm::parse(src).expect("locked program parses");
+    let report = check_program(&program);
+    assert!(report.races.is_empty(), "locked program should have no candidates");
+    let mut machine = Machine::new(program);
+    let mut tool = HelgrindTool::new();
+    machine.run_with(&mut tool).expect("locked program runs");
+    assert_eq!(tool.report().races, 0, "helgrind should agree the program is clean");
+}

@@ -1,0 +1,203 @@
+//! One minimal bad program per diagnostic code: every error class and lint
+//! the verifier can emit is witnessed here with its anchored coordinate.
+
+use aprof_check::{check_functions, check_module, CheckReport, Severity};
+use aprof_vm::asm;
+use aprof_vm::ir::{BasicBlock, BlockId, FuncId, Function, Instr, Reg, Terminator};
+
+fn of_asm(src: &str) -> CheckReport {
+    check_module(&asm::parse_module(src).expect("witness parses"))
+}
+
+fn find<'r>(r: &'r CheckReport, code: &str) -> &'r aprof_check::Diagnostic {
+    r.diagnostics
+        .iter()
+        .find(|d| d.code == code)
+        .unwrap_or_else(|| panic!("{code} not emitted: {:?}", r.diagnostics))
+}
+
+fn ret() -> Terminator {
+    Terminator::Ret { value: None }
+}
+
+fn func(name: &str, params: u16, regs: u16, blocks: Vec<BasicBlock>) -> Function {
+    Function { name: name.into(), params, regs, blocks }
+}
+
+#[test]
+fn e002_definite_use_before_def() {
+    let r = of_asm("func main() regs=4 {\nentry:\n    r0 = mov r3\n    ret\n}");
+    let d = find(&r, "E002");
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!((d.func, d.block, d.instr), (0, Some(0), Some(0)));
+}
+
+#[test]
+fn e003_bad_block_target_and_empty_function() {
+    let bad_jump = func(
+        "main",
+        0,
+        1,
+        vec![BasicBlock { instrs: vec![], term: Terminator::Jmp(BlockId(3)) }],
+    );
+    let r = check_functions(&[bad_jump], FuncId(0));
+    assert_eq!(find(&r, "E003").block, Some(0));
+
+    let empty = func("main", 0, 1, vec![]);
+    let r = check_functions(&[empty], FuncId(0));
+    assert_eq!(find(&r, "E003").block, None);
+}
+
+#[test]
+fn e004_register_out_of_range() {
+    let f = func(
+        "main",
+        0,
+        2,
+        vec![BasicBlock {
+            instrs: vec![Instr::Const { dst: Reg(7), value: 0 }],
+            term: ret(),
+        }],
+    );
+    let r = check_functions(&[f], FuncId(0));
+    let d = find(&r, "E004");
+    assert_eq!((d.block, d.instr), (Some(0), Some(0)));
+
+    // params > regs is the function-level shape of the same class.
+    let f = func("main", 0, 4, vec![BasicBlock { instrs: vec![], term: ret() }]);
+    let g = func("g", 5, 2, vec![BasicBlock { instrs: vec![], term: ret() }]);
+    let r = check_functions(&[f, g], FuncId(0));
+    assert_eq!(find(&r, "E004").func, 1);
+}
+
+#[test]
+fn e005_unknown_callee_and_arity_mismatch() {
+    let unknown = func(
+        "main",
+        0,
+        1,
+        vec![BasicBlock {
+            instrs: vec![Instr::Call { dst: None, func: FuncId(9), args: vec![] }],
+            term: ret(),
+        }],
+    );
+    let r = check_functions(&[unknown], FuncId(0));
+    assert_eq!(find(&r, "E005").instr, Some(0));
+
+    let caller = func(
+        "main",
+        0,
+        2,
+        vec![BasicBlock {
+            instrs: vec![Instr::Call { dst: None, func: FuncId(1), args: vec![Reg(0)] }],
+            term: ret(),
+        }],
+    );
+    let callee = func("two_args", 2, 2, vec![BasicBlock { instrs: vec![], term: ret() }]);
+    let r = check_functions(&[caller, callee], FuncId(0));
+    assert!(find(&r, "E005").message.contains("expected 2"));
+}
+
+#[test]
+fn e006_entry_errors() {
+    let r = of_asm("func main(1) regs=2 {\nentry:\n    ret r0\n}");
+    assert_eq!(find(&r, "E006").severity, Severity::Error);
+
+    let f = func("f", 0, 1, vec![BasicBlock { instrs: vec![], term: ret() }]);
+    let r = check_functions(&[f], FuncId(4));
+    assert!(find(&r, "E006").message.contains("does not exist"));
+}
+
+#[test]
+fn e007_release_never_held() {
+    let r = of_asm("func main() regs=1 {\nentry:\n    r0 = const 3\n    release r0\n    ret\n}");
+    assert_eq!(find(&r, "E007").instr, Some(1));
+}
+
+#[test]
+fn w101_unreachable_block() {
+    let r = of_asm("func main() {\nentry:\n    ret\ndead:\n    ret\n}");
+    assert_eq!(find(&r, "W101").block, Some(1));
+}
+
+#[test]
+fn w102_unreachable_function() {
+    let r = of_asm("func main() {\nentry:\n    ret\n}\nfunc orphan() {\nentry:\n    ret\n}");
+    assert_eq!(find(&r, "W102").func, 1);
+}
+
+#[test]
+fn w103_unbounded_recursion() {
+    let r = of_asm(
+        "func main() {\nentry:\n    call spin()\n    ret\n}\n\
+         func spin() {\nentry:\n    call spin()\n    ret\n}",
+    );
+    assert_eq!(find(&r, "W103").func, 1);
+}
+
+#[test]
+fn w104_maybe_uninitialized() {
+    let r = of_asm(
+        "func main() regs=4 {\n\
+         entry:\n    r0 = const 1\n    br r0, a, done\n\
+         a:\n    r1 = const 2\n    jmp done\n\
+         done:\n    r2 = mov r1\n    ret r2\n}",
+    );
+    assert_eq!(find(&r, "W104").severity, Severity::Warning);
+}
+
+#[test]
+fn w105_maybe_unheld_release() {
+    let r = of_asm(
+        "func main() regs=2 {\n\
+         entry:\n    r0 = const 9\n    br r0, lk, done\n\
+         lk:\n    acquire r0\n    jmp done\n\
+         done:\n    release r0\n    ret\n}",
+    );
+    assert_eq!(find(&r, "W105").severity, Severity::Warning);
+}
+
+#[test]
+fn w106_thread_entry_returns_holding_lock() {
+    let r = of_asm(
+        "func main() regs=2 {\nentry:\n    r0 = const 9\n    acquire r0\n    ret\n}",
+    );
+    assert_eq!(find(&r, "W106").func, 0);
+}
+
+#[test]
+fn w107_unjoined_spawn_handle() {
+    let r = of_asm(
+        "func main() regs=1 {\nentry:\n    r0 = spawn w()\n    ret\n}\n\
+         func w() {\nentry:\n    ret\n}",
+    );
+    assert_eq!(find(&r, "W107").instr, Some(0));
+}
+
+#[test]
+fn w108_join_on_pointer() {
+    let r = of_asm(
+        "func main() regs=2 {\n\
+         entry:\n    r0 = const 4\n    r1 = alloc r0\n    join r1\n    ret\n}",
+    );
+    assert_eq!(find(&r, "W108").instr, Some(2));
+}
+
+#[test]
+fn w110_implicit_terminator() {
+    let r = of_asm("func main() {\nentry:\n    r0 = const 1\n}");
+    assert_eq!(find(&r, "W110").block, Some(0));
+}
+
+#[test]
+fn n201_static_race_candidate() {
+    let r = of_asm(
+        "func main() regs=4 {\n\
+         entry:\n    r0 = spawn w()\n    r1 = const 8\n    r2 = const 1\n\
+         \n    store r2, r1, 0\n    join r0\n    ret\n}\n\
+         func w() regs=2 {\nentry:\n    r0 = const 8\n    r1 = load r0, 0\n    ret\n}",
+    );
+    let d = find(&r, "N201");
+    assert_eq!(d.severity, Severity::Note);
+    assert!(r.races.covers_addr(8));
+}

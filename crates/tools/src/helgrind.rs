@@ -84,6 +84,14 @@ impl HelgrindTool {
         RaceReport { races: self.races, racy_cells: self.racy_cells.len() }
     }
 
+    /// The distinct guest addresses on which a race was reported, in
+    /// ascending order. Used by the static verifier's cross-check tests,
+    /// which assert that every dynamically observed race falls inside the
+    /// static race-candidate set.
+    pub fn racy_addresses(&self) -> impl Iterator<Item = u64> + '_ {
+        self.racy_cells.iter().copied()
+    }
+
     /// Approximate resident bytes of the detector's per-cell and per-thread
     /// state (for the space-overhead comparisons of Table 1 / Fig. 14b).
     pub fn approx_bytes(&self) -> u64 {

@@ -33,6 +33,11 @@
 //! `regs=N` is optional; the register file is sized from the highest
 //! register mentioned. The entry point is the function named `main`
 //! (or the first function if none is named `main`).
+//!
+//! [`parse`] yields a validated [`Program`]; [`parse_module`] stops before
+//! validation and additionally returns a [`SourceMap`] tying every IR
+//! coordinate back to its source line, which is what lets `aprof check`
+//! render rustc-style diagnostics over the original listing.
 
 use crate::ir::{
     BasicBlock, BinOp, BlockId, CmpOp, FuncId, Function, Instr, Program, Reg, Terminator,
@@ -40,22 +45,25 @@ use crate::ir::{
 use std::collections::HashMap;
 use std::fmt;
 
-/// A parse or resolution error, with its 1-based source line.
+/// A parse or resolution error, with its 1-based source position.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AsmError {
     /// 1-based line number of the offending line (0 for whole-program
-    /// errors).
+    /// errors, e.g. an empty source).
     pub line: usize,
+    /// 1-based column of the offending token within the line (0 when the
+    /// error has no narrower span than the whole line).
+    pub col: usize,
     /// Human-readable description.
     pub message: String,
 }
 
 impl fmt::Display for AsmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.line == 0 {
-            write!(f, "assembly error: {}", self.message)
-        } else {
-            write!(f, "assembly error at line {}: {}", self.line, self.message)
+        match (self.line, self.col) {
+            (0, _) => write!(f, "assembly error: {}", self.message),
+            (l, 0) => write!(f, "assembly error at line {l}: {}", self.message),
+            (l, c) => write!(f, "assembly error at line {l}:{c}: {}", self.message),
         }
     }
 }
@@ -63,7 +71,117 @@ impl fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
-    Err(AsmError { line, message: message.into() })
+    Err(AsmError { line, col: 0, message: message.into() })
+}
+
+/// Source-position context for a parse: the raw (uncommented, untrimmed)
+/// lines, which every token handed to the sub-parsers is a sub-slice of.
+/// Columns are recovered by pointer offset instead of being threaded
+/// through every splitting step.
+struct SrcCtx<'a> {
+    raw: Vec<&'a str>,
+}
+
+impl SrcCtx<'_> {
+    /// 1-based column of `tok` within line `ln`; 0 if `tok` is not a
+    /// sub-slice of that line (defensive — never panics).
+    fn col(&self, ln: usize, tok: &str) -> usize {
+        let tok = tok.trim_start();
+        let Some(line) = self.raw.get(ln.wrapping_sub(1)) else { return 0 };
+        let (start, end) = (line.as_ptr() as usize, line.as_ptr() as usize + line.len());
+        let at = tok.as_ptr() as usize;
+        if at >= start && at + tok.len() <= end {
+            at - start + 1
+        } else {
+            0
+        }
+    }
+
+    /// An error located at `tok` on line `ln`.
+    fn err<T>(&self, ln: usize, tok: &str, message: impl Into<String>) -> Result<T, AsmError> {
+        Err(AsmError { line: ln, col: self.col(ln, tok), message: message.into() })
+    }
+}
+
+/// Source positions of one parsed basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockSpans {
+    /// Line of the `label:` introducing the block.
+    pub label_line: usize,
+    /// Line of each instruction, in block order.
+    pub instr_lines: Vec<usize>,
+    /// Line of the terminator; `None` when the block ends in the implicit
+    /// bare `ret` the parser inserts.
+    pub term_line: Option<usize>,
+}
+
+/// Source positions of one parsed function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncSpans {
+    /// Line of the `func name(...) {` header.
+    pub header_line: usize,
+    /// Per-block spans, indexed like `Function::blocks`.
+    pub blocks: Vec<BlockSpans>,
+}
+
+/// Maps IR coordinates (function, block, instruction) back to 1-based
+/// source lines of the listing they were parsed from.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SourceMap {
+    /// Per-function spans, indexed like `Program::functions`.
+    pub functions: Vec<FuncSpans>,
+}
+
+impl SourceMap {
+    /// The source line of instruction `instr` of block `block` of function
+    /// `func`; instruction indices past the last instruction resolve to the
+    /// terminator line (falling back to the block label, then the header).
+    pub fn line_of(&self, func: usize, block: usize, instr: Option<usize>) -> Option<usize> {
+        let f = self.functions.get(func)?;
+        let Some(b) = f.blocks.get(block) else { return Some(f.header_line) };
+        match instr {
+            Some(i) if i < b.instr_lines.len() => Some(b.instr_lines[i]),
+            _ => Some(b.term_line.unwrap_or(b.label_line)),
+        }
+    }
+}
+
+/// A parsed-but-unvalidated module: what the listing said, before
+/// [`Program::new`] structural validation. The static verifier consumes
+/// this form so it can diagnose programs `Program::new` would reject.
+#[derive(Debug, Clone)]
+pub struct Module {
+    /// The functions, in declaration order.
+    pub functions: Vec<Function>,
+    /// The entry point (`main`, or the first function).
+    pub entry: FuncId,
+    /// Source positions of every function/block/instruction.
+    pub map: SourceMap,
+}
+
+impl Module {
+    /// Validates the module into a runnable [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AsmError`] (located at the offending function's header
+    /// line) if [`Program::new`] rejects the module.
+    pub fn into_program(self) -> Result<Program, AsmError> {
+        let header_of: Vec<(String, usize)> = self
+            .functions
+            .iter()
+            .zip(&self.map.functions)
+            .map(|(f, s)| (f.name.clone(), s.header_line))
+            .collect();
+        Program::new(self.functions, self.entry).map_err(|e| {
+            let line = header_of
+                .iter()
+                .find(|(n, _)| *n == e.function)
+                .map(|&(_, l)| l)
+                .unwrap_or(0);
+            AsmError { line, col: 0, message: e.to_string() }
+        })
+    }
 }
 
 /// Parses an assembly listing into a validated [`Program`].
@@ -82,6 +200,22 @@ fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
 /// # Ok::<(), aprof_vm::asm::AsmError>(())
 /// ```
 pub fn parse(source: &str) -> Result<Program, AsmError> {
+    parse_module(source)?.into_program()
+}
+
+/// Parses an assembly listing into an unvalidated [`Module`] plus its
+/// [`SourceMap`].
+///
+/// Unlike [`parse`] this does not run [`Program::new`] validation, so it
+/// can return structurally invalid modules — the form the static verifier
+/// wants, since rejecting those with located diagnostics is its job.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] on syntax errors or references to unknown
+/// functions/labels.
+pub fn parse_module(source: &str) -> Result<Module, AsmError> {
+    let ctx = SrcCtx { raw: source.lines().collect() };
     let lines: Vec<(usize, &str)> = source
         .lines()
         .enumerate()
@@ -99,9 +233,9 @@ pub fn parse(source: &str) -> Result<Program, AsmError> {
     let mut sigs: Vec<(String, u16)> = Vec::new();
     for &(ln, line) in &lines {
         if let Some(rest) = line.strip_prefix("func ") {
-            let (name, params) = parse_signature(ln, rest)?;
+            let (name, params) = parse_signature(&ctx, ln, rest)?;
             if sigs.iter().any(|(n, _)| *n == name) {
-                return err(ln, format!("duplicate function `{name}`"));
+                return ctx.err(ln, rest, format!("duplicate function `{name}`"));
             }
             sigs.push((name, params));
         }
@@ -114,24 +248,25 @@ pub fn parse(source: &str) -> Result<Program, AsmError> {
 
     // Pass 2: bodies.
     let mut functions: Vec<Function> = Vec::new();
+    let mut spans: Vec<FuncSpans> = Vec::new();
     let mut i = 0usize;
     while i < lines.len() {
         let (ln, line) = lines[i];
         let rest = match line.strip_prefix("func ") {
             Some(r) => r,
-            None => return err(ln, format!("expected `func`, found `{line}`")),
+            None => return ctx.err(ln, line, format!("expected `func`, found `{line}`")),
         };
-        let (name, params) = parse_signature(ln, rest)?;
-        let declared_regs = parse_regs_clause(ln, rest)?;
+        let (name, params) = parse_signature(&ctx, ln, rest)?;
+        let declared_regs = parse_regs_clause(&ctx, ln, rest)?;
         if !rest.trim_end().ends_with('{') {
-            return err(ln, "expected `{` at end of func header");
+            return ctx.err(ln, rest, "expected `{` at end of func header");
         }
         i += 1;
         // Collect raw body lines until `}`.
         let mut body: Vec<(usize, &str)> = Vec::new();
         loop {
             if i >= lines.len() {
-                return err(ln, format!("unterminated function `{name}`"));
+                return ctx.err(ln, line, format!("unterminated function `{name}`"));
             }
             let (bln, bline) = lines[i];
             i += 1;
@@ -140,27 +275,29 @@ pub fn parse(source: &str) -> Result<Program, AsmError> {
             }
             body.push((bln, bline));
         }
-        let function =
-            parse_body(&name, params, declared_regs, &body, &func_ids, &sigs)?;
+        let (function, block_spans) =
+            parse_body(&ctx, &name, ln, params, declared_regs, &body, &func_ids, &sigs)?;
         functions.push(function);
+        spans.push(FuncSpans { header_line: ln, blocks: block_spans });
     }
 
     let entry = func_ids.get("main").copied().unwrap_or(FuncId(0));
-    Program::new(functions, entry).map_err(|e| AsmError { line: 0, message: e.to_string() })
+    Ok(Module { functions, entry, map: SourceMap { functions: spans } })
 }
 
-fn parse_signature(ln: usize, rest: &str) -> Result<(String, u16), AsmError> {
+fn parse_signature(ctx: &SrcCtx, ln: usize, rest: &str) -> Result<(String, u16), AsmError> {
     let open = match rest.find('(') {
         Some(p) => p,
-        None => return err(ln, "expected `(` in func header"),
+        None => return ctx.err(ln, rest, "expected `(` in func header"),
     };
     let close = match rest.find(')') {
         Some(p) => p,
-        None => return err(ln, "expected `)` in func header"),
+        None => return ctx.err(ln, rest, "expected `)` in func header"),
     };
-    let name = rest[..open].trim().to_owned();
+    let name_tok = rest[..open].trim();
+    let name = name_tok.to_owned();
     if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_' || c == ':') {
-        return err(ln, format!("bad function name `{name}`"));
+        return ctx.err(ln, if name.is_empty() { rest } else { name_tok }, format!("bad function name `{name}`"));
     }
     let inside = rest[open + 1..close].trim();
     let params: u16 = if inside.is_empty() {
@@ -168,13 +305,13 @@ fn parse_signature(ln: usize, rest: &str) -> Result<(String, u16), AsmError> {
     } else {
         match inside.parse() {
             Ok(p) => p,
-            Err(_) => return err(ln, format!("bad parameter count `{inside}`")),
+            Err(_) => return ctx.err(ln, inside, format!("bad parameter count `{inside}`")),
         }
     };
     Ok((name, params))
 }
 
-fn parse_regs_clause(ln: usize, rest: &str) -> Result<Option<u16>, AsmError> {
+fn parse_regs_clause(ctx: &SrcCtx, ln: usize, rest: &str) -> Result<Option<u16>, AsmError> {
     match rest.find("regs=") {
         None => Ok(None),
         Some(p) => {
@@ -182,6 +319,7 @@ fn parse_regs_clause(ln: usize, rest: &str) -> Result<Option<u16>, AsmError> {
             let num: String = tail.chars().take_while(|c| c.is_ascii_digit()).collect();
             num.parse().map(Some).map_err(|_| AsmError {
                 line: ln,
+                col: ctx.col(ln, tail),
                 message: format!("bad regs clause `{tail}`"),
             })
         }
@@ -189,60 +327,69 @@ fn parse_regs_clause(ln: usize, rest: &str) -> Result<Option<u16>, AsmError> {
 }
 
 struct RawBlock<'a> {
+    label_line: usize,
     lines: Vec<(usize, &'a str)>,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn parse_body(
+    ctx: &SrcCtx,
     name: &str,
+    header_ln: usize,
     params: u16,
     declared_regs: Option<u16>,
     body: &[(usize, &str)],
     func_ids: &HashMap<String, FuncId>,
     sigs: &[(String, u16)],
-) -> Result<Function, AsmError> {
+) -> Result<(Function, Vec<BlockSpans>), AsmError> {
     // Split into labelled blocks.
     let mut labels: HashMap<String, BlockId> = HashMap::new();
     let mut raw_blocks: Vec<RawBlock<'_>> = Vec::new();
     for &(ln, line) in body {
         if let Some(label) = line.strip_suffix(':') {
             if !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
-                return err(ln, format!("bad label `{label}`"));
+                return ctx.err(ln, label, format!("bad label `{label}`"));
             }
             let id = BlockId(raw_blocks.len() as u32);
             if labels.insert(label.to_owned(), id).is_some() {
-                return err(ln, format!("duplicate label `{label}`"));
+                return ctx.err(ln, label, format!("duplicate label `{label}`"));
             }
-            raw_blocks.push(RawBlock { lines: Vec::new() });
+            raw_blocks.push(RawBlock { label_line: ln, lines: Vec::new() });
         } else {
             match raw_blocks.last_mut() {
                 Some(b) => b.lines.push((ln, line)),
-                None => return err(ln, "instruction before first label"),
+                None => return ctx.err(ln, line, "instruction before first label"),
             }
         }
     }
     if raw_blocks.is_empty() {
-        return err(0, format!("function `{name}` has no blocks"));
+        return err(header_ln, format!("function `{name}` has no blocks"));
     }
 
     let mut max_reg: u16 = params.saturating_sub(1);
     let mut blocks = Vec::with_capacity(raw_blocks.len());
+    let mut spans = Vec::with_capacity(raw_blocks.len());
     for raw in &raw_blocks {
         let mut instrs = Vec::new();
+        let mut instr_lines = Vec::new();
         let mut term: Option<Terminator> = None;
+        let mut term_line: Option<usize> = None;
         for (idx, &(ln, line)) in raw.lines.iter().enumerate() {
             let is_last = idx + 1 == raw.lines.len();
-            match parse_line(ln, line, func_ids, sigs, &labels, &mut max_reg)? {
+            match parse_line(ctx, ln, line, func_ids, sigs, &labels, &mut max_reg)? {
                 Parsed::Instr(i) => {
                     if term.is_some() {
-                        return err(ln, "instruction after terminator");
+                        return ctx.err(ln, line, "instruction after terminator");
                     }
                     instrs.push(i);
+                    instr_lines.push(ln);
                 }
                 Parsed::Term(t) => {
                     if !is_last {
-                        return err(ln, "terminator must end the block");
+                        return ctx.err(ln, line, "terminator must end the block");
                     }
                     term = Some(t);
+                    term_line = Some(ln);
                 }
             }
         }
@@ -251,17 +398,21 @@ fn parse_body(
             None => Terminator::Ret { value: None },
         };
         blocks.push(BasicBlock { instrs, term });
+        spans.push(BlockSpans { label_line: raw.label_line, instr_lines, term_line });
     }
 
     let inferred = max_reg.saturating_add(1).max(params).max(1);
     let regs = match declared_regs {
         Some(d) if d < inferred => {
-            return err(0, format!("function `{name}`: regs={d} but r{} is used", inferred - 1))
+            return err(
+                header_ln,
+                format!("function `{name}`: regs={d} but r{} is used", inferred - 1),
+            )
         }
         Some(d) => d,
         None => inferred,
     };
-    Ok(Function { name: name.to_owned(), params, regs, blocks })
+    Ok((Function { name: name.to_owned(), params, regs, blocks }, spans))
 }
 
 enum Parsed {
@@ -269,26 +420,31 @@ enum Parsed {
     Term(Terminator),
 }
 
-fn parse_reg(ln: usize, tok: &str, max_reg: &mut u16) -> Result<Reg, AsmError> {
+fn parse_reg(ctx: &SrcCtx, ln: usize, tok: &str, max_reg: &mut u16) -> Result<Reg, AsmError> {
     let tok = tok.trim();
     let digits = match tok.strip_prefix('r') {
         Some(d) => d,
-        None => return err(ln, format!("expected register, found `{tok}`")),
+        None => return ctx.err(ln, tok, format!("expected register, found `{tok}`")),
     };
-    let n: u16 = digits
-        .parse()
-        .map_err(|_| AsmError { line: ln, message: format!("bad register `{tok}`") })?;
+    let n: u16 = digits.parse().map_err(|_| AsmError {
+        line: ln,
+        col: ctx.col(ln, tok),
+        message: format!("bad register `{tok}`"),
+    })?;
     *max_reg = (*max_reg).max(n);
     Ok(Reg(n))
 }
 
-fn parse_int(ln: usize, tok: &str) -> Result<i64, AsmError> {
-    tok.trim()
-        .parse()
-        .map_err(|_| AsmError { line: ln, message: format!("bad integer `{tok}`") })
+fn parse_int(ctx: &SrcCtx, ln: usize, tok: &str) -> Result<i64, AsmError> {
+    tok.trim().parse().map_err(|_| AsmError {
+        line: ln,
+        col: ctx.col(ln, tok),
+        message: format!("bad integer `{tok}`"),
+    })
 }
 
 fn parse_call_like(
+    ctx: &SrcCtx,
     ln: usize,
     text: &str,
     func_ids: &HashMap<String, FuncId>,
@@ -297,16 +453,16 @@ fn parse_call_like(
 ) -> Result<(FuncId, Vec<Reg>), AsmError> {
     let open = match text.find('(') {
         Some(p) => p,
-        None => return err(ln, "expected `(` in call"),
+        None => return ctx.err(ln, text, "expected `(` in call"),
     };
     let close = match text.rfind(')') {
         Some(p) => p,
-        None => return err(ln, "expected `)` in call"),
+        None => return ctx.err(ln, text, "expected `)` in call"),
     };
     let name = text[..open].trim();
     let func = match func_ids.get(name) {
         Some(&f) => f,
-        None => return err(ln, format!("call to unknown function `{name}`")),
+        None => return ctx.err(ln, name, format!("call to unknown function `{name}`")),
     };
     let inside = text[open + 1..close].trim();
     let args: Vec<Reg> = if inside.is_empty() {
@@ -314,17 +470,18 @@ fn parse_call_like(
     } else {
         inside
             .split(',')
-            .map(|a| parse_reg(ln, a, max_reg))
+            .map(|a| parse_reg(ctx, ln, a, max_reg))
             .collect::<Result<_, _>>()?
     };
     let expected = sigs[func.index()].1 as usize;
     if args.len() != expected {
-        return err(ln, format!("`{name}` takes {expected} args, {} given", args.len()));
+        return ctx.err(ln, name, format!("`{name}` takes {expected} args, {} given", args.len()));
     }
     Ok((func, args))
 }
 
 fn parse_line(
+    ctx: &SrcCtx,
     ln: usize,
     line: &str,
     func_ids: &HashMap<String, FuncId>,
@@ -333,10 +490,11 @@ fn parse_line(
     max_reg: &mut u16,
 ) -> Result<Parsed, AsmError> {
     let label_of = |ln: usize, tok: &str| -> Result<BlockId, AsmError> {
-        labels
-            .get(tok.trim())
-            .copied()
-            .ok_or_else(|| AsmError { line: ln, message: format!("unknown label `{}`", tok.trim()) })
+        labels.get(tok.trim()).copied().ok_or_else(|| AsmError {
+            line: ln,
+            col: ctx.col(ln, tok),
+            message: format!("unknown label `{}`", tok.trim()),
+        })
     };
 
     // Terminators and dst-less instructions first.
@@ -350,10 +508,10 @@ fn parse_line(
         "br" => {
             let rest: Vec<&str> = line[2..].split(',').collect();
             if rest.len() != 3 {
-                return err(ln, "br needs `cond, then, else`");
+                return ctx.err(ln, line, "br needs `cond, then, else`");
             }
             return Ok(Parsed::Term(Terminator::Br {
-                cond: parse_reg(ln, rest[0], max_reg)?,
+                cond: parse_reg(ctx, ln, rest[0], max_reg)?,
                 then_to: label_of(ln, rest[1])?,
                 else_to: label_of(ln, rest[2])?,
             }));
@@ -361,48 +519,58 @@ fn parse_line(
         "ret" => {
             let rest = line[3..].trim();
             let value =
-                if rest.is_empty() { None } else { Some(parse_reg(ln, rest, max_reg)?) };
+                if rest.is_empty() { None } else { Some(parse_reg(ctx, ln, rest, max_reg)?) };
             return Ok(Parsed::Term(Terminator::Ret { value }));
         }
         "store" => {
             let rest: Vec<&str> = line[5..].split(',').collect();
             if rest.len() != 3 {
-                return err(ln, "store needs `src, addr, offset`");
+                return ctx.err(ln, line, "store needs `src, addr, offset`");
             }
             return Ok(Parsed::Instr(Instr::Store {
-                src: parse_reg(ln, rest[0], max_reg)?,
-                addr: parse_reg(ln, rest[1], max_reg)?,
-                offset: parse_int(ln, rest[2])?,
+                src: parse_reg(ctx, ln, rest[0], max_reg)?,
+                addr: parse_reg(ctx, ln, rest[1], max_reg)?,
+                offset: parse_int(ctx, ln, rest[2])?,
             }));
         }
         "join" => {
-            return Ok(Parsed::Instr(Instr::Join { thread: parse_reg(ln, &line[4..], max_reg)? }))
+            return Ok(Parsed::Instr(Instr::Join {
+                thread: parse_reg(ctx, ln, &line[4..], max_reg)?,
+            }))
         }
         "acquire" => {
-            return Ok(Parsed::Instr(Instr::Acquire { lock: parse_reg(ln, &line[7..], max_reg)? }))
+            return Ok(Parsed::Instr(Instr::Acquire {
+                lock: parse_reg(ctx, ln, &line[7..], max_reg)?,
+            }))
         }
         "release" => {
-            return Ok(Parsed::Instr(Instr::Release { lock: parse_reg(ln, &line[7..], max_reg)? }))
+            return Ok(Parsed::Instr(Instr::Release {
+                lock: parse_reg(ctx, ln, &line[7..], max_reg)?,
+            }))
         }
         "sem_init" => {
             let rest: Vec<&str> = line[8..].split(',').collect();
             if rest.len() != 2 {
-                return err(ln, "sem_init needs `sem, value`");
+                return ctx.err(ln, line, "sem_init needs `sem, value`");
             }
             return Ok(Parsed::Instr(Instr::SemInit {
-                sem: parse_reg(ln, rest[0], max_reg)?,
-                value: parse_reg(ln, rest[1], max_reg)?,
+                sem: parse_reg(ctx, ln, rest[0], max_reg)?,
+                value: parse_reg(ctx, ln, rest[1], max_reg)?,
             }));
         }
         "sem_post" => {
-            return Ok(Parsed::Instr(Instr::SemPost { sem: parse_reg(ln, &line[8..], max_reg)? }))
+            return Ok(Parsed::Instr(Instr::SemPost {
+                sem: parse_reg(ctx, ln, &line[8..], max_reg)?,
+            }))
         }
         "sem_wait" => {
-            return Ok(Parsed::Instr(Instr::SemWait { sem: parse_reg(ln, &line[8..], max_reg)? }))
+            return Ok(Parsed::Instr(Instr::SemWait {
+                sem: parse_reg(ctx, ln, &line[8..], max_reg)?,
+            }))
         }
         "yield" => return Ok(Parsed::Instr(Instr::Yield)),
         "call" => {
-            let (func, args) = parse_call_like(ln, &line[4..], func_ids, sigs, max_reg)?;
+            let (func, args) = parse_call_like(ctx, ln, &line[4..], func_ids, sigs, max_reg)?;
             return Ok(Parsed::Instr(Instr::Call { dst: None, func, args }));
         }
         _ => {}
@@ -411,9 +579,9 @@ fn parse_line(
     // `dst = op ...` forms.
     let eq = match line.find('=') {
         Some(p) => p,
-        None => return err(ln, format!("cannot parse `{line}`")),
+        None => return ctx.err(ln, line, format!("cannot parse `{line}`")),
     };
-    let dst = parse_reg(ln, &line[..eq], max_reg)?;
+    let dst = parse_reg(ctx, ln, &line[..eq], max_reg)?;
     let rhs = line[eq + 1..].trim();
     let mut rhs_words = rhs.split_whitespace();
     let op = rhs_words.next().unwrap_or("");
@@ -421,9 +589,9 @@ fn parse_line(
     let two_regs = |max_reg: &mut u16| -> Result<(Reg, Reg), AsmError> {
         let parts: Vec<&str> = operands.split(',').collect();
         if parts.len() != 2 {
-            return err(ln, format!("`{op}` needs two operands"));
+            return ctx.err(ln, rhs, format!("`{op}` needs two operands"));
         }
-        Ok((parse_reg(ln, parts[0], max_reg)?, parse_reg(ln, parts[1], max_reg)?))
+        Ok((parse_reg(ctx, ln, parts[0], max_reg)?, parse_reg(ctx, ln, parts[1], max_reg)?))
     };
     let bin = |op: BinOp, max_reg: &mut u16| -> Result<Parsed, AsmError> {
         let (lhs, rhs) = two_regs(max_reg)?;
@@ -434,8 +602,12 @@ fn parse_line(
         Ok(Parsed::Instr(Instr::Cmp { op, dst, lhs, rhs }))
     };
     match op {
-        "const" => Ok(Parsed::Instr(Instr::Const { dst, value: parse_int(ln, operands)? })),
-        "mov" => Ok(Parsed::Instr(Instr::Mov { dst, src: parse_reg(ln, operands, max_reg)? })),
+        "const" => {
+            Ok(Parsed::Instr(Instr::Const { dst, value: parse_int(ctx, ln, operands)? }))
+        }
+        "mov" => {
+            Ok(Parsed::Instr(Instr::Mov { dst, src: parse_reg(ctx, ln, operands, max_reg)? }))
+        }
         "add" => bin(BinOp::Add, max_reg),
         "sub" => bin(BinOp::Sub, max_reg),
         "mul" => bin(BinOp::Mul, max_reg),
@@ -457,40 +629,40 @@ fn parse_line(
         "load" => {
             let parts: Vec<&str> = operands.split(',').collect();
             if parts.len() != 2 {
-                return err(ln, "load needs `addr, offset`");
+                return ctx.err(ln, rhs, "load needs `addr, offset`");
             }
             Ok(Parsed::Instr(Instr::Load {
                 dst,
-                addr: parse_reg(ln, parts[0], max_reg)?,
-                offset: parse_int(ln, parts[1])?,
+                addr: parse_reg(ctx, ln, parts[0], max_reg)?,
+                offset: parse_int(ctx, ln, parts[1])?,
             }))
         }
         "alloc" => {
-            Ok(Parsed::Instr(Instr::Alloc { dst, len: parse_reg(ln, operands, max_reg)? }))
+            Ok(Parsed::Instr(Instr::Alloc { dst, len: parse_reg(ctx, ln, operands, max_reg)? }))
         }
         "call" => {
-            let (func, args) = parse_call_like(ln, operands, func_ids, sigs, max_reg)?;
+            let (func, args) = parse_call_like(ctx, ln, operands, func_ids, sigs, max_reg)?;
             Ok(Parsed::Instr(Instr::Call { dst: Some(dst), func, args }))
         }
         "spawn" => {
-            let (func, args) = parse_call_like(ln, operands, func_ids, sigs, max_reg)?;
+            let (func, args) = parse_call_like(ctx, ln, operands, func_ids, sigs, max_reg)?;
             Ok(Parsed::Instr(Instr::Spawn { dst, func, args }))
         }
         "sys_read" | "sys_write" => {
             let parts: Vec<&str> = operands.split(',').collect();
             if parts.len() != 3 {
-                return err(ln, format!("{op} needs `fd, buf, len`"));
+                return ctx.err(ln, rhs, format!("{op} needs `fd, buf, len`"));
             }
-            let fd = parse_reg(ln, parts[0], max_reg)?;
-            let buf = parse_reg(ln, parts[1], max_reg)?;
-            let len = parse_reg(ln, parts[2], max_reg)?;
+            let fd = parse_reg(ctx, ln, parts[0], max_reg)?;
+            let buf = parse_reg(ctx, ln, parts[1], max_reg)?;
+            let len = parse_reg(ctx, ln, parts[2], max_reg)?;
             Ok(Parsed::Instr(if op == "sys_read" {
                 Instr::SysRead { dst, fd, buf, len }
             } else {
                 Instr::SysWrite { dst, fd, buf, len }
             }))
         }
-        _ => err(ln, format!("unknown operation `{op}`")),
+        _ => ctx.err(ln, op, format!("unknown operation `{op}`")),
     }
 }
 
@@ -638,6 +810,7 @@ exit:
     fn regs_clause_too_small_rejected() {
         let e = parse("func main() regs=1 {\n e:\n r5 = const 1\n ret\n }").unwrap_err();
         assert!(e.message.contains("regs=1"), "{e}");
+        assert_eq!(e.line, 1, "located at the function header");
     }
 
     #[test]
@@ -657,5 +830,48 @@ exit:
         let p = parse("func start() {\n e:\n r0 = const 3\n ret r0\n }").unwrap();
         let mut m = Machine::new(p);
         assert_eq!(m.run_native().unwrap().exit_value, Some(3));
+    }
+
+    #[test]
+    fn errors_carry_columns() {
+        // `bogus` starts at column 10 of line 3 ("    r0 = bogus 1, 2").
+        let src = "func main() {\nentry:\n    r0 = bogus 1, 2\n    ret\n}";
+        let e = parse(src).unwrap_err();
+        assert_eq!((e.line, e.col), (3, 10), "{e}");
+
+        // An unknown call target points at the name, not the line start.
+        let src = "func main() {\nentry:\n    r0 = call nope()\n    ret\n}";
+        let e = parse(src).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert_eq!(e.col, 15, "column of `nope`: {e}");
+
+        // Bad register inside an operand list points at the token.
+        let src = "func main() {\nentry:\n    r0 = add r1, x2\n    ret\n}";
+        let e = parse(src).unwrap_err();
+        assert_eq!((e.line, e.col), (3, 18), "{e}");
+    }
+
+    #[test]
+    fn source_map_tracks_lines() {
+        let m = parse_module(SUM).unwrap();
+        assert_eq!(m.functions.len(), 2);
+        let main = &m.map.functions[0];
+        assert_eq!(main.header_line, 3);
+        assert_eq!(main.blocks[0].label_line, 4);
+        assert_eq!(main.blocks[0].instr_lines, vec![5, 6]);
+        assert_eq!(main.blocks[0].term_line, Some(7));
+        // `sum` spans the second half of the listing.
+        let sum = &m.map.functions[1];
+        assert_eq!(sum.header_line, 9);
+        assert_eq!(sum.blocks.len(), 4);
+        assert_eq!(m.map.line_of(1, 3, None), Some(23), "exit block terminator");
+    }
+
+    #[test]
+    fn implicit_ret_has_no_term_line() {
+        let m = parse_module("func main() {\nentry:\n    r0 = const 1\n}").unwrap();
+        let b = &m.map.functions[0].blocks[0];
+        assert_eq!(b.term_line, None, "implicit ret is unspanned");
+        assert_eq!(m.functions[0].blocks[0].term, Terminator::Ret { value: None });
     }
 }

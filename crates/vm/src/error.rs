@@ -1,6 +1,6 @@
 //! Runtime errors of the guest machine.
 
-use crate::ir::FuncId;
+use crate::ir::{FuncId, Reg};
 use aprof_trace::ThreadId;
 use std::fmt;
 
@@ -52,6 +52,19 @@ pub enum VmError {
         /// The function the spawn targeted.
         func: FuncId,
     },
+    /// A register was read before any write in the current activation.
+    ///
+    /// Only raised under
+    /// [`MachineConfig::strict_regs`](crate::MachineConfig::strict_regs);
+    /// the default machine zero-initializes registers instead.
+    UseBeforeDef {
+        /// The offending thread.
+        thread: ThreadId,
+        /// The function whose activation read the register.
+        func: FuncId,
+        /// The register that was never written.
+        reg: Reg,
+    },
 }
 
 impl fmt::Display for VmError {
@@ -74,6 +87,9 @@ impl fmt::Display for VmError {
             }
             VmError::TooManyThreads { limit, func } => {
                 write!(f, "spawn of {func:?} exceeds the {limit}-thread limit")
+            }
+            VmError::UseBeforeDef { thread, func, reg } => {
+                write!(f, "{thread} read r{} of {func:?} before any write", reg.0)
             }
         }
     }

@@ -301,6 +301,70 @@ pub enum Instr {
     },
 }
 
+impl Instr {
+    /// The register this instruction defines (writes), if any.
+    ///
+    /// Mirrors the interpreter exactly: `Call` only defines its destination
+    /// when one was requested, and `Store`/sync instructions define nothing.
+    pub fn def(&self) -> Option<Reg> {
+        match self {
+            Instr::Const { dst, .. }
+            | Instr::Mov { dst, .. }
+            | Instr::Bin { dst, .. }
+            | Instr::Cmp { dst, .. }
+            | Instr::Load { dst, .. }
+            | Instr::Alloc { dst, .. }
+            | Instr::Spawn { dst, .. }
+            | Instr::SysRead { dst, .. }
+            | Instr::SysWrite { dst, .. } => Some(*dst),
+            Instr::Call { dst, .. } => *dst,
+            Instr::Store { .. }
+            | Instr::Join { .. }
+            | Instr::Acquire { .. }
+            | Instr::Release { .. }
+            | Instr::SemInit { .. }
+            | Instr::SemPost { .. }
+            | Instr::SemWait { .. }
+            | Instr::Yield => None,
+        }
+    }
+
+    /// Appends the registers this instruction reads to `out`, in operand
+    /// order (the order the interpreter evaluates them).
+    pub fn uses_into(&self, out: &mut Vec<Reg>) {
+        match self {
+            Instr::Const { .. } | Instr::Yield => {}
+            Instr::Mov { src, .. } => out.push(*src),
+            Instr::Bin { lhs, rhs, .. } | Instr::Cmp { lhs, rhs, .. } => {
+                out.extend([*lhs, *rhs])
+            }
+            Instr::Load { addr, .. } => out.push(*addr),
+            Instr::Store { src, addr, .. } => out.extend([*addr, *src]),
+            Instr::Alloc { len, .. } => out.push(*len),
+            Instr::Call { args, .. } | Instr::Spawn { args, .. } => {
+                out.extend(args.iter().copied())
+            }
+            Instr::Join { thread } => out.push(*thread),
+            Instr::Acquire { lock } | Instr::Release { lock } => out.push(*lock),
+            Instr::SemInit { sem, value } => out.extend([*sem, *value]),
+            Instr::SemPost { sem } | Instr::SemWait { sem } => out.push(*sem),
+            Instr::SysRead { fd, buf, len, .. } | Instr::SysWrite { fd, buf, len, .. } => {
+                out.extend([*fd, *buf, *len])
+            }
+        }
+    }
+
+    /// The called or spawned function, if this instruction transfers to one.
+    pub fn callee(&self) -> Option<(FuncId, &[Reg])> {
+        match self {
+            Instr::Call { func, args, .. } | Instr::Spawn { func, args, .. } => {
+                Some((*func, args))
+            }
+            _ => None,
+        }
+    }
+}
+
 /// The closing control transfer of a basic block.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Terminator {

@@ -21,11 +21,23 @@ pub struct MachineConfig {
     pub max_blocks: u64,
     /// Maximum number of threads ever spawned.
     pub max_threads: usize,
+    /// When set, reading a register that was never written in the current
+    /// activation raises [`VmError::UseBeforeDef`] instead of silently
+    /// yielding the zero the register file is initialized with. Off by
+    /// default — guest programs may rely on zero-initialized registers;
+    /// the static verifier's differential tests turn it on to observe
+    /// use-before-def dynamically.
+    pub strict_regs: bool,
 }
 
 impl Default for MachineConfig {
     fn default() -> Self {
-        MachineConfig { quantum: 64, max_blocks: u64::MAX, max_threads: 1 << 16 }
+        MachineConfig {
+            quantum: 64,
+            max_blocks: u64::MAX,
+            max_threads: 1 << 16,
+            strict_regs: false,
+        }
     }
 }
 
@@ -212,6 +224,9 @@ struct ActFrame {
     idx: usize,
     bb_counted: bool,
     regs: Vec<i64>,
+    /// Which registers have been written in this activation. Empty unless
+    /// [`MachineConfig::strict_regs`] is set.
+    init: Vec<bool>,
     ret_dst: Option<Reg>,
 }
 
@@ -438,6 +453,7 @@ impl<'m> Exec<'m> {
         let f = self.program.function(func);
         let mut regs = vec![0i64; f.regs as usize];
         regs[..args.len()].copy_from_slice(&args);
+        let init = self.init_set(f.regs as usize, args.len());
         self.threads.push(ThreadCtx {
             id: ThreadId::new(idx as u32),
             frames: vec![ActFrame {
@@ -446,6 +462,7 @@ impl<'m> Exec<'m> {
                 idx: 0,
                 bb_counted: false,
                 regs,
+                init,
                 ret_dst: None,
             }],
             status: Status::Ready,
@@ -455,6 +472,41 @@ impl<'m> Exec<'m> {
         });
         self.runq.push_back(idx);
         Ok(idx)
+    }
+
+    /// Builds the written-register set for a fresh activation: the first
+    /// `args` registers hold parameters and count as written. Empty (no
+    /// tracking) unless strict-register mode is on.
+    fn init_set(&self, regs: usize, args: usize) -> Vec<bool> {
+        if !self.config.strict_regs {
+            return Vec::new();
+        }
+        let mut init = vec![false; regs];
+        init[..args].fill(true);
+        init
+    }
+
+    /// In strict-register mode, errors if `reg` was never written in the
+    /// top activation of thread `t`.
+    fn strict_read(&self, t: usize, tid: ThreadId, reg: Reg) -> Result<(), VmError> {
+        if !self.config.strict_regs {
+            return Ok(());
+        }
+        let frame = self.threads[t].frames.last().expect("live thread has a frame");
+        if frame.init[reg.0 as usize] {
+            Ok(())
+        } else {
+            Err(VmError::UseBeforeDef { thread: tid, func: frame.func, reg })
+        }
+    }
+
+    /// In strict-register mode, marks `reg` written in the top activation.
+    fn strict_write(&mut self, t: usize, reg: Reg) {
+        if !self.config.strict_regs {
+            return;
+        }
+        let frame = self.threads[t].frames.last_mut().expect("live thread has a frame");
+        frame.init[reg.0 as usize] = true;
     }
 
     fn wake(&mut self, t: usize) {
@@ -577,6 +629,7 @@ impl<'m> Exec<'m> {
                     frame.bb_counted = false;
                 }
                 Terminator::Br { cond, then_to, else_to } => {
+                    self.strict_read(t, tid, *cond)?;
                     let frame = self.threads[t].frames.last_mut().expect("frame");
                     let taken = if frame.regs[cond.0 as usize] != 0 { then_to } else { else_to };
                     frame.block = taken.index();
@@ -584,6 +637,9 @@ impl<'m> Exec<'m> {
                     frame.bb_counted = false;
                 }
                 Terminator::Ret { value } => {
+                    if let Some(r) = value {
+                        self.strict_read(t, tid, *r)?;
+                    }
                     let frame = self.threads[t].frames.pop().expect("frame");
                     let result = value.map(|r| frame.regs[r.0 as usize]);
                     sink.ret(tid, RoutineId::new(frame.func.0));
@@ -591,6 +647,9 @@ impl<'m> Exec<'m> {
                         Some(caller) => {
                             if let (Some(dst), Some(v)) = (frame.ret_dst, result) {
                                 caller.regs[dst.0 as usize] = v;
+                                if self.config.strict_regs {
+                                    caller.init[dst.0 as usize] = true;
+                                }
                             }
                         }
                         None => {
@@ -615,6 +674,15 @@ impl<'m> Exec<'m> {
         instr: &Instr,
         sink: &mut S,
     ) -> Result<Flow, VmError> {
+        if self.config.strict_regs {
+            // Operand checks happen up front, before any side effect. A
+            // blocked instruction re-checks on resume; that is idempotent.
+            let mut uses = Vec::new();
+            instr.uses_into(&mut uses);
+            for r in uses {
+                self.strict_read(t, tid, r)?;
+            }
+        }
         // Most instructions complete and advance the pointer; blocking ones
         // leave it in place so they re-execute (or are completed by a waker).
         macro_rules! regs {
@@ -676,12 +744,14 @@ impl<'m> Exec<'m> {
                 let mut regs = vec![0i64; f.regs as usize];
                 regs[..argv.len()].copy_from_slice(&argv);
                 sink.call(tid, RoutineId::new(func.0));
+                let init = self.init_set(f.regs as usize, argv.len());
                 self.threads[t].frames.push(ActFrame {
                     func: *func,
                     block: 0,
                     idx: 0,
                     bb_counted: false,
                     regs,
+                    init,
                     ret_dst: *dst,
                 });
                 return Ok(Flow::Next);
@@ -826,6 +896,13 @@ impl<'m> Exec<'m> {
                     moved += 1;
                 }
                 regs!()[dst.0 as usize] = moved;
+            }
+        }
+        if self.config.strict_regs {
+            // `Call` returned early above: its destination only becomes
+            // defined when the callee returns a value (see the `Ret` arm).
+            if let Some(d) = instr.def() {
+                self.strict_write(t, d);
             }
         }
         self.advance(t);

@@ -1,0 +1,27 @@
+# Fork/join with per-thread output slots: each worker writes its own
+# cell, the parent joins both before summing. The verifier's fork/join
+# pairing sees both handles joined; the lockset pass still notes the
+# slots as static race candidates (it has no happens-before reasoning
+# for join), which is why N2xx findings are notes, not warnings.
+
+func main() regs=8 {
+entry:
+    r0 = const 200
+    r1 = spawn worker(r0)
+    r2 = const 201
+    r3 = spawn worker(r2)
+    join r1
+    join r3
+    r4 = load r0, 0
+    r5 = load r2, 0
+    r6 = add r4, r5
+    ret r6
+}
+
+func worker(1) regs=3 {
+entry:
+    r1 = const 7
+    r2 = mul r0, r1
+    store r2, r0, 0
+    ret
+}

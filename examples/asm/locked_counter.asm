@@ -1,0 +1,35 @@
+# Two threads bump a shared counter (cell 100) under lock 9.
+# The static lockset pass sees a consistent lockset on every access,
+# so `aprof-cli check --races` reports no race candidates.
+
+func main() regs=4 {
+entry:
+    r0 = spawn worker()
+    call bump()
+    join r0
+    r3 = const 9
+    acquire r3
+    r1 = const 100
+    r2 = load r1, 0
+    release r3
+    ret r2
+}
+
+func worker() regs=1 {
+entry:
+    call bump()
+    ret
+}
+
+func bump() regs=4 {
+entry:
+    r0 = const 9
+    acquire r0
+    r1 = const 100
+    r2 = load r1, 0
+    r3 = const 1
+    r2 = add r2, r3
+    store r2, r1, 0
+    release r0
+    ret
+}

@@ -1,0 +1,27 @@
+# Sum the first n naturals — the smallest interesting guest program.
+# `aprof-cli check examples/asm/sum.asm` verifies it; `aprof-cli asm`
+# runs it under the profiler.
+
+func main() regs=4 {
+entry:
+    r0 = const 10
+    r1 = call sum(r0)
+    ret r1
+}
+
+func sum(1) regs=4 {
+entry:
+    r1 = const 0          # acc
+    r2 = const 0          # i
+    jmp head
+head:
+    r3 = clt r2, r0
+    br r3, body, exit
+body:
+    r1 = add r1, r2
+    r3 = const 1
+    r2 = add r2, r3
+    jmp head
+exit:
+    ret r1
+}

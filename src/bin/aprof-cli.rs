@@ -13,6 +13,8 @@
 //! aprof-cli record trace.wire --workload mysqld --size 160
 //! aprof-cli replay trace.wire --tool rms
 //! aprof-cli trace-info trace.wire
+//! aprof-cli check program.s --deny-lints
+//! aprof-cli check --workloads
 //! ```
 
 use aprof::analysis::render::{render_plot, Table};
@@ -36,6 +38,7 @@ fn main() {
         Some("replay") => cmd_replay(&args[1..]),
         Some("trace-info") => cmd_trace_info(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{}", USAGE);
             0
@@ -67,6 +70,9 @@ commands:
   bench [IDS|all] [opts]       regenerate the paper's tables and figures
                                (--jobs N shards measurements over N worker
                                threads; --list shows experiment ids)
+  check FILES [opts]           statically verify and lint guest assembly
+                               programs without running them; `--workloads`
+                               also checks every bundled workload
 
 options:
   --size N          workload size          (default 96)
@@ -84,6 +90,13 @@ options:
   --chunk-bytes N   wire chunk payload target for `record` (default 65536)
   --strict          replay: abort on corrupt chunks instead of skipping
   --csv FILE        also write the routine summary as CSV to FILE
+  --no-check        run/asm/record: skip the static verifier (which
+                    otherwise refuses programs with hard errors)
+
+check options:
+  --deny-lints      treat warnings (W1xx) as rejections, like errors
+  --races           also print static race candidates (N2xx notes)
+  --workloads       verify every bundled workload program as well
 ";
 
 struct Opts {
@@ -101,6 +114,7 @@ struct Opts {
     chunk_bytes: usize,
     strict: bool,
     csv: Option<String>,
+    no_check: bool,
     positional: Vec<String>,
 }
 
@@ -120,6 +134,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         chunk_bytes: DEFAULT_CHUNK_BYTES,
         strict: false,
         csv: None,
+        no_check: false,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -158,6 +173,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--strict" => o.strict = true,
             "--csv" => o.csv = Some(value("--csv")?),
+            "--no-check" => o.no_check = true,
             other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
             other => o.positional.push(other.to_owned()),
         }
@@ -201,6 +217,9 @@ fn cmd_run(args: &[String]) -> i32 {
     };
     let params = WorkloadParams { size: opts.size, threads: opts.threads, seed: opts.seed };
     let machine = wl.build(&params);
+    if !verifier_admits(machine.program(), &name, opts.no_check) {
+        return 1;
+    }
     drive(machine, &opts)
 }
 
@@ -223,7 +242,30 @@ fn cmd_asm(args: &[String]) -> i32 {
             return 1;
         }
     };
-    let program = match asm::parse(&source) {
+    let module = match asm::parse_module(&source) {
+        Ok(m) => m,
+        Err(e) => {
+            eprint!("{}", aprof::check::render_parse_error(&e, &source, path));
+            return 1;
+        }
+    };
+    if !opts.no_check {
+        let report = aprof::check::check_module(&module);
+        if report.has_errors() {
+            for d in &report.diagnostics {
+                if d.severity == aprof::check::Severity::Error {
+                    eprint!("{}", d.render_source(&report.names, &module.map, &source, path));
+                }
+            }
+            eprintln!(
+                "{path}: rejected by the static verifier ({} errors); \
+                 pass --no-check to run anyway",
+                report.count(aprof::check::Severity::Error)
+            );
+            return 1;
+        }
+    }
+    let program = match module.into_program() {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{e}");
@@ -231,6 +273,127 @@ fn cmd_asm(args: &[String]) -> i32 {
         }
     };
     drive(Machine::new(program), &opts)
+}
+
+/// The pre-run verifier gate for `run`/`record`: refuses programs with
+/// hard errors unless `--no-check` was given. Lints never block a run.
+fn verifier_admits(program: &aprof::vm::ir::Program, what: &str, no_check: bool) -> bool {
+    if no_check {
+        return true;
+    }
+    let report = aprof::check::check_program(program);
+    if !report.has_errors() {
+        return true;
+    }
+    for d in &report.diagnostics {
+        if d.severity == aprof::check::Severity::Error {
+            eprint!("{}", d.render(&report.names));
+        }
+    }
+    eprintln!(
+        "{what}: rejected by the static verifier ({} errors); \
+         pass --no-check to run anyway",
+        report.count(aprof::check::Severity::Error)
+    );
+    false
+}
+
+fn cmd_check(args: &[String]) -> i32 {
+    let mut deny_lints = false;
+    let mut races = false;
+    let mut workloads = false;
+    let mut files: Vec<&str> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--deny-lints" => deny_lints = true,
+            "--races" => races = true,
+            "--workloads" => workloads = true,
+            other if other.starts_with("--") => {
+                eprintln!("unknown option `{other}`\n{USAGE}");
+                return 2;
+            }
+            other => files.push(other),
+        }
+    }
+    if files.is_empty() && !workloads {
+        eprintln!("check requires assembly FILES and/or --workloads");
+        return 2;
+    }
+    let mut failed = false;
+    for path in files {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match asm::parse_module(&source) {
+            Err(e) => {
+                print!("{}", aprof::check::render_parse_error(&e, &source, path));
+                println!("{path}: rejected (parse error)");
+                failed = true;
+            }
+            Ok(module) => {
+                let report = aprof::check::check_module(&module);
+                failed |=
+                    print_check_report(path, &report, deny_lints, races, |d| {
+                        d.render_source(&report.names, &module.map, &source, path)
+                    });
+            }
+        }
+    }
+    if workloads {
+        let params = WorkloadParams { size: 96, threads: 4, seed: 0x5eed };
+        for wl in all() {
+            let machine = wl.build(&params);
+            let report = aprof::check::check_program(machine.program());
+            failed |= print_check_report(wl.name, &report, deny_lints, races, |d| {
+                d.render(&report.names)
+            });
+        }
+    }
+    if failed {
+        1
+    } else {
+        0
+    }
+}
+
+/// Prints one program's diagnostics and verdict line; true if rejected.
+fn print_check_report(
+    what: &str,
+    report: &aprof::check::CheckReport,
+    deny_lints: bool,
+    races: bool,
+    render: impl Fn(&aprof::check::Diagnostic) -> String,
+) -> bool {
+    use aprof::check::Severity;
+    for d in &report.diagnostics {
+        if d.severity == Severity::Note && !races {
+            continue;
+        }
+        print!("{}", render(d));
+    }
+    let (e, w, n) =
+        (report.count(Severity::Error), report.count(Severity::Warning), report.count(Severity::Note));
+    let rejected = report.rejects(deny_lints);
+    let verdict = if rejected { "rejected" } else { "ok" };
+    println!(
+        "{what}: {verdict} ({e} errors, {w} warnings, {n} notes; \
+         {} functions, {} blocks, {} instrs)",
+        report.stats.functions, report.stats.blocks, report.stats.instrs
+    );
+    if races && !report.races.is_empty() {
+        println!(
+            "{what}: {} race-candidate location(s); cells {:?}{}",
+            report.races.groups,
+            report.races.cells,
+            if report.races.dynamic_regions { " plus dynamic regions" } else { "" }
+        );
+    }
+    rejected
 }
 
 /// Opens a saved trace and tells wire traces apart from text ones by the
@@ -268,6 +431,9 @@ fn cmd_record(args: &[String]) -> i32 {
     };
     let params = WorkloadParams { size: opts.size, threads: opts.threads, seed: opts.seed };
     let mut machine = wl.build(&params);
+    if !verifier_admits(machine.program(), &name, opts.no_check) {
+        return 1;
+    }
     let names = machine.program().routines().clone();
     let file = match File::create(path) {
         Ok(f) => f,

@@ -19,11 +19,13 @@
 //! * [`bench`] — the experiment harness and its parallel measurement driver.
 //! * [`wire`] — the chunked binary trace format (streaming capture,
 //!   O(chunk)-memory replay).
+//! * [`check`] — the static verifier and lint pass over guest IR.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
 
 pub use aprof_analysis as analysis;
 pub use aprof_bench as bench;
+pub use aprof_check as check;
 pub use aprof_core as core;
 pub use aprof_shadow as shadow;
 pub use aprof_tools as tools;

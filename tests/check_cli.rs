@@ -1,0 +1,239 @@
+//! End-to-end tests of `aprof-cli check`: one hand-written bad program per
+//! statically-reachable error class, each rejected with a located, coded
+//! diagnostic — plus acceptance of every shipped example and workload.
+//!
+//! The structural classes the assembly front end cannot express (bad block
+//! targets `E003`, out-of-range registers `E004`, unknown callees `E005` —
+//! all caught at parse time as `E001`) are covered by the unit tests in
+//! `crates/check` against hand-built IR.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_aprof-cli"))
+}
+
+/// Writes `source` to a scratch file and runs `aprof-cli check` on it with
+/// `extra` flags, returning (exit code, combined output).
+fn check_source(tag: &str, source: &str, extra: &[&str]) -> (i32, String) {
+    let mut path = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    path.push(format!("check_cli_{tag}.asm"));
+    std::fs::write(&path, source).expect("write scratch asm");
+    let out = cli()
+        .arg("check")
+        .arg(&path)
+        .args(extra)
+        .output()
+        .expect("cli spawns");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.code().unwrap_or(-1), text)
+}
+
+/// Asserts the program is rejected and the diagnostic carries the expected
+/// code plus a `file:line` location rendered from the source map.
+fn assert_rejected(tag: &str, source: &str, extra: &[&str], code: &str) {
+    let (status, out) = check_source(tag, source, extra);
+    assert_eq!(status, 1, "`{tag}` should be rejected:\n{out}");
+    assert!(out.contains(code), "`{tag}` missing {code}:\n{out}");
+    assert!(out.contains(".asm:"), "`{tag}` diagnostic not located:\n{out}");
+}
+
+#[test]
+fn e001_parse_error_is_located() {
+    assert_rejected(
+        "e001",
+        "func main() {\nentry:\n    r0 = bogus 1\n    ret\n}",
+        &[],
+        "error[E001]",
+    );
+}
+
+#[test]
+fn e002_use_before_def() {
+    assert_rejected(
+        "e002",
+        "func main() regs=4 {\nentry:\n    r0 = add r2, r2\n    ret r0\n}",
+        &[],
+        "error[E002]",
+    );
+}
+
+#[test]
+fn e006_entry_takes_params() {
+    assert_rejected(
+        "e006",
+        "func main(2) regs=4 {\nentry:\n    r2 = add r0, r1\n    ret r2\n}",
+        &[],
+        "error[E006]",
+    );
+}
+
+#[test]
+fn e007_release_of_unheld_lock() {
+    assert_rejected(
+        "e007",
+        "func main() regs=2 {\nentry:\n    r0 = const 5\n    release r0\n    ret\n}",
+        &[],
+        "error[E007]",
+    );
+}
+
+#[test]
+fn w101_unreachable_block_denied() {
+    assert_rejected(
+        "w101",
+        "func main() {\nentry:\n    ret\nisland:\n    ret\n}",
+        &["--deny-lints"],
+        "warning[W101]",
+    );
+}
+
+#[test]
+fn w102_unreachable_function_denied() {
+    assert_rejected(
+        "w102",
+        "func main() {\nentry:\n    ret\n}\nfunc orphan() {\nentry:\n    ret\n}",
+        &["--deny-lints"],
+        "warning[W102]",
+    );
+}
+
+#[test]
+fn w103_unbounded_recursion_denied() {
+    assert_rejected(
+        "w103",
+        "func main() {\nentry:\n    call spin()\n    ret\n}\n\
+         func spin() {\nentry:\n    call spin()\n    ret\n}",
+        &["--deny-lints"],
+        "warning[W103]",
+    );
+}
+
+#[test]
+fn w104_maybe_uninit_denied() {
+    assert_rejected(
+        "w104",
+        "func main() regs=4 {\n\
+         entry:\n    r0 = const 1\n    br r0, a, b\n\
+         a:\n    r1 = const 2\n    jmp done\n\
+         b:\n    jmp done\n\
+         done:\n    r2 = add r1, r1\n    ret r2\n}",
+        &["--deny-lints"],
+        "warning[W104]",
+    );
+}
+
+#[test]
+fn w105_maybe_unheld_release_denied() {
+    assert_rejected(
+        "w105",
+        "func main() regs=4 {\n\
+         entry:\n    r0 = const 9\n    br r0, locked, skip\n\
+         locked:\n    acquire r0\n    jmp done\n\
+         skip:\n    jmp done\n\
+         done:\n    release r0\n    ret\n}",
+        &["--deny-lints"],
+        "warning[W105]",
+    );
+}
+
+#[test]
+fn w107_unjoined_spawn_denied() {
+    assert_rejected(
+        "w107",
+        "func main() regs=2 {\nentry:\n    r0 = spawn worker()\n    ret\n}\n\
+         func worker() {\nentry:\n    ret\n}",
+        &["--deny-lints"],
+        "warning[W107]",
+    );
+}
+
+#[test]
+fn w110_implicit_ret_denied() {
+    assert_rejected(
+        "w110",
+        "func main() {\nentry:\n    r0 = const 1\n}",
+        &["--deny-lints"],
+        "warning[W110]",
+    );
+}
+
+#[test]
+fn bad_programs_pass_with_no_deny_when_lint_only() {
+    // A lint-only program is accepted by default and rejected under
+    // --deny-lints — the escalation switch, not the default, is strict.
+    let src = "func main() {\nentry:\n    ret\nisland:\n    ret\n}";
+    let (status, out) = check_source("lint_only", src, &[]);
+    assert_eq!(status, 0, "{out}");
+    assert!(out.contains("warning[W101]"), "{out}");
+}
+
+#[test]
+fn race_candidates_are_notes_and_shown_on_request() {
+    let src = "func main() regs=4 {\n\
+        entry:\n    r0 = spawn worker()\n    r1 = const 100\n    r2 = const 1\n\
+        \n    store r2, r1, 0\n    join r0\n    ret\n}\n\
+        func worker() regs=2 {\n\
+        entry:\n    r0 = const 100\n    r1 = load r0, 0\n    ret\n}";
+    let (status, out) = check_source("races_silent", src, &["--deny-lints"]);
+    assert_eq!(status, 0, "notes must not reject:\n{out}");
+    assert!(!out.contains("N201"), "notes hidden by default:\n{out}");
+    let (status, out) = check_source("races_shown", src, &["--races"]);
+    assert_eq!(status, 0, "{out}");
+    assert!(out.contains("note[N201]"), "{out}");
+    assert!(out.contains("cell 100"), "{out}");
+}
+
+#[test]
+fn shipped_examples_are_lint_clean() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    for name in ["sum.asm", "locked_counter.asm", "fork_join.asm"] {
+        let path = format!("{root}/examples/asm/{name}");
+        let out = cli().args(["check", &path, "--deny-lints"]).output().expect("cli spawns");
+        assert!(
+            out.status.success(),
+            "{name} rejected:\n{}{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn all_workloads_verify_clean() {
+    let out = cli().args(["check", "--workloads", "--deny-lints"]).output().expect("cli spawns");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("mysqld: ok"), "{text}");
+    assert!(!text.contains("rejected"), "{text}");
+}
+
+#[test]
+fn run_refuses_unverifiable_asm_without_no_check() {
+    let mut path = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    path.push("check_cli_gate.asm");
+    // Uses r2 before any write: E002, but structurally valid so the VM
+    // would happily run it (registers are zero-initialized).
+    std::fs::write(&path, "func main() regs=4 {\nentry:\n    r0 = add r2, r2\n    ret r0\n}")
+        .expect("write scratch asm");
+    let out = cli().args(["asm"]).arg(&path).output().expect("cli spawns");
+    assert!(!out.status.success(), "gate should refuse");
+    let err = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(err.contains("E002"), "{err}");
+    assert!(err.contains("--no-check"), "{err}");
+    let out = cli().args(["asm"]).arg(&path).arg("--no-check").output().expect("cli spawns");
+    assert!(
+        out.status.success(),
+        "--no-check should run it: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
