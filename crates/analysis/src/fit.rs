@@ -144,6 +144,103 @@ pub fn fit_best(points: &[(f64, f64)]) -> Option<FitResult> {
     fits.into_iter().find(|f| f.r2 >= best - 0.002)
 }
 
+/// Why a cost plot carries too little information to discriminate growth
+/// models. Returned by [`fit_verdict`] instead of a panic or a spurious
+/// perfect fit on degenerate profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsufficientReason {
+    /// The profile has no `(n, cost)` points at all (the routine was never
+    /// activated, or every activation was filtered out).
+    EmptyProfile,
+    /// A single point: every candidate curve passes through it exactly.
+    SinglePoint,
+    /// Two or more points, but all at the same input size — the plot is a
+    /// vertical line and no basis can be regressed against `n`.
+    ConstantInput,
+    /// The cost never varies: consistent with `O(1)`, but with zero
+    /// variance the R² of *any* model is vacuous, so no growth claim is
+    /// justified.
+    ConstantCost,
+}
+
+impl InsufficientReason {
+    /// A short human-readable explanation for report rendering.
+    pub fn describe(self) -> &'static str {
+        match self {
+            InsufficientReason::EmptyProfile => "empty profile (no activations)",
+            InsufficientReason::SinglePoint => "single data point",
+            InsufficientReason::ConstantInput => "all activations saw the same input size",
+            InsufficientReason::ConstantCost => "cost is constant (no growth signal)",
+        }
+    }
+}
+
+/// Typed outcome of growth-model selection: either a meaningful fit or a
+/// reason why the profile cannot support one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FitVerdict {
+    /// Model selection succeeded on non-degenerate data.
+    Fitted(FitResult),
+    /// The profile is degenerate; no growth model can be claimed.
+    InsufficientData(InsufficientReason),
+}
+
+impl FitVerdict {
+    /// The fit, when there is one.
+    pub fn fit(&self) -> Option<&FitResult> {
+        match self {
+            FitVerdict::Fitted(f) => Some(f),
+            FitVerdict::InsufficientData(_) => None,
+        }
+    }
+
+    /// Render-ready label: the asymptotic notation of a fit, or the
+    /// insufficiency reason.
+    pub fn label(&self) -> String {
+        match self {
+            FitVerdict::Fitted(f) => format!("{} (R²={:.4})", f.model.notation(), f.r2),
+            FitVerdict::InsufficientData(r) => format!("insufficient data: {}", r.describe()),
+        }
+    }
+}
+
+/// Growth-model selection with typed handling of degenerate profiles.
+///
+/// Unlike [`fit_best`] — which returns `None` below two points and happily
+/// reports a vacuous R²=1 "constant" fit on zero-variance data — this
+/// classifies *why* a profile is unfittable: empty, single-point,
+/// constant-input or constant-cost profiles come back as
+/// [`FitVerdict::InsufficientData`] and everything else as
+/// [`FitVerdict::Fitted`].
+///
+/// # Example
+///
+/// ```
+/// use aprof_analysis::{fit_verdict, FitVerdict, GrowthModel, InsufficientReason};
+/// assert_eq!(fit_verdict(&[]), FitVerdict::InsufficientData(InsufficientReason::EmptyProfile));
+/// let pts: Vec<(f64, f64)> = (1..30).map(|n| (n as f64, 2.0 * n as f64)).collect();
+/// assert_eq!(fit_verdict(&pts).fit().unwrap().model, GrowthModel::Linear);
+/// ```
+pub fn fit_verdict(points: &[(f64, f64)]) -> FitVerdict {
+    match points {
+        [] => return FitVerdict::InsufficientData(InsufficientReason::EmptyProfile),
+        [_] => return FitVerdict::InsufficientData(InsufficientReason::SinglePoint),
+        [(x0, y0), rest @ ..] => {
+            if rest.iter().all(|(x, _)| (x - x0).abs() < 1e-12) {
+                return FitVerdict::InsufficientData(InsufficientReason::ConstantInput);
+            }
+            if rest.iter().all(|(_, y)| (y - y0).abs() < 1e-12) {
+                return FitVerdict::InsufficientData(InsufficientReason::ConstantCost);
+            }
+        }
+    }
+    match fit_best(points) {
+        Some(fit) => FitVerdict::Fitted(fit),
+        // Unreachable with ≥2 distinct inputs, but keep the API total.
+        None => FitVerdict::InsufficientData(InsufficientReason::ConstantInput),
+    }
+}
+
 /// Fits a pure power law `y = c·n^e` by linear regression in log-log space,
 /// returning `(e, r2)`. Points with non-positive coordinates are skipped;
 /// returns `None` when fewer than two remain.
@@ -235,6 +332,52 @@ mod tests {
         assert!(!GrowthModel::Linear.is_superlinear());
         assert!(GrowthModel::Quadratic.is_superlinear());
         assert_eq!(GrowthModel::Linearithmic.notation(), "O(n log n)");
+    }
+
+    #[test]
+    fn verdict_empty_profile() {
+        assert_eq!(
+            fit_verdict(&[]),
+            FitVerdict::InsufficientData(InsufficientReason::EmptyProfile)
+        );
+    }
+
+    #[test]
+    fn verdict_single_point() {
+        assert_eq!(
+            fit_verdict(&[(8.0, 42.0)]),
+            FitVerdict::InsufficientData(InsufficientReason::SinglePoint)
+        );
+    }
+
+    #[test]
+    fn verdict_constant_input() {
+        let pts = [(16.0, 3.0), (16.0, 9.0), (16.0, 27.0)];
+        assert_eq!(
+            fit_verdict(&pts),
+            FitVerdict::InsufficientData(InsufficientReason::ConstantInput)
+        );
+    }
+
+    #[test]
+    fn verdict_constant_cost() {
+        let pts: Vec<(f64, f64)> = (1..=10).map(|n| (n as f64, 5.0)).collect();
+        assert_eq!(
+            fit_verdict(&pts),
+            FitVerdict::InsufficientData(InsufficientReason::ConstantCost)
+        );
+        // fit_best keeps its legacy behaviour (vacuous constant fit).
+        assert_eq!(fit_best(&pts).unwrap().model, GrowthModel::Constant);
+    }
+
+    #[test]
+    fn verdict_fits_real_data() {
+        let pts = series(|n| n * n);
+        match fit_verdict(&pts) {
+            FitVerdict::Fitted(f) => assert_eq!(f.model, GrowthModel::Quadratic),
+            other => panic!("expected a fit, got {other:?}"),
+        }
+        assert!(fit_verdict(&pts).label().starts_with("O(n^2)"));
     }
 
     #[test]

@@ -20,9 +20,25 @@
 //! * [`bottleneck`] — automatic asymptotic-bottleneck detection over a
 //!   whole report, distinguishing genuine, rms-spurious and rms-hidden
 //!   bottlenecks (extension building on §3's case studies).
+//! * [`render::html`] — the self-contained HTML report behind
+//!   `aprof-cli report`.
+//!
+//! # Example
+//!
+//! ```
+//! use aprof_analysis::{fit_verdict, FitVerdict, GrowthModel};
+//!
+//! // Quadratic (input size, cost) samples fit O(n^2)…
+//! let points: Vec<(f64, f64)> = (1..30).map(|n| (n as f64, (n * n) as f64)).collect();
+//! let FitVerdict::Fitted(fit) = fit_verdict(&points) else { panic!() };
+//! assert_eq!(fit.model, GrowthModel::Quadratic);
+//!
+//! // …while a degenerate profile gets a typed refusal, not a bogus curve.
+//! assert!(matches!(fit_verdict(&[(4.0, 9.0)]), FitVerdict::InsufficientData(_)));
+//! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bottleneck;
 pub mod fit;
@@ -30,6 +46,9 @@ pub mod metrics;
 pub mod plot;
 pub mod render;
 
-pub use fit::{fit_best, fit_power_law, FitResult, GrowthModel};
+pub use fit::{
+    fit_best, fit_power_law, fit_verdict, FitResult, FitVerdict, GrowthModel, InsufficientReason,
+};
 pub use metrics::{cdf_curve, CurvePoint};
 pub use plot::{CostPlot, Metric, PlotKind, Point};
+pub use render::{render_report, ReportInputs};

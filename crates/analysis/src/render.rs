@@ -1,4 +1,9 @@
-//! Text rendering: ASCII scatter plots, aligned tables, CSV export.
+//! Rendering: ASCII scatter plots, aligned tables, CSV export, and the
+//! self-contained HTML report ([`html`]).
+
+pub mod html;
+
+pub use html::{render_report, ReportInputs};
 
 use crate::plot::CostPlot;
 

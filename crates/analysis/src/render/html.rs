@@ -1,0 +1,689 @@
+//! Self-contained HTML report generation: profiles, fitted curves, CDFs,
+//! bottleneck verdicts and profiler self-metrics in one file with inline
+//! SVG charts and zero external assets.
+//!
+//! The report is deliberately deterministic for a given [`ProfileReport`]:
+//! every non-reproducible value (self-metrics, timings) is emitted on a line
+//! carrying `class="volatile"`, which is what the golden-file test strips.
+//!
+//! Chart conventions (shared with the rest of the workspace's rendering):
+//! scatter marks are ≥8px with a 2px surface ring, lines are 2px with round
+//! caps, gridlines are solid 1px hairlines, text never wears a series color,
+//! and the two series (trms/rms) keep their hue everywhere in the file. The
+//! palette is a colorblind-validated pair (worst-pair CVD ΔE ≥ 9 in both
+//! light and dark mode), and every chart's data is also present in an
+//! adjacent table, so color never gates the information.
+
+use crate::bottleneck::{self, Verdict};
+use crate::fit::{fit_verdict, FitVerdict};
+use crate::metrics::{cdf_curve, richness_values, volume_values, CurvePoint};
+use crate::plot::{CostPlot, Metric, PlotKind};
+use aprof_core::ProfileReport;
+
+/// Everything the report generator needs for one page.
+pub struct ReportInputs<'a> {
+    /// The profile to render.
+    pub report: &'a ProfileReport,
+    /// Page title (typically the workload or trace name).
+    pub title: &'a str,
+    /// Profiler self-metrics to include, when the run was observed.
+    pub obs: Option<&'a aprof_obs::Snapshot>,
+    /// Maximum number of routines to chart (ranked by bottleneck severity).
+    pub top: usize,
+}
+
+const PLOT_W: f64 = 560.0;
+const PLOT_H: f64 = 300.0;
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 16.0;
+const MARGIN_T: f64 = 14.0;
+const MARGIN_B: f64 = 40.0;
+
+/// Escapes text for HTML body and attribute positions.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A deterministic compact number for labels: integers as integers,
+/// fractions with three significant decimals.
+fn num(v: f64) -> String {
+    if !v.is_finite() {
+        return "—".into();
+    }
+    if (v.fract()).abs() < 1e-9 && v.abs() < 1e15 {
+        let i = v as i64;
+        let mut s = String::new();
+        let digits = i.abs().to_string();
+        let bytes = digits.as_bytes();
+        for (idx, b) in bytes.iter().enumerate() {
+            if idx > 0 && (bytes.len() - idx).is_multiple_of(3) {
+                s.push(',');
+            }
+            s.push(*b as char);
+        }
+        if i < 0 {
+            format!("-{s}")
+        } else {
+            s
+        }
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// One axis: maps data values into pixel positions, optionally through
+/// log10 (chosen when the data spans more than two decades).
+struct Scale {
+    min: f64,
+    max: f64,
+    log: bool,
+    px_lo: f64,
+    px_hi: f64,
+}
+
+impl Scale {
+    fn fit(values: impl Iterator<Item = f64>, px_lo: f64, px_hi: f64) -> Scale {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for v in values {
+            if v.is_finite() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        if !lo.is_finite() {
+            lo = 0.0;
+            hi = 1.0;
+        }
+        if (hi - lo).abs() < 1e-12 {
+            hi = lo + 1.0;
+        }
+        let log = lo > 0.0 && hi / lo.max(1e-12) > 100.0;
+        Scale { min: lo, max: hi, log, px_lo, px_hi }
+    }
+
+    fn tr(&self, v: f64) -> f64 {
+        if self.log {
+            v.max(self.min).log10()
+        } else {
+            v
+        }
+    }
+
+    fn pos(&self, v: f64) -> f64 {
+        let (lo, hi) = (self.tr(self.min), self.tr(self.max));
+        let t = ((self.tr(v) - lo) / (hi - lo)).clamp(0.0, 1.0);
+        self.px_lo + t * (self.px_hi - self.px_lo)
+    }
+
+    /// About four clean tick values across the domain (powers of ten when
+    /// the scale is logarithmic).
+    fn ticks(&self) -> Vec<f64> {
+        if self.log {
+            let lo = self.tr(self.min).floor() as i32;
+            let hi = self.tr(self.max).ceil() as i32;
+            return (lo..=hi).map(|e| 10f64.powi(e)).filter(|&v| v >= self.min * 0.999 && v <= self.max * 1.001).collect();
+        }
+        let span = self.max - self.min;
+        let raw_step = span / 4.0;
+        let mag = 10f64.powf(raw_step.log10().floor());
+        let step = [1.0, 2.0, 5.0, 10.0]
+            .iter()
+            .map(|m| m * mag)
+            .find(|&s| span / s <= 5.0)
+            .unwrap_or(mag * 10.0);
+        let first = (self.min / step).ceil() * step;
+        let mut out = Vec::new();
+        let mut v = first;
+        while v <= self.max + step * 1e-9 {
+            out.push(v);
+            v += step;
+        }
+        out
+    }
+}
+
+/// A series to draw into one chart: scattered points plus an optional
+/// fitted-curve overlay, keyed to one of the two palette slots.
+struct Series<'a> {
+    label: &'a str,
+    css: &'a str,
+    points: Vec<(f64, f64)>,
+    fit_label: String,
+    fit_curve: Vec<(f64, f64)>,
+}
+
+/// Renders one scatter+fit chart as inline SVG.
+fn svg_chart(series: &[Series<'_>], x_label: &str, y_label: &str) -> String {
+    let xs = series.iter().flat_map(|s| s.points.iter().map(|p| p.0));
+    let ys = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.1).chain(s.fit_curve.iter().map(|p| p.1)));
+    let sx = Scale::fit(xs, MARGIN_L, PLOT_W - MARGIN_R);
+    let sy = Scale::fit(ys, PLOT_H - MARGIN_B, MARGIN_T);
+
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        "<svg viewBox=\"0 0 {PLOT_W} {PLOT_H}\" role=\"img\" aria-label=\"{} by {}\">\n",
+        esc(y_label),
+        esc(x_label)
+    ));
+    // Hairline gridlines + muted tick labels (tabular figures via CSS).
+    for t in sy.ticks() {
+        let y = sy.pos(t);
+        svg.push_str(&format!(
+            "<line class=\"grid\" x1=\"{MARGIN_L}\" y1=\"{y:.1}\" x2=\"{:.1}\" y2=\"{y:.1}\"/>\n",
+            PLOT_W - MARGIN_R
+        ));
+        svg.push_str(&format!(
+            "<text class=\"tick\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{}</text>\n",
+            MARGIN_L - 6.0,
+            y + 3.5,
+            num(t)
+        ));
+    }
+    for t in sx.ticks() {
+        let x = sx.pos(t);
+        svg.push_str(&format!(
+            "<text class=\"tick\" x=\"{x:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>\n",
+            PLOT_H - MARGIN_B + 16.0,
+            num(t)
+        ));
+    }
+    // Baseline axis.
+    svg.push_str(&format!(
+        "<line class=\"axis\" x1=\"{MARGIN_L}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\"/>\n",
+        PLOT_H - MARGIN_B,
+        PLOT_W - MARGIN_R,
+        PLOT_H - MARGIN_B
+    ));
+    // Axis titles in muted ink.
+    svg.push_str(&format!(
+        "<text class=\"axis-title\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>\n",
+        (MARGIN_L + PLOT_W - MARGIN_R) / 2.0,
+        PLOT_H - 6.0,
+        esc(x_label)
+    ));
+    svg.push_str(&format!(
+        "<text class=\"axis-title\" x=\"12\" y=\"{:.1}\" text-anchor=\"middle\" transform=\"rotate(-90 12 {:.1})\">{}</text>\n",
+        (MARGIN_T + PLOT_H - MARGIN_B) / 2.0,
+        (MARGIN_T + PLOT_H - MARGIN_B) / 2.0,
+        esc(y_label)
+    ));
+    // Fitted curves first (under the dots), then scatter marks with a 2px
+    // surface ring so overlapping points stay legible.
+    for s in series {
+        if s.fit_curve.len() >= 2 {
+            let d: Vec<String> = s
+                .fit_curve
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| {
+                    format!("{}{:.1} {:.1}", if i == 0 { "M" } else { "L" }, sx.pos(x), sy.pos(y))
+                })
+                .collect();
+            svg.push_str(&format!(
+                "<path class=\"fitline {}\" d=\"{}\"/>\n",
+                s.css,
+                d.join(" ")
+            ));
+        }
+    }
+    for s in series {
+        for &(x, y) in &s.points {
+            svg.push_str(&format!(
+                "<circle class=\"dot {}\" cx=\"{:.1}\" cy=\"{:.1}\" r=\"4\"><title>{}: n={}, cost={}</title></circle>\n",
+                s.css,
+                sx.pos(x),
+                sy.pos(y),
+                esc(s.label),
+                num(x),
+                num(y)
+            ));
+        }
+    }
+    svg.push_str("</svg>\n");
+
+    // Legend (two series) + per-series fit labels, in text ink with a
+    // colored swatch carrying identity.
+    let mut legend = String::from("<div class=\"legend\">");
+    for s in series {
+        legend.push_str(&format!(
+            "<span class=\"key\"><span class=\"swatch {}\"></span>{} — {}</span>",
+            s.css,
+            esc(s.label),
+            esc(&s.fit_label)
+        ));
+    }
+    legend.push_str("</div>\n");
+    format!("{legend}{svg}")
+}
+
+/// Renders a single-series line chart (CDF curves). One series, so no
+/// legend box: the caption names the curve.
+fn svg_line_chart(points: &[CurvePoint], x_label: &str, y_label: &str) -> String {
+    if points.is_empty() {
+        return "<p class=\"empty\">no data</p>\n".into();
+    }
+    let sx = Scale::fit(points.iter().map(|p| p.share), MARGIN_L, PLOT_W - MARGIN_R);
+    let sy = Scale::fit(points.iter().map(|p| p.value), PLOT_H - MARGIN_B, MARGIN_T);
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        "<svg viewBox=\"0 0 {PLOT_W} {PLOT_H}\" role=\"img\" aria-label=\"{} by {}\">\n",
+        esc(y_label),
+        esc(x_label)
+    ));
+    for t in sy.ticks() {
+        let y = sy.pos(t);
+        svg.push_str(&format!(
+            "<line class=\"grid\" x1=\"{MARGIN_L}\" y1=\"{y:.1}\" x2=\"{:.1}\" y2=\"{y:.1}\"/>\n",
+            PLOT_W - MARGIN_R
+        ));
+        svg.push_str(&format!(
+            "<text class=\"tick\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{}</text>\n",
+            MARGIN_L - 6.0,
+            y + 3.5,
+            num(t)
+        ));
+    }
+    for t in sx.ticks() {
+        svg.push_str(&format!(
+            "<text class=\"tick\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>\n",
+            sx.pos(t),
+            PLOT_H - MARGIN_B + 16.0,
+            num(t)
+        ));
+    }
+    svg.push_str(&format!(
+        "<line class=\"axis\" x1=\"{MARGIN_L}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\"/>\n",
+        PLOT_H - MARGIN_B,
+        PLOT_W - MARGIN_R,
+        PLOT_H - MARGIN_B
+    ));
+    svg.push_str(&format!(
+        "<text class=\"axis-title\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>\n",
+        (MARGIN_L + PLOT_W - MARGIN_R) / 2.0,
+        PLOT_H - 6.0,
+        esc(x_label)
+    ));
+    svg.push_str(&format!(
+        "<text class=\"axis-title\" x=\"12\" y=\"{:.1}\" text-anchor=\"middle\" transform=\"rotate(-90 12 {:.1})\">{}</text>\n",
+        (MARGIN_T + PLOT_H - MARGIN_B) / 2.0,
+        (MARGIN_T + PLOT_H - MARGIN_B) / 2.0,
+        esc(y_label)
+    ));
+    let d: Vec<String> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            format!("{}{:.1} {:.1}", if i == 0 { "M" } else { "L" }, sx.pos(p.share), sy.pos(p.value))
+        })
+        .collect();
+    svg.push_str(&format!("<path class=\"fitline s1\" d=\"{}\"/>\n", d.join(" ")));
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn verdict_label(v: Verdict) -> &'static str {
+    match v {
+        Verdict::Bottleneck => "bottleneck",
+        Verdict::SpuriousUnderRms => "spurious under rms",
+        Verdict::HiddenFromRms => "hidden from rms",
+        Verdict::Scalable => "scalable",
+        Verdict::Unknown => "unknown",
+    }
+}
+
+/// The embedded stylesheet: palette slots as CSS custom properties (light
+/// and dark steps of the same validated hues), ink tokens for all text,
+/// hairline chart chrome.
+const STYLE: &str = r#"
+:root {
+  color-scheme: light;
+  --surface: #fcfcfb; --page: #f9f9f7;
+  --ink: #0b0b0b; --ink-2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7; --border: rgba(11,11,11,0.10);
+  --s1: #2a78d6; --s2: #eb6834; --s3: #1baf7a;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface: #1a1a19; --page: #0d0d0d;
+    --ink: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --axis: #383835; --border: rgba(255,255,255,0.10);
+    --s1: #3987e5; --s2: #d95926; --s3: #199e70;
+  }
+}
+html { background: var(--page); }
+body {
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  color: var(--ink); max-width: 72rem; margin: 0 auto; padding: 1.5rem;
+}
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+h3 { font-size: 0.95rem; color: var(--ink-2); }
+p, td, th { font-size: 0.85rem; }
+section { background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; padding: 1rem 1.25rem; margin: 1rem 0; }
+table { border-collapse: collapse; width: 100%; }
+th { text-align: left; color: var(--ink-2); font-weight: 600;
+  border-bottom: 1px solid var(--axis); padding: 4px 8px; }
+td { border-bottom: 1px solid var(--grid); padding: 4px 8px;
+  font-variant-numeric: tabular-nums; }
+td.name { font-family: ui-monospace, monospace; }
+svg { width: 100%; height: auto; max-width: 560px; display: block; }
+.grid { stroke: var(--grid); stroke-width: 1; }
+.axis { stroke: var(--axis); stroke-width: 1; }
+.tick, .axis-title { fill: var(--muted); font-size: 11px;
+  font-family: system-ui, sans-serif; font-variant-numeric: tabular-nums; }
+.dot { stroke: var(--surface); stroke-width: 2; }
+.dot.s1 { fill: var(--s1); } .dot.s2 { fill: var(--s2); }
+.fitline { fill: none; stroke-width: 2; stroke-linecap: round;
+  stroke-linejoin: round; }
+.fitline.s1 { stroke: var(--s1); } .fitline.s2 { stroke: var(--s2); }
+.legend { display: flex; gap: 1.5rem; margin: 0.25rem 0 0.5rem; }
+.key { font-size: 0.8rem; color: var(--ink-2); display: inline-flex;
+  align-items: center; gap: 6px; }
+.swatch { width: 10px; height: 10px; border-radius: 50%; display: inline-block; }
+.swatch.s1 { background: var(--s1); } .swatch.s2 { background: var(--s2); }
+.empty { color: var(--muted); }
+.note { color: var(--muted); font-size: 0.8rem; }
+.volatile { font-variant-numeric: tabular-nums; }
+"#;
+
+/// Renders the whole report page. The output is fully self-contained: one
+/// HTML file, inline CSS and SVG, no scripts, no external references.
+pub fn render_report(inputs: &ReportInputs<'_>) -> String {
+    let report = inputs.report;
+    let entries = bottleneck::analyze(report);
+    let mut out = String::new();
+    out.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
+    out.push_str(&format!("<title>aprof report — {}</title>\n", esc(inputs.title)));
+    out.push_str("<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n");
+    out.push_str(&format!("<style>{STYLE}</style>\n</head>\n<body>\n"));
+    out.push_str(&format!(
+        "<h1>aprof report — {}</h1>\n<p class=\"note\">tool: {} · input-sensitive profile \
+         (cost vs. input size, rms/trms metrics)</p>\n",
+        esc(inputs.title),
+        esc(&report.tool)
+    ));
+
+    // §1 Global statistics.
+    let g = &report.global;
+    let (ind_thread, ind_ext) = g.induced_split();
+    out.push_str("<section>\n<h2>Run summary</h2>\n<table>\n<tbody>\n");
+    for (k, v) in [
+        ("routines profiled", report.routines.len() as u64),
+        ("activations", g.activations),
+        ("reads", g.reads),
+        ("writes", g.writes),
+        ("kernel reads", g.kernel_reads),
+        ("kernel writes", g.kernel_writes),
+        ("counter renumberings", g.renumberings),
+        ("shadow bytes", g.shadow_bytes),
+    ] {
+        out.push_str(&format!("<tr><td>{k}</td><td>{}</td></tr>\n", num(v as f64)));
+    }
+    out.push_str(&format!(
+        "<tr><td>induced input (thread / external)</td><td>{:.1}% / {:.1}%</td></tr>\n",
+        100.0 * ind_thread,
+        100.0 * ind_ext
+    ));
+    out.push_str("</tbody>\n</table>\n</section>\n");
+
+    // §2 Bottleneck verdicts.
+    out.push_str("<section>\n<h2>Bottleneck verdicts</h2>\n");
+    out.push_str(
+        "<p class=\"note\">Routines ranked by severity (growth class × fit quality × \
+         cost share). Verdicts follow the paper's §3 taxonomy: a <em>spurious</em> \
+         bottleneck is superlinear only under rms; a <em>hidden</em> one only \
+         shows under trms.</p>\n",
+    );
+    out.push_str(
+        "<table>\n<thead><tr><th>routine</th><th>verdict</th><th>trms fit</th>\
+         <th>rms fit</th><th>cost share</th><th>severity</th></tr></thead>\n<tbody>\n",
+    );
+    for b in &entries {
+        let trms_fit = b
+            .trms_fit
+            .map(|f| format!("{} (R²={:.4})", f.model.notation(), f.r2))
+            .unwrap_or_else(|| "—".into());
+        let rms_fit = b
+            .rms_fit
+            .map(|f| format!("{} (R²={:.4})", f.model.notation(), f.r2))
+            .unwrap_or_else(|| "—".into());
+        out.push_str(&format!(
+            "<tr><td class=\"name\">{}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td>{:.1}%</td><td>{:.3}</td></tr>\n",
+            esc(&b.routine),
+            verdict_label(b.verdict),
+            esc(&trms_fit),
+            esc(&rms_fit),
+            100.0 * b.cost_share,
+            b.severity
+        ));
+    }
+    out.push_str("</tbody>\n</table>\n</section>\n");
+
+    // §3 Per-routine cost plots, severity order.
+    out.push_str("<section>\n<h2>Cost plots</h2>\n");
+    out.push_str(
+        "<p class=\"note\">Worst-case cost against input size under both metrics, \
+         with the selected growth fit overlaid. Axes switch to log scale when the \
+         data spans more than two decades.</p>\n",
+    );
+    let mut charted = 0usize;
+    for b in &entries {
+        if charted >= inputs.top {
+            break;
+        }
+        let Some(routine) = report.routines.iter().find(|r| r.name == b.routine) else {
+            continue;
+        };
+        let trms = CostPlot::from_report(routine, Metric::Trms, PlotKind::WorstCase);
+        let rms = CostPlot::from_report(routine, Metric::Rms, PlotKind::WorstCase);
+        if trms.is_empty() && rms.is_empty() {
+            continue;
+        }
+        let mut series = Vec::new();
+        for (plot, css, label) in [(&trms, "s1", "trms"), (&rms, "s2", "rms")] {
+            let xy = plot.xy();
+            let verdict = fit_verdict(&xy);
+            let fit_curve = match &verdict {
+                FitVerdict::Fitted(f) if !xy.is_empty() => {
+                    let (lo, hi) = xy.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), p| {
+                        (l.min(p.0), h.max(p.0))
+                    });
+                    (0..=60)
+                        .map(|i| {
+                            let x = lo + (hi - lo) * (i as f64) / 60.0;
+                            (x, f.predict(x))
+                        })
+                        .collect()
+                }
+                _ => Vec::new(),
+            };
+            series.push(Series {
+                label,
+                css,
+                points: xy,
+                fit_label: verdict.label(),
+                fit_curve,
+            });
+        }
+        out.push_str(&format!("<h3>{}</h3>\n", esc(&b.routine)));
+        out.push_str(&svg_chart(&series, "input size n", "worst-case cost"));
+        charted += 1;
+    }
+    if charted == 0 {
+        out.push_str("<p class=\"empty\">no routine collected enough points to chart</p>\n");
+    }
+    out.push_str("</section>\n");
+
+    // §4 Distribution curves (Figs. 15/16 analogs).
+    out.push_str("<section>\n<h2>Distribution curves</h2>\n");
+    out.push_str(
+        "<p class=\"note\">A point (x, y) means: x% of routines have the metric \
+         ≥ y. Steeper decay = the metric concentrates in few routines.</p>\n",
+    );
+    out.push_str("<h3>Profile richness (distinct input sizes / activations)</h3>\n");
+    out.push_str(&svg_line_chart(
+        &cdf_curve(richness_values(report)),
+        "% of routines",
+        "profile richness",
+    ));
+    out.push_str("<h3>Input volume (Σ rms / reads)</h3>\n");
+    out.push_str(&svg_line_chart(
+        &cdf_curve(volume_values(report)),
+        "% of routines",
+        "input volume",
+    ));
+    out.push_str("</section>\n");
+
+    // §5 Self-metrics (volatile: run-dependent).
+    out.push_str("<section>\n<h2>Profiler self-metrics</h2>\n");
+    match inputs.obs {
+        Some(snap) => {
+            out.push_str(
+                "<p class=\"note\">Counters and spans recorded by the observability \
+                 layer (<code>--observe</code>) during this run.</p>\n",
+            );
+            out.push_str("<table>\n<thead><tr><th>counter</th><th>value</th></tr></thead>\n<tbody>\n");
+            for (name, value) in &snap.counters {
+                out.push_str(&format!(
+                    "<tr><td class=\"name\">{}</td><td class=\"volatile\">{}</td></tr>\n",
+                    esc(name),
+                    num(*value as f64)
+                ));
+            }
+            out.push_str("</tbody>\n</table>\n");
+            if !snap.spans.is_empty() {
+                out.push_str(
+                    "<table>\n<thead><tr><th>span</th><th>count</th><th>total</th>\
+                     <th>max</th></tr></thead>\n<tbody>\n",
+                );
+                for s in &snap.spans {
+                    out.push_str(&format!(
+                        "<tr><td class=\"name\">{}</td><td class=\"volatile\">{}</td>\
+                         <td class=\"volatile\">{:.3} ms</td><td class=\"volatile\">{:.3} ms</td></tr>\n",
+                        esc(&s.name),
+                        num(s.count as f64),
+                        s.total_ns as f64 / 1e6,
+                        s.max_ns as f64 / 1e6
+                    ));
+                }
+                out.push_str("</tbody>\n</table>\n");
+            }
+        }
+        None => {
+            out.push_str(
+                "<p class=\"empty\">run was not observed — pass <code>--observe</code> \
+                 to record profiler self-metrics</p>\n",
+            );
+        }
+    }
+    out.push_str("</section>\n");
+
+    out.push_str(&format!(
+        "<p class=\"note\">generated by aprof-analysis {} · self-contained (no external \
+         assets) · every chart's data also appears in a table on this page</p>\n",
+        env!("CARGO_PKG_VERSION")
+    ));
+    out.push_str("</body>\n</html>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aprof_core::TrmsProfiler;
+    use aprof_trace::{Addr, Event, RoutineTable, ThreadId, Trace};
+
+    fn sample_report() -> ProfileReport {
+        let mut names = RoutineTable::new();
+        let f = names.intern("quad");
+        let mut tr = Trace::new();
+        for n in (4..40u64).step_by(4) {
+            tr.push(ThreadId::MAIN, Event::Call { routine: f });
+            for i in 0..n {
+                tr.push(ThreadId::MAIN, Event::Read { addr: Addr::new(n * 1000 + i) });
+            }
+            tr.push(ThreadId::MAIN, Event::BasicBlock { cost: n * n });
+            tr.push(ThreadId::MAIN, Event::Return { routine: f });
+        }
+        let mut p = TrmsProfiler::new();
+        tr.replay(&mut p);
+        p.into_report(&names)
+    }
+
+    #[test]
+    fn report_is_self_contained_html() {
+        let report = sample_report();
+        let html = render_report(&ReportInputs { report: &report, title: "test", obs: None, top: 10 });
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.ends_with("</html>\n"));
+        assert!(html.contains("<svg"));
+        assert!(html.contains("quad"));
+        // Self-contained: no external fetches of any kind.
+        for needle in ["http://", "https://", "src=", "href=", "url(", "@import"] {
+            assert!(!html.contains(needle), "external reference via {needle:?}");
+        }
+    }
+
+    #[test]
+    fn report_embeds_obs_snapshot() {
+        aprof_obs::reset();
+        let report = sample_report();
+        let snap = aprof_obs::snapshot();
+        let html = render_report(&ReportInputs {
+            report: &report,
+            title: "t",
+            obs: Some(&snap),
+            top: 4,
+        });
+        assert!(html.contains("vm.blocks"));
+        assert!(html.contains("class=\"volatile\""));
+    }
+
+    #[test]
+    fn empty_report_renders_without_panic() {
+        let report = ProfileReport {
+            tool: "trms".into(),
+            routines: Vec::new(),
+            global: Default::default(),
+        };
+        let html = render_report(&ReportInputs { report: &report, title: "empty", obs: None, top: 5 });
+        assert!(html.contains("no routine collected enough points"));
+    }
+
+    #[test]
+    fn escapes_routine_names() {
+        assert_eq!(esc("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(num(1234567.0), "1,234,567");
+        assert_eq!(num(0.12345), "0.123");
+        assert_eq!(num(f64::NAN), "—");
+    }
+
+    #[test]
+    fn log_scale_kicks_in_over_two_decades() {
+        let s = Scale::fit([1.0, 5000.0].into_iter(), 0.0, 100.0);
+        assert!(s.log);
+        let lin = Scale::fit([10.0, 90.0].into_iter(), 0.0, 100.0);
+        assert!(!lin.log);
+        assert!(!lin.ticks().is_empty());
+    }
+}

@@ -8,6 +8,7 @@
 //! repro --bench-json         # write BENCH_parallel_driver.json and exit
 //! repro --bench-wire-json    # write BENCH_wire.json and exit
 //! repro --bench-check-json   # write BENCH_check.json and exit
+//! repro --bench-obs-json     # write BENCH_obs.json and exit
 //! ```
 //!
 //! Rendered text goes to stdout; CSV data is written under `results/`.
@@ -24,6 +25,7 @@ fn main() {
     let mut bench_json = false;
     let mut bench_wire_json = false;
     let mut bench_check_json = false;
+    let mut bench_obs_json = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -44,6 +46,7 @@ fn main() {
             "--bench-json" => bench_json = true,
             "--bench-wire-json" => bench_wire_json = true,
             "--bench-check-json" => bench_check_json = true,
+            "--bench-obs-json" => bench_obs_json = true,
             other => selected.push(other),
         }
     }
@@ -67,6 +70,18 @@ fn main() {
     if bench_check_json {
         let report = aprof_bench::check_report();
         let path = Path::new("BENCH_check.json");
+        match std::fs::write(path, report.render()) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if bench_obs_json {
+        let report = aprof_bench::obs_report();
+        let path = Path::new("BENCH_obs.json");
         match std::fs::write(path, report.render()) {
             Ok(()) => println!("wrote {}", path.display()),
             Err(e) => {

@@ -65,6 +65,7 @@ where
 {
     let workers = jobs().max(1).min(count.max(1));
     if workers <= 1 || count <= 1 {
+        aprof_obs::counters::DRIVER_JOBS.add(count as u64);
         return (0..count).map(f).collect();
     }
     let cursor = AtomicUsize::new(0);
@@ -74,15 +75,25 @@ where
             let tx = tx.clone();
             let cursor = &cursor;
             let f = &f;
-            scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= count {
-                    break;
+            scope.spawn(move || {
+                let mut claimed = 0u64;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    aprof_obs::counters::DRIVER_QUEUE_DEPTH_PEAK
+                        .record_max((count - i.min(count)) as u64);
+                    if claimed > 0 {
+                        aprof_obs::counters::DRIVER_STEALS.incr();
+                    }
+                    claimed += 1;
+                    let result = f(i);
+                    if tx.send((i, result)).is_err() {
+                        break;
+                    }
                 }
-                let result = f(i);
-                if tx.send((i, result)).is_err() {
-                    break;
-                }
+                aprof_obs::counters::DRIVER_JOBS.add(claimed);
             });
         }
         drop(tx);
@@ -115,6 +126,8 @@ pub enum Json {
     Num(f64),
     /// An integer.
     Int(u64),
+    /// A boolean.
+    Bool(bool),
     /// A string (escaped on render).
     Str(String),
     /// An ordered list.
@@ -135,6 +148,7 @@ impl Json {
                 }
             }
             Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
             Json::Str(s) => {
                 out.push('"');
                 for c in s.chars() {

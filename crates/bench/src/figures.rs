@@ -35,7 +35,7 @@ fn profile_cache() -> &'static Mutex<HashMap<ProfileKey, ProfileReport>> {
 /// Drops all memoized profiles.
 ///
 /// Profiling runs are deterministic in (workload, params, policy), so
-/// [`profile`] memoizes reports — several figures share runs (e.g. Figs. 4
+/// the private `profile` helper memoizes reports — several figures share runs (e.g. Figs. 4
 /// and 6 both profile the minidb analog at the same size). Benchmarks and
 /// determinism tests call this between phases so every phase does the same
 /// work.

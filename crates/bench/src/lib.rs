@@ -20,12 +20,14 @@
 pub mod check_bench;
 pub mod driver;
 pub mod figures;
+pub mod obs_bench;
 pub mod suite;
 pub mod wire_bench;
 
 pub use check_bench::check_report;
 pub use driver::{default_jobs, jobs, parallel_driver_report, set_jobs};
 pub use figures::{clear_profile_cache, FigureOutput};
+pub use obs_bench::obs_report;
 pub use suite::{measure, Measurement, ToolKind};
 pub use wire_bench::wire_report;
 

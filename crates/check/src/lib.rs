@@ -19,6 +19,20 @@
 //!
 //! The analyses and the diagnostic code table are documented in
 //! DESIGN.md §7.
+//!
+//! # Example
+//!
+//! ```
+//! use aprof_vm::asm;
+//!
+//! let module = asm::parse_module(
+//!     "func main() regs=2 {\nentry:\n    r0 = const 7\n    ret r0\n}\n",
+//! )
+//! .unwrap();
+//! let report = aprof_check::check_module(&module);
+//! assert!(!report.has_errors());
+//! assert_eq!(report.stats.functions, 1);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

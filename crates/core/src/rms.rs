@@ -262,6 +262,10 @@ impl Tool for RmsProfiler {
         for idx in 0..self.threads.len() {
             self.unwind(ThreadId::new(idx as u32));
         }
+        if aprof_obs::is_enabled() {
+            aprof_obs::counters::PROF_ACTIVATIONS.add(self.global.activations);
+            aprof_obs::counters::PROF_SHADOW_BYTES.record_max(self.shadow_bytes());
+        }
     }
 }
 

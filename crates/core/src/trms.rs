@@ -592,6 +592,11 @@ impl Tool for TrmsProfiler {
         for idx in 0..n {
             self.unwind(ThreadId::new(idx as u32));
         }
+        if aprof_obs::is_enabled() {
+            aprof_obs::counters::PROF_ACTIVATIONS.add(self.global.activations);
+            aprof_obs::counters::PROF_RENUMBERINGS.add(self.global.renumberings);
+            aprof_obs::counters::PROF_SHADOW_BYTES.record_max(self.shadow_bytes());
+        }
     }
 }
 

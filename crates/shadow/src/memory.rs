@@ -127,9 +127,13 @@ impl<T: Copy + Default> ShadowMemory<T> {
     #[inline]
     pub fn slot(&mut self, addr: Addr) -> &mut T {
         let (s, c, cell) = Self::split(addr);
-        let sec = self.primary.entry(s).or_insert_with(Secondary::new);
+        let sec = self.primary.entry(s).or_insert_with(|| {
+            aprof_obs::counters::SHADOW_SECONDARY_ALLOCS.incr();
+            Secondary::new()
+        });
         let chunk = sec.chunks[c].get_or_insert_with(|| {
             sec.allocated += 1;
+            aprof_obs::counters::SHADOW_CHUNK_ALLOCS.incr();
             Box::new([T::default(); CELLS_PER_CHUNK])
         });
         &mut chunk[cell]

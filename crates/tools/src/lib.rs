@@ -21,6 +21,26 @@
 //!   the machine's synchronization callbacks (spawn/join, locks,
 //!   semaphores). Like helgrind it is the only comparator that analyses
 //!   concurrency, and the most expensive of the set.
+//!
+//! # Example
+//!
+//! ```
+//! use aprof_tools::CallgrindTool;
+//! use aprof_trace::{RoutineTable, ThreadId, Tool};
+//!
+//! let mut names = RoutineTable::new();
+//! let main = names.intern("main");
+//! let t0 = ThreadId::new(0);
+//!
+//! let mut tool = CallgrindTool::new();
+//! tool.call(t0, main);
+//! tool.basic_block(t0, 5);
+//! tool.ret(t0, main);
+//!
+//! let report = tool.into_report(&names);
+//! let (name, costs) = report.hottest()[0];
+//! assert_eq!((name, costs.calls, costs.inclusive), ("main", 1, 5));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

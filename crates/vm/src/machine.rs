@@ -217,6 +217,129 @@ impl<W: Write> Sink for RecordSink<'_, W> {
     }
 }
 
+/// Wrapper sink installed under `--observe`: counts blocks/events/switches
+/// into plain locals and folds them into the global [`aprof_obs`] counters
+/// (plus a rate-limited stderr heartbeat) once per [`OBS_FLUSH_BLOCKS`]
+/// blocks and at drop. Per-event cost while observing is a local integer
+/// bump; when observability is disabled this type is never constructed.
+struct ObsSink<'a, S: Sink> {
+    inner: &'a mut S,
+    blocks: u64,
+    events: u64,
+    switches: u64,
+    heartbeat: aprof_obs::Heartbeat,
+}
+
+const OBS_FLUSH_BLOCKS: u64 = 4096;
+
+impl<'a, S: Sink> ObsSink<'a, S> {
+    fn new(inner: &'a mut S) -> Self {
+        ObsSink {
+            inner,
+            blocks: 0,
+            events: 0,
+            switches: 0,
+            heartbeat: aprof_obs::Heartbeat::per_second(),
+        }
+    }
+
+    fn flush(&mut self) {
+        use aprof_obs::counters as c;
+        c::VM_BLOCKS.add(self.blocks);
+        c::VM_EVENTS.add(self.events);
+        c::VM_THREAD_SWITCHES.add(self.switches);
+        self.blocks = 0;
+        self.events = 0;
+        self.switches = 0;
+        self.heartbeat.tick(|| {
+            format!(
+                "vm: {} blocks, {} events, {} thread switches",
+                c::VM_BLOCKS.get(),
+                c::VM_EVENTS.get(),
+                c::VM_THREAD_SWITCHES.get()
+            )
+        });
+    }
+}
+
+impl<S: Sink> Drop for ObsSink<'_, S> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+impl<S: Sink> Sink for ObsSink<'_, S> {
+    fn thread_start(&mut self, t: ThreadId) {
+        self.events += 1;
+        self.inner.thread_start(t);
+    }
+    fn thread_exit(&mut self, t: ThreadId) {
+        self.events += 1;
+        self.inner.thread_exit(t);
+    }
+    fn thread_switch(&mut self, t: ThreadId) {
+        self.events += 1;
+        self.switches += 1;
+        self.inner.thread_switch(t);
+    }
+    fn basic_block(&mut self, t: ThreadId, cost: u64) {
+        self.events += 1;
+        self.blocks += 1;
+        if self.blocks >= OBS_FLUSH_BLOCKS {
+            self.flush();
+        }
+        self.inner.basic_block(t, cost);
+    }
+    fn call(&mut self, t: ThreadId, r: RoutineId) {
+        self.events += 1;
+        self.inner.call(t, r);
+    }
+    fn ret(&mut self, t: ThreadId, r: RoutineId) {
+        self.events += 1;
+        self.inner.ret(t, r);
+    }
+    fn read(&mut self, t: ThreadId, a: Addr) {
+        self.events += 1;
+        self.inner.read(t, a);
+    }
+    fn write(&mut self, t: ThreadId, a: Addr) {
+        self.events += 1;
+        self.inner.write(t, a);
+    }
+    fn kernel_read(&mut self, t: ThreadId, a: Addr) {
+        self.events += 1;
+        self.inner.kernel_read(t, a);
+    }
+    fn kernel_write(&mut self, t: ThreadId, a: Addr) {
+        self.events += 1;
+        self.inner.kernel_write(t, a);
+    }
+    fn spawned(&mut self, parent: ThreadId, child: ThreadId) {
+        self.events += 1;
+        self.inner.spawned(parent, child);
+    }
+    fn joined(&mut self, t: ThreadId, target: ThreadId) {
+        self.events += 1;
+        self.inner.joined(t, target);
+    }
+    fn lock_acquired(&mut self, t: ThreadId, lock: i64) {
+        self.events += 1;
+        self.inner.lock_acquired(t, lock);
+    }
+    fn lock_released(&mut self, t: ThreadId, lock: i64) {
+        self.events += 1;
+        self.inner.lock_released(t, lock);
+    }
+    fn sem_posted(&mut self, t: ThreadId, sem: i64) {
+        self.events += 1;
+        self.inner.sem_posted(t, sem);
+    }
+    fn sem_waited(&mut self, t: ThreadId, sem: i64) {
+        self.events += 1;
+        self.inner.sem_waited(t, sem);
+    }
+}
+
 #[derive(Debug, Clone)]
 struct ActFrame {
     func: FuncId,
@@ -411,6 +534,15 @@ impl Machine {
     }
 
     fn run_inner<S: Sink>(&mut self, sink: &mut S) -> Result<RunOutcome, VmError> {
+        if aprof_obs::is_enabled() {
+            let _span = aprof_obs::span!("vm.run");
+            let mut obs = ObsSink::new(sink);
+            return self.run_exec(&mut obs);
+        }
+        self.run_exec(sink)
+    }
+
+    fn run_exec<S: Sink>(&mut self, sink: &mut S) -> Result<RunOutcome, VmError> {
         let mut exec = Exec {
             program: &self.program,
             memory: &mut self.memory,

@@ -23,7 +23,7 @@
 //! damaged chunk *payload* is recovered by skip-and-report
 //! ([`WireReader::skipped`]) rather than aborting the replay.
 //!
-//! The byte-level layout is documented in [`format`].
+//! The byte-level layout is documented in [`mod@format`].
 //!
 //! # Example
 //!

@@ -249,6 +249,7 @@ impl<R: Read> WireReader<R> {
         self.payload = payload;
         read?;
         self.stats.peak_chunk_bytes = self.stats.peak_chunk_bytes.max(self.payload.len());
+        aprof_obs::counters::WIRE_BYTES_READ.add(13 + u64::from(payload_len));
         self.seen.push(ChunkEntry {
             offset: tag_offset,
             payload_len,
@@ -271,6 +272,7 @@ impl<R: Read> WireReader<R> {
                 return Err(WireError::ChunkCorrupt { index: ordinal, reason });
             }
             self.stats.chunks_skipped += 1;
+            aprof_obs::counters::WIRE_CHUNKS_SKIPPED.incr();
             self.skipped.push(SkippedChunk {
                 index: ordinal,
                 offset: tag_offset,
@@ -284,6 +286,8 @@ impl<R: Read> WireReader<R> {
         }
         self.pos = 0;
         self.stats.chunks += 1;
+        aprof_obs::counters::WIRE_CHUNKS_DECODED.incr();
+        aprof_obs::counters::WIRE_EVENTS_DECODED.add(self.current.len() as u64);
         Ok(true)
     }
 

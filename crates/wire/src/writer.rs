@@ -194,6 +194,9 @@ impl<W: Write> WireWriter<W> {
         framing[9..13].copy_from_slice(&crc.to_le_bytes());
         self.inner.write_all(&framing)?;
         self.inner.write_all(&self.chunk_buf)?;
+        aprof_obs::counters::WIRE_CHUNKS_FLUSHED.incr();
+        aprof_obs::counters::WIRE_BYTES_WRITTEN.add(framing.len() as u64 + self.chunk_buf.len() as u64);
+        aprof_obs::counters::WIRE_EVENTS_WRITTEN.add(u64::from(self.chunk_events));
         self.entries.push(ChunkEntry {
             offset: self.offset,
             payload_len: self.chunk_buf.len() as u32,

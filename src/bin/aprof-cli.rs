@@ -13,12 +13,15 @@
 //! aprof-cli record trace.wire --workload mysqld --size 160
 //! aprof-cli replay trace.wire --tool rms
 //! aprof-cli trace-info trace.wire
+//! aprof-cli report report.html --workload mysqld --observe
+//! aprof-cli replay trace.wire --report report.html
+//! aprof-cli run --workload dedup --observe --obs-json metrics.json
 //! aprof-cli check program.s --deny-lints
 //! aprof-cli check --workloads
 //! ```
 
 use aprof::analysis::render::{render_plot, Table};
-use aprof::analysis::{fit_best, CostPlot, Metric, PlotKind};
+use aprof::analysis::{fit_best, CostPlot, Metric, PlotKind, ReportInputs};
 use aprof::core::{InputPolicy, ProfileReport, TrmsProfiler};
 use aprof::tools::{CallgrindTool, HelgrindTool, MemcheckTool};
 use aprof::trace::{textio, EventKind, RecordingTool, RoutineTable, Trace};
@@ -32,12 +35,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("list") => cmd_list(),
-        Some("run") => cmd_run(&args[1..]),
-        Some("asm") => cmd_asm(&args[1..]),
-        Some("record") => cmd_record(&args[1..]),
-        Some("replay") => cmd_replay(&args[1..]),
-        Some("trace-info") => cmd_trace_info(&args[1..]),
-        Some("bench") => cmd_bench(&args[1..]),
+        Some("run") => with_observe(&args[1..], cmd_run),
+        Some("asm") => with_observe(&args[1..], cmd_asm),
+        Some("record") => with_observe(&args[1..], cmd_record),
+        Some("replay") => with_observe(&args[1..], cmd_replay),
+        Some("trace-info") => with_observe(&args[1..], cmd_trace_info),
+        Some("report") => with_observe(&args[1..], cmd_report),
+        Some("bench") => with_observe(&args[1..], cmd_bench),
         Some("check") => cmd_check(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{}", USAGE);
@@ -51,6 +55,33 @@ fn main() {
     std::process::exit(code);
 }
 
+/// Wraps a command with the observability lifecycle: `--observe` (or an
+/// explicit `--obs-json PATH`) turns the self-metrics layer on before the
+/// command runs and writes the counter/span snapshot as JSON when it ends —
+/// whatever the exit code, so failed runs can still be diagnosed.
+fn with_observe(args: &[String], f: impl FnOnce(&[String]) -> i32) -> i32 {
+    let obs_path = args
+        .iter()
+        .position(|a| a == "--obs-json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let observe = obs_path.is_some() || args.iter().any(|a| a == "--observe");
+    if observe {
+        aprof::obs::enable();
+    }
+    let code = f(args);
+    if observe {
+        let path = obs_path.unwrap_or_else(|| "obs.json".into());
+        let snap = aprof::obs::snapshot();
+        match snap.write_json(std::path::Path::new(&path)) {
+            Ok(()) => eprintln!("[obs] wrote self-metrics to {path}"),
+            Err(e) => eprintln!("[obs] cannot write {path}: {e}"),
+        }
+        aprof::obs::disable();
+    }
+    code
+}
+
 const USAGE: &str = "\
 aprof-cli — input-sensitive profiling
 
@@ -60,13 +91,18 @@ commands:
   asm  FILE [opts]             run a guest assembly program under a tool
   record FILE --workload NAME  run a workload, profiling it live while
                                streaming its event trace to FILE in the
-                               binary wire format
+                               binary wire format; `record FILE PROG.s`
+                               records an assembly program instead
   replay FILE [opts]           profile a previously saved trace (wire or
                                text format, detected automatically; wire
                                traces stream in O(chunk) memory)
   trace-info FILE              inspect a saved trace: format, events,
                                chunks, threads, and any corrupt chunks
                                skipped during decode
+  report OUT.html [opts]       render a self-contained HTML report (cost
+                               plots, fitted curves, CDFs, bottleneck
+                               verdicts); profile `--workload NAME` live,
+                               or pass a saved TRACE file to replay
   bench [IDS|all] [opts]       regenerate the paper's tables and figures
                                (--jobs N shards measurements over N worker
                                threads; --list shows experiment ids)
@@ -92,6 +128,12 @@ options:
   --csv FILE        also write the routine summary as CSV to FILE
   --no-check        run/asm/record: skip the static verifier (which
                     otherwise refuses programs with hard errors)
+  --report FILE     run/asm/record/replay: also write the HTML report
+  --observe         enable profiler self-metrics (counters and tracing
+                    spans); writes obs.json at exit and emits periodic
+                    [obs] progress lines to stderr
+  --obs-json FILE   where --observe writes its snapshot (implies
+                    --observe; default obs.json)
 
 check options:
   --deny-lints      treat warnings (W1xx) as rejections, like errors
@@ -115,6 +157,7 @@ struct Opts {
     strict: bool,
     csv: Option<String>,
     no_check: bool,
+    report: Option<String>,
     positional: Vec<String>,
 }
 
@@ -135,6 +178,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         strict: false,
         csv: None,
         no_check: false,
+        report: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -174,6 +218,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--strict" => o.strict = true,
             "--csv" => o.csv = Some(value("--csv")?),
             "--no-check" => o.no_check = true,
+            "--report" => o.report = Some(value("--report")?),
+            // Consumed by `with_observe` before dispatch; accepted here so
+            // they can sit anywhere on the command line.
+            "--observe" => {}
+            "--obs-json" => {
+                value("--obs-json")?;
+            }
             other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
             other => o.positional.push(other.to_owned()),
         }
@@ -235,21 +286,29 @@ fn cmd_asm(args: &[String]) -> i32 {
         eprintln!("asm requires a FILE argument");
         return 2;
     };
+    match machine_from_asm(path, opts.no_check) {
+        Ok(machine) => drive(machine, &opts),
+        Err(code) => code,
+    }
+}
+
+/// Parses, verifies (unless `no_check`) and loads an assembly file.
+fn machine_from_asm(path: &str, no_check: bool) -> Result<Machine, i32> {
     let source = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot read {path}: {e}");
-            return 1;
+            return Err(1);
         }
     };
     let module = match asm::parse_module(&source) {
         Ok(m) => m,
         Err(e) => {
             eprint!("{}", aprof::check::render_parse_error(&e, &source, path));
-            return 1;
+            return Err(1);
         }
     };
-    if !opts.no_check {
+    if !no_check {
         let report = aprof::check::check_module(&module);
         if report.has_errors() {
             for d in &report.diagnostics {
@@ -262,17 +321,16 @@ fn cmd_asm(args: &[String]) -> i32 {
                  pass --no-check to run anyway",
                 report.count(aprof::check::Severity::Error)
             );
-            return 1;
+            return Err(1);
         }
     }
-    let program = match module.into_program() {
-        Ok(p) => p,
+    match module.into_program() {
+        Ok(p) => Ok(Machine::new(p)),
         Err(e) => {
             eprintln!("{e}");
-            return 1;
+            Err(1)
         }
-    };
-    drive(Machine::new(program), &opts)
+    }
 }
 
 /// The pre-run verifier gate for `run`/`record`: refuses programs with
@@ -421,19 +479,26 @@ fn cmd_record(args: &[String]) -> i32 {
         eprintln!("record requires an output FILE argument");
         return 2;
     };
-    let Some(name) = opts.workload.clone() else {
-        eprintln!("record requires --workload NAME (see `aprof-cli list`)");
+    let mut machine = if let Some(name) = opts.workload.clone() {
+        let Some(wl) = by_name(&name) else {
+            eprintln!("unknown workload `{name}` (see `aprof-cli list`)");
+            return 2;
+        };
+        let params = WorkloadParams { size: opts.size, threads: opts.threads, seed: opts.seed };
+        let machine = wl.build(&params);
+        if !verifier_admits(machine.program(), &name, opts.no_check) {
+            return 1;
+        }
+        machine
+    } else if let Some(asm_path) = opts.positional.get(1).cloned() {
+        match machine_from_asm(&asm_path, opts.no_check) {
+            Ok(m) => m,
+            Err(code) => return code,
+        }
+    } else {
+        eprintln!("record requires --workload NAME or an assembly FILE (see `aprof-cli list`)");
         return 2;
     };
-    let Some(wl) = by_name(&name) else {
-        eprintln!("unknown workload `{name}` (see `aprof-cli list`)");
-        return 2;
-    };
-    let params = WorkloadParams { size: opts.size, threads: opts.threads, seed: opts.seed };
-    let mut machine = wl.build(&params);
-    if !verifier_admits(machine.program(), &name, opts.no_check) {
-        return 1;
-    }
     let names = machine.program().routines().clone();
     let file = match File::create(path) {
         Ok(f) => f,
@@ -520,6 +585,88 @@ fn cmd_replay(args: &[String]) -> i32 {
             }
         };
         // Routine names are not part of the text format; placeholder ids.
+        let names = RoutineTable::new();
+        let mut profiler = build_profiler(&opts);
+        trace.replay(&mut profiler);
+        report_profiler(profiler, &names, &opts);
+    }
+    0
+}
+
+fn cmd_report(args: &[String]) -> i32 {
+    let mut opts = match parse_opts(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return 2;
+        }
+    };
+    let Some(out) = opts.positional.first().cloned() else {
+        eprintln!("report requires an output HTML file argument");
+        return 2;
+    };
+    opts.report = Some(out);
+    if let Some(name) = opts.workload.clone() {
+        // Live run: profile the workload under trms, then render.
+        let Some(wl) = by_name(&name) else {
+            eprintln!("unknown workload `{name}` (see `aprof-cli list`)");
+            return 2;
+        };
+        let params = WorkloadParams { size: opts.size, threads: opts.threads, seed: opts.seed };
+        let mut machine = wl.build(&params);
+        if !verifier_admits(machine.program(), &name, opts.no_check) {
+            return 1;
+        }
+        let names = machine.program().routines().clone();
+        let mut profiler = build_profiler(&opts);
+        if let Err(e) = machine.run_with(&mut profiler) {
+            eprintln!("guest error: {e}");
+            return 1;
+        }
+        report_profiler(profiler, &names, &opts);
+        return 0;
+    }
+    // Offline: render from a previously saved trace.
+    let Some(path) = opts.positional.get(1).cloned() else {
+        eprintln!("report requires --workload NAME or a saved TRACE file");
+        return 2;
+    };
+    let (file, is_wire) = match open_trace(&path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    if is_wire {
+        let mut reader = match WireReader::new(file) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        };
+        if opts.strict {
+            reader = reader.strict();
+        }
+        let names = reader.routines().clone();
+        let mut profiler = build_profiler(&opts);
+        if let Err(e) = profiler.consume_stream(&mut reader) {
+            eprintln!("{e}");
+            return 1;
+        }
+        for skipped in reader.skipped() {
+            eprintln!("warning: skipped corrupt {skipped}");
+        }
+        report_profiler(profiler, &names, &opts);
+    } else {
+        let trace = match textio::from_reader(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        };
         let names = RoutineTable::new();
         let mut profiler = build_profiler(&opts);
         trace.replay(&mut profiler);
@@ -627,6 +774,11 @@ fn cmd_bench(args: &[String]) -> i32 {
                     return 2;
                 };
                 aprof::bench::set_jobs(n);
+            }
+            // Consumed by `with_observe` before dispatch.
+            "--observe" => {}
+            "--obs-json" => {
+                it.next();
             }
             other if other.starts_with("--") => {
                 eprintln!("unknown option `{other}`\n{USAGE}");
@@ -750,9 +902,40 @@ fn drive(mut machine: Machine, opts: &Opts) -> i32 {
     }
 }
 
+/// Writes the self-contained HTML report. The self-metrics section is
+/// filled only when the run was observed (`--observe`).
+fn write_html_report(report: &ProfileReport, title: &str, path: &str, top: usize) {
+    let snap = aprof::obs::is_enabled().then(aprof::obs::snapshot);
+    let html = aprof::analysis::render_report(&ReportInputs {
+        report,
+        title,
+        obs: snap.as_ref(),
+        top,
+    });
+    match std::fs::write(path, html) {
+        Ok(()) => println!("wrote HTML report to {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
 fn report_profiler(profiler: TrmsProfiler, names: &RoutineTable, opts: &Opts) {
     let (report, cct) = profiler.into_report_and_cct(names);
     print_summary(&report, opts);
+    if let Some(path) = &opts.report {
+        // Title the page after the workload, else the first non-output
+        // positional (the trace or assembly file), else a generic label.
+        let title = opts
+            .workload
+            .clone()
+            .or_else(|| {
+                opts.positional
+                    .iter()
+                    .find(|p| Some(p.as_str()) != opts.report.as_deref())
+                    .cloned()
+            })
+            .unwrap_or_else(|| "run".into());
+        write_html_report(&report, &title, path, opts.top);
+    }
     if opts.bottlenecks {
         let entries = aprof::analysis::bottleneck::analyze(&report);
         println!("asymptotic bottleneck analysis:");

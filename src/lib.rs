@@ -16,14 +16,16 @@
 //! * [`tools`] — comparator analysis tools (nulgrind/memcheck/callgrind/helgrind analogs).
 //! * [`workloads`] — benchmark guest programs.
 //! * [`analysis`] — cost plots, curve fitting, richness/volume metrics.
-//! * [`bench`] — the experiment harness and its parallel measurement driver.
+//! * [`mod@bench`] — the experiment harness and its parallel measurement driver.
 //! * [`wire`] — the chunked binary trace format (streaming capture,
 //!   O(chunk)-memory replay).
 //! * [`check`] — the static verifier and lint pass over guest IR.
+//! * [`obs`] — profiler self-metrics: counters, tracing spans, `obs.json`.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
 
 pub use aprof_analysis as analysis;
+pub use aprof_obs as obs;
 pub use aprof_bench as bench;
 pub use aprof_check as check;
 pub use aprof_core as core;
