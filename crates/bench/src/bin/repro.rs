@@ -9,6 +9,8 @@
 //! repro --bench-wire-json    # write BENCH_wire.json and exit
 //! repro --bench-check-json   # write BENCH_check.json and exit
 //! repro --bench-obs-json     # write BENCH_obs.json and exit
+//! repro --faults             # run the fault-injection smoke and exit
+//! repro --faults --fault-seed 7   # same, with a chosen fault seed
 //! ```
 //!
 //! Rendered text goes to stdout; CSV data is written under `results/`.
@@ -26,6 +28,8 @@ fn main() {
     let mut bench_wire_json = false;
     let mut bench_check_json = false;
     let mut bench_obs_json = false;
+    let mut faults = false;
+    let mut fault_seed = aprof_bench::DEFAULT_FAULT_SEED;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -43,11 +47,37 @@ fn main() {
                 };
                 driver::set_jobs(n);
             }
+            "--faults" => faults = true,
+            "--fault-seed" => {
+                let Some(n) = it.next().and_then(|v| {
+                    let v = v.trim();
+                    match v.strip_prefix("0x") {
+                        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                        None => v.parse::<u64>().ok(),
+                    }
+                }) else {
+                    eprintln!("--fault-seed needs an integer (decimal or 0x-hex)");
+                    std::process::exit(2);
+                };
+                fault_seed = n;
+            }
             "--bench-json" => bench_json = true,
             "--bench-wire-json" => bench_wire_json = true,
             "--bench-check-json" => bench_check_json = true,
             "--bench-obs-json" => bench_obs_json = true,
             other => selected.push(other),
+        }
+    }
+    if faults {
+        match aprof_bench::fault_smoke(fault_seed) {
+            Ok(report) => {
+                print!("{report}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("fault smoke failed: {e}");
+                std::process::exit(1);
+            }
         }
     }
     let results_dir = Path::new("results");

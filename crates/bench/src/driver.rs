@@ -15,8 +15,11 @@
 //! environment variable as a fallback; by default it matches the number of
 //! available cores.
 
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::time::Duration;
 
 /// Process-wide worker count; 0 means "not set, use the default".
 static JOBS: AtomicUsize = AtomicUsize::new(0);
@@ -106,6 +109,122 @@ where
             .map(|s| s.expect("every job index is claimed exactly once"))
             .collect()
     })
+}
+
+/// Retry discipline for [`run_indexed_isolated`]: how many attempts each
+/// job gets and the base delay between them.
+///
+/// The delay doubles after every failed attempt (deterministic exponential
+/// backoff), so attempt `k` waits `backoff * 2^(k-2)` before running. A
+/// `backoff` of zero retries immediately, which keeps tests fast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per job (first try included); clamped to at least 1.
+    pub attempts: u32,
+    /// Base delay before the first retry; doubles per subsequent retry.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { attempts: 3, backoff: Duration::from_millis(5) }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that runs each job exactly once, with no retry.
+    pub fn no_retry() -> Self {
+        RetryPolicy { attempts: 1, backoff: Duration::ZERO }
+    }
+}
+
+/// Why a job's final attempt failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureCause {
+    /// The job panicked; carries the rendered panic message.
+    Panic(String),
+    /// The job returned an error value.
+    Error(String),
+}
+
+impl fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureCause::Panic(msg) => write!(f, "panic: {msg}"),
+            FailureCause::Error(msg) => write!(f, "error: {msg}"),
+        }
+    }
+}
+
+/// The per-job record produced by [`run_indexed_isolated`]: the result (or
+/// the final failure cause) plus how many attempts it took.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome<T> {
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
+    /// The job's value, or why every attempt failed.
+    pub result: Result<T, FailureCause>,
+}
+
+impl<T> JobOutcome<T> {
+    /// True when the job exhausted its attempts without producing a value.
+    pub fn is_degraded(&self) -> bool {
+        self.result.is_err()
+    }
+}
+
+/// Runs `count` independent fallible jobs on the worker pool with
+/// per-job panic isolation and bounded retries, returning one
+/// [`JobOutcome`] per job in job order.
+///
+/// Unlike [`run_indexed`], a panicking or failing job cannot take the run
+/// down: each attempt executes under [`catch_unwind`], failures are retried
+/// up to [`RetryPolicy::attempts`] times with deterministic exponential
+/// backoff, and a job that never succeeds yields a *degraded* entry
+/// carrying its [`FailureCause`] while every other job still reports its
+/// value. `f` receives `(job_index, attempt)` with `attempt` counting from
+/// 1, so callers (and tests) can make behaviour attempt-dependent.
+///
+/// Output order is the job order whatever the worker count, and the retry
+/// schedule depends only on the job index — never on thread interleaving —
+/// so a `--jobs 8` run and a `--jobs 1` run produce identical outcomes for
+/// deterministic `f`.
+pub fn run_indexed_isolated<T, F>(count: usize, policy: RetryPolicy, f: F) -> Vec<JobOutcome<T>>
+where
+    T: Send,
+    F: Fn(usize, u32) -> Result<T, String> + Sync,
+{
+    run_indexed(count, |i| attempt_job(i, policy, &f))
+}
+
+/// One job's full attempt loop: catch panics, retry with backoff, count
+/// what happened.
+fn attempt_job<T, F>(i: usize, policy: RetryPolicy, f: &F) -> JobOutcome<T>
+where
+    F: Fn(usize, u32) -> Result<T, String>,
+{
+    let max_attempts = policy.attempts.max(1);
+    let mut cause = FailureCause::Error("job never ran".into());
+    for attempt in 1..=max_attempts {
+        if attempt > 1 {
+            aprof_obs::counters::DRIVER_RETRIES.incr();
+            let doublings = (attempt - 2).min(16);
+            let delay = policy.backoff.saturating_mul(1u32 << doublings);
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+        }
+        match catch_unwind(AssertUnwindSafe(|| f(i, attempt))) {
+            Ok(Ok(value)) => return JobOutcome { attempts: attempt, result: Ok(value) },
+            Ok(Err(msg)) => cause = FailureCause::Error(msg),
+            Err(payload) => {
+                aprof_obs::counters::DRIVER_PANICS_CAUGHT.incr();
+                cause = FailureCause::Panic(aprof_faults::panic_message(payload.as_ref()));
+            }
+        }
+    }
+    aprof_obs::counters::DRIVER_DEGRADED_JOBS.incr();
+    JobOutcome { attempts: max_attempts, result: Err(cause) }
 }
 
 /// Maps `f` over `items` in parallel, preserving input order.
@@ -360,5 +479,88 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn isolated_jobs_survive_injected_panics() {
+        aprof_faults::install_quiet_hook();
+        set_jobs(4);
+        let out = run_indexed_isolated(8, RetryPolicy::no_retry(), |i, _attempt| {
+            if i == 3 {
+                aprof_faults::injected_panic(format!("worker fault on job {i}"));
+            }
+            Ok::<usize, String>(i * 2)
+        });
+        set_jobs(0);
+        assert_eq!(out.len(), 8);
+        for (i, outcome) in out.iter().enumerate() {
+            if i == 3 {
+                assert!(outcome.is_degraded());
+                match &outcome.result {
+                    Err(FailureCause::Panic(msg)) => {
+                        assert!(msg.contains("worker fault on job 3"), "got {msg}");
+                    }
+                    other => panic!("expected panic cause, got {other:?}"),
+                }
+            } else {
+                assert_eq!(outcome.result, Ok(i * 2));
+                assert_eq!(outcome.attempts, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn retries_recover_transient_failures() {
+        aprof_faults::install_quiet_hook();
+        let policy = RetryPolicy { attempts: 3, backoff: Duration::ZERO };
+        let out = run_indexed_isolated(4, policy, |i, attempt| {
+            // Job 1 fails (by error) on its first attempt, job 2 panics on
+            // its first two attempts; both succeed on a later attempt.
+            match (i, attempt) {
+                (1, 1) => Err("transient".into()),
+                (2, a) if a <= 2 => aprof_faults::injected_panic("flaky"),
+                _ => Ok(i),
+            }
+        });
+        assert_eq!(out[0], JobOutcome { attempts: 1, result: Ok(0) });
+        assert_eq!(out[1], JobOutcome { attempts: 2, result: Ok(1) });
+        assert_eq!(out[2], JobOutcome { attempts: 3, result: Ok(2) });
+        assert_eq!(out[3], JobOutcome { attempts: 1, result: Ok(3) });
+    }
+
+    #[test]
+    fn exhausted_attempts_report_the_last_cause() {
+        aprof_faults::install_quiet_hook();
+        let policy = RetryPolicy { attempts: 2, backoff: Duration::ZERO };
+        let out = run_indexed_isolated(1, policy, |_i, attempt| {
+            Err::<(), String>(format!("attempt {attempt} failed"))
+        });
+        assert_eq!(
+            out[0],
+            JobOutcome { attempts: 2, result: Err(FailureCause::Error("attempt 2 failed".into())) }
+        );
+    }
+
+    #[test]
+    fn isolated_outcomes_are_identical_across_job_counts() {
+        aprof_faults::install_quiet_hook();
+        let plan = aprof_faults::FaultPlan::new(aprof_faults::FaultConfig::smoke(42));
+        let run = |n_jobs: usize| {
+            set_jobs(n_jobs);
+            let out = run_indexed_isolated(12, RetryPolicy::no_retry(), |i, attempt| {
+                match plan.worker_fault(i as u64, attempt) {
+                    Some(aprof_faults::WorkerFault::Panic) => {
+                        aprof_faults::injected_panic(format!("injected panic in job {i}"))
+                    }
+                    Some(aprof_faults::WorkerFault::Delay(_)) | None => Ok::<usize, String>(i),
+                }
+            });
+            set_jobs(0);
+            out
+        };
+        let serial = run(1);
+        let parallel = run(8);
+        assert_eq!(serial, parallel);
+        assert!(serial.iter().any(|o| o.is_degraded()), "seed 42 should inject at least one panic");
     }
 }

@@ -19,13 +19,18 @@
 
 pub mod check_bench;
 pub mod driver;
+pub mod faults_bench;
 pub mod figures;
 pub mod obs_bench;
 pub mod suite;
 pub mod wire_bench;
 
 pub use check_bench::check_report;
-pub use driver::{default_jobs, jobs, parallel_driver_report, set_jobs};
+pub use driver::{
+    default_jobs, jobs, parallel_driver_report, run_indexed_isolated, set_jobs, FailureCause,
+    JobOutcome, RetryPolicy,
+};
+pub use faults_bench::{fault_smoke, DEFAULT_FAULT_SEED};
 pub use figures::{clear_profile_cache, FigureOutput};
 pub use obs_bench::obs_report;
 pub use suite::{measure, Measurement, ToolKind};

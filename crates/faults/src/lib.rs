@@ -1,0 +1,382 @@
+//! Seeded, replayable fault injection for the aprof stack.
+//!
+//! Long capture runs die in predictable ways — a flaky disk fails a write, a
+//! worker panics mid-sweep, a pathological workload runs away — and the only
+//! way to trust the recovery paths is to exercise them on purpose. This crate
+//! is the shared fault plan the rest of the workspace injects from: sink
+//! wrappers that fail or shorten writes, worker-level panics and delays for
+//! the hardened bench driver, and instruction budgets for the VM's resource
+//! limits.
+//!
+//! Every decision is a pure function of `(seed, site, ordinal)`, hashed with
+//! splitmix64, so a fault schedule replays identically across runs and is
+//! independent of thread interleaving: worker faults key off the *job index*,
+//! sink faults off the *write ordinal*, never off wall-clock or scheduling
+//! order. Disabled plans ([`FaultPlan::disabled`]) answer every query with a
+//! single boolean test and are never installed on production paths at all —
+//! the default capture and driver paths do not construct this crate's types.
+//!
+//! # Example
+//!
+//! ```
+//! use aprof_faults::{FaultConfig, FaultPlan, WorkerFault};
+//!
+//! let plan = FaultPlan::new(FaultConfig { panic_per_mille: 1000, ..FaultConfig::off(7) });
+//! assert!(matches!(plan.worker_fault(0, 1), Some(WorkerFault::Panic)));
+//! // Replayable: the same (job, attempt) always draws the same fault.
+//! assert_eq!(plan.worker_fault(3, 2).is_some(), plan.worker_fault(3, 2).is_some());
+//!
+//! let quiet = FaultPlan::disabled();
+//! assert!(quiet.worker_fault(0, 1).is_none());
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::any::Any;
+use std::io::{self, Write};
+use std::panic;
+use std::sync::Once;
+use std::time::Duration;
+
+use aprof_obs::counters;
+
+/// Fault rates and budgets for one plan. All rates are probabilities in
+/// per-mille (`0..=1000`); a rate of 0 disables that fault class and 1000
+/// makes it unconditional.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Seed for every decision stream. Two plans with the same config inject
+    /// the identical fault schedule.
+    pub seed: u64,
+    /// Probability that an individual sink write fails with an I/O error.
+    pub io_error_per_mille: u32,
+    /// Probability that an individual sink write is short (partial), which
+    /// exercises `write_all`-style retry loops without failing.
+    pub short_write_per_mille: u32,
+    /// Probability that a worker attempt panics.
+    pub panic_per_mille: u32,
+    /// Probability that a worker attempt is delayed by [`FaultConfig::delay`].
+    pub delay_per_mille: u32,
+    /// Length of an injected worker delay.
+    pub delay: Duration,
+    /// Probability that a job's guest run gets
+    /// [`FaultConfig::vm_instruction_budget`] imposed on it. Keyed by job
+    /// only (not attempt), so a budgeted job fails deterministically across
+    /// retries.
+    pub budget_per_mille: u32,
+    /// The instruction budget imposed on selected jobs.
+    pub vm_instruction_budget: u64,
+}
+
+impl FaultConfig {
+    /// A config with every fault class disabled, keeping only the seed.
+    pub fn off(seed: u64) -> Self {
+        Self {
+            seed,
+            io_error_per_mille: 0,
+            short_write_per_mille: 0,
+            panic_per_mille: 0,
+            delay_per_mille: 0,
+            delay: Duration::from_millis(1),
+            budget_per_mille: 0,
+            vm_instruction_budget: u64::MAX,
+        }
+    }
+
+    /// The mixed-fault config used by `repro --faults`: moderate rates of
+    /// every fault class, tuned so a ~dozen-job sweep sees panics, delays and
+    /// budget traps without drowning in them.
+    pub fn smoke(seed: u64) -> Self {
+        Self {
+            io_error_per_mille: 4,
+            short_write_per_mille: 120,
+            panic_per_mille: 250,
+            delay_per_mille: 200,
+            delay: Duration::from_millis(2),
+            budget_per_mille: 220,
+            vm_instruction_budget: 20_000,
+            ..Self::off(seed)
+        }
+    }
+}
+
+/// Decision-stream site tags: mixed into the hash so distinct fault classes
+/// draw from independent streams even at the same ordinal.
+mod site {
+    pub const IO_ERROR: u64 = 0x10;
+    pub const SHORT_WRITE: u64 = 0x20;
+    pub const PANIC: u64 = 0x30;
+    pub const DELAY: u64 = 0x40;
+    pub const VM_BUDGET: u64 = 0x50;
+}
+
+/// A seeded fault schedule. Cheap to copy; every query is a pure hash of the
+/// plan's seed and the caller-supplied coordinates.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    active: bool,
+}
+
+impl FaultPlan {
+    /// A plan that injects according to `cfg`.
+    pub fn new(cfg: FaultConfig) -> Self {
+        Self { cfg, active: true }
+    }
+
+    /// A plan that never injects anything. All queries short-circuit on one
+    /// boolean.
+    pub fn disabled() -> Self {
+        Self { cfg: FaultConfig::off(0), active: false }
+    }
+
+    /// Whether this plan can inject at all.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// The config this plan was built from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Draws the `(site, ordinal)` decision against a per-mille rate.
+    /// Deterministic: same plan + coordinates → same answer.
+    fn decide(&self, site_tag: u64, ordinal: u64, per_mille: u32) -> bool {
+        if !self.active || per_mille == 0 {
+            return false;
+        }
+        let h = splitmix64(
+            self.cfg
+                .seed
+                .wrapping_add(site_tag.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add(ordinal.wrapping_mul(0xBF58_476D_1CE4_E5B9)),
+        );
+        (h % 1000) < u64::from(per_mille.min(1000))
+    }
+
+    /// The fault (if any) to inject into worker `job` on its `attempt`-th
+    /// try (1-based). Panic and delay draws are independent; panic wins when
+    /// both fire. Counters are bumped by the *injection* sites
+    /// ([`injected_panic`], [`FaultyWrite`]), not by this query.
+    pub fn worker_fault(&self, job: u64, attempt: u32) -> Option<WorkerFault> {
+        let ordinal = job.wrapping_mul(97).wrapping_add(u64::from(attempt));
+        if self.decide(site::PANIC, ordinal, self.cfg.panic_per_mille) {
+            return Some(WorkerFault::Panic);
+        }
+        if self.decide(site::DELAY, ordinal, self.cfg.delay_per_mille) {
+            return Some(WorkerFault::Delay(self.cfg.delay));
+        }
+        None
+    }
+
+    /// The VM instruction budget (if any) to impose on `job`'s guest run.
+    /// Keyed by job only, so the trap reproduces on every retry.
+    pub fn vm_budget(&self, job: u64) -> Option<u64> {
+        self.decide(site::VM_BUDGET, job, self.cfg.budget_per_mille)
+            .then_some(self.cfg.vm_instruction_budget)
+    }
+
+    /// Wraps a sink so its writes are subject to this plan's I/O faults.
+    pub fn wrap_writer<W: Write>(&self, inner: W) -> FaultyWrite<W> {
+        FaultyWrite { inner, plan: *self, writes: 0 }
+    }
+}
+
+/// One fault drawn for a worker attempt by [`FaultPlan::worker_fault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerFault {
+    /// The attempt should panic (use [`injected_panic`] so the quiet hook
+    /// recognises it).
+    Panic,
+    /// The attempt should sleep for the given duration first.
+    Delay(Duration),
+}
+
+/// A `Write` adapter that injects I/O errors and short writes according to a
+/// [`FaultPlan`]. Decisions key off the write ordinal, so a single-threaded
+/// writer replays the identical fault schedule every run.
+#[derive(Debug)]
+pub struct FaultyWrite<W> {
+    inner: W,
+    plan: FaultPlan,
+    writes: u64,
+}
+
+impl<W> FaultyWrite<W> {
+    /// Consumes the adapter, returning the wrapped sink.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+
+    /// Number of `write` calls observed (including failed ones).
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+}
+
+impl<W: Write> Write for FaultyWrite<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let ordinal = self.writes;
+        self.writes += 1;
+        let cfg = self.plan.cfg;
+        if self.plan.decide(site::IO_ERROR, ordinal, cfg.io_error_per_mille) {
+            counters::FAULTS_INJECTED_IO_ERRORS.incr();
+            return Err(io::Error::other(format!(
+                "injected fault: sink i/o error at write #{ordinal}"
+            )));
+        }
+        if buf.len() > 1 && self.plan.decide(site::SHORT_WRITE, ordinal, cfg.short_write_per_mille)
+        {
+            counters::FAULTS_INJECTED_SHORT_WRITES.incr();
+            return self.inner.write(&buf[..buf.len() / 2]);
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// The payload type carried by panics raised via [`injected_panic`]. The
+/// quiet hook installed by [`install_quiet_hook`] suppresses the default
+/// "thread panicked" banner for exactly this type, so deliberately injected
+/// panics don't spray stderr during tests and smoke runs.
+#[derive(Debug)]
+pub struct InjectedPanic(pub String);
+
+/// Raises a deliberately injected panic carrying `msg`. Pair with
+/// [`install_quiet_hook`] to keep test output clean, and with
+/// [`panic_message`] to recover the message at the catch site.
+pub fn injected_panic(msg: impl Into<String>) -> ! {
+    counters::FAULTS_INJECTED_PANICS.incr();
+    panic::panic_any(InjectedPanic(msg.into()))
+}
+
+/// Installs (once, process-wide) a panic hook that stays silent for
+/// [`InjectedPanic`] payloads and forwards everything else to the previous
+/// hook. Safe to call from parallel tests; only the first call installs.
+pub fn install_quiet_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedPanic>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Extracts a human-readable message from a caught panic payload
+/// (`std::thread::Result`'s error half): handles [`InjectedPanic`], `String`
+/// and `&str` payloads, and falls back to a placeholder for opaque ones.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(p) = payload.downcast_ref::<InjectedPanic>() {
+        p.0.clone()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// The splitmix64 mixer: a full-avalanche hash over one `u64`, the same
+/// generator the vendored proptest uses for its deterministic streams.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_injects() {
+        let plan = FaultPlan::disabled();
+        assert!(!plan.is_active());
+        for job in 0..256 {
+            assert_eq!(plan.worker_fault(job, 1), None);
+            assert_eq!(plan.vm_budget(job), None);
+        }
+        let mut out = Vec::new();
+        let mut w = plan.wrap_writer(&mut out);
+        for _ in 0..64 {
+            w.write_all(&[0xAB; 32]).unwrap();
+        }
+        assert_eq!(out.len(), 64 * 32);
+    }
+
+    #[test]
+    fn decisions_are_replayable() {
+        let plan_a = FaultPlan::new(FaultConfig::smoke(42));
+        let plan_b = FaultPlan::new(FaultConfig::smoke(42));
+        for job in 0..512 {
+            for attempt in 1..4 {
+                assert_eq!(plan_a.worker_fault(job, attempt), plan_b.worker_fault(job, attempt));
+            }
+            assert_eq!(plan_a.vm_budget(job), plan_b.vm_budget(job));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let plan_a = FaultPlan::new(FaultConfig::smoke(1));
+        let plan_b = FaultPlan::new(FaultConfig::smoke(2));
+        let schedule = |p: &FaultPlan| (0..512).map(|j| p.worker_fault(j, 1)).collect::<Vec<_>>();
+        assert_ne!(schedule(&plan_a), schedule(&plan_b));
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let cfg = FaultConfig { panic_per_mille: 250, ..FaultConfig::off(9) };
+        let plan = FaultPlan::new(cfg);
+        let hits = (0..4000)
+            .filter(|&j| matches!(plan.worker_fault(j, 1), Some(WorkerFault::Panic)))
+            .count();
+        // 250‰ of 4000 = 1000 expected; allow a generous deterministic band.
+        assert!((700..1300).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn faulty_writer_injects_and_shortens() {
+        let cfg = FaultConfig {
+            io_error_per_mille: 100,
+            short_write_per_mille: 200,
+            ..FaultConfig::off(3)
+        };
+        let plan = FaultPlan::new(cfg);
+        let mut out = Vec::new();
+        let mut w = plan.wrap_writer(&mut out);
+        let mut errors = 0;
+        let mut short = 0;
+        for _ in 0..2000 {
+            match w.write(&[0xCD; 16]) {
+                Err(_) => errors += 1,
+                Ok(n) if n < 16 => short += 1,
+                Ok(_) => {}
+            }
+        }
+        assert!(errors > 0, "no injected errors at 100 per mille");
+        assert!(short > 0, "no injected short writes at 200 per mille");
+        // Short writes must still write a non-empty prefix.
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn panic_message_handles_common_payloads() {
+        install_quiet_hook();
+        let caught = std::panic::catch_unwind(|| injected_panic("boom")).unwrap_err();
+        assert_eq!(panic_message(caught.as_ref()), "boom");
+        let caught = std::panic::catch_unwind(|| panic!("plain {}", 7)).unwrap_err();
+        assert_eq!(panic_message(caught.as_ref()), "plain 7");
+    }
+}

@@ -34,7 +34,7 @@
 //! let snap = aprof_obs::snapshot();
 //! assert_eq!(snap.counter("vm.blocks"), Some(3));
 //! assert_eq!(snap.spans.iter().filter(|s| s.name == "demo.work").count(), 1);
-//! assert!(snap.to_json().starts_with("{\n  \"version\": 1"));
+//! assert!(snap.to_json().starts_with("{\n  \"version\": 2"));
 //! aprof_obs::disable();
 //! ```
 
@@ -48,7 +48,11 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Schema version of the `obs.json` document emitted by [`Snapshot::to_json`].
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the robustness counters: `wire.durable_syncs`,
+/// `wire.recovered_*`, `driver.retries`/`driver.panics_caught`/
+/// `driver.degraded_jobs`, `vm.resource_traps` and the `faults.*` family.
+pub const SCHEMA_VERSION: u32 = 2;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
@@ -170,6 +174,14 @@ pub mod counters {
     /// Compressed bytes consumed by the wire reader.
     pub static WIRE_BYTES_READ: Counter = Counter::new("wire.bytes_read");
 
+    /// Chunk flushes that also forced the sink to stable storage
+    /// (`FlushPolicy::Durable`).
+    pub static WIRE_DURABLE_SYNCS: Counter = Counter::new("wire.durable_syncs");
+    /// CRC-valid chunks salvaged from a damaged capture by `recover`.
+    pub static WIRE_RECOVERED_CHUNKS: Counter = Counter::new("wire.recovered_chunks");
+    /// Events contained in salvaged chunks.
+    pub static WIRE_RECOVERED_EVENTS: Counter = Counter::new("wire.recovered_events");
+
     /// Jobs completed by the parallel measurement driver.
     pub static DRIVER_JOBS: Counter = Counter::new("driver.jobs");
     /// Jobs a worker claimed beyond its first (work actually *stolen* from
@@ -178,12 +190,33 @@ pub mod counters {
     /// Peak number of jobs still unclaimed when a worker went looking
     /// (high-watermark of the shared queue depth).
     pub static DRIVER_QUEUE_DEPTH_PEAK: Counter = Counter::new("driver.queue_depth_peak");
+    /// Extra attempts spent by the hardened driver after a failed attempt.
+    pub static DRIVER_RETRIES: Counter = Counter::new("driver.retries");
+    /// Worker panics contained by the hardened driver's isolation boundary.
+    pub static DRIVER_PANICS_CAUGHT: Counter = Counter::new("driver.panics_caught");
+    /// Jobs that exhausted their retry budget and were reported degraded.
+    pub static DRIVER_DEGRADED_JOBS: Counter = Counter::new("driver.degraded_jobs");
+
+    /// Guest runs stopped gracefully by a VM resource limit (instruction or
+    /// allocation budget).
+    pub static VM_RESOURCE_TRAPS: Counter = Counter::new("vm.resource_traps");
+
+    /// Sink I/O errors injected by the fault plan.
+    pub static FAULTS_INJECTED_IO_ERRORS: Counter = Counter::new("faults.injected_io_errors");
+    /// Short (partial) sink writes injected by the fault plan.
+    pub static FAULTS_INJECTED_SHORT_WRITES: Counter =
+        Counter::new("faults.injected_short_writes");
+    /// Worker panics injected by the fault plan.
+    pub static FAULTS_INJECTED_PANICS: Counter = Counter::new("faults.injected_panics");
+    /// Worker delays injected by the fault plan.
+    pub static FAULTS_INJECTED_DELAYS: Counter = Counter::new("faults.injected_delays");
 
     /// Every counter in the taxonomy, in report order.
     pub static ALL: &[&Counter] = &[
         &VM_BLOCKS,
         &VM_EVENTS,
         &VM_THREAD_SWITCHES,
+        &VM_RESOURCE_TRAPS,
         &PROF_ACTIVATIONS,
         &PROF_RENUMBERINGS,
         &PROF_SHADOW_BYTES,
@@ -196,9 +229,19 @@ pub mod counters {
         &WIRE_EVENTS_DECODED,
         &WIRE_CHUNKS_SKIPPED,
         &WIRE_BYTES_READ,
+        &WIRE_DURABLE_SYNCS,
+        &WIRE_RECOVERED_CHUNKS,
+        &WIRE_RECOVERED_EVENTS,
         &DRIVER_JOBS,
         &DRIVER_STEALS,
         &DRIVER_QUEUE_DEPTH_PEAK,
+        &DRIVER_RETRIES,
+        &DRIVER_PANICS_CAUGHT,
+        &DRIVER_DEGRADED_JOBS,
+        &FAULTS_INJECTED_IO_ERRORS,
+        &FAULTS_INJECTED_SHORT_WRITES,
+        &FAULTS_INJECTED_PANICS,
+        &FAULTS_INJECTED_DELAYS,
     ];
 }
 
@@ -295,7 +338,7 @@ impl Snapshot {
     ///
     /// ```json
     /// {
-    ///   "version": 1,
+    ///   "version": 2,
     ///   "counters": { "vm.blocks": 123, ... },
     ///   "spans": [ { "name": "...", "count": 1, "total_ns": 5, "max_ns": 5 } ]
     /// }
@@ -465,7 +508,7 @@ mod tests {
         let _g = span!("test.json");
         drop(_g);
         let json = snapshot().to_json();
-        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\"version\": 2"));
         assert!(json.contains("\"vm.blocks\": 1"));
         assert!(json.contains("\"name\": \"test.json\""));
         assert!(json.ends_with("}\n"));

@@ -248,22 +248,6 @@ pub fn from_reader<R: BufRead>(reader: R) -> Result<Trace, ReadTraceError> {
     }
 }
 
-/// Parses the text format from an in-memory string.
-///
-/// # Errors
-///
-/// Returns a [`ParseTraceError`] on malformed lines.
-#[deprecated(note = "use `from_reader`, which streams from any `BufRead` \
-                     instead of requiring the whole trace in memory")]
-pub fn from_text(text: &str) -> Result<Trace, ParseTraceError> {
-    match from_reader(text.as_bytes()) {
-        Ok(trace) => Ok(trace),
-        Err(ReadTraceError::Parse(e)) => Err(e),
-        // Reading from a byte slice cannot fail.
-        Err(ReadTraceError::Io(e)) => unreachable!("i/o error from &[u8]: {e}"),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,12 +326,4 @@ mod tests {
         assert!(matches!(e, ReadTraceError::Io(_)));
     }
 
-    #[test]
-    #[allow(deprecated)]
-    fn from_text_shim_still_works() {
-        let t = from_text("T0 read 0x10\n").unwrap();
-        assert_eq!(t.len(), 1);
-        let e = from_text("T0 frobnicate\n").unwrap_err();
-        assert_eq!(e.line, 1);
-    }
 }

@@ -45,6 +45,19 @@ pub enum VmError {
         /// The budget that was exhausted.
         limit: u64,
     },
+    /// The execution exceeded a configured resource budget
+    /// ([`ResourceLimits`](crate::ResourceLimits)).
+    ///
+    /// Only surfaced as an error when
+    /// [`ResourceLimits::trap`](crate::ResourceLimits::trap) is off; with
+    /// trapping on, exhaustion ends the run gracefully with
+    /// [`RunOutcome::trap`](crate::RunOutcome::trap) set instead.
+    ResourceExhausted {
+        /// Which budget ran out.
+        resource: ResourceKind,
+        /// The budget that was exhausted.
+        limit: u64,
+    },
     /// A spawn would exceed the configured thread limit.
     TooManyThreads {
         /// The limit in force.
@@ -85,6 +98,9 @@ impl fmt::Display for VmError {
             VmError::BlockBudgetExceeded { limit } => {
                 write!(f, "execution exceeded the {limit} basic-block budget")
             }
+            VmError::ResourceExhausted { resource, limit } => {
+                write!(f, "execution exceeded the {limit} {resource} budget")
+            }
             VmError::TooManyThreads { limit, func } => {
                 write!(f, "spawn of {func:?} exceeds the {limit}-thread limit")
             }
@@ -96,3 +112,22 @@ impl fmt::Display for VmError {
 }
 
 impl std::error::Error for VmError {}
+
+/// The budgeted resource classes of
+/// [`ResourceLimits`](crate::ResourceLimits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// Instructions executed across all threads.
+    Instructions,
+    /// Cells allocated by `alloc` across the run.
+    AllocCells,
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceKind::Instructions => write!(f, "instruction"),
+            ResourceKind::AllocCells => write!(f, "allocation-cell"),
+        }
+    }
+}

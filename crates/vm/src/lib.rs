@@ -61,6 +61,8 @@ pub mod ir;
 mod machine;
 mod memory;
 
-pub use error::VmError;
-pub use machine::{Machine, MachineConfig, RunOutcome, ThreadOutcome};
+pub use error::{ResourceKind, VmError};
+pub use machine::{
+    Machine, MachineConfig, ResourceLimits, ResourceTrap, RunOutcome, ThreadOutcome,
+};
 pub use memory::GuestMemory;

@@ -1,7 +1,7 @@
 //! The interpreter: serialized multithreaded execution with instrumentation.
 
 use crate::device::DeviceTable;
-use crate::error::VmError;
+use crate::error::{ResourceKind, VmError};
 use crate::ir::{FuncId, Instr, Program, Reg, Terminator};
 use crate::memory::GuestMemory;
 use aprof_trace::{Addr, Event, RoutineId, ThreadId, Tool};
@@ -28,6 +28,9 @@ pub struct MachineConfig {
     /// the static verifier's differential tests turn it on to observe
     /// use-before-def dynamically.
     pub strict_regs: bool,
+    /// Resource budgets (instructions, allocation cells) and whether their
+    /// exhaustion traps gracefully or errors. Unlimited by default.
+    pub limits: ResourceLimits,
 }
 
 impl Default for MachineConfig {
@@ -37,7 +40,56 @@ impl Default for MachineConfig {
             max_blocks: u64::MAX,
             max_threads: 1 << 16,
             strict_regs: false,
+            limits: ResourceLimits::default(),
         }
+    }
+}
+
+/// Resource budgets enforced while a guest runs. Used as per-workload
+/// watchdogs by the hardened measurement driver: a pathological or runaway
+/// workload is stopped after a bounded amount of work instead of hanging a
+/// whole sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceLimits {
+    /// Instruction budget across all threads (`u64::MAX` = unlimited).
+    pub max_instructions: u64,
+    /// Total cells the guest may `alloc` across the run (`u64::MAX` =
+    /// unlimited).
+    pub max_alloc_cells: u64,
+    /// How exhaustion surfaces. `false` (the default): the run aborts with
+    /// [`VmError::ResourceExhausted`]. `true`: the scheduler stops
+    /// dispatching and the run returns `Ok` with [`RunOutcome::trap`] set —
+    /// a *graceful trap* that keeps the partial per-thread totals, so
+    /// callers can report a degraded measurement instead of losing the run.
+    pub trap: bool,
+}
+
+impl Default for ResourceLimits {
+    fn default() -> Self {
+        ResourceLimits { max_instructions: u64::MAX, max_alloc_cells: u64::MAX, trap: false }
+    }
+}
+
+impl ResourceLimits {
+    /// A trapping instruction budget — the hardened driver's watchdog shape.
+    pub fn instruction_watchdog(max_instructions: u64) -> Self {
+        ResourceLimits { max_instructions, trap: true, ..Self::default() }
+    }
+}
+
+/// The typed record of a graceful resource trap (see
+/// [`ResourceLimits::trap`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceTrap {
+    /// Which budget ran out.
+    pub resource: ResourceKind,
+    /// The budget that was exhausted.
+    pub limit: u64,
+}
+
+impl std::fmt::Display for ResourceTrap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "guest stopped at the {} {} budget", self.limit, self.resource)
     }
 }
 
@@ -52,6 +104,10 @@ pub struct RunOutcome {
     pub switches: u64,
     /// Per-thread outcomes, indexed by thread id.
     pub threads: Vec<ThreadOutcome>,
+    /// Set when the run was stopped gracefully by a resource budget
+    /// ([`ResourceLimits::trap`]); the totals above then cover the partial
+    /// run up to the trap.
+    pub trap: Option<ResourceTrap>,
 }
 
 /// Per-thread summary of a run.
@@ -555,6 +611,8 @@ impl Machine {
             runq: VecDeque::new(),
             total_blocks: 0,
             switches: 0,
+            instructions: 0,
+            alloc_cells: 0,
         };
         exec.spawn_thread(self.program.entry(), Vec::new())
             .expect("first thread is always under the limit");
@@ -574,6 +632,8 @@ struct Exec<'m> {
     runq: VecDeque<usize>,
     total_blocks: u64,
     switches: u64,
+    instructions: u64,
+    alloc_cells: u64,
 }
 
 impl<'m> Exec<'m> {
@@ -648,6 +708,7 @@ impl<'m> Exec<'m> {
 
     fn run<S: Sink>(&mut self, sink: &mut S) -> Result<RunOutcome, VmError> {
         let mut last: Option<usize> = None;
+        let mut trap: Option<ResourceTrap> = None;
         while let Some(t) = self.runq.pop_front() {
             debug_assert_eq!(self.threads[t].status, Status::Ready);
             if last.is_some() && last != Some(t) {
@@ -662,7 +723,21 @@ impl<'m> Exec<'m> {
                 let func = self.threads[t].frames[0].func;
                 sink.call(self.threads[t].id, RoutineId::new(func.0));
             }
-            match self.slice(t, sink)? {
+            let sliced = match self.slice(t, sink) {
+                Ok(s) => s,
+                Err(VmError::ResourceExhausted { resource, limit })
+                    if self.config.limits.trap =>
+                {
+                    // Graceful trap: stop scheduling and keep the partial
+                    // run; threads still blocked at this point are the
+                    // trap's fault, not a guest deadlock.
+                    aprof_obs::counters::VM_RESOURCE_TRAPS.incr();
+                    trap = Some(ResourceTrap { resource, limit });
+                    break;
+                }
+                Err(e) => return Err(e),
+            };
+            match sliced {
                 Slice::Preempted => self.runq.push_back(t),
                 Slice::Blocked => {}
                 Slice::Exited => {
@@ -678,8 +753,10 @@ impl<'m> Exec<'m> {
                 }
             }
         }
-        if let Some(blocked) = self.deadlocked() {
-            return Err(VmError::Deadlock { blocked });
+        if trap.is_none() {
+            if let Some(blocked) = self.deadlocked() {
+                return Err(VmError::Deadlock { blocked });
+            }
         }
         Ok(RunOutcome {
             exit_value: self.threads[0].result,
@@ -690,6 +767,7 @@ impl<'m> Exec<'m> {
                 .iter()
                 .map(|t| ThreadOutcome { thread: t.id, blocks: t.blocks, result: t.result })
                 .collect(),
+            trap,
         })
     }
 
@@ -752,7 +830,9 @@ impl<'m> Exec<'m> {
                     Flow::Yielded => return Ok(Slice::Preempted),
                 }
             }
-            // Terminator.
+            // Terminator — charged against the instruction budget too, so a
+            // pure-jump loop cannot outrun the watchdog.
+            self.charge_instruction()?;
             match &bb.term {
                 Terminator::Jmp(b) => {
                     let frame = self.threads[t].frames.last_mut().expect("frame");
@@ -799,6 +879,19 @@ impl<'m> Exec<'m> {
         }
     }
 
+    /// Counts one executed instruction (or terminator) against the
+    /// instruction budget.
+    fn charge_instruction(&mut self) -> Result<(), VmError> {
+        self.instructions += 1;
+        if self.instructions > self.config.limits.max_instructions {
+            return Err(VmError::ResourceExhausted {
+                resource: ResourceKind::Instructions,
+                limit: self.config.limits.max_instructions,
+            });
+        }
+        Ok(())
+    }
+
     fn instr<S: Sink>(
         &mut self,
         t: usize,
@@ -806,6 +899,7 @@ impl<'m> Exec<'m> {
         instr: &Instr,
         sink: &mut S,
     ) -> Result<Flow, VmError> {
+        self.charge_instruction()?;
         if self.config.strict_regs {
             // Operand checks happen up front, before any side effect. A
             // blocked instruction re-checks on resume; that is idempotent.
@@ -862,6 +956,15 @@ impl<'m> Exec<'m> {
             }
             Instr::Alloc { dst, len } => {
                 let n = regs!()[len.0 as usize].max(0) as u64;
+                self.alloc_cells = self.alloc_cells.saturating_add(n);
+                if self.alloc_cells > self.config.limits.max_alloc_cells {
+                    // Checked before touching guest memory, so a single
+                    // absurd request cannot force the allocation through.
+                    return Err(VmError::ResourceExhausted {
+                        resource: ResourceKind::AllocCells,
+                        limit: self.config.limits.max_alloc_cells,
+                    });
+                }
                 let base = self.memory.alloc(n);
                 regs!()[dst.0 as usize] = base.raw() as i64;
             }

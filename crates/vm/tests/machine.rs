@@ -4,7 +4,7 @@
 use aprof_trace::{EventKind, RecordingTool, Tool};
 use aprof_vm::builder::ProgramBuilder;
 use aprof_vm::device::{FileDevice, SinkDevice};
-use aprof_vm::{asm, Machine, MachineConfig, VmError};
+use aprof_vm::{asm, Machine, MachineConfig, ResourceKind, ResourceLimits, VmError};
 
 /// N workers each add their id into a shared cell under a lock; main joins
 /// them all and returns the cell.
@@ -152,6 +152,100 @@ fn block_budget_aborts_runaway_loops() {
     let mut m = Machine::new(asm::parse(src).unwrap())
         .with_config(MachineConfig { max_blocks: 1000, ..MachineConfig::default() });
     assert!(matches!(m.run_native(), Err(VmError::BlockBudgetExceeded { limit: 1000 })));
+}
+
+#[test]
+fn instruction_budget_aborts_runaway_loops() {
+    // A pure-jump loop executes no `Instr`s at all: the budget must charge
+    // terminators too, or this would spin forever.
+    let src = "func main() {\nloop:\n jmp loop\n}";
+    let limits = ResourceLimits { max_instructions: 500, ..ResourceLimits::default() };
+    let mut m = Machine::new(asm::parse(src).unwrap())
+        .with_config(MachineConfig { limits, ..MachineConfig::default() });
+    assert!(matches!(
+        m.run_native(),
+        Err(VmError::ResourceExhausted { resource: ResourceKind::Instructions, limit: 500 })
+    ));
+}
+
+#[test]
+fn instruction_watchdog_traps_gracefully_with_partial_totals() {
+    let src = "func main() {\nloop:\n r0 = const 1\n jmp loop\n}";
+    let mut m = Machine::new(asm::parse(src).unwrap()).with_config(MachineConfig {
+        limits: ResourceLimits::instruction_watchdog(1000),
+        ..MachineConfig::default()
+    });
+    let outcome = m.run_native().expect("trap mode must not error");
+    let trap = outcome.trap.expect("budget must have tripped");
+    assert_eq!(trap.resource, ResourceKind::Instructions);
+    assert_eq!(trap.limit, 1000);
+    // The partial run still carries its totals up to the trap.
+    assert!(outcome.total_blocks > 0);
+    assert!(outcome.total_blocks <= 1001);
+    assert_eq!(outcome.exit_value, None);
+}
+
+#[test]
+fn graceful_trap_is_deterministic() {
+    let run = || {
+        let mut m = Machine::new(locked_adders(4)).with_config(MachineConfig {
+            limits: ResourceLimits::instruction_watchdog(30),
+            ..MachineConfig::default()
+        });
+        m.run_native().unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "trapped runs must stop at the identical point");
+    assert!(a.trap.is_some());
+}
+
+#[test]
+fn trapped_multithreaded_run_is_not_misreported_as_deadlock() {
+    // Workers block on the lock when the budget trips; without the trap
+    // carve-out the scheduler would call that a deadlock.
+    let mut m = Machine::new(locked_adders(8)).with_config(MachineConfig {
+        quantum: 1,
+        limits: ResourceLimits::instruction_watchdog(60),
+        ..MachineConfig::default()
+    });
+    let outcome = m.run_native().expect("trap, not deadlock");
+    assert!(outcome.trap.is_some());
+}
+
+#[test]
+fn alloc_budget_stops_allocation_storms() {
+    let src = r#"
+func main() {
+loop:
+    r0 = const 4096
+    r1 = alloc r0
+    jmp loop
+}
+"#;
+    let limits = ResourceLimits { max_alloc_cells: 1 << 20, ..ResourceLimits::default() };
+    let mut m = Machine::new(asm::parse(src).unwrap())
+        .with_config(MachineConfig { limits, ..MachineConfig::default() });
+    assert!(matches!(
+        m.run_native(),
+        Err(VmError::ResourceExhausted { resource: ResourceKind::AllocCells, .. })
+    ));
+
+    // Same storm under trap mode: a graceful partial outcome.
+    let limits =
+        ResourceLimits { max_alloc_cells: 1 << 20, trap: true, ..ResourceLimits::default() };
+    let mut m = Machine::new(asm::parse(src).unwrap())
+        .with_config(MachineConfig { limits, ..MachineConfig::default() });
+    let outcome = m.run_native().unwrap();
+    assert_eq!(outcome.trap.unwrap().resource, ResourceKind::AllocCells);
+}
+
+#[test]
+fn unlimited_runs_report_no_trap() {
+    let mut m = Machine::new(locked_adders(4));
+    let outcome = m.run_native().unwrap();
+    assert_eq!(outcome.trap, None);
+    assert_eq!(outcome.exit_value, Some(1 + 2 + 3));
 }
 
 #[test]

@@ -80,6 +80,42 @@ pub enum WireError {
     TrailingGarbage,
 }
 
+impl WireError {
+    /// A structural copy of this error. `WireError` cannot derive [`Clone`]
+    /// because [`io::Error`] does not; the copy preserves the I/O error's
+    /// kind and message. Used by the writer's latched-error path, which must
+    /// answer every call after a failure without giving away the original
+    /// (first) error that [`WireWriter::finish`](crate::WireWriter::finish)
+    /// reports.
+    pub fn duplicate(&self) -> WireError {
+        match self {
+            WireError::Io(e) => WireError::Io(io::Error::new(e.kind(), e.to_string())),
+            WireError::BadMagic { found } => WireError::BadMagic { found: *found },
+            WireError::UnsupportedVersion { found, supported } => {
+                WireError::UnsupportedVersion { found: *found, supported: *supported }
+            }
+            WireError::HeaderCorrupt { reason } => {
+                WireError::HeaderCorrupt { reason: reason.clone() }
+            }
+            WireError::UnexpectedEof { context } => WireError::UnexpectedEof { context },
+            WireError::BadRecordTag { offset, found } => {
+                WireError::BadRecordTag { offset: *offset, found: *found }
+            }
+            WireError::ChunkCorrupt { index, reason } => {
+                WireError::ChunkCorrupt { index: *index, reason: reason.clone() }
+            }
+            WireError::ChunkTooLarge { index, len, max } => {
+                WireError::ChunkTooLarge { index: *index, len: *len, max: *max }
+            }
+            WireError::IndexCorrupt { reason } => {
+                WireError::IndexCorrupt { reason: reason.clone() }
+            }
+            WireError::BadFooter { reason } => WireError::BadFooter { reason: reason.clone() },
+            WireError::TrailingGarbage => WireError::TrailingGarbage,
+        }
+    }
+}
+
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -173,6 +209,20 @@ mod tests {
             reason: "crc mismatch".into(),
         };
         assert!(s.to_string().contains("10 events dropped"));
+    }
+
+    #[test]
+    fn duplicate_preserves_kind_and_message() {
+        let e = WireError::Io(io::Error::new(io::ErrorKind::WriteZero, "disk full"));
+        match e.duplicate() {
+            WireError::Io(d) => {
+                assert_eq!(d.kind(), io::ErrorKind::WriteZero);
+                assert!(d.to_string().contains("disk full"));
+            }
+            other => panic!("duplicate changed variant: {other:?}"),
+        }
+        let e = WireError::ChunkCorrupt { index: 3, reason: "crc mismatch".into() };
+        assert_eq!(e.duplicate().to_string(), e.to_string());
     }
 
     #[test]

@@ -57,10 +57,14 @@ pub mod crc32;
 mod error;
 pub mod format;
 mod reader;
+mod recover;
 mod varint;
 mod writer;
 
 pub use error::{SkippedChunk, WireError};
 pub use format::{ChunkEntry, WireIndex, MAX_CHUNK_BYTES, VERSION};
 pub use reader::{read_chunk, read_index, ReaderStats, WireReader};
-pub use writer::{FlushPolicy, WireOptions, WireSummary, WireWriter, DEFAULT_CHUNK_BYTES};
+pub use recover::{recover, RecoverSummary, StopReason};
+pub use writer::{
+    DurableFile, FlushPolicy, WireOptions, WireSummary, WireWriter, DEFAULT_CHUNK_BYTES,
+};

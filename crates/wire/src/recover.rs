@@ -1,0 +1,433 @@
+//! Salvage of damaged wire captures.
+//!
+//! A capture that died mid-run — `kill -9`, power loss, a full disk — has a
+//! valid header, a run of intact chunks, and then either nothing (no index,
+//! no footer) or a torn chunk. Because chunk payloads are self-contained
+//! (delta state resets per chunk) and individually CRC-guarded, the longest
+//! decodable prefix is well defined: [`recover`] re-scans the file ignoring
+//! any index, keeps exactly the leading run of CRC-valid, structurally
+//! decodable chunks, and writes a fresh capture with a rebuilt index and
+//! footer. The result is a fully valid wire file that strict readers accept.
+//!
+//! Combined with [`FlushPolicy::Durable`](crate::FlushPolicy::Durable), this
+//! bounds data loss to the one chunk that was open when the process died.
+
+use crate::crc32::crc32;
+use crate::error::WireError;
+use crate::format::{
+    decode_chunk_into, ChunkEntry, WireIndex, CHUNK_TAG, FOOTER_MAGIC, INDEX_TAG, MAGIC,
+    MAX_CHUNK_BYTES, MAX_HEADER_BYTES, VERSION,
+};
+use crate::varint;
+use std::io::{Read, Write};
+
+/// Why [`recover`]'s forward scan stopped accepting chunks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StopReason {
+    /// The index record was reached: every chunk in the file was intact.
+    IndexReached,
+    /// Input ended exactly at a record boundary — a footer-less capture
+    /// whose last chunk is whole (the `Durable` crash shape).
+    CleanEof,
+    /// Input ended inside a record (torn framing or payload).
+    Truncated {
+        /// The structure being read when the bytes ran out.
+        context: &'static str,
+    },
+    /// A chunk was structurally present but invalid (CRC mismatch, bad
+    /// payload, oversized framing).
+    BadChunk {
+        /// Zero-based index of the rejected chunk.
+        index: u32,
+        /// What the validation found.
+        reason: String,
+    },
+    /// A byte that is neither a chunk nor an index tag — the stream cannot
+    /// be trusted past this point.
+    BadTag {
+        /// Offset of the unrecognized tag byte.
+        offset: u64,
+        /// The tag byte found.
+        found: u8,
+    },
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StopReason::IndexReached => write!(f, "reached the chunk index (file was intact)"),
+            StopReason::CleanEof => write!(f, "input ended at a chunk boundary (missing index)"),
+            StopReason::Truncated { context } => {
+                write!(f, "input truncated while reading {context}")
+            }
+            StopReason::BadChunk { index, reason } => {
+                write!(f, "chunk {index} rejected: {reason}")
+            }
+            StopReason::BadTag { offset, found } => {
+                write!(f, "unrecognized record tag 0x{found:02x} at byte {offset}")
+            }
+        }
+    }
+}
+
+/// What [`recover`] salvaged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoverSummary {
+    /// Intact chunks copied to the output.
+    pub chunks: u32,
+    /// Events contained in those chunks.
+    pub events: u64,
+    /// Observed thread count (highest thread index + 1; 0 if no events).
+    pub threads: u32,
+    /// Bytes of the input prefix that were kept (header plus intact
+    /// chunks). Everything past this offset was dropped.
+    pub salvaged_bytes: u64,
+    /// Total size of the rewritten output file.
+    pub output_bytes: u64,
+    /// Why the forward scan stopped.
+    pub stopped: StopReason,
+}
+
+impl RecoverSummary {
+    /// Whether the input needed no repair (scan reached the index record).
+    pub fn was_intact(&self) -> bool {
+        self.stopped == StopReason::IndexReached
+    }
+}
+
+/// Reads `buf.len()` bytes, distinguishing "clean EOF before the first
+/// byte" (`Ok(false)`) from truncation mid-structure (`Err(Truncated)`).
+fn read_exact_or_eof<R: Read>(
+    input: &mut R,
+    buf: &mut [u8],
+    context: &'static str,
+) -> Result<bool, ScanStop> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match input.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => return Err(ScanStop::Stop(StopReason::Truncated { context })),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ScanStop::Fatal(WireError::Io(e))),
+        }
+    }
+    Ok(true)
+}
+
+/// Internal control flow of the chunk scan: stop salvaging (keep what we
+/// have) vs. a real I/O failure that aborts recovery.
+enum ScanStop {
+    Stop(StopReason),
+    Fatal(WireError),
+}
+
+/// Salvages the longest valid prefix of a damaged wire capture.
+///
+/// Validates the header (a capture with a corrupt header is unrecoverable —
+/// the routine table is gone), then scans forward chunk by chunk, verifying
+/// each chunk's framing, CRC-32 and payload decode, ignoring any index the
+/// input may carry. The header and every intact chunk are copied to
+/// `output` byte-for-byte, followed by a freshly built index and footer, so
+/// the output is a complete, strict-reader-valid wire file.
+///
+/// Reading a salvaged file replays exactly the events of the intact chunk
+/// prefix — the same events a lossless reader would have produced from the
+/// undamaged capture, truncated at a chunk boundary.
+///
+/// # Errors
+///
+/// [`WireError::BadMagic`] / [`WireError::UnsupportedVersion`] /
+/// [`WireError::HeaderCorrupt`] / [`WireError::UnexpectedEof`] when the
+/// header itself is unusable, and [`WireError::Io`] for real I/O failures
+/// on either side. Damage *after* the header is not an error — it
+/// determines where salvage stops, reported in
+/// [`RecoverSummary::stopped`].
+pub fn recover<R: Read, W: Write>(
+    mut input: R,
+    mut output: W,
+) -> Result<RecoverSummary, WireError> {
+    // --- Header: validate fully, then copy verbatim. ---
+    let mut fixed = [0u8; 16];
+    read_header_bytes(&mut input, &mut fixed[..8], "file magic")?;
+    if &fixed[..8] != MAGIC {
+        let mut found = [0u8; 8];
+        found.copy_from_slice(&fixed[..8]);
+        return Err(WireError::BadMagic { found });
+    }
+    read_header_bytes(&mut input, &mut fixed[8..12], "header version")?;
+    let version = u32::from_le_bytes(fixed[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(WireError::UnsupportedVersion { found: version, supported: VERSION });
+    }
+    read_header_bytes(&mut input, &mut fixed[12..16], "header length")?;
+    let payload_len = u32::from_le_bytes(fixed[12..16].try_into().unwrap());
+    let corrupt = |reason: &str| WireError::HeaderCorrupt { reason: reason.to_owned() };
+    if u64::from(payload_len) > MAX_HEADER_BYTES {
+        return Err(corrupt("declared header length exceeds the format maximum"));
+    }
+    let mut payload = vec![0u8; payload_len as usize];
+    read_header_bytes(&mut input, &mut payload, "header payload")?;
+    let mut crc_bytes = [0u8; 4];
+    read_header_bytes(&mut input, &mut crc_bytes, "header crc")?;
+    if crc32(&payload) != u32::from_le_bytes(crc_bytes) {
+        return Err(corrupt("header crc mismatch"));
+    }
+    validate_routine_table(&payload)?;
+
+    output.write_all(&fixed)?;
+    output.write_all(&payload)?;
+    output.write_all(&crc_bytes)?;
+    let header_len = 16 + payload.len() as u64 + 4;
+
+    // --- Chunks: keep the leading run that validates end to end. ---
+    let mut offset = header_len; // input offset of the next record tag
+    let mut entries: Vec<ChunkEntry> = Vec::new();
+    let mut total_events: u64 = 0;
+    let mut threads: u32 = 0;
+    let mut decoded = Vec::new();
+    let stopped = loop {
+        let mut tag = [0u8; 1];
+        match read_exact_or_eof(&mut input, &mut tag, "record tag") {
+            Ok(false) => break StopReason::CleanEof,
+            Ok(true) => {}
+            Err(ScanStop::Stop(r)) => break r,
+            Err(ScanStop::Fatal(e)) => return Err(e),
+        }
+        match tag[0] {
+            INDEX_TAG => break StopReason::IndexReached,
+            CHUNK_TAG => {}
+            found => break StopReason::BadTag { offset, found },
+        }
+        let index = entries.len() as u32;
+        let mut framing = [0u8; 12];
+        match read_exact_or_eof(&mut input, &mut framing, "chunk framing") {
+            Ok(true) => {}
+            Ok(false) => break StopReason::Truncated { context: "chunk framing" },
+            Err(ScanStop::Stop(r)) => break r,
+            Err(ScanStop::Fatal(e)) => return Err(e),
+        }
+        let events = u32::from_le_bytes(framing[0..4].try_into().unwrap());
+        let payload_len = u32::from_le_bytes(framing[4..8].try_into().unwrap());
+        let stored_crc = u32::from_le_bytes(framing[8..12].try_into().unwrap());
+        if u64::from(payload_len) > MAX_CHUNK_BYTES {
+            break StopReason::BadChunk {
+                index,
+                reason: format!("declared payload of {payload_len} bytes exceeds the maximum"),
+            };
+        }
+        let mut chunk = vec![0u8; payload_len as usize];
+        match read_exact_or_eof(&mut input, &mut chunk, "chunk payload") {
+            Ok(true) => {}
+            Ok(false) => break StopReason::Truncated { context: "chunk payload" },
+            Err(ScanStop::Stop(r)) => break r,
+            Err(ScanStop::Fatal(e)) => return Err(e),
+        }
+        if crc32(&chunk) != stored_crc {
+            break StopReason::BadChunk { index, reason: "payload crc mismatch".to_owned() };
+        }
+        if let Err(e) = decode_chunk_into(index, &chunk, events, &mut decoded) {
+            break StopReason::BadChunk { index, reason: e.to_string() };
+        }
+        for (thread, _) in &decoded {
+            threads = threads.max(thread.index() as u32 + 1);
+        }
+        // The chunk is good: copy it through and index it.
+        output.write_all(&tag)?;
+        output.write_all(&framing)?;
+        output.write_all(&chunk)?;
+        entries.push(ChunkEntry { offset, payload_len, events, crc: stored_crc });
+        offset += 13 + u64::from(payload_len);
+        total_events += u64::from(events);
+    };
+
+    // --- Fresh index + footer over exactly what was kept. ---
+    let chunks = entries.len() as u32;
+    let index = WireIndex { entries, total_events, thread_count: threads };
+    let mut tail = Vec::new();
+    index.encode(&mut tail);
+    tail.extend_from_slice(&offset.to_le_bytes());
+    tail.extend_from_slice(FOOTER_MAGIC);
+    output.write_all(&tail)?;
+    output.flush()?;
+
+    aprof_obs::counters::WIRE_RECOVERED_CHUNKS.add(u64::from(chunks));
+    aprof_obs::counters::WIRE_RECOVERED_EVENTS.add(total_events);
+
+    Ok(RecoverSummary {
+        chunks,
+        events: total_events,
+        threads,
+        salvaged_bytes: offset,
+        output_bytes: offset + tail.len() as u64,
+        stopped,
+    })
+}
+
+/// `read_exact` for the header region, where truncation is fatal (typed as
+/// [`WireError::UnexpectedEof`]) rather than a salvage boundary.
+fn read_header_bytes<R: Read>(
+    input: &mut R,
+    buf: &mut [u8],
+    context: &'static str,
+) -> Result<(), WireError> {
+    input.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::UnexpectedEof { context }
+        } else {
+            WireError::Io(e)
+        }
+    })
+}
+
+/// Structural validation of the header's routine-table payload, mirroring
+/// the reader: a CRC-valid but malformed table must not be copied into a
+/// "recovered" file that readers then reject.
+fn validate_routine_table(payload: &[u8]) -> Result<(), WireError> {
+    let corrupt = |reason: &str| WireError::HeaderCorrupt { reason: reason.to_owned() };
+    let mut pos = 0;
+    let count =
+        varint::read_u64(payload, &mut pos).ok_or_else(|| corrupt("bad routine count"))?;
+    if count > u64::from(u32::MAX) {
+        return Err(corrupt("routine count exceeds u32"));
+    }
+    for _ in 0..count {
+        let len = varint::read_u64(payload, &mut pos)
+            .ok_or_else(|| corrupt("bad routine name length"))?;
+        let len = usize::try_from(len)
+            .ok()
+            .filter(|l| pos + l <= payload.len())
+            .ok_or_else(|| corrupt("routine name past header end"))?;
+        std::str::from_utf8(&payload[pos..pos + len])
+            .map_err(|_| corrupt("routine name is not utf-8"))?;
+        pos += len;
+    }
+    if pos != payload.len() {
+        return Err(corrupt("trailing bytes after the routine table"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{WireOptions, WireReader, WireWriter};
+    use aprof_trace::{Addr, Event, RoutineTable, ThreadId};
+
+    fn capture(events: &[(ThreadId, Event)], chunk_bytes: usize) -> Vec<u8> {
+        let opts = WireOptions { chunk_bytes, ..Default::default() };
+        let mut w = WireWriter::create(Vec::new(), &RoutineTable::new(), opts).unwrap();
+        for &(t, e) in events {
+            w.push(t, e).unwrap();
+        }
+        w.finish().unwrap().0
+    }
+
+    fn sample_events(n: u64) -> Vec<(ThreadId, Event)> {
+        (0..n)
+            .map(|i| {
+                let t = ThreadId::new((i % 3) as u32);
+                (t, Event::Read { addr: Addr::new(i * 17) })
+            })
+            .collect()
+    }
+
+    fn replay(bytes: &[u8]) -> Vec<(ThreadId, Event)> {
+        WireReader::new(bytes).unwrap().strict().collect::<Result<Vec<_>, _>>().unwrap()
+    }
+
+    #[test]
+    fn intact_file_round_trips_unchanged() {
+        let events = sample_events(100);
+        let bytes = capture(&events, 64);
+        let mut out = Vec::new();
+        let summary = recover(&bytes[..], &mut out).unwrap();
+        assert!(summary.was_intact());
+        assert_eq!(summary.events, 100);
+        assert_eq!(out, bytes, "recovering an intact file must be byte-identical");
+    }
+
+    #[test]
+    fn footerless_capture_is_fully_salvaged() {
+        let events = sample_events(60);
+        let bytes = capture(&events, 64);
+        // Chop at the index tag: the Durable crash shape.
+        let index_offset =
+            u64::from_le_bytes(bytes[bytes.len() - 16..bytes.len() - 8].try_into().unwrap());
+        let torn = &bytes[..index_offset as usize];
+        let mut out = Vec::new();
+        let summary = recover(torn, &mut out).unwrap();
+        assert_eq!(summary.stopped, StopReason::CleanEof);
+        assert_eq!(summary.events, 60);
+        assert_eq!(replay(&out), events);
+    }
+
+    #[test]
+    fn torn_chunk_is_dropped_prefix_survives() {
+        let events = sample_events(60);
+        let bytes = capture(&events, 64);
+        let full = recover(&bytes[..], &mut Vec::new()).unwrap();
+        assert!(full.chunks >= 3, "need several chunks, got {}", full.chunks);
+        // Cut inside the *second* chunk's payload.
+        let cut = {
+            let mut r = WireReader::new(&bytes[..]).unwrap();
+            for _ in r.by_ref() {}
+            let idx = r.index().unwrap().clone();
+            (idx.entries[1].offset + 13 + u64::from(idx.entries[1].payload_len) - 2) as usize
+        };
+        let mut out = Vec::new();
+        let summary = recover(&bytes[..cut], &mut out).unwrap();
+        assert_eq!(summary.stopped, StopReason::Truncated { context: "chunk payload" });
+        assert_eq!(summary.chunks, 1);
+        let salvaged = replay(&out);
+        assert_eq!(salvaged[..], events[..salvaged.len()]);
+    }
+
+    #[test]
+    fn corrupt_chunk_payload_stops_the_scan() {
+        let events = sample_events(60);
+        let mut bytes = capture(&events, 64);
+        let idx = {
+            let mut r = WireReader::new(&bytes[..]).unwrap();
+            for _ in r.by_ref() {}
+            r.index().unwrap().clone()
+        };
+        // Flip a payload byte of chunk 1; chunk 0 must still be salvaged.
+        let victim = (idx.entries[1].offset + 13 + 1) as usize;
+        bytes[victim] ^= 0xFF;
+        let mut out = Vec::new();
+        let summary = recover(&bytes[..], &mut out).unwrap();
+        assert_eq!(summary.chunks, 1);
+        assert!(matches!(summary.stopped, StopReason::BadChunk { index: 1, .. }));
+        let salvaged = replay(&out);
+        assert_eq!(salvaged.len() as u64, summary.events);
+        assert_eq!(salvaged[..], events[..salvaged.len()]);
+    }
+
+    #[test]
+    fn truncation_inside_header_is_a_typed_error() {
+        let bytes = capture(&sample_events(10), 64);
+        for cut in [0usize, 4, 8, 11, 15] {
+            let err = recover(&bytes[..cut], &mut Vec::new()).unwrap_err();
+            assert!(
+                matches!(err, WireError::UnexpectedEof { .. }),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_salvage_is_still_a_valid_file() {
+        let bytes = capture(&[], 64);
+        // Keep only the header.
+        let header_len = {
+            let footer_at = bytes.len() - 16;
+            u64::from_le_bytes(bytes[footer_at..footer_at + 8].try_into().unwrap()) as usize
+        };
+        let mut out = Vec::new();
+        let summary = recover(&bytes[..header_len], &mut out).unwrap();
+        assert_eq!(summary.chunks, 0);
+        assert_eq!(summary.threads, 0);
+        assert!(replay(&out).is_empty());
+    }
+}

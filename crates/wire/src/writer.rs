@@ -8,7 +8,9 @@ use crate::format::{
 };
 use crate::varint;
 use aprof_trace::{Addr, Event, RoutineId, RoutineTable, ThreadId, Tool};
-use std::io::Write;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
 
 /// Default chunk payload target: 64 KiB.
 pub const DEFAULT_CHUNK_BYTES: usize = 64 << 10;
@@ -24,6 +26,51 @@ pub enum FlushPolicy {
     /// in-progress chunk, and every flushed prefix is independently
     /// decodable (up to the missing index).
     PerChunk,
+    /// Like [`PerChunk`](FlushPolicy::PerChunk), but also flushes the header
+    /// immediately, and the flushes are expected to reach *stable storage*:
+    /// pair this policy with a sink whose `flush` is durable, such as
+    /// [`DurableFile`], so a `kill -9` (or power loss) mid-capture loses at
+    /// most the open chunk and `recover` can salvage everything flushed.
+    Durable,
+}
+
+/// A [`File`] sink whose [`flush`](Write::flush) forces written bytes to
+/// stable storage via [`File::sync_data`]. Combine with
+/// [`FlushPolicy::Durable`] (usually behind a `BufWriter`) for crash-safe
+/// capture: every sealed chunk is fsynced before the writer moves on.
+#[derive(Debug)]
+pub struct DurableFile(File);
+
+impl DurableFile {
+    /// Creates (truncating) the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`File::create`] error.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        File::create(path).map(DurableFile)
+    }
+
+    /// Wraps an already-open file.
+    pub fn new(file: File) -> Self {
+        DurableFile(file)
+    }
+
+    /// Consumes the wrapper, returning the file.
+    pub fn into_inner(self) -> File {
+        self.0
+    }
+}
+
+impl Write for DurableFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.0.flush()?;
+        self.0.sync_data()
+    }
 }
 
 /// Tunables of a [`WireWriter`].
@@ -125,6 +172,10 @@ impl<W: Write> WireWriter<W> {
         header.extend_from_slice(&payload);
         header.extend_from_slice(&crc32(&payload).to_le_bytes());
         inner.write_all(&header)?;
+        if options.flush == FlushPolicy::Durable {
+            inner.flush()?;
+            aprof_obs::counters::WIRE_DURABLE_SYNCS.incr();
+        }
         Ok(WireWriter {
             inner,
             chunk_bytes,
@@ -144,18 +195,26 @@ impl<W: Write> WireWriter<W> {
     ///
     /// # Errors
     ///
-    /// Returns [`WireError::Io`] if sealing a chunk fails, and any
-    /// previously latched capture error first.
+    /// Returns [`WireError::Io`] if sealing a chunk fails. Once any error
+    /// has been latched, every later `push` fails with a copy of it and the
+    /// latch stays armed, so [`finish`](WireWriter::finish) still reports
+    /// the *first* failure.
     pub fn push(&mut self, thread: ThreadId, event: Event) -> Result<(), WireError> {
-        if let Some(e) = self.latched.take() {
-            return Err(e);
+        if let Some(e) = &self.latched {
+            // Report (a copy of) the first failure without disarming the
+            // latch: taking it here would let `finish` succeed or surface a
+            // later, misleading error.
+            return Err(e.duplicate());
         }
         self.state.encode(&mut self.chunk_buf, thread, event);
         self.chunk_events += 1;
         self.total_events += 1;
         self.threads = self.threads.max(thread.index() as u32 + 1);
         if self.chunk_buf.len() >= self.chunk_bytes {
-            self.seal_chunk()?;
+            if let Err(e) = self.seal_chunk() {
+                self.latched = Some(e.duplicate());
+                return Err(e);
+            }
         }
         Ok(())
     }
@@ -207,8 +266,13 @@ impl<W: Write> WireWriter<W> {
         self.chunk_buf.clear();
         self.chunk_events = 0;
         self.state = DeltaState::new();
-        if self.flush == FlushPolicy::PerChunk {
-            self.inner.flush()?;
+        match self.flush {
+            FlushPolicy::OnFinish => {}
+            FlushPolicy::PerChunk => self.inner.flush()?,
+            FlushPolicy::Durable => {
+                self.inner.flush()?;
+                aprof_obs::counters::WIRE_DURABLE_SYNCS.incr();
+            }
         }
         Ok(())
     }
@@ -355,5 +419,82 @@ mod tests {
         w.basic_block(ThreadId::MAIN, 1);
         assert!(w.latched_error().is_some());
         assert!(w.finish().is_err());
+    }
+
+    #[test]
+    fn finish_reports_first_error_despite_later_pushes() {
+        // Accepts the header, then fails every write with a distinct
+        // message, so the test can tell *which* failure surfaces where.
+        #[derive(Debug)]
+        struct NumberedFailures {
+            calls: usize,
+        }
+        impl Write for NumberedFailures {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.calls += 1;
+                if self.calls == 1 {
+                    return Ok(buf.len());
+                }
+                Err(std::io::Error::other(format!("failure #{}", self.calls - 1)))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let opts = WireOptions { chunk_bytes: 1, ..Default::default() };
+        let mut w = WireWriter::create(NumberedFailures { calls: 0 }, &RoutineTable::new(), opts)
+            .unwrap();
+        let first = w
+            .push(ThreadId::MAIN, Event::BasicBlock { cost: 1 })
+            .unwrap_err();
+        assert!(first.to_string().contains("failure #1"), "got: {first}");
+
+        // Pushing after the failure must keep reporting (a copy of) the
+        // first error without disarming the latch...
+        let again = w
+            .push(ThreadId::MAIN, Event::BasicBlock { cost: 1 })
+            .unwrap_err();
+        assert!(again.to_string().contains("failure #1"), "got: {again}");
+        assert!(w.latched_error().is_some());
+
+        // ...so finish still surfaces the first failure, not a later one
+        // and not a spurious success.
+        let e = w.finish().unwrap_err();
+        assert!(e.to_string().contains("failure #1"), "got: {e}");
+    }
+
+    #[test]
+    fn durable_policy_flushes_header_and_every_chunk() {
+        #[derive(Default)]
+        struct FlushCounter {
+            bytes: Vec<u8>,
+            flushes: usize,
+        }
+        impl Write for FlushCounter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.bytes.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                self.flushes += 1;
+                Ok(())
+            }
+        }
+
+        let run = |flush: FlushPolicy| {
+            let opts = WireOptions { chunk_bytes: 1, flush };
+            let mut w =
+                WireWriter::create(FlushCounter::default(), &RoutineTable::new(), opts).unwrap();
+            for i in 0..3 {
+                w.push(ThreadId::MAIN, Event::Read { addr: Addr::new(i) }).unwrap();
+            }
+            let (sink, _) = w.finish().unwrap();
+            sink.flushes
+        };
+        assert_eq!(run(FlushPolicy::OnFinish), 1);
+        assert_eq!(run(FlushPolicy::PerChunk), 3 + 1);
+        // Durable adds the immediate header flush on top of per-chunk.
+        assert_eq!(run(FlushPolicy::Durable), 1 + 3 + 1);
     }
 }

@@ -11,8 +11,10 @@
 //! aprof-cli asm program.s --plot my_function
 //! aprof-cli run --workload producer_consumer --save-trace trace.txt
 //! aprof-cli record trace.wire --workload mysqld --size 160
+//! aprof-cli record trace.wire --workload mysqld --durable
 //! aprof-cli replay trace.wire --tool rms
 //! aprof-cli trace-info trace.wire
+//! aprof-cli recover torn.wire salvaged.wire
 //! aprof-cli report report.html --workload mysqld --observe
 //! aprof-cli replay trace.wire --report report.html
 //! aprof-cli run --workload dedup --observe --obs-json metrics.json
@@ -26,7 +28,9 @@ use aprof::core::{InputPolicy, ProfileReport, TrmsProfiler};
 use aprof::tools::{CallgrindTool, HelgrindTool, MemcheckTool};
 use aprof::trace::{textio, EventKind, RecordingTool, RoutineTable, Trace};
 use aprof::vm::{asm, Machine};
-use aprof::wire::{WireOptions, WireReader, WireWriter, DEFAULT_CHUNK_BYTES};
+use aprof::wire::{
+    recover, DurableFile, FlushPolicy, WireOptions, WireReader, WireWriter, DEFAULT_CHUNK_BYTES,
+};
 use aprof::workloads::{all, by_name, WorkloadParams};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom};
@@ -40,6 +44,7 @@ fn main() {
         Some("record") => with_observe(&args[1..], cmd_record),
         Some("replay") => with_observe(&args[1..], cmd_replay),
         Some("trace-info") => with_observe(&args[1..], cmd_trace_info),
+        Some("recover") => with_observe(&args[1..], cmd_recover),
         Some("report") => with_observe(&args[1..], cmd_report),
         Some("bench") => with_observe(&args[1..], cmd_bench),
         Some("check") => cmd_check(&args[1..]),
@@ -99,6 +104,10 @@ commands:
   trace-info FILE              inspect a saved trace: format, events,
                                chunks, threads, and any corrupt chunks
                                skipped during decode
+  recover IN [OUT]             salvage a truncated or corrupt wire trace:
+                               re-scan IN for CRC-valid chunks and write
+                               them with a fresh index and footer to OUT
+                               (default IN.recovered)
   report OUT.html [opts]       render a self-contained HTML report (cost
                                plots, fitted curves, CDFs, bottleneck
                                verdicts); profile `--workload NAME` live,
@@ -124,6 +133,9 @@ options:
   --bottlenecks     rank routines by asymptotic-bottleneck severity
   --save-trace FILE record the event stream to FILE (text format)
   --chunk-bytes N   wire chunk payload target for `record` (default 65536)
+  --durable         record: flush + fsync after every sealed chunk, so a
+                    crash (even power loss) costs at most the open chunk;
+                    `recover` restores such a capture losslessly
   --strict          replay: abort on corrupt chunks instead of skipping
   --csv FILE        also write the routine summary as CSV to FILE
   --no-check        run/asm/record: skip the static verifier (which
@@ -154,6 +166,7 @@ struct Opts {
     plot: Option<String>,
     save_trace: Option<String>,
     chunk_bytes: usize,
+    durable: bool,
     strict: bool,
     csv: Option<String>,
     no_check: bool,
@@ -175,6 +188,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         plot: None,
         save_trace: None,
         chunk_bytes: DEFAULT_CHUNK_BYTES,
+        durable: false,
         strict: false,
         csv: None,
         no_check: false,
@@ -215,6 +229,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .filter(|&n| n > 0)
                     .ok_or_else(|| "--chunk-bytes needs a positive integer".to_string())?
             }
+            "--durable" => o.durable = true,
             "--strict" => o.strict = true,
             "--csv" => o.csv = Some(value("--csv")?),
             "--no-check" => o.no_check = true,
@@ -479,7 +494,7 @@ fn cmd_record(args: &[String]) -> i32 {
         eprintln!("record requires an output FILE argument");
         return 2;
     };
-    let mut machine = if let Some(name) = opts.workload.clone() {
+    let machine = if let Some(name) = opts.workload.clone() {
         let Some(wl) = by_name(&name) else {
             eprintln!("unknown workload `{name}` (see `aprof-cli list`)");
             return 2;
@@ -507,15 +522,35 @@ fn cmd_record(args: &[String]) -> i32 {
             return 1;
         }
     };
-    let options = WireOptions { chunk_bytes: opts.chunk_bytes, ..Default::default() };
-    let mut writer = match WireWriter::create(BufWriter::new(file), &names, options) {
+    let flush = if opts.durable { FlushPolicy::Durable } else { FlushPolicy::OnFinish };
+    let options = WireOptions { chunk_bytes: opts.chunk_bytes, flush };
+    if opts.durable {
+        // Durable capture: every sealed chunk is flushed *and* fsynced, so
+        // a crash at any moment costs at most the currently open chunk.
+        drive_record(machine, &names, &opts, path, BufWriter::new(DurableFile::new(file)), options)
+    } else {
+        drive_record(machine, &names, &opts, path, BufWriter::new(file), options)
+    }
+}
+
+/// The recording loop of `cmd_record`, generic over the sink so the
+/// durable and plain paths share one implementation.
+fn drive_record<W: std::io::Write>(
+    mut machine: Machine,
+    names: &RoutineTable,
+    opts: &Opts,
+    path: &str,
+    sink: W,
+    options: WireOptions,
+) -> i32 {
+    let mut writer = match WireWriter::create(sink, names, options) {
         Ok(w) => w,
         Err(e) => {
             eprintln!("cannot write {path}: {e}");
             return 1;
         }
     };
-    let mut profiler = build_profiler(&opts);
+    let mut profiler = build_profiler(opts);
     if let Err(e) = machine.run_recording(&mut profiler, &mut writer) {
         eprintln!("guest error: {e}");
         return 1;
@@ -530,8 +565,58 @@ fn cmd_record(args: &[String]) -> i32 {
             return 1;
         }
     }
-    report_profiler(profiler, &names, &opts);
+    report_profiler(profiler, names, opts);
     0
+}
+
+fn cmd_recover(args: &[String]) -> i32 {
+    let opts = match parse_opts(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return 2;
+        }
+    };
+    let Some(input) = opts.positional.first() else {
+        eprintln!("recover requires an input FILE argument");
+        return 2;
+    };
+    let out_path =
+        opts.positional.get(1).cloned().unwrap_or_else(|| format!("{input}.recovered"));
+    let infile = match File::open(input) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot read {input}: {e}");
+            return 1;
+        }
+    };
+    let outfile = match File::create(&out_path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot write {out_path}: {e}");
+            return 1;
+        }
+    };
+    match recover(BufReader::new(infile), BufWriter::new(outfile)) {
+        Ok(s) => {
+            println!(
+                "salvaged {} chunks, {} events, {} threads ({} input bytes kept) \
+                 to {out_path} ({} bytes)",
+                s.chunks, s.events, s.threads, s.salvaged_bytes, s.output_bytes
+            );
+            if s.was_intact() {
+                println!("input was already intact");
+            } else {
+                println!("scan stopped: {}", s.stopped);
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("cannot recover {input}: {e} (the header is required; only chunk \
+                       damage is recoverable)");
+            1
+        }
+    }
 }
 
 fn cmd_replay(args: &[String]) -> i32 {

@@ -21,6 +21,7 @@
 //!   O(chunk)-memory replay).
 //! * [`check`] — the static verifier and lint pass over guest IR.
 //! * [`obs`] — profiler self-metrics: counters, tracing spans, `obs.json`.
+//! * [`faults`] — seeded, replayable fault injection for robustness tests.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
 
@@ -29,6 +30,7 @@ pub use aprof_obs as obs;
 pub use aprof_bench as bench;
 pub use aprof_check as check;
 pub use aprof_core as core;
+pub use aprof_faults as faults;
 pub use aprof_shadow as shadow;
 pub use aprof_tools as tools;
 pub use aprof_trace as trace;

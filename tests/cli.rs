@@ -221,6 +221,86 @@ fn corrupt_wire_chunk_is_reported_not_fatal() {
     std::fs::remove_file(&wire).ok();
 }
 
+/// The differential crash test behind `aprof-cli recover`: record a durable
+/// capture, kill it (simulated by truncating the file) at several points,
+/// recover each torn file, and check the recovered replay profiles a prefix
+/// of the unkilled run — same tool output format, typed errors only, no
+/// panics.
+#[test]
+fn recover_salvages_a_killed_durable_capture() {
+    let dir = std::env::temp_dir().join("aprof-cli-test-recover");
+    std::fs::create_dir_all(&dir).unwrap();
+    let wire = dir.join("durable.wire");
+    let wire_s = wire.to_str().unwrap();
+
+    let recorded = run_ok(&[
+        "record", wire_s, "--workload", "producer_consumer", "--size", "30", "--threads", "2",
+        "--durable", "--chunk-bytes", "128",
+    ]);
+    assert!(recorded.contains("recorded"), "{recorded}");
+    let pristine = std::fs::read(&wire).unwrap();
+    let full_info = run_ok(&["trace-info", wire_s]);
+
+    for fraction in [3usize, 5, 7] {
+        let cut = pristine.len() * fraction / 8;
+        let torn = dir.join(format!("torn-{fraction}.wire"));
+        let torn_s = torn.to_str().unwrap();
+        std::fs::write(&torn, &pristine[..cut]).unwrap();
+
+        let salvaged = dir.join(format!("salvaged-{fraction}.wire"));
+        let salvaged_s = salvaged.to_str().unwrap();
+        let out = run_ok(&["recover", torn_s, salvaged_s]);
+        assert!(out.contains("salvaged"), "{out}");
+
+        // The salvage is a fully valid file: strict replay succeeds and
+        // trace-info reports zero skipped chunks.
+        let replayed = run_ok(&["replay", salvaged_s, "--strict"]);
+        assert!(replayed.contains("activations"), "{replayed}");
+        let info = run_ok(&["trace-info", salvaged_s, "--strict"]);
+        assert!(info.contains("0 skipped"), "{info}");
+
+        // Event count is a prefix: never more than the unkilled capture.
+        let events = |text: &str| -> u64 {
+            text.lines()
+                .find_map(|l| l.strip_prefix("events: "))
+                .expect("trace-info prints events")
+                .parse()
+                .unwrap()
+        };
+        assert!(events(&info) <= events(&full_info), "salvage exceeds the original:\n{info}");
+
+        std::fs::remove_file(&torn).ok();
+        std::fs::remove_file(&salvaged).ok();
+    }
+
+    // Recovering the intact capture is lossless.
+    let salvaged = dir.join("intact.wire");
+    let out = run_ok(&["recover", wire_s, salvaged.to_str().unwrap()]);
+    assert!(out.contains("already intact"), "{out}");
+    let info = run_ok(&["trace-info", salvaged.to_str().unwrap()]);
+    assert_eq!(
+        info.lines().find(|l| l.starts_with("events:")),
+        full_info.lines().find(|l| l.starts_with("events:")),
+        "intact recovery must preserve every event"
+    );
+
+    // A file cut inside the header is a typed failure, not a panic.
+    let torn = dir.join("headerless.wire");
+    std::fs::write(&torn, &pristine[..8]).unwrap();
+    let out = cli()
+        .args(["recover", torn.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "header damage must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot recover"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    std::fs::remove_file(&wire).ok();
+    std::fs::remove_file(&salvaged).ok();
+    std::fs::remove_file(&torn).ok();
+}
+
 #[test]
 fn bad_usage_fails_cleanly() {
     let out = cli().args(["run"]).output().unwrap();
