@@ -11,6 +11,8 @@
 //! repro --bench-obs-json     # write BENCH_obs.json and exit
 //! repro --faults             # run the fault-injection smoke and exit
 //! repro --faults --fault-seed 7   # same, with a chosen fault seed
+//! repro --corpus             # run the fuzzed-corpus differential smoke
+//! repro --corpus --corpus-seed 9  # same, with a chosen corpus seed
 //! ```
 //!
 //! Rendered text goes to stdout; CSV data is written under `results/`.
@@ -30,6 +32,8 @@ fn main() {
     let mut bench_obs_json = false;
     let mut faults = false;
     let mut fault_seed = aprof_bench::DEFAULT_FAULT_SEED;
+    let mut corpus = false;
+    let mut corpus_seed = aprof_bench::DEFAULT_CORPUS_SEED;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -48,6 +52,20 @@ fn main() {
                 driver::set_jobs(n);
             }
             "--faults" => faults = true,
+            "--corpus" => corpus = true,
+            "--corpus-seed" => {
+                let Some(n) = it.next().and_then(|v| {
+                    let v = v.trim();
+                    match v.strip_prefix("0x") {
+                        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                        None => v.parse::<u64>().ok(),
+                    }
+                }) else {
+                    eprintln!("--corpus-seed needs an integer (decimal or 0x-hex)");
+                    std::process::exit(2);
+                };
+                corpus_seed = n;
+            }
             "--fault-seed" => {
                 let Some(n) = it.next().and_then(|v| {
                     let v = v.trim();
@@ -66,6 +84,18 @@ fn main() {
             "--bench-check-json" => bench_check_json = true,
             "--bench-obs-json" => bench_obs_json = true,
             other => selected.push(other),
+        }
+    }
+    if corpus {
+        match aprof_bench::corpus_smoke(corpus_seed) {
+            Ok(report) => {
+                print!("{report}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("corpus smoke failed: {e}");
+                std::process::exit(1);
+            }
         }
     }
     if faults {

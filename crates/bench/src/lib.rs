@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod check_bench;
+pub mod corpus_bench;
 pub mod driver;
 pub mod faults_bench;
 pub mod figures;
@@ -26,6 +27,7 @@ pub mod suite;
 pub mod wire_bench;
 
 pub use check_bench::check_report;
+pub use corpus_bench::{corpus_smoke, corpus_smoke_with, DEFAULT_CORPUS_SEED};
 pub use driver::{
     default_jobs, jobs, parallel_driver_report, run_indexed_isolated, set_jobs, FailureCause,
     JobOutcome, RetryPolicy,

@@ -1,0 +1,58 @@
+//! The seeding/determinism contract (DESIGN.md §11): equal seeds yield
+//! equal programs, runs, and reports — independent of worker count.
+
+use aprof_corpus::{run_case, run_fuzz, CaseSpec, FuzzConfig, GenConfig};
+
+#[test]
+fn equal_seeds_yield_equal_programs() {
+    for profile in [
+        GenConfig::mixed(),
+        GenConfig::sequential(),
+        GenConfig::concurrent(),
+        GenConfig::kernel(),
+    ] {
+        for seed in 0..24u64 {
+            let a = CaseSpec::generate(seed, &profile);
+            let b = CaseSpec::generate(seed, &profile);
+            assert_eq!(a, b, "spec for seed {seed} not deterministic");
+            assert_eq!(
+                aprof_vm::asm::print(&a.program()),
+                aprof_vm::asm::print(&b.program()),
+                "program for seed {seed} not deterministic"
+            );
+        }
+    }
+}
+
+#[test]
+fn case_reports_are_reproducible() {
+    for seed in 0..12u64 {
+        let spec = CaseSpec::generate(seed, &GenConfig::mixed());
+        let a = run_case(&spec).expect("clean case");
+        let b = run_case(&spec).expect("clean case");
+        assert_eq!(a, b, "seed {seed}: two runs observed different reports");
+    }
+}
+
+/// The harness contract `aprof-cli fuzz` relies on: the report text and the
+/// digest are byte-identical for every `--jobs` setting.
+#[test]
+fn sweep_is_jobs_invariant() {
+    let base = FuzzConfig { seed: 41, cases: 20, ..FuzzConfig::default() };
+    let reference = run_fuzz(&FuzzConfig { jobs: 1, ..base });
+    assert!(reference.failures.is_empty(), "{}", reference.report);
+    for jobs in [2, 3, 5, 8, 16] {
+        let outcome = run_fuzz(&FuzzConfig { jobs, ..base });
+        assert_eq!(outcome.report, reference.report, "jobs={jobs} changed the report");
+        assert_eq!(outcome.digest, reference.digest, "jobs={jobs} changed the digest");
+    }
+}
+
+/// Different seeds produce genuinely different corpora (no accidental
+/// seed-folding in the pipeline).
+#[test]
+fn different_seeds_differ() {
+    let a = run_fuzz(&FuzzConfig { seed: 1, cases: 8, ..FuzzConfig::default() });
+    let b = run_fuzz(&FuzzConfig { seed: 2, cases: 8, ..FuzzConfig::default() });
+    assert_ne!(a.digest, b.digest, "seeds 1 and 2 produced identical corpora");
+}

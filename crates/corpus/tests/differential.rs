@@ -1,0 +1,91 @@
+//! The corpus differential suite: generated programs through all four
+//! oracles, across every generator profile.
+//!
+//! Case counts respect `PROPTEST_CASES` (the repo-wide knob for scaling
+//! property-test effort) so CI can dial the sweep up without code changes.
+
+use aprof_corpus::{run_fuzz, CaseSpec, FuzzConfig, GenConfig};
+
+fn cases(default: u64) -> u64 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+#[test]
+fn mixed_corpus_passes_all_four_oracles() {
+    let outcome = run_fuzz(&FuzzConfig { seed: 1, cases: cases(64), ..FuzzConfig::default() });
+    assert!(outcome.failures.is_empty(), "{}", outcome.report);
+    assert!(outcome.events > 0, "corpus observed no events");
+}
+
+#[test]
+fn sequential_profile_passes() {
+    let outcome = run_fuzz(&FuzzConfig {
+        seed: 2,
+        cases: cases(32),
+        profile: GenConfig::sequential(),
+        ..FuzzConfig::default()
+    });
+    assert!(outcome.failures.is_empty(), "{}", outcome.report);
+}
+
+#[test]
+fn concurrent_profile_passes() {
+    let outcome = run_fuzz(&FuzzConfig {
+        seed: 3,
+        cases: cases(32),
+        profile: GenConfig::concurrent(),
+        ..FuzzConfig::default()
+    });
+    assert!(outcome.failures.is_empty(), "{}", outcome.report);
+}
+
+#[test]
+fn kernel_profile_passes() {
+    let outcome = run_fuzz(&FuzzConfig {
+        seed: 4,
+        cases: cases(32),
+        profile: GenConfig::kernel(),
+        ..FuzzConfig::default()
+    });
+    assert!(outcome.failures.is_empty(), "{}", outcome.report);
+}
+
+/// The corpus actually exercises the interesting shapes: across a modest
+/// sweep, generated programs collectively spawn workers, recurse, take
+/// locks, and read kernel input.
+#[test]
+fn corpus_reaches_interesting_shapes() {
+    use aprof_corpus::Stmt;
+    fn stmts(body: &[Stmt], f: &mut dyn FnMut(&Stmt)) {
+        for s in body {
+            f(s);
+            match s {
+                Stmt::Loop { body, .. } | Stmt::Locked { body, .. } => stmts(body, f),
+                Stmt::Diamond { then_b, else_b, .. } => {
+                    stmts(then_b, f);
+                    stmts(else_b, f);
+                }
+                _ => {}
+            }
+        }
+    }
+    let (mut threads, mut recursion, mut locks, mut kernel, mut diamonds) = (0, 0, 0, 0, 0);
+    for seed in 0..64u64 {
+        let spec = CaseSpec::generate(seed, &GenConfig::mixed());
+        threads += u64::from(spec.threads > 0);
+        recursion += u64::from(spec.funcs.iter().any(|f| f.recursion.is_some()));
+        for func in &spec.funcs {
+            stmts(&func.body, &mut |s| match s {
+                Stmt::Locked { .. } => locks += 1,
+                Stmt::KernelIn { .. } | Stmt::KernelOut { .. } => kernel += 1,
+                Stmt::Diamond { retry, .. } if *retry > 0 => diamonds += 1,
+                _ => {}
+            });
+        }
+    }
+    assert!(threads >= 16, "only {threads}/64 specs spawn workers");
+    assert!(recursion >= 8, "only {recursion}/64 specs recurse");
+    assert!(locks >= 32, "only {locks} lock sections across the sweep");
+    assert!(kernel >= 32, "only {kernel} kernel-I/O statements across the sweep");
+    assert!(diamonds >= 16, "only {diamonds} irreducible retry diamonds across the sweep");
+}

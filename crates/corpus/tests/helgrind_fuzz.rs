@@ -1,0 +1,45 @@
+//! Static/dynamic race containment over the fuzzed concurrent corpus:
+//! every address the happens-before detector flags during a real run of a
+//! *generated* program must lie inside the static verifier's race-candidate
+//! set. Extends `crates/check/tests/race_crosscheck.rs` from the three
+//! hand-written workload families to ≥64 machine-generated fork/join + lock
+//! programs.
+
+use aprof_check::check_program;
+use aprof_corpus::{CaseSpec, GenConfig};
+use aprof_tools::HelgrindTool;
+
+#[test]
+fn dynamic_races_on_generated_programs_are_statically_anticipated() {
+    let mut ran_concurrent = 0u32;
+    let mut dynamic_races = 0u64;
+    for seed in 0..64u64 {
+        let mut spec = CaseSpec::generate(seed, &GenConfig::concurrent());
+        // The containment property is only interesting with real
+        // parallelism; force at least two workers (specs are plain data,
+        // and the builder guards the pool on helpers existing).
+        spec.threads = spec.threads.max(2);
+        let program = spec.program();
+        let report = check_program(&program);
+        let mut machine = spec.build();
+        let mut tool = HelgrindTool::new();
+        machine
+            .run_with(&mut tool)
+            .unwrap_or_else(|e| panic!("seed {seed} ({}): guest error: {e}", spec.summary()));
+        ran_concurrent += 1;
+        for addr in tool.racy_addresses() {
+            dynamic_races += 1;
+            assert!(
+                report.races.covers_addr(addr),
+                "seed {seed} ({}): dynamic race on cell {addr} missing from static \
+                 candidates (cells {:?})",
+                spec.summary(),
+                report.races.cells
+            );
+        }
+    }
+    assert_eq!(ran_concurrent, 64, "all 64 generated programs must run");
+    // The corpus shares cells across unlocked worker accesses, so some
+    // dynamic races must actually occur — otherwise this test is vacuous.
+    assert!(dynamic_races > 0, "no dynamic race across 64 concurrent programs (vacuous test)");
+}

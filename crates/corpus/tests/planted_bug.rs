@@ -1,0 +1,70 @@
+//! Mutation testing of the harness itself: deliberately planted profiler
+//! bugs must be *caught* by the oracles and *shrunk* to a tiny CFG.
+//!
+//! This is the acceptance test for the whole differential pipeline — a
+//! harness that can't catch a seeded bug proves nothing about the real
+//! profilers.
+
+use aprof_corpus::{run_fuzz, FuzzConfig, GenConfig, Mutation, Oracle};
+
+fn hunt(profile: GenConfig, mutation: Mutation) -> aprof_corpus::FuzzOutcome {
+    run_fuzz(&FuzzConfig {
+        seed: 1,
+        cases: 16,
+        profile,
+        mutation: Some(mutation),
+        ..FuzzConfig::default()
+    })
+}
+
+#[test]
+fn dropped_kernel_input_is_caught_and_shrunk_small() {
+    let outcome = hunt(GenConfig::kernel(), Mutation::DropKernelInput);
+    assert!(!outcome.failures.is_empty(), "planted bug missed:\n{}", outcome.report);
+    let best = outcome.failures.iter().min_by_key(|f| f.minimal_blocks).unwrap();
+    assert!(
+        best.minimal_blocks < 20,
+        "minimal CFG has {} blocks, want <20:\n{}",
+        best.minimal_blocks,
+        best.minimal_asm
+    );
+    assert!(
+        best.minimal_failure.contains(Oracle::NaiveVsEngine.name()),
+        "wrong oracle fired: {}",
+        best.minimal_failure
+    );
+    // The shrunk reproducer is a real, reprintable guest program.
+    assert!(
+        aprof_vm::asm::parse(&best.minimal_asm).is_ok(),
+        "minimal asm does not round-trip:\n{}",
+        best.minimal_asm
+    );
+}
+
+#[test]
+fn dropped_reads_are_caught() {
+    let outcome = hunt(GenConfig::sequential(), Mutation::DropEveryNthRead(2));
+    assert!(!outcome.failures.is_empty(), "planted read-drop missed:\n{}", outcome.report);
+    let best = outcome.failures.iter().min_by_key(|f| f.minimal_blocks).unwrap();
+    assert!(best.minimal_blocks < 20, "shrunk to {} blocks:\n{}", best.minimal_blocks, best.minimal_asm);
+}
+
+#[test]
+fn scaled_costs_are_caught() {
+    let outcome = hunt(GenConfig::sequential(), Mutation::ScaleNthCost(2));
+    assert!(!outcome.failures.is_empty(), "planted cost bug missed:\n{}", outcome.report);
+}
+
+/// Shrinking must preserve the failure: the minimal spec still fails, and
+/// its rendered report says so (no "no longer reproduces" escapes).
+#[test]
+fn shrunk_reproducers_still_fail() {
+    let outcome = hunt(GenConfig::kernel(), Mutation::DropKernelInput);
+    for f in &outcome.failures {
+        assert!(
+            !f.minimal_failure.contains("no longer reproduces"),
+            "case {}: shrinking lost the failure",
+            f.index
+        );
+    }
+}

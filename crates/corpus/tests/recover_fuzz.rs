@@ -1,0 +1,35 @@
+//! Crash-safety over the fuzzed corpus: kill/recover/replay differentials
+//! on *generated* programs (the wire crate's own recovery tests use
+//! hand-written captures; this extends them to arbitrary CFG shapes).
+
+use aprof_corpus::{crash_recovery_round, run_fuzz, CaseSpec, FuzzConfig, GenConfig};
+
+#[test]
+fn torn_captures_of_generated_programs_salvage_to_replayable_prefixes() {
+    for seed in 0..32u64 {
+        let spec = CaseSpec::generate(seed.wrapping_mul(0x9E37_79B9), &GenConfig::mixed());
+        crash_recovery_round(&spec, seed)
+            .unwrap_or_else(|e| panic!("seed {seed} ({}): {e}", spec.summary()));
+    }
+}
+
+#[test]
+fn concurrent_captures_survive_crashes_too() {
+    for seed in 0..16u64 {
+        let mut spec = CaseSpec::generate(seed, &GenConfig::concurrent());
+        spec.threads = spec.threads.max(2);
+        crash_recovery_round(&spec, seed)
+            .unwrap_or_else(|e| panic!("seed {seed} ({}): {e}", spec.summary()));
+    }
+}
+
+/// The `--faults` sweep wires the crash differential into the harness: it
+/// must pass on a clean corpus and stay jobs-invariant.
+#[test]
+fn faulted_sweep_passes_and_stays_jobs_invariant() {
+    let base = FuzzConfig { seed: 7, cases: 8, faults: true, ..FuzzConfig::default() };
+    let one = run_fuzz(&FuzzConfig { jobs: 1, ..base });
+    assert!(one.failures.is_empty(), "{}", one.report);
+    let four = run_fuzz(&FuzzConfig { jobs: 4, ..base });
+    assert_eq!(four.report, one.report, "--faults sweep not jobs-invariant");
+}

@@ -18,8 +18,12 @@
 //!
 //! Differences from upstream: generation is driven by a splitmix64 PRNG
 //! seeded deterministically per test (so CI runs are reproducible without a
-//! seed file), and failing cases are *not* shrunk — the panic message
-//! carries the seed, which the regressions file persists for replay.
+//! seed file), and the `proptest!` runner does *not* shrink — the panic
+//! message carries the seed, which the regressions file persists for
+//! replay. Shrinking is available out-of-band instead: value types that
+//! implement [`shrink::Shrink`] can be reduced to a locally-minimal failing
+//! value with [`shrink::shrink_to_minimal`] (the fuzz corpus uses this to
+//! report minimal failing guest CFGs).
 
 #![forbid(unsafe_code)]
 
@@ -27,6 +31,7 @@ use std::marker::PhantomData;
 use std::rc::Rc;
 
 pub mod runner;
+pub mod shrink;
 
 /// Deterministic splitmix64 generator used for all value generation.
 #[derive(Debug, Clone)]
@@ -371,6 +376,7 @@ impl Default for ProptestConfig {
 
 /// Everything a test file needs: `use proptest::prelude::*;`.
 pub mod prelude {
+    pub use crate::shrink::{shrink_to_minimal, Shrink};
     pub use crate::{
         any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy,
         Just, ProptestConfig, Strategy, TestRng, Union,

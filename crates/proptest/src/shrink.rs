@@ -1,0 +1,180 @@
+//! Failure shrinking: reduce a failing value to a (locally) minimal one.
+//!
+//! Upstream proptest shrinks through its strategy tree; this stand-in keeps
+//! the API surface small instead: a value type opts into shrinking by
+//! implementing [`Shrink`], proposing a bounded list of strictly-simpler
+//! candidates, and [`shrink_to_minimal`] drives a greedy descent — replace
+//! the current failure with the first candidate that still fails, repeat
+//! until no candidate fails (a local minimum) or the step budget runs out.
+//!
+//! The contract on [`Shrink::shrink_candidates`] is that every candidate is
+//! *simpler* than `self` under some well-founded measure (fewer elements,
+//! smaller magnitude, shallower nesting). The driver does not verify this;
+//! a candidate as complex as its parent risks a non-terminating descent,
+//! which is why the driver also enforces `max_steps`.
+//!
+//! # Example
+//!
+//! ```
+//! use proptest::shrink::{shrink_to_minimal, Shrink};
+//!
+//! // Failure: the vector contains at least 3 elements >= 10.
+//! let fails = |v: &Vec<u64>| v.iter().filter(|&&x| x >= 10).count() >= 3;
+//! let start = vec![1, 17, 2, 30, 99, 4, 12, 8];
+//! assert!(fails(&start));
+//! let minimal = shrink_to_minimal(start, 10_000, fails);
+//! assert!(minimal.iter().filter(|&&x| x >= 10).count() >= 3);
+//! assert_eq!(minimal.len(), 3, "every irrelevant element was removed");
+//! ```
+
+/// Types that can propose strictly-simpler variants of themselves.
+pub trait Shrink: Sized {
+    /// Proposes candidates simpler than `self`, most aggressive first.
+    ///
+    /// Returning an empty vector means `self` cannot be simplified further.
+    fn shrink_candidates(&self) -> Vec<Self>;
+}
+
+/// Greedily shrinks `value` while `still_fails` keeps returning `true`.
+///
+/// `value` must itself be failing (`still_fails(&value)` is not
+/// re-checked). At most `max_steps` candidates are *tested*; the budget
+/// bounds total work when the predicate is expensive (each test of a
+/// candidate counts, not each accepted step).
+pub fn shrink_to_minimal<T: Shrink>(
+    mut value: T,
+    max_steps: usize,
+    mut still_fails: impl FnMut(&T) -> bool,
+) -> T {
+    let mut budget = max_steps;
+    'outer: loop {
+        for candidate in value.shrink_candidates() {
+            if budget == 0 {
+                return value;
+            }
+            budget -= 1;
+            if still_fails(&candidate) {
+                value = candidate;
+                continue 'outer;
+            }
+        }
+        return value;
+    }
+}
+
+macro_rules! impl_shrink_uint {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            /// Candidates: 0, the half, then a bisection ladder
+            /// `v - v/4, v - v/8, …, v - 1` — so a monotone failure
+            /// boundary is found in O(log²) predicate tests instead of a
+            /// linear −1 descent.
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let v = *self;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0, v / 2];
+                let mut delta = v / 4;
+                while delta > 0 {
+                    out.push(v - delta);
+                    delta /= 2;
+                }
+                out.push(v - 1);
+                out.retain(|&c| c < v);
+                out.dedup();
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_uint!(u8, u16, u32, u64, usize);
+
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    /// Candidates: drop the whole tail half, drop each element, then
+    /// shrink each element in place.
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if self.is_empty() {
+            return out;
+        }
+        if self.len() > 1 {
+            out.push(self[..self.len() / 2].to_vec());
+        }
+        for i in 0..self.len() {
+            let mut v = self.clone();
+            v.remove(i);
+            out.push(v);
+        }
+        for i in 0..self.len() {
+            for c in self[i].shrink_candidates() {
+                let mut v = self.clone();
+                v[i] = c;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_shrink_to_smallest_failing() {
+        // Failure: value >= 13. Minimum is exactly 13.
+        let min = shrink_to_minimal(200u64, 10_000, |&v| v >= 13);
+        assert_eq!(min, 13);
+    }
+
+    #[test]
+    fn zero_has_no_candidates() {
+        assert!(0u32.shrink_candidates().is_empty());
+        assert_eq!(shrink_to_minimal(0u32, 100, |_| true), 0);
+    }
+
+    #[test]
+    fn vectors_drop_irrelevant_elements() {
+        // Failure: contains a 7. Minimal failing vector is [7] (element
+        // shrinking cannot remove the 7 itself without passing).
+        let start = vec![1u64, 9, 7, 3, 7, 2];
+        let min = shrink_to_minimal(start, 100_000, |v: &Vec<u64>| v.contains(&7));
+        assert_eq!(min, vec![7]);
+    }
+
+    #[test]
+    fn vector_elements_shrink_in_place() {
+        // Failure: sum >= 10; greedy descent reaches a local minimum where
+        // nothing can be removed or reduced.
+        let start = vec![50u64, 60];
+        let min = shrink_to_minimal(start, 100_000, |v: &Vec<u64>| v.iter().sum::<u64>() >= 10);
+        assert_eq!(min.iter().sum::<u64>(), 10, "local minimum: {min:?}");
+        assert_eq!(min.len(), 1, "one element suffices to reach 10");
+    }
+
+    #[test]
+    fn step_budget_bounds_work() {
+        // With a zero budget the value comes back untouched.
+        let min = shrink_to_minimal(vec![5u64; 8], 0, |_| true);
+        assert_eq!(min, vec![5u64; 8]);
+        // Tiny budgets stop mid-descent without panicking.
+        let min = shrink_to_minimal(1024u64, 3, |&v| v >= 1);
+        assert!(min >= 1);
+    }
+
+    /// The shrinker itself, property-tested: the result always still fails
+    /// and never got more complex (for integers: never larger).
+    #[test]
+    fn result_still_fails_and_never_grows() {
+        for seed in 0..200u64 {
+            let start = (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) | 1;
+            let threshold = start / 3 + 1;
+            let min = shrink_to_minimal(start, 10_000, |&v| v >= threshold);
+            assert!(min >= threshold, "shrunk value passed: {min} < {threshold}");
+            assert!(min <= start, "shrunk value grew: {min} > {start}");
+            assert_eq!(min, threshold, "greedy integer descent finds the boundary");
+        }
+    }
+}

@@ -1,0 +1,629 @@
+//! `kvstore`: a B+-tree storage engine guest.
+//!
+//! The production pattern behind embedded key/value stores (InnoDB's
+//! clustered index, LMDB, LevelDB's memtable): a sorted tree of fixed-fanout
+//! nodes, a leaf chain for range scans, node splits on overflow, and a
+//! coarse tree latch serializing concurrent clients. The guest implements a
+//! two-level B+-tree honestly:
+//!
+//! * leaves hold up to [`FANOUT`] sorted `(key, val)` pairs plus a
+//!   `next_leaf` link (layout `[nkeys, next_leaf, keys[4], vals[4]]`);
+//! * a root directory maps each leaf's minimum key to its address;
+//! * `bt_insert` upserts (keys stay unique), splitting full leaves via
+//!   `bt_split`, which moves the upper half into a fresh leaf, relinks the
+//!   chain and shifts the directory;
+//! * `bt_delete` removes in place (no merge — lazy deletion, as real
+//!   engines do);
+//! * `bt_scan` walks the whole leaf chain.
+//!
+//! `threads` client threads each pull an op stream from their own device
+//! (external input) and run it against the shared tree under the latch, so
+//! `bt_find_leaf`'s cost grows with the directory the *other* clients built
+//! — the input-sensitive profile a wall-clock profiler cannot attribute.
+
+use crate::helpers::{emit_join_all, emit_spawn_workers};
+use crate::{Family, Workload, WorkloadParams};
+use aprof_vm::builder::ProgramBuilder;
+use aprof_vm::device::SyntheticSource;
+use aprof_vm::ir::CmpOp;
+use aprof_vm::{Machine, MachineConfig};
+
+/// Registry entries for this module.
+pub fn workloads() -> Vec<Workload> {
+    vec![Workload {
+        name: "kvstore",
+        family: Family::Service,
+        description: "B+-tree storage engine: concurrent upsert/get/delete op \
+                      streams with leaf splits, plus a full leaf-chain scan",
+        build: kvstore,
+    }]
+}
+
+/// Keys per leaf before a split.
+pub const FANOUT: i64 = 4;
+/// Leaf layout: `[nkeys, next_leaf, keys[FANOUT], vals[FANOUT]]`.
+const LEAF_CELLS: i64 = 2 + 2 * FANOUT;
+const KEYS_OFF: i64 = 2;
+const VALS_OFF: i64 = 2 + FANOUT;
+/// The coarse tree latch.
+const LOCK_TREE: i64 = 70;
+
+/// The deterministic value stored for `key` (shared by guest and the test
+/// mirror).
+pub fn value_of(key: i64) -> i64 {
+    key * 2 + 1
+}
+
+/// Host-side mirror of the guest's per-client device stream: the op decode
+/// applied to [`SyntheticSource`]'s xorshift cells.
+pub fn mirror_stream(seed: u64, ops: u64, keyspace: i64) -> Vec<(i64, i64)> {
+    let mut state = seed.max(1);
+    (0..ops)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let v = (state >> 16) as i64;
+            (v % 4, (v / 4) % keyspace)
+        })
+        .collect()
+}
+
+fn kvstore(params: &WorkloadParams) -> Machine {
+    let clients = params.threads.max(1) as i64;
+    let ops = params.size as i64;
+    let preload = params.size as i64;
+    let keyspace = (2 * params.size as i64).max(8);
+    // Every insert adds at most one leaf; two directory cells per leaf.
+    let dir_cap = 2 * (preload + clients * ops + 2);
+
+    let mut p = ProgramBuilder::new();
+    let main = p.declare("main", 0);
+    let client = p.declare("client_session", 4); // (idx, tree, ops, keyspace)
+    let find = p.declare("bt_find_leaf", 2); // (tree, key) -> dir index
+    let insert = p.declare("bt_insert", 3); // (tree, key, val)
+    let split = p.declare("bt_split", 2); // (tree, dir index)
+    let get = p.declare("bt_get", 2); // (tree, key) -> val or 0
+    let delete = p.declare("bt_delete", 2); // (tree, key)
+    let scan = p.declare("bt_scan", 1); // (tree) -> sum of vals
+
+    {
+        // bt_find_leaf: last directory slot whose min key <= key (slot 0
+        // covers everything below; keys are non-negative and dir[0] starts
+        // at 0). Branch-free select keeps the CFG linear in the scan.
+        let mut f = p.function(find);
+        let tree = f.param(0);
+        let key = f.param(1);
+        let dir = f.temp();
+        f.load(dir, tree, 0);
+        let ndir = f.temp();
+        f.load(ndir, tree, 1);
+        let idx = f.const_temp(0);
+        f.for_range(ndir, |f, j| {
+            let entry = f.temp();
+            f.add(entry, j, j);
+            f.add(entry, dir, entry);
+            let min = f.temp();
+            f.load(min, entry, 0);
+            let le = f.temp();
+            f.cmp(CmpOp::Le, le, min, key);
+            // idx = le ? j : idx
+            let delta = f.temp();
+            f.sub(delta, j, idx);
+            f.mul(delta, delta, le);
+            f.add(idx, idx, delta);
+        });
+        f.ret(Some(idx));
+    }
+    {
+        // bt_split(tree, i): split the full leaf at directory slot i,
+        // moving its upper half into a fresh leaf spliced into the chain
+        // and the directory.
+        let mut f = p.function(split);
+        let tree = f.param(0);
+        let i = f.param(1);
+        let dir = f.temp();
+        f.load(dir, tree, 0);
+        let ndir = f.temp();
+        f.load(ndir, tree, 1);
+        let slot = f.temp();
+        f.add(slot, i, i);
+        f.add(slot, dir, slot);
+        let leaf = f.temp();
+        f.load(leaf, slot, 1);
+        let cells = f.const_temp(LEAF_CELLS);
+        let fresh = f.temp();
+        f.alloc(fresh, cells);
+        let half = f.const_temp(FANOUT / 2);
+        f.for_range(half, |f, j| {
+            let src = f.temp();
+            f.add(src, leaf, j);
+            let k = f.temp();
+            f.load(k, src, KEYS_OFF + FANOUT / 2);
+            let v = f.temp();
+            f.load(v, src, VALS_OFF + FANOUT / 2);
+            let dst = f.temp();
+            f.add(dst, fresh, j);
+            f.store(k, dst, KEYS_OFF);
+            f.store(v, dst, VALS_OFF);
+        });
+        f.store(half, leaf, 0);
+        f.store(half, fresh, 0);
+        let next = f.temp();
+        f.load(next, leaf, 1);
+        f.store(next, fresh, 1);
+        f.store(fresh, leaf, 1);
+        // Shift directory entries (i+1..ndir) one slot right, top down.
+        let shift = f.temp();
+        f.sub(shift, ndir, i);
+        f.add_imm(shift, shift, -1);
+        let one = f.const_temp(1);
+        f.for_range(shift, |f, j| {
+            let s = f.temp();
+            f.sub(s, ndir, one);
+            f.sub(s, s, j);
+            let src = f.temp();
+            f.add(src, s, s);
+            f.add(src, dir, src);
+            let k = f.temp();
+            f.load(k, src, 0);
+            let v = f.temp();
+            f.load(v, src, 1);
+            f.store(k, src, 2);
+            f.store(v, src, 3);
+        });
+        let mink = f.temp();
+        f.load(mink, fresh, KEYS_OFF);
+        let dst = f.temp();
+        f.add(dst, i, one);
+        f.add(dst, dst, dst);
+        f.add(dst, dir, dst);
+        f.store(mink, dst, 0);
+        f.store(fresh, dst, 1);
+        f.add(ndir, ndir, one);
+        f.store(ndir, tree, 1);
+        f.ret(None);
+    }
+    {
+        // bt_insert: upsert. Existing key -> overwrite val in place; new
+        // key -> sorted insert, splitting first when the leaf is full.
+        let mut f = p.function(insert);
+        let tree = f.param(0);
+        let key = f.param(1);
+        let val = f.param(2);
+        let idx = f.temp();
+        f.call(Some(idx), find, &[tree, key]);
+        let dir = f.temp();
+        f.load(dir, tree, 0);
+        let slot = f.temp();
+        f.add(slot, idx, idx);
+        f.add(slot, dir, slot);
+        let leaf = f.temp();
+        f.load(leaf, slot, 1);
+        let n = f.temp();
+        f.load(n, leaf, 0);
+        // Upsert scan: pos of exact match, else n.
+        let pos = f.temp();
+        f.mov(pos, n);
+        f.for_range(n, |f, j| {
+            let cell = f.temp();
+            f.add(cell, leaf, j);
+            let k = f.temp();
+            f.load(k, cell, KEYS_OFF);
+            let hit = f.temp();
+            f.cmp(CmpOp::Eq, hit, k, key);
+            let first = f.temp();
+            f.cmp(CmpOp::Eq, first, pos, n);
+            f.mul(hit, hit, first);
+            let delta = f.temp();
+            f.sub(delta, j, pos);
+            f.mul(delta, delta, hit);
+            f.add(pos, pos, delta);
+        });
+        let found = f.temp();
+        f.cmp(CmpOp::Lt, found, pos, n);
+        let overwrite = f.new_block();
+        let miss = f.new_block();
+        let out = f.new_block();
+        f.br(found, overwrite, miss);
+
+        f.switch_to(overwrite);
+        let cell = f.temp();
+        f.add(cell, leaf, pos);
+        f.store(val, cell, VALS_OFF);
+        f.jmp(out);
+
+        f.switch_to(miss);
+        let cap = f.const_temp(FANOUT);
+        let full = f.temp();
+        f.cmp(CmpOp::Eq, full, n, cap);
+        let do_split = f.new_block();
+        let place = f.new_block();
+        f.br(full, do_split, place);
+
+        f.switch_to(do_split);
+        f.call(None, split, &[tree, idx]);
+        f.call(Some(idx), find, &[tree, key]);
+        f.load(dir, tree, 0);
+        f.add(slot, idx, idx);
+        f.add(slot, dir, slot);
+        f.load(leaf, slot, 1);
+        f.load(n, leaf, 0);
+        f.jmp(place);
+
+        f.switch_to(place);
+        // Insertion point: first j with leaf.key[j] > key, else n.
+        let ins = f.temp();
+        f.mov(ins, n);
+        f.for_range(n, |f, j| {
+            let c = f.temp();
+            f.add(c, leaf, j);
+            let k = f.temp();
+            f.load(k, c, KEYS_OFF);
+            let gt = f.temp();
+            f.cmp(CmpOp::Gt, gt, k, key);
+            let first = f.temp();
+            f.cmp(CmpOp::Eq, first, ins, n);
+            f.mul(gt, gt, first);
+            let delta = f.temp();
+            f.sub(delta, j, ins);
+            f.mul(delta, delta, gt);
+            f.add(ins, ins, delta);
+        });
+        // Shift (ins..n) right, top down.
+        let shift = f.temp();
+        f.sub(shift, n, ins);
+        let one = f.const_temp(1);
+        f.for_range(shift, |f, j| {
+            let s = f.temp();
+            f.sub(s, n, one);
+            f.sub(s, s, j);
+            let c = f.temp();
+            f.add(c, leaf, s);
+            let k = f.temp();
+            f.load(k, c, KEYS_OFF);
+            let v = f.temp();
+            f.load(v, c, VALS_OFF);
+            f.store(k, c, KEYS_OFF + 1);
+            f.store(v, c, VALS_OFF + 1);
+        });
+        let c2 = f.temp();
+        f.add(c2, leaf, ins);
+        f.store(key, c2, KEYS_OFF);
+        f.store(val, c2, VALS_OFF);
+        f.add(n, n, one);
+        f.store(n, leaf, 0);
+        // Keep the directory's min key a true lower bound.
+        let min = f.temp();
+        f.load(min, slot, 0);
+        let lt = f.temp();
+        f.cmp(CmpOp::Lt, lt, key, min);
+        let delta = f.temp();
+        f.sub(delta, key, min);
+        f.mul(delta, delta, lt);
+        f.add(min, min, delta);
+        f.store(min, slot, 0);
+        f.jmp(out);
+
+        f.switch_to(out);
+        f.ret(None);
+    }
+    {
+        // bt_get: sum of vals at exact matches in the key's leaf (0 or one
+        // match since keys are unique).
+        let mut f = p.function(get);
+        let tree = f.param(0);
+        let key = f.param(1);
+        let idx = f.temp();
+        f.call(Some(idx), find, &[tree, key]);
+        let dir = f.temp();
+        f.load(dir, tree, 0);
+        let slot = f.temp();
+        f.add(slot, idx, idx);
+        f.add(slot, dir, slot);
+        let leaf = f.temp();
+        f.load(leaf, slot, 1);
+        let n = f.temp();
+        f.load(n, leaf, 0);
+        let acc = f.const_temp(0);
+        f.for_range(n, |f, j| {
+            let c = f.temp();
+            f.add(c, leaf, j);
+            let k = f.temp();
+            f.load(k, c, KEYS_OFF);
+            let hit = f.temp();
+            f.cmp(CmpOp::Eq, hit, k, key);
+            let v = f.temp();
+            f.load(v, c, VALS_OFF);
+            f.mul(v, v, hit);
+            f.add(acc, acc, v);
+        });
+        f.ret(Some(acc));
+    }
+    {
+        // bt_delete: remove the key from its leaf by shifting left. Lazy —
+        // leaves are never merged and may go empty, like real engines
+        // deferring compaction.
+        let mut f = p.function(delete);
+        let tree = f.param(0);
+        let key = f.param(1);
+        let idx = f.temp();
+        f.call(Some(idx), find, &[tree, key]);
+        let dir = f.temp();
+        f.load(dir, tree, 0);
+        let slot = f.temp();
+        f.add(slot, idx, idx);
+        f.add(slot, dir, slot);
+        let leaf = f.temp();
+        f.load(leaf, slot, 1);
+        let n = f.temp();
+        f.load(n, leaf, 0);
+        let pos = f.temp();
+        f.mov(pos, n);
+        f.for_range(n, |f, j| {
+            let c = f.temp();
+            f.add(c, leaf, j);
+            let k = f.temp();
+            f.load(k, c, KEYS_OFF);
+            let hit = f.temp();
+            f.cmp(CmpOp::Eq, hit, k, key);
+            let first = f.temp();
+            f.cmp(CmpOp::Eq, first, pos, n);
+            f.mul(hit, hit, first);
+            let delta = f.temp();
+            f.sub(delta, j, pos);
+            f.mul(delta, delta, hit);
+            f.add(pos, pos, delta);
+        });
+        let found = f.temp();
+        f.cmp(CmpOp::Lt, found, pos, n);
+        let remove = f.new_block();
+        let out = f.new_block();
+        f.br(found, remove, out);
+
+        f.switch_to(remove);
+        let shift = f.temp();
+        f.sub(shift, n, pos);
+        let one = f.const_temp(1);
+        f.sub(shift, shift, one);
+        f.for_range(shift, |f, j| {
+            let s = f.temp();
+            f.add(s, pos, j);
+            let c = f.temp();
+            f.add(c, leaf, s);
+            let k = f.temp();
+            f.load(k, c, KEYS_OFF + 1);
+            let v = f.temp();
+            f.load(v, c, VALS_OFF + 1);
+            f.store(k, c, KEYS_OFF);
+            f.store(v, c, VALS_OFF);
+        });
+        f.sub(n, n, one);
+        f.store(n, leaf, 0);
+        f.jmp(out);
+
+        f.switch_to(out);
+        f.ret(None);
+    }
+    {
+        // bt_scan: walk the leaf chain from the leftmost leaf, summing
+        // every stored value — the range-scan cost of the whole store.
+        let mut f = p.function(scan);
+        let tree = f.param(0);
+        let dir = f.temp();
+        f.load(dir, tree, 0);
+        let cur = f.temp();
+        f.load(cur, dir, 1);
+        let acc = f.const_temp(0);
+        let zero = f.const_temp(0);
+        f.loop_while(cur, |f, cur| {
+            let n = f.temp();
+            f.load(n, cur, 0);
+            f.for_range(n, |f, j| {
+                let c = f.temp();
+                f.add(c, cur, j);
+                let v = f.temp();
+                f.load(v, c, VALS_OFF);
+                f.add(acc, acc, v);
+            });
+            let next = f.temp();
+            f.load(next, cur, 1);
+            f.mov(cur, next);
+            let more = f.temp();
+            f.cmp(CmpOp::Ne, more, cur, zero);
+            more
+        });
+        f.ret(Some(acc));
+    }
+    {
+        // client_session(idx, tree, ops, keyspace): replay an op stream
+        // pulled from the client's own connection device (fd = idx) against
+        // the shared tree, one latch hold per op.
+        let mut f = p.function(client);
+        let idx = f.param(0);
+        let tree = f.param(1);
+        let ops = f.param(2);
+        let ks = f.param(3);
+        let buf = f.temp();
+        f.alloc(buf, ops);
+        let got = f.temp();
+        f.sys_read(got, idx, buf, ops);
+        let lock = f.const_temp(LOCK_TREE);
+        let four = f.const_temp(4);
+        let acc = f.const_temp(0);
+        f.for_range(ops, |f, j| {
+            let cell = f.temp();
+            f.add(cell, buf, j);
+            let v = f.temp();
+            f.load(v, cell, 0);
+            let kind = f.temp();
+            f.rem(kind, v, four);
+            let key = f.temp();
+            f.div(key, v, four);
+            f.rem(key, key, ks);
+            f.acquire(lock);
+            let one = f.const_temp(1);
+            let two = f.const_temp(2);
+            let is_write = f.temp();
+            f.cmp(CmpOp::Le, is_write, kind, one);
+            let wbb = f.new_block();
+            let robb = f.new_block();
+            let getbb = f.new_block();
+            let delbb = f.new_block();
+            let done = f.new_block();
+            f.br(is_write, wbb, robb);
+
+            f.switch_to(wbb);
+            let val = f.temp();
+            f.add(val, key, key);
+            f.add_imm(val, val, 1); // value_of(key)
+            f.call(None, insert, &[tree, key, val]);
+            f.jmp(done);
+
+            f.switch_to(robb);
+            let is_get = f.temp();
+            f.cmp(CmpOp::Eq, is_get, kind, two);
+            f.br(is_get, getbb, delbb);
+
+            f.switch_to(getbb);
+            let r = f.temp();
+            f.call(Some(r), get, &[tree, key]);
+            f.add(acc, acc, r);
+            f.jmp(done);
+
+            f.switch_to(delbb);
+            f.call(None, delete, &[tree, key]);
+            f.jmp(done);
+
+            f.switch_to(done);
+            f.release(lock);
+        });
+        f.ret(Some(acc));
+    }
+    {
+        let mut f = p.function(main);
+        // Bootstrap: directory with one empty leaf covering all keys >= 0.
+        let two = f.const_temp(2);
+        let tree = f.temp();
+        f.alloc(tree, two);
+        let cap = f.const_temp(dir_cap);
+        let dir = f.temp();
+        f.alloc(dir, cap);
+        let cells = f.const_temp(LEAF_CELLS);
+        let leaf0 = f.temp();
+        f.alloc(leaf0, cells);
+        let zero = f.const_temp(0);
+        f.store(zero, leaf0, 0);
+        f.store(zero, leaf0, 1);
+        f.store(zero, dir, 0);
+        f.store(leaf0, dir, 1);
+        f.store(dir, tree, 0);
+        let one = f.const_temp(1);
+        f.store(one, tree, 1);
+        // Preload a deterministic key set before any client starts.
+        let preload_r = f.const_temp(preload);
+        let ks = f.const_temp(keyspace);
+        let seven = f.const_temp(7);
+        let three = f.const_temp(3);
+        f.for_range(preload_r, |f, i| {
+            let key = f.temp();
+            f.mul(key, i, seven);
+            f.add(key, key, three);
+            f.rem(key, key, ks);
+            let val = f.temp();
+            f.add(val, key, key);
+            f.add_imm(val, val, 1);
+            f.call(None, insert, &[tree, key, val]);
+        });
+        // Concurrent client sessions.
+        let clients_r = f.const_temp(clients);
+        let ops_r = f.const_temp(ops);
+        let handles = emit_spawn_workers(&mut f, client, clients_r, &[tree, ops_r, ks]);
+        emit_join_all(&mut f, handles, clients_r);
+        // Final full-range scan is the exit value (checked against a
+        // host-side BTreeMap mirror in the single-client test).
+        let sum = f.temp();
+        f.call(Some(sum), scan, &[tree]);
+        f.ret(Some(sum));
+    }
+
+    let mut m = Machine::new(p.build().expect("valid kvstore program"))
+        .with_config(MachineConfig { quantum: 16, ..MachineConfig::default() });
+    for c in 0..clients {
+        m.add_device(Box::new(SyntheticSource::new(
+            client_seed(params.seed, c as u64),
+            ops as u64,
+        )));
+    }
+    m
+}
+
+/// The device seed for client `c` (shared with the test mirror).
+pub fn client_seed(seed: u64, c: u64) -> u64 {
+    (seed ^ (c << 32)) | 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aprof_core::{InputPolicy, TrmsProfiler};
+    use std::collections::BTreeMap;
+
+    fn run(params: &WorkloadParams) -> i64 {
+        let wl = crate::by_name("kvstore").unwrap();
+        let mut m = wl.build(params);
+        m.run_native().expect("kvstore run").exit_value.expect("scan sum")
+    }
+
+    /// Single-client run against a host BTreeMap mirror: the guest's final
+    /// leaf-chain scan must equal the mirror's value sum exactly.
+    #[test]
+    fn kvstore_matches_reference_btreemap() {
+        let params = WorkloadParams { size: 64, threads: 1, seed: 0xBEE5 };
+        let keyspace = (2 * params.size as i64).max(8);
+        let mut mirror: BTreeMap<i64, i64> = BTreeMap::new();
+        for i in 0..params.size as i64 {
+            let key = (i * 7 + 3) % keyspace;
+            mirror.insert(key, value_of(key));
+        }
+        for (kind, key) in mirror_stream(client_seed(params.seed, 0), params.size, keyspace)
+        {
+            match kind {
+                0 | 1 => {
+                    mirror.insert(key, value_of(key));
+                }
+                2 => {}
+                _ => {
+                    mirror.remove(&key);
+                }
+            }
+        }
+        let expected: i64 = mirror.values().sum();
+        assert_eq!(run(&params), expected, "guest tree diverged from BTreeMap mirror");
+    }
+
+    /// Splits must actually happen at test sizes, or the tree code is
+    /// untested: the preload alone stores `size` unique-ish keys in
+    /// fanout-4 leaves.
+    #[test]
+    fn kvstore_exercises_splits() {
+        let wl = crate::by_name("kvstore").unwrap();
+        let mut m = wl.build(&WorkloadParams { size: 48, threads: 2, seed: 11 });
+        let names = m.program().routines().clone();
+        let mut prof = TrmsProfiler::with_policy(InputPolicy::full());
+        m.run_with(&mut prof).expect("kvstore run");
+        let rep = prof.into_report(&names);
+        let sp = rep.routine_by_name("bt_split").expect("bt_split profiled");
+        assert!(sp.merged.calls > 4, "only {} splits at size 48", sp.merged.calls);
+        // bt_find_leaf sees a growing directory: many distinct rms values.
+        let fl = rep.routine_by_name("bt_find_leaf").unwrap();
+        assert!(fl.distinct_rms() >= 4, "directory never grew");
+    }
+
+    /// Concurrent runs are deterministic and survive a bigger pool.
+    #[test]
+    fn kvstore_is_deterministic_under_concurrency() {
+        let params = WorkloadParams { size: 32, threads: 4, seed: 9 };
+        assert_eq!(run(&params), run(&params));
+    }
+}

@@ -1,0 +1,376 @@
+//! `docpipe`: a parse → transform → render document pipeline guest.
+//!
+//! The production pattern behind typesetters, asset pipelines and ETL jobs:
+//! one parser thread pulls raw documents off the wire, a pool of transform
+//! workers does the heavy per-document computation, and a single renderer
+//! serializes results out — stages coupled by bounded rings (semaphore
+//! pairs for space/items, a latch for the multi-consumer and multi-producer
+//! ends). Input sensitivity lives exactly where the paper puts it:
+//!
+//! * the parser's cost is external input (every document cell is a fresh
+//!   `sys_read`);
+//! * each transform re-reads cells *written by the parser thread* —
+//!   thread-induced input, invisible to a profiler that only counts plain
+//!   first accesses;
+//! * the renderer's output cost tracks the transformed sizes (`sys_write`
+//!   to a sink).
+//!
+//! The final checksum is a commutative fold, so the exit value is
+//! independent of how many transform workers raced for the ring — the
+//! module's own invariance test.
+
+use crate::{Family, Workload, WorkloadParams};
+use aprof_vm::builder::ProgramBuilder;
+use aprof_vm::device::{SinkDevice, SyntheticSource};
+use aprof_vm::ir::CmpOp;
+use aprof_vm::{Machine, MachineConfig};
+
+/// Registry entries for this module.
+pub fn workloads() -> Vec<Workload> {
+    vec![Workload {
+        name: "docpipe",
+        family: Family::Service,
+        description: "parse/transform/render pipeline over bounded rings: one \
+                      parser, a transform pool, one renderer",
+        build: docpipe,
+    }]
+}
+
+/// Ring capacity (documents in flight per stage boundary).
+const RING: i64 = 4;
+/// Upper bound on document length in cells.
+const MAXLEN: i64 = 8;
+
+const S1_FREE: i64 = 40;
+const S1_USED: i64 = 41;
+const S2_FREE: i64 = 42;
+const S2_USED: i64 = 43;
+const L_IN: i64 = 45;
+const L_OUT: i64 = 46;
+
+// ctx layout: [0]=ring1 [1]=docbufs [2]=ring2 [3]=outbufs
+//             [4]=N [5]=tail1 [6]=head2 [7]=checksum
+const CTX_CELLS: i64 = 8;
+
+fn docpipe(params: &WorkloadParams) -> Machine {
+    let docs = (params.size as i64).max(1);
+    let pool = params.threads.max(1) as i64;
+
+    let mut p = ProgramBuilder::new();
+    let main = p.declare("main", 0);
+    let parser = p.declare("parse_docs", 1); // (ctx)
+    let transform = p.declare("transform_docs", 1); // (ctx)
+    let render = p.declare("render_docs", 1); // (ctx)
+
+    {
+        // parse_docs: single producer. Reads a length descriptor plus the
+        // document body from the wire (fd 0) into the in-flight buffer for
+        // slot i % RING, then publishes the length.
+        let mut f = p.function(parser);
+        let ctx = f.param(0);
+        let ring1 = f.temp();
+        f.load(ring1, ctx, 0);
+        let docbufs = f.temp();
+        f.load(docbufs, ctx, 1);
+        let n = f.temp();
+        f.load(n, ctx, 4);
+        let fd = f.const_temp(0);
+        let one = f.const_temp(1);
+        let maxbody = f.const_temp(MAXLEN - 1);
+        let maxlen = f.const_temp(MAXLEN);
+        let ring_sz = f.const_temp(RING);
+        let free = f.const_temp(S1_FREE);
+        let used = f.const_temp(S1_USED);
+        let desc = f.temp();
+        f.alloc(desc, one);
+        f.for_range(n, |f, i| {
+            f.sem_wait(free);
+            let got = f.temp();
+            f.sys_read(got, fd, desc, one);
+            let raw = f.temp();
+            f.load(raw, desc, 0);
+            let len = f.temp();
+            f.rem(len, raw, maxbody);
+            f.add(len, len, one);
+            let slot = f.temp();
+            f.rem(slot, i, ring_sz);
+            let dbuf = f.temp();
+            f.mul(dbuf, slot, maxlen);
+            f.add(dbuf, docbufs, dbuf);
+            f.sys_read(got, fd, dbuf, len);
+            let cell = f.temp();
+            f.add(cell, ring1, slot);
+            f.store(len, cell, 0);
+            f.sem_post(used);
+        });
+        f.ret(None);
+    }
+    {
+        // transform_docs: pool worker. Claims the next unconsumed document
+        // (item semaphore + tail counter, atomically under the inlet
+        // latch — the wait happens inside the latch, and the only poster,
+        // the parser, never takes it), copies it through a worker-private
+        // buffer so the ring slot frees early, then publishes the
+        // transformed body to ring2 under the outlet latch so slot claims
+        // and writes stay ordered for the single renderer.
+        let mut f = p.function(transform);
+        let ctx = f.param(0);
+        let ring1 = f.temp();
+        f.load(ring1, ctx, 0);
+        let docbufs = f.temp();
+        f.load(docbufs, ctx, 1);
+        let ring2 = f.temp();
+        f.load(ring2, ctx, 2);
+        let outbufs = f.temp();
+        f.load(outbufs, ctx, 3);
+        let n = f.temp();
+        f.load(n, ctx, 4);
+        let maxlen = f.const_temp(MAXLEN);
+        let ring_sz = f.const_temp(RING);
+        let one = f.const_temp(1);
+        let l_in = f.const_temp(L_IN);
+        let l_out = f.const_temp(L_OUT);
+        let s1_free = f.const_temp(S1_FREE);
+        let s1_used = f.const_temp(S1_USED);
+        let s2_free = f.const_temp(S2_FREE);
+        let s2_used = f.const_temp(S2_USED);
+        let modulus = f.const_temp(997);
+        let tbuf = f.temp();
+        f.alloc(tbuf, maxlen);
+
+        let head = f.new_block();
+        let claim = f.new_block();
+        let done = f.new_block();
+        f.jmp(head);
+
+        f.switch_to(head);
+        f.acquire(l_in);
+        let t = f.temp();
+        f.load(t, ctx, 5);
+        let more = f.temp();
+        f.cmp(CmpOp::Lt, more, t, n);
+        f.br(more, claim, done);
+
+        f.switch_to(claim);
+        f.sem_wait(s1_used);
+        let t1 = f.temp();
+        f.add(t1, t, one);
+        f.store(t1, ctx, 5);
+        let slot = f.temp();
+        f.rem(slot, t, ring_sz);
+        let cell = f.temp();
+        f.add(cell, ring1, slot);
+        let len = f.temp();
+        f.load(len, cell, 0);
+        // Re-read the parser's cells (thread-induced input) into a private
+        // buffer, doing the per-cell transform work — still under the
+        // latch: free permits are fungible, so a slot may only be recycled
+        // once the copies of ALL earlier claims are done, which the
+        // latch-ordered claim+copy guarantees.
+        let dbuf = f.temp();
+        f.mul(dbuf, slot, maxlen);
+        f.add(dbuf, docbufs, dbuf);
+        let acc = f.const_temp(0);
+        f.for_range(len, |f, j| {
+            let c = f.temp();
+            f.add(c, dbuf, j);
+            let v = f.temp();
+            f.load(v, c, 0);
+            f.add(acc, acc, v);
+            let w = f.temp();
+            f.add(w, v, acc);
+            f.rem(w, w, modulus);
+            let o = f.temp();
+            f.add(o, tbuf, j);
+            f.store(w, o, 0);
+        });
+        f.sem_post(s1_free);
+        f.release(l_in);
+        // Publish: claim a ring2 slot and write it within one latch hold.
+        f.acquire(l_out);
+        f.sem_wait(s2_free);
+        let h = f.temp();
+        f.load(h, ctx, 6);
+        let h1 = f.temp();
+        f.add(h1, h, one);
+        f.store(h1, ctx, 6);
+        let slot2 = f.temp();
+        f.rem(slot2, h, ring_sz);
+        let obuf = f.temp();
+        f.mul(obuf, slot2, maxlen);
+        f.add(obuf, outbufs, obuf);
+        f.for_range(len, |f, j| {
+            let s = f.temp();
+            f.add(s, tbuf, j);
+            let v = f.temp();
+            f.load(v, s, 0);
+            let d = f.temp();
+            f.add(d, obuf, j);
+            f.store(v, d, 0);
+        });
+        let cell2 = f.temp();
+        f.add(cell2, ring2, slot2);
+        f.store(len, cell2, 0);
+        f.release(l_out);
+        f.sem_post(s2_used);
+        f.jmp(head);
+
+        f.switch_to(done);
+        f.release(l_in);
+        f.ret(None);
+    }
+    {
+        // render_docs: single consumer. Folds a commutative checksum over
+        // every transformed cell and writes the document to the sink
+        // (fd 1), then frees the slot.
+        let mut f = p.function(render);
+        let ctx = f.param(0);
+        let ring2 = f.temp();
+        f.load(ring2, ctx, 2);
+        let outbufs = f.temp();
+        f.load(outbufs, ctx, 3);
+        let n = f.temp();
+        f.load(n, ctx, 4);
+        let maxlen = f.const_temp(MAXLEN);
+        let ring_sz = f.const_temp(RING);
+        let fd = f.const_temp(1);
+        let s2_free = f.const_temp(S2_FREE);
+        let s2_used = f.const_temp(S2_USED);
+        let sum = f.const_temp(0);
+        f.for_range(n, |f, i| {
+            f.sem_wait(s2_used);
+            let slot = f.temp();
+            f.rem(slot, i, ring_sz);
+            let cell = f.temp();
+            f.add(cell, ring2, slot);
+            let len = f.temp();
+            f.load(len, cell, 0);
+            let obuf = f.temp();
+            f.mul(obuf, slot, maxlen);
+            f.add(obuf, outbufs, obuf);
+            f.for_range(len, |f, j| {
+                let c = f.temp();
+                f.add(c, obuf, j);
+                let v = f.temp();
+                f.load(v, c, 0);
+                f.add(sum, sum, v);
+            });
+            f.add(sum, sum, len);
+            let got = f.temp();
+            f.sys_write(got, fd, obuf, len);
+            f.sem_post(s2_free);
+        });
+        f.store(sum, ctx, 7);
+        f.ret(None);
+    }
+    {
+        let mut f = p.function(main);
+        let ctx_sz = f.const_temp(CTX_CELLS);
+        let ctx = f.temp();
+        f.alloc(ctx, ctx_sz);
+        let ring_sz = f.const_temp(RING);
+        let bufs_sz = f.const_temp(RING * MAXLEN);
+        let ring1 = f.temp();
+        f.alloc(ring1, ring_sz);
+        let docbufs = f.temp();
+        f.alloc(docbufs, bufs_sz);
+        let ring2 = f.temp();
+        f.alloc(ring2, ring_sz);
+        let outbufs = f.temp();
+        f.alloc(outbufs, bufs_sz);
+        f.store(ring1, ctx, 0);
+        f.store(docbufs, ctx, 1);
+        f.store(ring2, ctx, 2);
+        f.store(outbufs, ctx, 3);
+        let n = f.const_temp(docs);
+        f.store(n, ctx, 4);
+        let zero = f.const_temp(0);
+        f.store(zero, ctx, 5);
+        f.store(zero, ctx, 6);
+        f.store(zero, ctx, 7);
+        for key in [S1_FREE, S2_FREE] {
+            let k = f.const_temp(key);
+            f.sem_init(k, ring_sz);
+        }
+        for key in [S1_USED, S2_USED] {
+            let k = f.const_temp(key);
+            f.sem_init(k, zero);
+        }
+        let hp = f.temp();
+        f.spawn(hp, parser, &[ctx]);
+        let pool_r = f.const_temp(pool);
+        let handles = f.temp();
+        f.alloc(handles, pool_r);
+        f.for_range(pool_r, |f, i| {
+            let h = f.temp();
+            f.spawn(h, transform, &[ctx]);
+            let slot = f.temp();
+            f.add(slot, handles, i);
+            f.store(h, slot, 0);
+        });
+        let hr = f.temp();
+        f.spawn(hr, render, &[ctx]);
+        f.join(hp);
+        crate::helpers::emit_join_all(&mut f, handles, pool_r);
+        f.join(hr);
+        let sum = f.temp();
+        f.load(sum, ctx, 7);
+        f.ret(Some(sum));
+    }
+
+    let mut m = Machine::new(p.build().expect("valid docpipe program"))
+        .with_config(MachineConfig { quantum: 12, ..MachineConfig::default() });
+    // Wire: descriptor + body cells per document.
+    m.add_device(Box::new(SyntheticSource::new(
+        params.seed | 1,
+        (docs * MAXLEN) as u64,
+    )));
+    m.add_device(Box::new(SinkDevice::new()));
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aprof_core::{InputPolicy, TrmsProfiler};
+
+    fn run(params: &WorkloadParams) -> i64 {
+        let wl = crate::by_name("docpipe").unwrap();
+        let mut m = wl.build(params);
+        m.run_native().expect("docpipe run").exit_value.expect("checksum")
+    }
+
+    /// The checksum is a commutative fold over per-document deterministic
+    /// work, so the pool size must not change it.
+    #[test]
+    fn checksum_is_invariant_across_pool_sizes() {
+        let reference = run(&WorkloadParams { size: 40, threads: 1, seed: 0xD0C });
+        for threads in [2, 4, 7] {
+            let got = run(&WorkloadParams { size: 40, threads, seed: 0xD0C });
+            assert_eq!(got, reference, "pool of {threads} changed the checksum");
+        }
+    }
+
+    #[test]
+    fn docpipe_is_deterministic() {
+        let params = WorkloadParams { size: 24, threads: 3, seed: 5 };
+        assert_eq!(run(&params), run(&params));
+    }
+
+    /// Transforms re-read parser-written cells: the run must attribute a
+    /// nonzero thread-induced share (the pattern rms misses entirely).
+    #[test]
+    fn transforms_see_thread_induced_input() {
+        let wl = crate::by_name("docpipe").unwrap();
+        let mut m = wl.build(&WorkloadParams { size: 32, threads: 2, seed: 3 });
+        let names = m.program().routines().clone();
+        let mut prof = TrmsProfiler::with_policy(InputPolicy::full());
+        m.run_with(&mut prof).expect("docpipe run");
+        let rep = prof.into_report(&names);
+        let (thread_pct, _ext_pct) = rep.global.induced_split();
+        assert!(thread_pct > 0.0, "no thread-induced input attributed");
+        let tr = rep.routine_by_name("transform_docs").unwrap();
+        let (t, _e) = tr.induced_fractions();
+        assert!(t > 0.0, "transform_docs saw no thread-induced cells");
+    }
+}

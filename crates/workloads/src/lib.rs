@@ -25,6 +25,12 @@
 //!   table scans through reused kernel-filled buffers (`mysql_select`),
 //!   client/flush interaction (`buf_flush_buffered_writes`), protocol
 //!   output (`send_eof`), driven by a mysqlslap-like multi-client load.
+//! * [`btree`], [`docpipe`], [`server`] — production-shaped service guests
+//!   beyond the paper's suites: a B+-tree storage engine with node splits
+//!   under concurrent clients, a parse→transform→render document pipeline
+//!   over bounded rings, and a request/worker-pool server at high thread
+//!   counts. Each verifies itself against a host-side reference or a
+//!   pool-size-invariance law.
 //!
 //! All programs are deterministic given [`WorkloadParams`], so every
 //! experiment in `aprof-bench` is reproducible.
@@ -45,11 +51,14 @@
 #![warn(missing_docs)]
 
 pub mod algos;
+pub mod btree;
+pub mod docpipe;
 pub mod helpers;
 pub mod micro;
 pub mod minidb;
 pub mod omp2012;
 pub mod parsec;
+pub mod server;
 
 use aprof_vm::Machine;
 
@@ -90,6 +99,9 @@ pub enum Family {
     Parsec,
     /// The MySQL analog (Figs. 4, 6, 8, 9, 17).
     MiniDb,
+    /// Production-shaped service guests (storage engine, document
+    /// pipeline, worker-pool server).
+    Service,
 }
 
 impl Family {
@@ -101,6 +113,7 @@ impl Family {
             Family::Omp2012 => "omp2012",
             Family::Parsec => "parsec",
             Family::MiniDb => "minidb",
+            Family::Service => "service",
         }
     }
 }
@@ -132,6 +145,9 @@ pub fn all() -> Vec<Workload> {
     v.extend(omp2012::workloads());
     v.extend(parsec::workloads());
     v.extend(minidb::workloads());
+    v.extend(btree::workloads());
+    v.extend(docpipe::workloads());
+    v.extend(server::workloads());
     v
 }
 
@@ -160,10 +176,18 @@ mod tests {
 
     #[test]
     fn registry_covers_all_families() {
-        for f in [Family::Micro, Family::Algo, Family::Omp2012, Family::Parsec, Family::MiniDb] {
+        for f in [
+            Family::Micro,
+            Family::Algo,
+            Family::Omp2012,
+            Family::Parsec,
+            Family::MiniDb,
+            Family::Service,
+        ] {
             assert!(!family(f).is_empty(), "no workloads in {f:?}");
         }
         assert_eq!(family(Family::Omp2012).len(), 12, "Table 1 has 12 OMP2012 rows");
+        assert_eq!(family(Family::Service).len(), 3, "storage + pipeline + server");
     }
 
     #[test]

@@ -1,0 +1,302 @@
+//! `webserv`: a request/worker-pool server guest at high thread counts.
+//!
+//! The production pattern behind classic threaded servers (Apache's worker
+//! MPM, a JDBC connection pool): an accept loop pushes request descriptors
+//! into a bounded queue; a large worker pool competes for them, reads each
+//! request body off its own connection, renders a response and writes it
+//! out; a latched counter aggregates bytes served. The pool is deliberately
+//! oversized relative to `threads` (4x, minimum 4) — the point of the
+//! workload is scheduler pressure: many more runnable threads than the
+//! paper's other analogs, with all the queue hand-off patterns that
+//! implies.
+//!
+//! Total bytes served depends only on the accept stream, never on which
+//! worker won a request, so the exit value is pool-size invariant — the
+//! module's own correctness check.
+
+use crate::helpers::{emit_join_all, emit_spawn_workers};
+use crate::{Family, Workload, WorkloadParams};
+use aprof_vm::builder::ProgramBuilder;
+use aprof_vm::device::{SinkDevice, SyntheticSource};
+use aprof_vm::ir::CmpOp;
+use aprof_vm::{Machine, MachineConfig};
+
+/// Registry entries for this module.
+pub fn workloads() -> Vec<Workload> {
+    vec![Workload {
+        name: "webserv",
+        family: Family::Service,
+        description: "accept loop + oversized worker pool over a bounded \
+                      request queue; per-request read/render/write",
+        build: webserv,
+    }]
+}
+
+/// Bounded request-queue capacity.
+const QUEUE: i64 = 8;
+/// Upper bound on request-body cells.
+const MAXREQ: i64 = 12;
+
+const Q_FREE: i64 = 50;
+const Q_USED: i64 = 51;
+const L_QUEUE: i64 = 52;
+const L_STATS: i64 = 53;
+
+// ctx layout: [0]=queue [1]=N [2]=tail [3]=bytes-served
+const CTX_CELLS: i64 = 4;
+
+/// Worker pool size for a given `threads` knob.
+pub fn pool_size(threads: u32) -> i64 {
+    (i64::from(threads) * 4).max(4)
+}
+
+fn webserv(params: &WorkloadParams) -> Machine {
+    let requests = (params.size as i64).max(1);
+    let workers = pool_size(params.threads);
+
+    let mut p = ProgramBuilder::new();
+    let main = p.declare("main", 0);
+    let accept = p.declare("accept_loop", 1); // (ctx)
+    let worker = p.declare("worker_loop", 2); // (idx, ctx)
+    let handle = p.declare("handle_request", 4); // (fd, r, inbuf, outbuf) -> bytes
+
+    {
+        // accept_loop: single producer. One descriptor cell per request
+        // from the listening socket (fd 0) sizes the request; the bounded
+        // queue applies back-pressure via the space semaphore.
+        let mut f = p.function(accept);
+        let ctx = f.param(0);
+        let queue = f.temp();
+        f.load(queue, ctx, 0);
+        let n = f.temp();
+        f.load(n, ctx, 1);
+        let fd = f.const_temp(0);
+        let one = f.const_temp(1);
+        let maxreq = f.const_temp(MAXREQ - 1);
+        let q_sz = f.const_temp(QUEUE);
+        let free = f.const_temp(Q_FREE);
+        let used = f.const_temp(Q_USED);
+        let desc = f.temp();
+        f.alloc(desc, one);
+        f.for_range(n, |f, i| {
+            let got = f.temp();
+            f.sys_read(got, fd, desc, one);
+            let raw = f.temp();
+            f.load(raw, desc, 0);
+            let r = f.temp();
+            f.rem(r, raw, maxreq);
+            f.add(r, r, one);
+            f.sem_wait(free);
+            let slot = f.temp();
+            f.rem(slot, i, q_sz);
+            let cell = f.temp();
+            f.add(cell, queue, slot);
+            f.store(r, cell, 0);
+            f.sem_post(used);
+        });
+        f.ret(None);
+    }
+    {
+        // handle_request(fd, r, inbuf, outbuf) -> r: read the body off the
+        // worker's connection, render a response with superlinear
+        // per-request compute (template expansion is O(r^2) register
+        // work), write it back.
+        let mut f = p.function(handle);
+        let fd = f.param(0);
+        let r = f.param(1);
+        let inbuf = f.param(2);
+        let outbuf = f.param(3);
+        let got = f.temp();
+        f.sys_read(got, fd, inbuf, r);
+        let acc = f.const_temp(0);
+        f.for_range(r, |f, j| {
+            let c = f.temp();
+            f.add(c, inbuf, j);
+            let v = f.temp();
+            f.load(v, c, 0);
+            f.add(acc, acc, v);
+            // Template expansion: revisit every earlier cell.
+            f.for_range(j, |f, k| {
+                let e = f.temp();
+                f.add(e, inbuf, k);
+                let w = f.temp();
+                f.load(w, e, 0);
+                f.add(acc, acc, w);
+            });
+            let o = f.temp();
+            f.add(o, outbuf, j);
+            f.store(acc, o, 0);
+        });
+        let sink = f.const_temp(1);
+        let wrote = f.temp();
+        f.sys_write(wrote, sink, outbuf, r);
+        f.ret(Some(r));
+    }
+    {
+        // worker_loop(idx, ctx): claim requests until the accept count is
+        // exhausted. The item wait happens while holding the queue latch —
+        // safe because only the accept loop posts items and it never takes
+        // the latch — so claim order equals consumption order and the slot
+        // read is race-free.
+        let mut f = p.function(worker);
+        let idx = f.param(0);
+        let ctx = f.param(1);
+        let queue = f.temp();
+        f.load(queue, ctx, 0);
+        let n = f.temp();
+        f.load(n, ctx, 1);
+        let fd = f.temp();
+        f.add_imm(fd, idx, 2); // fds: 0 listener, 1 sink, 2.. connections
+        let one = f.const_temp(1);
+        let q_sz = f.const_temp(QUEUE);
+        let l_q = f.const_temp(L_QUEUE);
+        let l_s = f.const_temp(L_STATS);
+        let free = f.const_temp(Q_FREE);
+        let used = f.const_temp(Q_USED);
+        let cap = f.const_temp(MAXREQ);
+        let inbuf = f.temp();
+        f.alloc(inbuf, cap);
+        let outbuf = f.temp();
+        f.alloc(outbuf, cap);
+
+        let head = f.new_block();
+        let claim = f.new_block();
+        let done = f.new_block();
+        f.jmp(head);
+
+        f.switch_to(head);
+        f.acquire(l_q);
+        let t = f.temp();
+        f.load(t, ctx, 2);
+        let more = f.temp();
+        f.cmp(CmpOp::Lt, more, t, n);
+        f.br(more, claim, done);
+
+        f.switch_to(claim);
+        f.sem_wait(used);
+        let t1 = f.temp();
+        f.add(t1, t, one);
+        f.store(t1, ctx, 2);
+        let slot = f.temp();
+        f.rem(slot, t, q_sz);
+        let cell = f.temp();
+        f.add(cell, queue, slot);
+        let r = f.temp();
+        f.load(r, cell, 0);
+        f.release(l_q);
+        f.sem_post(free);
+        let served = f.temp();
+        f.call(Some(served), handle, &[fd, r, inbuf, outbuf]);
+        f.acquire(l_s);
+        let total = f.temp();
+        f.load(total, ctx, 3);
+        f.add(total, total, served);
+        f.store(total, ctx, 3);
+        f.release(l_s);
+        f.jmp(head);
+
+        f.switch_to(done);
+        f.release(l_q);
+        f.ret(None);
+    }
+    {
+        let mut f = p.function(main);
+        let ctx_sz = f.const_temp(CTX_CELLS);
+        let ctx = f.temp();
+        f.alloc(ctx, ctx_sz);
+        let q_sz = f.const_temp(QUEUE);
+        let queue = f.temp();
+        f.alloc(queue, q_sz);
+        f.store(queue, ctx, 0);
+        let n = f.const_temp(requests);
+        f.store(n, ctx, 1);
+        let zero = f.const_temp(0);
+        f.store(zero, ctx, 2);
+        f.store(zero, ctx, 3);
+        let free = f.const_temp(Q_FREE);
+        f.sem_init(free, q_sz);
+        let used = f.const_temp(Q_USED);
+        f.sem_init(used, zero);
+        let ha = f.temp();
+        f.spawn(ha, accept, &[ctx]);
+        let pool = f.const_temp(workers);
+        let handles = emit_spawn_workers(&mut f, worker, pool, &[ctx]);
+        f.join(ha);
+        emit_join_all(&mut f, handles, pool);
+        let total = f.temp();
+        f.load(total, ctx, 3);
+        f.ret(Some(total));
+    }
+
+    let mut m = Machine::new(p.build().expect("valid webserv program"))
+        .with_config(MachineConfig { quantum: 8, ..MachineConfig::default() });
+    // fd 0: listening socket (one descriptor per request).
+    m.add_device(Box::new(SyntheticSource::new(params.seed | 1, requests as u64)));
+    // fd 1: response sink.
+    m.add_device(Box::new(SinkDevice::new()));
+    // fds 2..: per-worker connections, sized for the worst case where one
+    // worker serves every request.
+    for w in 0..workers {
+        m.add_device(Box::new(SyntheticSource::new(
+            (params.seed ^ ((w as u64) << 24)) | 1,
+            (requests * MAXREQ) as u64,
+        )));
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aprof_core::{InputPolicy, TrmsProfiler};
+
+    fn run(params: &WorkloadParams) -> i64 {
+        let wl = crate::by_name("webserv").unwrap();
+        let mut m = wl.build(params);
+        m.run_native().expect("webserv run").exit_value.expect("bytes served")
+    }
+
+    /// Request sizes come only from the accept stream, so total bytes
+    /// served must not depend on the pool size.
+    #[test]
+    fn bytes_served_are_pool_invariant() {
+        let reference = run(&WorkloadParams { size: 40, threads: 1, seed: 0x5e0 });
+        assert!(reference > 0, "server served nothing");
+        for threads in [2, 4, 8] {
+            let got = run(&WorkloadParams { size: 40, threads, seed: 0x5e0 });
+            assert_eq!(got, reference, "pool for threads={threads} changed bytes served");
+        }
+    }
+
+    /// Bytes served equal the host-side decode of the accept stream.
+    #[test]
+    fn bytes_served_match_accept_stream() {
+        let params = WorkloadParams { size: 48, threads: 2, seed: 0xACC };
+        let mut state: u64 = params.seed | 1;
+        let expected: i64 = (0..params.size)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 16) as i64) % (MAXREQ - 1) + 1
+            })
+            .sum();
+        assert_eq!(run(&params), expected);
+    }
+
+    /// Every request is handled exactly once, across a big pool.
+    #[test]
+    fn each_request_handled_once() {
+        let params = WorkloadParams { size: 32, threads: 4, seed: 21 };
+        let wl = crate::by_name("webserv").unwrap();
+        let mut m = wl.build(&params);
+        let names = m.program().routines().clone();
+        let mut prof = TrmsProfiler::with_policy(InputPolicy::full());
+        m.run_with(&mut prof).expect("webserv run");
+        let rep = prof.into_report(&names);
+        let h = rep.routine_by_name("handle_request").unwrap();
+        assert_eq!(h.merged.calls, params.size, "requests handled != accepted");
+        let w = rep.routine_by_name("worker_loop").unwrap();
+        assert_eq!(w.merged.calls, pool_size(params.threads) as u64, "pool size wrong");
+    }
+}

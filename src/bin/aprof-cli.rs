@@ -20,6 +20,8 @@
 //! aprof-cli run --workload dedup --observe --obs-json metrics.json
 //! aprof-cli check program.s --deny-lints
 //! aprof-cli check --workloads
+//! aprof-cli fuzz --seed 1 --cases 256
+//! aprof-cli fuzz --seed 7 --cases 64 --faults --jobs 4
 //! ```
 
 use aprof::analysis::render::{render_plot, Table};
@@ -47,6 +49,7 @@ fn main() {
         Some("recover") => with_observe(&args[1..], cmd_recover),
         Some("report") => with_observe(&args[1..], cmd_report),
         Some("bench") => with_observe(&args[1..], cmd_bench),
+        Some("fuzz") => with_observe(&args[1..], cmd_fuzz),
         Some("check") => cmd_check(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{}", USAGE);
@@ -118,6 +121,11 @@ commands:
   check FILES [opts]           statically verify and lint guest assembly
                                programs without running them; `--workloads`
                                also checks every bundled workload
+  fuzz [opts]                  generate a seeded corpus of guest programs
+                               and run every one through the differential
+                               oracles (naive-vs-engine, batched replay,
+                               wire round-trip, static-vs-dynamic);
+                               failures are shrunk to a minimal program
 
 options:
   --size N          workload size          (default 96)
@@ -151,6 +159,20 @@ check options:
   --deny-lints      treat warnings (W1xx) as rejections, like errors
   --races           also print static race candidates (N2xx notes)
   --workloads       verify every bundled workload program as well
+
+fuzz options:
+  --seed N          base corpus seed                      (default 1)
+  --cases K         generated programs to run             (default 256)
+  --jobs J          worker threads (0 = all cores); the report is
+                    byte-identical for every J            (default 0)
+  --profile P       generator profile: mixed | sequential | concurrent |
+                    kernel                                (default mixed)
+  --faults          additionally run the crash/recover/replay differential
+                    on every case (torn captures must salvage to exact
+                    replayable prefixes)
+  --mutate M        plant a profiler bug to test the harness itself:
+                    drop-kernel-input | drop-read:N | scale-cost:N
+                    (the sweep must then FAIL and shrink the reproducer)
 ";
 
 struct Opts {
@@ -887,6 +909,80 @@ fn cmd_bench(args: &[String]) -> i32 {
             eprintln!("error: {e}");
             1
         }
+    }
+}
+
+/// Parses `--mutate` values: `drop-kernel-input`, `drop-read:N`,
+/// `scale-cost:N`.
+fn parse_mutation(value: &str) -> Result<aprof::corpus::Mutation, String> {
+    use aprof::corpus::Mutation;
+    if value == "drop-kernel-input" {
+        return Ok(Mutation::DropKernelInput);
+    }
+    if let Some(n) = value.strip_prefix("drop-read:") {
+        let n: u64 = n.parse().map_err(|e| format!("--mutate {value}: {e}"))?;
+        if n == 0 {
+            return Err("--mutate drop-read:N needs N >= 1".into());
+        }
+        return Ok(Mutation::DropEveryNthRead(n));
+    }
+    if let Some(n) = value.strip_prefix("scale-cost:") {
+        let n: u64 = n.parse().map_err(|e| format!("--mutate {value}: {e}"))?;
+        if n == 0 {
+            return Err("--mutate scale-cost:N needs N >= 1".into());
+        }
+        return Ok(Mutation::ScaleNthCost(n));
+    }
+    Err(format!(
+        "unknown mutation `{value}` (drop-kernel-input | drop-read:N | scale-cost:N)"
+    ))
+}
+
+fn cmd_fuzz(args: &[String]) -> i32 {
+    let mut config = aprof::corpus::FuzzConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{flag} needs a value"))
+        };
+        let parsed = match a.as_str() {
+            "--seed" => value("--seed")
+                .and_then(|v| v.parse().map_err(|e| format!("--seed: {e}")))
+                .map(|v| config.seed = v),
+            "--cases" => value("--cases")
+                .and_then(|v| v.parse().map_err(|e| format!("--cases: {e}")))
+                .map(|v| config.cases = v),
+            "--jobs" | "-j" => value("--jobs")
+                .and_then(|v| v.parse().map_err(|e| format!("--jobs: {e}")))
+                .map(|v| config.jobs = v),
+            "--profile" => value("--profile").and_then(|v| {
+                aprof::corpus::GenConfig::by_name(&v)
+                    .map(|p| config.profile = p)
+                    .ok_or(format!("unknown profile `{v}` (mixed | sequential | concurrent | kernel)"))
+            }),
+            "--faults" => {
+                config.faults = true;
+                Ok(())
+            }
+            "--mutate" => value("--mutate")
+                .and_then(|v| parse_mutation(&v))
+                .map(|m| config.mutation = Some(m)),
+            // Consumed by `with_observe` before dispatch.
+            "--observe" => Ok(()),
+            "--obs-json" => value("--obs-json").map(|_| ()),
+            other => Err(format!("unknown option `{other}`")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("{e}\n{USAGE}");
+            return 2;
+        }
+    }
+    let outcome = aprof::corpus::run_fuzz(&config);
+    println!("{}", outcome.report);
+    if outcome.failures.is_empty() {
+        0
+    } else {
+        1
     }
 }
 

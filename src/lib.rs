@@ -22,6 +22,8 @@
 //! * [`check`] — the static verifier and lint pass over guest IR.
 //! * [`obs`] — profiler self-metrics: counters, tracing spans, `obs.json`.
 //! * [`faults`] — seeded, replayable fault injection for robustness tests.
+//! * [`corpus`] — the fuzzed CFG corpus: seeded program generation, four
+//!   differential oracles, and shrinking of failures to minimal programs.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
 
@@ -30,6 +32,7 @@ pub use aprof_obs as obs;
 pub use aprof_bench as bench;
 pub use aprof_check as check;
 pub use aprof_core as core;
+pub use aprof_corpus as corpus;
 pub use aprof_faults as faults;
 pub use aprof_shadow as shadow;
 pub use aprof_tools as tools;
