@@ -272,6 +272,22 @@ impl GlobalStats {
         }
         1.0 - self.sum_rms as f64 / self.sum_trms as f64
     }
+
+    /// Adds every counter of `other` into `self` (used when combining the
+    /// reports of independent runs).
+    pub fn accumulate(&mut self, other: &GlobalStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.kernel_reads += other.kernel_reads;
+        self.kernel_writes += other.kernel_writes;
+        self.induced_thread += other.induced_thread;
+        self.induced_external += other.induced_external;
+        self.activations += other.activations;
+        self.sum_trms += other.sum_trms;
+        self.sum_rms += other.sum_rms;
+        self.renumberings += other.renumberings;
+        self.shadow_bytes += other.shadow_bytes;
+    }
 }
 
 /// The complete output of a profiling session.
@@ -322,6 +338,122 @@ impl ProfileReport {
     /// Looks up the report of one routine by name.
     pub fn routine_by_name(&self, name: &str) -> Option<&RoutineReport> {
         self.routines.iter().find(|r| r.name == name)
+    }
+
+    /// Combines the reports of independent runs into one aggregate.
+    ///
+    /// Routines are matched **by name** (two runs of the same program may
+    /// intern routines in different orders), per-thread profiles by thread
+    /// index, and global counters are summed. The output assigns dense
+    /// routine ids in lexicographic-name order, so the result is independent
+    /// of the input runs' id assignment.
+    ///
+    /// Because [`CostStats::sum_sq`] is a floating-point sum, merging is
+    /// order-sensitive at the ULP level: callers that need byte-identical
+    /// aggregates (e.g. the service daemon and its one-shot CLI oracle) must
+    /// pass `reports` in the same order on both sides.
+    ///
+    /// An empty slice yields an empty report; the `tool` label is taken from
+    /// the first report.
+    #[must_use]
+    pub fn merge(reports: &[ProfileReport]) -> ProfileReport {
+        let mut by_name: BTreeMap<&str, (RoutineThreadProfile, BTreeMap<u32, RoutineThreadProfile>)> =
+            BTreeMap::new();
+        let mut global = GlobalStats::default();
+        for report in reports {
+            global.accumulate(&report.global);
+            for routine in &report.routines {
+                let entry = by_name.entry(routine.name.as_str()).or_default();
+                entry.0.merge(&routine.merged);
+                for (&thread, profile) in &routine.per_thread {
+                    entry.1.entry(thread).or_default().merge(profile);
+                }
+            }
+        }
+        ProfileReport {
+            tool: reports.first().map(|r| r.tool.clone()).unwrap_or_default(),
+            routines: by_name
+                .into_iter()
+                .enumerate()
+                .map(|(id, (name, (merged, per_thread)))| RoutineReport {
+                    routine: id as u32,
+                    name: name.to_owned(),
+                    merged,
+                    per_thread,
+                })
+                .collect(),
+            global,
+        }
+    }
+
+    /// Renders the report as a stable, versioned text form suitable for
+    /// byte-for-byte comparison between independently produced aggregates.
+    ///
+    /// Every counter and every point of every trms/rms curve is included;
+    /// the floating-point `sum_sq` accumulators are printed as exact bit
+    /// patterns so that equality of the text implies equality of the data
+    /// (not merely of some rounded rendering).
+    #[must_use]
+    pub fn to_canonical_text(&self) -> String {
+        use std::fmt::Write as _;
+        fn profile_lines(out: &mut String, indent: &str, p: &RoutineThreadProfile) {
+            let _ = writeln!(
+                out,
+                "{indent}calls={} reads={} induced_thread={} induced_external={} \
+                 sum_trms={} sum_rms={} total_cost={}",
+                p.calls,
+                p.reads,
+                p.induced_thread,
+                p.induced_external,
+                p.sum_trms,
+                p.sum_rms,
+                p.total_cost
+            );
+            for (label, curve) in [("trms", &p.trms), ("rms", &p.rms)] {
+                for (value, stats) in curve {
+                    let _ = writeln!(
+                        out,
+                        "{indent}{label} {value} count={} min={} max={} sum={} sum_sq_bits={:016x}",
+                        stats.count,
+                        stats.min,
+                        stats.max,
+                        stats.sum,
+                        stats.sum_sq.to_bits()
+                    );
+                }
+            }
+        }
+
+        let mut out = String::new();
+        let _ = writeln!(out, "aprof-profile v1");
+        let _ = writeln!(out, "tool {}", self.tool);
+        let g = &self.global;
+        let _ = writeln!(
+            out,
+            "global reads={} writes={} kernel_reads={} kernel_writes={} induced_thread={} \
+             induced_external={} activations={} sum_trms={} sum_rms={} renumberings={} \
+             shadow_bytes={}",
+            g.reads,
+            g.writes,
+            g.kernel_reads,
+            g.kernel_writes,
+            g.induced_thread,
+            g.induced_external,
+            g.activations,
+            g.sum_trms,
+            g.sum_rms,
+            g.renumberings,
+            g.shadow_bytes
+        );
+        for routine in &self.routines {
+            let _ = writeln!(out, "routine {} name={}", routine.routine, routine.name);
+            profile_lines(&mut out, "  ", &routine.merged);
+            for (thread, profile) in &routine.per_thread {
+                let _ = writeln!(out, "  thread {thread}");
+                profile_lines(&mut out, "    ", profile);
+            }
+        }
+        out
     }
 }
 
@@ -398,5 +530,77 @@ mod tests {
         let g = GlobalStats::default();
         assert_eq!(g.induced_split(), (0.0, 0.0));
         assert_eq!(g.input_volume(), 0.0);
+    }
+
+    fn report_with(tool: &str, routines: &[(&str, u32, u64)]) -> ProfileReport {
+        // (name, thread, trms) triples; each triple records one activation.
+        let mut by_name: BTreeMap<&str, RoutineReport> = BTreeMap::new();
+        for (i, &(name, thread, trms)) in routines.iter().enumerate() {
+            let entry = by_name.entry(name).or_insert_with(|| RoutineReport {
+                routine: i as u32,
+                name: name.to_owned(),
+                merged: RoutineThreadProfile::default(),
+                per_thread: BTreeMap::new(),
+            });
+            entry.merged.record(trms, trms / 2, trms * 10);
+            entry.per_thread.entry(thread).or_default().record(trms, trms / 2, trms * 10);
+        }
+        let global = GlobalStats {
+            activations: routines.len() as u64,
+            sum_trms: routines.iter().map(|&(_, _, t)| t).sum(),
+            ..GlobalStats::default()
+        };
+        ProfileReport { tool: tool.into(), routines: by_name.into_values().collect(), global }
+    }
+
+    #[test]
+    fn merge_matches_routines_by_name_and_sums_globals() {
+        let a = report_with("trms", &[("f", 0, 4), ("g", 1, 6)]);
+        let b = report_with("trms", &[("g", 1, 6), ("h", 0, 2)]);
+        let merged = ProfileReport::merge(&[a, b]);
+        assert_eq!(merged.tool, "trms");
+        let names: Vec<&str> = merged.routines.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["f", "g", "h"]);
+        // Dense ids in name order, regardless of input ids.
+        assert_eq!(
+            merged.routines.iter().map(|r| r.routine).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        let g = merged.routine_by_name("g").unwrap();
+        assert_eq!(g.merged.calls, 2);
+        assert_eq!(g.per_thread[&1].calls, 2);
+        assert_eq!(merged.global.activations, 4);
+        assert_eq!(merged.global.sum_trms, 18);
+    }
+
+    #[test]
+    fn merge_of_empty_slice_is_empty() {
+        let merged = ProfileReport::merge(&[]);
+        assert!(merged.routines.is_empty());
+        assert_eq!(merged.global, GlobalStats::default());
+    }
+
+    #[test]
+    fn canonical_text_is_stable_and_discriminating() {
+        let a = report_with("trms", &[("f", 0, 4), ("g", 1, 6)]);
+        let same = report_with("trms", &[("f", 0, 4), ("g", 1, 6)]);
+        let diff = report_with("trms", &[("f", 0, 4), ("g", 1, 7)]);
+        assert_eq!(a.to_canonical_text(), same.to_canonical_text());
+        assert_ne!(a.to_canonical_text(), diff.to_canonical_text());
+        let text = a.to_canonical_text();
+        assert!(text.starts_with("aprof-profile v1\n"));
+        assert!(text.contains("routine 0 name=f"));
+        assert!(text.contains("sum_sq_bits="));
+    }
+
+    #[test]
+    fn merge_then_text_equals_single_pass_in_fixed_order() {
+        // Merging [a, b] must agree with itself when repeated — the fixed
+        // order contract the service relies on.
+        let a = report_with("trms", &[("f", 0, 4), ("g", 1, 6), ("g", 0, 3)]);
+        let b = report_with("trms", &[("f", 1, 5)]);
+        let once = ProfileReport::merge(&[a.clone(), b.clone()]);
+        let twice = ProfileReport::merge(&[a, b]);
+        assert_eq!(once.to_canonical_text(), twice.to_canonical_text());
     }
 }

@@ -19,8 +19,9 @@
 //! The *shapes* are the interesting part: nested counted loops, diamonds
 //! with a counter-guarded back-edge into one arm (a multi-entry —
 //! irreducible — region), call chains with data-dependent recursion depth,
-//! fork/join worker pools over shared cells and constant-key locks, and
-//! kernel-input read/write mixes. Determinism contract: the same
+//! fork/join worker pools over shared cells and constant-key locks,
+//! semaphore token rings, helper-initiated fork/join, and kernel-input
+//! read/write mixes. Determinism contract: the same
 //! `(seed, GenConfig)` always yields the same `CaseSpec`, hence the same
 //! `Program`, hence (the VM being deterministic) the same event stream.
 
@@ -43,6 +44,13 @@ const LOCK_BASE: i64 = 100;
 const LOCKS: u8 = 4;
 /// Recursion depth parameters are clamped to `x % DEPTH_CLAMP` on entry.
 const DEPTH_CLAMP: i64 = 8;
+/// Semaphore-ring keys are `SEM_BASE + slot` (semaphores key a namespace
+/// of their own, but a disjoint constant range keeps traces readable).
+const SEM_BASE: i64 = 200;
+/// Ring-slot cells live at `RING_BASE + slot`, above the shared region.
+const RING_BASE: i64 = 0x60;
+/// Maximum semaphore-ring slots.
+const RING_SLOTS: i64 = 6;
 /// Basic-block budget for one generated case (runaway backstop only;
 /// generated programs terminate by construction far below this).
 const CASE_MAX_BLOCKS: u64 = 5_000_000;
@@ -178,6 +186,29 @@ pub enum Stmt {
         /// Cell index (modular over the region).
         cell: u8,
     },
+    /// A semaphore token ring. Each pass picks a slot from the thread's
+    /// depth parameter, posts that slot's semaphore, writes the slot's ring
+    /// cell, reads the neighbor slot's cell, then waits the *same* slot.
+    /// Posting before waiting means every wait is backed by at least one
+    /// outstanding post, so the ring can never deadlock — but a concurrent
+    /// thread may consume the token first and hand its own back, which is
+    /// exactly the cross-thread handoff ordering worth profiling.
+    SemRing {
+        /// Ring size (clamped to `1..=RING_SLOTS` at emission).
+        slots: u8,
+        /// Passes around the ring.
+        passes: u8,
+    },
+    /// Spawn a later helper on its own thread and join it immediately —
+    /// fork/join initiated *inside* helpers, not only from `main`'s worker
+    /// pool. Joining in place bounds live threads by the spawn-nesting
+    /// depth, which the acyclic callee order bounds by the helper count.
+    SpawnHelper {
+        /// Target function index; same strictly-later discipline as
+        /// [`Stmt::Call`] (dangling targets after shrinking drop the
+        /// spawn).
+        callee: u8,
+    },
     /// Voluntarily yield the processor.
     YieldNow,
 }
@@ -252,11 +283,25 @@ fn gen_stmts(rng: &mut TestRng, cfg: &GenConfig, depth: u8, budget: &mut u8, nfu
                 }
                 75..=81 if cfg.kernel_io => break Stmt::KernelIn { cells: 1 + rng.below(12) as u8 },
                 82..=85 if cfg.kernel_io => break Stmt::KernelOut { cells: 1 + rng.below(8) as u8 },
-                86..=91 if cfg.concurrency => {
+                86..=89 if cfg.concurrency => {
                     break Stmt::SharedWrite { cell: rng.below(SHARED_CELLS as u64) as u8 }
                 }
-                92..=97 if cfg.concurrency => {
+                90..=93 if cfg.concurrency => {
                     break Stmt::SharedRead { cell: rng.below(SHARED_CELLS as u64) as u8 }
+                }
+                94 if cfg.concurrency => {
+                    break Stmt::SemRing {
+                        slots: 2 + rng.below(RING_SLOTS as u64 - 1) as u8,
+                        passes: 1 + rng.below(4) as u8,
+                    }
+                }
+                // Never in the innermost nesting level (`depth >= 1`): the
+                // statement budget plus the acyclic callee order keep the
+                // spawn fan-out bounded.
+                95..=97 if cfg.concurrency && me + 1 < nfuncs && depth >= 1 => {
+                    break Stmt::SpawnHelper {
+                        callee: me + 1 + rng.below(u64::from(nfuncs - me - 1)) as u8,
+                    }
                 }
                 98..=99 => break Stmt::YieldNow,
                 _ => {}
@@ -617,6 +662,56 @@ impl Emit {
                 f.load(v, addr, 0);
                 f.add(self.acc, self.acc, v);
             }
+            Stmt::SemRing { slots, passes } => {
+                let ring = i64::from(*slots).clamp(1, RING_SLOTS);
+                let n = f.const_temp(i64::from(*passes));
+                let (acc, depth) = (self.acc, self.depth);
+                f.for_range(n, |f, i| {
+                    // slot = (depth + i) mod ring, folded non-negative (the
+                    // depth parameter follows its caller's sign) — threads
+                    // enter the ring at different slots.
+                    let sc = f.const_temp(ring);
+                    let slot = f.temp();
+                    f.add(slot, depth, i);
+                    f.rem(slot, slot, sc);
+                    f.add(slot, slot, sc);
+                    f.rem(slot, slot, sc);
+                    let base = f.const_temp(SEM_BASE);
+                    let key = f.temp();
+                    f.add(key, base, slot);
+                    // Post before wait: the wait below is always backed by
+                    // at least one outstanding post, ring-wide, so no
+                    // interleaving can deadlock.
+                    f.sem_post(key);
+                    let rb = f.const_temp(RING_BASE);
+                    let cell = f.temp();
+                    f.add(cell, rb, slot);
+                    f.store(acc, cell, 0);
+                    let one = f.const_temp(1);
+                    let nxt = f.temp();
+                    f.add(nxt, slot, one);
+                    f.rem(nxt, nxt, sc);
+                    f.add(nxt, nxt, rb);
+                    let v = f.temp();
+                    f.load(v, nxt, 0);
+                    f.add(acc, acc, v);
+                    f.sem_wait(key);
+                });
+            }
+            Stmt::SpawnHelper { callee } => {
+                let callee = usize::from(*callee);
+                // Same acyclicity discipline as Call: only strictly-later
+                // targets are emitted, so spawn nesting is bounded by the
+                // helper count; shrinking's dangling indices drop the spawn.
+                if callee > me && callee < spec.funcs.len() {
+                    let four = f.const_temp(4);
+                    let arg = f.temp();
+                    f.rem(arg, self.acc, four);
+                    let h = f.temp();
+                    f.spawn(h, FuncId(callee as u32), &[arg]);
+                    f.join(h);
+                }
+            }
             Stmt::YieldNow => f.yield_(),
         }
     }
@@ -697,6 +792,19 @@ impl Shrink for Stmt {
                     Vec::new()
                 }
             }
+            Stmt::SemRing { slots, passes } => {
+                let mut out = Vec::new();
+                if *passes > 1 {
+                    out.push(Stmt::SemRing { slots: *slots, passes: passes / 2 });
+                }
+                if *slots > 1 {
+                    out.push(Stmt::SemRing { slots: slots / 2, passes: *passes });
+                }
+                out
+            }
+            // A spawn degrades to a plain call of the same helper: one
+            // fewer thread, same callee work.
+            Stmt::SpawnHelper { callee } => vec![Stmt::Call { callee: *callee }],
             Stmt::Call { .. }
             | Stmt::SharedWrite { .. }
             | Stmt::SharedRead { .. }

@@ -70,15 +70,18 @@ fn corpus_reaches_interesting_shapes() {
         }
     }
     let (mut threads, mut recursion, mut locks, mut kernel, mut diamonds) = (0, 0, 0, 0, 0);
+    let (mut rings, mut helper_spawns) = (0, 0);
     for seed in 0..64u64 {
         let spec = CaseSpec::generate(seed, &GenConfig::mixed());
         threads += u64::from(spec.threads > 0);
         recursion += u64::from(spec.funcs.iter().any(|f| f.recursion.is_some()));
-        for func in &spec.funcs {
+        for (idx, func) in spec.funcs.iter().enumerate() {
             stmts(&func.body, &mut |s| match s {
                 Stmt::Locked { .. } => locks += 1,
                 Stmt::KernelIn { .. } | Stmt::KernelOut { .. } => kernel += 1,
                 Stmt::Diamond { retry, .. } if *retry > 0 => diamonds += 1,
+                Stmt::SemRing { .. } => rings += 1,
+                Stmt::SpawnHelper { .. } if idx > 0 => helper_spawns += 1,
                 _ => {}
             });
         }
@@ -88,4 +91,6 @@ fn corpus_reaches_interesting_shapes() {
     assert!(locks >= 32, "only {locks} lock sections across the sweep");
     assert!(kernel >= 32, "only {kernel} kernel-I/O statements across the sweep");
     assert!(diamonds >= 16, "only {diamonds} irreducible retry diamonds across the sweep");
+    assert!(rings >= 4, "only {rings} semaphore rings across the sweep");
+    assert!(helper_spawns >= 4, "only {helper_spawns} spawn-inside-helper sites across the sweep");
 }

@@ -34,7 +34,7 @@
 //! let snap = aprof_obs::snapshot();
 //! assert_eq!(snap.counter("vm.blocks"), Some(3));
 //! assert_eq!(snap.spans.iter().filter(|s| s.name == "demo.work").count(), 1);
-//! assert!(snap.to_json().starts_with("{\n  \"version\": 2"));
+//! assert!(snap.to_json().starts_with("{\n  \"version\": 3"));
 //! aprof_obs::disable();
 //! ```
 
@@ -52,7 +52,12 @@ use std::time::{Duration, Instant};
 /// v2 added the robustness counters: `wire.durable_syncs`,
 /// `wire.recovered_*`, `driver.retries`/`driver.panics_caught`/
 /// `driver.degraded_jobs`, `vm.resource_traps` and the `faults.*` family.
-pub const SCHEMA_VERSION: u32 = 2;
+/// v3 added the service-daemon family: `serve.conns_accepted`,
+/// `serve.active_tenants`, `serve.streams_committed`/`streams_aborted`,
+/// `serve.chunks_aggregated`/`events_aggregated`,
+/// `serve.backpressure_stalls`, `serve.quota_trips`,
+/// `serve.recovered_streams` and `serve.drain_micros`.
+pub const SCHEMA_VERSION: u32 = 3;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
@@ -211,6 +216,32 @@ pub mod counters {
     /// Worker delays injected by the fault plan.
     pub static FAULTS_INJECTED_DELAYS: Counter = Counter::new("faults.injected_delays");
 
+    /// Connections accepted by the service daemon (unix + tcp).
+    pub static SERVE_CONNS_ACCEPTED: Counter = Counter::new("serve.conns_accepted");
+    /// Tenants currently holding at least one aggregated stream (gauge).
+    pub static SERVE_ACTIVE_TENANTS: Counter = Counter::new("serve.active_tenants");
+    /// Streams fully validated, spooled durably and folded into a tenant
+    /// aggregate.
+    pub static SERVE_STREAMS_COMMITTED: Counter = Counter::new("serve.streams_committed");
+    /// Submissions rejected or broken off before commit (protocol errors,
+    /// truncated streams, quota trips, injected faults).
+    pub static SERVE_STREAMS_ABORTED: Counter = Counter::new("serve.streams_aborted");
+    /// Wire chunks aggregated by the daemon across all tenants.
+    pub static SERVE_CHUNKS_AGGREGATED: Counter = Counter::new("serve.chunks_aggregated");
+    /// Events aggregated by the daemon across all tenants.
+    pub static SERVE_EVENTS_AGGREGATED: Counter = Counter::new("serve.events_aggregated");
+    /// Times a submission had to wait because its tenant was at the
+    /// in-flight budget (one per stalled admission, not per retry).
+    pub static SERVE_BACKPRESSURE_STALLS: Counter = Counter::new("serve.backpressure_stalls");
+    /// Submissions refused because a per-tenant quota (event budget or
+    /// spool cells) was exhausted.
+    pub static SERVE_QUOTA_TRIPS: Counter = Counter::new("serve.quota_trips");
+    /// Spooled streams replayed back into tenant aggregates on daemon
+    /// restart.
+    pub static SERVE_RECOVERED_STREAMS: Counter = Counter::new("serve.recovered_streams");
+    /// Microseconds the last graceful drain took (gauge).
+    pub static SERVE_DRAIN_MICROS: Counter = Counter::new("serve.drain_micros");
+
     /// Every counter in the taxonomy, in report order.
     pub static ALL: &[&Counter] = &[
         &VM_BLOCKS,
@@ -242,6 +273,16 @@ pub mod counters {
         &FAULTS_INJECTED_SHORT_WRITES,
         &FAULTS_INJECTED_PANICS,
         &FAULTS_INJECTED_DELAYS,
+        &SERVE_CONNS_ACCEPTED,
+        &SERVE_ACTIVE_TENANTS,
+        &SERVE_STREAMS_COMMITTED,
+        &SERVE_STREAMS_ABORTED,
+        &SERVE_CHUNKS_AGGREGATED,
+        &SERVE_EVENTS_AGGREGATED,
+        &SERVE_BACKPRESSURE_STALLS,
+        &SERVE_QUOTA_TRIPS,
+        &SERVE_RECOVERED_STREAMS,
+        &SERVE_DRAIN_MICROS,
     ];
 }
 
@@ -338,7 +379,7 @@ impl Snapshot {
     ///
     /// ```json
     /// {
-    ///   "version": 2,
+    ///   "version": 3,
     ///   "counters": { "vm.blocks": 123, ... },
     ///   "spans": [ { "name": "...", "count": 1, "total_ns": 5, "max_ns": 5 } ]
     /// }
@@ -508,7 +549,7 @@ mod tests {
         let _g = span!("test.json");
         drop(_g);
         let json = snapshot().to_json();
-        assert!(json.contains("\"version\": 2"));
+        assert!(json.contains("\"version\": 3"));
         assert!(json.contains("\"vm.blocks\": 1"));
         assert!(json.contains("\"name\": \"test.json\""));
         assert!(json.ends_with("}\n"));

@@ -1,0 +1,194 @@
+//! `aprof-serve`: a multi-tenant streaming profiling service daemon.
+//!
+//! Everything the reproduction can do one-shot from the CLI — chunked
+//! CRC-checked wire traces, streaming [`consume_stream`] replay, crash-safe
+//! durable capture, fault plans, obs counters, HTML reports — is packaged
+//! here as a long-running service:
+//!
+//! * **Streaming ingest.** Clients submit wire traces over unix or TCP
+//!   sockets. The daemon tees the bytes to a durable spool file while
+//!   decoding them incrementally ([`aprof_wire::WireReader`] works directly
+//!   over a socket) and folding events into a per-stream
+//!   [`TrmsProfiler`](aprof_core::TrmsProfiler) as chunks arrive — the full
+//!   trace is never materialized in memory.
+//! * **Tenancy.** Streams are grouped by tenant. Each tenant's quota is an
+//!   [`aprof_vm::ResourceLimits`]: `max_instructions` bounds the events the
+//!   tenant may aggregate, `max_alloc_cells` bounds its spool footprint (in
+//!   8-byte cells), and `trap` selects graceful refusal (`ERR` reply) vs.
+//!   hard disconnect.
+//! * **Backpressure.** A tenant may have at most `max_in_flight` streams
+//!   decoding concurrently; further submissions block (bounded by
+//!   `queue_timeout`) before being turned away busy.
+//! * **Zero-data-loss commit.** A stream is acknowledged only after its
+//!   trailing index validated, its spool file reached stable storage, and
+//!   its profile joined the tenant aggregate — in that order. On restart
+//!   the daemon replays the spool, so acknowledged data survives a kill at
+//!   any instant, and re-submitting a committed stream id is an idempotent
+//!   duplicate.
+//! * **Determinism.** A tenant's aggregate is the
+//!   [`ProfileReport::merge`](aprof_core::ProfileReport::merge) of its
+//!   committed streams in lexicographic stream-id order, which makes it
+//!   byte-identical (via
+//!   [`ProfileReport::to_canonical_text`](aprof_core::ProfileReport::to_canonical_text))
+//!   to a
+//!   one-shot `aprof-cli replay` of the same traces in sorted order.
+//! * **Live endpoints.** The same sockets answer `obs.json`, tenant
+//!   listings, canonical profiles and HTML reports — over the line
+//!   protocol or plain HTTP `GET`.
+//!
+//! See `DESIGN.md` §12 for the architecture discussion and the wire
+//! protocol grammar.
+//!
+//! [`consume_stream`]: aprof_core::consume_stream
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use aprof_faults::FaultPlan;
+use aprof_vm::ResourceLimits;
+use aprof_wire::WireError;
+
+pub mod client;
+mod protocol;
+mod server;
+mod spool;
+mod tenant;
+
+pub use client::{Ack, Target};
+pub use server::{Server, ServerHandle};
+pub use tenant::TenantSummary;
+
+/// How a submission may address a tenant or stream: 1–64 bytes, first byte
+/// ASCII alphanumeric, rest alphanumeric or `.`/`_`/`-`. (The leading
+/// alphanumeric keeps spool paths inside the spool directory.)
+pub fn valid_name(name: &str) -> bool {
+    let bytes = name.as_bytes();
+    !bytes.is_empty()
+        && bytes.len() <= 64
+        && bytes[0].is_ascii_alphanumeric()
+        && bytes.iter().all(|&b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Path of the unix listening socket, if any.
+    pub unix: Option<PathBuf>,
+    /// TCP listen address (e.g. `127.0.0.1:0`), if any.
+    pub tcp: Option<String>,
+    /// Spool directory: one subdirectory per tenant, one `<stream>.wire`
+    /// file per committed stream. Created if missing; replayed on startup.
+    pub spool: PathBuf,
+    /// Per-tenant cap on concurrently decoding streams; submissions beyond
+    /// it wait (backpressure) up to [`ServeConfig::queue_timeout`].
+    pub max_in_flight: usize,
+    /// How long a submission may wait for an in-flight slot before being
+    /// refused busy.
+    pub queue_timeout: Duration,
+    /// Per-tenant quota, expressed as VM resource limits:
+    /// `max_instructions` = aggregated-event budget, `max_alloc_cells` =
+    /// spool footprint in 8-byte cells, `trap` = refuse gracefully (`true`)
+    /// or drop the connection (`false`).
+    pub quota: ResourceLimits,
+    /// Fault plan injected into the ingest path (spool writes, worker
+    /// delays/panics). [`FaultPlan::disabled`] in production.
+    pub fault_seed: Option<u64>,
+}
+
+impl ServeConfig {
+    /// A daemon serving `spool` with both listeners unset and default
+    /// limits; set at least one of [`ServeConfig::unix`] /
+    /// [`ServeConfig::tcp`] before starting.
+    pub fn new(spool: impl Into<PathBuf>) -> Self {
+        ServeConfig {
+            unix: None,
+            tcp: None,
+            spool: spool.into(),
+            max_in_flight: 8,
+            queue_timeout: Duration::from_secs(10),
+            quota: ResourceLimits { trap: true, ..ResourceLimits::default() },
+            fault_seed: None,
+        }
+    }
+
+    pub(crate) fn fault_plan(&self) -> FaultPlan {
+        match self.fault_seed {
+            Some(seed) => FaultPlan::new(aprof_faults::FaultConfig::smoke(seed)),
+            None => FaultPlan::disabled(),
+        }
+    }
+}
+
+/// Everything that can go wrong inside the daemon or its client.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket or spool I/O failure.
+    Io(io::Error),
+    /// The submitted trace failed wire validation (CRC, framing, missing
+    /// or corrupt index).
+    Wire(WireError),
+    /// The peer spoke something other than the `APROF/1` line protocol
+    /// (or an over-long / malformed request line).
+    Protocol(String),
+    /// A per-tenant quota refused the submission.
+    Quota(String),
+    /// The tenant stayed at its in-flight cap past the queue timeout.
+    Busy,
+    /// The daemon is draining and no longer accepts submissions.
+    Draining,
+    /// The server replied `ERR` to a client call.
+    Remote(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Wire(e) => write!(f, "wire error: {e}"),
+            ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::Quota(msg) => write!(f, "quota exceeded: {msg}"),
+            ServeError::Busy => write!(f, "tenant busy: in-flight budget exhausted"),
+            ServeError::Draining => write!(f, "daemon is draining"),
+            ServeError::Remote(msg) => write!(f, "server error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> Self {
+        ServeError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_validation() {
+        assert!(valid_name("tenant-1"));
+        assert!(valid_name("a"));
+        assert!(valid_name("web.frontend_2"));
+        assert!(!valid_name(""));
+        assert!(!valid_name(".."));
+        assert!(!valid_name(".hidden"));
+        assert!(!valid_name("-dash"));
+        assert!(!valid_name("has/slash"));
+        assert!(!valid_name("has space"));
+        assert!(!valid_name(&"x".repeat(65)));
+        assert!(valid_name(&"x".repeat(64)));
+    }
+}

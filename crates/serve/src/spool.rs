@@ -1,0 +1,174 @@
+//! The durable spool: the daemon's write-ahead store of committed streams.
+//!
+//! Layout: `<spool>/<tenant>/<stream>.wire` for committed streams and
+//! `<stream>.part` while a submission is still decoding. The commit
+//! sequence is
+//!
+//! 1. flush + `sync_data` the `.part` file (bytes durable),
+//! 2. rename `.part` → `.wire` (atomic commit point),
+//! 3. `sync_data` the tenant directory (rename durable),
+//! 4. fold the profile into the in-memory aggregate,
+//! 5. acknowledge the client.
+//!
+//! Because the ack comes last, every acknowledged stream has a durable
+//! `.wire` file; a daemon killed between (3) and (5) re-aggregates the
+//! stream on restart and answers the client's retry with an idempotent
+//! duplicate ack. `.part` leftovers are un-acknowledged by construction
+//! and are deleted during recovery.
+
+use crate::{ServeError, valid_name};
+use aprof_core::{ProfileReport, TrmsProfiler};
+use aprof_obs::counters;
+use std::fs::{self, File};
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+
+/// Handle on the spool directory.
+#[derive(Debug, Clone)]
+pub(crate) struct Spool {
+    dir: PathBuf,
+}
+
+/// What startup recovery found: replayable streams plus damaged files.
+pub(crate) type RecoveryOutcome = (Vec<RecoveredStream>, Vec<(PathBuf, ServeError)>);
+
+/// One stream replayed from the spool during startup recovery.
+pub(crate) struct RecoveredStream {
+    pub tenant: String,
+    pub stream: String,
+    pub report: ProfileReport,
+    pub events: u64,
+    pub bytes: u64,
+}
+
+impl Spool {
+    /// Opens (creating if needed) the spool directory.
+    pub(crate) fn open(dir: &Path) -> Result<Spool, ServeError> {
+        fs::create_dir_all(dir)?;
+        Ok(Spool { dir: dir.to_owned() })
+    }
+
+    fn tenant_dir(&self, tenant: &str) -> PathBuf {
+        self.dir.join(tenant)
+    }
+
+    pub(crate) fn part_path(&self, tenant: &str, stream: &str) -> PathBuf {
+        self.tenant_dir(tenant).join(format!("{stream}.part"))
+    }
+
+    pub(crate) fn wire_path(&self, tenant: &str, stream: &str) -> PathBuf {
+        self.tenant_dir(tenant).join(format!("{stream}.wire"))
+    }
+
+    /// Creates (truncating any stale leftover) the `.part` file for an
+    /// in-flight submission.
+    pub(crate) fn create_part(&self, tenant: &str, stream: &str) -> Result<File, ServeError> {
+        fs::create_dir_all(self.tenant_dir(tenant))?;
+        Ok(File::create(self.part_path(tenant, stream))?)
+    }
+
+    /// Atomically promotes a synced `.part` to `.wire` and makes the rename
+    /// itself durable. This is the commit point of the ingest path.
+    pub(crate) fn commit(&self, tenant: &str, stream: &str) -> Result<(), ServeError> {
+        fs::rename(self.part_path(tenant, stream), self.wire_path(tenant, stream))?;
+        File::open(self.tenant_dir(tenant))?.sync_data()?;
+        Ok(())
+    }
+
+    /// Removes the `.part` of an aborted submission (best-effort).
+    pub(crate) fn discard_part(&self, tenant: &str, stream: &str) {
+        let _ = fs::remove_file(self.part_path(tenant, stream));
+    }
+
+    /// Replays every committed stream back into profiles and deletes
+    /// un-acknowledged `.part` leftovers. Streams come back sorted by
+    /// `(tenant, stream)` so callers rebuild aggregates deterministically.
+    ///
+    /// A `.wire` file that fails strict validation is reported in the
+    /// second return slot and left on disk for inspection — it is *not*
+    /// silently dropped from the data-loss accounting.
+    pub(crate) fn recover(&self) -> Result<RecoveryOutcome, ServeError> {
+        let mut streams = Vec::new();
+        let mut damaged = Vec::new();
+        let mut tenants: Vec<PathBuf> = fs::read_dir(&self.dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        tenants.sort();
+        for tenant_dir in tenants {
+            let Some(tenant) = tenant_dir.file_name().and_then(|n| n.to_str()) else { continue };
+            if !valid_name(tenant) {
+                continue;
+            }
+            let tenant = tenant.to_owned();
+            let mut files: Vec<PathBuf> = fs::read_dir(&tenant_dir)?
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .collect();
+            files.sort();
+            for path in files {
+                let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+                if let Some(stream) = name.strip_suffix(".part") {
+                    if valid_name(stream) {
+                        let _ = fs::remove_file(&path);
+                    }
+                    continue;
+                }
+                let Some(stream) = name.strip_suffix(".wire") else { continue };
+                if !valid_name(stream) {
+                    continue;
+                }
+                match replay_wire(&path) {
+                    Ok((report, events, bytes)) => {
+                        counters::SERVE_RECOVERED_STREAMS.incr();
+                        streams.push(RecoveredStream {
+                            tenant: tenant.clone(),
+                            stream: stream.to_owned(),
+                            report,
+                            events,
+                            bytes,
+                        });
+                    }
+                    Err(e) => damaged.push((path, e)),
+                }
+            }
+        }
+        Ok((streams, damaged))
+    }
+}
+
+/// Strict-replays one committed `.wire` file into a profile.
+fn replay_wire(path: &Path) -> Result<(ProfileReport, u64, u64), ServeError> {
+    let bytes = fs::metadata(path)?.len();
+    let file = BufReader::new(File::open(path)?);
+    let mut reader = aprof_wire::WireReader::new(file)?.strict();
+    let mut profiler = TrmsProfiler::new();
+    let events = profiler.consume_stream(&mut reader)?;
+    if reader.index().is_none() {
+        return Err(ServeError::Wire(aprof_wire::WireError::UnexpectedEof {
+            context: "spooled stream ended without a validated index",
+        }));
+    }
+    let names = reader.routines().clone();
+    Ok((profiler.into_report(&names), events, bytes))
+}
+
+/// Spool footprint of a byte count, in the VM's 8-byte cells (rounding up),
+/// so `ResourceLimits::max_alloc_cells` doubles as a spool quota.
+pub(crate) fn bytes_to_cells(bytes: u64) -> u64 {
+    bytes.div_ceil(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_round_up() {
+        assert_eq!(bytes_to_cells(0), 0);
+        assert_eq!(bytes_to_cells(1), 1);
+        assert_eq!(bytes_to_cells(8), 1);
+        assert_eq!(bytes_to_cells(9), 2);
+    }
+}

@@ -1,0 +1,250 @@
+//! Per-tenant state: aggregates, quotas, and the backpressure gate.
+
+use crate::{ServeConfig, ServeError};
+use aprof_core::ProfileReport;
+use aprof_obs::counters;
+use aprof_vm::ResourceLimits;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One tenant's committed state plus its in-flight accounting.
+#[derive(Default)]
+struct TenantState {
+    /// Streams currently decoding (bounded by `max_in_flight`).
+    in_flight: usize,
+    /// Ids of the streams currently decoding. A stream id admits at most
+    /// one submission at a time — concurrent retries of the same id would
+    /// otherwise race on one `.part` spool file and could corrupt a
+    /// commit; later arrivals wait out the first and then resolve as a
+    /// duplicate or a fresh admission.
+    active: BTreeSet<String>,
+    /// Events aggregated over all committed streams.
+    events_total: u64,
+    /// Spool footprint of committed streams, in 8-byte cells.
+    spooled_cells: u64,
+    /// Committed per-stream profiles, keyed by stream id. BTreeMap order
+    /// (lexicographic) fixes the merge order, which fixes the aggregate's
+    /// canonical bytes.
+    reports: BTreeMap<String, ProfileReport>,
+}
+
+/// A row of the `TENANTS` listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSummary {
+    /// Tenant name.
+    pub tenant: String,
+    /// Committed streams.
+    pub streams: usize,
+    /// Events aggregated across those streams.
+    pub events: u64,
+    /// Spool footprint in 8-byte cells.
+    pub spooled_cells: u64,
+    /// Streams currently decoding.
+    pub in_flight: usize,
+}
+
+/// What `admit` decided for a submission.
+pub(crate) enum Admission<'a> {
+    /// Proceed; the guard holds an in-flight slot and carries the event
+    /// budget left at admission time.
+    Slot(SlotGuard<'a>),
+    /// The stream id is already committed — acknowledge idempotently
+    /// without aggregating again.
+    Duplicate,
+}
+
+/// The tenant registry: all tenant state behind one lock, plus the condvar
+/// that parks submissions waiting out backpressure.
+pub(crate) struct Registry {
+    inner: Mutex<BTreeMap<String, TenantState>>,
+    cv: Condvar,
+    max_in_flight: usize,
+    queue_timeout: Duration,
+    quota: ResourceLimits,
+}
+
+impl Registry {
+    pub(crate) fn new(cfg: &ServeConfig) -> Registry {
+        Registry {
+            inner: Mutex::new(BTreeMap::new()),
+            cv: Condvar::new(),
+            max_in_flight: cfg.max_in_flight.max(1),
+            queue_timeout: cfg.queue_timeout,
+            quota: cfg.quota,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, TenantState>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Admits (or refuses) a submission for `tenant`/`stream`.
+    ///
+    /// Blocks while the tenant is at its in-flight cap — that wait *is* the
+    /// backpressure: the daemon stops reading the socket, the kernel's
+    /// buffers fill, and the client's writes stall. Waiting past
+    /// `queue_timeout` refuses the stream busy. A stalled admission bumps
+    /// `serve.backpressure_stalls` once, however many wakeups it takes.
+    pub(crate) fn admit(&self, tenant: &str, stream: &str) -> Result<Admission<'_>, ServeError> {
+        let deadline = Instant::now() + self.queue_timeout;
+        let mut inner = self.lock();
+        let mut stalled = false;
+        loop {
+            let state = inner.entry(tenant.to_owned()).or_default();
+            if state.reports.contains_key(stream) {
+                return Ok(Admission::Duplicate);
+            }
+            if state.events_total >= self.quota.max_instructions {
+                counters::SERVE_QUOTA_TRIPS.incr();
+                return Err(ServeError::Quota(format!(
+                    "tenant {tenant} exhausted its event budget ({})",
+                    self.quota.max_instructions
+                )));
+            }
+            if state.in_flight < self.max_in_flight && !state.active.contains(stream) {
+                state.in_flight += 1;
+                state.active.insert(stream.to_owned());
+                let budget = self.quota.max_instructions - state.events_total;
+                return Ok(Admission::Slot(SlotGuard {
+                    registry: self,
+                    tenant: tenant.to_owned(),
+                    stream: stream.to_owned(),
+                    events_budget: budget,
+                }));
+            }
+            if !stalled {
+                stalled = true;
+                counters::SERVE_BACKPRESSURE_STALLS.incr();
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ServeError::Busy);
+            }
+            let (guard, _timeout) =
+                self.cv.wait_timeout(inner, deadline - now).unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+        }
+    }
+
+    fn release(&self, tenant: &str, stream: &str) {
+        let mut inner = self.lock();
+        if let Some(state) = inner.get_mut(tenant) {
+            state.in_flight = state.in_flight.saturating_sub(1);
+            state.active.remove(stream);
+        }
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Folds a validated, durably spooled stream into its tenant. Enforces
+    /// the spool-cells quota; a refusal here means the caller must undo the
+    /// spool commit (the file was renamed but not yet acknowledged).
+    pub(crate) fn commit(
+        &self,
+        tenant: &str,
+        stream: &str,
+        report: ProfileReport,
+        events: u64,
+        cells: u64,
+    ) -> Result<(), ServeError> {
+        let mut inner = self.lock();
+        let state = inner.entry(tenant.to_owned()).or_default();
+        if state.spooled_cells.saturating_add(cells) > self.quota.max_alloc_cells {
+            counters::SERVE_QUOTA_TRIPS.incr();
+            return Err(ServeError::Quota(format!(
+                "tenant {tenant} would exceed its spool quota ({} cells)",
+                self.quota.max_alloc_cells
+            )));
+        }
+        state.events_total += events;
+        state.spooled_cells += cells;
+        state.reports.insert(stream.to_owned(), report);
+        counters::SERVE_STREAMS_COMMITTED.incr();
+        counters::SERVE_EVENTS_AGGREGATED.add(events);
+        let active = inner.values().filter(|t| !t.reports.is_empty()).count() as u64;
+        counters::SERVE_ACTIVE_TENANTS.store(active);
+        Ok(())
+    }
+
+    /// Undoes a [`Registry::commit`] whose durable rename failed, so the
+    /// in-memory aggregate never leads a spool that cannot catch up.
+    pub(crate) fn evict(&self, tenant: &str, stream: &str, events: u64, cells: u64) {
+        let mut inner = self.lock();
+        if let Some(state) = inner.get_mut(tenant) {
+            if state.reports.remove(stream).is_some() {
+                state.events_total = state.events_total.saturating_sub(events);
+                state.spooled_cells = state.spooled_cells.saturating_sub(cells);
+            }
+        }
+        let active = inner.values().filter(|t| !t.reports.is_empty()).count() as u64;
+        counters::SERVE_ACTIVE_TENANTS.store(active);
+    }
+
+    /// Re-installs a stream recovered from the spool (no quota checks — it
+    /// was already admitted and committed in a previous life).
+    pub(crate) fn restore(&self, tenant: &str, stream: &str, report: ProfileReport, events: u64, cells: u64) {
+        let mut inner = self.lock();
+        let state = inner.entry(tenant.to_owned()).or_default();
+        state.events_total += events;
+        state.spooled_cells += cells;
+        state.reports.insert(stream.to_owned(), report);
+        let active = inner.values().filter(|t| !t.reports.is_empty()).count() as u64;
+        counters::SERVE_ACTIVE_TENANTS.store(active);
+    }
+
+    /// The tenant's aggregate: committed stream profiles merged in
+    /// lexicographic stream-id order. `None` for unknown/empty tenants.
+    pub(crate) fn aggregate(&self, tenant: &str) -> Option<ProfileReport> {
+        let inner = self.lock();
+        let state = inner.get(tenant)?;
+        if state.reports.is_empty() {
+            return None;
+        }
+        let reports: Vec<ProfileReport> = state.reports.values().cloned().collect();
+        Some(ProfileReport::merge(&reports))
+    }
+
+    /// All tenants, in name order.
+    pub(crate) fn summaries(&self) -> Vec<TenantSummary> {
+        self.lock()
+            .iter()
+            .map(|(tenant, state)| TenantSummary {
+                tenant: tenant.clone(),
+                streams: state.reports.len(),
+                events: state.events_total,
+                spooled_cells: state.spooled_cells,
+                in_flight: state.in_flight,
+            })
+            .collect()
+    }
+
+    /// Total streams currently decoding across all tenants (drain waits on
+    /// this reaching zero).
+    pub(crate) fn total_in_flight(&self) -> usize {
+        self.lock().values().map(|t| t.in_flight).sum()
+    }
+}
+
+/// RAII in-flight slot: released on drop, including on panic, so an
+/// injected worker panic cannot leak a tenant's slot and wedge its queue.
+pub(crate) struct SlotGuard<'a> {
+    registry: &'a Registry,
+    tenant: String,
+    stream: String,
+    events_budget: u64,
+}
+
+impl SlotGuard<'_> {
+    /// Events this stream may still aggregate (budget snapshot at
+    /// admission).
+    pub(crate) fn events_budget(&self) -> u64 {
+        self.events_budget
+    }
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        self.registry.release(&self.tenant, &self.stream);
+    }
+}

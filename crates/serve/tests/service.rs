@@ -1,0 +1,367 @@
+//! In-process integration tests for the service daemon: protocol
+//! round-trips, multi-tenant determinism against the one-shot replay
+//! oracle, quotas, backpressure, and restart recovery.
+//!
+//! Obs counters are process-global and the test harness runs tests on
+//! parallel threads, so counter assertions here are monotonic (`>=`,
+//! before/after deltas) rather than exact.
+
+use aprof_core::{ProfileReport, TrmsProfiler};
+use aprof_serve::{client, ServeConfig, Server, Target};
+use aprof_trace::NullTool;
+use aprof_vm::ResourceLimits;
+use aprof_wire::{WireOptions, WireReader, WireWriter};
+use aprof_workloads::{by_name, WorkloadParams};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A fresh scratch directory per call (unique across tests and runs).
+fn scratch(label: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "aprof-serve-test-{}-{label}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Records one workload run into wire bytes, with small chunks so even
+/// short submissions span several of them.
+fn record_workload(name: &str, size: u64) -> Vec<u8> {
+    let wl = by_name(name).expect("workload registered");
+    let mut machine = wl.build(&WorkloadParams::new(size, 2));
+    let names = machine.program().routines().clone();
+    let mut writer = WireWriter::create(
+        Vec::new(),
+        &names,
+        WireOptions { chunk_bytes: 1024, ..Default::default() },
+    )
+    .unwrap();
+    machine.run_recording(&mut NullTool, &mut writer).expect("workload runs");
+    writer.finish().unwrap().0
+}
+
+/// The daemon-equivalent one-shot replay of one wire trace.
+fn replay(bytes: &[u8]) -> ProfileReport {
+    let mut reader = WireReader::new(bytes).unwrap().strict();
+    let mut profiler = TrmsProfiler::new();
+    profiler.consume_stream(&mut reader).expect("valid stream");
+    assert!(reader.index().is_some());
+    let names = reader.routines().clone();
+    profiler.into_report(&names)
+}
+
+/// The CLI oracle: replay each trace, merge in the given (sorted) order.
+fn oracle_text(traces: &[&[u8]]) -> String {
+    let reports: Vec<ProfileReport> = traces.iter().map(|t| replay(t)).collect();
+    ProfileReport::merge(&reports).to_canonical_text()
+}
+
+fn unix_config(dir: &Path) -> (ServeConfig, Target) {
+    let sock = dir.join("daemon.sock");
+    let mut cfg = ServeConfig::new(dir.join("spool"));
+    cfg.unix = Some(sock.clone());
+    (cfg, Target::Unix(sock))
+}
+
+#[test]
+fn unix_round_trip_profile_report_obs() {
+    aprof_obs::enable();
+    let dir = scratch("roundtrip");
+    let (cfg, target) = unix_config(&dir);
+    let server = Server::start(cfg).unwrap();
+    assert!(server.damaged.is_empty());
+
+    client::ping(&target).unwrap();
+
+    let trace = record_workload("algo.insertion_sort", 48);
+    let ack = client::submit(&target, "web", "s-001", &mut &trace[..]).unwrap();
+    assert!(ack.events > 0 && ack.chunks > 0 && !ack.duplicate);
+
+    // Live endpoints while the daemon runs.
+    let profile = client::fetch_profile(&target, "web").unwrap();
+    assert_eq!(profile, oracle_text(&[&trace]));
+    let report = client::fetch_report(&target, "web").unwrap();
+    assert!(
+        report.contains("<!DOCTYPE html>") || report.contains("<html"),
+        "not HTML: {}",
+        &report[..80.min(report.len())]
+    );
+    let obs = client::fetch_obs(&target).unwrap();
+    assert!(obs.contains("\"version\": 3"), "obs.json should be schema v3");
+    assert!(obs.contains("serve.streams_committed"));
+    let tenants = client::fetch_tenants(&target).unwrap();
+    assert!(tenants.contains("web streams=1"), "unexpected listing: {tenants}");
+
+    // Idempotent duplicate.
+    let dup = client::submit(&target, "web", "s-001", &mut &trace[..]).unwrap();
+    assert!(dup.duplicate);
+    assert_eq!(client::fetch_profile(&target, "web").unwrap(), profile);
+
+    // Unknown tenant is a remote error.
+    assert!(client::fetch_profile(&target, "nobody").is_err());
+
+    client::shutdown(&target, false).unwrap();
+    server.wait().unwrap();
+    let snap = aprof_obs::snapshot();
+    assert!(snap.counter("serve.streams_committed").unwrap_or(0) >= 1);
+    assert!(snap.counter("serve.drain_micros").is_some());
+}
+
+#[test]
+fn http_endpoints_over_tcp() {
+    aprof_obs::enable();
+    let dir = scratch("http");
+    let mut cfg = ServeConfig::new(dir.join("spool"));
+    cfg.tcp = Some("127.0.0.1:0".into());
+    let server = Server::start(cfg).unwrap();
+    let addr = server.tcp_addr().unwrap();
+    let target = Target::Tcp(addr.to_string());
+
+    let trace = record_workload("algo.insertion_sort", 40);
+    client::submit(&target, "web", "s-1", &mut &trace[..]).unwrap();
+
+    let get = |path: &str| -> String {
+        use std::io::Read;
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        s.write_all(format!("GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").as_bytes()).unwrap();
+        let mut body = String::new();
+        s.read_to_string(&mut body).unwrap();
+        body
+    };
+    assert!(get("/healthz").contains("200 OK"));
+    let obs = get("/obs.json");
+    assert!(obs.contains("application/json") && obs.contains("\"version\": 3"));
+    assert!(get("/tenants").contains("web streams=1"));
+    assert!(get("/profile/web").contains("aprof-profile v1"));
+    assert!(get("/report/web").contains("text/html"));
+    assert!(get("/profile/nobody").contains("404"));
+    assert!(get("/nonsense").contains("404"));
+
+    server.shutdown(false);
+    server.wait().unwrap();
+}
+
+#[test]
+fn concurrent_tenants_are_byte_identical_to_one_shot_replay() {
+    aprof_obs::enable();
+    let dir = scratch("concurrent");
+    let (cfg, target) = unix_config(&dir);
+    let server = Server::start(cfg).unwrap();
+
+    // Two tenants, two distinct streams each, submitted concurrently.
+    let traces: Vec<Vec<u8>> = [
+        ("algo.insertion_sort", 36),
+        ("algo.merge_sort", 24),
+        ("producer_consumer", 20),
+        ("algo.binary_search", 48),
+    ]
+    .iter()
+    .map(|&(w, n)| record_workload(w, n))
+    .collect();
+    std::thread::scope(|scope| {
+        for (i, trace) in traces.iter().enumerate() {
+            let target = target.clone();
+            scope.spawn(move || {
+                let tenant = if i % 2 == 0 { "alpha" } else { "beta" };
+                let ack = client::submit(&target, tenant, &format!("s-{i:03}"), &mut &trace[..])
+                    .unwrap();
+                assert!(ack.events > 0);
+            });
+        }
+    });
+
+    // Expected: per-tenant merge of the one-shot replays in sorted
+    // stream-id order (s-000 < s-002, s-001 < s-003) — the order the
+    // daemon's aggregate uses regardless of arrival interleaving.
+    let alpha = oracle_text(&[&traces[0], &traces[2]]);
+    let beta = oracle_text(&[&traces[1], &traces[3]]);
+    assert_eq!(client::fetch_profile(&target, "alpha").unwrap(), alpha);
+    assert_eq!(client::fetch_profile(&target, "beta").unwrap(), beta);
+
+    server.shutdown(false);
+    server.wait().unwrap();
+}
+
+#[test]
+fn restart_recovers_committed_streams_byte_identically() {
+    aprof_obs::enable();
+    let dir = scratch("recovery");
+    let (cfg, target) = unix_config(&dir);
+
+    let t1 = record_workload("algo.insertion_sort", 44);
+    let t2 = record_workload("algo.merge_sort", 20);
+    {
+        let server = Server::start(cfg.clone()).unwrap();
+        client::submit(&target, "web", "a-1", &mut &t1[..]).unwrap();
+        client::submit(&target, "web", "a-2", &mut &t2[..]).unwrap();
+        server.shutdown(true); // immediate stop, no graceful drain
+        server.wait().unwrap();
+    }
+    let expected = oracle_text(&[&t1, &t2]);
+
+    // Simulate a mid-stream kill leftover: recovery must delete it and
+    // must not let it perturb the aggregate.
+    let part = cfg.spool.join("web").join("killed.part");
+    std::fs::write(&part, b"half a stream").unwrap();
+
+    let server = Server::start(cfg.clone()).unwrap();
+    assert!(server.damaged.is_empty());
+    assert!(!part.exists(), ".part leftovers are discarded on recovery");
+    assert_eq!(client::fetch_profile(&target, "web").unwrap(), expected);
+
+    // Re-submitting a recovered stream is still an idempotent duplicate.
+    let dup = client::submit(&target, "web", "a-1", &mut &t1[..]).unwrap();
+    assert!(dup.duplicate);
+    assert_eq!(client::fetch_profile(&target, "web").unwrap(), expected);
+
+    server.shutdown(false);
+    server.wait().unwrap();
+}
+
+#[test]
+fn damaged_spool_files_are_reported_not_dropped() {
+    aprof_obs::enable();
+    let dir = scratch("damaged");
+    let (cfg, _target) = unix_config(&dir);
+    let bad = cfg.spool.join("web").join("torn.wire");
+    std::fs::create_dir_all(bad.parent().unwrap()).unwrap();
+    std::fs::write(&bad, b"not a wire trace at all").unwrap();
+
+    let server = Server::start(cfg).unwrap();
+    assert_eq!(server.damaged.len(), 1);
+    assert_eq!(server.damaged[0].0, bad);
+    assert!(bad.exists(), "damaged files stay on disk for inspection");
+
+    server.shutdown(true);
+    server.wait().unwrap();
+}
+
+#[test]
+fn event_quota_refuses_oversized_streams() {
+    aprof_obs::enable();
+    let dir = scratch("quota");
+    let (mut cfg, target) = unix_config(&dir);
+    cfg.quota = ResourceLimits { max_instructions: 50, trap: true, ..ResourceLimits::default() };
+    let server = Server::start(cfg.clone()).unwrap();
+
+    let trace = record_workload("algo.insertion_sort", 48); // far over 50 events
+    let before = aprof_obs::snapshot().counter("serve.quota_trips").unwrap_or(0);
+    let err = client::submit(&target, "web", "big", &mut &trace[..]).unwrap_err();
+    assert!(err.to_string().contains("quota"), "unexpected refusal: {err}");
+    let after = aprof_obs::snapshot().counter("serve.quota_trips").unwrap_or(0);
+    assert!(after > before, "a quota refusal must be counted");
+
+    // Nothing was committed: no aggregate, no spool file.
+    assert!(client::fetch_profile(&target, "web").is_err());
+    assert!(!cfg.spool.join("web").join("big.wire").exists());
+    assert!(!cfg.spool.join("web").join("big.part").exists());
+
+    server.shutdown(false);
+    server.wait().unwrap();
+}
+
+#[test]
+fn spool_cells_quota_refuses_commit() {
+    aprof_obs::enable();
+    let dir = scratch("cells");
+    let (mut cfg, target) = unix_config(&dir);
+    cfg.quota = ResourceLimits { max_alloc_cells: 4, trap: true, ..ResourceLimits::default() };
+    let server = Server::start(cfg.clone()).unwrap();
+
+    let trace = record_workload("algo.insertion_sort", 40); // well over 32 bytes
+    let err = client::submit(&target, "web", "fat", &mut &trace[..]).unwrap_err();
+    assert!(err.to_string().contains("spool quota"), "unexpected refusal: {err}");
+    assert!(!cfg.spool.join("web").join("fat.wire").exists());
+    assert!(!cfg.spool.join("web").join("fat.part").exists());
+
+    server.shutdown(false);
+    server.wait().unwrap();
+}
+
+#[test]
+fn backpressure_queues_then_refuses_busy() {
+    aprof_obs::enable();
+    let dir = scratch("busy");
+    let (mut cfg, target) = unix_config(&dir);
+    cfg.max_in_flight = 1;
+    cfg.queue_timeout = Duration::from_millis(300);
+    let server = Server::start(cfg).unwrap();
+    let Target::Unix(sock) = &target else { unreachable!() };
+
+    // Occupy the single slot: a submission that sends its header and then
+    // stalls mid-body, holding its in-flight slot open.
+    let mut stalled = std::os::unix::net::UnixStream::connect(sock).unwrap();
+    writeln!(stalled, "APROF/1 SUBMIT tenant=web stream=slow").unwrap();
+    stalled.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(100)); // let it get admitted
+
+    let trace = record_workload("algo.insertion_sort", 32);
+    let before = aprof_obs::snapshot().counter("serve.backpressure_stalls").unwrap_or(0);
+    let err = client::submit(&target, "web", "quick", &mut &trace[..]).unwrap_err();
+    assert!(err.to_string().contains("busy"), "expected busy refusal, got: {err}");
+    let after = aprof_obs::snapshot().counter("serve.backpressure_stalls").unwrap_or(0);
+    assert!(after > before, "a stalled admission must be counted");
+
+    // Release the slot (the stalled client aborts): the never-acked stream
+    // must not appear, and new submissions must be admitted again.
+    drop(stalled);
+    std::thread::sleep(Duration::from_millis(100));
+    let ack = client::submit(&target, "web", "quick", &mut &trace[..]).unwrap();
+    assert!(ack.events > 0);
+    let tenants = client::fetch_tenants(&target).unwrap();
+    assert!(tenants.contains("web streams=1"), "only the acked stream counts: {tenants}");
+
+    server.shutdown(false);
+    server.wait().unwrap();
+}
+
+#[test]
+fn draining_daemon_refuses_new_streams_then_stops() {
+    aprof_obs::enable();
+    let dir = scratch("drain");
+    let (cfg, target) = unix_config(&dir);
+    let server = Server::start(cfg).unwrap();
+
+    let trace = record_workload("algo.insertion_sort", 36);
+    client::submit(&target, "web", "s-1", &mut &trace[..]).unwrap();
+    client::shutdown(&target, false).unwrap();
+    server.wait().unwrap();
+
+    // Listeners are gone after the drain completes.
+    assert!(client::ping(&target).is_err());
+}
+
+#[test]
+fn corrupt_submission_is_refused_and_not_spooled() {
+    aprof_obs::enable();
+    let dir = scratch("corrupt");
+    let (cfg, target) = unix_config(&dir);
+    let server = Server::start(cfg.clone()).unwrap();
+
+    // Flip a payload byte: strict decode must refuse, nothing committed.
+    let mut trace = record_workload("algo.insertion_sort", 40);
+    let mid = trace.len() / 2;
+    trace[mid] ^= 0xff;
+    assert!(
+        client::submit(&target, "web", "bad", &mut &trace[..]).is_err(),
+        "corrupt stream must be refused"
+    );
+    assert!(client::fetch_profile(&target, "web").is_err());
+    assert!(!cfg.spool.join("web").join("bad.wire").exists());
+
+    // A truncated stream (no trailing index) is refused too.
+    let good = record_workload("algo.insertion_sort", 40);
+    assert!(
+        client::submit(&target, "web", "cut", &mut &good[..good.len() / 2]).is_err(),
+        "truncated stream must be refused"
+    );
+    assert!(!cfg.spool.join("web").join("cut.wire").exists());
+
+    server.shutdown(false);
+    server.wait().unwrap();
+}

@@ -56,6 +56,7 @@
 pub mod crc32;
 mod error;
 pub mod format;
+mod parallel;
 mod reader;
 mod recover;
 mod varint;
@@ -63,6 +64,7 @@ mod writer;
 
 pub use error::{SkippedChunk, WireError};
 pub use format::{ChunkEntry, WireIndex, MAX_CHUNK_BYTES, VERSION};
+pub use parallel::{decode_chunks, decode_chunks_with, PARALLEL_MIN_BYTES};
 pub use reader::{read_chunk, read_index, ReaderStats, WireReader};
 pub use recover::{recover, RecoverSummary, StopReason};
 pub use writer::{

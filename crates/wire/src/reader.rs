@@ -491,6 +491,20 @@ pub fn read_chunk<R: Read + Seek>(
     entry: &ChunkEntry,
     out: &mut Vec<(ThreadId, Event)>,
 ) -> Result<(), WireError> {
+    let mut scratch = Vec::new();
+    read_chunk_with(r, ordinal, entry, &mut scratch, out)
+}
+
+/// [`read_chunk`] with a caller-provided payload scratch buffer, so a loop
+/// decoding many chunks (or a parallel-decode worker) allocates the payload
+/// buffer once instead of per chunk.
+pub(crate) fn read_chunk_with<R: Read + Seek>(
+    r: &mut R,
+    ordinal: u32,
+    entry: &ChunkEntry,
+    scratch: &mut Vec<u8>,
+    out: &mut Vec<(ThreadId, Event)>,
+) -> Result<(), WireError> {
     r.seek(SeekFrom::Start(entry.offset))?;
     let mut framing = [0u8; 13];
     r.read_exact(&mut framing)?;
@@ -506,16 +520,16 @@ pub fn read_chunk<R: Read + Seek>(
             reason: format!("chunk {ordinal} framing disagrees with the index entry"),
         });
     }
-    let mut payload = vec![0u8; payload_len as usize];
-    r.read_exact(&mut payload)?;
-    let computed = crc32(&payload);
+    scratch.resize(payload_len as usize, 0);
+    r.read_exact(scratch)?;
+    let computed = crc32(scratch);
     if computed != crc {
         return Err(WireError::ChunkCorrupt {
             index: ordinal,
             reason: format!("payload crc mismatch (stored {crc:#010x}, computed {computed:#010x})"),
         });
     }
-    decode_chunk_into(ordinal, &payload, events, out)
+    decode_chunk_into(ordinal, scratch, events, out)
 }
 
 #[cfg(test)]

@@ -18,10 +18,14 @@
 //! aprof-cli report report.html --workload mysqld --observe
 //! aprof-cli replay trace.wire --report report.html
 //! aprof-cli run --workload dedup --observe --obs-json metrics.json
+//! aprof-cli replay t1.wire t2.wire --profile-out merged.profile
 //! aprof-cli check program.s --deny-lints
 //! aprof-cli check --workloads
 //! aprof-cli fuzz --seed 1 --cases 256
 //! aprof-cli fuzz --seed 7 --cases 64 --faults --jobs 4
+//! aprof-cli serve --spool /var/aprof --unix /run/aprof.sock
+//! aprof-cli submit --to unix:/run/aprof.sock --tenant web t.wire
+//! aprof-cli submit --to tcp:127.0.0.1:7071 --profile web
 //! ```
 
 use aprof::analysis::render::{render_plot, Table};
@@ -29,7 +33,8 @@ use aprof::analysis::{fit_best, CostPlot, Metric, PlotKind, ReportInputs};
 use aprof::core::{InputPolicy, ProfileReport, TrmsProfiler};
 use aprof::tools::{CallgrindTool, HelgrindTool, MemcheckTool};
 use aprof::trace::{textio, EventKind, RecordingTool, RoutineTable, Trace};
-use aprof::vm::{asm, Machine};
+use aprof::serve::{client as serve_client, ServeConfig, Server, Target};
+use aprof::vm::{asm, Machine, ResourceLimits};
 use aprof::wire::{
     recover, DurableFile, FlushPolicy, WireOptions, WireReader, WireWriter, DEFAULT_CHUNK_BYTES,
 };
@@ -49,6 +54,8 @@ fn main() {
         Some("recover") => with_observe(&args[1..], cmd_recover),
         Some("report") => with_observe(&args[1..], cmd_report),
         Some("bench") => with_observe(&args[1..], cmd_bench),
+        Some("serve") => with_observe(&args[1..], cmd_serve),
+        Some("submit") => with_observe(&args[1..], cmd_submit),
         Some("fuzz") => with_observe(&args[1..], cmd_fuzz),
         Some("check") => cmd_check(&args[1..]),
         Some("--help") | Some("-h") | None => {
@@ -101,9 +108,12 @@ commands:
                                streaming its event trace to FILE in the
                                binary wire format; `record FILE PROG.s`
                                records an assembly program instead
-  replay FILE [opts]           profile a previously saved trace (wire or
+  replay FILES [opts]          profile previously saved traces (wire or
                                text format, detected automatically; wire
-                               traces stream in O(chunk) memory)
+                               traces stream in O(chunk) memory); several
+                               wire traces merge into one aggregate
+                               profile, byte-identical to a service
+                               tenant's aggregate of the same streams
   trace-info FILE              inspect a saved trace: format, events,
                                chunks, threads, and any corrupt chunks
                                skipped during decode
@@ -126,6 +136,14 @@ commands:
                                oracles (naive-vs-engine, batched replay,
                                wire round-trip, static-vs-dynamic);
                                failures are shrunk to a minimal program
+  serve --spool DIR [opts]     run the multi-tenant profiling service
+                               daemon: concurrent wire-trace submissions
+                               over unix/tcp sockets, per-tenant
+                               aggregation and quotas, crash-safe spool,
+                               live profile/report/obs.json endpoints
+  submit --to TARGET [opts]    talk to a running daemon: submit TRACE
+                               files, fetch profiles, reports, obs.json
+                               and tenant listings, ping, shut down
 
 options:
   --size N          workload size          (default 96)
@@ -145,6 +163,9 @@ options:
                     crash (even power loss) costs at most the open chunk;
                     `recover` restores such a capture losslessly
   --strict          replay: abort on corrupt chunks instead of skipping
+  --profile-out FILE  replay: write the (merged) profile as canonical
+                    text — the byte-stable format the service daemon
+                    serves from its PROFILE endpoint
   --csv FILE        also write the routine summary as CSV to FILE
   --no-check        run/asm/record: skip the static verifier (which
                     otherwise refuses programs with hard errors)
@@ -173,6 +194,39 @@ fuzz options:
   --mutate M        plant a profiler bug to test the harness itself:
                     drop-kernel-input | drop-read:N | scale-cost:N
                     (the sweep must then FAIL and shrink the reproducer)
+
+serve options:
+  --unix PATH       listen on a unix socket at PATH
+  --tcp ADDR        listen on ADDR (host:port; port 0 picks one and the
+                    daemon prints it)
+  --spool DIR       durable spool directory (required); committed streams
+                    are replayed from it on startup
+  --max-in-flight N per-tenant concurrently decoding streams (default 8)
+  --queue-timeout-ms N  how long a submission waits out backpressure
+                    before a busy refusal             (default 10000)
+  --max-events N    per-tenant aggregated-event quota (default unlimited)
+  --max-spool-cells N  per-tenant spool quota in 8-byte cells
+                                                      (default unlimited)
+  --hard-quota      drop connections on quota refusal instead of replying
+                    with a graceful ERR
+  --fault-seed N    inject the seeded smoke fault plan into the ingest
+                    path (soak testing)
+  the daemon serves until `submit --shutdown` (drain) or --shutdown-now
+
+submit options:
+  --to TARGET       unix:PATH | tcp:HOST:PORT          (required)
+  --tenant NAME     tenant for submitted traces        (default: default)
+  --stream NAME     stream id for a single submitted trace
+                    (default: the trace file's stem; ids are idempotent —
+                    resubmitting a committed id is a no-op duplicate)
+  --profile TENANT  fetch the tenant's aggregate as canonical text
+  --report TENANT   fetch the tenant's aggregate as an HTML report
+  --obs             fetch the daemon's live obs.json
+  --tenants         fetch the tenant listing
+  --ping            health-check the daemon
+  --out FILE        write fetched bodies to FILE instead of stdout
+  --shutdown        ask the daemon to drain and stop
+  --shutdown-now    ask the daemon to stop immediately
 ";
 
 struct Opts {
@@ -190,6 +244,7 @@ struct Opts {
     chunk_bytes: usize,
     durable: bool,
     strict: bool,
+    profile_out: Option<String>,
     csv: Option<String>,
     no_check: bool,
     report: Option<String>,
@@ -212,6 +267,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         chunk_bytes: DEFAULT_CHUNK_BYTES,
         durable: false,
         strict: false,
+        profile_out: None,
         csv: None,
         no_check: false,
         report: None,
@@ -253,6 +309,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--durable" => o.durable = true,
             "--strict" => o.strict = true,
+            "--profile-out" => o.profile_out = Some(value("--profile-out")?),
             "--csv" => o.csv = Some(value("--csv")?),
             "--no-check" => o.no_check = true,
             "--report" => o.report = Some(value("--report")?),
@@ -649,10 +706,17 @@ fn cmd_replay(args: &[String]) -> i32 {
             return 2;
         }
     };
-    let Some(path) = opts.positional.first() else {
-        eprintln!("replay requires a FILE argument");
+    if opts.positional.is_empty() {
+        eprintln!("replay requires at least one FILE argument");
         return 2;
-    };
+    }
+    // Several traces (or an explicit `--profile-out`) take the merge path:
+    // replay each wire trace, then merge in argument order — pass traces
+    // in sorted stream-id order to match a service tenant's aggregate.
+    if opts.positional.len() > 1 || opts.profile_out.is_some() {
+        return replay_merged(&opts);
+    }
+    let path = &opts.positional[0];
     let (file, is_wire) = match open_trace(path) {
         Ok(v) => v,
         Err(e) => {
@@ -696,6 +760,62 @@ fn cmd_replay(args: &[String]) -> i32 {
         let mut profiler = build_profiler(&opts);
         trace.replay(&mut profiler);
         report_profiler(profiler, &names, &opts);
+    }
+    0
+}
+
+/// The merge path of `cmd_replay`: one profile per wire trace, merged in
+/// argument order. `ProfileReport::merge` is also what a service tenant's
+/// aggregate uses, so replaying a tenant's spooled streams in sorted
+/// stream-id order reproduces its `PROFILE` endpoint byte for byte.
+fn replay_merged(opts: &Opts) -> i32 {
+    let mut reports = Vec::new();
+    for path in &opts.positional {
+        let (file, is_wire) = match open_trace(path) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        };
+        if !is_wire {
+            eprintln!("{path}: profile merging requires wire traces (the text format carries no routine names)");
+            return 1;
+        }
+        let mut reader = match WireReader::new(file) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return 1;
+            }
+        };
+        if opts.strict {
+            reader = reader.strict();
+        }
+        let names = reader.routines().clone();
+        let mut profiler = build_profiler(opts);
+        if let Err(e) = profiler.consume_stream(&mut reader) {
+            eprintln!("{path}: {e}");
+            return 1;
+        }
+        for skipped in reader.skipped() {
+            eprintln!("warning: {path}: skipped corrupt {skipped}");
+        }
+        reports.push(profiler.into_report(&names));
+    }
+    let merged = ProfileReport::merge(&reports);
+    print_summary(&merged, opts);
+    if let Some(path) = &opts.profile_out {
+        match std::fs::write(path, merged.to_canonical_text()) {
+            Ok(()) => println!("wrote canonical profile to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                return 1;
+            }
+        }
+    }
+    if let Some(path) = &opts.report {
+        write_html_report(&merged, "merged replay", path, opts.top);
     }
     0
 }
@@ -910,6 +1030,285 @@ fn cmd_bench(args: &[String]) -> i32 {
             1
         }
     }
+}
+
+fn cmd_serve(args: &[String]) -> i32 {
+    let mut cfg: Option<ServeConfig> = None;
+    let mut unix: Option<String> = None;
+    let mut tcp: Option<String> = None;
+    let mut max_in_flight = 8usize;
+    let mut queue_timeout_ms = 10_000u64;
+    let mut max_events = u64::MAX;
+    let mut max_spool_cells = u64::MAX;
+    let mut hard_quota = false;
+    let mut fault_seed: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{flag} needs a value"))
+        };
+        let parsed = match a.as_str() {
+            "--spool" => value("--spool").map(|v| cfg = Some(ServeConfig::new(v))),
+            "--unix" => value("--unix").map(|v| unix = Some(v)),
+            "--tcp" => value("--tcp").map(|v| tcp = Some(v)),
+            "--max-in-flight" => value("--max-in-flight")
+                .and_then(|v| v.parse().map_err(|e| format!("--max-in-flight: {e}")))
+                .map(|v| max_in_flight = v),
+            "--queue-timeout-ms" => value("--queue-timeout-ms")
+                .and_then(|v| v.parse().map_err(|e| format!("--queue-timeout-ms: {e}")))
+                .map(|v| queue_timeout_ms = v),
+            "--max-events" => value("--max-events")
+                .and_then(|v| v.parse().map_err(|e| format!("--max-events: {e}")))
+                .map(|v| max_events = v),
+            "--max-spool-cells" => value("--max-spool-cells")
+                .and_then(|v| v.parse().map_err(|e| format!("--max-spool-cells: {e}")))
+                .map(|v| max_spool_cells = v),
+            "--hard-quota" => {
+                hard_quota = true;
+                Ok(())
+            }
+            "--fault-seed" => value("--fault-seed")
+                .and_then(|v| v.parse().map_err(|e| format!("--fault-seed: {e}")))
+                .map(|v| fault_seed = Some(v)),
+            // Consumed by `with_observe` before dispatch.
+            "--observe" => Ok(()),
+            "--obs-json" => value("--obs-json").map(|_| ()),
+            other => Err(format!("unknown option `{other}`")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("{e}\n{USAGE}");
+            return 2;
+        }
+    }
+    let Some(mut cfg) = cfg else {
+        eprintln!("serve requires --spool DIR");
+        return 2;
+    };
+    cfg.unix = unix.clone().map(Into::into);
+    cfg.tcp = tcp;
+    cfg.max_in_flight = max_in_flight;
+    cfg.queue_timeout = std::time::Duration::from_millis(queue_timeout_ms);
+    cfg.quota = ResourceLimits {
+        max_instructions: max_events,
+        max_alloc_cells: max_spool_cells,
+        trap: !hard_quota,
+    };
+    cfg.fault_seed = fault_seed;
+    // The daemon always self-observes: its obs.json endpoint is live even
+    // without --observe (which additionally writes a snapshot at exit).
+    aprof::obs::enable();
+    let spool = cfg.spool.clone();
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot start daemon: {e}");
+            return 1;
+        }
+    };
+    for (path, e) in &server.damaged {
+        eprintln!("warning: damaged spool file {}: {e}", path.display());
+    }
+    println!("aprof-serve: spool {}", spool.display());
+    if let Some(path) = &unix {
+        println!("listening on unix:{path}");
+    }
+    if let Some(addr) = server.tcp_addr() {
+        println!("listening on tcp:{addr}");
+    }
+    println!("ready (stop with `aprof-cli submit --to TARGET --shutdown`)");
+    match server.wait() {
+        Ok(()) => {
+            println!("daemon stopped");
+            0
+        }
+        Err(e) => {
+            eprintln!("daemon error: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_submit(args: &[String]) -> i32 {
+    let mut to: Option<String> = None;
+    let mut tenant = "default".to_owned();
+    let mut stream: Option<String> = None;
+    let mut profile: Option<String> = None;
+    let mut report: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut want_obs = false;
+    let mut want_tenants = false;
+    let mut want_ping = false;
+    let mut shutdown: Option<bool> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{flag} needs a value"))
+        };
+        let parsed = match a.as_str() {
+            "--to" => value("--to").map(|v| to = Some(v)),
+            "--tenant" => value("--tenant").map(|v| tenant = v),
+            "--stream" => value("--stream").map(|v| stream = Some(v)),
+            "--profile" => value("--profile").map(|v| profile = Some(v)),
+            "--report" => value("--report").map(|v| report = Some(v)),
+            "--out" => value("--out").map(|v| out = Some(v)),
+            "--obs" => {
+                want_obs = true;
+                Ok(())
+            }
+            "--tenants" => {
+                want_tenants = true;
+                Ok(())
+            }
+            "--ping" => {
+                want_ping = true;
+                Ok(())
+            }
+            "--shutdown" => {
+                shutdown = Some(false);
+                Ok(())
+            }
+            "--shutdown-now" => {
+                shutdown = Some(true);
+                Ok(())
+            }
+            // Consumed by `with_observe` before dispatch.
+            "--observe" => Ok(()),
+            "--obs-json" => value("--obs-json").map(|_| ()),
+            other if other.starts_with("--") => Err(format!("unknown option `{other}`")),
+            other => {
+                files.push(other.to_owned());
+                Ok(())
+            }
+        };
+        if let Err(e) = parsed {
+            eprintln!("{e}\n{USAGE}");
+            return 2;
+        }
+    }
+    let Some(to) = to else {
+        eprintln!("submit requires --to unix:PATH | tcp:HOST:PORT");
+        return 2;
+    };
+    let target: Target = match to.parse() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    if stream.is_some() && files.len() > 1 {
+        eprintln!("--stream names a single trace; submitting several derives ids from file stems");
+        return 2;
+    }
+    if files.is_empty() && profile.is_none() && report.is_none() && !want_obs && !want_tenants
+        && !want_ping && shutdown.is_none()
+    {
+        eprintln!("submit: nothing to do (pass TRACE files or a query flag)");
+        return 2;
+    }
+    if want_ping {
+        if let Err(e) = serve_client::ping(&target) {
+            eprintln!("ping failed: {e}");
+            return 1;
+        }
+        println!("pong");
+    }
+    for path in &files {
+        let stream_id = match &stream {
+            Some(s) => s.clone(),
+            None => {
+                let Some(stem) = std::path::Path::new(path).file_stem().and_then(|s| s.to_str())
+                else {
+                    eprintln!("{path}: cannot derive a stream id; pass --stream NAME");
+                    return 2;
+                };
+                stem.to_owned()
+            }
+        };
+        let mut file = match File::open(path) {
+            Ok(f) => BufReader::new(f),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return 1;
+            }
+        };
+        match serve_client::submit(&target, &tenant, &stream_id, &mut file) {
+            Ok(ack) if ack.duplicate => {
+                println!("{tenant}/{stream_id}: already committed (duplicate)");
+            }
+            Ok(ack) => {
+                println!(
+                    "{tenant}/{stream_id}: committed {} events in {} chunks",
+                    ack.events, ack.chunks
+                );
+            }
+            Err(e) => {
+                eprintln!("{tenant}/{stream_id}: {e}");
+                return 1;
+            }
+        }
+    }
+    let mut fetched: Vec<(String, String)> = Vec::new();
+    if let Some(t) = &profile {
+        match serve_client::fetch_profile(&target, t) {
+            Ok(text) => fetched.push((format!("profile {t}"), text)),
+            Err(e) => {
+                eprintln!("profile {t}: {e}");
+                return 1;
+            }
+        }
+    }
+    if let Some(t) = &report {
+        match serve_client::fetch_report(&target, t) {
+            Ok(text) => fetched.push((format!("report {t}"), text)),
+            Err(e) => {
+                eprintln!("report {t}: {e}");
+                return 1;
+            }
+        }
+    }
+    if want_obs {
+        match serve_client::fetch_obs(&target) {
+            Ok(text) => fetched.push(("obs.json".to_owned(), text)),
+            Err(e) => {
+                eprintln!("obs: {e}");
+                return 1;
+            }
+        }
+    }
+    if want_tenants {
+        match serve_client::fetch_tenants(&target) {
+            Ok(text) => fetched.push(("tenants".to_owned(), text)),
+            Err(e) => {
+                eprintln!("tenants: {e}");
+                return 1;
+            }
+        }
+    }
+    if let Some(path) = &out {
+        let body: String = fetched.into_iter().map(|(_, text)| text).collect();
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("cannot write {path}: {e}");
+            return 1;
+        }
+        println!("wrote fetched output to {path}");
+    } else {
+        for (_what, text) in &fetched {
+            print!("{text}");
+            if !text.ends_with('\n') {
+                println!();
+            }
+        }
+    }
+    if let Some(now) = shutdown {
+        if let Err(e) = serve_client::shutdown(&target, now) {
+            eprintln!("shutdown: {e}");
+            return 1;
+        }
+        println!("shutdown requested ({})", if now { "immediate" } else { "drain" });
+    }
+    0
 }
 
 /// Parses `--mutate` values: `drop-kernel-input`, `drop-read:N`,

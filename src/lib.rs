@@ -24,6 +24,8 @@
 //! * [`faults`] — seeded, replayable fault injection for robustness tests.
 //! * [`corpus`] — the fuzzed CFG corpus: seeded program generation, four
 //!   differential oracles, and shrinking of failures to minimal programs.
+//! * [`serve`] — the multi-tenant streaming profiling service daemon
+//!   (`aprof-cli serve` / `submit`).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
 
@@ -34,6 +36,7 @@ pub use aprof_check as check;
 pub use aprof_core as core;
 pub use aprof_corpus as corpus;
 pub use aprof_faults as faults;
+pub use aprof_serve as serve;
 pub use aprof_shadow as shadow;
 pub use aprof_tools as tools;
 pub use aprof_trace as trace;

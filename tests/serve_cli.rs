@@ -1,0 +1,206 @@
+//! End-to-end tests of `aprof-cli serve` / `submit`: a real daemon child
+//! process, real sockets, concurrent submissions from separate client
+//! processes, byte-identity against `replay --profile-out`, and a hard
+//! `kill -9` mid-stream followed by recovery on the same spool.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_aprof-cli"))
+}
+
+fn scratch(label: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("serve_cli_{label}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = cli().args(args).output().expect("cli spawns");
+    assert!(
+        out.status.success(),
+        "`aprof-cli {}` failed:\n{}{}",
+        args.join(" "),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Records two distinct workload traces into `dir`.
+fn record_traces(dir: &Path) -> (PathBuf, PathBuf) {
+    let t1 = dir.join("s-001.wire");
+    let t2 = dir.join("s-002.wire");
+    run_ok(&[
+        "record", t1.to_str().unwrap(), "--workload", "algo.insertion_sort", "--size", "40",
+    ]);
+    run_ok(&["record", t2.to_str().unwrap(), "--workload", "algo.merge_sort", "--size", "24"]);
+    (t1, t2)
+}
+
+/// Starts a daemon child on a unix socket and waits until it answers pings.
+/// The child is reaped by `shutdown_daemon` or an explicit kill + wait.
+#[allow(clippy::zombie_processes)]
+fn start_daemon(dir: &Path, extra: &[&str]) -> (Child, String) {
+    let sock = dir.join("daemon.sock");
+    let spool = dir.join("spool");
+    let target = format!("unix:{}", sock.display());
+    let child = cli()
+        .args(["serve", "--spool", spool.to_str().unwrap(), "--unix", sock.to_str().unwrap()])
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon spawns");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let ping = cli().args(["submit", "--to", &target, "--ping"]).output().unwrap();
+        if ping.status.success() {
+            return (child, target);
+        }
+        assert!(Instant::now() < deadline, "daemon never became ready");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn shutdown_daemon(mut child: Child, target: &str) {
+    run_ok(&["submit", "--to", target, "--shutdown"]);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if child.try_wait().unwrap().is_some() {
+            return;
+        }
+        assert!(Instant::now() < deadline, "daemon never drained");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn serve_submit_round_trip_matches_one_shot_replay() {
+    let dir = scratch("roundtrip");
+    let (t1, t2) = record_traces(&dir);
+    let (child, target) = start_daemon(&dir, &[]);
+
+    // Concurrent submissions from two separate client processes.
+    let c1 = cli()
+        .args(["submit", "--to", &target, "--tenant", "web", t1.to_str().unwrap()])
+        .spawn()
+        .unwrap();
+    let c2 = cli()
+        .args(["submit", "--to", &target, "--tenant", "web", t2.to_str().unwrap()])
+        .spawn()
+        .unwrap();
+    for mut c in [c1, c2] {
+        assert!(c.wait().unwrap().success(), "submission failed");
+    }
+
+    // Daemon aggregate vs one-shot replay of the same streams in sorted
+    // stream-id order: byte-identical.
+    let daemon_profile = dir.join("daemon.profile");
+    run_ok(&[
+        "submit", "--to", &target, "--profile", "web", "--out", daemon_profile.to_str().unwrap(),
+    ]);
+    let oneshot_profile = dir.join("oneshot.profile");
+    run_ok(&[
+        "replay", t1.to_str().unwrap(), t2.to_str().unwrap(),
+        "--profile-out", oneshot_profile.to_str().unwrap(),
+    ]);
+    let daemon = std::fs::read_to_string(&daemon_profile).unwrap();
+    let oneshot = std::fs::read_to_string(&oneshot_profile).unwrap();
+    assert!(!daemon.is_empty());
+    assert_eq!(daemon, oneshot, "daemon aggregate drifted from one-shot replay");
+
+    // Live obs + report endpoints.
+    let obs = dir.join("obs.json");
+    run_ok(&["submit", "--to", &target, "--obs", "--out", obs.to_str().unwrap()]);
+    let obs = std::fs::read_to_string(&obs).unwrap();
+    assert!(obs.contains("\"version\": 3"), "daemon obs.json is not schema v3");
+    let report = dir.join("report.html");
+    run_ok(&["submit", "--to", &target, "--report", "web", "--out", report.to_str().unwrap()]);
+    assert!(std::fs::read_to_string(&report).unwrap().contains("<!DOCTYPE html>"));
+    let tenants = run_ok(&["submit", "--to", &target, "--tenants"]);
+    assert!(tenants.contains("web streams=2"), "unexpected listing: {tenants}");
+
+    // Duplicate resubmission is idempotent.
+    let dup = run_ok(&["submit", "--to", &target, "--tenant", "web", t1.to_str().unwrap()]);
+    assert!(dup.contains("duplicate"), "resubmission was not a duplicate: {dup}");
+
+    shutdown_daemon(child, &target);
+}
+
+#[test]
+fn kill_dash_nine_mid_stream_then_restart_loses_no_acked_data() {
+    let dir = scratch("kill");
+    let (t1, t2) = record_traces(&dir);
+    let (mut child, target) = start_daemon(&dir, &[]);
+
+    // Commit two streams, capture the acked aggregate.
+    run_ok(&["submit", "--to", &target, "--tenant", "web", t1.to_str().unwrap()]);
+    run_ok(&["submit", "--to", &target, "--tenant", "web", t2.to_str().unwrap()]);
+    let before = dir.join("before.profile");
+    run_ok(&["submit", "--to", &target, "--profile", "web", "--out", before.to_str().unwrap()]);
+
+    // Open a submission, send the header and half a trace, and while the
+    // connection is still mid-stream kill the daemon dead.
+    {
+        use std::io::Write;
+        let sock = dir.join("daemon.sock");
+        let bytes = std::fs::read(&t1).unwrap();
+        let mut conn = std::os::unix::net::UnixStream::connect(&sock).unwrap();
+        writeln!(conn, "APROF/1 SUBMIT tenant=web stream=torn").unwrap();
+        conn.write_all(&bytes[..bytes.len() / 2]).unwrap();
+        conn.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(100)); // let ingest spool some of it
+        child.kill().unwrap(); // SIGKILL: no destructors, no drain
+        child.wait().unwrap();
+    }
+    let _ = std::fs::remove_file(dir.join("daemon.sock")); // stale socket file
+
+    // Restart on the same spool: every acked stream is recovered, the torn
+    // un-acked stream is discarded, and the aggregate is byte-identical.
+    let (child, target) = start_daemon(&dir, &[]);
+    let after = dir.join("after.profile");
+    run_ok(&["submit", "--to", &target, "--profile", "web", "--out", after.to_str().unwrap()]);
+    assert_eq!(
+        std::fs::read_to_string(&before).unwrap(),
+        std::fs::read_to_string(&after).unwrap(),
+        "aggregate changed across kill -9 + restart"
+    );
+    let tenants = run_ok(&["submit", "--to", &target, "--tenants"]);
+    assert!(tenants.contains("web streams=2"), "torn stream leaked: {tenants}");
+    assert!(!dir.join("spool/web/torn.part").exists(), "torn .part not cleaned up");
+
+    // The torn stream can now be submitted for real.
+    let full = run_ok(&[
+        "submit", "--to", &target, "--tenant", "web", "--stream", "torn", t1.to_str().unwrap(),
+    ]);
+    assert!(full.contains("committed"), "torn stream resubmission failed: {full}");
+
+    shutdown_daemon(child, &target);
+}
+
+#[test]
+fn quota_and_shutdown_now_flags_work() {
+    let dir = scratch("flags");
+    let (t1, _t2) = record_traces(&dir);
+    let (mut child, target) = start_daemon(&dir, &["--max-events", "50"]);
+
+    // The quota refusal surfaces as a failing submit with a quota message.
+    let out = cli()
+        .args(["submit", "--to", &target, "--tenant", "web", t1.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "oversized stream must be refused");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("quota"), "expected a quota refusal, got: {err}");
+
+    run_ok(&["submit", "--to", &target, "--shutdown-now"]);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while child.try_wait().unwrap().is_none() {
+        assert!(Instant::now() < deadline, "daemon ignored --shutdown-now");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
