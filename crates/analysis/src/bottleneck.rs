@@ -59,6 +59,7 @@ fn growth_weight(model: GrowthModel) -> f64 {
         GrowthModel::Linearithmic => 1.0,
         GrowthModel::Quadratic => 2.0,
         GrowthModel::Cubic => 3.0,
+        GrowthModel::Exponential => 4.0,
     }
 }
 

@@ -23,17 +23,22 @@ pub enum GrowthModel {
     Quadratic,
     /// `y = a + b·n³`.
     Cubic,
+    /// `y = a + b·2ⁿ`. Only selected when it beats every polynomial model
+    /// by a clear margin (see [`fit_best`]) — the basis explodes so fast
+    /// that least squares would otherwise latch onto the largest point.
+    Exponential,
 }
 
 impl GrowthModel {
     /// All models, slowest-growing first.
-    pub const ALL: [GrowthModel; 6] = [
+    pub const ALL: [GrowthModel; 7] = [
         GrowthModel::Constant,
         GrowthModel::Logarithmic,
         GrowthModel::Linear,
         GrowthModel::Linearithmic,
         GrowthModel::Quadratic,
         GrowthModel::Cubic,
+        GrowthModel::Exponential,
     ];
 
     /// The basis transform `g(n)`.
@@ -46,6 +51,9 @@ impl GrowthModel {
             GrowthModel::Linearithmic => n * n.ln().max(1e-9),
             GrowthModel::Quadratic => n * n,
             GrowthModel::Cubic => n * n * n,
+            // Clamped: 2^1024 overflows f64, and past the clamp the basis
+            // is so distorted the model loses the selection anyway.
+            GrowthModel::Exponential => n.min(960.0).exp2(),
         }
     }
 
@@ -58,12 +66,19 @@ impl GrowthModel {
             GrowthModel::Linearithmic => "O(n log n)",
             GrowthModel::Quadratic => "O(n^2)",
             GrowthModel::Cubic => "O(n^3)",
+            GrowthModel::Exponential => "O(2^n)",
         }
     }
 
     /// Whether the model grows faster than linear.
     pub fn is_superlinear(self) -> bool {
-        matches!(self, GrowthModel::Linearithmic | GrowthModel::Quadratic | GrowthModel::Cubic)
+        matches!(
+            self,
+            GrowthModel::Linearithmic
+                | GrowthModel::Quadratic
+                | GrowthModel::Cubic
+                | GrowthModel::Exponential
+        )
     }
 }
 
@@ -137,11 +152,24 @@ pub fn fit_model(points: &[(f64, f64)], model: GrowthModel) -> Option<FitResult>
 pub fn fit_best(points: &[(f64, f64)]) -> Option<FitResult> {
     let fits: Vec<FitResult> = GrowthModel::ALL
         .iter()
+        .filter(|&&m| m != GrowthModel::Exponential)
         .filter_map(|&m| fit_model(points, m))
         .filter(|f| f.model == GrowthModel::Constant || f.b >= 0.0)
         .collect();
     let best = fits.iter().map(|f| f.r2).fold(f64::NEG_INFINITY, f64::max);
-    fits.into_iter().find(|f| f.r2 >= best - 0.002)
+    let winner = fits.into_iter().find(|f| f.r2 >= best - 0.002)?;
+    // The exponential model is held to a stricter standard: it never enters
+    // the closeness race above (its basis grows so fast that R² near the
+    // polynomial winners is routine on noisy data) and only takes over when
+    // it beats every polynomial fit by a clear margin on enough points.
+    if points.len() >= 5 {
+        if let Some(exp) = fit_model(points, GrowthModel::Exponential) {
+            if exp.b >= 0.0 && exp.r2.is_finite() && exp.r2 > best + 0.01 {
+                return Some(exp);
+            }
+        }
+    }
+    Some(winner)
 }
 
 /// Why a cost plot carries too little information to discriminate growth
@@ -378,6 +406,37 @@ mod tests {
             other => panic!("expected a fit, got {other:?}"),
         }
         assert!(fit_verdict(&pts).label().starts_with("O(n^2)"));
+    }
+
+    #[test]
+    fn recovers_exponential() {
+        let pts: Vec<(f64, f64)> = (1..=24).map(|n| (n as f64, 3.0 * (n as f64).exp2())).collect();
+        let fit = fit_best(&pts).unwrap();
+        assert_eq!(fit.model, GrowthModel::Exponential, "r2={}", fit.r2);
+        assert!(fit.r2 > 0.999);
+        assert!(fit_verdict(&pts).label().starts_with("O(2^n)"));
+    }
+
+    #[test]
+    fn exponential_never_steals_polynomial_data() {
+        // Perfect polynomial fits leave no margin for the exponential model.
+        for pts in [series(|n| 2.0 * n + 1.0), series(|n| 0.5 * n * n), series(|n| n * n * n)] {
+            assert_ne!(fit_best(&pts).unwrap().model, GrowthModel::Exponential);
+        }
+        // Nor does it fire below the point threshold.
+        let few: Vec<(f64, f64)> = (1..=4).map(|n| (n as f64, (n as f64).exp2())).collect();
+        assert_ne!(fit_best(&few).unwrap().model, GrowthModel::Exponential);
+    }
+
+    #[test]
+    fn exponential_basis_is_clamped() {
+        // Huge inputs must not overflow the basis into inf/NaN.
+        assert!(GrowthModel::Exponential.g(1e9).is_finite());
+        let pts: Vec<(f64, f64)> = (1..=10).map(|n| ((n * 1000) as f64, n as f64)).collect();
+        let fit = fit_model(&pts, GrowthModel::Exponential).unwrap();
+        assert!(fit.r2.is_finite() || fit.r2.is_nan());
+        // And fit_best still returns something sensible.
+        assert!(fit_best(&pts).is_some());
     }
 
     #[test]

@@ -30,6 +30,11 @@ pub struct ReportInputs<'a> {
     pub obs: Option<&'a aprof_obs::Snapshot>,
     /// Maximum number of routines to chart (ranked by bottleneck severity).
     pub top: usize,
+    /// Statically inferred cost bounds (routine name → notation such as
+    /// `O(n log n)`), when the guest program was available for the
+    /// `aprof-bound` pass. Rendered as a column beside the fitted-curve
+    /// verdicts so static and dynamic growth can be compared at a glance.
+    pub bounds: Option<&'a std::collections::BTreeMap<String, String>>,
 }
 
 const PLOT_W: f64 = 560.0;
@@ -447,11 +452,15 @@ pub fn render_report(inputs: &ReportInputs<'_>) -> String {
         "<p class=\"note\">Routines ranked by severity (growth class × fit quality × \
          cost share). Verdicts follow the paper's §3 taxonomy: a <em>spurious</em> \
          bottleneck is superlinear only under rms; a <em>hidden</em> one only \
-         shows under trms.</p>\n",
+         shows under trms. The <em>static bound</em> column is the symbolic \
+         worst-case inferred from the guest IR alone (loop trips and \
+         recursion size-change); a fitted curve above its static bound is a \
+         soundness bug, one well below it is imprecision.</p>\n",
     );
     out.push_str(
         "<table>\n<thead><tr><th>routine</th><th>verdict</th><th>trms fit</th>\
-         <th>rms fit</th><th>cost share</th><th>severity</th></tr></thead>\n<tbody>\n",
+         <th>rms fit</th><th>static bound</th><th>cost share</th>\
+         <th>severity</th></tr></thead>\n<tbody>\n",
     );
     for b in &entries {
         let trms_fit = b
@@ -462,13 +471,18 @@ pub fn render_report(inputs: &ReportInputs<'_>) -> String {
             .rms_fit
             .map(|f| format!("{} (R²={:.4})", f.model.notation(), f.r2))
             .unwrap_or_else(|| "—".into());
+        let bound = inputs
+            .bounds
+            .and_then(|m| m.get(&b.routine))
+            .map_or_else(|| "—".into(), |s| s.clone());
         out.push_str(&format!(
             "<tr><td class=\"name\">{}</td><td>{}</td><td>{}</td><td>{}</td>\
-             <td>{:.1}%</td><td>{:.3}</td></tr>\n",
+             <td>{}</td><td>{:.1}%</td><td>{:.3}</td></tr>\n",
             esc(&b.routine),
             verdict_label(b.verdict),
             esc(&trms_fit),
             esc(&rms_fit),
+            esc(&bound),
             100.0 * b.cost_share,
             b.severity
         ));
@@ -629,7 +643,7 @@ mod tests {
     #[test]
     fn report_is_self_contained_html() {
         let report = sample_report();
-        let html = render_report(&ReportInputs { report: &report, title: "test", obs: None, top: 10 });
+        let html = render_report(&ReportInputs { report: &report, title: "test", obs: None, top: 10, bounds: None });
         assert!(html.starts_with("<!DOCTYPE html>"));
         assert!(html.ends_with("</html>\n"));
         assert!(html.contains("<svg"));
@@ -638,6 +652,26 @@ mod tests {
         for needle in ["http://", "https://", "src=", "href=", "url(", "@import"] {
             assert!(!html.contains(needle), "external reference via {needle:?}");
         }
+    }
+
+    #[test]
+    fn report_renders_static_bound_column() {
+        let report = sample_report();
+        let mut bounds = std::collections::BTreeMap::new();
+        bounds.insert("quad".to_string(), "O(n^2)".to_string());
+        let html = render_report(&ReportInputs {
+            report: &report,
+            title: "b",
+            obs: None,
+            top: 4,
+            bounds: Some(&bounds),
+        });
+        assert!(html.contains("<th>static bound</th>"));
+        assert!(html.contains("<td>O(n^2)</td>"));
+        // Without bounds the column still renders, as em-dashes.
+        let html =
+            render_report(&ReportInputs { report: &report, title: "b", obs: None, top: 4, bounds: None });
+        assert!(html.contains("<th>static bound</th>"));
     }
 
     #[test]
@@ -650,6 +684,7 @@ mod tests {
             title: "t",
             obs: Some(&snap),
             top: 4,
+            bounds: None,
         });
         assert!(html.contains("vm.blocks"));
         assert!(html.contains("class=\"volatile\""));
@@ -662,7 +697,7 @@ mod tests {
             routines: Vec::new(),
             global: Default::default(),
         };
-        let html = render_report(&ReportInputs { report: &report, title: "empty", obs: None, top: 5 });
+        let html = render_report(&ReportInputs { report: &report, title: "empty", obs: None, top: 5, bounds: None });
         assert!(html.contains("no routine collected enough points"));
     }
 

@@ -8,6 +8,7 @@
 //! repro --bench-json         # write BENCH_parallel_driver.json and exit
 //! repro --bench-wire-json    # write BENCH_wire.json and exit
 //! repro --bench-check-json   # write BENCH_check.json and exit
+//! repro --bench-bound-json   # write BENCH_bound.json and exit
 //! repro --bench-obs-json     # write BENCH_obs.json and exit
 //! repro --faults             # run the fault-injection smoke and exit
 //! repro --faults --fault-seed 7   # same, with a chosen fault seed
@@ -29,6 +30,7 @@ fn main() {
     let mut bench_json = false;
     let mut bench_wire_json = false;
     let mut bench_check_json = false;
+    let mut bench_bound_json = false;
     let mut bench_obs_json = false;
     let mut faults = false;
     let mut fault_seed = aprof_bench::DEFAULT_FAULT_SEED;
@@ -82,6 +84,7 @@ fn main() {
             "--bench-json" => bench_json = true,
             "--bench-wire-json" => bench_wire_json = true,
             "--bench-check-json" => bench_check_json = true,
+            "--bench-bound-json" => bench_bound_json = true,
             "--bench-obs-json" => bench_obs_json = true,
             other => selected.push(other),
         }
@@ -130,6 +133,18 @@ fn main() {
     if bench_check_json {
         let report = aprof_bench::check_report();
         let path = Path::new("BENCH_check.json");
+        match std::fs::write(path, report.render()) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if bench_bound_json {
+        let report = aprof_bench::bound_report();
+        let path = Path::new("BENCH_bound.json");
         match std::fs::write(path, report.render()) {
             Ok(()) => println!("wrote {}", path.display()),
             Err(e) => {

@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bound_bench;
 pub mod check_bench;
 pub mod corpus_bench;
 pub mod driver;
@@ -26,6 +27,7 @@ pub mod obs_bench;
 pub mod suite;
 pub mod wire_bench;
 
+pub use bound_bench::bound_report;
 pub use check_bench::check_report;
 pub use corpus_bench::{corpus_smoke, corpus_smoke_with, DEFAULT_CORPUS_SEED};
 pub use driver::{

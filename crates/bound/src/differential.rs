@@ -1,0 +1,232 @@
+//! The static-vs-dynamic differential: compare the inferred symbolic bound
+//! of a routine against the growth model fitted to its measured
+//! `(rms, cost)` profile.
+//!
+//! Three outcomes per routine:
+//!
+//! * [`BoundVsFit::Consistent`] — the static bound dominates (or equals)
+//!   the fitted growth, or the profile carries too little evidence to
+//!   distinguish models.
+//! * [`BoundVsFit::Imprecise`] — the static bound sits *strictly above*
+//!   the fitted growth on strong evidence: sound but loose.
+//! * [`BoundVsFit::Unsound`] — the fitted growth sits strictly above the
+//!   static bound on strong evidence: the analysis claimed a bound the
+//!   execution exceeded. This is a hard failure (B305) — either the
+//!   inference or the profiler is wrong.
+//!
+//! Evidence gating matters: on a handful of points a least-squares fit
+//! happily labels constant-cost routines "linear" (any finite profile is
+//! consistent with O(1)). A mismatch only escalates past `Consistent` when
+//! the profile spans enough distinct input sizes with enough cost growth
+//! and a tight fit — the thresholds below, documented in DESIGN.md §13.
+
+use aprof_analysis::{fit_verdict, FitResult, FitVerdict, GrowthModel};
+
+use crate::infer::BoundReport;
+use crate::lattice::Bound;
+
+/// Minimum profile points before a fit can contradict a static bound.
+pub const MIN_POINTS: usize = 5;
+/// Minimum ratio between largest and smallest observed rms.
+pub const MIN_RMS_SPAN: f64 = 4.0;
+/// Minimum ratio between largest and smallest observed cost.
+pub const MIN_COST_GROWTH: f64 = 8.0;
+/// Minimum fit quality (R²) before a fit can contradict a static bound.
+pub const MIN_R2: f64 = 0.9;
+
+/// The verdict of comparing one routine's static bound to its fitted
+/// dynamic growth model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundVsFit {
+    /// Static bound ⊒ fitted growth (or evidence too weak to judge).
+    Consistent,
+    /// Static bound strictly above the fitted growth on strong evidence.
+    Imprecise,
+    /// Fitted growth strictly above the static bound on strong evidence.
+    Unsound,
+}
+
+impl BoundVsFit {
+    /// Short stable label, used in reports and diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            BoundVsFit::Consistent => "consistent",
+            BoundVsFit::Imprecise => "imprecise",
+            BoundVsFit::Unsound => "unsound",
+        }
+    }
+}
+
+/// The lattice element a fitted growth model corresponds to.
+pub fn model_bound(model: GrowthModel) -> Bound {
+    match model {
+        GrowthModel::Constant => Bound::Const,
+        GrowthModel::Logarithmic => Bound::Log,
+        GrowthModel::Linear => Bound::Linear,
+        GrowthModel::Linearithmic => Bound::Linearithmic,
+        GrowthModel::Quadratic => Bound::poly(2),
+        GrowthModel::Cubic => Bound::poly(3),
+        GrowthModel::Exponential => Bound::Exponential,
+    }
+}
+
+/// One routine's differential outcome.
+#[derive(Debug, Clone)]
+pub struct RoutineComparison {
+    /// Routine / function index.
+    pub func: usize,
+    /// Routine name.
+    pub name: String,
+    /// The static bound.
+    pub bound: Bound,
+    /// The fitted model, when the profile supported a fit.
+    pub fit: Option<FitResult>,
+    /// Number of `(rms, cost)` points behind the fit.
+    pub points: usize,
+    /// The verdict.
+    pub verdict: BoundVsFit,
+}
+
+/// Whether a profile carries enough evidence for its fit to contradict a
+/// static bound: enough points, enough input-size span, enough cost
+/// growth, and a tight fit.
+pub fn strong_evidence(points: &[(f64, f64)], fit: &FitResult) -> bool {
+    if points.len() < MIN_POINTS || fit.r2 < MIN_R2 {
+        return false;
+    }
+    let (mut rms_min, mut rms_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut cost_min, mut cost_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(rms, cost) in points {
+        rms_min = rms_min.min(rms);
+        rms_max = rms_max.max(rms);
+        cost_min = cost_min.min(cost);
+        cost_max = cost_max.max(cost);
+    }
+    rms_max >= rms_min.max(1.0) * MIN_RMS_SPAN && cost_max >= cost_min.max(1.0) * MIN_COST_GROWTH
+}
+
+/// Classifies one routine: static `bound` vs the model fitted to `points`.
+pub fn classify(bound: Bound, points: &[(f64, f64)]) -> (BoundVsFit, Option<FitResult>) {
+    let fit = match fit_verdict(points) {
+        FitVerdict::Fitted(f) => f,
+        FitVerdict::InsufficientData(_) => return (BoundVsFit::Consistent, None),
+    };
+    let dynamic = model_bound(fit.model);
+    let verdict = if bound == Bound::Unknown || dynamic == bound {
+        // Unknown dominates everything; equality is agreement.
+        BoundVsFit::Consistent
+    } else if !strong_evidence(points, &fit) {
+        // Too little data to contradict anything — any finite profile is
+        // consistent with any bound.
+        BoundVsFit::Consistent
+    } else if dynamic > bound {
+        BoundVsFit::Unsound
+    } else {
+        BoundVsFit::Imprecise
+    };
+    (verdict, Some(fit))
+}
+
+/// Full differential over a program: per-routine `(rms, cost)` point sets
+/// (indexed by routine id, parallel to `report.bounds`) against the
+/// inferred bounds.
+pub fn compare(report: &BoundReport, points: &[Vec<(f64, f64)>]) -> Vec<RoutineComparison> {
+    report
+        .bounds
+        .iter()
+        .map(|rb| {
+            let pts: &[(f64, f64)] = points.get(rb.func).map(Vec::as_slice).unwrap_or(&[]);
+            let (verdict, fit) = classify(rb.bound, pts);
+            RoutineComparison {
+                func: rb.func,
+                name: rb.name.clone(),
+                bound: rb.bound,
+                fit,
+                points: pts.len(),
+                verdict,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Strong-evidence point sets for a given cost function.
+    fn profile(f: impl Fn(f64) -> f64) -> Vec<(f64, f64)> {
+        (1..=16).map(|i| (i as f64 * 8.0, f(i as f64 * 8.0))).collect()
+    }
+
+    #[test]
+    fn equal_models_are_consistent() {
+        let pts = profile(|n| 3.0 * n + 5.0);
+        let (v, fit) = classify(Bound::Linear, &pts);
+        assert_eq!(v, BoundVsFit::Consistent);
+        assert_eq!(fit.unwrap().model, GrowthModel::Linear);
+    }
+
+    #[test]
+    fn unknown_static_bound_is_always_consistent() {
+        let pts = profile(|n| n * n);
+        assert_eq!(classify(Bound::Unknown, &pts).0, BoundVsFit::Consistent);
+    }
+
+    #[test]
+    fn loose_static_bound_is_imprecise() {
+        let pts = profile(|n| 2.0 * n);
+        let (v, _) = classify(Bound::poly(2), &pts);
+        assert_eq!(v, BoundVsFit::Imprecise);
+    }
+
+    #[test]
+    fn fit_above_static_bound_is_unsound() {
+        let pts = profile(|n| n * n);
+        let (v, _) = classify(Bound::Linear, &pts);
+        assert_eq!(v, BoundVsFit::Unsound);
+    }
+
+    #[test]
+    fn weak_evidence_never_contradicts() {
+        // Three points of perfect quadratic growth: not enough.
+        let pts: Vec<(f64, f64)> = (1..=3).map(|i| (i as f64, (i * i) as f64)).collect();
+        assert_eq!(classify(Bound::Const, &pts).0, BoundVsFit::Consistent);
+        // Many points but a constant input size: the fitter refuses.
+        let flat: Vec<(f64, f64)> = (0..10).map(|i| (8.0, 100.0 + i as f64)).collect();
+        assert_eq!(classify(Bound::Const, &flat).0, BoundVsFit::Consistent);
+        // Empty profile.
+        assert_eq!(classify(Bound::Const, &[]).0, BoundVsFit::Consistent);
+    }
+
+    #[test]
+    fn narrow_span_is_weak_evidence() {
+        // Plenty of points but rms barely moves: 4× span not met.
+        let pts: Vec<(f64, f64)> = (0..12).map(|i| (64.0 + i as f64, 64.0 + i as f64)).collect();
+        assert_eq!(classify(Bound::Const, &pts).0, BoundVsFit::Consistent);
+    }
+
+    #[test]
+    fn model_bound_covers_every_model() {
+        for &m in GrowthModel::ALL.iter() {
+            let b = model_bound(m);
+            assert!(b < Bound::Unknown, "{m:?} must map to a finite bound");
+        }
+        assert!(model_bound(GrowthModel::Exponential) > model_bound(GrowthModel::Cubic));
+    }
+
+    #[test]
+    fn compare_walks_all_routines() {
+        use crate::infer::infer_functions;
+        let module = aprof_vm::asm::parse_module(
+            "func main() {\nentry:\n    r0 = const 1\n    ret r0\n}",
+        )
+        .unwrap();
+        let report = infer_functions(&module.functions);
+        let out = compare(&report, &[profile(|n| n)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].name, "main");
+        // Const static bound vs linear fit on strong evidence: unsound —
+        // exactly what the corpus oracle screams about.
+        assert_eq!(out[0].verdict, BoundVsFit::Unsound);
+    }
+}

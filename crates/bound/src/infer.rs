@@ -1,0 +1,1056 @@
+//! The bound-inference pass: loop trip classification on natural loops,
+//! recursion analysis over call-graph SCCs, and bottom-up interprocedural
+//! composition.
+//!
+//! Everything here rounds *up*: any loop, update, or recursion shape the
+//! pass does not recognize contributes [`Bound::Unknown`] (or, for
+//! branching recursion, [`Bound::Exponential`]) rather than a guess. The
+//! soundness claim — checked dynamically by the corpus differential — is
+//! that the inferred bound never sits *below* the growth a real execution
+//! exhibits.
+
+use aprof_check::cfg::{self, natural_loops, LoopForest, NaturalLoop};
+use aprof_check::diag::{Diagnostic, Severity};
+use aprof_vm::ir::{BinOp, CmpOp, Function, Instr, Program, Reg, Terminator};
+
+use crate::lattice::Bound;
+
+/// The inferred bound of one routine.
+#[derive(Debug, Clone)]
+pub struct RoutineBound {
+    /// Function index (equal to the routine id the profilers use).
+    pub func: usize,
+    /// Function name.
+    pub name: String,
+    /// The inferred symbolic cost bound (inclusive of callees).
+    pub bound: Bound,
+    /// Whether the routine participates in recursion.
+    pub recursive: bool,
+}
+
+/// Size counters for throughput reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BoundStats {
+    /// Functions analyzed.
+    pub functions: usize,
+    /// Total basic blocks.
+    pub blocks: usize,
+    /// Total instructions (terminators included).
+    pub instrs: usize,
+    /// Natural loops classified.
+    pub loops: usize,
+}
+
+/// Everything the bound pass found out about one program.
+#[derive(Debug, Clone, Default)]
+pub struct BoundReport {
+    /// Per-routine bounds, indexed by function id.
+    pub bounds: Vec<RoutineBound>,
+    /// B-code diagnostics (B301 notes, B302–B304 lints), sorted like
+    /// `aprof-check` sorts: (function, block, instruction, code).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Program size counters.
+    pub stats: BoundStats,
+}
+
+impl BoundReport {
+    /// The bound of function `func`, `Unknown` when out of range.
+    pub fn bound_of(&self, func: usize) -> Bound {
+        self.bounds.get(func).map(|r| r.bound).unwrap_or(Bound::Unknown)
+    }
+}
+
+/// How a register evolves across one loop iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Induction {
+    /// Strictly increasing by constant steps.
+    Up,
+    /// Strictly decreasing by constant steps.
+    Down,
+    /// Divided by a constant ≥ 2 (or shifted right) each iteration.
+    Shrink,
+    /// Multiplied by a constant ≥ 2 (or shifted left) each iteration.
+    Grow,
+}
+
+/// Precomputed per-function facts shared by the passes.
+struct FnInfo<'a> {
+    f: &'a Function,
+    forest: LoopForest,
+    idom: Vec<Option<usize>>,
+    /// `Some(v)` when every def of the register is `const v`.
+    global_const: Vec<Option<i64>>,
+    /// All def sites per register: (block, instr index).
+    defs: Vec<Vec<(usize, usize)>>,
+}
+
+impl<'a> FnInfo<'a> {
+    fn new(f: &'a Function) -> FnInfo<'a> {
+        let nregs = f.regs as usize;
+        let mut global_const: Vec<Option<i64>> = vec![None; nregs];
+        let mut seen_def = vec![false; nregs];
+        let mut defs: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nregs];
+        for (bi, block) in f.blocks.iter().enumerate() {
+            for (ii, instr) in block.instrs.iter().enumerate() {
+                if let Some(Reg(r)) = instr.def() {
+                    let r = r as usize;
+                    if r >= nregs {
+                        continue; // structurally invalid; E004 elsewhere
+                    }
+                    defs[r].push((bi, ii));
+                    let v = match instr {
+                        Instr::Const { value, .. } => Some(*value),
+                        _ => None,
+                    };
+                    global_const[r] = match (seen_def[r], global_const[r], v) {
+                        (false, _, v) => v,
+                        (true, Some(old), Some(new)) if old == new => Some(old),
+                        _ => None,
+                    };
+                    seen_def[r] = true;
+                }
+            }
+        }
+        FnInfo { forest: natural_loops(f), idom: cfg::idoms(f), f, global_const, defs }
+    }
+
+    /// The value of `reg` at (`block`, `idx`) when it is a compile-time
+    /// constant: the nearest preceding def in the same block wins. Failing
+    /// that, the all-defs-agree constant counts only when some def's block
+    /// dominates the use (so a def — necessarily writing that same value —
+    /// has executed on every path; without dominance the use could still
+    /// see the zero-init or a caller-supplied parameter). Registers with no
+    /// defs at all are the VM's zero-init — constant 0 — unless they are
+    /// parameters.
+    fn reg_const(&self, block: usize, idx: usize, reg: Reg) -> Option<i64> {
+        for instr in self.f.blocks[block].instrs[..idx].iter().rev() {
+            if instr.def() == Some(reg) {
+                return match instr {
+                    Instr::Const { value, .. } => Some(*value),
+                    _ => None,
+                };
+            }
+        }
+        let r = usize::from(reg.0);
+        let defs = self.defs.get(r)?;
+        if defs.is_empty() {
+            return if reg.0 < self.f.params { None } else { Some(0) };
+        }
+        let v = self.global_const.get(r).copied().flatten()?;
+        defs.iter()
+            .any(|&(b, _)| b != block && cfg::dominates(&self.idom, b, block))
+            .then_some(v)
+    }
+
+    /// Defs of `reg` inside the loop body.
+    fn defs_in_loop<'b>(
+        &'b self,
+        l: &'b NaturalLoop,
+        reg: Reg,
+    ) -> impl Iterator<Item = (usize, usize)> + 'b {
+        self.defs
+            .get(usize::from(reg.0))
+            .into_iter()
+            .flatten()
+            .copied()
+            .filter(move |&(b, _)| l.contains(b))
+    }
+
+    /// Whether `reg` is unchanged inside the loop.
+    fn invariant_in(&self, l: &NaturalLoop, reg: Reg) -> bool {
+        self.defs_in_loop(l, reg).next().is_none()
+    }
+
+    /// Whether every def of `reg` *outside* the loop is a `const` (any
+    /// values) — together with a constant limit this caps the trip count by
+    /// a compile-time constant. Parameters (no defs, caller-set) fail;
+    /// def-free non-parameter registers are the VM's zero-init and pass.
+    fn const_initialized_outside(&self, l: &NaturalLoop, reg: Reg) -> bool {
+        let r = usize::from(reg.0);
+        let Some(defs) = self.defs.get(r) else { return false };
+        let outside: Vec<&(usize, usize)> = defs.iter().filter(|&&(b, _)| !l.contains(b)).collect();
+        if defs.is_empty() {
+            return reg.0 >= self.f.params;
+        }
+        if outside.is_empty() {
+            // Only in-loop defs: first iteration reads the zero-init (or a
+            // param). Params are inputs; zero-init is constant.
+            return reg.0 >= self.f.params;
+        }
+        outside.iter().all(|&&(b, i)| matches!(self.f.blocks[b].instrs[i], Instr::Const { .. }))
+    }
+
+    /// Like [`const_initialized_outside`], additionally demanding every
+    /// initializing constant be ≥ 1 (for doubling loops, whose trip bound
+    /// is only logarithmic from a positive start).
+    fn positive_initialized_outside(&self, l: &NaturalLoop, reg: Reg) -> bool {
+        let r = usize::from(reg.0);
+        let Some(defs) = self.defs.get(r) else { return false };
+        if defs.is_empty() || defs.iter().all(|&(b, _)| l.contains(b)) {
+            return false; // zero-init (0) or parameter: not provably ≥ 1
+        }
+        // Every outside def must be a constant ≥ 1, and one of them must
+        // dominate the header (else the first iteration could still read
+        // the zero-init and the doubling would stall at 0).
+        defs.iter().filter(|&&(b, _)| !l.contains(b)).all(|&(b, i)| {
+            matches!(self.f.blocks[b].instrs[i], Instr::Const { value, .. } if value >= 1)
+        }) && defs
+            .iter()
+            .any(|&(b, _)| !l.contains(b) && cfg::dominates(&self.idom, b, l.header))
+    }
+
+    /// Classifies how `reg` evolves per iteration of `l`, requiring every
+    /// in-loop def to agree on a direction **and** at least one updating
+    /// def to dominate every latch (progress is made on every full
+    /// iteration — a conditionally skipped update bounds nothing).
+    fn induction(&self, l: &NaturalLoop, reg: Reg) -> Option<Induction> {
+        let mut kind: Option<Induction> = None;
+        let mut dominating_update = false;
+        let mut any = false;
+        for (b, i) in self.defs_in_loop(l, reg) {
+            any = true;
+            let k = self.update_kind(b, i, reg)?;
+            match kind {
+                None => kind = Some(k),
+                Some(prev) if prev == k => {}
+                Some(_) => return None, // mixed directions
+            }
+            if l.latches.iter().all(|&latch| cfg::dominates(&self.idom, b, latch)) {
+                dominating_update = true;
+            }
+        }
+        if !any || !dominating_update {
+            return None;
+        }
+        kind
+    }
+
+    /// The update direction of one def of `reg`, when it is a recognized
+    /// self-update with a constant operand.
+    fn update_kind(&self, block: usize, idx: usize, reg: Reg) -> Option<Induction> {
+        let Instr::Bin { op, dst, lhs, rhs } = &self.f.blocks[block].instrs[idx] else {
+            return None;
+        };
+        debug_assert_eq!(*dst, reg);
+        let const_of = |r: Reg| self.reg_const(block, idx, r);
+        match op {
+            BinOp::Add => {
+                let step = if *lhs == reg {
+                    const_of(*rhs)?
+                } else if *rhs == reg {
+                    const_of(*lhs)?
+                } else {
+                    return None;
+                };
+                match step {
+                    s if s > 0 => Some(Induction::Up),
+                    s if s < 0 => Some(Induction::Down),
+                    _ => None,
+                }
+            }
+            BinOp::Sub if *lhs == reg => match const_of(*rhs)? {
+                s if s > 0 => Some(Induction::Down),
+                s if s < 0 => Some(Induction::Up),
+                _ => None,
+            },
+            BinOp::Div if *lhs == reg => (const_of(*rhs)? >= 2).then_some(Induction::Shrink),
+            BinOp::Shr if *lhs == reg => {
+                (1..=62).contains(&const_of(*rhs)?).then_some(Induction::Shrink)
+            }
+            BinOp::Mul => {
+                let c = if *lhs == reg {
+                    const_of(*rhs)?
+                } else if *rhs == reg {
+                    const_of(*lhs)?
+                } else {
+                    return None;
+                };
+                (c >= 2).then_some(Induction::Grow)
+            }
+            BinOp::Shl if *lhs == reg => {
+                (1..=62).contains(&const_of(*rhs)?).then_some(Induction::Grow)
+            }
+            _ => None,
+        }
+    }
+
+    /// Classifies one always-tested exit of `l` (a `br` in block `e` with
+    /// one successor outside the loop): the trip-count class its condition
+    /// guarantees, or `None` when unrecognized.
+    fn classify_exit(&self, l: &NaturalLoop, e: usize) -> Option<Bound> {
+        let block = &self.f.blocks[e];
+        let Terminator::Br { cond, then_to, else_to } = &block.term else { return None };
+        let in_then = l.contains(then_to.index());
+        let in_else = l.contains(else_to.index());
+        if in_then == in_else {
+            return None; // not an exit, or exits both ways (dead loop)
+        }
+        // The comparison that computes the branch condition, from this block.
+        let (ci, cmp) =
+            block.instrs.iter().enumerate().rev().find(|(_, i)| i.def() == Some(*cond))?;
+        let Instr::Cmp { op, lhs, rhs, .. } = cmp else { return None };
+        // Normalize to the *continue* condition (true keeps iterating).
+        let cont = if in_then { *op } else { negate(*op) };
+        // Try both orientations: induction on the left of the comparison.
+        [(cont, *lhs, *rhs), (swap(cont), *rhs, *lhs)]
+            .into_iter()
+            .filter_map(|(op, iv, lim)| self.classify_oriented(l, e, ci, op, iv, lim))
+            .min()
+    }
+
+    /// One orientation: continue while `iv <op> lim`, `iv` an induction
+    /// variable, `lim` either loop-invariant or a constant at the test
+    /// site (`(e, ci)` locates the comparison). A limit re-defined inside
+    /// the loop still bounds the trip count when the value the test *sees*
+    /// is always the same compile-time constant — e.g. a `const` hoisted
+    /// into the header block, re-executed every iteration.
+    fn classify_oriented(
+        &self,
+        l: &NaturalLoop,
+        e: usize,
+        ci: usize,
+        op: CmpOp,
+        iv: Reg,
+        lim: Reg,
+    ) -> Option<Bound> {
+        let lim_const = self.reg_const(e, ci, lim);
+        if lim_const.is_none() && !self.invariant_in(l, lim) {
+            return None;
+        }
+        let kind = self.induction(l, iv)?;
+        match (kind, op) {
+            // Counter vs limit: constant trip when both ends are constants,
+            // otherwise linear in the input-derived quantity.
+            (Induction::Up, CmpOp::Lt | CmpOp::Le)
+            | (Induction::Down, CmpOp::Gt | CmpOp::Ge) => {
+                if lim_const.is_some() && self.const_initialized_outside(l, iv) {
+                    Some(Bound::Const)
+                } else {
+                    Some(Bound::Linear)
+                }
+            }
+            // Halving toward a non-negative constant floor: logarithmic.
+            // (A negative or unknown floor admits non-termination: i/2
+            // reaches 0 and stays there, which still satisfies `i > lim`.)
+            (Induction::Shrink, CmpOp::Gt | CmpOp::Ge) => {
+                (lim_const? >= 0).then_some(Bound::Log)
+            }
+            // Doubling from a positive constant start toward any invariant
+            // ceiling: logarithmic. (From 0 or negative, doubling stalls.)
+            (Induction::Grow, CmpOp::Lt | CmpOp::Le) => {
+                self.positive_initialized_outside(l, iv).then_some(Bound::Log)
+            }
+            _ => None,
+        }
+    }
+
+    /// The trip-count class of one natural loop: the tightest class any
+    /// always-tested exit guarantees, or `Unknown`.
+    fn classify_loop(&self, l: &NaturalLoop) -> Bound {
+        let n = self.f.blocks.len();
+        (0..n)
+            .filter(|&e| l.contains(e))
+            // Tested on every iteration: the exit dominates every latch.
+            .filter(|&e| l.latches.iter().all(|&latch| cfg::dominates(&self.idom, e, latch)))
+            // Actually exits: has a successor outside the loop.
+            .filter(|&e| {
+                cfg::successors(&self.f.blocks[e].term, n).iter().any(|&s| !l.contains(s))
+            })
+            .filter_map(|e| self.classify_exit(l, e))
+            .min()
+            .unwrap_or(Bound::Unknown)
+    }
+}
+
+fn negate(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Ne,
+        CmpOp::Ne => CmpOp::Eq,
+        CmpOp::Lt => CmpOp::Ge,
+        CmpOp::Ge => CmpOp::Lt,
+        CmpOp::Gt => CmpOp::Le,
+        CmpOp::Le => CmpOp::Gt,
+    }
+}
+
+fn swap(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Ge => CmpOp::Le,
+    }
+}
+
+/// How one recursive call site shrinks its argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SizeChange {
+    /// `f(p - c)` for constant `c ≥ 1`: depth linear in the argument.
+    Decrement,
+    /// `f(p / c)` for constant `c ≥ 2` (divisor recorded): depth log.
+    Halving(u64),
+}
+
+/// One self-recursive call site.
+struct SelfSite {
+    block: usize,
+    instr: usize,
+    change: Option<SizeChange>,
+    /// Trip class of the tightest enclosing loop chain (`Const` when the
+    /// site is not inside any loop).
+    loop_factor: Bound,
+}
+
+struct Pass<'a> {
+    infos: Vec<FnInfo<'a>>,
+    summaries: Vec<Bound>,
+    recursive: Vec<bool>,
+    diags: Vec<Diagnostic>,
+    loop_count: usize,
+}
+
+impl<'a> Pass<'a> {
+    /// The per-block multiplicative factor from enclosing loops, using the
+    /// precomputed per-loop trip classes.
+    fn block_factor(trips: &[(usize, Bound)], info: &FnInfo<'_>, block: usize) -> Bound {
+        info.forest
+            .loops
+            .iter()
+            .zip(trips)
+            .filter(|(l, _)| l.contains(block))
+            .fold(Bound::Const, |acc, (_, &(_, t))| acc.compose(t))
+    }
+
+    /// Intra-procedural bound of function `fi` given finished callee
+    /// summaries; calls to `self_skip` (the function itself, during
+    /// recursion analysis) count as `Const`.
+    fn intra(&mut self, fi: usize, self_skip: Option<usize>) -> Bound {
+        let info = &self.infos[fi];
+        if info.f.blocks.is_empty() {
+            return Bound::Const;
+        }
+        if info.forest.irreducible {
+            self.diags.push(Diagnostic {
+                severity: Severity::Warning,
+                code: "B302",
+                func: fi,
+                block: None,
+                instr: None,
+                message: "irreducible control flow: no trip count can be assigned".into(),
+            });
+            return Bound::Unknown;
+        }
+        let trips: Vec<(usize, Bound)> =
+            info.forest.loops.iter().map(|l| (l.header, info.classify_loop(l))).collect();
+        self.loop_count += trips.len();
+        let mut diags: Vec<Diagnostic> = trips
+            .iter()
+            .filter(|&&(_, t)| t == Bound::Unknown)
+            .map(|&(header, _)| Diagnostic {
+                severity: Severity::Warning,
+                code: "B302",
+                func: fi,
+                block: Some(header),
+                instr: None,
+                message: "loop trip count not statically bounded (no recognized \
+                          induction variable tested on every iteration)"
+                    .into(),
+            })
+            .collect();
+        let mut bound = Bound::Const;
+        for (bi, block) in info.f.blocks.iter().enumerate() {
+            if info.idom[bi].is_none() {
+                continue; // unreachable (W101)
+            }
+            let factor = Self::block_factor(&trips, info, bi);
+            let mut unit = Bound::Const;
+            for instr in &block.instrs {
+                if let Some((callee, _)) = instr.callee() {
+                    let g = callee.index();
+                    unit = unit.join(if Some(g) == self_skip {
+                        Bound::Const
+                    } else if g < self.summaries.len() {
+                        self.summaries[g]
+                    } else {
+                        Bound::Unknown // out-of-range callee (E005)
+                    });
+                }
+            }
+            bound = bound.join(factor.compose(unit));
+        }
+        self.diags.append(&mut diags);
+        bound
+    }
+
+    /// Recursion analysis for a self-recursive singleton SCC.
+    fn recursive_bound(&mut self, fi: usize) -> Bound {
+        let info = &self.infos[fi];
+        if info.f.blocks.is_empty() {
+            return Bound::Const;
+        }
+        if info.forest.irreducible {
+            // intra() will emit B302 and return Unknown below.
+            let body = self.intra(fi, Some(fi));
+            debug_assert_eq!(body, Bound::Unknown);
+            return Bound::Unknown;
+        }
+        let trips: Vec<(usize, Bound)> =
+            info.forest.loops.iter().map(|l| (l.header, info.classify_loop(l))).collect();
+        let mut sites: Vec<SelfSite> = Vec::new();
+        for (bi, block) in info.f.blocks.iter().enumerate() {
+            if info.idom[bi].is_none() {
+                continue;
+            }
+            for (ii, instr) in block.instrs.iter().enumerate() {
+                let Some((callee, args)) = instr.callee() else { continue };
+                if callee.index() != fi {
+                    continue;
+                }
+                let change = args
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(j, &a)| size_change(info, bi, ii, a, j))
+                    .min_by_key(|c| match c {
+                        SizeChange::Halving(_) => 0, // prefer the tighter class
+                        SizeChange::Decrement => 1,
+                    });
+                sites.push(SelfSite {
+                    block: bi,
+                    instr: ii,
+                    change,
+                    loop_factor: Self::block_factor(&trips, info, bi),
+                });
+            }
+        }
+        debug_assert!(!sites.is_empty(), "SCC has a self edge");
+        // Per-invocation cost excluding the recursion itself.
+        let body = self.intra(fi, Some(fi));
+
+        // Any unrecognized size change, or a site inside a loop we cannot
+        // bound by a constant, defeats every depth argument.
+        if let Some(bad) = sites.iter().find(|s| s.change.is_none()) {
+            self.diags.push(Diagnostic {
+                severity: Severity::Warning,
+                code: "B303",
+                func: fi,
+                block: Some(bad.block),
+                instr: Some(bad.instr),
+                message: "recursive call without a recognized size decrease \
+                          (no argument is a constant decrement or division of a parameter)"
+                    .into(),
+            });
+            return Bound::Unknown;
+        }
+        // A site inside a loop whose trip we cannot bound by a constant
+        // defeats every depth argument; a halving site inside *any* loop
+        // does too (t calls per level gives n^(log t) — degree unknown).
+        let in_loop =
+            |s: &SelfSite| self.infos[fi].forest.loops.iter().any(|l| l.contains(s.block));
+        if let Some(bad) = sites.iter().find(|s| {
+            s.loop_factor != Bound::Const
+                || (matches!(s.change, Some(SizeChange::Halving(_))) && in_loop(s))
+        }) {
+            self.diags.push(Diagnostic {
+                severity: Severity::Warning,
+                code: "B303",
+                func: fi,
+                block: Some(bad.block),
+                instr: Some(bad.instr),
+                message: "recursive call inside a loop: the branching factor cannot \
+                          be bounded"
+                    .into(),
+            });
+            return Bound::Unknown;
+        }
+        let all_halving = sites.iter().all(|s| matches!(s.change, Some(SizeChange::Halving(_))));
+        // A decrementing site inside even a constant-trip loop branches.
+        let branching = sites.len() >= 2 || sites.iter().any(in_loop);
+        match (all_halving, branching) {
+            (true, false) => Bound::Log.compose(body),
+            (true, true) => {
+                // Master-theorem-lite: a = number of subproblems, b = the
+                // smallest divisor; depth log_b n, subproblem count
+                // n^(log_b a) with the exponent rounded up to stay sound.
+                let a = sites.len() as u64;
+                let b = sites
+                    .iter()
+                    .filter_map(|s| match s.change {
+                        Some(SizeChange::Halving(div)) => Some(div),
+                        _ => None,
+                    })
+                    .min()
+                    .unwrap_or(2)
+                    .max(2);
+                let mut d: u8 = 0;
+                let mut pow: u64 = 1;
+                while pow < a && d < 16 {
+                    pow = pow.saturating_mul(b);
+                    d += 1;
+                }
+                master(body, d)
+            }
+            (false, false) => Bound::Linear.compose(body),
+            (false, true) => {
+                let site = &sites[0];
+                self.diags.push(Diagnostic {
+                    severity: Severity::Warning,
+                    code: "B304",
+                    func: fi,
+                    block: Some(site.block),
+                    instr: Some(site.instr),
+                    message: format!(
+                        "branching recursion ({} decrementing self-calls per \
+                         invocation): exponential bound",
+                        sites.len().max(2)
+                    ),
+                });
+                if body == Bound::Unknown {
+                    Bound::Unknown
+                } else {
+                    Bound::Exponential
+                }
+            }
+        }
+    }
+}
+
+/// `T(n) = a·T(n/b) + body(n)` with `n^d ≥` the subproblem count: the
+/// master-theorem case split on the body's polynomial degree vs `d`.
+fn master(body: Bound, d: u8) -> Bound {
+    match body {
+        Bound::Unknown => Bound::Unknown,
+        Bound::Exponential => Bound::Exponential,
+        Bound::Const => Bound::poly(d).join(Bound::Log), // depth alone is log
+        _ => {
+            let (p, l) = match body {
+                Bound::Log => (0, 1),
+                Bound::Linear => (1, 0),
+                Bound::Linearithmic => (1, 1),
+                Bound::Poly(k) => (k, 0),
+                _ => unreachable!(),
+            };
+            use std::cmp::Ordering;
+            match p.cmp(&d) {
+                Ordering::Less => Bound::poly(d),
+                // Equal degrees gain one log factor: n^d · log n.
+                Ordering::Equal => match (p, l) {
+                    (1, 0) => Bound::Linearithmic,
+                    (k, _) => Bound::poly(k.saturating_add(1)), // n^k log^{l+1} n ⊑ n^{k+1}
+                },
+                Ordering::Greater => body,
+            }
+        }
+    }
+}
+
+/// Whether argument `a` of a self-call at (`block`, `idx`) is a recognized
+/// shrink of parameter `j`: the defining instruction (nearest in-block def,
+/// else the unique def in the function) subtracts a positive constant from,
+/// or divides by a constant ≥ 2, the *unmodified* parameter register `rj`.
+fn size_change(info: &FnInfo<'_>, block: usize, idx: usize, a: Reg, j: usize) -> Option<SizeChange> {
+    let param = Reg(u16::try_from(j).ok()?);
+    if param.0 >= info.f.params {
+        return None;
+    }
+    // The parameter must still hold the caller's value.
+    if !info.defs.get(usize::from(param.0)).is_none_or(|d| d.is_empty()) {
+        return None;
+    }
+    let def = info.f.blocks[block].instrs[..idx]
+        .iter()
+        .rev()
+        .find(|i| i.def() == Some(a))
+        .or_else(|| {
+            let defs = info.defs.get(usize::from(a.0))?;
+            let &(b, i) = (defs.len() == 1).then(|| &defs[0])?;
+            Some(&info.f.blocks[b].instrs[i])
+        })?;
+    let Instr::Bin { op, lhs, rhs, .. } = def else { return None };
+    let const_of = |r: Reg| info.reg_const(block, idx, r);
+    match op {
+        BinOp::Sub if *lhs == param => {
+            (const_of(*rhs)? >= 1).then_some(SizeChange::Decrement)
+        }
+        BinOp::Add if *lhs == param => {
+            (const_of(*rhs)? <= -1).then_some(SizeChange::Decrement)
+        }
+        BinOp::Add if *rhs == param => {
+            (const_of(*lhs)? <= -1).then_some(SizeChange::Decrement)
+        }
+        BinOp::Div if *lhs == param => {
+            let c = const_of(*rhs)?;
+            (c >= 2).then_some(SizeChange::Halving(c as u64))
+        }
+        BinOp::Shr if *lhs == param => {
+            let c = const_of(*rhs)?;
+            (1..=62).contains(&c).then(|| SizeChange::Halving(1u64 << c.min(32)))
+        }
+        _ => None,
+    }
+}
+
+/// Iterative Tarjan SCC over the call graph; SCCs are emitted callees-first
+/// (reverse topological order of the condensation).
+fn sccs(graph: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = graph.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next = 0usize;
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    // call frames: (node, edge cursor)
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root] = next;
+        low[root] = next;
+        next += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        while let Some(&mut (v, ref mut cursor)) = frames.last_mut() {
+            if *cursor < graph[v].len() {
+                let w = graph[v][*cursor];
+                *cursor += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next;
+                    low[w] = next;
+                    next += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    out.push(comp);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Infers a cost bound for every function, bottom-up over the call graph.
+pub fn infer_functions(funcs: &[Function]) -> BoundReport {
+    let infos: Vec<FnInfo<'_>> = funcs.iter().map(FnInfo::new).collect();
+    let graph = cfg::callees(funcs);
+    let mut pass = Pass {
+        infos,
+        summaries: vec![Bound::Unknown; funcs.len()],
+        recursive: vec![false; funcs.len()],
+        diags: Vec::new(),
+        loop_count: 0,
+    };
+    for comp in sccs(&graph) {
+        if comp.len() > 1 {
+            for &fi in &comp {
+                pass.recursive[fi] = true;
+                pass.summaries[fi] = Bound::Unknown;
+                pass.diags.push(Diagnostic {
+                    severity: Severity::Warning,
+                    code: "B303",
+                    func: fi,
+                    block: None,
+                    instr: None,
+                    message: format!(
+                        "mutual recursion across {} functions: no size-change \
+                         argument is attempted",
+                        comp.len()
+                    ),
+                });
+            }
+            continue;
+        }
+        let fi = comp[0];
+        let self_recursive = graph[fi].contains(&fi);
+        pass.recursive[fi] = self_recursive;
+        pass.summaries[fi] = if self_recursive {
+            pass.recursive_bound(fi)
+        } else {
+            pass.intra(fi, None)
+        };
+    }
+    let mut report = BoundReport {
+        stats: BoundStats {
+            functions: funcs.len(),
+            blocks: funcs.iter().map(|f| f.blocks.len()).sum(),
+            instrs: funcs.iter().flat_map(|f| &f.blocks).map(|b| b.instrs.len() + 1).sum(),
+            loops: pass.loop_count,
+        },
+        ..BoundReport::default()
+    };
+    report.bounds = funcs
+        .iter()
+        .enumerate()
+        .map(|(i, f)| RoutineBound {
+            func: i,
+            name: f.name.clone(),
+            bound: pass.summaries[i],
+            recursive: pass.recursive[i],
+        })
+        .collect();
+    report.diagnostics = pass.diags;
+    for rb in &report.bounds {
+        report.diagnostics.push(Diagnostic {
+            severity: Severity::Note,
+            code: "B301",
+            func: rb.func,
+            block: None,
+            instr: None,
+            message: format!(
+                "inferred static cost bound {}{}",
+                rb.bound.notation(),
+                if rb.recursive { " (recursive)" } else { "" }
+            ),
+        });
+    }
+    report.diagnostics.sort_by_key(|d| (d.func, d.block, d.instr, d.code));
+    report
+}
+
+/// Infers bounds for a validated [`Program`].
+pub fn infer_program(program: &Program) -> BoundReport {
+    infer_functions(program.functions())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aprof_vm::asm;
+
+    fn bounds_of(src: &str) -> BoundReport {
+        let module = asm::parse_module(src).expect("witness parses");
+        infer_functions(&module.functions)
+    }
+
+    fn bound_by_name(r: &BoundReport, name: &str) -> Bound {
+        r.bounds.iter().find(|b| b.name == name).map(|b| b.bound).unwrap()
+    }
+
+    // --- One witness guest program per bound class. ---
+
+    #[test]
+    fn witness_const() {
+        // A constant-trip counted loop: 0..10 against a constant limit.
+        let r = bounds_of(
+            "func main() regs=4 {\n\
+             entry:\n    r0 = const 0\n    r1 = const 10\n    jmp head\n\
+             head:\n    r2 = clt r0, r1\n    br r2, body, exit\n\
+             body:\n    r3 = const 1\n    r0 = add r0, r3\n    jmp head\n\
+             exit:\n    ret r0\n}",
+        );
+        assert_eq!(bound_by_name(&r, "main"), Bound::Const, "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn witness_log() {
+        // Halving loop: while (n > 0) n /= 2.
+        let r = bounds_of(
+            "func main() {\nentry:\n    r0 = const 0\n    ret r0\n}\n\
+             func halve(1) regs=4 {\n\
+             entry:\n    jmp head\n\
+             head:\n    r1 = const 0\n    r2 = cgt r0, r1\n    br r2, body, exit\n\
+             body:\n    r3 = const 2\n    r0 = div r0, r3\n    jmp head\n\
+             exit:\n    ret r0\n}",
+        );
+        assert_eq!(bound_by_name(&r, "halve"), Bound::Log, "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn witness_linear() {
+        // sum(n): counter vs the parameter.
+        let r = bounds_of(
+            "func main() {\nentry:\n    r0 = const 10\n    r1 = call sum(r0)\n    ret r1\n}\n\
+             func sum(1) regs=4 {\n\
+             entry:\n    r1 = const 0\n    r2 = const 0\n    jmp head\n\
+             head:\n    r3 = clt r2, r0\n    br r3, body, exit\n\
+             body:\n    r1 = add r1, r2\n    r3 = const 1\n    r2 = add r2, r3\n    jmp head\n\
+             exit:\n    ret r1\n}",
+        );
+        assert_eq!(bound_by_name(&r, "sum"), Bound::Linear, "{:?}", r.diagnostics);
+        // main inherits the callee bound (no constant-argument
+        // specialization — documented imprecision).
+        assert_eq!(bound_by_name(&r, "main"), Bound::Linear);
+    }
+
+    #[test]
+    fn witness_linearithmic() {
+        // Merge-sort shape: two halving self-calls plus a linear merge.
+        let r = bounds_of(
+            "func main() {\nentry:\n    r0 = const 32\n    r1 = call msort(r0)\n    ret r1\n}\n\
+             func msort(1) regs=8 {\n\
+             entry:\n    r1 = const 2\n    r2 = clt r0, r1\n    br r2, base, rec\n\
+             base:\n    ret r0\n\
+             rec:\n    r3 = const 2\n    r4 = div r0, r3\n    r5 = call msort(r4)\n\
+             \n    r6 = div r0, r3\n    r7 = call msort(r6)\n    jmp merge\n\
+             merge:\n    r1 = const 0\n    jmp mhead\n\
+             mhead:\n    r2 = clt r1, r0\n    br r2, mbody, mexit\n\
+             mbody:\n    r3 = const 1\n    r1 = add r1, r3\n    jmp mhead\n\
+             mexit:\n    r6 = add r5, r7\n    ret r6\n}",
+        );
+        assert_eq!(bound_by_name(&r, "msort"), Bound::Linearithmic, "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn witness_poly2() {
+        // Nested counter loops, both bounded by the parameter.
+        let r = bounds_of(
+            "func main() {\nentry:\n    r0 = const 8\n    r1 = call sq(r0)\n    ret r1\n}\n\
+             func sq(1) regs=8 {\n\
+             entry:\n    r1 = const 0\n    r2 = const 0\n    jmp ohead\n\
+             ohead:\n    r3 = clt r2, r0\n    br r3, oinit, oexit\n\
+             oinit:\n    r4 = const 0\n    jmp ihead\n\
+             ihead:\n    r5 = clt r4, r0\n    br r5, ibody, olatch\n\
+             ibody:\n    r6 = const 1\n    r4 = add r4, r6\n    r1 = add r1, r4\n    jmp ihead\n\
+             olatch:\n    r6 = const 1\n    r2 = add r2, r6\n    jmp ohead\n\
+             oexit:\n    ret r1\n}",
+        );
+        assert_eq!(bound_by_name(&r, "sq"), Bound::Poly(2), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn witness_exponential() {
+        // fib(n): two decrementing self-calls.
+        let r = bounds_of(
+            "func main() {\nentry:\n    r0 = const 10\n    r1 = call fib(r0)\n    ret r1\n}\n\
+             func fib(1) regs=8 {\n\
+             entry:\n    r1 = const 2\n    r2 = clt r0, r1\n    br r2, base, rec\n\
+             base:\n    ret r0\n\
+             rec:\n    r3 = const 1\n    r4 = sub r0, r3\n    r5 = call fib(r4)\n\
+             \n    r6 = const 2\n    r7 = sub r0, r6\n    r1 = call fib(r7)\n\
+             \n    r5 = add r5, r1\n    ret r5\n}",
+        );
+        assert_eq!(bound_by_name(&r, "fib"), Bound::Exponential, "{:?}", r.diagnostics);
+        assert!(r.diagnostics.iter().any(|d| d.code == "B304"), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn witness_unknown() {
+        // Loop condition derived from memory: no induction variable.
+        let r = bounds_of(
+            "func main() regs=8 {\n\
+             entry:\n    r0 = const 4\n    r1 = alloc r0\n    jmp head\n\
+             head:\n    r2 = load r1, 0\n    br r2, body, exit\n\
+             body:\n    r3 = const 1\n    store r3, r1, 0\n    jmp head\n\
+             exit:\n    ret\n}",
+        );
+        assert_eq!(bound_by_name(&r, "main"), Bound::Unknown, "{:?}", r.diagnostics);
+        assert!(r.diagnostics.iter().any(|d| d.code == "B302"), "{:?}", r.diagnostics);
+    }
+
+    // --- Structural behaviours. ---
+
+    #[test]
+    fn decrement_recursion_is_linear_depth() {
+        let r = bounds_of(
+            "func main() {\nentry:\n    r0 = const 10\n    r1 = call count(r0)\n    ret r1\n}\n\
+             func count(1) regs=4 {\n\
+             entry:\n    r1 = const 0\n    r2 = cgt r0, r1\n    br r2, rec, base\n\
+             base:\n    ret r0\n\
+             rec:\n    r3 = const 1\n    r1 = sub r0, r3\n    r2 = call count(r1)\n    ret r2\n}",
+        );
+        assert_eq!(bound_by_name(&r, "count"), Bound::Linear, "{:?}", r.diagnostics);
+        assert!(r.bounds.iter().any(|b| b.name == "count" && b.recursive));
+    }
+
+    #[test]
+    fn halving_recursion_is_log_depth() {
+        let r = bounds_of(
+            "func main() {\nentry:\n    r0 = const 10\n    r1 = call bs(r0)\n    ret r1\n}\n\
+             func bs(1) regs=4 {\n\
+             entry:\n    r1 = const 0\n    r2 = cgt r0, r1\n    br r2, rec, base\n\
+             base:\n    ret r0\n\
+             rec:\n    r3 = const 2\n    r1 = div r0, r3\n    r2 = call bs(r1)\n    ret r2\n}",
+        );
+        assert_eq!(bound_by_name(&r, "bs"), Bound::Log, "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn mutual_recursion_is_unknown() {
+        let r = bounds_of(
+            "func main() {\nentry:\n    r0 = const 1\n    call ping(r0)\n    ret\n}\n\
+             func ping(1) {\nentry:\n    br r0, go, stop\n\
+             go:\n    call pong(r0)\n    ret\nstop:\n    ret\n}\n\
+             func pong(1) {\nentry:\n    call ping(r0)\n    ret\n}",
+        );
+        assert_eq!(bound_by_name(&r, "ping"), Bound::Unknown);
+        assert_eq!(bound_by_name(&r, "pong"), Bound::Unknown);
+        assert!(r.diagnostics.iter().any(|d| d.code == "B303"));
+    }
+
+    #[test]
+    fn unrecognized_size_change_is_unknown() {
+        // Recursing on the unchanged parameter.
+        let r = bounds_of(
+            "func main() {\nentry:\n    r0 = const 1\n    call spin(r0)\n    ret\n}\n\
+             func spin(1) regs=4 {\n\
+             entry:\n    br r0, rec, base\n\
+             base:\n    ret\n\
+             rec:\n    call spin(r0)\n    ret\n}",
+        );
+        assert_eq!(bound_by_name(&r, "spin"), Bound::Unknown);
+        assert!(r.diagnostics.iter().any(|d| d.code == "B303"), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn conditional_update_does_not_bound() {
+        // The increment is skipped on one path: no progress guarantee.
+        let r = bounds_of(
+            "func main(0) regs=8 {\n\
+             entry:\n    r0 = const 0\n    r1 = const 10\n    r4 = const 4\n    r5 = alloc r4\n    jmp head\n\
+             head:\n    r2 = clt r0, r1\n    br r2, body, exit\n\
+             body:\n    r3 = load r5, 0\n    br r3, bump, skip\n\
+             bump:\n    r6 = const 1\n    r0 = add r0, r6\n    jmp skip\n\
+             skip:\n    jmp head\n\
+             exit:\n    ret\n}",
+        );
+        assert_eq!(bound_by_name(&r, "main"), Bound::Unknown, "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn every_routine_gets_a_b301_note() {
+        let r = bounds_of(
+            "func main() {\nentry:\n    r0 = const 1\n    ret r0\n}\n\
+             func helper() {\nentry:\n    ret\n}",
+        );
+        assert_eq!(r.diagnostics.iter().filter(|d| d.code == "B301").count(), 2);
+        assert_eq!(r.stats.functions, 2);
+        assert!(r.stats.instrs > 0);
+    }
+
+    #[test]
+    fn spawn_composes_like_call() {
+        let r = bounds_of(
+            "func main() regs=4 {\n\
+             entry:\n    r0 = const 9\n    r1 = spawn work(r0)\n    join r1\n    ret\n}\n\
+             func work(1) regs=4 {\n\
+             entry:\n    r1 = const 0\n    jmp head\n\
+             head:\n    r2 = clt r1, r0\n    br r2, body, exit\n\
+             body:\n    r3 = const 1\n    r1 = add r1, r3\n    jmp head\n\
+             exit:\n    ret\n}",
+        );
+        assert_eq!(bound_by_name(&r, "work"), Bound::Linear);
+        assert_eq!(bound_by_name(&r, "main"), Bound::Linear);
+    }
+}

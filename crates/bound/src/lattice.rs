@@ -1,0 +1,276 @@
+//! The symbolic cost-bound lattice.
+//!
+//! Bounds live on the totally ordered lattice
+//!
+//! ```text
+//! Const ⊑ Log ⊑ Linear ⊑ Linearithmic ⊑ Poly(2) ⊑ … ⊑ Poly(8)
+//!       ⊑ Exponential ⊑ Unknown
+//! ```
+//!
+//! with two operations: [`join`](Bound::join) (least upper bound — merging
+//! control-flow alternatives) and [`compose`](Bound::compose) (product —
+//! a loop's trip bound multiplied by its body's bound, or a call count
+//! multiplied by a callee summary). Compose works on `(poly degree, log
+//! degree)` exponent pairs and rounds *up* into the lattice where an exact
+//! product has no element (`log²n` ⊑ `n`, `n·log²n` ⊑ `n²`, `n^k·log n` ⊑
+//! `n^(k+1)`), so it over-approximates but never under-approximates.
+
+/// Maximum polynomial degree before a bound collapses to [`Bound::Unknown`].
+pub const MAX_POLY_DEGREE: u8 = 8;
+
+/// A symbolic asymptotic cost bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bound {
+    /// `O(1)` — cost bounded by a constant.
+    Const,
+    /// `O(log n)`.
+    Log,
+    /// `O(n)`.
+    Linear,
+    /// `O(n log n)`.
+    Linearithmic,
+    /// `O(n^k)` for `k ≥ 2` (degree capped at [`MAX_POLY_DEGREE`]).
+    Poly(u8),
+    /// `2^{O(n)}` — branching recursion.
+    Exponential,
+    /// Top: nothing could be established. Always a sound answer.
+    Unknown,
+}
+
+impl Bound {
+    /// Normalizing polynomial constructor: degree 0 is [`Bound::Const`],
+    /// degree 1 is [`Bound::Linear`], degrees above [`MAX_POLY_DEGREE`]
+    /// collapse to [`Bound::Unknown`].
+    pub fn poly(degree: u8) -> Bound {
+        match degree {
+            0 => Bound::Const,
+            1 => Bound::Linear,
+            d if d <= MAX_POLY_DEGREE => Bound::Poly(d),
+            _ => Bound::Unknown,
+        }
+    }
+
+    /// Total-order rank (strictly increasing along the lattice).
+    fn rank(self) -> u32 {
+        match self {
+            Bound::Const => 0,
+            Bound::Log => 1,
+            Bound::Linear => 2,
+            Bound::Linearithmic => 3,
+            Bound::Poly(k) => 10 + u32::from(k.max(2)),
+            Bound::Exponential => 100,
+            Bound::Unknown => 200,
+        }
+    }
+
+    /// `(poly degree, log degree)` exponents, for the finite elements.
+    fn degrees(self) -> Option<(u8, u8)> {
+        match self {
+            Bound::Const => Some((0, 0)),
+            Bound::Log => Some((0, 1)),
+            Bound::Linear => Some((1, 0)),
+            Bound::Linearithmic => Some((1, 1)),
+            Bound::Poly(k) => Some((k, 0)),
+            Bound::Exponential | Bound::Unknown => None,
+        }
+    }
+
+    /// Rounds an exponent pair up into the lattice.
+    fn from_degrees(p: u8, l: u8) -> Bound {
+        match (p, l) {
+            (0, 0) => Bound::Const,
+            (0, 1) => Bound::Log,
+            // log^l n ⊑ n for any fixed l ≥ 2.
+            (0, _) => Bound::Linear,
+            (1, 0) => Bound::Linear,
+            (1, 1) => Bound::Linearithmic,
+            // n·log^l n ⊑ n² for any fixed l ≥ 2.
+            (1, _) => Bound::poly(2),
+            (k, 0) => Bound::poly(k),
+            // n^k·log^l n ⊑ n^(k+1).
+            (k, _) => Bound::poly(k.saturating_add(1)),
+        }
+    }
+
+    /// Least upper bound: the slower-growing side is absorbed.
+    #[must_use]
+    pub fn join(self, other: Bound) -> Bound {
+        if self.rank() >= other.rank() {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Product: the bound of running `other` once per unit of `self` (loop
+    /// trip bound × body bound, recursion depth × per-invocation bound).
+    /// Over-approximates where the exact product leaves the lattice;
+    /// [`Bound::Const`] is the identity, [`Bound::Unknown`] is absorbing,
+    /// and [`Bound::Exponential`] absorbs every finite factor
+    /// (`2^{O(n)}·n^k ⊆ 2^{O(n)}`).
+    #[must_use]
+    pub fn compose(self, other: Bound) -> Bound {
+        match (self.degrees(), other.degrees()) {
+            (Some((p1, l1)), Some((p2, l2))) => {
+                let p = p1.saturating_add(p2);
+                if p > MAX_POLY_DEGREE {
+                    Bound::Unknown
+                } else {
+                    Bound::from_degrees(p, l1.saturating_add(l2))
+                }
+            }
+            _ => {
+                if self == Bound::Unknown || other == Bound::Unknown {
+                    Bound::Unknown
+                } else {
+                    Bound::Exponential
+                }
+            }
+        }
+    }
+
+    /// Conventional asymptotic notation (stable: used in golden files).
+    pub fn notation(self) -> String {
+        match self {
+            Bound::Const => "O(1)".into(),
+            Bound::Log => "O(log n)".into(),
+            Bound::Linear => "O(n)".into(),
+            Bound::Linearithmic => "O(n log n)".into(),
+            Bound::Poly(k) => format!("O(n^{k})"),
+            Bound::Exponential => "O(2^n)".into(),
+            Bound::Unknown => "unknown".into(),
+        }
+    }
+
+    /// Inverse of [`notation`](Self::notation), for golden-file parsing.
+    pub fn from_notation(s: &str) -> Option<Bound> {
+        match s {
+            "O(1)" => Some(Bound::Const),
+            "O(log n)" => Some(Bound::Log),
+            "O(n)" => Some(Bound::Linear),
+            "O(n log n)" => Some(Bound::Linearithmic),
+            "O(2^n)" => Some(Bound::Exponential),
+            "unknown" => Some(Bound::Unknown),
+            _ => {
+                let k = s.strip_prefix("O(n^")?.strip_suffix(')')?;
+                let k: u8 = k.parse().ok()?;
+                (2..=MAX_POLY_DEGREE).contains(&k).then_some(Bound::Poly(k))
+            }
+        }
+    }
+}
+
+impl PartialOrd for Bound {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bound {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.rank().cmp(&other.rank())
+    }
+}
+
+impl std::fmt::Display for Bound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.notation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CHAIN: [Bound; 8] = [
+        Bound::Const,
+        Bound::Log,
+        Bound::Linear,
+        Bound::Linearithmic,
+        Bound::Poly(2),
+        Bound::Poly(3),
+        Bound::Exponential,
+        Bound::Unknown,
+    ];
+
+    #[test]
+    fn chain_is_strictly_ordered() {
+        for w in CHAIN.windows(2) {
+            assert!(w[0] < w[1], "{} !< {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn join_is_lub_on_the_chain() {
+        for &a in &CHAIN {
+            for &b in &CHAIN {
+                let j = a.join(b);
+                assert!(j >= a && j >= b);
+                assert_eq!(j, b.join(a), "join must commute");
+                assert!(j == a || j == b, "join on a chain picks a side");
+            }
+        }
+        assert_eq!(Bound::Const.join(Bound::Const), Bound::Const, "idempotent");
+    }
+
+    #[test]
+    fn compose_identity_and_absorption() {
+        for &b in &CHAIN {
+            assert_eq!(Bound::Const.compose(b), b, "Const is the identity");
+            assert_eq!(b.compose(Bound::Const), b);
+            assert_eq!(Bound::Unknown.compose(b), Bound::Unknown, "Unknown absorbs");
+        }
+        assert_eq!(Bound::Exponential.compose(Bound::Poly(3)), Bound::Exponential);
+        assert_eq!(Bound::Exponential.compose(Bound::Unknown), Bound::Unknown);
+    }
+
+    #[test]
+    fn compose_poly_arithmetic() {
+        assert_eq!(Bound::Linear.compose(Bound::Linear), Bound::Poly(2));
+        assert_eq!(Bound::Linear.compose(Bound::Poly(2)), Bound::Poly(3));
+        assert_eq!(Bound::Poly(2).compose(Bound::Poly(2)), Bound::Poly(4));
+        assert_eq!(Bound::Log.compose(Bound::Linear), Bound::Linearithmic);
+        assert_eq!(Bound::Linear.compose(Bound::Log), Bound::Linearithmic);
+        // Rounded-up products: the result dominates the exact value.
+        assert_eq!(Bound::Log.compose(Bound::Log), Bound::Linear);
+        assert_eq!(Bound::Linearithmic.compose(Bound::Log), Bound::Poly(2));
+        // n²·log n has no lattice element and n² sits *below* it: round up.
+        assert_eq!(Bound::Linearithmic.compose(Bound::Linear), Bound::Poly(3));
+        assert_eq!(Bound::Linearithmic.compose(Bound::Linearithmic), Bound::Poly(3));
+        // Degree overflow goes to top, not around.
+        assert_eq!(Bound::Poly(8).compose(Bound::Linear), Bound::Unknown);
+    }
+
+    #[test]
+    fn compose_is_monotone() {
+        for &a in &CHAIN {
+            for &b in &CHAIN {
+                for &c in &CHAIN {
+                    if b <= c {
+                        assert!(
+                            a.compose(b) <= a.compose(c),
+                            "compose not monotone: {a} ⊗ {b} vs {a} ⊗ {c}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn poly_constructor_normalizes() {
+        assert_eq!(Bound::poly(0), Bound::Const);
+        assert_eq!(Bound::poly(1), Bound::Linear);
+        assert_eq!(Bound::poly(2), Bound::Poly(2));
+        assert_eq!(Bound::poly(9), Bound::Unknown);
+    }
+
+    #[test]
+    fn notation_round_trips() {
+        for &b in &CHAIN {
+            assert_eq!(Bound::from_notation(&b.notation()), Some(b), "{b}");
+        }
+        assert_eq!(Bound::from_notation("O(n^9)"), None);
+        assert_eq!(Bound::from_notation("garbage"), None);
+    }
+}

@@ -1,0 +1,65 @@
+//! The acceptance sweep: no bundled workload's measured growth may
+//! outgrow its static bound.
+//!
+//! Every workload in the registry (the OMP2012/PARSEC/MySQL analogs, the
+//! service-shaped guests kvstore/docpipe/webserv, the micro-examples and
+//! the planted exponential) is profiled for real at several sizes; each
+//! routine's worst-case cost-vs-rms points are then held against the
+//! bound inferred statically from that build's IR. An `Unsound` verdict
+//! anywhere fails the suite — the static bound claims to over-approximate
+//! every execution, so a faster-growing fit is a bug in `aprof-bound`.
+
+use aprof_bound::{compare, infer_program, BoundVsFit};
+use aprof_core::TrmsProfiler;
+use aprof_workloads::{all, WorkloadParams};
+
+#[test]
+fn no_workload_profile_outgrows_its_static_bound() {
+    let mut compared = 0usize;
+    for wl in all() {
+        for size in [24u64, 48] {
+            let params = WorkloadParams { size, threads: 2, seed: 11 };
+            let mut machine = wl.build(&params);
+            let program = machine.program();
+            let names = program.routines().clone();
+            let report = infer_program(program);
+            // Function index → routine name, for blaming failures.
+            let n_funcs = program.functions().len();
+
+            let mut profiler = TrmsProfiler::new();
+            machine
+                .run_with(&mut profiler)
+                .unwrap_or_else(|e| panic!("workload {} failed to run: {e}", wl.name));
+            let profile = profiler.into_report(&names);
+
+            // Worst-case cost per observed rms class, per routine. The
+            // profile indexes routines by the same ids the VM assigns to
+            // functions, so names line up one-to-one.
+            let mut points: Vec<Vec<(f64, f64)>> = vec![Vec::new(); n_funcs];
+            for routine in &profile.routines {
+                let Some(rb) = report.bounds.iter().find(|b| b.name == routine.name) else {
+                    continue;
+                };
+                for (rms, stats) in routine.rms_curve() {
+                    points[rb.func].push((rms as f64, stats.max as f64));
+                }
+            }
+
+            for c in compare(&report, &points) {
+                compared += 1;
+                assert_ne!(
+                    c.verdict,
+                    BoundVsFit::Unsound,
+                    "{} (size {size}): routine {} measured {:?} above its \
+                     static bound {}",
+                    wl.name,
+                    c.name,
+                    c.fit.map(|f| f.model),
+                    c.bound.notation(),
+                );
+            }
+        }
+    }
+    // The sweep must actually have exercised the differential.
+    assert!(compared > 100, "only {compared} routine comparisons ran");
+}

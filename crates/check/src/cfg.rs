@@ -136,6 +136,234 @@ pub fn unbounded_recursion(f: &Function, idx: usize) -> bool {
     true
 }
 
+/// Predecessor block indices per block (in-range edges only, duplicates
+/// collapsed, unreachable predecessors included — filter by
+/// [`reachable_blocks`] if needed).
+pub fn predecessors(f: &Function) -> Vec<Vec<usize>> {
+    let n = f.blocks.len();
+    let mut preds = vec![Vec::new(); n];
+    for (b, block) in f.blocks.iter().enumerate() {
+        for s in successors(&block.term, n) {
+            if !preds[s].contains(&b) {
+                preds[s].push(b);
+            }
+        }
+    }
+    preds
+}
+
+/// Immediate dominators per block (Cooper–Harvey–Kennedy), computed over
+/// the blocks reachable from block 0. `idom[0] == Some(0)`; unreachable
+/// blocks get `None`.
+pub fn idoms(f: &Function) -> Vec<Option<usize>> {
+    let n = f.blocks.len();
+    let mut idom = vec![None; n];
+    if n == 0 {
+        return idom;
+    }
+    // Reverse postorder over reachable blocks.
+    let mut order = Vec::with_capacity(n); // postorder
+    let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+    let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+    state[0] = 1;
+    while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+        let succ = successors(&f.blocks[b].term, n);
+        if *i < succ.len() {
+            let s = succ[*i];
+            *i += 1;
+            if state[s] == 0 {
+                state[s] = 1;
+                stack.push((s, 0));
+            }
+        } else {
+            state[b] = 2;
+            order.push(b);
+            stack.pop();
+        }
+    }
+    order.reverse(); // now reverse postorder, order[0] == 0
+    let mut rpo_index = vec![usize::MAX; n];
+    for (i, &b) in order.iter().enumerate() {
+        rpo_index[b] = i;
+    }
+    let preds = predecessors(f);
+    idom[0] = Some(0);
+    let intersect = |idom: &[Option<usize>], rpo: &[usize], mut a: usize, mut b: usize| {
+        while a != b {
+            while rpo[a] > rpo[b] {
+                a = idom[a].expect("processed");
+            }
+            while rpo[b] > rpo[a] {
+                b = idom[b].expect("processed");
+            }
+        }
+        a
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in order.iter().skip(1) {
+            let mut new_idom = None;
+            for &p in &preds[b] {
+                if idom[p].is_some() {
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                    });
+                }
+            }
+            if new_idom.is_some() && idom[b] != new_idom {
+                idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idom
+}
+
+/// Whether block `a` dominates block `b` under the given idom array.
+/// Unreachable blocks dominate nothing and are dominated by nothing.
+pub fn dominates(idom: &[Option<usize>], a: usize, b: usize) -> bool {
+    if idom.get(b).copied().flatten().is_none() || idom.get(a).copied().flatten().is_none() {
+        return false;
+    }
+    let mut cur = b;
+    loop {
+        if cur == a {
+            return true;
+        }
+        let next = idom[cur].expect("reachable");
+        if next == cur {
+            return false; // reached the entry without meeting `a`
+        }
+        cur = next;
+    }
+}
+
+/// One natural loop: a header, the sources of its back edges (latches), and
+/// the set of member blocks (header included). Loops sharing a header are
+/// merged into one entry.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// The loop header (target of every back edge; dominates all members).
+    pub header: usize,
+    /// Back-edge sources, ascending.
+    pub latches: Vec<usize>,
+    /// Membership bitmap over the function's blocks (header included).
+    pub body: Vec<bool>,
+}
+
+impl NaturalLoop {
+    /// Whether `block` belongs to this loop.
+    pub fn contains(&self, block: usize) -> bool {
+        self.body.get(block).copied().unwrap_or(false)
+    }
+
+    /// Number of member blocks.
+    pub fn len(&self) -> usize {
+        self.body.iter().filter(|&&b| b).count()
+    }
+
+    /// Whether the loop has no member blocks (never true in practice).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// All natural loops of a function plus an irreducibility verdict.
+#[derive(Debug, Clone, Default)]
+pub struct LoopForest {
+    /// The merged-by-header natural loops, headers ascending.
+    pub loops: Vec<NaturalLoop>,
+    /// True when a reachable cycle remains after deleting every back edge:
+    /// such control flow is not covered by the natural loops and any
+    /// trip-count reasoning over them is invalid.
+    pub irreducible: bool,
+}
+
+/// Detects the natural loops of `f`: a back edge is an edge `u → v` where
+/// `v` dominates `u`; the loop of header `v` is `v` plus everything that
+/// reaches a latch without passing through `v`. Cycles not induced by back
+/// edges (irreducible control flow) set [`LoopForest::irreducible`].
+pub fn natural_loops(f: &Function) -> LoopForest {
+    let n = f.blocks.len();
+    if n == 0 {
+        return LoopForest::default();
+    }
+    let idom = idoms(f);
+    let preds = predecessors(f);
+    let mut back_edges: Vec<(usize, usize)> = Vec::new(); // (latch, header)
+    for (u, block) in f.blocks.iter().enumerate() {
+        if idom[u].is_none() {
+            continue; // unreachable
+        }
+        for v in successors(&block.term, n) {
+            if dominates(&idom, v, u) {
+                back_edges.push((u, v));
+            }
+        }
+    }
+    let mut headers: Vec<usize> = back_edges.iter().map(|&(_, h)| h).collect();
+    headers.sort_unstable();
+    headers.dedup();
+    let mut loops = Vec::with_capacity(headers.len());
+    for &h in &headers {
+        let mut body = vec![false; n];
+        body[h] = true;
+        let mut stack: Vec<usize> = Vec::new();
+        for &(latch, header) in &back_edges {
+            if header == h && !body[latch] {
+                body[latch] = true;
+                stack.push(latch);
+            }
+        }
+        while let Some(b) = stack.pop() {
+            for &p in &preds[b] {
+                if idom[p].is_some() && !body[p] {
+                    body[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        let mut latches: Vec<usize> =
+            back_edges.iter().filter(|&&(_, hh)| hh == h).map(|&(l, _)| l).collect();
+        latches.sort_unstable();
+        latches.dedup();
+        loops.push(NaturalLoop { header: h, latches, body });
+    }
+    // Irreducibility: with all back edges removed, a reachable cycle must
+    // not remain (Kahn's algorithm over the reachable subgraph).
+    let is_back = |u: usize, v: usize| back_edges.iter().any(|&(a, b)| a == u && b == v);
+    let mut indeg = vec![0usize; n];
+    let mut reachable = 0usize;
+    for u in 0..n {
+        if idom[u].is_none() {
+            continue;
+        }
+        reachable += 1;
+        for v in successors(&f.blocks[u].term, n) {
+            if idom[v].is_some() && !is_back(u, v) {
+                indeg[v] += 1;
+            }
+        }
+    }
+    let mut queue: Vec<usize> =
+        (0..n).filter(|&b| idom[b].is_some() && indeg[b] == 0).collect();
+    let mut removed = 0usize;
+    while let Some(u) = queue.pop() {
+        removed += 1;
+        for v in successors(&f.blocks[u].term, n) {
+            if idom[v].is_some() && !is_back(u, v) {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+    }
+    LoopForest { loops, irreducible: removed != reachable }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,5 +395,76 @@ mod tests {
             "func main() {\ne:\n ret\n}\nfunc f(1) {\ne:\n r1 = call f(r0)\n ret r1\n}",
         );
         assert!(unbounded_recursion(&fs[1], 1));
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let fs = func_of("func main() {\ne:\n r0 = const 1\n ret r0\n}");
+        let forest = natural_loops(&fs[0]);
+        assert!(forest.loops.is_empty());
+        assert!(!forest.irreducible);
+    }
+
+    #[test]
+    fn counted_loop_detected() {
+        // entry -> head; head -> body | exit; body -> head (back edge).
+        let fs = func_of(
+            "func main(1) regs=4 {\n\
+             entry:\n    r1 = const 0\n    jmp head\n\
+             head:\n    r2 = clt r1, r0\n    br r2, body, exit\n\
+             body:\n    r3 = const 1\n    r1 = add r1, r3\n    jmp head\n\
+             exit:\n    ret r1\n}",
+        );
+        let forest = natural_loops(&fs[0]);
+        assert!(!forest.irreducible);
+        assert_eq!(forest.loops.len(), 1);
+        let l = &forest.loops[0];
+        assert_eq!(l.header, 1);
+        assert_eq!(l.latches, vec![2]);
+        assert!(l.contains(1) && l.contains(2));
+        assert!(!l.contains(0) && !l.contains(3));
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn nested_loops_share_structure() {
+        // Two nested counted loops: outer header dominates inner.
+        let fs = func_of(
+            "func main(1) regs=6 {\n\
+             entry:\n    r1 = const 0\n    jmp ohead\n\
+             ohead:\n    r2 = clt r1, r0\n    br r2, ibody0, oexit\n\
+             ibody0:\n    r3 = const 0\n    jmp ihead\n\
+             ihead:\n    r4 = clt r3, r0\n    br r4, ibody, ilatch\n\
+             ibody:\n    r5 = const 1\n    r3 = add r3, r5\n    jmp ihead\n\
+             ilatch:\n    r5 = const 1\n    r1 = add r1, r5\n    jmp ohead\n\
+             oexit:\n    ret r1\n}",
+        );
+        let forest = natural_loops(&fs[0]);
+        assert!(!forest.irreducible);
+        assert_eq!(forest.loops.len(), 2);
+        let outer = forest.loops.iter().find(|l| l.header == 1).unwrap();
+        let inner = forest.loops.iter().find(|l| l.header == 3).unwrap();
+        for b in [2, 3, 4, 5] {
+            assert!(outer.contains(b), "outer must contain {b}");
+        }
+        assert!(inner.contains(4) && !inner.contains(2) && !inner.contains(5));
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let fs = func_of(
+            "func main(1) regs=4 {\n\
+             entry:\n    br r0, a, b\n\
+             a:\n    jmp join\n\
+             b:\n    jmp join\n\
+             join:\n    ret\n}",
+        );
+        let idom = idoms(&fs[0]);
+        assert_eq!(idom[0], Some(0));
+        assert_eq!(idom[1], Some(0));
+        assert_eq!(idom[2], Some(0));
+        assert_eq!(idom[3], Some(0), "join's idom is the branch, not a/b");
+        assert!(dominates(&idom, 0, 3));
+        assert!(!dominates(&idom, 1, 3));
     }
 }

@@ -1,0 +1,350 @@
+//! The diagnostic code registry: one table for every `E`/`W`/`N`/`B` code
+//! the workspace can emit, with the extended help shown by
+//! `aprof-cli check --explain <CODE>`.
+//!
+//! This table is the *single source of truth*: DESIGN.md §7 (verifier
+//! codes) and §13 (bound-analysis codes) must list exactly these codes —
+//! a unit test here parses DESIGN.md and fails on any drift in either
+//! direction, so the CLI help and the documentation cannot disagree.
+
+use crate::diag::Severity;
+
+/// One documented diagnostic code.
+#[derive(Debug, Clone, Copy)]
+pub struct CodeDoc {
+    /// The stable code, e.g. `"E002"`.
+    pub code: &'static str,
+    /// Severity the code is emitted at.
+    pub severity: Severity,
+    /// One-line title (also the DESIGN.md table entry).
+    pub title: &'static str,
+    /// Extended help: what the diagnostic means, why it matters, and what
+    /// to do about it. Rendered by `check --explain`.
+    pub explain: &'static str,
+}
+
+/// Every diagnostic code the workspace can emit, ascending.
+pub const CODES: &[CodeDoc] = &[
+    CodeDoc {
+        code: "E001",
+        severity: Severity::Error,
+        title: "parse error (asm front end)",
+        explain: "The assembly source could not be parsed into guest IR. The message \
+                  carries the offending line and column; nothing downstream of the \
+                  parser ran. Fix the syntax and re-run.",
+    },
+    CodeDoc {
+        code: "E002",
+        severity: Severity::Error,
+        title: "definite use of an uninitialized register",
+        explain: "On every path reaching this instruction, the register is read before \
+                  any write. Under the VM's strict mode this faults with UseBeforeDef; \
+                  in permissive mode it silently reads zero. Initialize the register \
+                  (e.g. `r1 = const 0`) on all paths before the use.",
+    },
+    CodeDoc {
+        code: "E003",
+        severity: Severity::Error,
+        title: "bad terminator target / empty function",
+        explain: "A jump or branch names a block index outside the function, or the \
+                  function has no blocks at all. `Program::new` rejects the same \
+                  shapes; the verifier reports them as located diagnostics instead of \
+                  a fail-fast construction error.",
+    },
+    CodeDoc {
+        code: "E004",
+        severity: Severity::Error,
+        title: "register out of range",
+        explain: "An instruction names a register at or beyond the function's declared \
+                  register count (this includes declaring more params than regs). \
+                  Raise `regs=` on the function header or renumber the registers.",
+    },
+    CodeDoc {
+        code: "E005",
+        severity: Severity::Error,
+        title: "unknown callee / arity mismatch",
+        explain: "A call or spawn targets a function id that does not exist, or passes \
+                  a number of arguments different from the callee's declared parameter \
+                  count. Arguments map positionally onto the callee's r0..rN.",
+    },
+    CodeDoc {
+        code: "E006",
+        severity: Severity::Error,
+        title: "entry takes params / does not exist",
+        explain: "The program's entry function must exist and take no parameters — \
+                  there is no caller to supply them. Point the entry at a 0-ary \
+                  function (by convention `main`).",
+    },
+    CodeDoc {
+        code: "E007",
+        severity: Severity::Error,
+        title: "release of a definitely-unheld lock",
+        explain: "On every path, the released lock id is not held at this point (the \
+                  may-held lockset, including locks flowed in from every call site, \
+                  excludes it). The VM faults with LockNotHeld here. Acquire the lock \
+                  first, or remove the release.",
+    },
+    CodeDoc {
+        code: "W101",
+        severity: Severity::Warning,
+        title: "unreachable block",
+        explain: "No path from the function's entry block reaches this block; it is \
+                  dead code. The block is ignored by execution, dataflow and the \
+                  bound analysis alike.",
+    },
+    CodeDoc {
+        code: "W102",
+        severity: Severity::Warning,
+        title: "unreachable function",
+        explain: "The function is neither the entry nor transitively called or spawned \
+                  from it. It still gets verified, but it can never execute.",
+    },
+    CodeDoc {
+        code: "W103",
+        severity: Severity::Warning,
+        title: "unbounded recursion",
+        explain: "Every path through the function executes a recursive call before any \
+                  `ret` — a call-graph cycle with no conditional exit. Such a function \
+                  can only exhaust the stack. Add a base case that returns without \
+                  recursing.",
+    },
+    CodeDoc {
+        code: "W104",
+        severity: Severity::Warning,
+        title: "maybe-uninitialized use",
+        explain: "Some path reaches this read without a prior write to the register \
+                  while another path initializes it. The VM's strict mode faults only \
+                  if the uninitialized path actually executes; make the \
+                  initialization unconditional to silence the lint.",
+    },
+    CodeDoc {
+        code: "W105",
+        severity: Severity::Warning,
+        title: "maybe-unheld release",
+        explain: "The released lock is held on some paths but not all (the must-held \
+                  lockset, intersected over call sites, excludes it while the \
+                  may-held set contains it). Balance acquire/release on every path.",
+    },
+    CodeDoc {
+        code: "W106",
+        severity: Severity::Warning,
+        title: "thread entry returns holding a lock",
+        explain: "A spawned function can exit while still holding a mutex, which no \
+                  other thread can then release. Release everything the thread \
+                  acquired before it returns.",
+    },
+    CodeDoc {
+        code: "W107",
+        severity: Severity::Warning,
+        title: "spawn handle never joined",
+        explain: "The handle returned by `spawn` is never passed to `join` on any \
+                  path. The program may exit while the thread still runs, and its \
+                  effects race with program shutdown.",
+    },
+    CodeDoc {
+        code: "W108",
+        severity: Severity::Warning,
+        title: "join on a pointer value",
+        explain: "The value joined is an allocation address, not a spawn handle. \
+                  `join` on a non-handle is a dynamic no-op at best and a hang at \
+                  worst; join the register that received the spawn result.",
+    },
+    CodeDoc {
+        code: "W110",
+        severity: Severity::Warning,
+        title: "implicit `ret` inserted by the assembler",
+        explain: "An assembly block fell off the end without a written terminator, so \
+                  the parser supplied a bare `ret`. Write the terminator explicitly — \
+                  implicit returns are usually a missing `jmp`.",
+    },
+    CodeDoc {
+        code: "N201",
+        severity: Severity::Note,
+        title: "static race candidate",
+        explain: "Two threads may access this address with no common lock in their \
+                  must-held locksets, at least one access a write. This is an \
+                  over-approximation of what the dynamic HelgrindTool can observe \
+                  (static candidates ⊇ dynamic races); notes never reject a program \
+                  and are hidden unless `--races` is passed.",
+    },
+    CodeDoc {
+        code: "B301",
+        severity: Severity::Note,
+        title: "inferred static cost bound",
+        explain: "The bound analysis inferred this symbolic cost bound for the routine \
+                  on the lattice Const ⊑ Log ⊑ Linear ⊑ Linearithmic ⊑ Poly(k) ⊑ \
+                  Exponential ⊑ Unknown. The bound composes loop trip classes \
+                  through loop nests and callee summaries bottom-up over the call \
+                  graph; it is an upper bound on how the routine's cost grows with \
+                  its input, not an exact complexity.",
+    },
+    CodeDoc {
+        code: "B302",
+        severity: Severity::Warning,
+        title: "loop trip count not statically bounded",
+        explain: "No exit of this natural loop tests a recognized induction variable \
+                  (affine counter vs a loop-invariant bound, or a halving/doubling \
+                  update), or the controlling update is non-affine, or the control \
+                  flow is irreducible. The loop contributes the top element Unknown \
+                  to every enclosing bound — sound, but maximally imprecise.",
+    },
+    CodeDoc {
+        code: "B303",
+        severity: Severity::Warning,
+        title: "recursion without a recognized size decrease",
+        explain: "The routine sits in a call-graph cycle, but no size-change argument \
+                  was found: no argument of the recursive call is a constant \
+                  decrement or a constant division of a parameter. The recursion \
+                  depth cannot be bounded, so the routine's bound is Unknown.",
+    },
+    CodeDoc {
+        code: "B304",
+        severity: Severity::Warning,
+        title: "exponential bound (branching recursion)",
+        explain: "The routine makes two or more recursive calls per invocation (or \
+                  recurses inside a loop) while decreasing its argument by a \
+                  constant, so the call tree branches: the inferred bound is \
+                  Exponential. If the intent was divide-and-conquer, divide the \
+                  argument instead of decrementing it.",
+    },
+    CodeDoc {
+        code: "B305",
+        severity: Severity::Error,
+        title: "unsound static bound (dynamic fit grew faster)",
+        explain: "The static-vs-dynamic differential observed a fitted growth model \
+                  strictly above the routine's static bound. Since the static bound \
+                  claims to over-approximate every execution, this is a bug in the \
+                  bound analysis (or a mis-fitted profile) and is treated as a hard \
+                  failure wherever the differential runs (corpus oracle, CLI).",
+    },
+    CodeDoc {
+        code: "B306",
+        severity: Severity::Note,
+        title: "imprecise static bound (strictly above the dynamic fit)",
+        explain: "The static bound is sound but strictly above the dynamically fitted \
+                  growth model — e.g. Unknown against a measured O(n). This is the \
+                  differential's precision metric, not a failure: data-dependent \
+                  loops and coarse recursion rules lose precision by design.",
+    },
+];
+
+/// Looks a code up (case-insensitive).
+pub fn lookup(code: &str) -> Option<&'static CodeDoc> {
+    CODES.iter().find(|c| c.code.eq_ignore_ascii_case(code))
+}
+
+/// Renders the rustc-style extended help for one code.
+pub fn explain(code: &str) -> Option<String> {
+    let doc = lookup(code)?;
+    let sev = match doc.severity {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+        Severity::Note => "note",
+    };
+    let mut out = format!("{}: {} ({})\n\n", doc.code, doc.title, sev);
+    // Re-flow the explanation to ~76 columns.
+    let mut col = 0usize;
+    for word in doc.explain.split_whitespace() {
+        if col > 0 && col + 1 + word.len() > 76 {
+            out.push('\n');
+            col = 0;
+        } else if col > 0 {
+            out.push(' ');
+            col += 1;
+        }
+        out.push_str(word);
+        col += word.len();
+    }
+    out.push('\n');
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_sorted_and_unique() {
+        // Families in severity-block order (errors, lints, notes, bound
+        // analysis), numerically ascending within each family.
+        let rank = |code: &'static str| {
+            let fam = ["E", "W", "N", "B"]
+                .iter()
+                .position(|p| code.starts_with(p))
+                .unwrap_or_else(|| panic!("unexpected code family: {code}"));
+            (fam, code)
+        };
+        for w in CODES.windows(2) {
+            assert!(rank(w[0].code) < rank(w[1].code), "{} !< {}", w[0].code, w[1].code);
+        }
+    }
+
+    #[test]
+    fn lookup_and_explain() {
+        assert_eq!(lookup("e002").unwrap().code, "E002");
+        assert!(lookup("E999").is_none());
+        let text = explain("B305").unwrap();
+        assert!(text.starts_with("B305:"));
+        assert!(text.contains("differential"));
+        assert!(text.lines().all(|l| l.len() <= 78), "over-wide line:\n{text}");
+    }
+
+    #[test]
+    fn severity_prefix_matches_code_letter() {
+        for c in CODES {
+            let want = match c.code.as_bytes()[0] {
+                b'E' => Severity::Error,
+                b'W' => Severity::Warning,
+                b'N' => Severity::Note,
+                // B codes span severities: B305 is the differential's hard
+                // failure, B302/B303/B304 are lints, B301/B306 are notes.
+                b'B' => c.severity,
+                other => panic!("unexpected code letter {}", other as char),
+            };
+            assert_eq!(c.severity, want, "{}", c.code);
+        }
+    }
+
+    /// DESIGN.md and this table must agree exactly: every code documented
+    /// here appears in DESIGN.md (§7 for E/W/N, §13 for B), and every code
+    /// token mentioned anywhere in DESIGN.md exists in this table.
+    #[test]
+    fn design_md_code_tables_do_not_drift() {
+        let design = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../DESIGN.md"
+        ))
+        .expect("DESIGN.md readable from crates/check");
+        for c in CODES {
+            assert!(
+                design.contains(c.code),
+                "DESIGN.md does not mention {} ({})",
+                c.code,
+                c.title
+            );
+        }
+        // Scan DESIGN.md for code-shaped tokens and demand each is ours.
+        let known: Vec<&str> = CODES.iter().map(|c| c.code).collect();
+        let bytes = design.as_bytes();
+        for i in 0..bytes.len().saturating_sub(3) {
+            let c = bytes[i];
+            if !matches!(c, b'E' | b'W' | b'N' | b'B') {
+                continue;
+            }
+            if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'/') {
+                continue; // mid-word (e.g. "W1xx" handled below, "N2xx")
+            }
+            let tok = &design[i..i + 4];
+            if tok[1..].bytes().all(|b| b.is_ascii_digit()) {
+                // Allow wildcard families like E0xx/W1xx/N2xx/B3xx.
+                if i + 4 < bytes.len() && bytes[i + 4].is_ascii_digit() {
+                    continue; // longer number, not a code
+                }
+                assert!(
+                    known.contains(&tok),
+                    "DESIGN.md mentions unknown diagnostic code {tok}"
+                );
+            }
+        }
+    }
+}

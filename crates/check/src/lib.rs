@@ -38,11 +38,13 @@
 #![warn(missing_docs)]
 
 pub mod cfg;
+pub mod codes;
 pub mod dataflow;
 pub mod diag;
 pub mod races;
 pub mod structure;
 
+pub use codes::{explain, CodeDoc, CODES};
 pub use diag::{render_parse_error, Diagnostic, Severity};
 pub use races::RaceCandidates;
 

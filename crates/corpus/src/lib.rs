@@ -5,7 +5,7 @@
 //! guest programs — nested loops, irreducible-ish diamonds, recursion with
 //! data-dependent depth, fork/join worker pools over locks and shared
 //! cells, kernel-input read/write mixes — and a differential harness
-//! ([`harness`]) runs every one of them through four independent oracles
+//! ([`harness`]) runs every one of them through five independent oracles
 //! ([`oracle`]):
 //!
 //! 1. the rms/trms profiling engines against the naive set-based

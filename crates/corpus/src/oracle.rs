@@ -1,8 +1,8 @@
-//! The differential oracles: four independent ways of checking one case.
+//! The differential oracles: five independent ways of checking one case.
 //!
 //! Every generated program is executed **once** (recording both the event
 //! stream and its wire encoding from the same deterministic run) and the
-//! observation is then cross-checked four ways:
+//! observation is then cross-checked five ways:
 //!
 //! | oracle | under test            | reference                         |
 //! |--------|-----------------------|-----------------------------------|
@@ -10,11 +10,14 @@
 //! | B      | batched replay        | sequential replay                 |
 //! | C      | wire round-trip       | directly captured event stream    |
 //! | D      | dynamic VM faults     | aprof-check static verdicts       |
+//! | E      | aprof-bound bounds    | growth fitted to the real profile |
 //!
-//! [`run_case`] passes only when all four agree. [`run_case_mutated`]
+//! [`run_case`] passes only when all five agree. [`run_case_mutated`]
 //! additionally corrupts the stream *seen by the profiler under test* (never
 //! the one seen by the reference) — the mutation-testing hook that proves
-//! the harness actually detects planted profiler bugs.
+//! the harness actually detects planted profiler bugs. Oracle E always
+//! judges the *true* profile: a statically inferred bound must never sit
+//! strictly below the growth the execution actually exhibited.
 
 use std::io::Cursor;
 
@@ -39,6 +42,8 @@ pub enum Oracle {
     Wire,
     /// D: aprof-check static verdicts vs dynamic VM behaviour.
     StaticVsDynamic,
+    /// E: aprof-bound static cost bounds vs dynamically fitted growth.
+    BoundVsFit,
 }
 
 impl Oracle {
@@ -49,6 +54,7 @@ impl Oracle {
             Oracle::Batching => "batched-vs-sequential",
             Oracle::Wire => "wire-roundtrip",
             Oracle::StaticVsDynamic => "static-vs-dynamic",
+            Oracle::BoundVsFit => "bound-vs-fit",
         }
     }
 }
@@ -68,7 +74,7 @@ impl std::fmt::Display for OracleFailure {
     }
 }
 
-/// Per-case observation summary (all four oracles passed).
+/// Per-case observation summary (all five oracles passed).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CaseReport {
     /// Events the run produced.
@@ -333,6 +339,37 @@ pub fn run_case_mutated(
         });
     }
 
+    // --- Oracle E: static cost bounds vs the fitted dynamic growth. ---
+    // Judged on the *true* profile (mutations corrupt the stream under
+    // test, not reality): the inferred bound of every routine must not sit
+    // strictly below the growth model fitted to its (rms, cost) profile.
+    let bound_report = aprof_bound::infer_program(&program);
+    let mut points: Vec<Vec<(f64, f64)>> = vec![Vec::new(); program.functions().len()];
+    for &(_, routine, _, rms, cost) in &reference {
+        if let Some(p) = points.get_mut(routine.index()) {
+            p.push((rms as f64, cost as f64));
+        }
+    }
+    let comparisons = aprof_bound::compare(&bound_report, &points);
+    if let Some(bad) = comparisons.iter().find(|c| c.verdict == aprof_bound::BoundVsFit::Unsound) {
+        let fitted = bad
+            .fit
+            .as_ref()
+            .map(|f| format!("{} (R²={:.4})", f.model.notation(), f.r2))
+            .unwrap_or_else(|| "<no fit>".into());
+        return Err(OracleFailure {
+            oracle: Oracle::BoundVsFit,
+            detail: format!(
+                "routine {} ({}): static bound {} but {} activations fitted {}",
+                bad.func,
+                bad.name,
+                bad.bound.notation(),
+                bad.points,
+                fitted
+            ),
+        });
+    }
+
     Ok(CaseReport {
         events: direct.len() as u64,
         wire_bytes: bytes.len() as u64,
@@ -362,6 +399,27 @@ mod tests {
         let a = run_case(&spec).expect("passes");
         let b = run_case(&spec).expect("passes");
         assert_eq!(a, b, "same spec must observe the identical run");
+    }
+
+    #[test]
+    fn bound_oracle_is_sound_across_profiles() {
+        // Oracle E runs inside run_case; a broad sweep over every generator
+        // profile is the soundness regression for the bound inference.
+        for (i, cfg) in [
+            GenConfig::mixed(),
+            GenConfig::sequential(),
+            GenConfig::kernel(),
+            GenConfig::concurrent(),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            for seed in 0..12 {
+                let spec = CaseSpec::generate(seed + 1000 * i as u64, &cfg);
+                run_case(&spec)
+                    .unwrap_or_else(|f| panic!("seed {seed} ({}): {f}", spec.summary()));
+            }
+        }
     }
 
     #[test]

@@ -271,7 +271,9 @@ fn tenants_text(shared: &Shared) -> String {
 fn html_report(tenant: &str, report: &ProfileReport) -> String {
     let snap = aprof_obs::snapshot();
     let title = format!("tenant {tenant}");
-    render_report(&ReportInputs { report, title: &title, obs: Some(&snap), top: 8 })
+    // Tenant profiles aggregate wire streams with no guest program in
+    // hand, so the static-bound column stays empty.
+    render_report(&ReportInputs { report, title: &title, obs: Some(&snap), top: 8, bounds: None })
 }
 
 fn handle_http(shared: &Shared, mut conn: Conn, path: &str) {

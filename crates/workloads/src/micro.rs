@@ -26,6 +26,12 @@ pub fn workloads() -> Vec<Workload> {
             description: "§3 synthetic: activation i costs i, half first- and half induced accesses",
             build: half_induced,
         },
+        Workload {
+            name: "planted_exp",
+            family: Family::Micro,
+            description: "planted exponential: branching decrement recursion, cost ~2^rms",
+            build: planted_exp,
+        },
     ]
 }
 
@@ -251,6 +257,70 @@ pub fn half_induced(params: &WorkloadParams) -> Machine {
         .with_config(MachineConfig { quantum: 16, ..MachineConfig::default() })
 }
 
+/// A planted exponential-growth workload: `blowup(arena, n)` reads one
+/// arena cell and then recurses **twice** on `n - 1`, so its cost obeys
+/// T(n) = 2·T(n-1) + c ≈ 2^n while its rms is exactly `n` (the distinct
+/// cells `arena[0..n]`). `main` calls it at every depth `1..=d`, planting
+/// a cost-vs-rms profile that only an exponential model fits. The static
+/// bound pass classifies the same routine as branching decrement
+/// recursion (O(2^n), diagnostic B304), so the two sides of the
+/// bound-vs-fit differential agree by construction.
+pub fn planted_exp(params: &WorkloadParams) -> Machine {
+    // 2^13 ≈ 8k activations at the deepest call keeps the smoke cheap.
+    let depth = (params.size as i64 / 2).clamp(1, 13);
+    let mut p = ProgramBuilder::new();
+    let main = p.declare("main", 0);
+    let blowup = p.declare("blowup", 2);
+    {
+        let mut f = p.function(blowup); // (arena, n) -> acc
+        let arena = f.param(0);
+        let n = f.param(1);
+        let zero = f.const_temp(0);
+        let one = f.const_temp(1);
+        let acc = f.const_temp(0);
+        let body = f.new_block();
+        let done = f.new_block();
+        let cond = f.temp();
+        f.cmp(aprof_vm::ir::CmpOp::Gt, cond, n, zero);
+        f.br(cond, body, done);
+        f.switch_to(body);
+        let idx = f.temp();
+        f.sub(idx, n, one);
+        let addr = f.temp();
+        f.add(addr, arena, idx);
+        let v = f.temp();
+        f.load(v, addr, 0);
+        f.add(acc, acc, v);
+        let a = f.temp();
+        f.call(Some(a), blowup, &[arena, idx]);
+        let b = f.temp();
+        f.call(Some(b), blowup, &[arena, idx]);
+        f.add(acc, acc, a);
+        f.add(acc, acc, b);
+        f.jmp(done);
+        f.switch_to(done);
+        f.ret(Some(acc));
+    }
+    {
+        let mut f = p.function(main);
+        let d = f.const_temp(depth);
+        let one = f.const_temp(1);
+        let arena = f.temp();
+        f.alloc(arena, d);
+        crate::helpers::emit_fill(&mut f, arena, d, 5);
+        let acc = f.const_temp(0);
+        f.for_range(d, |f, i| {
+            let i1 = f.temp();
+            f.add(i1, i, one);
+            let out = f.temp();
+            f.call(Some(out), blowup, &[arena, i1]);
+            f.add(acc, acc, out);
+        });
+        f.ret(Some(acc));
+    }
+    Machine::new(p.build().expect("valid program"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +361,23 @@ mod tests {
         assert_eq!(report.global.induced_external, n);
         assert_eq!(report.global.induced_thread, 0);
         assert_eq!(report.global.kernel_writes, 2 * n);
+    }
+
+    #[test]
+    fn planted_exp_fit_recovers_exponential() {
+        let (report, _) = profile(planted_exp(&WorkloadParams::new(26, 1)));
+        let b = report.routine_by_name("blowup").unwrap();
+        let plot: Vec<(f64, f64)> =
+            b.rms_curve().iter().map(|&(x, s)| (x as f64, s.max as f64)).collect();
+        assert!(plot.len() >= 5, "need enough rms classes, got {}", plot.len());
+        let fit = aprof_analysis::fit_best(&plot).unwrap();
+        assert_eq!(
+            fit.model,
+            aprof_analysis::GrowthModel::Exponential,
+            "planted 2^n growth misfit as {:?} (r2 {})",
+            fit.model,
+            fit.r2
+        );
     }
 
     #[test]

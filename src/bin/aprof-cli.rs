@@ -58,6 +58,7 @@ fn main() {
         Some("submit") => with_observe(&args[1..], cmd_submit),
         Some("fuzz") => with_observe(&args[1..], cmd_fuzz),
         Some("check") => cmd_check(&args[1..]),
+        Some("bound") => cmd_bound(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{}", USAGE);
             0
@@ -131,11 +132,17 @@ commands:
   check FILES [opts]           statically verify and lint guest assembly
                                programs without running them; `--workloads`
                                also checks every bundled workload
+  bound FILES [opts]           infer a static symbolic cost bound per
+                               routine (Const, Log, Linear, Linearithmic,
+                               Poly(k), Exponential, Unknown) by loop and
+                               recursion analysis; stable `prog: routine:
+                               bound` lines suit golden-file diffs
   fuzz [opts]                  generate a seeded corpus of guest programs
                                and run every one through the differential
                                oracles (naive-vs-engine, batched replay,
-                               wire round-trip, static-vs-dynamic);
-                               failures are shrunk to a minimal program
+                               wire round-trip, static-vs-dynamic,
+                               bound-vs-fit); failures are shrunk to a
+                               minimal program
   serve --spool DIR [opts]     run the multi-tenant profiling service
                                daemon: concurrent wire-trace submissions
                                over unix/tcp sockets, per-tenant
@@ -180,6 +187,20 @@ check options:
   --deny-lints      treat warnings (W1xx) as rejections, like errors
   --races           also print static race candidates (N2xx notes)
   --workloads       verify every bundled workload program as well
+  --bounds          also run the aprof-bound cost-bound inference and
+                    print its B-code diagnostics (B301 inferred-bound
+                    notes, B302-B304 analysis limits)
+  --json            machine-readable diagnostics: one JSON object per
+                    diagnostic (code, severity, span, message) on stdout;
+                    verdict summaries move to stderr
+  --explain CODE    print the extended explanation for a diagnostic code
+                    (E001-E007, W101-W110, N201, B301-B306) and exit
+
+bound options:
+  --workloads       also infer bounds for every bundled workload program
+  --workload NAME   add one bundled workload (repeatable)
+  --diagnostics     print the B-code diagnostics rustc-style as well
+  --json            one JSON object per routine instead of text lines
 
 fuzz options:
   --seed N          base corpus seed                      (default 1)
@@ -450,16 +471,118 @@ fn verifier_admits(program: &aprof::vm::ir::Program, what: &str, no_check: bool)
     false
 }
 
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One diagnostic as a single-line JSON object. The span carries the
+/// `file:line` position when a source map is at hand, and always the IR
+/// coordinate (function name, block, instruction).
+fn diagnostic_json(
+    program: &str,
+    d: &aprof::check::Diagnostic,
+    names: &[String],
+    source: Option<(&aprof::vm::asm::SourceMap, &str)>,
+) -> String {
+    let func = names.get(d.func).map(String::as_str).unwrap_or("?");
+    let line = source.and_then(|(map, _)| match d.block {
+        Some(b) => map.line_of(d.func, b, d.instr),
+        None => map.functions.get(d.func).map(|f| f.header_line),
+    });
+    let mut span = format!("\"func\": {}", json_str(func));
+    if let Some(b) = d.block {
+        span.push_str(&format!(", \"block\": {b}"));
+    }
+    if let Some(i) = d.instr {
+        span.push_str(&format!(", \"instr\": {i}"));
+    }
+    if let Some(l) = line.filter(|&l| l > 0) {
+        span.push_str(&format!(", \"file\": {}, \"line\": {l}", json_str(program)));
+    }
+    format!(
+        "{{\"code\": {}, \"severity\": {}, \"program\": {}, \"span\": {{{span}}}, \"message\": {}}}",
+        json_str(d.code),
+        json_str(&d.severity.to_string()),
+        json_str(program),
+        json_str(&d.message)
+    )
+}
+
+/// Runs the bound inference for one program and prints its diagnostics
+/// (text or JSON); returns the report for further rendering.
+fn print_bound_diagnostics(
+    what: &str,
+    functions: &[aprof::vm::ir::Function],
+    names: &[String],
+    json: bool,
+    source: Option<(&aprof::vm::asm::SourceMap, &str)>,
+) -> aprof::bound::BoundReport {
+    let report = aprof::bound::infer_functions(functions);
+    for d in &report.diagnostics {
+        if json {
+            println!("{}", diagnostic_json(what, d, names, source));
+        } else if let Some((map, src)) = source {
+            print!("{}", d.render_source(names, map, src, what));
+        } else {
+            print!("{}", d.render(names));
+        }
+    }
+    report
+}
+
 fn cmd_check(args: &[String]) -> i32 {
     let mut deny_lints = false;
     let mut races = false;
     let mut workloads = false;
+    let mut json = false;
+    let mut bounds = false;
     let mut files: Vec<&str> = Vec::new();
-    for a in args {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--deny-lints" => deny_lints = true,
             "--races" => races = true,
             "--workloads" => workloads = true,
+            "--json" => json = true,
+            "--bounds" => bounds = true,
+            "--explain" => {
+                let Some(code) = it.next() else {
+                    eprintln!("--explain requires a diagnostic CODE (e.g. W104)");
+                    return 2;
+                };
+                return match aprof::check::explain(code) {
+                    Some(text) => {
+                        print!("{text}");
+                        0
+                    }
+                    None => {
+                        eprintln!(
+                            "unknown diagnostic code `{code}`; known codes: {}",
+                            aprof::check::CODES
+                                .iter()
+                                .map(|c| c.code)
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                        2
+                    }
+                };
+            }
             other if other.starts_with("--") => {
                 eprintln!("unknown option `{other}`\n{USAGE}");
                 return 2;
@@ -468,7 +591,7 @@ fn cmd_check(args: &[String]) -> i32 {
         }
     }
     if files.is_empty() && !workloads {
-        eprintln!("check requires assembly FILES and/or --workloads");
+        eprintln!("check requires assembly FILES and/or --workloads (or --explain CODE)");
         return 2;
     }
     let mut failed = false;
@@ -483,16 +606,53 @@ fn cmd_check(args: &[String]) -> i32 {
         };
         match asm::parse_module(&source) {
             Err(e) => {
-                print!("{}", aprof::check::render_parse_error(&e, &source, path));
-                println!("{path}: rejected (parse error)");
+                if json {
+                    println!(
+                        "{{\"code\": \"E001\", \"severity\": \"error\", \"program\": {}, \
+                         \"span\": {{\"line\": {}}}, \"message\": {}}}",
+                        json_str(path),
+                        e.line,
+                        json_str(&e.message)
+                    );
+                    eprintln!("{path}: rejected (parse error)");
+                } else {
+                    print!("{}", aprof::check::render_parse_error(&e, &source, path));
+                    println!("{path}: rejected (parse error)");
+                }
                 failed = true;
             }
             Ok(module) => {
                 let report = aprof::check::check_module(&module);
-                failed |=
-                    print_check_report(path, &report, deny_lints, races, |d| {
-                        d.render_source(&report.names, &module.map, &source, path)
-                    });
+                if json {
+                    for d in &report.diagnostics {
+                        if d.severity == aprof::check::Severity::Note && !races {
+                            continue;
+                        }
+                        println!(
+                            "{}",
+                            diagnostic_json(path, d, &report.names, Some((&module.map, &source)))
+                        );
+                    }
+                    failed |= report.rejects(deny_lints);
+                    eprintln!(
+                        "{path}: {}",
+                        if report.rejects(deny_lints) { "rejected" } else { "ok" }
+                    );
+                } else {
+                    failed |=
+                        print_check_report(path, &report, deny_lints, races, |d| {
+                            d.render_source(&report.names, &module.map, &source, path)
+                        });
+                }
+                if bounds && !report.has_errors() {
+                    print_bound_diagnostics(
+                        path,
+                        &module.functions,
+                        &report.names,
+                        json,
+                        Some((&module.map, &source)),
+                    );
+                }
             }
         }
     }
@@ -501,10 +661,166 @@ fn cmd_check(args: &[String]) -> i32 {
         for wl in all() {
             let machine = wl.build(&params);
             let report = aprof::check::check_program(machine.program());
-            failed |= print_check_report(wl.name, &report, deny_lints, races, |d| {
-                d.render(&report.names)
-            });
+            if json {
+                for d in &report.diagnostics {
+                    if d.severity == aprof::check::Severity::Note && !races {
+                        continue;
+                    }
+                    println!("{}", diagnostic_json(wl.name, d, &report.names, None));
+                }
+                failed |= report.rejects(deny_lints);
+                eprintln!(
+                    "{}: {}",
+                    wl.name,
+                    if report.rejects(deny_lints) { "rejected" } else { "ok" }
+                );
+            } else {
+                failed |= print_check_report(wl.name, &report, deny_lints, races, |d| {
+                    d.render(&report.names)
+                });
+            }
+            if bounds && !report.has_errors() {
+                print_bound_diagnostics(
+                    wl.name,
+                    machine.program().functions(),
+                    &report.names,
+                    json,
+                    None,
+                );
+            }
         }
+    }
+    if failed {
+        1
+    } else {
+        0
+    }
+}
+
+fn cmd_bound(args: &[String]) -> i32 {
+    let mut workloads = false;
+    let mut picked: Vec<&str> = Vec::new();
+    let mut diagnostics = false;
+    let mut json = false;
+    let mut files: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workloads" => workloads = true,
+            "--workload" => {
+                let Some(name) = it.next() else {
+                    eprintln!("--workload requires a NAME");
+                    return 2;
+                };
+                picked.push(name);
+            }
+            "--diagnostics" => diagnostics = true,
+            "--json" => json = true,
+            other if other.starts_with("--") => {
+                eprintln!("unknown option `{other}`\n{USAGE}");
+                return 2;
+            }
+            other => files.push(other),
+        }
+    }
+    if files.is_empty() && !workloads && picked.is_empty() {
+        eprintln!("bound requires assembly FILES, --workload NAME, and/or --workloads");
+        return 2;
+    }
+
+    // Stable output: one `program: routine: bound` line per routine, in
+    // function order — the format CI diffs against committed golden files.
+    let print_report = |what: &str, report: &aprof::bound::BoundReport| {
+        for rb in &report.bounds {
+            if json {
+                println!(
+                    "{{\"program\": {}, \"routine\": {}, \"bound\": {}, \"recursive\": {}}}",
+                    json_str(what),
+                    json_str(&rb.name),
+                    json_str(&rb.bound.notation()),
+                    rb.recursive
+                );
+            } else {
+                println!(
+                    "{what}: {}: {}{}",
+                    rb.name,
+                    rb.bound.notation(),
+                    if rb.recursive { " (recursive)" } else { "" }
+                );
+            }
+        }
+    };
+
+    let mut failed = false;
+    for path in files {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let module = match asm::parse_module(&source) {
+            Ok(m) => m,
+            Err(e) => {
+                print!("{}", aprof::check::render_parse_error(&e, &source, path));
+                eprintln!("{path}: rejected (parse error)");
+                failed = true;
+                continue;
+            }
+        };
+        let check = aprof::check::check_module(&module);
+        if check.has_errors() {
+            for d in &check.diagnostics {
+                if d.severity == aprof::check::Severity::Error {
+                    print!("{}", d.render_source(&check.names, &module.map, &source, path));
+                }
+            }
+            eprintln!("{path}: rejected by the static verifier; bounds not inferred");
+            failed = true;
+            continue;
+        }
+        let report = if diagnostics {
+            print_bound_diagnostics(
+                path,
+                &module.functions,
+                &check.names,
+                json,
+                Some((&module.map, &source)),
+            )
+        } else {
+            aprof::bound::infer_functions(&module.functions)
+        };
+        print_report(path, &report);
+    }
+
+    let params = WorkloadParams { size: 96, threads: 4, seed: 0x5eed };
+    let selected: Vec<_> = if workloads {
+        all().into_iter().collect()
+    } else {
+        let mut sel = Vec::new();
+        for name in &picked {
+            match by_name(name) {
+                Some(wl) => sel.push(wl),
+                None => {
+                    eprintln!("unknown workload `{name}` (see `aprof-cli list`)");
+                    return 2;
+                }
+            }
+        }
+        sel
+    };
+    for wl in selected {
+        let machine = wl.build(&params);
+        let names: Vec<String> =
+            machine.program().functions().iter().map(|f| f.name.clone()).collect();
+        let report = if diagnostics {
+            print_bound_diagnostics(wl.name, machine.program().functions(), &names, json, None)
+        } else {
+            aprof::bound::infer_functions(machine.program().functions())
+        };
+        print_report(wl.name, &report);
     }
     if failed {
         1
@@ -629,6 +945,7 @@ fn drive_record<W: std::io::Write>(
             return 1;
         }
     };
+    let bounds = opts.report.as_ref().map(|_| bound_notations(machine.program()));
     let mut profiler = build_profiler(opts);
     if let Err(e) = machine.run_recording(&mut profiler, &mut writer) {
         eprintln!("guest error: {e}");
@@ -644,7 +961,7 @@ fn drive_record<W: std::io::Write>(
             return 1;
         }
     }
-    report_profiler(profiler, names, opts);
+    report_profiler(profiler, names, opts, bounds.as_ref());
     0
 }
 
@@ -746,7 +1063,7 @@ fn cmd_replay(args: &[String]) -> i32 {
         for skipped in reader.skipped() {
             eprintln!("warning: skipped corrupt {skipped}");
         }
-        report_profiler(profiler, &names, &opts);
+        report_profiler(profiler, &names, &opts, None);
     } else {
         let trace = match textio::from_reader(file) {
             Ok(t) => t,
@@ -759,7 +1076,7 @@ fn cmd_replay(args: &[String]) -> i32 {
         let names = RoutineTable::new();
         let mut profiler = build_profiler(&opts);
         trace.replay(&mut profiler);
-        report_profiler(profiler, &names, &opts);
+        report_profiler(profiler, &names, &opts, None);
     }
     0
 }
@@ -815,7 +1132,7 @@ fn replay_merged(opts: &Opts) -> i32 {
         }
     }
     if let Some(path) = &opts.report {
-        write_html_report(&merged, "merged replay", path, opts.top);
+        write_html_report(&merged, "merged replay", path, opts.top, None);
     }
     0
 }
@@ -845,12 +1162,13 @@ fn cmd_report(args: &[String]) -> i32 {
             return 1;
         }
         let names = machine.program().routines().clone();
+        let bounds = bound_notations(machine.program());
         let mut profiler = build_profiler(&opts);
         if let Err(e) = machine.run_with(&mut profiler) {
             eprintln!("guest error: {e}");
             return 1;
         }
-        report_profiler(profiler, &names, &opts);
+        report_profiler(profiler, &names, &opts, Some(&bounds));
         return 0;
     }
     // Offline: render from a previously saved trace.
@@ -885,7 +1203,7 @@ fn cmd_report(args: &[String]) -> i32 {
         for skipped in reader.skipped() {
             eprintln!("warning: skipped corrupt {skipped}");
         }
-        report_profiler(profiler, &names, &opts);
+        report_profiler(profiler, &names, &opts, None);
     } else {
         let trace = match textio::from_reader(file) {
             Ok(t) => t,
@@ -897,7 +1215,7 @@ fn cmd_report(args: &[String]) -> i32 {
         let names = RoutineTable::new();
         let mut profiler = build_profiler(&opts);
         trace.replay(&mut profiler);
-        report_profiler(profiler, &names, &opts);
+        report_profiler(profiler, &names, &opts, None);
     }
     0
 }
@@ -1398,6 +1716,7 @@ fn build_profiler(opts: &Opts) -> TrmsProfiler {
 
 fn drive(mut machine: Machine, opts: &Opts) -> i32 {
     let names = machine.program().routines().clone();
+    let bounds = opts.report.as_ref().map(|_| bound_notations(machine.program()));
     if let Some(path) = &opts.save_trace {
         let mut rec = RecordingTool::new();
         if let Err(e) = machine.run_with(&mut rec) {
@@ -1415,7 +1734,7 @@ fn drive(mut machine: Machine, opts: &Opts) -> i32 {
         println!("saved {} events to {path}", trace.len());
         let mut profiler = build_profiler(opts);
         trace.replay(&mut profiler);
-        report_profiler(profiler, &names, opts);
+        report_profiler(profiler, &names, opts, bounds.as_ref());
         return 0;
     }
     match opts.tool.as_str() {
@@ -1425,7 +1744,7 @@ fn drive(mut machine: Machine, opts: &Opts) -> i32 {
                 eprintln!("guest error: {e}");
                 return 1;
             }
-            report_profiler(profiler, &names, opts);
+            report_profiler(profiler, &names, opts, bounds.as_ref());
             0
         }
         "memcheck" => {
@@ -1484,13 +1803,20 @@ fn drive(mut machine: Machine, opts: &Opts) -> i32 {
 
 /// Writes the self-contained HTML report. The self-metrics section is
 /// filled only when the run was observed (`--observe`).
-fn write_html_report(report: &ProfileReport, title: &str, path: &str, top: usize) {
+fn write_html_report(
+    report: &ProfileReport,
+    title: &str,
+    path: &str,
+    top: usize,
+    bounds: Option<&std::collections::BTreeMap<String, String>>,
+) {
     let snap = aprof::obs::is_enabled().then(aprof::obs::snapshot);
     let html = aprof::analysis::render_report(&ReportInputs {
         report,
         title,
         obs: snap.as_ref(),
         top,
+        bounds,
     });
     match std::fs::write(path, html) {
         Ok(()) => println!("wrote HTML report to {path}"),
@@ -1498,7 +1824,29 @@ fn write_html_report(report: &ProfileReport, title: &str, path: &str, top: usize
     }
 }
 
-fn report_profiler(profiler: TrmsProfiler, names: &RoutineTable, opts: &Opts) {
+/// Routine-name → static bound notation (`aprof-bound`) for the HTML
+/// report's "static bound" column. Only run paths have a guest program;
+/// trace-replay paths render the column as em-dashes.
+fn bound_notations(program: &aprof::vm::ir::Program) -> std::collections::BTreeMap<String, String> {
+    aprof::bound::infer_program(program)
+        .bounds
+        .into_iter()
+        .map(|b| {
+            let mut s = b.bound.notation();
+            if b.recursive {
+                s.push_str(" (recursive)");
+            }
+            (b.name, s)
+        })
+        .collect()
+}
+
+fn report_profiler(
+    profiler: TrmsProfiler,
+    names: &RoutineTable,
+    opts: &Opts,
+    bounds: Option<&std::collections::BTreeMap<String, String>>,
+) {
     let (report, cct) = profiler.into_report_and_cct(names);
     print_summary(&report, opts);
     if let Some(path) = &opts.report {
@@ -1514,7 +1862,7 @@ fn report_profiler(profiler: TrmsProfiler, names: &RoutineTable, opts: &Opts) {
                     .cloned()
             })
             .unwrap_or_else(|| "run".into());
-        write_html_report(&report, &title, path, opts.top);
+        write_html_report(&report, &title, path, opts.top, bounds);
     }
     if opts.bottlenecks {
         let entries = aprof::analysis::bottleneck::analyze(&report);

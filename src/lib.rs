@@ -20,9 +20,12 @@
 //! * [`wire`] — the chunked binary trace format (streaming capture,
 //!   O(chunk)-memory replay).
 //! * [`check`] — the static verifier and lint pass over guest IR.
+//! * [`bound`] — static symbolic cost-bound inference (loop trip
+//!   classification, recursion size-change analysis) and the
+//!   static-vs-dynamic growth differential.
 //! * [`obs`] — profiler self-metrics: counters, tracing spans, `obs.json`.
 //! * [`faults`] — seeded, replayable fault injection for robustness tests.
-//! * [`corpus`] — the fuzzed CFG corpus: seeded program generation, four
+//! * [`corpus`] — the fuzzed CFG corpus: seeded program generation, five
 //!   differential oracles, and shrinking of failures to minimal programs.
 //! * [`serve`] — the multi-tenant streaming profiling service daemon
 //!   (`aprof-cli serve` / `submit`).
@@ -32,6 +35,7 @@
 pub use aprof_analysis as analysis;
 pub use aprof_obs as obs;
 pub use aprof_bench as bench;
+pub use aprof_bound as bound;
 pub use aprof_check as check;
 pub use aprof_core as core;
 pub use aprof_corpus as corpus;
