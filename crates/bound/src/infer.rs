@@ -73,6 +73,26 @@ enum Induction {
     Grow,
 }
 
+/// Wrap guard for growth (doubling) loops: both the constant ceiling and
+/// the growth multiplier must stay at or below this. With `i ≤ 2³¹` still
+/// inside the loop and a factor `≤ 2³¹`, the next value is at most `2⁶²` —
+/// no i64 overflow — so the iterate provably grows past the ceiling instead
+/// of wrapping through `i64::MIN → 0` and looping forever.
+const GROW_MAX: i64 = 1 << 31;
+
+/// Scratch state for the input-linearity scan: the def sites on the
+/// current dataflow path (cycle detection) and a work cap.
+struct LinScan {
+    visiting: Vec<(usize, usize)>,
+    budget: u32,
+}
+
+impl Default for LinScan {
+    fn default() -> LinScan {
+        LinScan { visiting: Vec::new(), budget: 256 }
+    }
+}
+
 /// Precomputed per-function facts shared by the passes.
 struct FnInfo<'a> {
     f: &'a Function,
@@ -180,6 +200,262 @@ impl<'a> FnInfo<'a> {
         outside.iter().all(|&&(b, i)| matches!(self.f.blocks[b].instrs[i], Instr::Const { .. }))
     }
 
+    /// Whether the value `reg` holds on *entry* to loop `l` is at most
+    /// linear in the input: every def outside the loop is a recognized
+    /// linear computation (no outside defs means a parameter — the input
+    /// itself — or the constant zero-init). In-loop defs are not
+    /// consulted: callers only ask about registers whose in-loop updates
+    /// they have already classified ([`induction`](Self::induction)
+    /// constant steps or [`select_step_target`](Self::select_step_target)
+    /// moves).
+    fn linear_initialized_outside(&self, l: &NaturalLoop, reg: Reg, scan: &mut LinScan) -> bool {
+        let Some(defs) = self.defs.get(usize::from(reg.0)) else { return false };
+        defs.iter()
+            .filter(|&&(b, _)| !l.contains(b))
+            .all(|&(b, i)| self.instr_value_linear(b, i, scan))
+    }
+
+    /// Whether `reg`'s runtime value is provably at most linear in the
+    /// routine's input, wherever it is read. Input atoms: unmodified
+    /// parameters, `load` results and `sys_read` counts (input memory —
+    /// cells the dynamic side's rms counts; the value-vs-size assumption
+    /// of DESIGN.md §13.2), comparison results (always 0/1), and
+    /// constants. Atoms compose through recognized linear operations:
+    /// `mov`; `add`/`sub`/`min`/`max` of linear values; `mul`/`shl` by a
+    /// constant; `div`/`shr`/`rem` of a linear dividend (result magnitude
+    /// never exceeds it — division by zero yields 0 in guest semantics).
+    /// Cyclic dataflow through a def site that sits *inside a loop* — a
+    /// loop accumulator — is rejected: its value compounds across a trip
+    /// count that may itself grow with the input (`sum 0..n` is Θ(n²)),
+    /// which is exactly the shape that made the old invariant-limit rule
+    /// unsound. A self-referential def *outside* every loop (a straight-
+    /// line redefinition chain like `n = n + 1` after a reload) executes
+    /// at most once per activation, so the apparent cycle is an infeasible
+    /// flow and is skipped.
+    fn value_linear(&self, reg: Reg, scan: &mut LinScan) -> bool {
+        let Some(defs) = self.defs.get(usize::from(reg.0)) else { return false };
+        if defs.is_empty() {
+            return true; // parameter (input atom) or the VM's zero-init
+        }
+        defs.iter().all(|&(b, i)| self.instr_value_linear(b, i, scan))
+    }
+
+    /// [`value_linear`](Self::value_linear) for one defining instruction.
+    fn instr_value_linear(&self, b: usize, i: usize, scan: &mut LinScan) -> bool {
+        if scan.budget == 0 {
+            return false; // work cap: stay near-linear, round up
+        }
+        scan.budget -= 1;
+        if scan.visiting.contains(&(b, i)) {
+            // This def feeds itself. Inside a loop that is a compounding
+            // accumulator: reject. Outside every loop it runs at most
+            // once, so the value cannot actually flow back into it.
+            return !self.forest.loops.iter().any(|l| l.contains(b));
+        }
+        scan.visiting.push((b, i));
+        let ok = self.def_value_linear(b, i, scan) || self.loop_value_bounded(b, i, scan);
+        scan.visiting.pop();
+        ok
+    }
+
+    /// The per-instruction case split of
+    /// [`instr_value_linear`](Self::instr_value_linear).
+    fn def_value_linear(&self, b: usize, i: usize, scan: &mut LinScan) -> bool {
+        match &self.f.blocks[b].instrs[i] {
+            Instr::Const { .. } | Instr::Load { .. } | Instr::Cmp { .. } => true,
+            Instr::SysRead { .. } => true, // a count of input cells read
+            Instr::Mov { src, .. } => self.value_linear(*src, scan),
+            Instr::Bin { op, lhs, rhs, .. } => match op {
+                BinOp::Add | BinOp::Sub | BinOp::Min | BinOp::Max => {
+                    self.value_linear(*lhs, scan) && self.value_linear(*rhs, scan)
+                }
+                BinOp::Mul => {
+                    (self.reg_const(b, i, *lhs).is_some() && self.value_linear(*rhs, scan))
+                        || (self.reg_const(b, i, *rhs).is_some()
+                            && self.value_linear(*lhs, scan))
+                }
+                BinOp::Shl => {
+                    self.reg_const(b, i, *rhs).is_some() && self.value_linear(*lhs, scan)
+                }
+                BinOp::Div | BinOp::Shr | BinOp::Rem => self.value_linear(*lhs, scan),
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// Fallback for a def site the generic per-instruction judgment
+    /// rejects because its value feeds itself across loop iterations:
+    /// accept the recognized shapes whose value provably stays within
+    /// input-linear endpoints for the whole loop. The judgment runs
+    /// against the innermost enclosing loop — the one whose iteration
+    /// actually re-executes the def.
+    fn loop_value_bounded(&self, b: usize, i: usize, scan: &mut LinScan) -> bool {
+        let Some(reg) = self.f.blocks[b].instrs[i].def() else { return false };
+        let Some(l) = self.forest.loops.iter().filter(|l| l.contains(b)).min_by_key(|l| l.len())
+        else {
+            return false;
+        };
+        match self.induction(l, reg) {
+            // Const-step counter penned by an always-tested linear limit:
+            // the value stays between its (linear) init and that limit,
+            // give or take one iteration's worth of constant steps.
+            Some(Induction::Up) => self.penned(l, reg, true, scan),
+            Some(Induction::Down) => self.penned(l, reg, false, scan),
+            // Halving/shifting toward zero: the magnitude never exceeds
+            // the (linear) value the register entered the loop with.
+            Some(Induction::Shrink) => self.linear_initialized_outside(l, reg, scan),
+            // Doubling compounds across iterations; no exit test makes
+            // the *value* linear.
+            Some(Induction::Grow) => false,
+            // Not an induction variable: the branch-free select shape —
+            // every in-loop update leaves the value unchanged or moves
+            // it to an input-linear target, so it stays within the span
+            // of its (linear) entry value and those targets.
+            None => {
+                let sites: Vec<(usize, usize)> = self.defs_in_loop(l, reg).collect();
+                !sites.is_empty()
+                    && sites.iter().all(|&(db, di)| {
+                        self.select_step_target(db, di, reg)
+                            .is_some_and(|e| self.value_linear(e, scan))
+                    })
+                    && self.linear_initialized_outside(l, reg, scan)
+            }
+        }
+    }
+
+    /// Whether const-step counter `reg` (moving `up` or down) is penned
+    /// in `l`: input-linear on entry, and some always-tested exit keeps
+    /// iterating only while `reg` is on the entry side of a constant or
+    /// invariant input-linear limit — so the value never strays more
+    /// than one iteration's steps past either endpoint.
+    fn penned(&self, l: &NaturalLoop, reg: Reg, up: bool, scan: &mut LinScan) -> bool {
+        if !self.linear_initialized_outside(l, reg, scan) {
+            return false;
+        }
+        let n = self.f.blocks.len();
+        (0..n)
+            .filter(|&e| l.contains(e))
+            .filter(|&e| l.latches.iter().all(|&latch| cfg::dominates(&self.idom, e, latch)))
+            .filter(|&e| {
+                cfg::successors(&self.f.blocks[e].term, n).iter().any(|&s| !l.contains(s))
+            })
+            .any(|e| self.pen_exit(l, e, reg, up, scan))
+    }
+
+    /// One candidate exit for [`penned`](Self::penned): the continue
+    /// condition must read `reg < lim` / `reg ≤ lim` for an upward
+    /// counter (mirrored for a downward one) with `lim` constant at the
+    /// test or loop-invariant and input-linear.
+    fn pen_exit(&self, l: &NaturalLoop, e: usize, reg: Reg, up: bool, scan: &mut LinScan) -> bool {
+        let block = &self.f.blocks[e];
+        let Terminator::Br { cond, then_to, else_to } = &block.term else { return false };
+        let in_then = l.contains(then_to.index());
+        if in_then == l.contains(else_to.index()) {
+            return false;
+        }
+        let Some((ci, Instr::Cmp { op, lhs, rhs, .. })) =
+            block.instrs.iter().enumerate().rev().find(|(_, i)| i.def() == Some(*cond))
+        else {
+            return false;
+        };
+        let cont = if in_then { *op } else { negate(*op) };
+        [(cont, *lhs, *rhs), (swap(cont), *rhs, *lhs)].into_iter().any(|(op, iv, lim)| {
+            iv == reg
+                && matches!(
+                    (up, op),
+                    (true, CmpOp::Lt | CmpOp::Le) | (false, CmpOp::Gt | CmpOp::Ge)
+                )
+                && (self.reg_const(e, ci, lim).is_some()
+                    || (self.invariant_in(l, lim) && self.value_linear(lim, scan)))
+        })
+    }
+
+    /// Recognizes the branch-free select step `x += (e − x) · g`,
+    /// `g ∈ {0, 1}`, at def site (`b`, `i`) of `x`: the update leaves
+    /// `x` unchanged (`g = 0`) or moves it to `e` (`g = 1`). All three
+    /// instructions must sit in one block with `x` untouched between
+    /// the subtraction and the add — otherwise the `x` subtracted out
+    /// may differ from the `x` added to, and the step is not a select.
+    /// Returns the target register `e`.
+    fn select_step_target(&self, b: usize, i: usize, x: Reg) -> Option<Reg> {
+        let Instr::Bin { op: BinOp::Add, lhs, rhs, .. } = &self.f.blocks[b].instrs[i] else {
+            return None;
+        };
+        let d = if *lhs == x {
+            *rhs
+        } else if *rhs == x {
+            *lhs
+        } else {
+            return None;
+        };
+        if d == x {
+            return None; // x += x doubles
+        }
+        let (_, mi) = self.reaching_def_in_block(b, i, d)?;
+        let Instr::Bin { op: BinOp::Mul, lhs: u, rhs: v, .. } = &self.f.blocks[b].instrs[mi]
+        else {
+            return None;
+        };
+        [(*u, *v), (*v, *u)].into_iter().find_map(|(g, t)| {
+            if !self.boolean01(g, &mut Vec::new()) {
+                return None;
+            }
+            let (_, si) = self.reaching_def_in_block(b, mi, t)?;
+            let Instr::Bin { op: BinOp::Sub, lhs: e, rhs: x2, .. } = &self.f.blocks[b].instrs[si]
+            else {
+                return None;
+            };
+            (*x2 == x
+                && !self.f.blocks[b].instrs[si + 1..i].iter().any(|ins| ins.def() == Some(x)))
+            .then_some(*e)
+        })
+    }
+
+    /// The nearest def of `reg` strictly before (`b`, `i`) in block `b`.
+    fn reaching_def_in_block(&self, b: usize, i: usize, reg: Reg) -> Option<(usize, usize)> {
+        self.f.blocks[b].instrs[..i]
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, ins)| ins.def() == Some(reg))
+            .map(|(j, _)| (b, j))
+    }
+
+    /// Whether `reg` can only ever hold 0 or 1: every def is a `cmp`, a
+    /// 0/1 constant, or `mov`/`mul`/`and`/`min`/`max` over such values.
+    /// Parameters are rejected (caller-supplied, arbitrary); def-free
+    /// non-parameters are the zero-init. Cycles are assumed true — the
+    /// set {0, 1} is closed under all the accepted operations, so a
+    /// self-referential def cannot escape it (coinductive reading).
+    fn boolean01(&self, reg: Reg, visiting: &mut Vec<u16>) -> bool {
+        if reg.0 < self.f.params {
+            return false;
+        }
+        if visiting.contains(&reg.0) {
+            return true;
+        }
+        let Some(defs) = self.defs.get(usize::from(reg.0)) else { return false };
+        if defs.is_empty() {
+            return true; // zero-init
+        }
+        if visiting.len() > 8 {
+            return false; // depth cap: stay cheap, round up
+        }
+        visiting.push(reg.0);
+        let ok = defs.iter().all(|&(b, i)| match &self.f.blocks[b].instrs[i] {
+            Instr::Cmp { .. } => true,
+            Instr::Const { value, .. } => *value == 0 || *value == 1,
+            Instr::Mov { src, .. } => self.boolean01(*src, visiting),
+            Instr::Bin { op: BinOp::Mul | BinOp::And | BinOp::Min | BinOp::Max, lhs, rhs, .. } => {
+                self.boolean01(*lhs, visiting) && self.boolean01(*rhs, visiting)
+            }
+            _ => false,
+        });
+        visiting.pop();
+        ok
+    }
+
     /// Like [`const_initialized_outside`], additionally demanding every
     /// initializing constant be ≥ 1 (for doubling loops, whose trip bound
     /// is only logarithmic from a positive start).
@@ -265,10 +541,12 @@ impl<'a> FnInfo<'a> {
                 } else {
                     return None;
                 };
-                (c >= 2).then_some(Induction::Grow)
+                // Factor capped at GROW_MAX so iterate × factor cannot
+                // wrap (see the Grow arm of `classify_oriented`).
+                (2..=GROW_MAX).contains(&c).then_some(Induction::Grow)
             }
             BinOp::Shl if *lhs == reg => {
-                (1..=62).contains(&const_of(*rhs)?).then_some(Induction::Grow)
+                (1..=31).contains(&const_of(*rhs)?).then_some(Induction::Grow)
             }
             _ => None,
         }
@@ -319,14 +597,23 @@ impl<'a> FnInfo<'a> {
         }
         let kind = self.induction(l, iv)?;
         match (kind, op) {
-            // Counter vs limit: constant trip when both ends are constants,
-            // otherwise linear in the input-derived quantity.
+            // Counter vs limit: constant trip when both ends are constants;
+            // linear only when *both* ends are provably at most linear in
+            // the routine's input (trips ≤ |limit − start| / step). An
+            // invariant limit is not enough: a prior-loop accumulator is
+            // invariant here yet its value can be super-linear in the
+            // input (sum 0..n is Θ(n²)), which would break the soundness
+            // claim of the bound-vs-fit differential.
             (Induction::Up, CmpOp::Lt | CmpOp::Le)
             | (Induction::Down, CmpOp::Gt | CmpOp::Ge) => {
                 if lim_const.is_some() && self.const_initialized_outside(l, iv) {
                     Some(Bound::Const)
                 } else {
-                    Some(Bound::Linear)
+                    let scan = &mut LinScan::default();
+                    ((lim_const.is_some() || self.value_linear(lim, scan))
+                        && self.linear_initialized_outside(l, iv, scan))
+                    .then_some(Bound::Linear)
+                    // endpoint not provably input-linear: Unknown
                 }
             }
             // Halving toward a non-negative constant floor: logarithmic.
@@ -335,10 +622,14 @@ impl<'a> FnInfo<'a> {
             (Induction::Shrink, CmpOp::Gt | CmpOp::Ge) => {
                 (lim_const? >= 0).then_some(Bound::Log)
             }
-            // Doubling from a positive constant start toward any invariant
-            // ceiling: logarithmic. (From 0 or negative, doubling stalls.)
+            // Doubling from a positive constant start toward a *constant*
+            // ceiling at most GROW_MAX: logarithmic. (From 0 or negative,
+            // doubling stalls; against a larger or non-constant ceiling the
+            // wrapping multiply can cycle 2⁶² → i64::MIN → 0 and never
+            // exit, so nothing bounds the loop.)
             (Induction::Grow, CmpOp::Lt | CmpOp::Le) => {
-                self.positive_initialized_outside(l, iv).then_some(Bound::Log)
+                (lim_const? <= GROW_MAX && self.positive_initialized_outside(l, iv))
+                    .then_some(Bound::Log)
             }
             _ => None,
         }
@@ -524,7 +815,13 @@ impl<'a> Pass<'a> {
                 });
             }
         }
-        debug_assert!(!sites.is_empty(), "SCC has a self edge");
+        if sites.is_empty() {
+            // The call graph has a self edge (cfg::callees scans every
+            // block) but every self-call sits in an unreachable block
+            // (idom None), which site collection skips: the recursion is
+            // dead code and the intra-procedural bound stands.
+            return self.intra(fi, Some(fi));
+        }
         // Per-invocation cost excluding the recursion itself.
         let body = self.intra(fi, Some(fi));
 
@@ -658,17 +955,23 @@ fn size_change(info: &FnInfo<'_>, block: usize, idx: usize, a: Reg, j: usize) ->
     if !info.defs.get(usize::from(param.0)).is_none_or(|d| d.is_empty()) {
         return None;
     }
-    let def = info.f.blocks[block].instrs[..idx]
+    let (db, di) = info.f.blocks[block].instrs[..idx]
         .iter()
+        .enumerate()
         .rev()
-        .find(|i| i.def() == Some(a))
+        .find(|(_, ins)| ins.def() == Some(a))
+        .map(|(i, _)| (block, i))
         .or_else(|| {
             let defs = info.defs.get(usize::from(a.0))?;
-            let &(b, i) = (defs.len() == 1).then(|| &defs[0])?;
-            Some(&info.f.blocks[b].instrs[i])
+            (defs.len() == 1).then(|| defs[0])
         })?;
-    let Instr::Bin { op, lhs, rhs, .. } = def else { return None };
-    let const_of = |r: Reg| info.reg_const(block, idx, r);
+    let Instr::Bin { op, lhs, rhs, .. } = &info.f.blocks[db].instrs[di] else { return None };
+    // Operand constness is judged at the *def* site: when the def was
+    // found on the unique-def path it can sit in another block, and the
+    // operand register may be redefined between there and the call — a
+    // step that is positive at the def (growing recursion) must not read
+    // as a negative call-site constant and pass as a decrement.
+    let const_of = |r: Reg| info.reg_const(db, di, r);
     match op {
         BinOp::Sub if *lhs == param => {
             (const_of(*rhs)? >= 1).then_some(SizeChange::Decrement)
@@ -1026,6 +1329,141 @@ mod tests {
              exit:\n    ret\n}",
         );
         assert_eq!(bound_by_name(&r, "main"), Bound::Unknown, "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn accumulator_limit_is_unknown() {
+        // A loop bounded by a prior loop's accumulator: the limit is
+        // loop-invariant, but its *value* (sum 0..n ~ n²) is super-linear
+        // in the input — classifying it Linear was unsound.
+        let r = bounds_of(
+            "func main() {\nentry:\n    r0 = const 10\n    r1 = call f(r0)\n    ret r1\n}\n\
+             func f(1) regs=8 {\n\
+             entry:\n    r1 = const 0\n    r2 = const 0\n    jmp h1\n\
+             h1:\n    r3 = clt r2, r0\n    br r3, b1, mid\n\
+             b1:\n    r1 = add r1, r2\n    r4 = const 1\n    r2 = add r2, r4\n    jmp h1\n\
+             mid:\n    r5 = const 0\n    jmp h2\n\
+             h2:\n    r6 = clt r5, r1\n    br r6, b2, exit\n\
+             b2:\n    r7 = const 1\n    r5 = add r5, r7\n    jmp h2\n\
+             exit:\n    ret r1\n}",
+        );
+        assert_eq!(bound_by_name(&r, "f"), Bound::Unknown, "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn load_bounded_loop_is_linear() {
+        // A limit read from guest memory is an input atom (the rms the
+        // dynamic side measures counts that cell): still Linear.
+        let r = bounds_of(
+            "func main() regs=8 {\n\
+             entry:\n    r0 = const 4\n    r1 = alloc r0\n    r2 = load r1, 0\n\
+             \n    r3 = const 0\n    jmp head\n\
+             head:\n    r4 = clt r3, r2\n    br r4, body, exit\n\
+             body:\n    r5 = const 1\n    r3 = add r3, r5\n    jmp head\n\
+             exit:\n    ret\n}",
+        );
+        assert_eq!(bound_by_name(&r, "main"), Bound::Linear, "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn doubling_loop_needs_wrap_safe_constant_ceiling() {
+        // i *= 2 toward a small constant ceiling: Log.
+        let small = "func main() regs=4 {\n\
+             entry:\n    r0 = const 1\n    r1 = const 1024\n    jmp head\n\
+             head:\n    r2 = clt r0, r1\n    br r2, body, exit\n\
+             body:\n    r3 = const 2\n    r0 = mul r0, r3\n    jmp head\n\
+             exit:\n    ret r0\n}";
+        let r = bounds_of(small);
+        assert_eq!(bound_by_name(&r, "main"), Bound::Log, "{:?}", r.diagnostics);
+        // Against a ceiling past 2³¹ the wrapping multiply can cycle
+        // 2⁶² → i64::MIN → 0 and never exit: Unknown, not Log.
+        let huge = small.replace("const 1024", "const 4611686018427387904");
+        let r = bounds_of(&huge);
+        assert_eq!(bound_by_name(&r, "main"), Bound::Unknown, "{:?}", r.diagnostics);
+        // A non-constant (parameter) ceiling is equally wrap-capable.
+        let r = bounds_of(
+            "func main() {\nentry:\n    r0 = const 9\n    r1 = call dbl(r0)\n    ret r1\n}\n\
+             func dbl(1) regs=4 {\n\
+             entry:\n    r1 = const 1\n    jmp head\n\
+             head:\n    r2 = clt r1, r0\n    br r2, body, exit\n\
+             body:\n    r3 = const 2\n    r1 = mul r1, r3\n    jmp head\n\
+             exit:\n    ret r1\n}",
+        );
+        assert_eq!(bound_by_name(&r, "dbl"), Bound::Unknown, "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn unreachable_self_call_keeps_intra_bound() {
+        // The call graph has a self edge, but the only self-call sits in
+        // an unreachable block: no live recursion, intra bound stands
+        // (this used to trip a debug_assert).
+        let r = bounds_of(
+            "func main() {\nentry:\n    r0 = const 1\n    r1 = call f(r0)\n    ret r1\n}\n\
+             func f(1) regs=4 {\n\
+             entry:\n    ret r0\n\
+             dead:\n    r1 = call f(r0)\n    ret r1\n}",
+        );
+        assert_eq!(bound_by_name(&r, "f"), Bound::Const, "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn size_change_reads_operand_at_def_site() {
+        // The self-call argument is defined in the entry block as
+        // p + (+1) — *growing* — but the step register is redefined to -1
+        // before the call. Judged at the call site this read as a
+        // decrement (unsound linear depth); judged at the def site it is
+        // unrecognized: B303 / Unknown.
+        let r = bounds_of(
+            "func main() {\nentry:\n    r0 = const 5\n    r1 = call f(r0)\n    ret r1\n}\n\
+             func f(1) regs=8 {\n\
+             entry:\n    r1 = const 1\n    r2 = add r0, r1\n    br r0, rec, base\n\
+             rec:\n    r1 = const -1\n    r3 = call f(r2)\n    ret r3\n\
+             base:\n    ret r0\n}",
+        );
+        assert_eq!(bound_by_name(&r, "f"), Bound::Unknown, "{:?}", r.diagnostics);
+        assert!(r.diagnostics.iter().any(|d| d.code == "B303"), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn select_computed_limit_is_linear() {
+        // The workloads' branch-free select idiom: pos += (j - pos) * hit
+        // with hit a comparison result, j a penned counter. pos only ever
+        // holds an old value or a value of j, so a later loop bounded by
+        // pos is Linear, not Unknown.
+        let r = bounds_of(
+            "func main() {\nentry:\n    r0 = const 10\n    r1 = call f(r0)\n    ret r1\n}\n\
+             func f(1) regs=16 {\n\
+             entry:\n    r1 = const 0\n    r2 = const 0\n    jmp h1\n\
+             h1:\n    r3 = clt r1, r0\n    br r3, b1, mid\n\
+             b1:\n    r4 = ceq r1, r0\n    r5 = sub r1, r2\n    r5 = mul r5, r4\n\
+             \n    r2 = add r2, r5\n    r6 = const 1\n    r1 = add r1, r6\n    jmp h1\n\
+             mid:\n    r7 = const 0\n    jmp h2\n\
+             h2:\n    r8 = clt r7, r2\n    br r8, b2, exit\n\
+             b2:\n    r9 = const 1\n    r7 = add r7, r9\n    jmp h2\n\
+             exit:\n    ret r2\n}",
+        );
+        assert_eq!(bound_by_name(&r, "f"), Bound::Linear, "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn select_toward_accumulator_limit_is_unknown() {
+        // The same select shape, but the target is itself a compounding
+        // accumulator (acc += j, super-linear value): the select cannot
+        // launder it into a Linear limit.
+        let r = bounds_of(
+            "func main() {\nentry:\n    r0 = const 10\n    r1 = call f(r0)\n    ret r1\n}\n\
+             func f(1) regs=16 {\n\
+             entry:\n    r1 = const 0\n    r2 = const 0\n    r10 = const 0\n    jmp h1\n\
+             h1:\n    r3 = clt r1, r0\n    br r3, b1, mid\n\
+             b1:\n    r10 = add r10, r1\n    r4 = ceq r1, r0\n    r5 = sub r10, r2\n\
+             \n    r5 = mul r5, r4\n    r2 = add r2, r5\n    r6 = const 1\n\
+             \n    r1 = add r1, r6\n    jmp h1\n\
+             mid:\n    r7 = const 0\n    jmp h2\n\
+             h2:\n    r8 = clt r7, r2\n    br r8, b2, exit\n\
+             b2:\n    r9 = const 1\n    r7 = add r7, r9\n    jmp h2\n\
+             exit:\n    ret r2\n}",
+        );
+        assert_eq!(bound_by_name(&r, "f"), Bound::Unknown, "{:?}", r.diagnostics);
     }
 
     #[test]
