@@ -1,4 +1,4 @@
-//! Criterion bench: three-level shadow memory primitives (the profiler's
+//! Criterion bench: arena-paged shadow memory primitives (the profiler's
 //! innermost data structure).
 
 use aprof_shadow::ShadowMemory;
@@ -16,7 +16,7 @@ fn bench_shadow(c: &mut Criterion) {
                 for i in 0..N {
                     s.set(Addr::new(i * stride), i);
                 }
-                s.stats().chunks
+                s.stats().pages
             })
         });
     }

@@ -6,7 +6,11 @@
 //! repro --list               # available experiment ids
 //! repro --jobs 8 all         # shard measurements over 8 worker threads
 //! repro --bench-json         # write BENCH_parallel_driver.json and exit
+//!   (alias: --bench-parallel-driver-json)
 //! repro --bench-wire-json    # write BENCH_wire.json and exit
+//! repro --bench-gate         # re-measure and compare dimensionless
+//!                            # metrics against the committed BENCH_*.json
+//!                            # baselines; exit 1 on a >20% regression
 //! repro --bench-check-json   # write BENCH_check.json and exit
 //! repro --bench-bound-json   # write BENCH_bound.json and exit
 //! repro --bench-obs-json     # write BENCH_obs.json and exit
@@ -29,6 +33,7 @@ fn main() {
     let mut selected: Vec<&str> = Vec::new();
     let mut bench_json = false;
     let mut bench_wire_json = false;
+    let mut bench_gate = false;
     let mut bench_check_json = false;
     let mut bench_bound_json = false;
     let mut bench_obs_json = false;
@@ -81,8 +86,9 @@ fn main() {
                 };
                 fault_seed = n;
             }
-            "--bench-json" => bench_json = true,
+            "--bench-json" | "--bench-parallel-driver-json" => bench_json = true,
             "--bench-wire-json" => bench_wire_json = true,
+            "--bench-gate" => bench_gate = true,
             "--bench-check-json" => bench_check_json = true,
             "--bench-bound-json" => bench_bound_json = true,
             "--bench-obs-json" => bench_obs_json = true,
@@ -109,6 +115,31 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("fault smoke failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if bench_gate {
+        let read = |p: &str| {
+            std::fs::read_to_string(p).unwrap_or_else(|e| {
+                eprintln!("cannot read baseline {p}: {e}");
+                std::process::exit(2);
+            })
+        };
+        let driver_baseline = read("BENCH_parallel_driver.json");
+        let wire_baseline = read("BENCH_wire.json");
+        match aprof_bench::bench_gate(
+            &driver_baseline,
+            &wire_baseline,
+            driver::jobs(),
+            aprof_bench::DEFAULT_GATE_TOLERANCE,
+        ) {
+            Ok(report) => {
+                print!("{report}");
+                return;
+            }
+            Err(report) => {
+                eprint!("{report}");
                 std::process::exit(1);
             }
         }

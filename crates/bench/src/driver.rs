@@ -385,7 +385,13 @@ pub fn parallel_driver_report(parallel_jobs: usize) -> Json {
     let overheads: Vec<Json> = ToolKind::INSTRUMENTED
         .iter()
         .map(|kind| {
-            let m = measure(&wl, &params, *kind);
+            // Best-of-3, matching the native baseline: these ratios are
+            // gated in CI (`repro --bench-gate`), so single-run scheduler
+            // noise would turn the gate into a coin flip.
+            let m = (0..3)
+                .map(|_| measure(&wl, &params, *kind))
+                .min_by(|a, b| a.seconds.total_cmp(&b.seconds))
+                .expect("three runs");
             Json::Obj(vec![
                 ("tool".into(), Json::Str(kind.label().into())),
                 ("slowdown_vs_native".into(), Json::Num(m.seconds / native)),

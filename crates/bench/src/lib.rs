@@ -23,6 +23,7 @@ pub mod corpus_bench;
 pub mod driver;
 pub mod faults_bench;
 pub mod figures;
+pub mod gate;
 pub mod obs_bench;
 pub mod suite;
 pub mod wire_bench;
@@ -36,6 +37,7 @@ pub use driver::{
 };
 pub use faults_bench::{fault_smoke, DEFAULT_FAULT_SEED};
 pub use figures::{clear_profile_cache, FigureOutput};
+pub use gate::{bench_gate, DEFAULT_GATE_TOLERANCE};
 pub use obs_bench::obs_report;
 pub use suite::{measure, Measurement, ToolKind};
 pub use wire_bench::wire_report;

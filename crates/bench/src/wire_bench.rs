@@ -74,13 +74,13 @@ fn wire_report_sized(jobs: usize, size: u64) -> Json {
         }
         writer.finish().expect("trace seals").0
     };
-    let encode_secs = best_of(3, || {
+    let encode_secs = best_of(7, || {
         encode();
     });
     let wire = encode();
     let text = textio::to_text(&trace);
 
-    let decode_secs = best_of(3, || {
+    let decode_secs = best_of(7, || {
         let reader = WireReader::new(&wire[..]).expect("valid file");
         let mut decoded = 0u64;
         for r in reader {
@@ -92,7 +92,7 @@ fn wire_report_sized(jobs: usize, size: u64) -> Json {
 
     let index = aprof_wire::read_index(&mut std::io::Cursor::new(&wire)).expect("valid index");
     let chunks = index.entries.len();
-    let par_decode_secs = best_of(3, || {
+    let par_decode_secs = best_of(7, || {
         // The production strategy: contiguous chunk ranges sharded over
         // scoped threads, one reader and one scratch buffer per worker,
         // with a sequential fallback below the parallelism break-even.
@@ -102,7 +102,7 @@ fn wire_report_sized(jobs: usize, size: u64) -> Json {
         assert_eq!(decoded, events);
     });
 
-    let text_decode_secs = best_of(3, || {
+    let text_decode_secs = best_of(7, || {
         let parsed = textio::from_reader(text.as_bytes()).expect("valid text");
         assert_eq!(parsed.len() as u64, events);
     });
@@ -130,7 +130,7 @@ fn wire_report_sized(jobs: usize, size: u64) -> Json {
         (
             "note".into(),
             Json::Str(
-                "one captured run of the reference workload, best-of-3 timings; \
+                "one captured run of the reference workload, best-of-7 timings; \
                  parallel decode uses decode_chunks: contiguous chunk ranges over \
                  scoped threads with per-worker scratch buffers, falling back to \
                  sequential below parallel_min_bytes of payload — the fix for the \

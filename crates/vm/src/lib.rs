@@ -51,11 +51,12 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod asm;
 pub mod builder;
 pub mod device;
+mod dispatch;
 mod error;
 pub mod ir;
 mod machine;

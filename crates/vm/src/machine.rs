@@ -1,8 +1,18 @@
 //! The interpreter: serialized multithreaded execution with instrumentation.
+//!
+//! The hot loop is **direct-threaded**: guest blocks are pre-decoded into
+//! flat [`DecodedOp`] arrays (see [`crate::dispatch`]) and executed through
+//! a function-pointer handler table ([`Tbl`]), monomorphized per event
+//! [`Sink`]. Anything that can block, spawn, allocate or touch devices
+//! escapes to the original `match`-based [`Exec::instr`] path, which keeps
+//! the blocking/waker protocol in one place.
 
 use crate::device::DeviceTable;
+use crate::dispatch::{
+    DecodeMode, DecodedOp, DecodedProgram, PairCensus, C_COMPLEX, N_CODES,
+};
 use crate::error::{ResourceKind, VmError};
-use crate::ir::{FuncId, Instr, Program, Reg, Terminator};
+use crate::ir::{BinOp, CmpOp, FuncId, Instr, Program, Reg, Terminator};
 use crate::memory::GuestMemory;
 use aprof_trace::{Addr, Event, RoutineId, ThreadId, Tool};
 use aprof_wire::WireWriter;
@@ -599,6 +609,18 @@ impl Machine {
     }
 
     fn run_exec<S: Sink>(&mut self, sink: &mut S) -> Result<RunOutcome, VmError> {
+        // Census runs decode without fusion — fusing would hide exactly the
+        // pairs being counted. Strict-register mode interprets through the
+        // original path, where the per-operand use-before-def checks live.
+        let census = std::env::var_os("APROF_VM_PAIR_CENSUS").is_some();
+        let mode = if self.config.strict_regs {
+            DecodeMode::Original
+        } else if census {
+            DecodeMode::Plain
+        } else {
+            DecodeMode::Fused
+        };
+        let decoded = DecodedProgram::build(&self.program, mode);
         let mut exec = Exec {
             program: &self.program,
             memory: &mut self.memory,
@@ -613,10 +635,15 @@ impl Machine {
             switches: 0,
             instructions: 0,
             alloc_cells: 0,
+            census: census.then(PairCensus::new),
         };
         exec.spawn_thread(self.program.entry(), Vec::new())
             .expect("first thread is always under the limit");
-        exec.run(sink)
+        let outcome = exec.run(&decoded, sink);
+        if let Some(census) = &exec.census {
+            eprintln!("{}", census.report());
+        }
+        outcome
     }
 }
 
@@ -634,6 +661,8 @@ struct Exec<'m> {
     switches: u64,
     instructions: u64,
     alloc_cells: u64,
+    /// Adjacent-pair census, allocated only under `APROF_VM_PAIR_CENSUS`.
+    census: Option<PairCensus>,
 }
 
 impl<'m> Exec<'m> {
@@ -706,7 +735,7 @@ impl<'m> Exec<'m> {
         self.runq.push_back(t);
     }
 
-    fn run<S: Sink>(&mut self, sink: &mut S) -> Result<RunOutcome, VmError> {
+    fn run<S: Sink>(&mut self, dp: &DecodedProgram, sink: &mut S) -> Result<RunOutcome, VmError> {
         let mut last: Option<usize> = None;
         let mut trap: Option<ResourceTrap> = None;
         while let Some(t) = self.runq.pop_front() {
@@ -723,7 +752,7 @@ impl<'m> Exec<'m> {
                 let func = self.threads[t].frames[0].func;
                 sink.call(self.threads[t].id, RoutineId::new(func.0));
             }
-            let sliced = match self.slice(t, sink) {
+            let sliced = match self.slice(t, dp, sink) {
                 Ok(s) => s,
                 Err(VmError::ResourceExhausted { resource, limit })
                     if self.config.limits.trap =>
@@ -794,10 +823,23 @@ impl<'m> Exec<'m> {
     }
 
     /// Runs thread `t` for up to one quantum.
-    fn slice<S: Sink>(&mut self, t: usize, sink: &mut S) -> Result<Slice, VmError> {
+    ///
+    /// The inner loop is the direct-threaded dispatch: decoded simple ops
+    /// go through the [`Tbl`] function-pointer table without re-resolving
+    /// the frame position; [`C_COMPLEX`] slots (and every op under
+    /// `strict_regs`) escape to [`Exec::instr`]. The loop keeps the
+    /// instruction index in a local and writes it back to the frame only at
+    /// escape points — before a complex op (whose blocking/waker protocol
+    /// reads `frame.idx`) and at the terminator.
+    fn slice<S: Sink>(
+        &mut self,
+        t: usize,
+        dp: &DecodedProgram,
+        sink: &mut S,
+    ) -> Result<Slice, VmError> {
         let tid = self.threads[t].id;
         let mut budget = self.config.quantum;
-        loop {
+        'blocks: loop {
             // Charge the basic block on first entry (not on re-entry after
             // an intra-block blocking instruction).
             {
@@ -814,25 +856,46 @@ impl<'m> Exec<'m> {
                     sink.basic_block(tid, 1);
                 }
             }
-            // Execute instructions until the block ends or control leaves.
-            let (func, block, idx) = {
+            let (func, block, mut idx) = {
                 let frame = self.threads[t].frames.last().expect("frame");
                 (frame.func, frame.block, frame.idx)
             };
-            let bb = &self.program.function(func).blocks[block];
-            if idx < bb.instrs.len() {
-                match self.instr(t, tid, &bb.instrs[idx], sink)? {
-                    Flow::Next => continue,
-                    Flow::Blocked => {
-                        self.threads[t].status = Status::Blocked;
-                        return Ok(Slice::Blocked);
+            let ops = dp.block(func.index(), block);
+            let mut prev: Option<u8> = None;
+            while idx < ops.len() {
+                let (code, adv) = (ops[idx].code, ops[idx].adv);
+                if code == C_COMPLEX {
+                    // The original interpretation path reads and advances
+                    // `frame.idx` itself (and wakers advance it for blocked
+                    // instructions), so sync the local index first.
+                    self.threads[t].frames.last_mut().expect("frame").idx = idx;
+                    let program = self.program;
+                    let instr = &program.function(func).blocks[block].instrs[idx];
+                    match self.instr(t, tid, instr, sink)? {
+                        // Control may have moved (call pushed a frame);
+                        // re-resolve from the top.
+                        Flow::Next => continue 'blocks,
+                        Flow::Blocked => {
+                            self.threads[t].status = Status::Blocked;
+                            return Ok(Slice::Blocked);
+                        }
+                        Flow::Yielded => return Ok(Slice::Preempted),
                     }
-                    Flow::Yielded => return Ok(Slice::Preempted),
                 }
+                if let Some(census) = &mut self.census {
+                    if let Some(p) = prev {
+                        census.record(p, code);
+                    }
+                    prev = Some(code);
+                }
+                (Tbl::<S>::TABLE[code as usize])(self, sink, t, tid, ops, idx)?;
+                idx += adv as usize;
             }
+            self.threads[t].frames.last_mut().expect("frame").idx = idx;
             // Terminator — charged against the instruction budget too, so a
             // pure-jump loop cannot outrun the watchdog.
             self.charge_instruction()?;
+            let bb = &self.program.function(func).blocks[block];
             match &bb.term {
                 Terminator::Jmp(b) => {
                     let frame = self.threads[t].frames.last_mut().expect("frame");
@@ -1149,4 +1212,207 @@ enum Flow {
     Next,
     Blocked,
     Yielded,
+}
+
+// ---------------------------------------------------------------------------
+// Direct-threaded dispatch: effect functions, handlers and the table.
+//
+// Every *simple* (non-blocking, infallible-but-for-the-budget) opcode has an
+// `e_*` effect function holding just its semantics, a `h_*` plain handler
+// (charge + effect), and possibly membership in a `h_fuse_*` superinstruction
+// handler (charge + effect, twice, reading the second op's operands from the
+// filler slot — see `crate::dispatch` for the invariants). Handlers never
+// touch `ActFrame::idx`; the dispatch loop in `slice` advances by
+// `DecodedOp::adv` on success.
+// ---------------------------------------------------------------------------
+
+/// Uniform signature of a table handler: execute the decoded op(s) at
+/// `ops[idx]` for thread `t`, charging the instruction budget.
+type Handler<S> =
+    fn(&mut Exec<'_>, &mut S, usize, ThreadId, &[DecodedOp], usize) -> Result<(), VmError>;
+
+/// The handler table, monomorphized per [`Sink`] (generics cannot carry
+/// `static`s, but associated consts work).
+struct Tbl<S>(std::marker::PhantomData<S>);
+
+impl<S: Sink> Tbl<S> {
+    /// Indexed by decoded opcode; order must match the `C_*` constants in
+    /// [`crate::dispatch`] (`table_order_matches_codes` pins it).
+    const TABLE: [Handler<S>; N_CODES] = [
+        h_const::<S>,
+        h_mov::<S>,
+        h_load::<S>,
+        h_store::<S>,
+        h_add::<S>,
+        h_sub::<S>,
+        h_mul::<S>,
+        h_div::<S>,
+        h_rem::<S>,
+        h_and::<S>,
+        h_or::<S>,
+        h_xor::<S>,
+        h_shl::<S>,
+        h_shr::<S>,
+        h_min::<S>,
+        h_max::<S>,
+        h_ceq::<S>,
+        h_cne::<S>,
+        h_clt::<S>,
+        h_cle::<S>,
+        h_cgt::<S>,
+        h_cge::<S>,
+        h_fuse_const_const::<S>,
+        h_fuse_add_load::<S>,
+        h_fuse_add_add::<S>,
+        h_fuse_const_add::<S>,
+        h_fuse_const_cgt::<S>,
+    ];
+}
+
+#[inline(always)]
+fn frame_mut<'a>(ex: &'a mut Exec<'_>, t: usize) -> &'a mut ActFrame {
+    ex.threads[t].frames.last_mut().expect("live thread has a frame")
+}
+
+#[inline(always)]
+fn e_const<S: Sink>(ex: &mut Exec<'_>, _sink: &mut S, t: usize, _tid: ThreadId, op: &DecodedOp) {
+    frame_mut(ex, t).regs[op.dst as usize] = op.imm;
+}
+
+#[inline(always)]
+fn e_mov<S: Sink>(ex: &mut Exec<'_>, _sink: &mut S, t: usize, _tid: ThreadId, op: &DecodedOp) {
+    let f = frame_mut(ex, t);
+    let v = f.regs[op.a as usize];
+    f.regs[op.dst as usize] = v;
+}
+
+#[inline(always)]
+fn e_load<S: Sink>(ex: &mut Exec<'_>, sink: &mut S, t: usize, tid: ThreadId, op: &DecodedOp) {
+    let base = frame_mut(ex, t).regs[op.a as usize];
+    let a = Addr::new(base.wrapping_add(op.imm) as u64);
+    sink.read(tid, a);
+    let v = ex.memory.read(a);
+    frame_mut(ex, t).regs[op.dst as usize] = v;
+}
+
+#[inline(always)]
+fn e_store<S: Sink>(ex: &mut Exec<'_>, sink: &mut S, t: usize, tid: ThreadId, op: &DecodedOp) {
+    let f = frame_mut(ex, t);
+    let (base, v) = (f.regs[op.a as usize], f.regs[op.b as usize]);
+    let a = Addr::new(base.wrapping_add(op.imm) as u64);
+    sink.write(tid, a);
+    ex.memory.write(a, v);
+}
+
+/// Generates one effect function per arithmetic/comparison opcode, so the
+/// `eval` match constant-folds away inside each handler.
+macro_rules! arith_effects {
+    ($($name:ident = $op:expr;)*) => {$(
+        #[inline(always)]
+        fn $name<S: Sink>(
+            ex: &mut Exec<'_>,
+            _sink: &mut S,
+            t: usize,
+            _tid: ThreadId,
+            op: &DecodedOp,
+        ) {
+            let f = frame_mut(ex, t);
+            let (a, b) = (f.regs[op.a as usize], f.regs[op.b as usize]);
+            f.regs[op.dst as usize] = $op.eval(a, b);
+        }
+    )*};
+}
+
+arith_effects! {
+    e_add = BinOp::Add;
+    e_sub = BinOp::Sub;
+    e_mul = BinOp::Mul;
+    e_div = BinOp::Div;
+    e_rem = BinOp::Rem;
+    e_and = BinOp::And;
+    e_or = BinOp::Or;
+    e_xor = BinOp::Xor;
+    e_shl = BinOp::Shl;
+    e_shr = BinOp::Shr;
+    e_min = BinOp::Min;
+    e_max = BinOp::Max;
+    e_ceq = CmpOp::Eq;
+    e_cne = CmpOp::Ne;
+    e_clt = CmpOp::Lt;
+    e_cle = CmpOp::Le;
+    e_cgt = CmpOp::Gt;
+    e_cge = CmpOp::Ge;
+}
+
+macro_rules! plain_handlers {
+    ($($h:ident = $e:ident;)*) => {$(
+        fn $h<S: Sink>(
+            ex: &mut Exec<'_>,
+            sink: &mut S,
+            t: usize,
+            tid: ThreadId,
+            ops: &[DecodedOp],
+            idx: usize,
+        ) -> Result<(), VmError> {
+            ex.charge_instruction()?;
+            $e(ex, sink, t, tid, &ops[idx]);
+            Ok(())
+        }
+    )*};
+}
+
+plain_handlers! {
+    h_const = e_const;
+    h_mov = e_mov;
+    h_load = e_load;
+    h_store = e_store;
+    h_add = e_add;
+    h_sub = e_sub;
+    h_mul = e_mul;
+    h_div = e_div;
+    h_rem = e_rem;
+    h_and = e_and;
+    h_or = e_or;
+    h_xor = e_xor;
+    h_shl = e_shl;
+    h_shr = e_shr;
+    h_min = e_min;
+    h_max = e_max;
+    h_ceq = e_ceq;
+    h_cne = e_cne;
+    h_clt = e_clt;
+    h_cle = e_cle;
+    h_cgt = e_cgt;
+    h_cge = e_cge;
+}
+
+/// Superinstruction handlers: charge → effect → charge → effect, exactly the
+/// sequence the two plain handlers would produce, so event order and
+/// trap-at-budget behavior are identical with and without fusion. The second
+/// op's operands come from the filler slot at `idx + 1`.
+macro_rules! fused_handlers {
+    ($($h:ident = $e1:ident + $e2:ident;)*) => {$(
+        fn $h<S: Sink>(
+            ex: &mut Exec<'_>,
+            sink: &mut S,
+            t: usize,
+            tid: ThreadId,
+            ops: &[DecodedOp],
+            idx: usize,
+        ) -> Result<(), VmError> {
+            ex.charge_instruction()?;
+            $e1(ex, sink, t, tid, &ops[idx]);
+            ex.charge_instruction()?;
+            $e2(ex, sink, t, tid, &ops[idx + 1]);
+            Ok(())
+        }
+    )*};
+}
+
+fused_handlers! {
+    h_fuse_const_const = e_const + e_const;
+    h_fuse_add_load = e_add + e_load;
+    h_fuse_add_add = e_add + e_add;
+    h_fuse_const_add = e_const + e_add;
+    h_fuse_const_cgt = e_const + e_cgt;
 }

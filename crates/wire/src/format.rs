@@ -128,14 +128,14 @@ impl DeltaState {
             return Err(format!("reserved bits set in event tag 0x{tag:02x}"));
         }
         if tag & FLAG_THREAD != 0 {
-            let raw = varint::read_u64(buf, pos).ok_or("bad thread id varint")?;
+            let raw = varint::read_u64_fast(buf, pos).ok_or("bad thread id varint")?;
             let raw = u32::try_from(raw).map_err(|_| "thread id exceeds u32".to_owned())?;
             self.thread = Some(ThreadId::new(raw));
         }
         let thread = self
             .thread
             .ok_or("chunk's first event carries no thread id")?;
-        let mut operand = || varint::read_u64(buf, pos).ok_or("bad operand varint");
+        let mut operand = || varint::read_u64_fast(buf, pos).ok_or("bad operand varint");
         let event = match tag & 0x0f {
             KIND_CALL => Event::Call { routine: self.routine_undelta(operand()?)? },
             KIND_RETURN => Event::Return { routine: self.routine_undelta(operand()?)? },
@@ -193,6 +193,10 @@ pub fn decode_chunk_into(
     out: &mut Vec<(ThreadId, Event)>,
 ) -> Result<(), WireError> {
     out.clear();
+    // Pre-size for the claimed count, capped by the payload length (every
+    // event costs at least its tag byte) so a corrupt count field cannot
+    // demand an absurd allocation.
+    out.reserve((claimed as usize).min(payload.len()));
     let corrupt = |reason: String| WireError::ChunkCorrupt { index, reason };
     let mut state = DeltaState::new();
     let mut pos = 0;

@@ -51,7 +51,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod crc32;
 mod error;
@@ -59,7 +59,7 @@ pub mod format;
 mod parallel;
 mod reader;
 mod recover;
-mod varint;
+pub mod varint;
 mod writer;
 
 pub use error::{SkippedChunk, WireError};

@@ -45,6 +45,52 @@ pub fn read_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
     None
 }
 
+/// Branchless LEB128 decode: the hot-path twin of [`read_u64`].
+///
+/// When at least 8 bytes remain past `*pos` — guaranteed for every event
+/// in a chunk except the last few, since valid payloads bound an event by
+/// [`MAX_EVENT_BYTES`](crate::format::MAX_EVENT_BYTES) — the decode is a
+/// single
+/// 8-byte little-endian load, a `trailing_zeros` to find the terminator,
+/// and a three-step mask-and-fold that packs the 7-bit groups without a
+/// per-byte loop or per-byte bounds check. Encodings longer than 8 bytes
+/// (values ≥ 2^56) and window tails fall back to the scalar loop, so the
+/// accepted language and the decoded values are byte-for-byte identical to
+/// [`read_u64`] — a differential proptest pins this.
+#[inline]
+pub fn read_u64_fast(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let p = *pos;
+    // Single-byte encodings (values < 128) dominate delta-coded payloads;
+    // answer them with one load before touching the 8-byte window.
+    let b0 = *buf.get(p)?;
+    if b0 < 0x80 {
+        *pos = p + 1;
+        return Some(u64::from(b0));
+    }
+    if let Some(window) = buf.get(p..p + 8) {
+        let w = u64::from_le_bytes(window.try_into().expect("8-byte window"));
+        // A clear bit 7 marks the final byte of the encoding.
+        let stop = !w & 0x8080_8080_8080_8080;
+        if stop != 0 {
+            let len = stop.trailing_zeros() as usize / 8 + 1; // 1..=8
+            // `stop`'s lowest set bit is the terminator's bit 7, so
+            // `stop ^ (stop - 1)` is a mask of exactly the encoding's
+            // bytes — no branch, no variable-width shift. Then drop the
+            // continuation bits and close the 1-bit gaps: bytes →
+            // 14-bit pairs → 28-bit quads → one 56-bit value.
+            let w = w & (stop ^ (stop - 1)) & 0x7f7f_7f7f_7f7f_7f7f;
+            let w = (w & 0x007f_007f_007f_007f) | ((w & 0x7f00_7f00_7f00_7f00) >> 1);
+            let w = (w & 0x0000_3fff_0000_3fff) | ((w & 0x3fff_0000_3fff_0000) >> 2);
+            let w = (w & 0x0000_0000_0fff_ffff) | ((w & 0x0fff_ffff_0000_0000) >> 4);
+            *pos = p + len;
+            return Some(w);
+        }
+        // All 8 window bytes carry continuation bits: a 9- or 10-byte
+        // encoding (or corruption) — rare enough for the scalar loop.
+    }
+    read_u64(buf, pos)
+}
+
 /// Maps a signed delta to unsigned space (small magnitudes stay small).
 pub fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64

@@ -1,0 +1,116 @@
+//! Differential property tests: the branchless varint decoder
+//! (`read_u64_fast`) must be byte-for-byte equivalent to the retained
+//! scalar reference decoder (`read_u64`) — same accepted language, same
+//! decoded values, same cursor positions — over arbitrary payloads,
+//! including maximum-length and truncated encodings.
+
+use aprof_wire::varint::{read_u64, read_u64_fast, write_u64, MAX_VARINT_BYTES};
+use proptest::prelude::*;
+
+/// Asserts both decoders agree at `pos` in `buf`, returning the scalar
+/// verdict so callers can keep walking the payload.
+fn assert_agree(buf: &[u8], pos: usize) -> (Option<u64>, usize) {
+    let mut scalar_pos = pos;
+    let scalar = read_u64(buf, &mut scalar_pos);
+    let mut fast_pos = pos;
+    let fast = read_u64_fast(buf, &mut fast_pos);
+    assert_eq!(scalar, fast, "value at {pos} in {buf:02x?}");
+    if scalar.is_some() {
+        assert_eq!(scalar_pos, fast_pos, "cursor at {pos} in {buf:02x?}");
+    }
+    (scalar, scalar_pos)
+}
+
+proptest! {
+    /// Walk a payload of valid encodings: every value round-trips through
+    /// the fast decoder exactly as through the scalar one.
+    #[test]
+    fn encoded_payloads_decode_identically(values in prop::collection::vec(
+        prop_oneof![
+            any::<u64>(),
+            // Small values (1–2 byte encodings) dominate real payloads.
+            0u64..1024,
+            // 8-byte-window edge: values needing exactly 8, 9 or 10 bytes.
+            (1u64 << 49)..=u64::MAX,
+        ],
+        0..50,
+    )) {
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_u64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            let (got, next) = assert_agree(&buf, pos);
+            prop_assert_eq!(got, Some(v));
+            pos = next;
+        }
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    /// Arbitrary (mostly invalid) bytes: both decoders agree on accept vs
+    /// reject and on the decoded value, at every starting offset.
+    #[test]
+    fn random_bytes_decode_identically(buf in prop::collection::vec(any::<u8>(), 0..64)) {
+        for pos in 0..=buf.len() {
+            assert_agree(&buf, pos);
+        }
+    }
+
+    /// Continuation-heavy bytes stress the long-encoding fallback path
+    /// (9–10-byte encodings and overlong rejections).
+    #[test]
+    fn continuation_heavy_bytes_decode_identically(buf in prop::collection::vec(
+        prop_oneof![4 => 0x80u8..=0xff, 1 => 0x00u8..=0x7f], 0..32)) {
+        for pos in 0..=buf.len() {
+            assert_agree(&buf, pos);
+        }
+    }
+
+    /// Every truncation of a valid encoding is rejected by both decoders.
+    #[test]
+    fn truncations_rejected_identically(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, v);
+        for k in 0..buf.len() {
+            let (got, _) = assert_agree(&buf[..k], 0);
+            prop_assert_eq!(got, None, "prefix {k}");
+        }
+    }
+}
+
+#[test]
+fn max_length_and_boundary_values_agree() {
+    // Deterministic sweep of the window boundaries: 7-, 8-, 9- and 10-byte
+    // encodings, plus the canonical extremes.
+    for v in [
+        0u64,
+        1,
+        (1 << 49) - 1, // longest 7-byte encoding
+        1 << 49,       // shortest 8-byte encoding
+        (1 << 56) - 1, // longest 8-byte encoding (fills the fast window)
+        1 << 56,       // shortest 9-byte encoding (fallback)
+        (1 << 63) - 1,
+        1 << 63,
+        u64::MAX, // 10-byte encoding
+    ] {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, v);
+        let (got, pos) = assert_agree(&buf, 0);
+        assert_eq!(got, Some(v));
+        assert_eq!(pos, buf.len());
+        assert!(buf.len() <= MAX_VARINT_BYTES);
+    }
+}
+
+#[test]
+fn overlong_encodings_rejected_identically() {
+    // Eleven continuation bytes never appear in valid output.
+    assert_agree(&[0x80; 11], 0);
+    assert_eq!(read_u64_fast(&[0x80; 11], &mut 0), None);
+    // A 10th byte carrying more than the final bit overflows u64.
+    let mut buf = vec![0x80u8; 9];
+    buf.push(0x02);
+    assert_agree(&buf, 0);
+    assert_eq!(read_u64_fast(&buf, &mut 0), None);
+}
