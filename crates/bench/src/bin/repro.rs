@@ -18,6 +18,9 @@
 //! repro --faults --fault-seed 7   # same, with a chosen fault seed
 //! repro --corpus             # run the fuzzed-corpus differential smoke
 //! repro --corpus --corpus-seed 9  # same, with a chosen corpus seed
+//! repro --chaos              # run the network-chaos soak and exit
+//! repro --chaos --chaos-seed 0xC4A0  # same, with a chosen chaos seed
+//!   (APROF_CHAOS_CASES scales the stream count)
 //! ```
 //!
 //! Rendered text goes to stdout; CSV data is written under `results/`.
@@ -41,6 +44,8 @@ fn main() {
     let mut fault_seed = aprof_bench::DEFAULT_FAULT_SEED;
     let mut corpus = false;
     let mut corpus_seed = aprof_bench::DEFAULT_CORPUS_SEED;
+    let mut chaos = false;
+    let mut chaos_seed = aprof_bench::DEFAULT_CHAOS_SEED;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -60,6 +65,20 @@ fn main() {
             }
             "--faults" => faults = true,
             "--corpus" => corpus = true,
+            "--chaos" => chaos = true,
+            "--chaos-seed" => {
+                let Some(n) = it.next().and_then(|v| {
+                    let v = v.trim();
+                    match v.strip_prefix("0x") {
+                        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                        None => v.parse::<u64>().ok(),
+                    }
+                }) else {
+                    eprintln!("--chaos-seed needs an integer (decimal or 0x-hex)");
+                    std::process::exit(2);
+                };
+                chaos_seed = n;
+            }
             "--corpus-seed" => {
                 let Some(n) = it.next().and_then(|v| {
                     let v = v.trim();
@@ -93,6 +112,18 @@ fn main() {
             "--bench-bound-json" => bench_bound_json = true,
             "--bench-obs-json" => bench_obs_json = true,
             other => selected.push(other),
+        }
+    }
+    if chaos {
+        match aprof_bench::chaos_smoke(chaos_seed) {
+            Ok(report) => {
+                print!("{report}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("chaos soak failed: {e}");
+                std::process::exit(1);
+            }
         }
     }
     if corpus {

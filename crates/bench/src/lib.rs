@@ -21,6 +21,7 @@ pub mod bound_bench;
 pub mod check_bench;
 pub mod corpus_bench;
 pub mod driver;
+pub mod chaos_bench;
 pub mod faults_bench;
 pub mod figures;
 pub mod gate;
@@ -35,6 +36,7 @@ pub use driver::{
     default_jobs, jobs, parallel_driver_report, run_indexed_isolated, set_jobs, FailureCause,
     JobOutcome, RetryPolicy,
 };
+pub use chaos_bench::{chaos_smoke, chaos_smoke_with, DEFAULT_CHAOS_SEED};
 pub use faults_bench::{fault_smoke, DEFAULT_FAULT_SEED};
 pub use figures::{clear_profile_cache, FigureOutput};
 pub use gate::{bench_gate, DEFAULT_GATE_TOLERANCE};

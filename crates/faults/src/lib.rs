@@ -34,9 +34,10 @@
 #![deny(missing_docs)]
 
 use std::any::Any;
-use std::io::{self, Write};
+use std::io::{self, Read, Write};
 use std::panic;
 use std::sync::Once;
+use std::thread;
 use std::time::Duration;
 
 use aprof_obs::counters;
@@ -67,6 +68,15 @@ pub struct FaultConfig {
     pub budget_per_mille: u32,
     /// The instruction budget imposed on selected jobs.
     pub vm_instruction_budget: u64,
+    /// Probability that an accept loop panics right after accepting a
+    /// connection (exercises listener supervision; the connection is lost).
+    pub accept_panic_per_mille: u32,
+    /// Probability that a spool-stage `fsync` fails with a disk-full error
+    /// ([`FaultPlan::sync_fault`]).
+    pub sync_error_per_mille: u32,
+    /// Probability that a spool commit rename fails with a disk-full error
+    /// ([`FaultPlan::rename_fault`]).
+    pub rename_error_per_mille: u32,
 }
 
 impl FaultConfig {
@@ -81,6 +91,9 @@ impl FaultConfig {
             delay: Duration::from_millis(1),
             budget_per_mille: 0,
             vm_instruction_budget: u64::MAX,
+            accept_panic_per_mille: 0,
+            sync_error_per_mille: 0,
+            rename_error_per_mille: 0,
         }
     }
 
@@ -99,6 +112,25 @@ impl FaultConfig {
             ..Self::off(seed)
         }
     }
+
+    /// The chaos-soak config used by `repro --chaos`: the smoke rates plus
+    /// the service-only fault classes (listener panics, spool-stage
+    /// disk-full at fsync and rename). Worker panics are dialled down a bit
+    /// from [`FaultConfig::smoke`] so chaotic submissions still make
+    /// progress under bounded retries.
+    pub fn chaos(seed: u64) -> Self {
+        Self {
+            io_error_per_mille: 25,
+            short_write_per_mille: 120,
+            panic_per_mille: 160,
+            delay_per_mille: 150,
+            delay: Duration::from_millis(2),
+            accept_panic_per_mille: 60,
+            sync_error_per_mille: 25,
+            rename_error_per_mille: 25,
+            ..Self::off(seed)
+        }
+    }
 }
 
 /// Decision-stream site tags: mixed into the hash so distinct fault classes
@@ -109,6 +141,28 @@ mod site {
     pub const PANIC: u64 = 0x30;
     pub const DELAY: u64 = 0x40;
     pub const VM_BUDGET: u64 = 0x50;
+    pub const ACCEPT_PANIC: u64 = 0x60;
+    pub const SPOOL_SYNC: u64 = 0x70;
+    pub const SPOOL_RENAME: u64 = 0x80;
+    pub const NET_RESET: u64 = 0x90;
+    pub const NET_SHORT_READ: u64 = 0xA0;
+    pub const NET_SHORT_WRITE: u64 = 0xB0;
+    pub const NET_DRIBBLE: u64 = 0xC0;
+    pub const NET_GARBAGE: u64 = 0xD0;
+}
+
+/// Draws one `(seed, site, ordinal)` decision against a per-mille rate.
+/// The shared primitive behind both [`FaultPlan`] and [`NetFaultPlan`]:
+/// deterministic, full-avalanche, independent per site.
+fn decide(seed: u64, site_tag: u64, ordinal: u64, per_mille: u32) -> bool {
+    if per_mille == 0 {
+        return false;
+    }
+    let h = splitmix64(
+        seed.wrapping_add(site_tag.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(ordinal.wrapping_mul(0xBF58_476D_1CE4_E5B9)),
+    );
+    (h % 1000) < u64::from(per_mille.min(1000))
 }
 
 /// A seeded fault schedule. Cheap to copy; every query is a pure hash of the
@@ -144,16 +198,7 @@ impl FaultPlan {
     /// Draws the `(site, ordinal)` decision against a per-mille rate.
     /// Deterministic: same plan + coordinates → same answer.
     fn decide(&self, site_tag: u64, ordinal: u64, per_mille: u32) -> bool {
-        if !self.active || per_mille == 0 {
-            return false;
-        }
-        let h = splitmix64(
-            self.cfg
-                .seed
-                .wrapping_add(site_tag.wrapping_mul(0x9E37_79B9_7F4A_7C15))
-                .wrapping_add(ordinal.wrapping_mul(0xBF58_476D_1CE4_E5B9)),
-        );
-        (h % 1000) < u64::from(per_mille.min(1000))
+        self.active && decide(self.cfg.seed, site_tag, ordinal, per_mille)
     }
 
     /// The fault (if any) to inject into worker `job` on its `attempt`-th
@@ -182,6 +227,54 @@ impl FaultPlan {
     pub fn wrap_writer<W: Write>(&self, inner: W) -> FaultyWrite<W> {
         FaultyWrite { inner, plan: *self, writes: 0 }
     }
+
+    /// Whether the accept loop should panic right after accepting
+    /// connection `ordinal` (exercises listener supervision). Bumps no
+    /// counter — the injection site raises via [`injected_panic`].
+    pub fn accept_fault(&self, ordinal: u64) -> bool {
+        self.decide(site::ACCEPT_PANIC, ordinal, self.cfg.accept_panic_per_mille)
+    }
+
+    /// The disk-full error (if any) to inject in place of the spool-stage
+    /// `fsync` keyed by `ordinal` (callers key it off a stable name hash so
+    /// the schedule is independent of arrival order). Bumps
+    /// `faults.injected_commit_errors` when it injects.
+    pub fn sync_fault(&self, ordinal: u64) -> Option<io::Error> {
+        self.decide(site::SPOOL_SYNC, ordinal, self.cfg.sync_error_per_mille).then(|| {
+            counters::FAULTS_INJECTED_COMMIT_ERRORS.incr();
+            io::Error::new(
+                io::ErrorKind::StorageFull,
+                "injected fault: disk full during spool fsync",
+            )
+        })
+    }
+
+    /// The disk-full error (if any) to inject in place of the spool commit
+    /// rename keyed by `ordinal`. Bumps `faults.injected_commit_errors`
+    /// when it injects.
+    pub fn rename_fault(&self, ordinal: u64) -> Option<io::Error> {
+        self.decide(site::SPOOL_RENAME, ordinal, self.cfg.rename_error_per_mille).then(|| {
+            counters::FAULTS_INJECTED_COMMIT_ERRORS.incr();
+            io::Error::new(
+                io::ErrorKind::StorageFull,
+                "injected fault: disk full during spool commit rename",
+            )
+        })
+    }
+}
+
+/// Deterministic jittered exponential backoff: attempt 0 draws from
+/// `[base/2, base]`, each further attempt doubles the window, and the
+/// window never exceeds `cap`. The jitter is a pure function of
+/// `(seed, attempt)`, so retry schedules replay exactly — no wall clock,
+/// no global RNG.
+pub fn jittered_backoff(base: Duration, cap: Duration, seed: u64, attempt: u32) -> Duration {
+    let exp = base.saturating_mul(1u32.checked_shl(attempt.min(16)).unwrap_or(u32::MAX));
+    let window = exp.min(cap).max(Duration::from_micros(1));
+    let h = splitmix64(seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let half = window / 2;
+    // half + (0..=half scaled by the hash) ∈ [window/2, window].
+    half + window.mul_f64((h % 1024) as f64 / 2048.0)
 }
 
 /// One fault drawn for a worker attempt by [`FaultPlan::worker_fault`].
@@ -223,13 +316,291 @@ impl<W: Write> Write for FaultyWrite<W> {
         let cfg = self.plan.cfg;
         if self.plan.decide(site::IO_ERROR, ordinal, cfg.io_error_per_mille) {
             counters::FAULTS_INJECTED_IO_ERRORS.incr();
-            return Err(io::Error::other(format!(
-                "injected fault: sink i/o error at write #{ordinal}"
-            )));
+            // Injected write failures carry the disk-full kind so callers
+            // exercising ENOSPC handling see a realistic error class.
+            return Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                format!("injected fault: sink i/o error (disk full) at write #{ordinal}"),
+            ));
         }
         if buf.len() > 1 && self.plan.decide(site::SHORT_WRITE, ordinal, cfg.short_write_per_mille)
         {
             counters::FAULTS_INJECTED_SHORT_WRITES.incr();
+            return self.inner.write(&buf[..buf.len() / 2]);
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Fault rates for one network plan. Like [`FaultConfig`], all rates are
+/// per-mille; decisions are pure functions of
+/// `(seed, site, connection, op ordinal)`, so a given connection id replays
+/// the identical fault schedule regardless of scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetFaultConfig {
+    /// Seed for every decision stream.
+    pub seed: u64,
+    /// Probability that an individual read/write finds the connection
+    /// reset mid-stream. Once a connection draws a reset, every later op
+    /// on it fails too (the socket is gone).
+    pub reset_per_mille: u32,
+    /// Probability that a read is shortened to half the requested buffer
+    /// (exercises callers that assume full reads).
+    pub short_read_per_mille: u32,
+    /// Probability that a write is short (partial), exercising
+    /// `write_all`-style retry loops.
+    pub short_write_per_mille: u32,
+    /// Probability that an op dribbles: sleep [`NetFaultConfig::dribble_delay`],
+    /// then move a single byte — the slow-loris shape.
+    pub dribble_per_mille: u32,
+    /// Length of one dribble stall.
+    pub dribble_delay: Duration,
+    /// Probability that a write's bytes are replaced with garbage of the
+    /// same length (protocol corruption; CRC framing must refuse it).
+    pub garbage_per_mille: u32,
+}
+
+impl NetFaultConfig {
+    /// A config with every network fault class disabled.
+    pub fn off(seed: u64) -> Self {
+        Self {
+            seed,
+            reset_per_mille: 0,
+            short_read_per_mille: 0,
+            short_write_per_mille: 0,
+            dribble_per_mille: 0,
+            dribble_delay: Duration::from_millis(1),
+            garbage_per_mille: 0,
+        }
+    }
+
+    /// The mixed-network-fault config used by `repro --chaos`: enough
+    /// resets, short ops, dribbles and garbage that a few dozen connections
+    /// see every class, while bounded retries still converge.
+    pub fn chaos(seed: u64) -> Self {
+        Self {
+            reset_per_mille: 25,
+            short_read_per_mille: 120,
+            short_write_per_mille: 120,
+            dribble_per_mille: 60,
+            dribble_delay: Duration::from_millis(1),
+            garbage_per_mille: 18,
+            ..Self::off(seed)
+        }
+    }
+}
+
+/// A seeded network fault schedule. Cheap to copy; wrap each socket with
+/// [`NetFaultPlan::wrap`] under a distinct connection id and the plan
+/// replays the identical per-connection fault sequence every run.
+#[derive(Debug, Clone, Copy)]
+pub struct NetFaultPlan {
+    cfg: NetFaultConfig,
+    active: bool,
+}
+
+impl NetFaultPlan {
+    /// A plan that injects according to `cfg`.
+    pub fn new(cfg: NetFaultConfig) -> Self {
+        Self { cfg, active: true }
+    }
+
+    /// A plan that never injects anything.
+    pub fn disabled() -> Self {
+        Self { cfg: NetFaultConfig::off(0), active: false }
+    }
+
+    /// Whether this plan can inject at all.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// The config this plan was built from.
+    pub fn config(&self) -> &NetFaultConfig {
+        &self.cfg
+    }
+
+    fn decide(&self, site_tag: u64, conn: u64, op: u64, per_mille: u32) -> bool {
+        // Decorrelate connections by folding the connection id into the
+        // ordinal stream with an odd multiplier.
+        let ordinal = conn.wrapping_mul(0x0001_0003).wrapping_add(op);
+        self.active && decide(self.cfg.seed, site_tag, ordinal, per_mille)
+    }
+
+    /// Wraps a socket (anything `Read + Write`) so its ops are subject to
+    /// this plan's faults, keyed by `conn` (the caller-chosen connection
+    /// id — reuse an id to replay that connection's schedule exactly).
+    pub fn wrap<S>(&self, inner: S, conn: u64) -> FaultyConn<S> {
+        FaultyConn {
+            inner,
+            plan: *self,
+            conn,
+            reads: 0,
+            writes: 0,
+            reset: false,
+            counts: NetFaultCounts::default(),
+        }
+    }
+}
+
+/// Per-instance tally of the faults a [`FaultyConn`] actually injected,
+/// kept independently of the global obs counters so harnesses can
+/// reconcile the two.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetFaultCounts {
+    /// Connection resets injected (at most one per connection).
+    pub resets: u64,
+    /// Reads shortened to half the requested buffer.
+    pub short_reads: u64,
+    /// Writes shortened to half the provided buffer.
+    pub short_writes: u64,
+    /// Single-byte dribble ops (reads + writes) with an injected stall.
+    pub dribbles: u64,
+    /// Writes whose bytes were replaced with garbage.
+    pub garbage_writes: u64,
+}
+
+impl NetFaultCounts {
+    /// Sum of every injected fault class.
+    pub fn total(&self) -> u64 {
+        self.resets + self.short_reads + self.short_writes + self.dribbles + self.garbage_writes
+    }
+
+    /// Field-wise accumulation (for summing per-connection tallies).
+    pub fn absorb(&mut self, other: &NetFaultCounts) {
+        self.resets += other.resets;
+        self.short_reads += other.short_reads;
+        self.short_writes += other.short_writes;
+        self.dribbles += other.dribbles;
+        self.garbage_writes += other.garbage_writes;
+    }
+}
+
+/// A `Read + Write` adapter that injects connection resets, short
+/// reads/writes, byte-dribble slow-loris stalls and garbage protocol bytes
+/// according to a [`NetFaultPlan`]. Decisions key off
+/// `(connection id, op ordinal)`, so a connection's schedule replays
+/// identically across runs. Each injection bumps both the global
+/// `faults.net.*` obs counters and a per-instance [`NetFaultCounts`].
+#[derive(Debug)]
+pub struct FaultyConn<S> {
+    inner: S,
+    plan: NetFaultPlan,
+    conn: u64,
+    reads: u64,
+    writes: u64,
+    reset: bool,
+    counts: NetFaultCounts,
+}
+
+impl<S> FaultyConn<S> {
+    /// The wrapped socket (e.g. to half-close it out of band).
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+
+    /// Consumes the adapter, returning the wrapped socket.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// The faults this instance actually injected so far.
+    pub fn counts(&self) -> NetFaultCounts {
+        self.counts
+    }
+
+    fn inject_reset(&mut self) -> io::Error {
+        if !self.reset {
+            self.reset = true;
+            self.counts.resets += 1;
+            counters::FAULTS_NET_RESETS.incr();
+        }
+        io::Error::new(io::ErrorKind::ConnectionReset, "injected fault: connection reset")
+    }
+}
+
+impl<S: Read> Read for FaultyConn<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.reset {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "injected fault: connection already reset",
+            ));
+        }
+        let op = self.reads;
+        self.reads += 1;
+        let cfg = self.plan.cfg;
+        if self.plan.decide(site::NET_RESET, self.conn, op, cfg.reset_per_mille) {
+            return Err(self.inject_reset());
+        }
+        if !buf.is_empty() && self.plan.decide(site::NET_DRIBBLE, self.conn, op, cfg.dribble_per_mille)
+        {
+            self.counts.dribbles += 1;
+            counters::FAULTS_NET_DRIBBLES.incr();
+            thread::sleep(cfg.dribble_delay);
+            return self.inner.read(&mut buf[..1]);
+        }
+        if buf.len() > 1
+            && self.plan.decide(site::NET_SHORT_READ, self.conn, op, cfg.short_read_per_mille)
+        {
+            self.counts.short_reads += 1;
+            counters::FAULTS_NET_SHORT_READS.incr();
+            let half = buf.len() / 2;
+            return self.inner.read(&mut buf[..half]);
+        }
+        self.inner.read(buf)
+    }
+}
+
+impl<S: Write> Write for FaultyConn<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.reset {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "injected fault: connection already reset",
+            ));
+        }
+        let op = self.writes;
+        self.writes += 1;
+        let cfg = self.plan.cfg;
+        if self.plan.decide(site::NET_RESET, self.conn, op, cfg.reset_per_mille) {
+            return Err(self.inject_reset());
+        }
+        if !buf.is_empty()
+            && self.plan.decide(site::NET_GARBAGE, self.conn, op, cfg.garbage_per_mille)
+        {
+            // Replace the payload with seeded garbage of the same length:
+            // the bytes on the wire are wrong but the caller believes the
+            // write succeeded — exactly a corrupting middlebox. CRC-framed
+            // protocols must refuse the stream, never mis-aggregate it.
+            self.counts.garbage_writes += 1;
+            counters::FAULTS_NET_GARBAGE.incr();
+            let mut garbage = vec![0u8; buf.len()];
+            let mut x = splitmix64(cfg.seed ^ self.conn.wrapping_mul(0x51_7C_C1)) | 1;
+            for b in &mut garbage {
+                x = splitmix64(x);
+                *b = (x & 0xFF) as u8;
+            }
+            self.inner.write_all(&garbage)?;
+            return Ok(buf.len());
+        }
+        if !buf.is_empty()
+            && self.plan.decide(site::NET_DRIBBLE, self.conn, op, cfg.dribble_per_mille)
+        {
+            self.counts.dribbles += 1;
+            counters::FAULTS_NET_DRIBBLES.incr();
+            thread::sleep(cfg.dribble_delay);
+            return self.inner.write(&buf[..1]);
+        }
+        if buf.len() > 1
+            && self.plan.decide(site::NET_SHORT_WRITE, self.conn, op, cfg.short_write_per_mille)
+        {
+            self.counts.short_writes += 1;
+            counters::FAULTS_NET_SHORT_WRITES.incr();
             return self.inner.write(&buf[..buf.len() / 2]);
         }
         self.inner.write(buf)
@@ -369,6 +740,136 @@ mod tests {
         assert!(short > 0, "no injected short writes at 200 per mille");
         // Short writes must still write a non-empty prefix.
         assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn net_plan_is_replayable_and_disabled_is_quiet() {
+        let quiet = NetFaultPlan::disabled();
+        assert!(!quiet.is_active());
+        let mut conn = quiet.wrap(io::Cursor::new(vec![0u8; 4096]), 7);
+        let mut buf = [0u8; 64];
+        for _ in 0..64 {
+            assert_eq!(conn.read(&mut buf).unwrap(), 64);
+        }
+        assert_eq!(conn.counts(), NetFaultCounts::default());
+
+        // Same seed + same connection id → identical injected schedule.
+        let run = |seed| {
+            let plan = NetFaultPlan::new(NetFaultConfig::chaos(seed));
+            let mut conn = plan.wrap(io::Cursor::new(vec![0u8; 1 << 16]), 3);
+            let mut log = Vec::new();
+            let mut buf = [0u8; 32];
+            for _ in 0..512 {
+                match conn.read(&mut buf) {
+                    Ok(n) => log.push(n as i64),
+                    Err(_) => log.push(-1),
+                }
+            }
+            (log, conn.counts())
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11).0, run(12).0);
+    }
+
+    #[test]
+    fn faulty_conn_injects_every_class() {
+        let plan = NetFaultPlan::new(NetFaultConfig {
+            reset_per_mille: 15,
+            short_read_per_mille: 150,
+            short_write_per_mille: 150,
+            dribble_per_mille: 100,
+            dribble_delay: Duration::from_micros(1),
+            garbage_per_mille: 100,
+            ..NetFaultConfig::off(5)
+        });
+        let mut total = NetFaultCounts::default();
+        for conn_id in 0..64 {
+            let mut conn = plan.wrap(io::Cursor::new(vec![0u8; 1 << 16]), conn_id);
+            let mut buf = [0u8; 32];
+            for _ in 0..32 {
+                if conn.read(&mut buf).is_err() {
+                    break;
+                }
+            }
+            let mut sink = plan.wrap(io::Cursor::new(Vec::new()), 1000 + conn_id);
+            for _ in 0..32 {
+                if sink.write(&[0xEE; 32]).is_err() {
+                    break;
+                }
+            }
+            total.absorb(&conn.counts());
+            total.absorb(&sink.counts());
+        }
+        assert!(total.resets > 0, "no resets: {total:?}");
+        assert!(total.short_reads > 0, "no short reads: {total:?}");
+        assert!(total.short_writes > 0, "no short writes: {total:?}");
+        assert!(total.dribbles > 0, "no dribbles: {total:?}");
+        assert!(total.garbage_writes > 0, "no garbage: {total:?}");
+    }
+
+    #[test]
+    fn garbage_write_claims_full_length_but_corrupts() {
+        let plan = NetFaultPlan::new(NetFaultConfig {
+            garbage_per_mille: 1000,
+            ..NetFaultConfig::off(9)
+        });
+        let mut out = Vec::new();
+        let payload = [0x41u8; 64];
+        {
+            let mut conn = plan.wrap(&mut out, 0);
+            assert_eq!(conn.write(&payload).unwrap(), 64);
+            assert_eq!(conn.counts().garbage_writes, 1);
+        }
+        assert_eq!(out.len(), 64);
+        assert_ne!(out, payload.to_vec(), "garbage write left the payload intact");
+    }
+
+    #[test]
+    fn reset_latches_for_the_connection() {
+        let plan = NetFaultPlan::new(NetFaultConfig {
+            reset_per_mille: 1000,
+            ..NetFaultConfig::off(2)
+        });
+        let mut conn = plan.wrap(io::Cursor::new(vec![0u8; 64]), 0);
+        let mut buf = [0u8; 8];
+        assert!(conn.read(&mut buf).is_err());
+        assert!(conn.read(&mut buf).is_err());
+        assert!(conn.write(&[1, 2, 3]).is_err());
+        // Exactly one reset is counted however many ops fail after it.
+        assert_eq!(conn.counts().resets, 1);
+    }
+
+    #[test]
+    fn commit_stage_faults_inject_disk_full() {
+        let plan = FaultPlan::new(FaultConfig {
+            sync_error_per_mille: 1000,
+            rename_error_per_mille: 1000,
+            ..FaultConfig::off(4)
+        });
+        let e = plan.sync_fault(0).expect("1000 per mille always injects");
+        assert_eq!(e.kind(), io::ErrorKind::StorageFull);
+        let e = plan.rename_fault(1).expect("1000 per mille always injects");
+        assert_eq!(e.kind(), io::ErrorKind::StorageFull);
+        assert!(FaultPlan::disabled().sync_fault(0).is_none());
+        assert!(FaultPlan::disabled().rename_fault(0).is_none());
+        assert!(FaultPlan::new(FaultConfig::off(4)).sync_fault(0).is_none());
+    }
+
+    #[test]
+    fn backoff_is_bounded_jittered_and_deterministic() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(200);
+        for attempt in 0..20 {
+            let d = jittered_backoff(base, cap, 77, attempt);
+            let window = base.saturating_mul(1u32 << attempt.min(16)).min(cap);
+            assert!(d >= window / 2, "attempt {attempt}: {d:?} under half-window");
+            assert!(d <= cap + cap, "attempt {attempt}: {d:?} way past cap");
+            assert_eq!(d, jittered_backoff(base, cap, 77, attempt));
+        }
+        // Different seeds jitter differently somewhere in the schedule.
+        let a: Vec<_> = (0..8).map(|i| jittered_backoff(base, cap, 1, i)).collect();
+        let b: Vec<_> = (0..8).map(|i| jittered_backoff(base, cap, 2, i)).collect();
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -34,7 +34,7 @@
 //! let snap = aprof_obs::snapshot();
 //! assert_eq!(snap.counter("vm.blocks"), Some(3));
 //! assert_eq!(snap.spans.iter().filter(|s| s.name == "demo.work").count(), 1);
-//! assert!(snap.to_json().starts_with("{\n  \"version\": 3"));
+//! assert!(snap.to_json().starts_with("{\n  \"version\": 4"));
 //! aprof_obs::disable();
 //! ```
 
@@ -57,7 +57,13 @@ use std::time::{Duration, Instant};
 /// `serve.chunks_aggregated`/`events_aggregated`,
 /// `serve.backpressure_stalls`, `serve.quota_trips`,
 /// `serve.recovered_streams` and `serve.drain_micros`.
-pub const SCHEMA_VERSION: u32 = 3;
+/// v4 added the self-healing-service families: `serve.supervisor.*`
+/// (worker panics contained, listener restarts), `serve.breaker.*`
+/// (circuit-breaker trips/rejections/half-open probes/recoveries),
+/// `serve.shed.*` (load-shedding by pressure cause plus slow-loris
+/// evictions), `faults.net.*` (injected network faults) and
+/// `faults.injected_commit_errors`.
+pub const SCHEMA_VERSION: u32 = 4;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
@@ -242,6 +248,50 @@ pub mod counters {
     /// Microseconds the last graceful drain took (gauge).
     pub static SERVE_DRAIN_MICROS: Counter = Counter::new("serve.drain_micros");
 
+    /// Worker panics caught and contained by the connection supervisor
+    /// (the daemon replied `ERR` and kept serving).
+    pub static SERVE_SUPERVISOR_WORKER_PANICS: Counter =
+        Counter::new("serve.supervisor.worker_panics");
+    /// Listener (accept-loop) restarts performed by the supervisor after a
+    /// panic, each preceded by jittered exponential backoff.
+    pub static SERVE_SUPERVISOR_LISTENER_RESTARTS: Counter =
+        Counter::new("serve.supervisor.listener_restarts");
+
+    /// Per-tenant circuit breakers tripped open (N failures in the sliding
+    /// window).
+    pub static SERVE_BREAKER_TRIPS: Counter = Counter::new("serve.breaker.trips");
+    /// Submissions refused `ERR quarantined` by an open breaker.
+    pub static SERVE_BREAKER_REJECTIONS: Counter = Counter::new("serve.breaker.rejections");
+    /// Probe submissions admitted through a half-open breaker.
+    pub static SERVE_BREAKER_PROBES: Counter = Counter::new("serve.breaker.half_open_probes");
+    /// Breakers closed again after a successful half-open probe.
+    pub static SERVE_BREAKER_RECOVERIES: Counter = Counter::new("serve.breaker.recoveries");
+
+    /// Submissions shed `ERR busy retry-after` because the daemon-wide
+    /// active-connection ceiling was crossed.
+    pub static SERVE_SHED_CONN_PRESSURE: Counter = Counter::new("serve.shed.conn_pressure");
+    /// Submissions shed because spool headroom ran out.
+    pub static SERVE_SHED_SPOOL_PRESSURE: Counter = Counter::new("serve.shed.spool_pressure");
+    /// Submissions shed because the tenant neared its event budget.
+    pub static SERVE_SHED_TENANT_PRESSURE: Counter = Counter::new("serve.shed.tenant_pressure");
+    /// Streams evicted for blowing the per-stream overall deadline
+    /// (slow-loris defence).
+    pub static SERVE_SHED_SLOW_EVICTIONS: Counter = Counter::new("serve.shed.slow_evictions");
+
+    /// Disk-full errors injected at the spool fsync/rename commit stages.
+    pub static FAULTS_INJECTED_COMMIT_ERRORS: Counter =
+        Counter::new("faults.injected_commit_errors");
+    /// Connection resets injected by the network fault plan.
+    pub static FAULTS_NET_RESETS: Counter = Counter::new("faults.net.conn_resets");
+    /// Short reads injected by the network fault plan.
+    pub static FAULTS_NET_SHORT_READS: Counter = Counter::new("faults.net.short_reads");
+    /// Short writes injected by the network fault plan.
+    pub static FAULTS_NET_SHORT_WRITES: Counter = Counter::new("faults.net.short_writes");
+    /// Single-byte dribble stalls injected by the network fault plan.
+    pub static FAULTS_NET_DRIBBLES: Counter = Counter::new("faults.net.dribbles");
+    /// Garbage-byte writes injected by the network fault plan.
+    pub static FAULTS_NET_GARBAGE: Counter = Counter::new("faults.net.garbage_writes");
+
     /// Every counter in the taxonomy, in report order.
     pub static ALL: &[&Counter] = &[
         &VM_BLOCKS,
@@ -273,6 +323,12 @@ pub mod counters {
         &FAULTS_INJECTED_SHORT_WRITES,
         &FAULTS_INJECTED_PANICS,
         &FAULTS_INJECTED_DELAYS,
+        &FAULTS_INJECTED_COMMIT_ERRORS,
+        &FAULTS_NET_RESETS,
+        &FAULTS_NET_SHORT_READS,
+        &FAULTS_NET_SHORT_WRITES,
+        &FAULTS_NET_DRIBBLES,
+        &FAULTS_NET_GARBAGE,
         &SERVE_CONNS_ACCEPTED,
         &SERVE_ACTIVE_TENANTS,
         &SERVE_STREAMS_COMMITTED,
@@ -283,6 +339,16 @@ pub mod counters {
         &SERVE_QUOTA_TRIPS,
         &SERVE_RECOVERED_STREAMS,
         &SERVE_DRAIN_MICROS,
+        &SERVE_SUPERVISOR_WORKER_PANICS,
+        &SERVE_SUPERVISOR_LISTENER_RESTARTS,
+        &SERVE_BREAKER_TRIPS,
+        &SERVE_BREAKER_REJECTIONS,
+        &SERVE_BREAKER_PROBES,
+        &SERVE_BREAKER_RECOVERIES,
+        &SERVE_SHED_CONN_PRESSURE,
+        &SERVE_SHED_SPOOL_PRESSURE,
+        &SERVE_SHED_TENANT_PRESSURE,
+        &SERVE_SHED_SLOW_EVICTIONS,
     ];
 }
 
@@ -379,7 +445,7 @@ impl Snapshot {
     ///
     /// ```json
     /// {
-    ///   "version": 3,
+    ///   "version": 4,
     ///   "counters": { "vm.blocks": 123, ... },
     ///   "spans": [ { "name": "...", "count": 1, "total_ns": 5, "max_ns": 5 } ]
     /// }
@@ -549,7 +615,7 @@ mod tests {
         let _g = span!("test.json");
         drop(_g);
         let json = snapshot().to_json();
-        assert!(json.contains("\"version\": 3"));
+        assert!(json.contains("\"version\": 4"));
         assert!(json.contains("\"vm.blocks\": 1"));
         assert!(json.contains("\"name\": \"test.json\""));
         assert!(json.ends_with("}\n"));

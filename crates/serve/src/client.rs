@@ -3,11 +3,13 @@
 
 use crate::protocol::{read_line, Conn};
 use crate::ServeError;
+use aprof_faults::jittered_backoff;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
 use std::str::FromStr;
+use std::thread;
 use std::time::Duration;
 
 /// Where the daemon listens.
@@ -46,6 +48,7 @@ impl Target {
             Target::Tcp(addr) => Conn::Tcp(TcpStream::connect(addr.as_str())?),
         };
         conn.set_read_timeout(Duration::from_secs(60))?;
+        conn.set_write_timeout(Duration::from_secs(30))?;
         Ok(conn)
     }
 }
@@ -65,10 +68,26 @@ fn parse_reply_line(line: &str) -> Result<Vec<&str>, ServeError> {
     if let Some(rest) = line.strip_prefix("OK") {
         Ok(rest.split_whitespace().collect())
     } else if let Some(reason) = line.strip_prefix("ERR ") {
-        Err(ServeError::Remote(reason.to_owned()))
+        Err(parse_err_reason(reason))
     } else {
         Err(ServeError::Protocol(format!("unparseable reply {line:?}")))
     }
+}
+
+/// Recovers typed refusals from the daemon's `ERR <reason>` wire shapes so
+/// callers can tell retryable pressure (`busy retry-after <ms>`) from fatal
+/// refusals (everything else). Unrecognized reasons stay
+/// [`ServeError::Remote`].
+fn parse_err_reason(reason: &str) -> ServeError {
+    if let Some(rest) = reason.strip_prefix("busy retry-after ") {
+        if let Ok(ms) = rest.trim().parse::<u64>() {
+            return ServeError::Busy { retry_after: Duration::from_millis(ms) };
+        }
+    }
+    if reason.starts_with("quarantined") {
+        return ServeError::Quarantined;
+    }
+    ServeError::Remote(reason.to_owned())
 }
 
 fn field(words: &[&str], key: &str) -> Option<u64> {
@@ -103,6 +122,76 @@ pub fn submit(
         chunks: field(&words, "chunks").unwrap_or(0),
         duplicate: field(&words, "duplicate").unwrap_or(0) == 1,
     })
+}
+
+/// Client-side retry policy for [`submit_retrying`]: bounded, seeded
+/// exponential backoff with jitter. The daemon's `retry-after` hint is a
+/// floor on each wait, the jittered schedule decorrelates competing
+/// clients, and the seed makes any given client's schedule replayable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total submission attempts (including the first); at least 1.
+    pub attempts: u32,
+    /// Base backoff window before the first retry.
+    pub base: Duration,
+    /// Ceiling on any single backoff wait.
+    pub cap: Duration,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 5,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+            seed: 0x9E37_79B9,
+        }
+    }
+}
+
+/// Submits with retries: `ERR busy retry-after <ms>` refusals and transport
+/// I/O errors are retried (re-submission is idempotent — a stream that
+/// actually committed resolves as a duplicate ack); every other refusal is
+/// fatal immediately. `open` re-opens the trace bytes for each attempt.
+///
+/// # Errors
+///
+/// The last [`ServeError::Busy`]/[`ServeError::Io`] once attempts are
+/// exhausted, or the first fatal error.
+pub fn submit_retrying<R, F>(
+    target: &Target,
+    tenant: &str,
+    stream: &str,
+    policy: &RetryPolicy,
+    mut open: F,
+) -> Result<Ack, ServeError>
+where
+    R: Read,
+    F: FnMut() -> Result<R, ServeError>,
+{
+    let attempts = policy.attempts.max(1);
+    let mut last = None;
+    for attempt in 0..attempts {
+        let mut trace = open()?;
+        match submit(target, tenant, stream, &mut trace) {
+            Ok(ack) => return Ok(ack),
+            Err(e @ (ServeError::Busy { .. } | ServeError::Io(_))) => {
+                let jitter = jittered_backoff(policy.base, policy.cap, policy.seed, attempt);
+                let wait = match &e {
+                    ServeError::Busy { retry_after } => jitter.max(*retry_after),
+                    _ => jitter,
+                };
+                last = Some(e);
+                if attempt + 1 < attempts {
+                    thread::sleep(wait);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| ServeError::Protocol("no submission attempts made".into())))
 }
 
 fn fetch_body(target: &Target, request: &str) -> Result<String, ServeError> {
@@ -209,5 +298,19 @@ mod tests {
         assert_eq!(field(&words, "duplicate"), None);
         assert!(matches!(parse_reply_line("ERR nope"), Err(ServeError::Remote(_))));
         assert!(parse_reply_line("garbage").is_err());
+    }
+
+    #[test]
+    fn typed_err_reasons() {
+        assert!(matches!(
+            parse_err_reason("busy retry-after 250"),
+            ServeError::Busy { retry_after } if retry_after == Duration::from_millis(250)
+        ));
+        assert!(matches!(
+            parse_err_reason("quarantined: tenant disabled after repeated failures"),
+            ServeError::Quarantined
+        ));
+        assert!(matches!(parse_err_reason("busy retry-after soon"), ServeError::Remote(_)));
+        assert!(matches!(parse_err_reason("wire error: bad crc"), ServeError::Remote(_)));
     }
 }

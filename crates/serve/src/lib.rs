@@ -49,7 +49,7 @@ use std::io;
 use std::path::PathBuf;
 use std::time::Duration;
 
-use aprof_faults::FaultPlan;
+use aprof_faults::{FaultConfig, FaultPlan};
 use aprof_vm::ResourceLimits;
 use aprof_wire::WireError;
 
@@ -57,10 +57,12 @@ pub mod client;
 mod protocol;
 mod server;
 mod spool;
+mod supervisor;
 mod tenant;
 
-pub use client::{Ack, Target};
+pub use client::{Ack, RetryPolicy, Target};
 pub use server::{Server, ServerHandle};
+pub use supervisor::BreakerConfig;
 pub use tenant::TenantSummary;
 
 /// How a submission may address a tenant or stream: 1–64 bytes, first byte
@@ -95,9 +97,55 @@ pub struct ServeConfig {
     /// spool footprint in 8-byte cells, `trap` = refuse gracefully (`true`)
     /// or drop the connection (`false`).
     pub quota: ResourceLimits,
-    /// Fault plan injected into the ingest path (spool writes, worker
-    /// delays/panics). [`FaultPlan::disabled`] in production.
-    pub fault_seed: Option<u64>,
+    /// Fault plan injected into the service paths (spool writes and commit
+    /// stages, worker delays/panics, accept-loop panics). `None` in
+    /// production.
+    pub faults: Option<FaultConfig>,
+    /// Overall wall-clock budget for one submission stream, half-close to
+    /// ack. A peer dribbling bytes slower than this (slow-loris) is
+    /// evicted with `ERR` and counted in `serve.shed.slow_evictions`.
+    pub stream_deadline: Duration,
+    /// Per-write socket timeout on server connections, so a peer that
+    /// stops draining its response cannot pin a worker.
+    pub write_timeout: Duration,
+    /// Deterministic load-shedding thresholds.
+    pub shed: ShedConfig,
+    /// Per-tenant circuit-breaker policy.
+    pub breaker: BreakerConfig,
+}
+
+/// Deterministic load-shedding thresholds: when any of these is crossed at
+/// submission time the daemon refuses the stream with
+/// `ERR busy retry-after <ms>` instead of degrading everyone. The checks
+/// are pure functions of registry state, never of wall-clock sampling, so
+/// a given load pattern sheds reproducibly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShedConfig {
+    /// Daemon-wide ceiling on concurrently active connections; submissions
+    /// arriving above it are shed. (Queries still answer — shedding only
+    /// refuses new ingest work.)
+    pub max_active_conns: usize,
+    /// Total spool capacity across all tenants, in 8-byte cells;
+    /// submissions are shed once committed spool usage reaches it
+    /// (`u64::MAX` = unlimited).
+    pub spool_capacity_cells: u64,
+    /// Shed a tenant's submissions once its committed events reach this
+    /// percentage of its event budget (100 = disabled; admission control
+    /// already refuses at 100%).
+    pub tenant_pressure_pct: u8,
+    /// The `retry-after` hint attached to shed/busy refusals.
+    pub retry_after: Duration,
+}
+
+impl Default for ShedConfig {
+    fn default() -> Self {
+        ShedConfig {
+            max_active_conns: 256,
+            spool_capacity_cells: u64::MAX,
+            tenant_pressure_pct: 100,
+            retry_after: Duration::from_millis(250),
+        }
+    }
 }
 
 impl ServeConfig {
@@ -112,13 +160,17 @@ impl ServeConfig {
             max_in_flight: 8,
             queue_timeout: Duration::from_secs(10),
             quota: ResourceLimits { trap: true, ..ResourceLimits::default() },
-            fault_seed: None,
+            faults: None,
+            stream_deadline: Duration::from_secs(120),
+            write_timeout: Duration::from_secs(30),
+            shed: ShedConfig::default(),
+            breaker: BreakerConfig::default(),
         }
     }
 
     pub(crate) fn fault_plan(&self) -> FaultPlan {
-        match self.fault_seed {
-            Some(seed) => FaultPlan::new(aprof_faults::FaultConfig::smoke(seed)),
+        match self.faults {
+            Some(cfg) => FaultPlan::new(cfg),
             None => FaultPlan::disabled(),
         }
     }
@@ -137,8 +189,18 @@ pub enum ServeError {
     Protocol(String),
     /// A per-tenant quota refused the submission.
     Quota(String),
-    /// The tenant stayed at its in-flight cap past the queue timeout.
-    Busy,
+    /// The submission was shed or timed out of the admission queue; the
+    /// daemon suggests retrying after the hinted delay. This is the only
+    /// *retryable* refusal — idempotent re-submission is safe.
+    Busy {
+        /// Suggested client-side wait before retrying.
+        retry_after: Duration,
+    },
+    /// The tenant's circuit breaker is open (repeated recent failures);
+    /// submissions are refused until a half-open probe succeeds.
+    Quarantined,
+    /// The stream blew its overall ingest deadline (slow-loris eviction).
+    Deadline,
     /// The daemon is draining and no longer accepts submissions.
     Draining,
     /// The server replied `ERR` to a client call.
@@ -152,7 +214,15 @@ impl fmt::Display for ServeError {
             ServeError::Wire(e) => write!(f, "wire error: {e}"),
             ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             ServeError::Quota(msg) => write!(f, "quota exceeded: {msg}"),
-            ServeError::Busy => write!(f, "tenant busy: in-flight budget exhausted"),
+            // The wire shape `busy retry-after <ms>` is parsed back by the
+            // client (`ERR ` + this Display) — keep them in sync.
+            ServeError::Busy { retry_after } => {
+                write!(f, "busy retry-after {}", retry_after.as_millis())
+            }
+            ServeError::Quarantined => {
+                write!(f, "quarantined: tenant disabled after repeated failures")
+            }
+            ServeError::Deadline => write!(f, "stream deadline exceeded: slow client evicted"),
             ServeError::Draining => write!(f, "daemon is draining"),
             ServeError::Remote(msg) => write!(f, "server error: {msg}"),
         }

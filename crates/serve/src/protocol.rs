@@ -49,6 +49,15 @@ impl Conn {
             Conn::Tcp(s) => s.set_read_timeout(Some(timeout)),
         }
     }
+
+    /// Bounds every blocking write so a peer that stops draining its
+    /// response (while keeping the connection alive) cannot pin a worker.
+    pub(crate) fn set_write_timeout(&self, timeout: Duration) -> io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.set_write_timeout(Some(timeout)),
+            Conn::Tcp(s) => s.set_write_timeout(Some(timeout)),
+        }
+    }
 }
 
 impl Read for Conn {

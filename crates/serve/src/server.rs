@@ -1,7 +1,8 @@
 //! The daemon: listeners, connection workers, ingest, drain.
 
 use crate::protocol::{self, Conn, Request};
-use crate::spool::{bytes_to_cells, Spool};
+use crate::spool::{bytes_to_cells, name_ordinal, Spool};
+use crate::supervisor::{Backoff, BreakerBank, Outcome};
 use crate::tenant::{Admission, Registry};
 use crate::{ServeConfig, ServeError};
 use aprof_analysis::{render_report, ReportInputs};
@@ -42,6 +43,7 @@ struct Shared {
     registry: Registry,
     spool: Spool,
     plan: FaultPlan,
+    breakers: BreakerBank,
     state: AtomicU8,
     conn_seq: AtomicU64,
     active_conns: AtomicUsize,
@@ -85,17 +87,19 @@ impl Server {
         if cfg.unix.is_none() && cfg.tcp.is_none() {
             return Err(ServeError::Protocol("no listener configured".into()));
         }
-        let spool = Spool::open(&cfg.spool)?;
+        let plan = cfg.fault_plan();
+        let spool = Spool::open(&cfg.spool, plan)?;
         let registry = Registry::new(&cfg);
         let (recovered, damaged) = spool.recover()?;
         for s in recovered {
             registry.restore(&s.tenant, &s.stream, s.report, s.events, bytes_to_cells(s.bytes));
         }
-        let plan = cfg.fault_plan();
+        let breakers = BreakerBank::new(cfg.breaker);
         let shared = Arc::new(Shared {
             registry,
             spool,
             plan,
+            breakers,
             state: AtomicU8::new(RUNNING),
             conn_seq: AtomicU64::new(0),
             active_conns: AtomicUsize::new(0),
@@ -111,7 +115,7 @@ impl Server {
             listener.set_nonblocking(true)?;
             let shared = Arc::clone(&shared);
             accept_threads.push(thread::spawn(move || {
-                accept_loop(&shared, || listener.accept().map(|(s, _)| Conn::Unix(s)));
+                supervised_accept_loop(&shared, || listener.accept().map(|(s, _)| Conn::Unix(s)));
             }));
         }
         let mut tcp_addr = None;
@@ -121,7 +125,7 @@ impl Server {
             listener.set_nonblocking(true)?;
             let shared = Arc::clone(&shared);
             accept_threads.push(thread::spawn(move || {
-                accept_loop(&shared, || listener.accept().map(|(s, _)| Conn::Tcp(s)));
+                supervised_accept_loop(&shared, || listener.accept().map(|(s, _)| Conn::Tcp(s)));
             }));
         }
         Ok(ServerHandle { shared, accept_threads, tcp_addr, damaged })
@@ -174,22 +178,67 @@ impl ServerHandle {
     }
 }
 
-fn accept_loop<F>(shared: &Arc<Shared>, mut accept: F)
+/// Supervisor for one listener: runs [`accept_loop`], and when the loop
+/// body panics (injected accept faults, or a genuine bug) restarts it after
+/// deterministic jittered exponential backoff instead of letting the
+/// listener thread die silently. The loop only ends for real once the
+/// daemon leaves `RUNNING`.
+fn supervised_accept_loop<F>(shared: &Arc<Shared>, mut accept: F)
+where
+    F: FnMut() -> io::Result<Conn>,
+{
+    let mut backoff = Backoff::new(
+        Duration::from_millis(1),
+        Duration::from_millis(100),
+        shared.plan.config().seed,
+    );
+    loop {
+        let run = catch_unwind(AssertUnwindSafe(|| accept_loop(shared, &mut accept)));
+        match run {
+            Ok(()) => break,
+            Err(_) => {
+                if shared.state() != RUNNING {
+                    break;
+                }
+                counters::SERVE_SUPERVISOR_LISTENER_RESTARTS.incr();
+                thread::sleep(backoff.next_delay());
+            }
+        }
+    }
+}
+
+fn accept_loop<F>(shared: &Arc<Shared>, accept: &mut F)
 where
     F: FnMut() -> io::Result<Conn>,
 {
     while shared.state() == RUNNING {
         match accept() {
             Ok(conn) => {
-                let shared = Arc::clone(shared);
                 let ordinal = shared.conn_seq.fetch_add(1, Ordering::SeqCst);
+                // Accept-path fault class: panic *before* the connection is
+                // handed to a worker, exercising the listener supervisor.
+                // The connection drops un-served; the client sees a reset.
+                if shared.plan.accept_fault(ordinal) {
+                    drop(conn);
+                    aprof_faults::injected_panic(format!(
+                        "injected panic in accept loop at connection {ordinal}"
+                    ));
+                }
+                let shared = Arc::clone(shared);
                 shared.active_conns.fetch_add(1, Ordering::SeqCst);
                 thread::spawn(move || {
                     // Contain both injected and genuine worker panics: one
-                    // bad connection must not take the daemon down.
-                    let _ = catch_unwind(AssertUnwindSafe(|| {
+                    // bad connection must not take the daemon down. Panics
+                    // that escape this far were not attributable to a
+                    // submitting tenant (those are caught — and settled —
+                    // inside `handle_submit`), but they still count as
+                    // supervised worker deaths.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
                         handle_conn(&shared, conn, ordinal);
                     }));
+                    if outcome.is_err() {
+                        counters::SERVE_SUPERVISOR_WORKER_PANICS.incr();
+                    }
                     shared.active_conns.fetch_sub(1, Ordering::SeqCst);
                 });
             }
@@ -202,6 +251,7 @@ where
 fn handle_conn(shared: &Shared, mut conn: Conn, ordinal: u64) {
     counters::SERVE_CONNS_ACCEPTED.incr();
     let _ = conn.set_read_timeout(READ_TIMEOUT);
+    let _ = conn.set_write_timeout(shared.cfg.write_timeout);
     let request = match protocol::read_line(&mut conn).and_then(|l| protocol::parse_request(&l)) {
         Ok(req) => req,
         Err(e) => {
@@ -211,18 +261,21 @@ fn handle_conn(shared: &Shared, mut conn: Conn, ordinal: u64) {
     };
     // Fault plan: the connection worker is the injection point for the
     // delay/panic classes (keyed by connection ordinal, first attempt).
+    // Submissions re-draw the same decision inside their supervised
+    // region so the panic is caught, attributed to the tenant, and
+    // answered with an `ERR`; panics on query connections unwind to the
+    // spawn-side catch instead.
     match shared.plan.worker_fault(ordinal, 1) {
-        Some(WorkerFault::Panic) => {
-            if matches!(request, Request::Submit { .. }) {
-                counters::SERVE_STREAMS_ABORTED.incr();
-            }
+        Some(WorkerFault::Panic) if !matches!(request, Request::Submit { .. }) => {
             aprof_faults::injected_panic(format!("injected panic in connection {ordinal}"));
         }
         Some(WorkerFault::Delay(d)) => thread::sleep(d),
-        None => {}
+        _ => {}
     }
     match request {
-        Request::Submit { tenant, stream } => handle_submit(shared, conn, &tenant, &stream),
+        Request::Submit { tenant, stream } => {
+            handle_submit(shared, conn, &tenant, &stream, ordinal);
+        }
         Request::Ping => {
             let _ = writeln!(conn, "OK pong");
         }
@@ -336,15 +389,26 @@ fn handle_http(shared: &Shared, mut conn: Conn, path: &str) {
 }
 
 /// A `Read` adapter that copies every byte it yields into the spool sink —
-/// the stream is decoded and made durable in a single pass.
+/// the stream is decoded and made durable in a single pass. It also carries
+/// the stream's overall deadline: per-read socket timeouts bound each
+/// *silent* stall, but a byte-dribbling slow-loris peer resets that clock
+/// on every byte, so the tee enforces a wall-clock budget for the whole
+/// stream and evicts the connection once it is spent.
 struct Tee<'a, W: Write> {
     conn: &'a mut Conn,
     spool: W,
     copied: u64,
+    deadline: Instant,
 }
 
 impl<W: Write> Read for Tee<'_, W> {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if Instant::now() >= self.deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "stream deadline exceeded",
+            ));
+        }
         let n = self.conn.read(buf)?;
         if n > 0 {
             self.spool.write_all(&buf[..n])?;
@@ -384,11 +448,98 @@ impl<R: Read> Iterator for Metered<R> {
     }
 }
 
-fn handle_submit(shared: &Shared, mut conn: Conn, tenant: &str, stream: &str) {
+/// Deterministic admission-time load shedding. Checked before any work is
+/// done for the stream, so a shed costs the daemon one request-line parse
+/// and one `ERR busy retry-after <ms>` write.
+fn shed_check(shared: &Shared, tenant: &str) -> Option<ServeError> {
+    let shed = &shared.cfg.shed;
+    let busy = ServeError::Busy { retry_after: shed.retry_after };
+    if shared.active_conns.load(Ordering::SeqCst) > shed.max_active_conns {
+        counters::SERVE_SHED_CONN_PRESSURE.incr();
+        return Some(busy);
+    }
+    if shared.registry.total_spooled_cells() >= shed.spool_capacity_cells {
+        counters::SERVE_SHED_SPOOL_PRESSURE.incr();
+        return Some(busy);
+    }
+    let pct = u64::from(shed.tenant_pressure_pct.min(100));
+    if pct < 100 && shared.cfg.quota.max_instructions != u64::MAX {
+        let used = shared.registry.tenant_events(tenant);
+        if u128::from(used) * 100 >= u128::from(shared.cfg.quota.max_instructions) * u128::from(pct)
+        {
+            counters::SERVE_SHED_TENANT_PRESSURE.incr();
+            return Some(busy);
+        }
+    }
+    None
+}
+
+/// Maps a submission error to its breaker verdict: only failures that say
+/// something about the *tenant's traces* (corrupt bytes, blown deadlines)
+/// feed the circuit breaker; daemon-side trouble (I/O, quotas, pressure)
+/// must not quarantine an innocent tenant.
+fn breaker_verdict(e: &ServeError) -> Outcome {
+    match e {
+        ServeError::Wire(WireError::Io(_)) => Outcome::Indeterminate,
+        ServeError::Wire(_) | ServeError::Deadline | ServeError::Protocol(_) => Outcome::Failure,
+        _ => Outcome::Indeterminate,
+    }
+}
+
+fn handle_submit(shared: &Shared, mut conn: Conn, tenant: &str, stream: &str, ordinal: u64) {
     if shared.state() != RUNNING {
         counters::SERVE_STREAMS_ABORTED.incr();
         let _ = writeln!(conn, "ERR {}", ServeError::Draining);
         return;
+    }
+    if let Some(e) = shed_check(shared, tenant) {
+        counters::SERVE_STREAMS_ABORTED.incr();
+        let _ = writeln!(conn, "ERR {e}");
+        return;
+    }
+    if let Err(e) = shared.breakers.admit(tenant) {
+        counters::SERVE_STREAMS_ABORTED.incr();
+        let _ = writeln!(conn, "ERR {e}");
+        return;
+    }
+    // From here on every path settles the breaker — an unsettled half-open
+    // probe would wedge the tenant in quarantine.
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        submit_supervised(shared, &mut conn, tenant, stream, ordinal)
+    }));
+    match run {
+        Ok(outcome) => shared.breakers.settle(tenant, outcome),
+        Err(_) => {
+            // The worker died mid-submission. The `SlotGuard` released the
+            // tenant's in-flight slot during unwinding; finish the cleanup,
+            // attribute the poison to the tenant, and keep serving.
+            counters::SERVE_SUPERVISOR_WORKER_PANICS.incr();
+            counters::SERVE_STREAMS_ABORTED.incr();
+            shared.spool.discard_part(tenant, stream);
+            shared.breakers.settle(tenant, Outcome::Failure);
+            let _ = writeln!(conn, "ERR internal: worker panicked (supervised); stream discarded");
+        }
+    }
+}
+
+/// The supervised body of one submission; the caller catches panics and
+/// settles the returned breaker verdict.
+fn submit_supervised(
+    shared: &Shared,
+    conn: &mut Conn,
+    tenant: &str,
+    stream: &str,
+    ordinal: u64,
+) -> Outcome {
+    // Worker fault classes re-drawn here (same pure decision as
+    // `handle_conn`) so an injected panic lands inside the supervised
+    // region.
+    match shared.plan.worker_fault(ordinal, 1) {
+        Some(WorkerFault::Panic) => {
+            aprof_faults::injected_panic(format!("injected panic in connection {ordinal}"));
+        }
+        Some(WorkerFault::Delay(d)) => thread::sleep(d),
+        None => {}
     }
     let admission = match shared.registry.admit(tenant, stream) {
         Ok(a) => a,
@@ -399,34 +550,48 @@ fn handle_submit(shared: &Shared, mut conn: Conn, tenant: &str, stream: &str) {
             if shared.cfg.quota.trap || !matches!(e, ServeError::Quota(_)) {
                 let _ = writeln!(conn, "ERR {e}");
             }
-            return;
+            return breaker_verdict(&e);
         }
     };
     let slot = match admission {
         Admission::Duplicate => {
             // Drain the body so the peer's writes don't die on a reset,
             // then acknowledge idempotently.
-            let _ = io::copy(&mut conn, &mut io::sink());
+            let _ = io::copy(conn, &mut io::sink());
             let _ = writeln!(conn, "OK events=0 chunks=0 duplicate=1");
-            return;
+            return Outcome::Success;
         }
         Admission::Slot(slot) => slot,
     };
 
-    match ingest(shared, &mut conn, tenant, stream, slot.events_budget()) {
+    let started = Instant::now();
+    let outcome = match ingest(shared, conn, tenant, stream, slot.events_budget(), started) {
         Ok((events, chunks)) => {
             counters::SERVE_CHUNKS_AGGREGATED.add(u64::from(chunks));
             let _ = writeln!(conn, "OK events={events} chunks={chunks}");
+            Outcome::Success
         }
         Err(e) => {
             shared.spool.discard_part(tenant, stream);
             counters::SERVE_STREAMS_ABORTED.incr();
+            // A stream that errored after its wall-clock budget was a
+            // slow-loris eviction, whatever the proximate error: the tee's
+            // timeout, a read timeout, or a decode error on a half-starved
+            // buffer.
+            let e = if started.elapsed() >= shared.cfg.stream_deadline {
+                counters::SERVE_SHED_SLOW_EVICTIONS.incr();
+                ServeError::Deadline
+            } else {
+                e
+            };
             if shared.cfg.quota.trap || !matches!(e, ServeError::Quota(_)) {
                 let _ = writeln!(conn, "ERR {e}");
             }
+            breaker_verdict(&e)
         }
-    }
+    };
     drop(slot);
+    outcome
 }
 
 /// The ingest pipeline for one admitted stream. On success the stream is
@@ -438,12 +603,14 @@ fn ingest(
     tenant: &str,
     stream: &str,
     events_budget: u64,
+    started: Instant,
 ) -> Result<(u64, u32), ServeError> {
     let part = shared.spool.create_part(tenant, stream)?;
     let mut tee = Tee {
         conn,
         spool: BufWriter::new(shared.plan.wrap_writer(part)),
         copied: 0,
+        deadline: started + shared.cfg.stream_deadline,
     };
     let mut profiler = TrmsProfiler::new();
     let (events, chunks, names) = {
@@ -463,6 +630,10 @@ fn ingest(
         .into_inner()
         .map_err(|e| ServeError::Io(io::Error::other(e.to_string())))?
         .into_inner();
+    // Fsync fault class: a full disk surfaces here as well as on writes.
+    if let Some(e) = shared.plan.sync_fault(name_ordinal(tenant, stream)) {
+        return Err(e.into());
+    }
     part.sync_data()?;
     drop(part);
 

@@ -18,6 +18,7 @@
 
 use crate::{ServeError, valid_name};
 use aprof_core::{ProfileReport, TrmsProfiler};
+use aprof_faults::FaultPlan;
 use aprof_obs::counters;
 use std::fs::{self, File};
 use std::io::BufReader;
@@ -27,6 +28,20 @@ use std::path::{Path, PathBuf};
 #[derive(Debug, Clone)]
 pub(crate) struct Spool {
     dir: PathBuf,
+    /// Fault plan for the commit stages (rename). Disabled in production.
+    plan: FaultPlan,
+}
+
+/// A stable per-stream ordinal for commit-stage fault decisions: an FNV-1a
+/// hash of `tenant/stream`, so the injected schedule is a function of the
+/// stream's identity, not of arrival order or thread interleaving.
+pub(crate) fn name_ordinal(tenant: &str, stream: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in tenant.bytes().chain([b'/']).chain(stream.bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 /// What startup recovery found: replayable streams plus damaged files.
@@ -42,10 +57,11 @@ pub(crate) struct RecoveredStream {
 }
 
 impl Spool {
-    /// Opens (creating if needed) the spool directory.
-    pub(crate) fn open(dir: &Path) -> Result<Spool, ServeError> {
+    /// Opens (creating if needed) the spool directory. `plan` governs
+    /// injected commit-stage faults.
+    pub(crate) fn open(dir: &Path, plan: FaultPlan) -> Result<Spool, ServeError> {
         fs::create_dir_all(dir)?;
-        Ok(Spool { dir: dir.to_owned() })
+        Ok(Spool { dir: dir.to_owned(), plan })
     }
 
     fn tenant_dir(&self, tenant: &str) -> PathBuf {
@@ -68,8 +84,14 @@ impl Spool {
     }
 
     /// Atomically promotes a synced `.part` to `.wire` and makes the rename
-    /// itself durable. This is the commit point of the ingest path.
+    /// itself durable. This is the commit point of the ingest path. A
+    /// failure here (e.g. disk full — injectable via the fault plan's
+    /// rename class) leaves the `.part` in place; the caller rolls the
+    /// in-memory commit back so no half-committed stream is ever latched.
     pub(crate) fn commit(&self, tenant: &str, stream: &str) -> Result<(), ServeError> {
+        if let Some(e) = self.plan.rename_fault(name_ordinal(tenant, stream)) {
+            return Err(e.into());
+        }
         fs::rename(self.part_path(tenant, stream), self.wire_path(tenant, stream))?;
         File::open(self.tenant_dir(tenant))?.sync_data()?;
         Ok(())

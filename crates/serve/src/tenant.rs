@@ -62,6 +62,8 @@ pub(crate) struct Registry {
     max_in_flight: usize,
     queue_timeout: Duration,
     quota: ResourceLimits,
+    /// The retry-after hint carried by busy refusals.
+    retry_after: Duration,
 }
 
 impl Registry {
@@ -72,6 +74,7 @@ impl Registry {
             max_in_flight: cfg.max_in_flight.max(1),
             queue_timeout: cfg.queue_timeout,
             quota: cfg.quota,
+            retry_after: cfg.shed.retry_after,
         }
     }
 
@@ -119,7 +122,7 @@ impl Registry {
             }
             let now = Instant::now();
             if now >= deadline {
-                return Err(ServeError::Busy);
+                return Err(ServeError::Busy { retry_after: self.retry_after });
             }
             let (guard, _timeout) =
                 self.cv.wait_timeout(inner, deadline - now).unwrap_or_else(|e| e.into_inner());
@@ -223,6 +226,18 @@ impl Registry {
     /// this reaching zero).
     pub(crate) fn total_in_flight(&self) -> usize {
         self.lock().values().map(|t| t.in_flight).sum()
+    }
+
+    /// Committed spool footprint across all tenants, in 8-byte cells (the
+    /// load shedder's spool-headroom input).
+    pub(crate) fn total_spooled_cells(&self) -> u64 {
+        self.lock().values().map(|t| t.spooled_cells).sum()
+    }
+
+    /// Events a tenant has committed so far (the load shedder's
+    /// tenant-pressure input; 0 for unknown tenants).
+    pub(crate) fn tenant_events(&self, tenant: &str) -> u64 {
+        self.lock().get(tenant).map_or(0, |t| t.events_total)
     }
 }
 

@@ -1,0 +1,168 @@
+//! Seeded protocol fuzz: garbage, truncated and oversized request lines
+//! thrown at a live daemon. The contract under test: every case gets a
+//! clean `ERR` reply or a plain connection close — never a panic, never a
+//! hang, never unbounded buffering — and the daemon stays fully healthy
+//! afterwards. The generator is a pure function of the seed, so a failing
+//! case number reproduces exactly.
+
+use aprof_serve::{client, ServeConfig, Server, Target};
+use aprof_trace::NullTool;
+use aprof_wire::{WireOptions, WireWriter};
+use aprof_workloads::{by_name, WorkloadParams};
+use std::io::{Read, Write};
+use std::net::Shutdown;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+const SEED: u64 = 0xF022_BA5E;
+
+fn fuzz_cases() -> u64 {
+    std::env::var("APROF_FUZZ_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(96)
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One fuzz payload plus whether the case half-closes (sends EOF) or just
+/// abandons the connection with the line unterminated.
+fn gen_case(case: u64) -> (Vec<u8>, bool) {
+    let mut rng = SEED ^ case.wrapping_mul(0x0101_0101_0101_0101);
+    let shape = splitmix64(&mut rng) % 6;
+    let mut payload = Vec::new();
+    match shape {
+        // Random binary junk, LF-terminated.
+        0 => {
+            let len = (splitmix64(&mut rng) % 512) as usize;
+            for _ in 0..len {
+                let b = (splitmix64(&mut rng) % 256) as u8;
+                payload.push(if b == b'\n' { b'x' } else { b });
+            }
+            payload.push(b'\n');
+        }
+        // Printable garbage words.
+        1 => {
+            let words = 1 + (splitmix64(&mut rng) % 8);
+            for w in 0..words {
+                if w > 0 {
+                    payload.push(b' ');
+                }
+                let len = 1 + (splitmix64(&mut rng) % 12) as usize;
+                for _ in 0..len {
+                    payload.push(b'!' + (splitmix64(&mut rng) % 90) as u8);
+                }
+            }
+            payload.push(b'\n');
+        }
+        // A valid verb prefix with mangled arguments.
+        2 => {
+            payload.extend_from_slice(b"APROF/1 SUBMIT ");
+            let len = (splitmix64(&mut rng) % 64) as usize;
+            for _ in 0..len {
+                let b = (splitmix64(&mut rng) % 256) as u8;
+                payload.push(if b == b'\n' { b'=' } else { b });
+            }
+            payload.push(b'\n');
+        }
+        // A truncated request line: bytes, no LF, then EOF.
+        3 => {
+            payload.extend_from_slice(b"APROF/1 PI");
+            let extra = (splitmix64(&mut rng) % 16) as usize;
+            for _ in 0..extra {
+                payload.push(b'A' + (splitmix64(&mut rng) % 26) as u8);
+            }
+        }
+        // An oversized line, way past MAX_LINE, to probe buffering bounds.
+        4 => {
+            let len = 8192 + (splitmix64(&mut rng) % 8192) as usize;
+            payload.resize(len, b'x');
+            payload.push(b'\n');
+        }
+        // A valid header followed by a garbage body.
+        _ => {
+            payload.extend_from_slice(b"APROF/1 SUBMIT tenant=fz stream=s\n");
+            let len = (splitmix64(&mut rng) % 1024) as usize;
+            for _ in 0..len {
+                payload.push((splitmix64(&mut rng) % 256) as u8);
+            }
+        }
+    }
+    let half_close = !splitmix64(&mut rng).is_multiple_of(4) || shape == 3;
+    (payload, half_close)
+}
+
+#[test]
+fn fuzzed_request_lines_never_kill_the_daemon() {
+    aprof_obs::enable();
+    let dir = std::env::temp_dir().join(format!("aprof-serve-fuzz-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("daemon.sock");
+    let mut cfg = ServeConfig::new(dir.join("spool"));
+    cfg.unix = Some(sock.clone());
+    // Keep stuck fuzz connections from pinning the run.
+    cfg.stream_deadline = Duration::from_secs(10);
+    let target = Target::Unix(sock.clone());
+    let server = Server::start(cfg).unwrap();
+
+    for case in 0..fuzz_cases() {
+        let (payload, half_close) = gen_case(case);
+        let mut conn = UnixStream::connect(&sock).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        conn.set_write_timeout(Some(Duration::from_secs(10))).unwrap();
+        // The daemon may refuse (and close) before the whole payload is
+        // written; a send error is a legal outcome, not a test failure.
+        let _ = conn.write_all(&payload);
+        if half_close {
+            let _ = conn.shutdown(Shutdown::Write);
+        }
+        // Whatever happens, the connection must terminate promptly with
+        // either an ERR line or a bare close — reading to EOF must not
+        // hang (bounded by the read timeout) and must not yield an OK for
+        // garbage.
+        let mut reply = Vec::new();
+        match conn.take(4096).read_to_end(&mut reply) {
+            Ok(_) => {}
+            // A hard close with our unread payload still queued surfaces
+            // as ECONNRESET — that is a legal refusal, not a failure.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::BrokenPipe
+                ) => {}
+            Err(e) => panic!("case {case}: reply read failed: {e}"),
+        }
+        let reply = String::from_utf8_lossy(&reply);
+        assert!(
+            reply.is_empty() || reply.starts_with("ERR "),
+            "case {case}: expected ERR or close, got {reply:?}"
+        );
+    }
+
+    // The daemon is intact: it answers, accepts a real stream, and the
+    // fuzz tenant never got anything committed.
+    client::ping(&target).unwrap();
+    let wl = by_name("algo.insertion_sort").unwrap();
+    let mut machine = wl.build(&WorkloadParams::new(32, 2));
+    let names = machine.program().routines().clone();
+    let mut writer = WireWriter::create(
+        Vec::new(),
+        &names,
+        WireOptions { chunk_bytes: 1024, ..Default::default() },
+    )
+    .unwrap();
+    machine.run_recording(&mut NullTool, &mut writer).unwrap();
+    let trace = writer.finish().unwrap().0;
+    let ack = client::submit(&target, "web", "after-fuzz", &mut &trace[..]).unwrap();
+    assert!(ack.events > 0);
+    assert!(client::fetch_profile(&target, "fz").is_err(), "garbage must not commit");
+
+    server.shutdown(false);
+    server.wait().unwrap();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -7,7 +7,8 @@
 //! before/after deltas) rather than exact.
 
 use aprof_core::{ProfileReport, TrmsProfiler};
-use aprof_serve::{client, ServeConfig, Server, Target};
+use aprof_faults::FaultConfig;
+use aprof_serve::{client, RetryPolicy, ServeConfig, ServeError, Server, Target};
 use aprof_trace::NullTool;
 use aprof_vm::ResourceLimits;
 use aprof_wire::{WireOptions, WireReader, WireWriter};
@@ -92,7 +93,7 @@ fn unix_round_trip_profile_report_obs() {
         &report[..80.min(report.len())]
     );
     let obs = client::fetch_obs(&target).unwrap();
-    assert!(obs.contains("\"version\": 3"), "obs.json should be schema v3");
+    assert!(obs.contains("\"version\": 4"), "obs.json should be schema v4");
     assert!(obs.contains("serve.streams_committed"));
     let tenants = client::fetch_tenants(&target).unwrap();
     assert!(tenants.contains("web streams=1"), "unexpected listing: {tenants}");
@@ -135,7 +136,7 @@ fn http_endpoints_over_tcp() {
     };
     assert!(get("/healthz").contains("200 OK"));
     let obs = get("/obs.json");
-    assert!(obs.contains("application/json") && obs.contains("\"version\": 3"));
+    assert!(obs.contains("application/json") && obs.contains("\"version\": 4"));
     assert!(get("/tenants").contains("web streams=1"));
     assert!(get("/profile/web").contains("aprof-profile v1"));
     assert!(get("/report/web").contains("text/html"));
@@ -334,6 +335,294 @@ fn draining_daemon_refuses_new_streams_then_stops() {
 
     // Listeners are gone after the drain completes.
     assert!(client::ping(&target).is_err());
+}
+
+/// Counter delta helper: obs counters are process-global, so assertions
+/// compare before/after snapshots instead of absolute values.
+fn counter(name: &str) -> u64 {
+    aprof_obs::snapshot().counter(name).unwrap_or(0)
+}
+
+/// Waits (bounded) for a counter to reach `at_least`: some counters are
+/// bumped just *after* the reply the client observed (breaker settling,
+/// supervisor restart accounting), so equality right after an ack would
+/// race.
+fn wait_counter(name: &str, at_least: u64) {
+    for _ in 0..100 {
+        if counter(name) >= at_least {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("counter {name} never reached {at_least} (now {})", counter(name));
+}
+
+#[test]
+fn worker_panics_are_supervised_and_feed_the_breaker() {
+    aprof_obs::enable();
+    let dir = scratch("panic");
+    let (mut cfg, target) = unix_config(&dir);
+    // Every connection worker draws an injected panic; the breaker trips
+    // after two tenant-attributed failures.
+    cfg.faults = Some(FaultConfig { panic_per_mille: 1000, ..FaultConfig::off(7) });
+    cfg.breaker.failures = 2;
+    cfg.breaker.cooldown = Duration::from_secs(60);
+    let server = Server::start(cfg.clone()).unwrap();
+
+    let trace = record_workload("algo.insertion_sort", 36);
+    let panics_before = counter("serve.supervisor.worker_panics");
+    let trips_before = counter("serve.breaker.trips");
+
+    // Two panicked submissions: each is caught, answered with ERR, and
+    // attributed to the tenant. The daemon never exits.
+    for stream in ["s-1", "s-2"] {
+        let err = client::submit(&target, "web", stream, &mut &trace[..]).unwrap_err();
+        assert!(
+            err.to_string().contains("worker panicked"),
+            "expected a supervised-panic refusal, got: {err}"
+        );
+    }
+    assert!(counter("serve.supervisor.worker_panics") >= panics_before + 2);
+    assert!(counter("serve.breaker.trips") > trips_before);
+
+    // Third submission is refused by the tripped breaker *before* any
+    // worker runs — the typed Quarantined refusal round-trips the wire.
+    let err = client::submit(&target, "web", "s-3", &mut &trace[..]).unwrap_err();
+    assert!(matches!(err, ServeError::Quarantined), "expected quarantine, got: {err}");
+
+    // Nothing was ever committed or spooled.
+    assert!(!cfg.spool.join("web").join("s-1.wire").exists());
+    assert!(!cfg.spool.join("web").join("s-1.part").exists());
+
+    server.shutdown(true);
+    server.wait().unwrap();
+}
+
+#[test]
+fn breaker_recovers_through_a_half_open_probe() {
+    aprof_obs::enable();
+    let dir = scratch("breaker");
+    let (mut cfg, target) = unix_config(&dir);
+    cfg.breaker.failures = 2;
+    cfg.breaker.window = Duration::from_secs(30);
+    cfg.breaker.cooldown = Duration::from_millis(50);
+    let server = Server::start(cfg).unwrap();
+
+    // Two corrupt streams (tenant-attributable wire failures) trip the
+    // breaker for `web`.
+    let mut bad = record_workload("algo.insertion_sort", 36);
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0xff;
+    for stream in ["b-1", "b-2"] {
+        assert!(client::submit(&target, "web", stream, &mut &bad[..]).is_err());
+    }
+    let err = client::submit(&target, "web", "b-3", &mut &bad[..]).unwrap_err();
+    assert!(matches!(err, ServeError::Quarantined), "expected quarantine, got: {err}");
+    // Other tenants are unaffected by web's quarantine.
+    let good = record_workload("algo.merge_sort", 20);
+    client::submit(&target, "other", "ok-1", &mut &good[..]).unwrap();
+
+    // After the cooldown one probe is admitted; its success closes the
+    // breaker and the tenant serves normally again.
+    std::thread::sleep(Duration::from_millis(80));
+    let probes_before = counter("serve.breaker.half_open_probes");
+    let recoveries_before = counter("serve.breaker.recoveries");
+    let ack = client::submit(&target, "web", "g-1", &mut &good[..]).unwrap();
+    assert!(ack.events > 0);
+    assert!(counter("serve.breaker.half_open_probes") > probes_before);
+    wait_counter("serve.breaker.recoveries", recoveries_before + 1);
+    client::submit(&target, "web", "g-2", &mut &good[..]).unwrap();
+
+    server.shutdown(false);
+    server.wait().unwrap();
+}
+
+#[test]
+fn listener_panics_restart_the_accept_loop() {
+    aprof_obs::enable();
+    let dir = scratch("listener");
+    let (mut cfg, target) = unix_config(&dir);
+    // Every accepted connection panics in the accept loop itself, before
+    // a worker exists; the supervisor must keep restarting the loop.
+    cfg.faults = Some(FaultConfig { accept_panic_per_mille: 1000, ..FaultConfig::off(11) });
+    let server = Server::start(cfg).unwrap();
+
+    let restarts_before = counter("serve.supervisor.listener_restarts");
+    for _ in 0..3 {
+        // The TCP-level connect succeeds; the daemon then drops the
+        // connection un-served, so the request itself errors.
+        assert!(client::ping(&target).is_err());
+    }
+    // Each accept-loop panic must be a counted supervisor restart (the
+    // count trails the client-visible drop by the catch/backoff window).
+    wait_counter("serve.supervisor.listener_restarts", restarts_before + 3);
+
+    // The daemon is still alive and stoppable through its handle.
+    server.shutdown(true);
+    server.wait().unwrap();
+}
+
+#[test]
+fn conn_pressure_sheds_with_retry_after() {
+    aprof_obs::enable();
+    let dir = scratch("shedconn");
+    let (mut cfg, target) = unix_config(&dir);
+    cfg.shed.max_active_conns = 0; // the submitting connection itself is over the ceiling
+    cfg.shed.retry_after = Duration::from_millis(350);
+    let server = Server::start(cfg).unwrap();
+
+    let trace = record_workload("algo.insertion_sort", 32);
+    let shed_before = counter("serve.shed.conn_pressure");
+    let err = client::submit(&target, "web", "s-1", &mut &trace[..]).unwrap_err();
+    match err {
+        ServeError::Busy { retry_after } => {
+            assert_eq!(retry_after, Duration::from_millis(350), "retry-after hint round-trips");
+        }
+        other => panic!("expected a busy shed, got: {other}"),
+    }
+    assert!(counter("serve.shed.conn_pressure") > shed_before);
+    // Queries are never shed — only ingest work is refused.
+    client::ping(&target).unwrap();
+
+    server.shutdown(false);
+    server.wait().unwrap();
+}
+
+#[test]
+fn spool_and_tenant_pressure_shed_deterministically() {
+    aprof_obs::enable();
+    let dir = scratch("shedspool");
+    let (mut cfg, target) = unix_config(&dir);
+    let trace = record_workload("algo.insertion_sort", 32);
+    let events = {
+        let mut reader = WireReader::new(&trace[..]).unwrap().strict();
+        let mut profiler = TrmsProfiler::new();
+        profiler.consume_stream(&mut reader).unwrap()
+    };
+    // Spool capacity admits exactly one copy of the trace; tenant pressure
+    // fires once a tenant holds `events` committed events (10% of a budget
+    // of 10x). Either threshold alone would shed the second stream.
+    cfg.shed.spool_capacity_cells = 1; // any committed stream saturates the spool
+    cfg.quota = ResourceLimits {
+        max_instructions: events * 10,
+        trap: true,
+        ..ResourceLimits::default()
+    };
+    cfg.shed.tenant_pressure_pct = 10;
+    let server = Server::start(cfg).unwrap();
+
+    client::submit(&target, "web", "s-1", &mut &trace[..]).unwrap();
+    let spool_before = counter("serve.shed.spool_pressure");
+    let err = client::submit(&target, "web", "s-2", &mut &trace[..]).unwrap_err();
+    assert!(matches!(err, ServeError::Busy { .. }), "expected busy shed, got: {err}");
+    assert!(counter("serve.shed.spool_pressure") > spool_before, "spool headroom check fires first");
+
+    server.shutdown(false);
+    server.wait().unwrap();
+
+    // Same scenario with unlimited spool: now the *tenant-pressure* check
+    // is what sheds the second stream (s-1 committed `events` events, 10%
+    // of the 10x budget).
+    let dir = scratch("shedtenant");
+    let (mut cfg, target) = unix_config(&dir);
+    cfg.quota = ResourceLimits {
+        max_instructions: events * 10,
+        trap: true,
+        ..ResourceLimits::default()
+    };
+    cfg.shed.tenant_pressure_pct = 10;
+    let server = Server::start(cfg).unwrap();
+    client::submit(&target, "web", "s-1", &mut &trace[..]).unwrap();
+    let tenant_before = counter("serve.shed.tenant_pressure");
+    let err = client::submit(&target, "web", "s-2", &mut &trace[..]).unwrap_err();
+    assert!(matches!(err, ServeError::Busy { .. }), "expected busy shed, got: {err}");
+    assert!(counter("serve.shed.tenant_pressure") > tenant_before);
+    // A different tenant is under no pressure.
+    client::submit(&target, "other", "s-1", &mut &trace[..]).unwrap();
+
+    server.shutdown(false);
+    server.wait().unwrap();
+}
+
+#[test]
+fn submit_retrying_rides_out_backpressure() {
+    aprof_obs::enable();
+    let dir = scratch("retry");
+    let (mut cfg, target) = unix_config(&dir);
+    cfg.max_in_flight = 1;
+    cfg.queue_timeout = Duration::from_millis(100);
+    cfg.shed.retry_after = Duration::from_millis(50);
+    let server = Server::start(cfg).unwrap();
+    let Target::Unix(sock) = &target else { unreachable!() };
+
+    // Hold the single in-flight slot open with a stalled submission.
+    let mut stalled = std::os::unix::net::UnixStream::connect(sock).unwrap();
+    writeln!(stalled, "APROF/1 SUBMIT tenant=web stream=slow").unwrap();
+    stalled.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    let trace = record_workload("algo.insertion_sort", 32);
+    let policy = RetryPolicy {
+        attempts: 10,
+        base: Duration::from_millis(50),
+        cap: Duration::from_millis(200),
+        seed: 42,
+    };
+    std::thread::scope(|scope| {
+        let handle =
+            scope.spawn(|| client::submit_retrying(&target, "web", "quick", &policy, || Ok(&trace[..])));
+        // Release the slot while the retrying client is backing off.
+        std::thread::sleep(Duration::from_millis(300));
+        drop(stalled);
+        let ack = handle.join().unwrap().expect("retries outlast the pressure");
+        assert!(ack.events > 0);
+    });
+
+    server.shutdown(false);
+    server.wait().unwrap();
+}
+
+#[test]
+fn slow_loris_is_evicted_at_the_stream_deadline() {
+    aprof_obs::enable();
+    let dir = scratch("loris");
+    let (mut cfg, target) = unix_config(&dir);
+    cfg.stream_deadline = Duration::from_millis(250);
+    let server = Server::start(cfg.clone()).unwrap();
+    let Target::Unix(sock) = &target else { unreachable!() };
+
+    let trace = record_workload("algo.insertion_sort", 40);
+    let evictions_before = counter("serve.shed.slow_evictions");
+
+    // Dribble the stream one byte at a time: each byte resets the per-read
+    // socket timeout, so only the overall deadline can end this.
+    let mut conn = std::os::unix::net::UnixStream::connect(sock).unwrap();
+    writeln!(conn, "APROF/1 SUBMIT tenant=web stream=drip").unwrap();
+    conn.flush().unwrap();
+    for byte in trace.iter().take(12) {
+        if conn.write_all(std::slice::from_ref(byte)).is_err() {
+            break; // the daemon already evicted us
+        }
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    let _ = conn.shutdown(std::net::Shutdown::Write);
+    let mut reply = String::new();
+    use std::io::Read as _;
+    let _ = conn.read_to_string(&mut reply);
+    assert!(
+        reply.contains("deadline exceeded"),
+        "expected a deadline eviction reply, got: {reply:?}"
+    );
+    assert!(counter("serve.shed.slow_evictions") > evictions_before);
+    // The evicted stream left nothing behind.
+    assert!(!cfg.spool.join("web").join("drip.part").exists());
+    assert!(!cfg.spool.join("web").join("drip.wire").exists());
+    // The daemon is healthy and the tenant can submit properly afterwards.
+    let ack = client::submit(&target, "web", "ok", &mut &trace[..]).unwrap();
+    assert!(ack.events > 0);
+
+    server.shutdown(false);
+    server.wait().unwrap();
 }
 
 #[test]

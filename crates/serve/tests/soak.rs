@@ -13,6 +13,7 @@
 
 use aprof_core::{ProfileReport, TrmsProfiler};
 use aprof_corpus::{CaseSpec, GenConfig};
+use aprof_faults::FaultConfig;
 use aprof_serve::{client, ServeConfig, Server, Target};
 use aprof_trace::NullTool;
 use aprof_wire::{WireOptions, WireReader, WireWriter};
@@ -113,7 +114,7 @@ fn soak_faulted_daemon_loses_no_acked_data() {
     let sock = dir.join("daemon.sock");
     let mut cfg = ServeConfig::new(dir.join("spool"));
     cfg.unix = Some(sock.clone());
-    cfg.fault_seed = Some(0x50AC); // smoke plan: panics, delays, bad writes
+    cfg.faults = Some(FaultConfig::smoke(0x50AC)); // smoke plan: panics, delays, bad writes
     let target = Target::Unix(sock);
 
     // Corpus traces: alternate generator fragments across two tenants.
@@ -146,7 +147,7 @@ fn soak_faulted_daemon_loses_no_acked_data() {
         scope.spawn(move || {
             for _ in 0..20 {
                 if let Ok(obs) = client::fetch_obs(&target) {
-                    assert!(obs.contains("\"version\": 3"));
+                    assert!(obs.contains("\"version\": 4"));
                 }
                 let _ = client::fetch_tenants(&target);
                 std::thread::sleep(Duration::from_millis(10));
@@ -179,7 +180,7 @@ fn soak_faulted_daemon_loses_no_acked_data() {
     // an operator intervention. The aggregates must come back byte-identical.
     server.shutdown(true);
     server.wait().unwrap();
-    cfg.fault_seed = None;
+    cfg.faults = None;
     let server = Server::start(cfg).unwrap();
     assert!(
         server.damaged.is_empty(),

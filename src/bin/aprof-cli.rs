@@ -33,7 +33,10 @@ use aprof::analysis::{fit_best, CostPlot, Metric, PlotKind, ReportInputs};
 use aprof::core::{InputPolicy, ProfileReport, TrmsProfiler};
 use aprof::tools::{CallgrindTool, HelgrindTool, MemcheckTool};
 use aprof::trace::{textio, EventKind, RecordingTool, RoutineTable, Trace};
-use aprof::serve::{client as serve_client, ServeConfig, Server, Target};
+use aprof::faults::FaultConfig;
+use aprof::serve::{
+    client as serve_client, BreakerConfig, RetryPolicy, ServeConfig, ServeError, Server, Target,
+};
 use aprof::vm::{asm, Machine, ResourceLimits};
 use aprof::wire::{
     recover, DurableFile, FlushPolicy, WireOptions, WireReader, WireWriter, DEFAULT_CHUNK_BYTES,
@@ -232,6 +235,19 @@ serve options:
                     with a graceful ERR
   --fault-seed N    inject the seeded smoke fault plan into the ingest
                     path (soak testing)
+  --stream-deadline-ms N  evict submissions still streaming after N ms
+                    (slow-loris guard)                  (default 120000)
+  --max-conns N     shed new work beyond N live connections with
+                    `ERR busy retry-after`              (default 256)
+  --spool-capacity-cells N  shed submissions once the whole spool holds
+                    this many 8-byte cells              (default unlimited)
+  --retry-after-ms N  the retry hint attached to busy refusals
+                                                        (default 250)
+  --breaker-failures N  tenant failures within the window that trip its
+                    circuit breaker                     (default 5)
+  --breaker-window-ms N  sliding failure window         (default 30000)
+  --breaker-cooldown-ms N  quarantine before a half-open probe
+                                                        (default 3000)
   the daemon serves until `submit --shutdown` (drain) or --shutdown-now
 
 submit options:
@@ -248,6 +264,15 @@ submit options:
   --out FILE        write fetched bodies to FILE instead of stdout
   --shutdown        ask the daemon to drain and stop
   --shutdown-now    ask the daemon to stop immediately
+  --retries N       retry busy refusals and transport drops up to N extra
+                    times with jittered backoff, honouring the daemon's
+                    retry-after hint (idempotent: a stream that committed
+                    before its ack was lost resolves as a duplicate)
+                                                        (default 0)
+  --retry-base-ms N base backoff window between retries (default 50)
+  submit exit codes: 0 success; 1 fatal (bad trace, quota, quarantined,
+  daemon unreachable); 2 usage; 75 still busy after the retry budget
+  (EX_TEMPFAIL — reschedule and resubmit)
 ";
 
 struct Opts {
@@ -1360,6 +1385,13 @@ fn cmd_serve(args: &[String]) -> i32 {
     let mut max_spool_cells = u64::MAX;
     let mut hard_quota = false;
     let mut fault_seed: Option<u64> = None;
+    let mut stream_deadline_ms: Option<u64> = None;
+    let mut max_conns: Option<usize> = None;
+    let mut spool_capacity_cells: Option<u64> = None;
+    let mut retry_after_ms: Option<u64> = None;
+    let mut breaker_failures: Option<u32> = None;
+    let mut breaker_window_ms: Option<u64> = None;
+    let mut breaker_cooldown_ms: Option<u64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |flag: &str| -> Result<String, String> {
@@ -1388,6 +1420,27 @@ fn cmd_serve(args: &[String]) -> i32 {
             "--fault-seed" => value("--fault-seed")
                 .and_then(|v| v.parse().map_err(|e| format!("--fault-seed: {e}")))
                 .map(|v| fault_seed = Some(v)),
+            "--stream-deadline-ms" => value("--stream-deadline-ms")
+                .and_then(|v| v.parse().map_err(|e| format!("--stream-deadline-ms: {e}")))
+                .map(|v| stream_deadline_ms = Some(v)),
+            "--max-conns" => value("--max-conns")
+                .and_then(|v| v.parse().map_err(|e| format!("--max-conns: {e}")))
+                .map(|v| max_conns = Some(v)),
+            "--spool-capacity-cells" => value("--spool-capacity-cells")
+                .and_then(|v| v.parse().map_err(|e| format!("--spool-capacity-cells: {e}")))
+                .map(|v| spool_capacity_cells = Some(v)),
+            "--retry-after-ms" => value("--retry-after-ms")
+                .and_then(|v| v.parse().map_err(|e| format!("--retry-after-ms: {e}")))
+                .map(|v| retry_after_ms = Some(v)),
+            "--breaker-failures" => value("--breaker-failures")
+                .and_then(|v| v.parse().map_err(|e| format!("--breaker-failures: {e}")))
+                .map(|v| breaker_failures = Some(v)),
+            "--breaker-window-ms" => value("--breaker-window-ms")
+                .and_then(|v| v.parse().map_err(|e| format!("--breaker-window-ms: {e}")))
+                .map(|v| breaker_window_ms = Some(v)),
+            "--breaker-cooldown-ms" => value("--breaker-cooldown-ms")
+                .and_then(|v| v.parse().map_err(|e| format!("--breaker-cooldown-ms: {e}")))
+                .map(|v| breaker_cooldown_ms = Some(v)),
             // Consumed by `with_observe` before dispatch.
             "--observe" => Ok(()),
             "--obs-json" => value("--obs-json").map(|_| ()),
@@ -1411,7 +1464,27 @@ fn cmd_serve(args: &[String]) -> i32 {
         max_alloc_cells: max_spool_cells,
         trap: !hard_quota,
     };
-    cfg.fault_seed = fault_seed;
+    cfg.faults = fault_seed.map(FaultConfig::smoke);
+    if let Some(ms) = stream_deadline_ms {
+        cfg.stream_deadline = std::time::Duration::from_millis(ms);
+    }
+    if let Some(n) = max_conns {
+        cfg.shed.max_active_conns = n;
+    }
+    if let Some(n) = spool_capacity_cells {
+        cfg.shed.spool_capacity_cells = n;
+    }
+    if let Some(ms) = retry_after_ms {
+        cfg.shed.retry_after = std::time::Duration::from_millis(ms);
+    }
+    let defaults = BreakerConfig::default();
+    cfg.breaker = BreakerConfig {
+        failures: breaker_failures.unwrap_or(defaults.failures),
+        window: breaker_window_ms
+            .map_or(defaults.window, std::time::Duration::from_millis),
+        cooldown: breaker_cooldown_ms
+            .map_or(defaults.cooldown, std::time::Duration::from_millis),
+    };
     // The daemon always self-observes: its obs.json endpoint is live even
     // without --observe (which additionally writes a snapshot at exit).
     aprof::obs::enable();
@@ -1457,6 +1530,8 @@ fn cmd_submit(args: &[String]) -> i32 {
     let mut want_tenants = false;
     let mut want_ping = false;
     let mut shutdown: Option<bool> = None;
+    let mut retries = 0u32;
+    let mut retry_base_ms = 50u64;
     let mut files: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -1490,6 +1565,12 @@ fn cmd_submit(args: &[String]) -> i32 {
                 shutdown = Some(true);
                 Ok(())
             }
+            "--retries" => value("--retries")
+                .and_then(|v| v.parse().map_err(|e| format!("--retries: {e}")))
+                .map(|v| retries = v),
+            "--retry-base-ms" => value("--retry-base-ms")
+                .and_then(|v| v.parse().map_err(|e| format!("--retry-base-ms: {e}")))
+                .map(|v| retry_base_ms = v),
             // Consumed by `with_observe` before dispatch.
             "--observe" => Ok(()),
             "--obs-json" => value("--obs-json").map(|_| ()),
@@ -1544,14 +1625,20 @@ fn cmd_submit(args: &[String]) -> i32 {
                 stem.to_owned()
             }
         };
-        let mut file = match File::open(path) {
-            Ok(f) => BufReader::new(f),
-            Err(e) => {
-                eprintln!("cannot read {path}: {e}");
-                return 1;
-            }
+        let policy = RetryPolicy {
+            attempts: retries.saturating_add(1),
+            base: std::time::Duration::from_millis(retry_base_ms),
+            ..RetryPolicy::default()
         };
-        match serve_client::submit(&target, &tenant, &stream_id, &mut file) {
+        let open = || {
+            File::open(path).map(BufReader::new).map_err(|e| {
+                ServeError::Io(std::io::Error::new(
+                    e.kind(),
+                    format!("cannot read {path}: {e}"),
+                ))
+            })
+        };
+        match serve_client::submit_retrying(&target, &tenant, &stream_id, &policy, open) {
             Ok(ack) if ack.duplicate => {
                 println!("{tenant}/{stream_id}: already committed (duplicate)");
             }
@@ -1560,6 +1647,13 @@ fn cmd_submit(args: &[String]) -> i32 {
                     "{tenant}/{stream_id}: committed {} events in {} chunks",
                     ack.events, ack.chunks
                 );
+            }
+            // Transient backpressure that outlived the retry budget: a
+            // deliberate exit code (EX_TEMPFAIL) so wrappers can reschedule
+            // instead of treating it as data loss.
+            Err(e @ ServeError::Busy { .. }) => {
+                eprintln!("{tenant}/{stream_id}: {e} (daemon is shedding load; try --retries)");
+                return 75;
             }
             Err(e) => {
                 eprintln!("{tenant}/{stream_id}: {e}");

@@ -117,7 +117,7 @@ fn serve_submit_round_trip_matches_one_shot_replay() {
     let obs = dir.join("obs.json");
     run_ok(&["submit", "--to", &target, "--obs", "--out", obs.to_str().unwrap()]);
     let obs = std::fs::read_to_string(&obs).unwrap();
-    assert!(obs.contains("\"version\": 3"), "daemon obs.json is not schema v3");
+    assert!(obs.contains("\"version\": 4"), "daemon obs.json is not schema v4");
     let report = dir.join("report.html");
     run_ok(&["submit", "--to", &target, "--report", "web", "--out", report.to_str().unwrap()]);
     assert!(std::fs::read_to_string(&report).unwrap().contains("<!DOCTYPE html>"));
